@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the code type itself: construction, navigation, and
+//! the binary wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftbb_tree::io::{decode_codes, encode_codes};
+use ftbb_tree::{random_basic_tree, Code, NodeId, TreeConfig};
+
+fn sample_codes() -> Vec<Code> {
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: 4_001,
+        seed: 3,
+        ..Default::default()
+    });
+    (0..tree.len() as NodeId).map(|i| tree.code_of(i)).collect()
+}
+
+fn bench_navigation(c: &mut Criterion) {
+    let codes = sample_codes();
+    c.bench_function("code_child_parent_sibling", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for code in &codes {
+                let child = code.child(9999, true);
+                acc += child.parent().map(|p| p.depth()).unwrap_or(0);
+                acc += code.sibling().map(|s| s.wire_size()).unwrap_or(0);
+            }
+            acc
+        });
+    });
+    c.bench_function("code_prefix_checks", |b| {
+        let root_kids: Vec<&Code> = codes.iter().filter(|c| c.depth() == 1).collect();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for code in &codes {
+                for anc in &root_kids {
+                    if anc.is_prefix_of(code) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let codes = sample_codes();
+    let bytes = encode_codes(&codes);
+    let mut group = c.benchmark_group("code_codec");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.bench_function("encode_4k_codes", |b| {
+        b.iter(|| encode_codes(&codes).len());
+    });
+    group.bench_function("decode_4k_codes", |b| {
+        b.iter(|| decode_codes(&bytes).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_navigation, bench_codec);
+criterion_main!(benches);

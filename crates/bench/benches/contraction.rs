@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the contraction machinery: the per-code costs that
+//! the simulator's `contract_per_code_s` overhead models, measured for real.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_tree::{compress, random_basic_tree, Code, CodeSet, NodeId, TreeConfig};
+
+fn leaf_codes(nodes: usize, seed: u64) -> Vec<Code> {
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: nodes,
+        seed,
+        ..Default::default()
+    });
+    (0..tree.len() as NodeId)
+        .filter(|&i| tree.node(i).is_leaf())
+        .map(|i| tree.code_of(i))
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codeset_insert");
+    for &n in &[1_001usize, 10_001, 50_001] {
+        let codes = leaf_codes(n, 7);
+        group.throughput(Throughput::Elements(codes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &codes, |b, codes| {
+            b.iter(|| {
+                let mut set = CodeSet::new();
+                for code in codes {
+                    set.insert(code);
+                }
+                assert!(set.is_root_done());
+                set.node_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("report_compress");
+    for &batch in &[8usize, 64, 512] {
+        let codes: Vec<Code> = leaf_codes(4_001, 11).into_iter().take(batch).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &codes, |b, codes| {
+            b.iter(|| compress(codes).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_complement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complement");
+    for &n in &[1_001usize, 10_001] {
+        let codes = leaf_codes(n, 13);
+        // Half-full table: the expensive case for complementing.
+        let mut set = CodeSet::new();
+        for code in codes.iter().step_by(2) {
+            set.insert(code);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| set.complement().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_tables(c: &mut Criterion) {
+    // Merging one table's minimal codes into another — the table-gossip
+    // receive path.
+    let codes = leaf_codes(20_001, 17);
+    let mut a = CodeSet::new();
+    let mut b = CodeSet::new();
+    for (i, code) in codes.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(code);
+        } else {
+            b.insert(code);
+        }
+    }
+    let b_codes = b.minimal_codes();
+    c.bench_function("merge_half_tables_20k", |bench| {
+        bench.iter(|| {
+            let mut t = a.clone();
+            t.merge(b_codes.iter());
+            assert!(t.is_root_done());
+            t.node_count()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_compress,
+    bench_complement,
+    bench_merge_tables
+);
+criterion_main!(benches);

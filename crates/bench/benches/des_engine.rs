@@ -1,0 +1,95 @@
+//! Discrete-event engine throughput: events dispatched per second. This is
+//! what bounds how large a virtual experiment (Table 1: ~80k expansions ×
+//! 100 processes) can be simulated per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_des::{Ctx, Engine, ProcId, Process, RunLimits, SimTime};
+
+/// Relay ring: each message hops to the next process until TTL runs out.
+struct Relay {
+    n: u32,
+    hops: u64,
+}
+
+impl Process for Relay {
+    type Msg = u64;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, ()>) {
+        if ctx.pid() == ProcId(0) {
+            ctx.send(ProcId(1 % self.n), SimTime::from_micros(1), self.hops);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, ()>, _from: ProcId, ttl: u64) {
+        if ttl > 0 {
+            let next = ProcId((ctx.pid().0 + 1) % self.n);
+            ctx.send(next, SimTime::from_micros(1), ttl - 1);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64, ()>, _t: ()) {}
+}
+
+fn bench_relay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_relay");
+    for &(procs, hops) in &[(2u32, 100_000u64), (100, 100_000)] {
+        group.throughput(Throughput::Elements(hops));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}procs_{hops}hops")),
+            &(procs, hops),
+            |b, &(procs, hops)| {
+                b.iter(|| {
+                    let mut eng = Engine::new(1);
+                    for _ in 0..procs {
+                        eng.add_process(Relay { n: procs, hops }, SimTime::ZERO);
+                    }
+                    let stats = eng.run(RunLimits::none());
+                    assert!(stats.events_dispatched > hops);
+                    stats.events_dispatched
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Timer storm: many overlapping timers per process.
+struct TimerStorm {
+    remaining: u32,
+}
+
+impl Process for TimerStorm {
+    type Msg = ();
+    type Timer = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, (), u32>) {
+        for i in 0..16u32 {
+            ctx.set_timer(SimTime::from_micros(i as u64 + 1), i);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, (), u32>, _from: ProcId, _m: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, (), u32>, t: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimTime::from_micros(t as u64 % 7 + 1), t);
+        }
+    }
+}
+
+fn bench_timers(c: &mut Criterion) {
+    c.bench_function("des_timer_storm_16x5000", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(2);
+            for _ in 0..16 {
+                eng.add_process(TimerStorm { remaining: 5_000 }, SimTime::ZERO);
+            }
+            eng.run(RunLimits::none()).events_dispatched
+        });
+    });
+}
+
+criterion_group!(benches, bench_relay, bench_timers);
+criterion_main!(benches);

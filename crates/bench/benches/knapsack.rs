@@ -1,0 +1,61 @@
+//! Sequential B&B engine benchmarks: solve throughput and basic-tree
+//! recording (the paper's instrumented-run methodology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbb_bnb::{
+    record_basic_tree, solve, Correlation, KnapsackInstance, MaxSatInstance, RecordLimits,
+    SelectRule, SolveConfig,
+};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack_solve");
+    for &n in &[16usize, 20, 24] {
+        let inst = KnapsackInstance::generate(n, 80, Correlation::Weak, 0.5, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(inst, &SolveConfig::default()).best);
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_rules(c: &mut Criterion) {
+    let inst = KnapsackInstance::generate(20, 80, Correlation::Uncorrelated, 0.5, 7);
+    let mut group = c.benchmark_group("selection_rules_n20");
+    for rule in [
+        SelectRule::BestFirst,
+        SelectRule::DepthFirst,
+        SelectRule::BreadthFirst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rule:?}")),
+            &rule,
+            |b, &rule| {
+                b.iter(|| {
+                    solve(
+                        &inst,
+                        &SolveConfig {
+                            rule,
+                            ..Default::default()
+                        },
+                    )
+                    .best
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_record(c: &mut Criterion) {
+    let knap = KnapsackInstance::generate(14, 50, Correlation::Weak, 0.5, 5);
+    c.bench_function("record_basic_tree_knapsack14", |b| {
+        b.iter(|| record_basic_tree(&knap, RecordLimits::default()).unwrap().len());
+    });
+    let sat = MaxSatInstance::generate(10, 30, 5);
+    c.bench_function("record_basic_tree_maxsat10", |b| {
+        b.iter(|| record_basic_tree(&sat, RecordLimits::default()).unwrap().len());
+    });
+}
+
+criterion_group!(benches, bench_solve, bench_selection_rules, bench_record);
+criterion_main!(benches);

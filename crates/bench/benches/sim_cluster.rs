@@ -1,0 +1,67 @@
+//! End-to-end simulation throughput: one full cluster run per iteration.
+//! Measures how much virtual experiment the harness delivers per wall-clock
+//! second — the practical limit on experiment scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbb_des::SimTime;
+use ftbb_sim::{run_sim, SimConfig};
+use ftbb_tree::{random_basic_tree, TreeConfig};
+use std::sync::Arc;
+
+fn quick_cfg(n: u32) -> SimConfig {
+    let mut cfg = SimConfig::new(n);
+    cfg.protocol.report_interval_s = 0.1;
+    cfg.protocol.table_gossip_interval_s = 0.5;
+    cfg.protocol.lb_timeout_s = 0.05;
+    cfg.protocol.recovery_delay_s = 0.2;
+    cfg.protocol.recovery_quiet_s = 0.6;
+    cfg.sample_interval_s = 0.5;
+    cfg
+}
+
+fn bench_cluster_sizes(c: &mut Criterion) {
+    let tree = Arc::new(random_basic_tree(&TreeConfig {
+        target_nodes: 2_001,
+        mean_cost: 0.01,
+        seed: 5,
+        ..Default::default()
+    }));
+    let mut group = c.benchmark_group("sim_2k_tree");
+    group.sample_size(20);
+    for &n in &[2u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_sim(&tree, &quick_cfg(n));
+                assert!(report.all_live_terminated);
+                report.totals.expanded
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_with_failures(c: &mut Criterion) {
+    let tree = Arc::new(random_basic_tree(&TreeConfig {
+        target_nodes: 2_001,
+        mean_cost: 0.01,
+        seed: 5,
+        ..Default::default()
+    }));
+    let mut group = c.benchmark_group("sim_2k_tree_failures");
+    group.sample_size(20);
+    group.bench_function("8procs_4killed", |b| {
+        b.iter(|| {
+            let mut cfg = quick_cfg(8);
+            cfg.failures = (1..5)
+                .map(|p| (p, SimTime::from_millis(500 + 100 * p as u64)))
+                .collect();
+            let report = run_sim(&tree, &cfg);
+            assert!(report.all_live_terminated);
+            report.totals.expanded
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_sizes, bench_cluster_with_failures);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation of the work-report parameters the paper calls out in §6.3.1:
+//! batch size `c`, fan-out `m`, and report interval. "Sending work reports
+//! more rarely may decrease communication time and list contraction costs
+//! but may increase termination detection time, because of lack of
+//! information."
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin ablation_reports [--quick]`
+
+use ftbb_bench::{quick_mode, save, TextTable};
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
+use ftbb_sim::run_sim;
+
+fn main() {
+    let tree = fig3_tree();
+    println!("Report-parameter ablation — Figure 3 problem, 8 processors\n");
+
+    let mut table = TextTable::new(&[
+        "c(batch)",
+        "m(fanout)",
+        "interval(s)",
+        "exec(s)",
+        "detect-lag(s)",
+        "msgs",
+        "MB",
+        "contract%",
+    ]);
+
+    let batches: &[usize] = if quick_mode() { &[4, 32] } else { &[2, 4, 8, 16, 32, 64] };
+    let fanouts: &[usize] = if quick_mode() { &[2] } else { &[1, 2, 4] };
+
+    for &c in batches {
+        for &m in fanouts {
+            let mut cfg = fig3_config(8);
+            cfg.protocol.report_batch = c;
+            cfg.protocol.report_fanout = m;
+            let report = run_sim(&tree, &cfg);
+            assert!(report.all_live_terminated);
+            assert_eq!(report.best, tree.optimal());
+            // Detection lag: last expansion would have finished well before
+            // the final halt; approximate with first-detection minus the
+            // busy end of the busiest process.
+            let busy_end: f64 = report
+                .procs
+                .iter()
+                .map(|p| p.times.busy().as_secs_f64())
+                .fold(0.0, f64::max);
+            let lag = (report.exec_time.as_secs_f64() - busy_end).max(0.0);
+            table.row(vec![
+                c.to_string(),
+                m.to_string(),
+                format!("{:.2}", cfg.protocol.report_interval_s),
+                format!("{:.2}", report.exec_time.as_secs_f64()),
+                format!("{lag:.2}"),
+                report.net.messages_sent.to_string(),
+                format!("{:.3}", report.net.total_mb()),
+                format!("{:.2}", 100.0 * report.fraction(|p| p.times.contract)),
+            ]);
+        }
+    }
+
+    let text = table.render();
+    println!("{text}");
+    println!("expected trade-off: larger c / smaller m → fewer messages and less");
+    println!("contraction, but slower spread of completion information.");
+    save("ablation_reports", &text, Some(&table.to_csv()));
+}

@@ -1,0 +1,32 @@
+//! Calibration utility: reports expanded-node counts of the calibrated
+//! workloads under a sequential depth-first solve (the reference the
+//! paper's "nodes expanded" figures correspond to).
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin calibrate`
+
+use ftbb_bnb::{solve, BasicTreeProblem, SelectRule, SolveConfig};
+use ftbb_tree::calibrated;
+
+fn report(name: &str, tree: ftbb_tree::BasicTree) {
+    let total = tree.len();
+    let problem = BasicTreeProblem::new(tree);
+    for rule in [SelectRule::DepthFirst, SelectRule::BestFirst] {
+        let r = solve(
+            &problem,
+            &SolveConfig {
+                rule,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{name:12} {rule:?}: expanded {:6} / {total:6} nodes, best {:?}, work {:.1}s",
+            r.stats.expanded, r.best, r.stats.total_cost
+        );
+    }
+}
+
+fn main() {
+    report("tiny", calibrated::tiny());
+    report("small_3500", calibrated::small_3500());
+    report("large_79600", calibrated::large_79600());
+}

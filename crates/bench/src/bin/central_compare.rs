@@ -1,0 +1,100 @@
+//! Centralized manager–worker baseline vs the paper's decentralized design
+//! (§3): scalability saturation and the manager's single point of failure,
+//! measured on the same workload.
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin central_compare [--quick]`
+
+use ftbb_bench::{quick_mode, save, TextTable};
+use ftbb_des::SimTime;
+use ftbb_dib::{run_central, CentralConfig};
+use ftbb_sim::{run_sim, SimConfig};
+use ftbb_tree::{random_basic_tree, TreeConfig};
+use std::sync::Arc;
+
+fn decentral_cfg(n: u32) -> SimConfig {
+    let mut cfg = SimConfig::new(n);
+    cfg.protocol.report_interval_s = 0.1;
+    cfg.protocol.table_gossip_interval_s = 0.5;
+    cfg.protocol.lb_timeout_s = 0.05;
+    cfg.protocol.recovery_delay_s = 0.2;
+    cfg.protocol.recovery_quiet_s = 0.6;
+    cfg
+}
+
+fn main() {
+    // Fine-grained nodes: the regime where a serial manager saturates.
+    let tree = Arc::new(random_basic_tree(&TreeConfig {
+        target_nodes: 4_001,
+        mean_cost: 0.01,
+        seed: 88,
+        ..Default::default()
+    }));
+    println!(
+        "Centralized vs decentralized — {} nodes at 0.01s, manager dispatch 2ms\n",
+        tree.len()
+    );
+
+    let procs: Vec<u32> = if quick_mode() {
+        vec![2, 8, 32]
+    } else {
+        vec![2, 4, 8, 16, 32, 64]
+    };
+
+    let mut table = TextTable::new(&[
+        "procs",
+        "central-exec(s)",
+        "manager-busy%",
+        "ftbb-exec(s)",
+        "central-speedup",
+        "ftbb-speedup",
+    ]);
+
+    let mut central_base = None;
+    let mut ftbb_base = None;
+    for &n in &procs {
+        let central = run_central(&tree, &CentralConfig::new(n));
+        assert!(central.finished);
+        assert_eq!(central.best, tree.optimal());
+        let ce = central.exec_time.expect("finished").as_secs_f64();
+        let cb = *central_base.get_or_insert(ce);
+
+        let ftbb = run_sim(&tree, &decentral_cfg(n));
+        assert!(ftbb.all_live_terminated);
+        assert_eq!(ftbb.best, tree.optimal());
+        let fe = ftbb.exec_time.as_secs_f64();
+        let fb = *ftbb_base.get_or_insert(fe);
+
+        table.row(vec![
+            n.to_string(),
+            format!("{ce:.2}"),
+            format!("{:.1}", 100.0 * central.manager_busy_fraction),
+            format!("{fe:.2}"),
+            format!("{:.2}×", cb / ce),
+            format!("{:.2}×", fb / fe),
+        ]);
+    }
+    let text = table.render();
+    println!("{text}");
+
+    // The fault-tolerance side: kill process 0 at 30% of the run.
+    let mut ccfg = CentralConfig::new(8);
+    ccfg.failures = vec![(0, SimTime::from_secs(2))];
+    ccfg.horizon = SimTime::from_secs(60);
+    let central_dead = run_central(&tree, &ccfg);
+    let mut fcfg = decentral_cfg(8);
+    fcfg.failures = vec![(0, SimTime::from_secs(2))];
+    let ftbb_alive = run_sim(&tree, &fcfg);
+    let ft_line = format!(
+        "\nkill process 0 at t=2s:  central {}  |  ftbb finishes in {:.2}s with the optimum",
+        if central_dead.finished { "finished (?)" } else { "DEAD — manager lost" },
+        ftbb_alive.exec_time.as_secs_f64()
+    );
+    println!("{ft_line}");
+    assert!(!central_dead.finished);
+    assert!(ftbb_alive.all_live_terminated);
+    assert_eq!(ftbb_alive.best, tree.optimal());
+    println!("\ncentral speedup saturates as the manager's serial dispatch dominates;");
+    println!("the decentralized design keeps scaling and survives the same failure.");
+
+    save("central_compare", &format!("{text}{ft_line}\n"), Some(&table.to_csv()));
+}

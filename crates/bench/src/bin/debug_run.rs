@@ -1,0 +1,52 @@
+//! Diagnostic: per-process behavior of one Figure 3 run.
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin debug_run [procs]`
+
+use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let tree = fig3_tree();
+    let cfg = fig3_config(n);
+    let report = run_sim(&tree, &cfg);
+    println!(
+        "exec {:.3}s, first_detection {:?}, best {:?}, all_terminated {}",
+        report.exec_time.as_secs_f64(),
+        report.first_detection.map(|t| t.as_secs_f64()),
+        report.best,
+        report.all_live_terminated
+    );
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "proc", "expand", "bb(s)", "idle(s)", "redun(s)", "halt(s)", "reqs", "grants", "denies",
+        "tmo", "recov", "interrupts"
+    );
+    for (i, p) in report.procs.iter().enumerate() {
+        println!(
+            "{:>4} {:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+            i,
+            p.metrics.expanded,
+            p.times.bb.as_secs_f64(),
+            p.idle.as_secs_f64(),
+            p.times.redundant.as_secs_f64(),
+            p.halted_at.map(|t| t.as_secs_f64()).unwrap_or(-1.0),
+            p.metrics.work_requests_sent,
+            p.metrics.grants_sent,
+            p.metrics.denies_sent,
+            p.metrics.lb_timeouts,
+            p.metrics.recoveries,
+            p.metrics.redundant_interrupts,
+        );
+    }
+    println!(
+        "msgs sent {}, lost {}, bytes {}, redundant_expansions {}",
+        report.net.messages_sent,
+        report.net.messages_lost,
+        report.net.bytes_sent,
+        report.redundant_expansions
+    );
+}

@@ -1,0 +1,72 @@
+//! Fault-tolerance sweep (§6.3.2): kill k of n processes at varying points
+//! of the execution and measure the cost of recovery — execution-time
+//! dilation and redundant work — while asserting that the answer never
+//! changes. This quantifies what the paper verifies qualitatively ("we
+//! simply verify that termination is detected").
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin fault_sweep [--quick]`
+
+use ftbb_bench::{quick_mode, save, TextTable};
+use ftbb_des::SimTime;
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
+use ftbb_sim::{kill_random_k, run_sim};
+
+fn main() {
+    let tree = fig3_tree();
+    println!("Fault sweep — Figure 3 problem, 8 processors, crashes at 50% of failure-free exec\n");
+
+    // Failure-free reference.
+    let baseline = run_sim(&tree, &fig3_config(8));
+    assert!(baseline.all_live_terminated);
+    let base_exec = baseline.exec_time;
+    println!(
+        "failure-free: exec {}, expanded {}\n",
+        base_exec, baseline.totals.expanded
+    );
+
+    let kills: Vec<u32> = if quick_mode() {
+        vec![0, 4, 7]
+    } else {
+        vec![0, 1, 2, 3, 4, 5, 6, 7]
+    };
+
+    let mut table = TextTable::new(&[
+        "killed",
+        "exec(s)",
+        "dilation",
+        "expanded",
+        "redundant",
+        "recoveries",
+        "ok",
+    ]);
+
+    let mut sweep_base: Option<f64> = None;
+    for &k in &kills {
+        let mut cfg = fig3_config(8);
+        cfg.seed = 900 + k as u64;
+        if k > 0 {
+            let at = SimTime::from_secs_f64(base_exec.as_secs_f64() * 0.5);
+            cfg.failures = kill_random_k(8, k, &[at], k as u64);
+        }
+        let report = run_sim(&tree, &cfg);
+        let ok = report.all_live_terminated && report.best == tree.optimal();
+        assert!(ok, "k={k}: correctness violated");
+        let exec = report.exec_time.as_secs_f64();
+        let base = *sweep_base.get_or_insert(exec);
+        table.row(vec![
+            format!("{k}/8"),
+            format!("{exec:.2}"),
+            format!("{:.2}×", exec / base),
+            report.totals.expanded.to_string(),
+            report.redundant_expansions.to_string(),
+            report.totals.recoveries.to_string(),
+            "✓".into(),
+        ]);
+    }
+
+    let text = table.render();
+    println!("{text}");
+    println!("every row found the same optimum; dilation and redundancy grow with kills,");
+    println!("and even 7 of 8 processes dying only slows the computation down.");
+    save("fault_sweep", &text, Some(&table.to_csv()));
+}

@@ -1,0 +1,50 @@
+//! Figure 4: speedup (execution time) and communication curves versus the
+//! number of processors, for the Table 1 problem.
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin fig4 [--quick]`
+
+use ftbb_bench::{quick_mode, save, TextTable};
+use ftbb_sim::scenario::{table1_config, table1_tree};
+use ftbb_sim::run_sim;
+
+fn main() {
+    let tree = table1_tree();
+    let stats = tree.stats();
+    println!("Figure 4 — speedup and communication vs processors (Table 1 problem)\n");
+
+    let proc_counts: Vec<u32> = if quick_mode() {
+        vec![10, 30, 50]
+    } else {
+        vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    };
+
+    let mut table = TextTable::new(&["procs", "exec(h)", "speedup", "efficiency%", "MB/proc/hour"]);
+    // Reference: the work actually required by a sequential run.
+    let mut seq_work_h = None;
+    for &n in &proc_counts {
+        let cfg = table1_config(n);
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated, "{n} procs did not finish");
+        assert_eq!(report.best, tree.optimal(), "{n} procs: wrong optimum");
+        let exec_h = report.exec_time.as_hours_f64();
+        let work_h = seq_work_h.get_or_insert_with(|| {
+            // Unique expansions × mean node cost approximates the pruned
+            // sequential workload.
+            report.expanded_unique as f64 * stats.mean_cost / 3600.0
+        });
+        let speedup = *work_h / exec_h;
+        let efficiency = 100.0 * speedup / n as f64;
+        table.row(vec![
+            n.to_string(),
+            format!("{exec_h:.2}"),
+            format!("{speedup:.1}"),
+            format!("{efficiency:.1}"),
+            format!("{:.2}", report.comm_mb_per_hour_per_proc()),
+        ]);
+    }
+    let text = table.render();
+    println!("{text}");
+    println!("paper shape: execution time falls 7.93h→1.04h from 10→100 procs;");
+    println!("communication per processor *rises* with the processor count.");
+    save("fig4", &text, Some(&table.to_csv()));
+}

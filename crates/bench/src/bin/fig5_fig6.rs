@@ -1,0 +1,54 @@
+//! Figures 5 and 6: execution timelines of a very small problem on three
+//! processors — failure-free, and with two processors crashing at ~85% of
+//! the execution, leaving the third to recover the lost work and terminate.
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin fig5_fig6`
+
+use ftbb_bench::save;
+use ftbb_sim::scenario::{fig56_config, fig56_tree, fig6_config};
+use ftbb_sim::{run_sim, timeline};
+
+fn main() {
+    let tree = fig56_tree();
+    println!(
+        "Figures 5/6 — timelines of a very small problem ({} nodes, optimum {:?})\n",
+        tree.len(),
+        tree.optimal()
+    );
+
+    let fig5 = run_sim(&tree, &fig56_config());
+    assert!(fig5.all_live_terminated);
+    assert_eq!(fig5.best, tree.optimal());
+    let fig5_tl = fig5.timelines.as_ref().expect("tracing enabled");
+    let fig5_text = format!(
+        "=== Figure 5: no failures (exec {}) ===\n{}",
+        fig5.exec_time,
+        timeline::render(fig5_tl, fig5.exec_time, 72)
+    );
+    println!("{fig5_text}");
+
+    let fig6 = run_sim(&tree, &fig6_config(fig5.exec_time, 0.85));
+    assert!(fig6.all_live_terminated, "the survivor must finish alone");
+    assert_eq!(fig6.best, tree.optimal(), "the crash must not change the answer");
+    let fig6_tl = fig6.timelines.as_ref().expect("tracing enabled");
+    let fig6_text = format!(
+        "=== Figure 6: P1, P2 crash at 85%; P0 recovers (exec {}) ===\n{}",
+        fig6.exec_time,
+        timeline::render(fig6_tl, fig6.exec_time, 72)
+    );
+    println!("{fig6_text}");
+    println!(
+        "survivor recoveries: {}, redundant expansions: {}",
+        fig6.totals.recoveries, fig6.redundant_expansions
+    );
+
+    let text = format!("{fig5_text}\n{fig6_text}");
+    save("fig5_fig6", &text, None);
+    // Also persist the raw interval CSVs for external plotting.
+    let csv = format!(
+        "# fig5\n{}# fig6\n{}",
+        timeline::to_csv(fig5_tl),
+        timeline::to_csv(fig6_tl)
+    );
+    std::fs::write(ftbb_bench::results_dir().join("fig5_fig6_intervals.csv"), csv).unwrap();
+}

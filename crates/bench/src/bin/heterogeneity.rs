@@ -1,0 +1,72 @@
+//! Heterogeneity study: the target architecture has "resources with varying
+//! physical characteristics (amount of memory, speed)" (§4). The on-demand
+//! load-balancing scheme should let fast processors do proportionally more
+//! work without hurting correctness or utilization.
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin heterogeneity`
+
+use ftbb_bench::{save, TextTable};
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
+use ftbb_sim::run_sim;
+
+fn main() {
+    let tree = fig3_tree();
+    println!("Heterogeneity — Figure 3 problem on 8 processors of varying speed\n");
+
+    let scenarios: Vec<(&str, Vec<f64>)> = vec![
+        ("homogeneous 1×", vec![1.0; 8]),
+        ("half at 2×", vec![2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0]),
+        ("one 8× machine", vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+        ("spread 0.5–4×", vec![0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0]),
+    ];
+
+    let mut table = TextTable::new(&[
+        "scenario",
+        "total-speed",
+        "exec(s)",
+        "ideal(s)",
+        "efficiency%",
+        "fastest/slowest work",
+    ]);
+
+    for (name, speeds) in scenarios {
+        let total_speed: f64 = speeds.iter().sum();
+        let mut cfg = fig3_config(8);
+        cfg.speeds = speeds.clone();
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated, "{name}");
+        assert_eq!(report.best, tree.optimal(), "{name}");
+        let exec = report.exec_time.as_secs_f64();
+        // Ideal: unique work divided by aggregate speed.
+        let work: f64 = report.expanded_unique as f64 * tree.stats().mean_cost;
+        let ideal = work / total_speed;
+        let max_i = speeds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let min_i = speeds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let ratio = report.procs[max_i].metrics.expanded as f64
+            / report.procs[min_i].metrics.expanded.max(1) as f64;
+        table.row(vec![
+            name.into(),
+            format!("{total_speed:.2}"),
+            format!("{exec:.2}"),
+            format!("{ideal:.2}"),
+            format!("{:.1}", 100.0 * ideal / exec),
+            format!("{ratio:.1}×"),
+        ]);
+    }
+
+    let text = table.render();
+    println!("{text}");
+    println!("on-demand load balancing lets faster machines pull proportionally more");
+    println!("work: the fastest/slowest expansion ratio tracks the speed ratio.");
+    save("heterogeneity", &text, Some(&table.to_csv()));
+}

@@ -1,0 +1,83 @@
+//! Table 1: simulated execution of the large real problem.
+//!
+//! Paper: "~79,600 nodes expanded, average cost per node 3.47 s" (≈75 h of
+//! uniprocessor work), on 10/30/50/70/100 processors. Columns: execution
+//! time (hours), B&B time %, contraction time %, storage (total and
+//! redundant MB), communication (MB/hour/processor).
+//!
+//! Run: `cargo run --release -p ftbb-bench --bin table1 [--quick]`
+
+use ftbb_bench::{quick_mode, save, TextTable};
+use ftbb_sim::scenario::{table1_config, table1_tree};
+use ftbb_sim::run_sim;
+
+fn main() {
+    let tree = table1_tree();
+    let stats = tree.stats();
+    println!("Table 1 — simulated execution of a large real problem");
+    println!(
+        "workload: {} basic-tree nodes, mean node cost {:.2}s, uniprocessor work ≈ {:.1}h",
+        stats.nodes,
+        stats.mean_cost,
+        stats.total_cost / 3600.0
+    );
+    println!("network: 1.5 + 0.005·L ms per message\n");
+
+    let proc_counts: Vec<u32> = if quick_mode() {
+        vec![10, 50]
+    } else {
+        vec![10, 30, 50, 70, 100]
+    };
+
+    let mut table = TextTable::new(&[
+        "procs",
+        "exec(h)",
+        "BB%",
+        "Contract%",
+        "LB%",
+        "Comm%",
+        "storage(MB)",
+        "redundant(MB)",
+        "comm(MB/h/proc)",
+        "expanded",
+        "speedup",
+    ]);
+
+    for &n in &proc_counts {
+        let cfg = table1_config(n);
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated, "{n}-proc run did not finish");
+        assert_eq!(
+            report.best,
+            tree.optimal(),
+            "{n}-proc run found the wrong optimum"
+        );
+        let exec_h = report.exec_time.as_hours_f64();
+        let bb_pct = 100.0 * report.fraction(|p| p.times.bb);
+        let contract_pct = 100.0 * report.fraction(|p| p.times.contract);
+        let lb_pct = 100.0 * report.fraction(|p| p.times.lb);
+        let comm_pct = 100.0 * report.fraction(|p| p.times.comm);
+        let storage_mb = report.storage_peak_bytes as f64 / 1e6;
+        let redundant_mb = report.storage_redundant_bytes as f64 / 1e6;
+        let comm = report.comm_mb_per_hour_per_proc();
+        let speedup = stats.total_cost / report.exec_time.as_secs_f64();
+        table.row(vec![
+            n.to_string(),
+            format!("{exec_h:.2}"),
+            format!("{bb_pct:.2}"),
+            format!("{contract_pct:.2}"),
+            format!("{lb_pct:.2}"),
+            format!("{comm_pct:.2}"),
+            format!("{storage_mb:.2}"),
+            format!("{redundant_mb:.2}"),
+            format!("{comm:.2}"),
+            report.totals.expanded.to_string(),
+            format!("{speedup:.1}"),
+        ]);
+    }
+
+    let text = table.render();
+    println!("{text}");
+    println!("paper shape: exec 7.93h@10 → 1.04h@100; B&B ≥ ~80%; storage ~43MB@100; comm grows with procs");
+    save("table1", &text, Some(&table.to_csv()));
+}

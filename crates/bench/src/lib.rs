@@ -1,0 +1,136 @@
+//! Shared helpers for the experiment binaries: table formatting and result
+//! persistence.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `EXPERIMENTS.md` at the workspace root) and prints an aligned text table
+//! plus a CSV copy under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}", cell, w = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = ncols;
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where experiment outputs are persisted.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FTBB_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist an experiment's text and CSV outputs.
+pub fn save(name: &str, text: &str, csv: Option<&str>) {
+    let dir = results_dir();
+    fs::write(dir.join(format!("{name}.txt")), text).expect("write results");
+    if let Some(csv) = csv {
+        fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+    }
+    eprintln!("[saved results/{name}.txt]");
+}
+
+/// `--quick` flag: benches run reduced sweeps (used by CI / smoke tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Format seconds or hours compactly.
+pub fn fmt_time_s(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.2}h", s / 3600.0)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "big-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("big-header"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(&["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        TextTable::new(&["only"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt_times() {
+        assert_eq!(fmt_time_s(30.0), "30.00s");
+        assert_eq!(fmt_time_s(7200.0), "2.00h");
+    }
+}

@@ -1,0 +1,317 @@
+//! Weighted MAX-SAT as a [`BranchBound`] problem.
+//!
+//! Minimizes the total weight of falsified clauses. Unlike knapsack, the
+//! branching variable is chosen *dynamically* (the unassigned variable
+//! occurring in the most unresolved clauses), so different subtrees branch
+//! on different variables in different orders — exactly the situation the
+//! paper's `⟨variable, value⟩` code pairs exist for (§5.3.1, Figure 1).
+
+use crate::problem::BranchBound;
+use ftbb_tree::Var;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A literal: variable index and polarity (`true` = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Literal {
+    /// Variable index in `0..num_vars`.
+    pub var: u16,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+/// A weighted clause (disjunction of literals).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clause {
+    /// The literals.
+    pub literals: Vec<Literal>,
+    /// Weight paid if the clause is falsified.
+    pub weight: f64,
+}
+
+/// A weighted MAX-SAT instance with at most 64 variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxSatInstance {
+    /// Number of variables (≤ 64).
+    pub num_vars: u16,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl MaxSatInstance {
+    /// Build an instance; validates literal ranges.
+    pub fn new(num_vars: u16, clauses: Vec<Clause>) -> Self {
+        assert!(num_vars <= 64, "at most 64 variables supported");
+        for c in &clauses {
+            assert!(!c.literals.is_empty(), "empty clause");
+            assert!(c.weight > 0.0, "non-positive clause weight");
+            for l in &c.literals {
+                assert!(l.var < num_vars, "literal variable out of range");
+            }
+        }
+        MaxSatInstance { num_vars, clauses }
+    }
+
+    /// Random weighted 3-SAT-ish instance (clauses of length 2–3),
+    /// deterministic per seed.
+    pub fn generate(num_vars: u16, num_clauses: usize, seed: u64) -> Self {
+        assert!((2..=64).contains(&num_vars));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let len = rng.gen_range(2..=3usize.min(num_vars as usize));
+            let mut vars: Vec<u16> = Vec::with_capacity(len);
+            while vars.len() < len {
+                let v = rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            let literals = vars
+                .into_iter()
+                .map(|var| Literal {
+                    var,
+                    positive: rng.gen_bool(0.5),
+                })
+                .collect();
+            clauses.push(Clause {
+                literals,
+                weight: rng.gen_range(1..=10) as f64,
+            });
+        }
+        MaxSatInstance::new(num_vars, clauses)
+    }
+
+    /// Exhaustive optimum (minimum falsified weight) for small instances.
+    pub fn brute_force(&self) -> f64 {
+        assert!(self.num_vars <= 22, "brute force only for small instances");
+        let mut best = f64::INFINITY;
+        for assignment in 0u64..(1u64 << self.num_vars) {
+            let mut falsified = 0.0;
+            for c in &self.clauses {
+                let sat = c
+                    .literals
+                    .iter()
+                    .any(|l| ((assignment >> l.var) & 1 == 1) == l.positive);
+                if !sat {
+                    falsified += c.weight;
+                }
+            }
+            best = best.min(falsified);
+        }
+        best
+    }
+
+    /// Clause status under a partial assignment.
+    fn clause_state(&self, clause: &Clause, node: &SatNode) -> ClauseState {
+        let mut any_unassigned = false;
+        for l in &clause.literals {
+            if (node.assigned >> l.var) & 1 == 1 {
+                if ((node.values >> l.var) & 1 == 1) == l.positive {
+                    return ClauseState::Satisfied;
+                }
+            } else {
+                any_unassigned = true;
+            }
+        }
+        if any_unassigned {
+            ClauseState::Open
+        } else {
+            ClauseState::Falsified
+        }
+    }
+}
+
+enum ClauseState {
+    Satisfied,
+    Falsified,
+    Open,
+}
+
+/// A partial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SatNode {
+    /// Bitmask of assigned variables.
+    pub assigned: u64,
+    /// Values of assigned variables (bits meaningful where `assigned` set).
+    pub values: u64,
+}
+
+impl BranchBound for MaxSatInstance {
+    type Node = SatNode;
+
+    fn root(&self) -> SatNode {
+        SatNode::default()
+    }
+
+    fn bound(&self, node: &SatNode) -> f64 {
+        // Weight of clauses already falsified — every extension pays it.
+        self.clauses
+            .iter()
+            .filter(|c| matches!(self.clause_state(c, node), ClauseState::Falsified))
+            .map(|c| c.weight)
+            .sum()
+    }
+
+    fn solution(&self, node: &SatNode) -> Option<f64> {
+        // A solution exists once no clause is open (even if variables remain
+        // unassigned — they can't change anything).
+        let any_open = self
+            .clauses
+            .iter()
+            .any(|c| matches!(self.clause_state(c, node), ClauseState::Open));
+        if any_open {
+            None
+        } else {
+            Some(self.bound(node))
+        }
+    }
+
+    fn branching_var(&self, node: &SatNode) -> Option<Var> {
+        // Most-occurring unassigned variable among open clauses.
+        let mut counts = [0u32; 64];
+        let mut any = false;
+        for c in &self.clauses {
+            if matches!(self.clause_state(c, node), ClauseState::Open) {
+                for l in &c.literals {
+                    if (node.assigned >> l.var) & 1 == 0 {
+                        counts[l.var as usize] += 1;
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let var = (0..self.num_vars)
+            .max_by_key(|&v| counts[v as usize])
+            .expect("num_vars > 0");
+        Some(var)
+    }
+
+    fn decompose(&self, node: &SatNode) -> Option<(SatNode, SatNode)> {
+        let var = self.branching_var(node)?;
+        let mk = |value: bool| SatNode {
+            assigned: node.assigned | (1 << var),
+            values: if value {
+                node.values | (1 << var)
+            } else {
+                node.values & !(1 << var)
+            },
+        };
+        Some((mk(false), mk(true)))
+    }
+
+    fn cost(&self, _node: &SatNode) -> f64 {
+        1e-6 * (1.0 + self.clauses.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{solve, SolveConfig};
+
+    fn lit(var: u16, positive: bool) -> Literal {
+        Literal { var, positive }
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let inst = MaxSatInstance::new(
+            2,
+            vec![Clause {
+                literals: vec![lit(0, true), lit(1, true)],
+                weight: 5.0,
+            }],
+        );
+        let r = solve(&inst, &SolveConfig::default());
+        assert_eq!(r.best, Some(0.0));
+    }
+
+    #[test]
+    fn contradiction_pays_min_weight() {
+        // (x0) weight 2 and (¬x0) weight 3: best falsifies the cheaper one.
+        let inst = MaxSatInstance::new(
+            1,
+            vec![
+                Clause {
+                    literals: vec![lit(0, true)],
+                    weight: 2.0,
+                },
+                Clause {
+                    literals: vec![lit(0, false)],
+                    weight: 3.0,
+                },
+            ],
+        );
+        let r = solve(&inst, &SolveConfig::default());
+        assert_eq!(r.best, Some(2.0));
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..10 {
+            let inst = MaxSatInstance::generate(10, 30, seed);
+            let r = solve(&inst, &SolveConfig::default());
+            let expect = inst.brute_force();
+            assert!(
+                (r.best.unwrap() - expect).abs() < 1e-9,
+                "seed {seed}: got {:?}, expected {expect}",
+                r.best
+            );
+        }
+    }
+
+    #[test]
+    fn branching_order_varies_across_subtrees() {
+        // Find an instance where the two root children branch on different
+        // variables — the motivating case for ⟨var, value⟩ code pairs.
+        let mut found = false;
+        for seed in 0..50 {
+            let inst = MaxSatInstance::generate(8, 16, seed);
+            let root = inst.root();
+            let Some((l, r)) = inst.decompose(&root) else {
+                continue;
+            };
+            let (lv, rv) = (inst.branching_var(&l), inst.branching_var(&r));
+            if lv.is_some() && rv.is_some() && lv != rv {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one instance with divergent branching order");
+    }
+
+    #[test]
+    fn rebuild_is_self_contained() {
+        let inst = MaxSatInstance::generate(8, 20, 3);
+        let r = solve(&inst, &SolveConfig::default());
+        let code = r.best_code.unwrap();
+        let node = inst.rebuild(&code).unwrap();
+        assert_eq!(inst.solution(&node), r.best);
+    }
+
+    #[test]
+    fn bound_monotone_in_assignments() {
+        let inst = MaxSatInstance::generate(8, 20, 4);
+        let root = inst.root();
+        let (l, r) = inst.decompose(&root).unwrap();
+        assert!(inst.bound(&l) >= inst.bound(&root));
+        assert!(inst.bound(&r) >= inst.bound(&root));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clause")]
+    fn rejects_empty_clause() {
+        MaxSatInstance::new(
+            1,
+            vec![Clause {
+                literals: vec![],
+                weight: 1.0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! The pool of active problems and the Select operator (§2).
+//!
+//! "Selection may depend on bound values, such as in the best-first
+//! selection rule, or not, as in the case of depth-first or breadth-first
+//! rules."
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which subproblem the Select operator picks next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SelectRule {
+    /// Smallest bound first (ties: oldest first).
+    #[default]
+    BestFirst,
+    /// Most recently inserted first (LIFO) — memory-frugal.
+    DepthFirst,
+    /// Oldest first (FIFO).
+    BreadthFirst,
+}
+
+/// An entry in the pool.
+#[derive(Debug, Clone)]
+pub struct PoolEntry<N> {
+    /// The subproblem's lower bound (Select priority for best-first).
+    pub bound: f64,
+    /// Depth in the search tree (informational).
+    pub depth: u32,
+    /// The subproblem itself.
+    pub node: N,
+}
+
+struct HeapItem<N> {
+    bound: f64,
+    seq: u64,
+    entry: PoolEntry<N>,
+}
+
+impl<N> PartialEq for HeapItem<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl<N> Eq for HeapItem<N> {}
+impl<N> PartialOrd for HeapItem<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<N> Ord for HeapItem<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert for min-bound-first; ties pop oldest seq first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum Store<N> {
+    Heap(BinaryHeap<HeapItem<N>>),
+    Deque(VecDeque<PoolEntry<N>>),
+}
+
+/// The pool of active problems, with a pluggable Select rule.
+pub struct Pool<N> {
+    rule: SelectRule,
+    store: Store<N>,
+    next_seq: u64,
+    peak_len: usize,
+}
+
+impl<N> Pool<N> {
+    /// An empty pool with the given selection rule.
+    pub fn new(rule: SelectRule) -> Self {
+        let store = match rule {
+            SelectRule::BestFirst => Store::Heap(BinaryHeap::new()),
+            _ => Store::Deque(VecDeque::new()),
+        };
+        Pool {
+            rule,
+            store,
+            next_seq: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// The active selection rule.
+    pub fn rule(&self) -> SelectRule {
+        self.rule
+    }
+
+    /// Insert a subproblem.
+    pub fn push(&mut self, entry: PoolEntry<N>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &mut self.store {
+            Store::Heap(h) => h.push(HeapItem {
+                bound: entry.bound,
+                seq,
+                entry,
+            }),
+            Store::Deque(d) => d.push_back(entry),
+        }
+        self.peak_len = self.peak_len.max(self.len());
+    }
+
+    /// Select and remove the next subproblem per the rule.
+    pub fn pop(&mut self) -> Option<PoolEntry<N>> {
+        match (&mut self.store, self.rule) {
+            (Store::Heap(h), _) => h.pop().map(|i| i.entry),
+            (Store::Deque(d), SelectRule::DepthFirst) => d.pop_back(),
+            (Store::Deque(d), _) => d.pop_front(),
+        }
+    }
+
+    /// Number of active subproblems.
+    pub fn len(&self) -> usize {
+        match &self.store {
+            Store::Heap(h) => h.len(),
+            Store::Deque(d) => d.len(),
+        }
+    }
+
+    /// True when no subproblems are active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest size the pool ever reached (storage metric).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Iterate over the pool's entries (order unspecified).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &PoolEntry<N>> + '_> {
+        match &self.store {
+            Store::Heap(h) => Box::new(h.iter().map(|i| &i.entry)),
+            Store::Deque(d) => Box::new(d.iter()),
+        }
+    }
+
+    /// Remove up to `k` entries for donation to another process (work
+    /// sharing). Best-first pools donate their *worst*-bound entries (the
+    /// donor keeps the most promising work); deque pools donate from the
+    /// front (the oldest, typically shallowest/largest subtrees — the
+    /// classic work-stealing choice).
+    pub fn split_off(&mut self, k: usize) -> Vec<PoolEntry<N>> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        match &mut self.store {
+            Store::Heap(h) => {
+                // Take the k worst bounds: drain fully, keep the best.
+                let mut all: Vec<HeapItem<N>> = std::mem::take(h).into_vec();
+                all.sort_by(|a, b| {
+                    a.bound
+                        .partial_cmp(&b.bound)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.seq.cmp(&b.seq))
+                });
+                let keep = all.len().saturating_sub(k);
+                for item in all.drain(keep..) {
+                    out.push(item.entry);
+                }
+                *h = all.into_iter().collect();
+            }
+            Store::Deque(d) => {
+                for _ in 0..k.min(d.len()) {
+                    if let Some(e) = d.pop_front() {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bound: f64, tag: u32) -> PoolEntry<u32> {
+        PoolEntry {
+            bound,
+            depth: 0,
+            node: tag,
+        }
+    }
+
+    #[test]
+    fn best_first_pops_min_bound() {
+        let mut p = Pool::new(SelectRule::BestFirst);
+        p.push(entry(3.0, 3));
+        p.push(entry(1.0, 1));
+        p.push(entry(2.0, 2));
+        let order: Vec<u32> = std::iter::from_fn(|| p.pop().map(|e| e.node)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn best_first_ties_pop_oldest() {
+        let mut p = Pool::new(SelectRule::BestFirst);
+        for tag in 0..10 {
+            p.push(entry(5.0, tag));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| p.pop().map(|e| e.node)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_first_is_lifo() {
+        let mut p = Pool::new(SelectRule::DepthFirst);
+        p.push(entry(1.0, 1));
+        p.push(entry(2.0, 2));
+        p.push(entry(3.0, 3));
+        let order: Vec<u32> = std::iter::from_fn(|| p.pop().map(|e| e.node)).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn breadth_first_is_fifo() {
+        let mut p = Pool::new(SelectRule::BreadthFirst);
+        p.push(entry(1.0, 1));
+        p.push(entry(2.0, 2));
+        let order: Vec<u32> = std::iter::from_fn(|| p.pop().map(|e| e.node)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn split_off_heap_donates_worst() {
+        let mut p = Pool::new(SelectRule::BestFirst);
+        for (b, t) in [(1.0, 1), (5.0, 5), (3.0, 3), (4.0, 4), (2.0, 2)] {
+            p.push(entry(b, t));
+        }
+        let donated = p.split_off(2);
+        let mut tags: Vec<u32> = donated.iter().map(|e| e.node).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![4, 5]);
+        // Donor keeps the best and still pops in order.
+        assert_eq!(p.pop().unwrap().node, 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn split_off_deque_donates_oldest() {
+        let mut p = Pool::new(SelectRule::DepthFirst);
+        p.push(entry(1.0, 1));
+        p.push(entry(2.0, 2));
+        p.push(entry(3.0, 3));
+        let donated = p.split_off(2);
+        let tags: Vec<u32> = donated.iter().map(|e| e.node).collect();
+        assert_eq!(tags, vec![1, 2]);
+        assert_eq!(p.pop().unwrap().node, 3);
+    }
+
+    #[test]
+    fn split_off_more_than_len() {
+        let mut p = Pool::new(SelectRule::BestFirst);
+        p.push(entry(1.0, 1));
+        let donated = p.split_off(10);
+        assert_eq!(donated.len(), 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water() {
+        let mut p = Pool::new(SelectRule::BreadthFirst);
+        for i in 0..5 {
+            p.push(entry(i as f64, i));
+        }
+        for _ in 0..3 {
+            p.pop();
+        }
+        p.push(entry(9.0, 9));
+        assert_eq!(p.peak_len(), 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Events into and actions out of the protocol state machine.
+//!
+//! [`crate::BnbProcess`] is a pure deterministic state machine:
+//! `(state, event) → (state', actions)`. The harness (DES simulator or
+//! threaded runtime) supplies events, executes actions, and owns all
+//! notions of real/virtual time and of the network.
+
+use crate::message::Msg;
+use crate::work::Expansion;
+use ftbb_tree::Code;
+use serde::{Deserialize, Serialize};
+
+/// Timers the process can arm. All delays are in (virtual) seconds and are
+/// interpreted by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PTimer {
+    /// Periodic completion-list flush check.
+    ReportFlush,
+    /// Periodic full-table gossip.
+    TableGossip,
+    /// Work-request reply deadline; the payload is the request sequence
+    /// number (stale timers are ignored).
+    LbTimeout(u32),
+    /// Patience fuse before complement recovery begins.
+    RecoveryFuse(u32),
+    /// Membership gossip tick.
+    MembershipTick,
+}
+
+/// Events delivered to the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PEvent {
+    /// Process activation.
+    Start,
+    /// The expansion requested by a [`Action::StartWork`] finished.
+    /// `seq` matches the `StartWork`; stale completions are discarded.
+    WorkDone {
+        /// Work sequence number.
+        seq: u64,
+        /// The expansion result.
+        expansion: Expansion,
+    },
+    /// A protocol message arrived.
+    Recv {
+        /// Sending process.
+        from: u32,
+        /// The message.
+        msg: Msg,
+    },
+    /// A timer fired.
+    Timer(PTimer),
+}
+
+/// Actions requested by the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit `msg` to member `to`.
+    Send {
+        /// Destination member.
+        to: u32,
+        /// The message.
+        msg: Msg,
+    },
+    /// Begin expanding `code`; the harness must run the expander and
+    /// deliver [`PEvent::WorkDone`] with the same `seq` after the
+    /// expansion's cost has elapsed.
+    StartWork {
+        /// The subproblem to expand.
+        code: Code,
+        /// Sequence number to echo in `WorkDone`.
+        seq: u64,
+    },
+    /// Arm a timer after `delay_s` seconds.
+    SetTimer {
+        /// Delay in seconds.
+        delay_s: f64,
+        /// The timer payload.
+        timer: PTimer,
+    },
+    /// The process has detected termination and stops.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_equality() {
+        assert_eq!(PTimer::LbTimeout(3), PTimer::LbTimeout(3));
+        assert_ne!(PTimer::LbTimeout(3), PTimer::LbTimeout(4));
+        assert_ne!(PTimer::ReportFlush, PTimer::TableGossip);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-process protocol counters.
+//!
+//! Time-category accounting (BB / communication / contraction / load
+//! balancing / idle — the stack of the paper's Figure 3) lives in the
+//! harness, which knows costs; these counters capture protocol-level
+//! events: expansions, eliminations, reports, recoveries, redundancy.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by one protocol process.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcMetrics {
+    /// Subproblems expanded (bounded + decomposed).
+    pub expanded: u64,
+    /// Children eliminated at creation (`l(v) ≥ U`).
+    pub eliminated_at_insert: u64,
+    /// Pool entries eliminated at selection.
+    pub eliminated_at_pop: u64,
+    /// Pool entries skipped because the table already covered them.
+    pub skipped_covered: u64,
+    /// Leaves fathomed (solved or infeasible).
+    pub fathomed: u64,
+    /// Local incumbent improvements.
+    pub incumbent_updates: u64,
+    /// Work reports sent.
+    pub reports_sent: u64,
+    /// Work reports received.
+    pub reports_received: u64,
+    /// Codes shipped in sent reports, after compression.
+    pub report_codes_sent: u64,
+    /// Codes that compression removed before sending (paper: "the taller
+    /// the subtree completed locally, the larger the number of codes that
+    /// do not need to be sent").
+    pub report_codes_saved: u64,
+    /// Table gossips sent.
+    pub table_gossips_sent: u64,
+    /// Work requests sent.
+    pub work_requests_sent: u64,
+    /// Work grants sent.
+    pub grants_sent: u64,
+    /// Subproblems donated.
+    pub items_granted: u64,
+    /// Work denials sent.
+    pub denies_sent: u64,
+    /// Work-request timeouts suffered.
+    pub lb_timeouts: u64,
+    /// Complement recoveries performed (§5.3.2 failure repair).
+    pub recoveries: u64,
+    /// Expansions interrupted because gossip revealed them redundant.
+    pub redundant_interrupts: u64,
+    /// Contraction merge operations (code insertions processed).
+    pub merge_codes_processed: u64,
+    /// Contractions performed while merging.
+    pub merge_contractions: u64,
+    /// Did this process detect termination?
+    pub terminated: bool,
+}
+
+impl ProcMetrics {
+    /// Total eliminations.
+    pub fn eliminated(&self) -> u64 {
+        self.eliminated_at_insert + self.eliminated_at_pop
+    }
+
+    /// Compression ratio of sent reports (saved / (saved + sent)); 0 when
+    /// nothing was sent.
+    pub fn compression_ratio(&self) -> f64 {
+        let total = self.report_codes_sent + self.report_codes_saved;
+        if total == 0 {
+            0.0
+        } else {
+            self.report_codes_saved as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum (for cluster-level aggregation).
+    pub fn absorb(&mut self, other: &ProcMetrics) {
+        self.expanded += other.expanded;
+        self.eliminated_at_insert += other.eliminated_at_insert;
+        self.eliminated_at_pop += other.eliminated_at_pop;
+        self.skipped_covered += other.skipped_covered;
+        self.fathomed += other.fathomed;
+        self.incumbent_updates += other.incumbent_updates;
+        self.reports_sent += other.reports_sent;
+        self.reports_received += other.reports_received;
+        self.report_codes_sent += other.report_codes_sent;
+        self.report_codes_saved += other.report_codes_saved;
+        self.table_gossips_sent += other.table_gossips_sent;
+        self.work_requests_sent += other.work_requests_sent;
+        self.grants_sent += other.grants_sent;
+        self.items_granted += other.items_granted;
+        self.denies_sent += other.denies_sent;
+        self.lb_timeouts += other.lb_timeouts;
+        self.recoveries += other.recoveries;
+        self.redundant_interrupts += other.redundant_interrupts;
+        self.merge_codes_processed += other.merge_codes_processed;
+        self.merge_contractions += other.merge_contractions;
+        self.terminated |= other.terminated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_ratio() {
+        let mut m = ProcMetrics::default();
+        assert_eq!(m.compression_ratio(), 0.0);
+        m.report_codes_sent = 3;
+        m.report_codes_saved = 1;
+        assert!((m.compression_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = ProcMetrics {
+            expanded: 5,
+            recoveries: 1,
+            ..Default::default()
+        };
+        let b = ProcMetrics {
+            expanded: 7,
+            terminated: true,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.expanded, 12);
+        assert_eq!(a.recoveries, 1);
+        assert!(a.terminated);
+    }
+}

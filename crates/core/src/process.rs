@@ -1,0 +1,1472 @@
+//! The protocol process: the paper's §5 algorithm as a pure state machine.
+//!
+//! One [`BnbProcess`] per participating machine. It owns a local pool of
+//! subproblems, a contracted table of known completions, a list of fresh
+//! local completions, and the best-known solution. Events arrive from the
+//! harness; actions go back to it. The process never touches clocks,
+//! networks, or the expander directly, so the identical code runs under the
+//! discrete-event simulator (`ftbb-sim`) and the threaded runtime
+//! (`ftbb-runtime`).
+//!
+//! Protocol summary (paper §5):
+//! * on-demand load balancing: starving processes ask random members; a
+//!   donor splits its pool;
+//! * completed codes accumulate in a list, flushed (compressed) as a work
+//!   report to `m` random members after `c` codes or a timeout;
+//! * received reports merge into the table with contraction;
+//! * when load balancing fails repeatedly, the process *complements* its
+//!   table and re-solves a missing subproblem (failure recovery, §5.3.2);
+//! * when the table contracts to the root code, termination is detected and
+//!   one final report (the root code) goes to every member (§5.4).
+
+use crate::config::ProtocolConfig;
+use crate::events::{Action, PEvent, PTimer};
+use crate::message::{GrantItem, Incumbent, Msg};
+use crate::metrics::ProcMetrics;
+use crate::work::Expansion;
+use ftbb_bnb::{Pool, PoolEntry};
+use ftbb_des::SimTime;
+use ftbb_gossip::Membership;
+use ftbb_tree::{pick_recovery, Code, CodeSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One participant in the distributed B&B computation.
+pub struct BnbProcess {
+    me: u32,
+    static_members: Vec<u32>,
+    cfg: ProtocolConfig,
+    pool: Pool<Code>,
+    current: Option<Code>,
+    work_seq: u64,
+    table: CodeSet,
+    fresh: Vec<Code>,
+    incumbent: Incumbent,
+    lb_seq: u32,
+    lb_awaiting: Option<(u32, u32)>,
+    lb_failures: u32,
+    /// Consecutive fully-failed LB rounds since the last successful work.
+    lb_cycles: u32,
+    recovery_seq: u32,
+    /// Last local time at which this process saw evidence the computation
+    /// is progressing (new completions merged, work granted, local work).
+    last_news: SimTime,
+    /// Exponentially weighted mean of observed expansion costs (seconds),
+    /// driving the adaptive report interval.
+    ewma_cost: f64,
+    terminated: bool,
+    root_bound: f64,
+    last_completed: Option<Code>,
+    metrics: ProcMetrics,
+    rng: SmallRng,
+    membership: Option<Membership>,
+    gossip_servers: Vec<u32>,
+}
+
+impl BnbProcess {
+    /// Create a process with a *static* member list (the paper's simulation
+    /// setup). `seed_root` gives this process the root problem; exactly one
+    /// process per computation should have it.
+    pub fn new(
+        me: u32,
+        members: Vec<u32>,
+        cfg: ProtocolConfig,
+        root_bound: f64,
+        seed_root: bool,
+        rng_seed: u64,
+    ) -> Self {
+        let mut pool = Pool::new(cfg.select_rule);
+        if seed_root {
+            pool.push(PoolEntry {
+                bound: root_bound,
+                depth: 0,
+                node: Code::root(),
+            });
+        }
+        BnbProcess {
+            me,
+            static_members: members.into_iter().filter(|&m| m != me).collect(),
+            cfg,
+            pool,
+            current: None,
+            work_seq: 0,
+            table: CodeSet::new(),
+            fresh: Vec::new(),
+            incumbent: f64::INFINITY,
+            lb_seq: 0,
+            lb_awaiting: None,
+            lb_failures: 0,
+            lb_cycles: 0,
+            recovery_seq: 0,
+            last_news: SimTime::ZERO,
+            ewma_cost: 0.0,
+            terminated: false,
+            root_bound,
+            last_completed: None,
+            metrics: ProcMetrics::default(),
+            rng: SmallRng::seed_from_u64(rng_seed),
+            membership: None,
+        gossip_servers: Vec::new(),
+        }
+    }
+
+    /// Create a process that uses the gossip membership protocol (§5.2).
+    /// It knows only the gossip servers initially and joins through them;
+    /// its member list is the membership view's alive set.
+    ///
+    /// `cfg.membership` must be `Some`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_membership(
+        me: u32,
+        gossip_servers: Vec<u32>,
+        is_server: bool,
+        cfg: ProtocolConfig,
+        root_bound: f64,
+        seed_root: bool,
+        rng_seed: u64,
+        now: SimTime,
+    ) -> Self {
+        let mcfg = cfg
+            .membership
+            .expect("with_membership requires cfg.membership");
+        let mut p = Self::new(me, Vec::new(), cfg, root_bound, seed_root, rng_seed);
+        p.membership = Some(Membership::new(me, mcfg, now, is_server));
+        p.gossip_servers = gossip_servers.into_iter().filter(|&s| s != me).collect();
+        p
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+
+    /// Has this process detected termination?
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Best-known solution value (`INFINITY` if none).
+    pub fn incumbent(&self) -> Incumbent {
+        self.incumbent
+    }
+
+    /// Protocol counters.
+    pub fn metrics(&self) -> &ProcMetrics {
+        &self.metrics
+    }
+
+    /// The completion table.
+    pub fn table(&self) -> &CodeSet {
+        &self.table
+    }
+
+    /// Active local pool size.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Is an expansion currently in flight?
+    pub fn is_working(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Approximate resident bytes of protocol state (the paper's storage
+    /// metric): completion table + pool codes + fresh list.
+    pub fn storage_bytes(&self) -> usize {
+        let pool_bytes = self.pool.len() * 24; // code pointer + bound + depth
+        let fresh_bytes: usize = self.fresh.iter().map(|c| c.wire_size()).sum();
+        self.table.memory_bytes() + pool_bytes + fresh_bytes
+    }
+
+    /// Information-content storage snapshot: the table's minimal codes plus
+    /// the wire bytes of pool and fresh-list codes. Used for the paper's
+    /// Table 1 storage columns, where "redundant" counts information stored
+    /// at more than one site.
+    pub fn storage_snapshot(&self) -> (Vec<Code>, usize) {
+        let codes = self.table.minimal_codes();
+        let aux: usize = self
+            .pool
+            .iter()
+            .map(|e| e.node.wire_size() + 8)
+            .sum::<usize>()
+            + self.fresh.iter().map(|c| c.wire_size()).sum::<usize>();
+        (codes, aux)
+    }
+
+    /// The membership view's alive members, or the static list.
+    fn members(&self, now: SimTime) -> Vec<u32> {
+        match &self.membership {
+            Some(m) => m
+                .alive_members(now)
+                .into_iter()
+                .filter(|&x| x != self.me)
+                .collect(),
+            None => self.static_members.clone(),
+        }
+    }
+
+    /// Drive the state machine with one event at local time `now`.
+    pub fn handle(&mut self, event: PEvent, now: SimTime) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.terminated {
+            return out;
+        }
+        match event {
+            PEvent::Start => self.on_start(now, &mut out),
+            PEvent::WorkDone { seq, expansion } => self.on_work_done(seq, expansion, now, &mut out),
+            PEvent::Recv { from, msg } => self.on_recv(from, msg, now, &mut out),
+            PEvent::Timer(t) => self.on_timer(t, now, &mut out),
+        }
+        out
+    }
+
+    fn on_start(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        // The news clock starts at activation: a process that has heard
+        // nothing yet is newly started, not evidence of a quiet system.
+        self.last_news = now;
+        out.push(Action::SetTimer {
+            delay_s: self.cfg.report_interval_s,
+            timer: PTimer::ReportFlush,
+        });
+        out.push(Action::SetTimer {
+            delay_s: self.cfg.table_gossip_interval_s,
+            timer: PTimer::TableGossip,
+        });
+        if let Some(m) = &self.membership {
+            // Join through the gossip servers, then start ticking.
+            let join = m.join_msg();
+            for &s in &self.gossip_servers {
+                out.push(Action::Send {
+                    to: s,
+                    msg: Msg::Membership(join.clone()),
+                });
+            }
+            let interval = self
+                .cfg
+                .membership
+                .expect("membership config")
+                .gossip_interval;
+            out.push(Action::SetTimer {
+                delay_s: interval.as_secs_f64(),
+                timer: PTimer::MembershipTick,
+            });
+        }
+        self.start_next(now, out);
+    }
+
+    fn on_work_done(
+        &mut self,
+        seq: u64,
+        expansion: Expansion,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        if seq != self.work_seq || self.current.is_none() {
+            // Stale completion: this expansion was interrupted as redundant.
+            return;
+        }
+        let code = self.current.take().expect("checked above");
+        self.metrics.expanded += 1;
+        self.last_news = now;
+        self.ewma_cost = if self.ewma_cost == 0.0 {
+            expansion.cost
+        } else {
+            0.9 * self.ewma_cost + 0.1 * expansion.cost
+        };
+        if let Some(v) = expansion.solution {
+            self.update_incumbent(v);
+        }
+        match expansion.children {
+            None => {
+                self.metrics.fathomed += 1;
+                self.complete(code, now, out);
+            }
+            Some(pair) => {
+                for (bit, bound) in [(false, pair.left_bound), (true, pair.right_bound)] {
+                    let child = code.child(pair.var, bit);
+                    if bound >= self.incumbent {
+                        // Eliminate: the subtree is fathomed, hence completed.
+                        self.metrics.eliminated_at_insert += 1;
+                        self.complete(child, now, out);
+                    } else {
+                        let depth = child.depth() as u32;
+                        self.pool.push(PoolEntry {
+                            bound,
+                            depth,
+                            node: child,
+                        });
+                    }
+                }
+            }
+        }
+        self.start_next(now, out);
+    }
+
+    fn on_recv(&mut self, from: u32, msg: Msg, now: SimTime, out: &mut Vec<Action>) {
+        if let Some(v) = msg.incumbent() {
+            self.update_incumbent(v);
+        }
+        match msg {
+            Msg::WorkRequest { .. } => self.on_work_request(from, out),
+            Msg::WorkGrant { items, .. } => self.on_work_grant(from, items, now, out),
+            Msg::WorkDeny { .. } => {
+                if self.lb_awaiting.map(|(t, _)| t) == Some(from) {
+                    self.lb_awaiting = None;
+                    self.lb_attempt_failed(now, out);
+                }
+            }
+            Msg::WorkReport { codes, .. } | Msg::TableGossip { codes, .. } => {
+                self.metrics.reports_received += 1;
+                self.merge_codes(&codes, now, out);
+            }
+            Msg::Membership(m) => {
+                if let Some(mem) = &mut self.membership {
+                    for (to, reply) in mem.on_message(from, &m, now) {
+                        out.push(Action::Send {
+                            to,
+                            msg: Msg::Membership(reply),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: PTimer, now: SimTime, out: &mut Vec<Action>) {
+        match timer {
+            PTimer::ReportFlush => {
+                if !self.fresh.is_empty() {
+                    self.flush_reports(now, out);
+                }
+                out.push(Action::SetTimer {
+                    delay_s: self.report_interval(),
+                    timer: PTimer::ReportFlush,
+                });
+            }
+            PTimer::TableGossip => {
+                let members = self.members(now);
+                if let Some(&to) = members.choose(&mut self.rng) {
+                    self.metrics.table_gossips_sent += 1;
+                    out.push(Action::Send {
+                        to,
+                        msg: Msg::TableGossip {
+                            codes: self.table.minimal_codes(),
+                            incumbent: self.incumbent,
+                        },
+                    });
+                }
+                out.push(Action::SetTimer {
+                    delay_s: self.cfg.table_gossip_interval_s,
+                    timer: PTimer::TableGossip,
+                });
+            }
+            PTimer::LbTimeout(seq) => {
+                if let Some((_, awaiting_seq)) = self.lb_awaiting {
+                    if awaiting_seq == seq {
+                        self.metrics.lb_timeouts += 1;
+                        self.lb_awaiting = None;
+                        self.lb_attempt_failed(now, out);
+                    }
+                }
+            }
+            PTimer::RecoveryFuse(seq) => {
+                if seq == self.recovery_seq && self.is_idle() {
+                    // An idle process suspecting termination spreads its
+                    // table — this is what drives end-game convergence and
+                    // prompt termination detection (§5.4, §6.3.1).
+                    let members = self.members(now);
+                    if let Some(&to) = members.choose(&mut self.rng) {
+                        self.metrics.table_gossips_sent += 1;
+                        out.push(Action::Send {
+                            to,
+                            msg: Msg::TableGossip {
+                                codes: self.table.minimal_codes(),
+                                incumbent: self.incumbent,
+                            },
+                        });
+                    }
+                    self.lb_cycles += 1;
+                    if self.lb_cycles >= self.cfg.lb_rounds_before_recovery {
+                        self.lb_cycles = 0;
+                        self.do_recovery(now, out);
+                    } else {
+                        // Another full LB round before suspecting lost work.
+                        self.seek_work(now, out);
+                    }
+                }
+            }
+            PTimer::MembershipTick => {
+                if let Some(mem) = &mut self.membership {
+                    for (to, msg) in mem.tick(now, &mut self.rng) {
+                        out.push(Action::Send {
+                            to,
+                            msg: Msg::Membership(msg),
+                        });
+                    }
+                    let interval = self
+                        .cfg
+                        .membership
+                        .expect("membership config")
+                        .gossip_interval;
+                    out.push(Action::SetTimer {
+                        delay_s: interval.as_secs_f64(),
+                        timer: PTimer::MembershipTick,
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load balancing (§5: on-demand dynamic work sharing)
+    // ------------------------------------------------------------------
+
+    fn on_work_request(&mut self, from: u32, out: &mut Vec<Action>) {
+        let spare = self.pool.len().saturating_sub(self.cfg.grant_keep_min);
+        let k = spare.min(self.cfg.grant_max).min(self.pool.len() / 2 + 1);
+        let mut items = Vec::new();
+        if spare > 0 && k > 0 {
+            for entry in self.pool.split_off(k) {
+                // Do not donate subproblems the table already covers.
+                if !self.table.contains(&entry.node) {
+                    items.push(GrantItem {
+                        code: entry.node,
+                        bound: entry.bound,
+                    });
+                }
+            }
+        }
+        if items.is_empty() {
+            self.metrics.denies_sent += 1;
+            out.push(Action::Send {
+                to: from,
+                msg: Msg::WorkDeny {
+                    incumbent: self.incumbent,
+                },
+            });
+        } else {
+            self.metrics.grants_sent += 1;
+            self.metrics.items_granted += items.len() as u64;
+            out.push(Action::Send {
+                to: from,
+                msg: Msg::WorkGrant {
+                    items,
+                    incumbent: self.incumbent,
+                },
+            });
+        }
+    }
+
+    fn on_work_grant(
+        &mut self,
+        from: u32,
+        items: Vec<GrantItem>,
+        now: SimTime,
+        out: &mut Vec<Action>,
+    ) {
+        if self.lb_awaiting.map(|(t, _)| t) == Some(from) {
+            self.lb_awaiting = None;
+        }
+        self.lb_failures = 0;
+        if !items.is_empty() {
+            self.last_news = now;
+        }
+        for item in items {
+            if self.table.contains(&item.code) {
+                self.metrics.skipped_covered += 1;
+                continue;
+            }
+            let depth = item.code.depth() as u32;
+            self.pool.push(PoolEntry {
+                bound: item.bound,
+                depth,
+                node: item.code,
+            });
+        }
+        if self.current.is_none() {
+            self.start_next(now, out);
+        }
+    }
+
+    fn seek_work(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if self.lb_awaiting.is_some() {
+            return;
+        }
+        // Starving: push out whatever we know. "Since the work load is
+        // lower, and therefore processes are idle longer periods of time,
+        // they suspect termination and send more work reports" (§6.3.1).
+        self.flush_reports(now, out);
+        let mut members = self.members(now);
+        members.retain(|&m| m != self.me);
+        match members.choose(&mut self.rng) {
+            Some(&target) => {
+                self.lb_seq += 1;
+                self.lb_awaiting = Some((target, self.lb_seq));
+                self.metrics.work_requests_sent += 1;
+                out.push(Action::Send {
+                    to: target,
+                    msg: Msg::WorkRequest {
+                        incumbent: self.incumbent,
+                    },
+                });
+                out.push(Action::SetTimer {
+                    delay_s: self.cfg.lb_timeout_s,
+                    timer: PTimer::LbTimeout(self.lb_seq),
+                });
+            }
+            None => {
+                // Nobody to ask (single process or empty view): go straight
+                // to the recovery fuse.
+                self.arm_recovery(out);
+            }
+        }
+    }
+
+    fn lb_attempt_failed(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if !self.is_idle() {
+            return;
+        }
+        self.lb_failures += 1;
+        if self.lb_failures >= self.cfg.lb_attempts {
+            self.lb_failures = 0;
+            self.arm_recovery(out);
+        } else {
+            self.seek_work(now, out);
+        }
+    }
+
+    fn arm_recovery(&mut self, out: &mut Vec<Action>) {
+        self.recovery_seq += 1;
+        out.push(Action::SetTimer {
+            delay_s: self.cfg.recovery_delay_s,
+            timer: PTimer::RecoveryFuse(self.recovery_seq),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Failure recovery (§5.3.2)
+    // ------------------------------------------------------------------
+
+    fn do_recovery(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        // Only recover once the system has gone quiet: if news is still
+        // flowing, someone is working and starvation is load imbalance.
+        let quiet = SimTime::from_secs_f64(self.cfg.recovery_quiet_s);
+        if now.saturating_sub(self.last_news) < quiet {
+            self.arm_recovery(out);
+            return;
+        }
+        let hint = self.last_completed.clone();
+        match pick_recovery(
+            &self.table,
+            self.cfg.recovery_strategy,
+            hint.as_ref(),
+            &mut self.rng,
+        ) {
+            Some(code) => {
+                self.metrics.recoveries += 1;
+                self.begin_work(code, out);
+            }
+            None => {
+                // Complement empty ⇒ root done ⇒ we should already have
+                // terminated; make sure.
+                self.check_termination(out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work loop
+    // ------------------------------------------------------------------
+
+    fn is_idle(&self) -> bool {
+        self.current.is_none() && self.pool.is_empty()
+    }
+
+    fn begin_work(&mut self, code: Code, out: &mut Vec<Action>) {
+        debug_assert!(self.current.is_none());
+        self.lb_cycles = 0;
+        self.work_seq += 1;
+        self.current = Some(code.clone());
+        out.push(Action::StartWork {
+            code,
+            seq: self.work_seq,
+        });
+    }
+
+    fn start_next(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if self.terminated || self.current.is_some() {
+            return;
+        }
+        while let Some(entry) = self.pool.pop() {
+            if self.table.contains(&entry.node) {
+                self.metrics.skipped_covered += 1;
+                continue;
+            }
+            if entry.bound >= self.incumbent {
+                self.metrics.eliminated_at_pop += 1;
+                self.complete(entry.node, now, out);
+                if self.terminated {
+                    return;
+                }
+                continue;
+            }
+            self.begin_work(entry.node, out);
+            return;
+        }
+        if !self.terminated {
+            self.seek_work(now, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion tracking, reports, termination (§5.3.2, §5.4)
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self, code: Code, now: SimTime, out: &mut Vec<Action>) {
+        if self.table.contains(&code) {
+            return; // someone else already reported it
+        }
+        let merge = self.table.insert(&code);
+        self.metrics.merge_codes_processed += merge.processed() as u64;
+        self.metrics.merge_contractions += merge.contractions as u64;
+        self.fresh.push(code.clone());
+        self.last_completed = Some(code);
+        if self.fresh.len() >= self.cfg.report_batch {
+            self.flush_reports(now, out);
+        }
+        self.check_termination(out);
+    }
+
+    fn flush_reports(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if self.fresh.is_empty() {
+            return;
+        }
+        let raw = self.fresh.len();
+        let codes = ftbb_tree::compress(&self.fresh);
+        self.fresh.clear();
+        self.metrics.report_codes_sent += codes.len() as u64;
+        self.metrics.report_codes_saved += (raw - codes.len().min(raw)) as u64;
+        let mut members = self.members(now);
+        members.shuffle(&mut self.rng);
+        members.truncate(self.cfg.report_fanout);
+        for to in members {
+            self.metrics.reports_sent += 1;
+            out.push(Action::Send {
+                to,
+                msg: Msg::WorkReport {
+                    codes: codes.clone(),
+                    incumbent: self.incumbent,
+                },
+            });
+        }
+    }
+
+    fn merge_codes(&mut self, codes: &[Code], now: SimTime, out: &mut Vec<Action>) {
+        let merge = self.table.merge(codes.iter());
+        self.metrics.merge_codes_processed += merge.processed() as u64;
+        self.metrics.merge_contractions += merge.contractions as u64;
+        if merge.inserted > 0 {
+            self.last_news = now;
+        }
+        // Interrupt redundant work: "the lag in updating information can
+        // lead to faulty presumptions on failure … fixed easily by
+        // interrupting the redundant work when information is updated."
+        if let Some(cur) = &self.current {
+            if self.table.contains(cur) {
+                self.metrics.redundant_interrupts += 1;
+                self.current = None;
+                self.work_seq += 1; // invalidates the in-flight WorkDone
+                self.start_next(now, out);
+            }
+        }
+        self.check_termination(out);
+    }
+
+    fn check_termination(&mut self, out: &mut Vec<Action>) {
+        if self.terminated || !self.table.is_root_done() {
+            return;
+        }
+        self.terminated = true;
+        self.metrics.terminated = true;
+        // "Before termination, each member that detected the termination
+        // will have to send one more work report, that is, the code of the
+        // root problem, to all members from its local membership list."
+        let members = match &self.membership {
+            Some(m) => m
+                .view()
+                .known()
+                .into_iter()
+                .filter(|&x| x != self.me)
+                .collect::<Vec<_>>(),
+            None => self.static_members.clone(),
+        };
+        for to in members {
+            out.push(Action::Send {
+                to,
+                msg: Msg::WorkReport {
+                    codes: vec![Code::root()],
+                    incumbent: self.incumbent,
+                },
+            });
+        }
+        out.push(Action::Halt);
+    }
+
+    /// The effective report-flush interval: fixed, or adapted to observed
+    /// node granularity (§7 future work).
+    fn report_interval(&self) -> f64 {
+        if !self.cfg.adaptive_reports || self.ewma_cost <= 0.0 {
+            return self.cfg.report_interval_s;
+        }
+        let target = self.cfg.report_batch as f64 * self.ewma_cost;
+        target.clamp(
+            self.cfg.report_interval_s / 8.0,
+            self.cfg.report_interval_s * 8.0,
+        )
+    }
+
+    fn update_incumbent(&mut self, v: Incumbent) {
+        if v < self.incumbent {
+            self.incumbent = v;
+            self.metrics.incumbent_updates += 1;
+        }
+    }
+
+    /// Root bound this process was constructed with.
+    pub fn root_bound(&self) -> f64 {
+        self.root_bound
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support (see `crate::checkpoint`)
+    // ------------------------------------------------------------------
+
+    /// The static member list (including self's peers only).
+    pub(crate) fn static_member_list(&self) -> Vec<u32> {
+        self.static_members.clone()
+    }
+
+    /// Snapshot the pool as `(code, bound)` pairs. The in-flight expansion
+    /// (whose result would be lost by a restart) is re-queued with an
+    /// always-selected bound.
+    pub(crate) fn pool_snapshot(&self) -> Vec<(Code, f64)> {
+        let mut out: Vec<(Code, f64)> = self
+            .pool
+            .iter()
+            .map(|e| (e.node.clone(), e.bound))
+            .collect();
+        if let Some(cur) = &self.current {
+            out.push((cur.clone(), f64::NEG_INFINITY));
+        }
+        out
+    }
+
+    /// Snapshot the fresh (unreported) completions.
+    pub(crate) fn fresh_snapshot(&self) -> Vec<Code> {
+        self.fresh.clone()
+    }
+
+    /// Overwrite durable state from a checkpoint (used by restore).
+    pub(crate) fn restore_state(
+        &mut self,
+        table: CodeSet,
+        pool: &[(Code, f64)],
+        fresh: Vec<Code>,
+        incumbent: Incumbent,
+    ) {
+        self.table = table;
+        self.fresh = fresh;
+        self.incumbent = incumbent;
+        for (code, bound) in pool {
+            let depth = code.depth() as u32;
+            self.pool.push(PoolEntry {
+                bound: *bound,
+                depth,
+                node: code.clone(),
+            });
+        }
+        self.terminated = self.table.is_root_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::ChildPair;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::default()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn mk_root_holder() -> BnbProcess {
+        BnbProcess::new(0, vec![0, 1, 2], cfg(), 0.0, true, 1)
+    }
+
+    fn mk_idle(me: u32) -> BnbProcess {
+        BnbProcess::new(me, vec![0, 1, 2], cfg(), 0.0, false, me as u64)
+    }
+
+    fn leaf_expansion(cost: f64, solution: Option<f64>) -> Expansion {
+        Expansion {
+            cost,
+            bound: 0.0,
+            solution,
+            children: None,
+        }
+    }
+
+    fn branch_expansion(var: u16, lb: f64, rb: f64) -> Expansion {
+        Expansion {
+            cost: 1.0,
+            bound: 0.0,
+            solution: None,
+            children: Some(ChildPair {
+                var,
+                left_bound: lb,
+                right_bound: rb,
+            }),
+        }
+    }
+
+    /// Destination of the WorkRequest in `actions`, if one was sent.
+    fn request_target(actions: &[Action]) -> Option<u32> {
+        actions.iter().find_map(|a| match a {
+            Action::Send {
+                to,
+                msg: Msg::WorkRequest { .. },
+            } => Some(*to),
+            _ => None,
+        })
+    }
+
+    /// Extract the StartWork action, if any.
+    fn started(actions: &[Action]) -> Option<(Code, u64)> {
+        actions.iter().find_map(|a| match a {
+            Action::StartWork { code, seq } => Some((code.clone(), *seq)),
+            _ => None,
+        })
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(&u32, &Msg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_holder_starts_on_root() {
+        let mut p = mk_root_holder();
+        let actions = p.handle(PEvent::Start, t0());
+        let (code, seq) = started(&actions).expect("must start work");
+        assert!(code.is_root());
+        assert_eq!(seq, 1);
+        // Also armed the periodic timers.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::ReportFlush, .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::TableGossip, .. })));
+    }
+
+    #[test]
+    fn idle_process_requests_work() {
+        let mut p = mk_idle(1);
+        let actions = p.handle(PEvent::Start, t0());
+        assert!(started(&actions).is_none());
+        let reqs = sends(&actions);
+        assert_eq!(reqs.len(), 1);
+        assert!(matches!(reqs[0].1, Msg::WorkRequest { .. }));
+        // A timeout timer guards the request.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::LbTimeout(_), .. })));
+    }
+
+    #[test]
+    fn branch_pushes_children_and_continues() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        let actions = p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.5, 0.7),
+            },
+            t0(),
+        );
+        // Depth-first: the right child (pushed last) is expanded next.
+        let (code, _) = started(&actions).expect("continues working");
+        assert_eq!(code, Code::root().child(1, true));
+        assert_eq!(p.pool_len(), 1);
+        assert_eq!(p.metrics().expanded, 1);
+    }
+
+    #[test]
+    fn leaf_completion_enters_fresh_and_table() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.5, 0.7),
+            },
+            t0(),
+        );
+        // Finish the right child as a feasible leaf.
+        let actions = p.handle(
+            PEvent::WorkDone {
+                seq: 2,
+                expansion: leaf_expansion(1.0, Some(5.0)),
+            },
+            t0(),
+        );
+        assert_eq!(p.incumbent(), 5.0);
+        assert!(p.table().contains(&Code::root().child(1, true)));
+        // Continues with the left child.
+        let (code, _) = started(&actions).unwrap();
+        assert_eq!(code, Code::root().child(1, false));
+    }
+
+    #[test]
+    fn elimination_completes_children_immediately() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        // Teach it an incumbent of 0.6 via a message.
+        p.handle(
+            PEvent::Recv {
+                from: 1,
+                msg: Msg::WorkDeny { incumbent: 0.6 },
+            },
+            t0(),
+        );
+        let actions = p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.5, 0.7),
+            },
+            t0(),
+        );
+        // Right child (bound 0.7 ≥ 0.6) eliminated and thus completed.
+        assert!(p.table().contains(&Code::root().child(1, true)));
+        assert_eq!(p.metrics().eliminated_at_insert, 1);
+        // Left child still expanded.
+        let (code, _) = started(&actions).unwrap();
+        assert_eq!(code, Code::root().child(1, false));
+    }
+
+    #[test]
+    fn root_leaf_terminates_immediately() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        let actions = p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: leaf_expansion(1.0, Some(3.0)),
+            },
+            t0(),
+        );
+        assert!(p.is_terminated());
+        assert_eq!(p.incumbent(), 3.0);
+        // Final report: root code to every member, then Halt.
+        let final_reports: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| {
+                matches!(m, Msg::WorkReport { codes, .. } if codes == &vec![Code::root()])
+            })
+            .collect();
+        assert_eq!(final_reports.len(), 2); // members 1 and 2
+        assert!(actions.iter().any(|a| matches!(a, Action::Halt)));
+    }
+
+    #[test]
+    fn receiving_root_report_terminates() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::WorkReport {
+                    codes: vec![Code::root()],
+                    incumbent: 42.0,
+                },
+            },
+            t0(),
+        );
+        assert!(p.is_terminated());
+        assert_eq!(p.incumbent(), 42.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::Halt)));
+    }
+
+    /// Deny every outstanding work request until the recovery fuse arms.
+    /// Returns the number of denials it took.
+    fn deny_until_fuse(p: &mut BnbProcess, first_target: u32) -> u32 {
+        let mut target = first_target;
+        for attempt in 1..=20 {
+            let actions = p.handle(
+                PEvent::Recv {
+                    from: target,
+                    msg: Msg::WorkDeny {
+                        incumbent: f64::INFINITY,
+                    },
+                },
+                t0(),
+            );
+            if actions
+                .iter()
+                .any(|a| matches!(a, Action::SetTimer { timer: PTimer::RecoveryFuse(_), .. }))
+            {
+                return attempt;
+            }
+            target = request_target(&actions).expect("retry must send a request");
+        }
+        panic!("recovery fuse never armed");
+    }
+
+    #[test]
+    fn deny_then_retry_then_recovery_fuse() {
+        let mut p = mk_idle(1);
+        let actions = p.handle(PEvent::Start, t0());
+        let target = request_target(&actions).unwrap();
+        let attempts = deny_until_fuse(&mut p, target);
+        assert_eq!(attempts, cfg().lb_attempts);
+    }
+
+    /// An idle process configured to recover after a single failed round,
+    /// with no quiet threshold.
+    fn mk_impatient(me: u32) -> BnbProcess {
+        let cfg = ProtocolConfig {
+            lb_rounds_before_recovery: 1,
+            recovery_quiet_s: 0.0,
+            ..cfg()
+        };
+        BnbProcess::new(me, vec![0, 1, 2], cfg, 0.0, false, me as u64)
+    }
+
+    #[test]
+    fn recovery_fuse_starts_complement_work() {
+        let mut p = mk_impatient(1);
+        let actions = p.handle(PEvent::Start, t0());
+        let target = request_target(&actions).unwrap();
+        deny_until_fuse(&mut p, target);
+        let actions = p.handle(PEvent::Timer(PTimer::RecoveryFuse(1)), t0());
+        // Empty table ⇒ complement = the root itself.
+        let (code, _) = started(&actions).expect("recovery starts work");
+        assert!(code.is_root());
+        assert_eq!(p.metrics().recoveries, 1);
+    }
+
+    #[test]
+    fn recovery_respects_known_completions() {
+        let mut p = mk_impatient(1);
+        let actions = p.handle(PEvent::Start, t0());
+        let target = request_target(&actions).unwrap();
+        // Learn that (x1,0) is complete.
+        p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::WorkReport {
+                    codes: vec![Code::from_decisions(&[(1, false)])],
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        deny_until_fuse(&mut p, target);
+        let actions = p.handle(PEvent::Timer(PTimer::RecoveryFuse(1)), t0());
+        let (code, _) = started(&actions).unwrap();
+        assert_eq!(code, Code::from_decisions(&[(1, true)]));
+    }
+
+    #[test]
+    fn redundant_work_interrupted_by_gossip() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0()); // working on root, seq 1
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 1,
+                msg: Msg::TableGossip {
+                    codes: vec![Code::root()],
+                    incumbent: 9.0,
+                },
+            },
+            t0(),
+        );
+        // Root covered ⇒ current work interrupted ⇒ termination detected.
+        assert_eq!(p.metrics().redundant_interrupts, 1);
+        assert!(p.is_terminated());
+        assert!(actions.iter().any(|a| matches!(a, Action::Halt)));
+        // The stale WorkDone is ignored.
+        let after = p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: leaf_expansion(1.0, Some(1.0)),
+            },
+            t0(),
+        );
+        assert!(after.is_empty());
+        assert_eq!(p.metrics().expanded, 0);
+    }
+
+    #[test]
+    fn work_grant_fills_pool_and_starts() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        let items = vec![
+            GrantItem {
+                code: Code::from_decisions(&[(1, false)]),
+                bound: 0.2,
+            },
+            GrantItem {
+                code: Code::from_decisions(&[(1, true)]),
+                bound: 0.3,
+            },
+        ];
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::WorkGrant {
+                    items,
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(started(&actions).is_some());
+        assert_eq!(p.pool_len(), 1);
+    }
+
+    #[test]
+    fn donor_splits_pool_on_request() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        // Grow the pool: root branches, then each child branches.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.1, 0.2),
+            },
+            t0(),
+        );
+        p.handle(
+            PEvent::WorkDone {
+                seq: 2,
+                expansion: branch_expansion(2, 0.3, 0.4),
+            },
+            t0(),
+        );
+        p.handle(
+            PEvent::WorkDone {
+                seq: 3,
+                expansion: branch_expansion(3, 0.5, 0.6),
+            },
+            t0(),
+        );
+        let pool_before = p.pool_len();
+        assert!(pool_before >= 3);
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        let grants = sends(&actions);
+        assert_eq!(grants.len(), 1);
+        match grants[0].1 {
+            Msg::WorkGrant { items, .. } => {
+                assert!(!items.is_empty());
+                assert!(p.pool_len() >= cfg().grant_keep_min.min(pool_before));
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(p.metrics().grants_sent, 1);
+    }
+
+    #[test]
+    fn empty_pool_denies_requests() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(sends(&actions)
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::WorkDeny { .. })));
+    }
+
+    #[test]
+    fn report_batch_flushes_at_c() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        // Build a long chain: each expansion completes one eliminated child.
+        p.handle(
+            PEvent::Recv {
+                from: 1,
+                msg: Msg::WorkDeny { incumbent: 0.55 },
+            },
+            t0(),
+        );
+        let mut reports = 0;
+        // Left child stays alive (bound 0.1), right child eliminated (0.9).
+        for step in 0..(cfg().report_batch + 2) as u64 {
+            let actions = p.handle(
+                PEvent::WorkDone {
+                    seq: step + 1,
+                    expansion: branch_expansion(step as u16 + 1, 0.1, 0.9),
+                },
+                t0(),
+            );
+            reports += sends(&actions)
+                .iter()
+                .filter(|(_, m)| matches!(m, Msg::WorkReport { .. }))
+                .count();
+        }
+        assert!(reports > 0, "batch of eliminated codes must flush a report");
+        assert!(p.metrics().reports_sent > 0);
+    }
+
+    #[test]
+    fn flush_timer_sends_pending_codes() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.1, 0.2),
+            },
+            t0(),
+        );
+        // Right child leaf-completes: one fresh code pending.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 2,
+                expansion: leaf_expansion(1.0, None),
+            },
+            t0(),
+        );
+        let actions = p.handle(PEvent::Timer(PTimer::ReportFlush), t0());
+        let reports: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, Msg::WorkReport { .. }))
+            .collect();
+        assert_eq!(reports.len(), cfg().report_fanout.min(2));
+        // Timer re-arms.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::ReportFlush, .. })));
+    }
+
+    #[test]
+    fn table_gossip_timer_ships_table() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::Recv {
+                from: 1,
+                msg: Msg::WorkReport {
+                    codes: vec![Code::from_decisions(&[(9, true)])],
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        let actions = p.handle(PEvent::Timer(PTimer::TableGossip), t0());
+        let gossips: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, Msg::TableGossip { .. }))
+            .collect();
+        assert_eq!(gossips.len(), 1);
+        match gossips[0].1 {
+            Msg::TableGossip { codes, .. } => {
+                assert_eq!(codes, &vec![Code::from_decisions(&[(9, true)])])
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lb_timeout_counts_as_failure() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0()); // sent request seq 1
+        let actions = p.handle(PEvent::Timer(PTimer::LbTimeout(1)), t0());
+        assert_eq!(p.metrics().lb_timeouts, 1);
+        // It retried (another request) or armed recovery.
+        let retried = sends(&actions)
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::WorkRequest { .. }));
+        let fused = actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::RecoveryFuse(_), .. }));
+        assert!(retried || fused);
+    }
+
+    #[test]
+    fn stale_lb_timeout_ignored() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0()); // request seq 1 outstanding
+        let actions = p.handle(PEvent::Timer(PTimer::LbTimeout(99)), t0());
+        assert!(actions.is_empty());
+        assert_eq!(p.metrics().lb_timeouts, 0);
+    }
+
+    #[test]
+    fn terminated_process_ignores_everything() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::WorkReport {
+                    codes: vec![Code::root()],
+                    incumbent: 1.0,
+                },
+            },
+            t0(),
+        );
+        assert!(p.is_terminated());
+        let actions = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn storage_bytes_grows_with_state() {
+        let mut p = mk_root_holder();
+        let s0 = p.storage_bytes();
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.1, 0.2),
+            },
+            t0(),
+        );
+        p.handle(
+            PEvent::WorkDone {
+                seq: 2,
+                expansion: leaf_expansion(1.0, None),
+            },
+            t0(),
+        );
+        assert!(p.storage_bytes() > s0);
+    }
+
+    #[test]
+    fn adaptive_interval_tracks_node_cost() {
+        let cfg = ProtocolConfig {
+            adaptive_reports: true,
+            report_batch: 10,
+            report_interval_s: 1.0,
+            ..cfg()
+        };
+        let mut p = BnbProcess::new(0, vec![0, 1], cfg, 0.0, true, 1);
+        p.handle(PEvent::Start, t0());
+        // Before any expansion: falls back to the configured interval.
+        assert_eq!(p.report_interval(), 1.0);
+        // Feed a cheap expansion: interval shrinks toward batch x cost,
+        // clamped at interval/8.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: Expansion {
+                    cost: 0.001,
+                    bound: 0.0,
+                    solution: None,
+                    children: Some(ChildPair {
+                        var: 1,
+                        left_bound: 0.1,
+                        right_bound: 0.2,
+                    }),
+                },
+            },
+            t0(),
+        );
+        assert_eq!(p.report_interval(), 1.0 / 8.0);
+        // Feed very expensive expansions: interval grows, clamped at 8x.
+        for seq in 2..40 {
+            p.handle(
+                PEvent::WorkDone {
+                    seq,
+                    expansion: Expansion {
+                        cost: 100.0,
+                        bound: 0.0,
+                        solution: None,
+                        children: Some(ChildPair {
+                            var: seq as u16 + 1,
+                            left_bound: 0.1,
+                            right_bound: 0.2,
+                        }),
+                    },
+                },
+                t0(),
+            );
+        }
+        assert_eq!(p.report_interval(), 8.0);
+    }
+
+    #[test]
+    fn compression_saves_codes_in_reports() {
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        // Complete both grandchildren under (x1,0): they contract to the
+        // parent before the report goes out.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: branch_expansion(1, 0.1, 0.2),
+            },
+            t0(),
+        );
+        // Working right child (depth-first): branch it on x2.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 2,
+                expansion: branch_expansion(2, 0.1, 0.2),
+            },
+            t0(),
+        );
+        // Complete its two children as leaves.
+        p.handle(
+            PEvent::WorkDone {
+                seq: 3,
+                expansion: leaf_expansion(1.0, None),
+            },
+            t0(),
+        );
+        p.handle(
+            PEvent::WorkDone {
+                seq: 4,
+                expansion: leaf_expansion(1.0, None),
+            },
+            t0(),
+        );
+        // Flush: 2 fresh codes compressed to 1 parent code.
+        p.handle(PEvent::Timer(PTimer::ReportFlush), t0());
+        assert!(p.metrics().report_codes_saved >= 1);
+        assert!(p.metrics().compression_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Event envelopes and process identifiers.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated process (dense index into the engine's table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// What an event delivers to its target process.
+#[derive(Debug, Clone)]
+pub enum EventKind<M, T> {
+    /// Initial activation of a process.
+    Start,
+    /// A message from another (or the same) process.
+    Message {
+        /// Sender.
+        from: ProcId,
+        /// Payload.
+        msg: M,
+    },
+    /// A self-scheduled timer.
+    Timer(T),
+    /// Crash the target (fail-stop, per the paper's Crash failure model).
+    Kill,
+}
+
+/// A scheduled event: delivery time, target, and payload.
+///
+/// Ordering inside the engine queue is `(time, seq)` where `seq` is a
+/// monotone counter assigned at scheduling, giving a deterministic total
+/// order even for simultaneous events.
+#[derive(Debug)]
+pub struct Event<M, T> {
+    /// Virtual delivery time.
+    pub time: SimTime,
+    /// Receiving process.
+    pub target: ProcId,
+    /// Payload.
+    pub kind: EventKind<M, T>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_display() {
+        assert_eq!(format!("{}", ProcId(3)), "P3");
+        assert_eq!(format!("{:?}", ProcId(3)), "P3");
+        assert_eq!(ProcId(7).index(), 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! The process (actor) abstraction and its effect context.
+//!
+//! A [`Process`] is a deterministic state machine driven by events. All side
+//! effects go through [`Ctx`]: sending messages with an explicit delivery
+//! delay, arming timers, tracing state, and halting. The engine applies the
+//! effects after the handler returns, so handlers never alias engine state.
+
+use crate::event::ProcId;
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+
+/// Effects a process can request during one event handling.
+#[derive(Debug)]
+pub enum Effect<M, T> {
+    /// Deliver `msg` to `to` after `delay` (computed by the caller, e.g. from
+    /// a network model). `None` delay means the message is lost in transit —
+    /// callers model loss by passing `None`.
+    Send {
+        /// Destination process.
+        to: ProcId,
+        /// Transit delay; `None` drops the message (loss).
+        delay: Option<SimTime>,
+        /// Payload.
+        msg: M,
+    },
+    /// Arm a timer to fire after `delay`.
+    Timer {
+        /// Delay until the timer fires.
+        delay: SimTime,
+        /// Timer payload.
+        timer: T,
+    },
+    /// Stop this process permanently (normal completion).
+    Halt,
+}
+
+/// Per-event effect context handed to process handlers.
+pub struct Ctx<'a, M, T> {
+    pub(crate) now: SimTime,
+    pub(crate) pid: ProcId,
+    pub(crate) effects: &'a mut Vec<Effect<M, T>>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) trace: &'a mut crate::trace::Tracer,
+}
+
+impl<'a, M, T> Ctx<'a, M, T> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Deterministic per-engine RNG (shared; draws are part of the replayable
+    /// event order).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Send `msg` to `to`, arriving after `delay`.
+    #[inline]
+    pub fn send(&mut self, to: ProcId, delay: SimTime, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            delay: Some(delay),
+            msg,
+        });
+    }
+
+    /// Model a lost message: accounted by the engine but never delivered.
+    #[inline]
+    pub fn send_lost(&mut self, to: ProcId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            delay: None,
+            msg,
+        });
+    }
+
+    /// Arm a timer that fires after `delay`.
+    #[inline]
+    pub fn set_timer(&mut self, delay: SimTime, timer: T) {
+        self.effects.push(Effect::Timer { delay, timer });
+    }
+
+    /// Record a state transition for the execution-profile trace.
+    #[inline]
+    pub fn trace_state(&mut self, state: &'static str) {
+        let (now, pid) = (self.now, self.pid);
+        self.trace.record(now, pid, state);
+    }
+
+    /// Halt this process (no further events will be delivered).
+    #[inline]
+    pub fn halt(&mut self) {
+        self.effects.push(Effect::Halt);
+    }
+}
+
+/// A simulated process. Implementations must be deterministic given the
+/// event sequence and RNG draws.
+pub trait Process {
+    /// Message type exchanged between processes.
+    type Msg;
+    /// Timer payload type.
+    type Timer;
+
+    /// Called once at the process's start time.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ProcId, msg: Self::Msg);
+
+    /// Called for each fired timer.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
+
+    /// Called when the process is crashed by the failure injector. The
+    /// default does nothing — crash is fail-stop.
+    fn on_kill(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {}
+}

@@ -1,0 +1,259 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! [`SimTime`] is a nanosecond-resolution virtual clock value. It doubles as
+//! an instant and a duration (like a bare `u64` of nanoseconds), which keeps
+//! event arithmetic trivial and exactly reproducible: all scheduling is
+//! integer arithmetic, so two runs with the same seed produce bit-identical
+//! event orders.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A virtual instant or duration, in nanoseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Construct from fractional milliseconds (the unit of the paper's
+    /// `1.5 + 0.005·L` ms latency model).
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms * 1e-3)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Value in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Value in fractional hours (the unit of the paper's Table 1).
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Scale a duration by a dimensionless factor (used for granularity and
+    /// processor-speed scaling). Rounds to the nearest nanosecond.
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// True if this is the zero instant.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a.saturating_add(b))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 3600.0 {
+            write!(f, "{:.3}h", s / 3600.0)
+        } else if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else {
+            write!(f, "{:.3}ms", s * 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        let t = SimTime::from_secs_f64(1.25);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+        assert!((SimTime::from_millis_f64(1.5).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_millis(500);
+        assert_eq!((a + b).as_millis_f64(), 1500.0);
+        assert_eq!((a - b).as_millis_f64(), 500.0);
+        assert_eq!(a.saturating_sub(a + b), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+    }
+
+    #[test]
+    fn scaling() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t.scale(0.5), SimTime::from_secs(5));
+        assert_eq!(t.scale(3.0), SimTime::from_secs(30));
+        assert_eq!(t.scale(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn hours_display() {
+        let t = SimTime::from_secs(7200);
+        assert!((t.as_hours_f64() - 2.0).abs() < 1e-12);
+        assert_eq!(format!("{t}"), "2.000h");
+        assert_eq!(format!("{}", SimTime::from_millis(250)), "250.000ms");
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let total: SimTime = vec![SimTime::MAX, SimTime::from_secs(1)].into_iter().sum();
+        assert_eq!(total, SimTime::MAX);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the event queue and engine determinism — the
+//! foundation of every reproducible experiment in the workspace.
+
+use ftbb_des::{Ctx, Engine, Event, EventKind, EventQueue, ProcId, Process, RunLimits, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events pop in nondecreasing time order, and equal-time events pop in
+    /// insertion order.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q: EventQueue<usize, ()> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Event {
+                time: SimTime::from_nanos(t),
+                target: ProcId(0),
+                kind: EventKind::Message { from: ProcId(0), msg: i },
+            });
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time = None::<usize>;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last_time);
+            let seq = match ev.kind {
+                EventKind::Message { msg, .. } => msg,
+                _ => unreachable!(),
+            };
+            if ev.time == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(seq > prev, "FIFO violated at equal times");
+                }
+            }
+            last_time = ev.time;
+            last_seq_at_time = Some(seq);
+        }
+    }
+}
+
+/// A process that spreads tokens pseudo-randomly and logs receipt order.
+struct Spreader {
+    n: u32,
+    budget: u32,
+    log: Vec<(u64, u32)>,
+}
+
+impl Process for Spreader {
+    type Msg = u32;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+        if ctx.pid() == ProcId(0) {
+            ctx.send(ProcId(1 % self.n), SimTime::from_micros(5), 0);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, ()>, _from: ProcId, token: u32) {
+        self.log.push((ctx.now().as_nanos(), token));
+        if self.budget > 0 {
+            self.budget -= 1;
+            use rand::Rng;
+            let target = ProcId(ctx.rng().gen_range(0..self.n));
+            let delay = SimTime::from_micros(ctx.rng().gen_range(1..50));
+            ctx.send(target, delay, token + 1);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, ()>, _t: ()) {}
+}
+
+fn spread_run(seed: u64, n: u32) -> Vec<Vec<(u64, u32)>> {
+    let mut eng = Engine::new(seed);
+    for _ in 0..n {
+        eng.add_process(
+            Spreader {
+                n,
+                budget: 200,
+                log: Vec::new(),
+            },
+            SimTime::ZERO,
+        );
+    }
+    eng.run(RunLimits::max_events(100_000));
+    (0..n)
+        .map(|i| eng.process(ProcId(i)).log.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Two runs with the same seed produce bit-identical histories; a
+    /// different seed (almost surely) diverges.
+    #[test]
+    fn engine_replays_exactly(seed in any::<u64>(), n in 2u32..6) {
+        let a = spread_run(seed, n);
+        let b = spread_run(seed, n);
+        prop_assert_eq!(&a, &b);
+        let c = spread_run(seed.wrapping_add(1), n);
+        // Different seeds *may* coincide in principle; only check they ran.
+        prop_assert!(c.iter().map(|l| l.len()).sum::<usize>() > 0);
+    }
+}

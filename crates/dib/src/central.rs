@@ -1,0 +1,315 @@
+//! The centralized manager–worker baseline (paper §3).
+//!
+//! "Many investigations of parallel B&B for distributed-memory systems have
+//! adopted a centralized approach in which a single manager maintains the
+//! tree and hands out tasks to workers. While clearly not scalable, this
+//! approach simplifies the management of information … the central manager
+//! remains an obstacle to both scalability and fault tolerance."
+//!
+//! The manager (process 0) owns the pool, the incumbent, and the completion
+//! count; workers are stateless executors. Two measurable weaknesses:
+//!
+//! 1. **Scalability** — every expansion costs two manager messages plus the
+//!    manager's own dispatch overhead, so throughput saturates at
+//!    `1 / manager_overhead` regardless of worker count.
+//! 2. **Fault tolerance** — worker crashes are tolerated by reissuing
+//!    leases after a timeout, but a manager crash ends the computation.
+
+use ftbb_des::SimTime;
+use ftbb_tree::Code;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Messages of the centralized protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CentralMsg {
+    /// Worker → manager: "give me a task" (also returns results).
+    Fetch {
+        /// Completed task (code + expansion outcome), if any.
+        result: Option<(Code, WorkerResult)>,
+    },
+    /// Manager → worker: a task lease.
+    Task {
+        /// Subproblem to expand.
+        code: Code,
+        /// Manager's incumbent.
+        incumbent: f64,
+    },
+    /// Manager → worker: nothing available right now; retry later.
+    Wait,
+    /// Manager → everyone: computation finished.
+    Done {
+        /// Final incumbent.
+        incumbent: f64,
+    },
+}
+
+/// What a worker observed expanding a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerResult {
+    /// Feasible solution found at the node, if any.
+    pub solution: Option<f64>,
+    /// Children (bounds included), if the node branched.
+    pub children: Option<(u16, f64, f64)>,
+}
+
+impl CentralMsg {
+    /// Wire size (same accounting as the other protocols).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            CentralMsg::Fetch { result: None } => 2,
+            CentralMsg::Fetch {
+                result: Some((code, _)),
+            } => 2 + code.wire_size() + 24,
+            CentralMsg::Task { code, .. } => 1 + code.wire_size() + 8,
+            CentralMsg::Wait => 1,
+            CentralMsg::Done { .. } => 9,
+        }
+    }
+}
+
+/// Manager state: the global pool, lease ledger, and completion count.
+#[derive(Debug)]
+pub struct Manager {
+    /// Pending `(code, bound)` tasks.
+    pool: Vec<(Code, f64)>,
+    /// Outstanding leases: code → (worker, issue time).
+    leases: HashMap<Code, (u32, SimTime)>,
+    /// Best solution so far.
+    pub incumbent: f64,
+    /// Tasks completed (for bookkeeping; termination = pool and leases empty).
+    pub completed: u64,
+    /// Lease timeout for worker-failure recovery.
+    pub lease_timeout: SimTime,
+    /// Worker ids.
+    workers: Vec<u32>,
+    /// Finished flag.
+    pub done: bool,
+}
+
+impl Manager {
+    /// Manager with the root task and the given workers.
+    pub fn new(root_bound: f64, workers: Vec<u32>, lease_timeout: SimTime) -> Self {
+        Manager {
+            pool: vec![(Code::root(), root_bound)],
+            leases: HashMap::new(),
+            incumbent: f64::INFINITY,
+            completed: 0,
+            lease_timeout,
+            workers,
+            done: false,
+        }
+    }
+
+    /// Process a worker's fetch (with optional result). Returns the reply
+    /// and, when the computation just finished, the broadcast list.
+    pub fn on_fetch(
+        &mut self,
+        worker: u32,
+        result: Option<(Code, WorkerResult)>,
+        now: SimTime,
+    ) -> (CentralMsg, Vec<u32>) {
+        if let Some((code, res)) = result {
+            // Accept results only from current leaseholders (stale reissued
+            // leases are ignored — exactly-once effect per completion).
+            if self.leases.get(&code).map(|&(w, _)| w) == Some(worker) {
+                self.leases.remove(&code);
+                self.completed += 1;
+                if let Some(v) = res.solution {
+                    if v < self.incumbent {
+                        self.incumbent = v;
+                    }
+                }
+                if let Some((var, lb, rb)) = res.children {
+                    for (bit, b) in [(false, lb), (true, rb)] {
+                        if b < self.incumbent {
+                            self.pool.push((code.child(var, bit), b));
+                        } else {
+                            self.completed += 1; // eliminated = completed
+                        }
+                    }
+                }
+            }
+        }
+        // Reissue expired leases (worker-failure recovery).
+        let expired: Vec<Code> = self
+            .leases
+            .iter()
+            .filter(|(_, &(_, at))| now.saturating_sub(at) >= self.lease_timeout)
+            .map(|(c, _)| c.clone())
+            .collect();
+        for code in expired {
+            self.leases.remove(&code);
+            self.pool.push((code, f64::NEG_INFINITY));
+        }
+
+        // Prune stale pool entries eagerly.
+        while let Some(&(_, bound)) = self.pool.last() {
+            if bound >= self.incumbent {
+                self.pool.pop();
+                self.completed += 1;
+            } else {
+                break;
+            }
+        }
+
+        if let Some((code, _)) = self.pool.pop() {
+            self.leases.insert(code.clone(), (worker, now));
+            (
+                CentralMsg::Task {
+                    code,
+                    incumbent: self.incumbent,
+                },
+                Vec::new(),
+            )
+        } else if self.leases.is_empty() {
+            // Nothing pending, nothing leased: finished.
+            self.done = true;
+            (
+                CentralMsg::Done {
+                    incumbent: self.incumbent,
+                },
+                self.workers.clone(),
+            )
+        } else {
+            (CentralMsg::Wait, Vec::new())
+        }
+    }
+
+    /// Pending + leased task count.
+    pub fn open_tasks(&self) -> usize {
+        self.pool.len() + self.leases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn manager_hands_out_root_first() {
+        let mut m = Manager::new(0.0, vec![1, 2], t(1000));
+        let (reply, bcast) = m.on_fetch(1, None, t(0));
+        assert!(matches!(reply, CentralMsg::Task { code, .. } if code.is_root()));
+        assert!(bcast.is_empty());
+    }
+
+    #[test]
+    fn single_leaf_completes_computation() {
+        let mut m = Manager::new(0.0, vec![1, 2], t(1000));
+        let (reply, _) = m.on_fetch(1, None, t(0));
+        let code = match reply {
+            CentralMsg::Task { code, .. } => code,
+            other => panic!("expected task, got {other:?}"),
+        };
+        let (reply, bcast) = m.on_fetch(
+            1,
+            Some((
+                code,
+                WorkerResult {
+                    solution: Some(4.0),
+                    children: None,
+                },
+            )),
+            t(10),
+        );
+        assert!(matches!(reply, CentralMsg::Done { incumbent } if incumbent == 4.0));
+        assert_eq!(bcast, vec![1, 2]);
+        assert!(m.done);
+    }
+
+    #[test]
+    fn branch_results_enqueue_children() {
+        let mut m = Manager::new(0.0, vec![1], t(1000));
+        let (reply, _) = m.on_fetch(1, None, t(0));
+        let code = match reply {
+            CentralMsg::Task { code, .. } => code,
+            _ => unreachable!(),
+        };
+        m.on_fetch(
+            1,
+            Some((
+                code,
+                WorkerResult {
+                    solution: None,
+                    children: Some((1, 0.5, 0.7)),
+                },
+            )),
+            t(5),
+        );
+        assert_eq!(m.open_tasks(), 2); // one leased to the fetcher, one pooled
+    }
+
+    #[test]
+    fn expired_lease_is_reissued() {
+        let mut m = Manager::new(0.0, vec![1, 2], t(100));
+        let (reply, _) = m.on_fetch(1, None, t(0));
+        let leased = match reply {
+            CentralMsg::Task { code, .. } => code,
+            _ => unreachable!(),
+        };
+        // Worker 1 silently dies; worker 2 fetches after the timeout.
+        let (reply, _) = m.on_fetch(2, None, t(200));
+        match reply {
+            CentralMsg::Task { code, .. } => assert_eq!(code, leased),
+            other => panic!("expected reissued lease, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_result_from_old_leaseholder_ignored() {
+        let mut m = Manager::new(0.0, vec![1, 2], t(100));
+        let (reply, _) = m.on_fetch(1, None, t(0));
+        let code = match reply {
+            CentralMsg::Task { code, .. } => code,
+            _ => unreachable!(),
+        };
+        // Lease expires and is reissued to worker 2.
+        let (_, _) = m.on_fetch(2, None, t(200));
+        let before = m.completed;
+        // Worker 1's late result must not double-complete.
+        m.on_fetch(
+            1,
+            Some((
+                code,
+                WorkerResult {
+                    solution: Some(1.0),
+                    children: None,
+                },
+            )),
+            t(210),
+        );
+        assert_eq!(m.completed, before);
+        // But its incumbent... is also ignored (worker 1 no longer holds
+        // the lease); worker 2's eventual result will supply it.
+        assert!(m.incumbent.is_infinite());
+    }
+
+    #[test]
+    fn eliminated_children_count_as_completed() {
+        let mut m = Manager::new(0.0, vec![1], t(1000));
+        m.incumbent = 0.6;
+        let (reply, _) = m.on_fetch(1, None, t(0));
+        let code = match reply {
+            CentralMsg::Task { code, .. } => code,
+            _ => unreachable!(),
+        };
+        let (reply, _) = m.on_fetch(
+            1,
+            Some((
+                code,
+                WorkerResult {
+                    solution: None,
+                    children: Some((1, 0.7, 0.9)), // both ≥ incumbent
+                },
+            )),
+            t(5),
+        );
+        // Both children eliminated ⇒ computation done.
+        assert!(matches!(reply, CentralMsg::Done { .. }));
+    }
+}

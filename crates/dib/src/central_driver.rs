@@ -1,0 +1,370 @@
+//! DES harness for the centralized manager–worker baseline.
+
+use crate::central::{CentralMsg, Manager, WorkerResult};
+use ftbb_core::{Expander, TreeExpander};
+use ftbb_des::{Ctx, Engine, ProcId, Process, RunLimits, SimTime};
+use ftbb_net::{Network, NetworkConfig};
+use ftbb_tree::{BasicTree, Code};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Timers of the centralized actors.
+#[derive(Debug, Clone)]
+pub enum CentralTimer {
+    /// A worker finished expanding; carries the result to report.
+    WorkDone {
+        /// The expanded code.
+        code: Code,
+        /// The outcome.
+        result: WorkerResult,
+    },
+    /// Retry a fetch after a `Wait`.
+    Retry,
+}
+
+struct SharedNet {
+    net: Network,
+}
+
+enum Role {
+    Manager(Manager),
+    Worker {
+        expander: TreeExpander,
+        manager: ProcId,
+        terminated: bool,
+        expanded: u64,
+    },
+}
+
+/// One actor of the centralized system (process 0 = manager).
+pub struct CentralActor {
+    role: Role,
+    shared: Rc<RefCell<SharedNet>>,
+    /// Manager dispatch overhead per fetch, modeling its serial bottleneck.
+    dispatch_overhead: SimTime,
+    busy_until: SimTime,
+    /// Manager busy time accumulated (bottleneck measurement).
+    pub manager_busy: SimTime,
+}
+
+impl CentralActor {
+    fn send(&mut self, ctx: &mut Ctx<'_, CentralMsg, CentralTimer>, to: ProcId, msg: CentralMsg) {
+        self.send_after(ctx, to, msg, SimTime::ZERO);
+    }
+
+    /// Send with an extra local delay (the manager's dispatch queueing).
+    fn send_after(
+        &mut self,
+        ctx: &mut Ctx<'_, CentralMsg, CentralTimer>,
+        to: ProcId,
+        msg: CentralMsg,
+        extra: SimTime,
+    ) {
+        let bytes = msg.wire_size();
+        let verdict =
+            self.shared
+                .borrow_mut()
+                .net
+                .transmit(ctx.pid(), to, bytes, ctx.now(), ctx.rng());
+        match verdict {
+            Ok(delay) => ctx.send(to, delay + extra, msg),
+            Err(_) => ctx.send_lost(to, msg),
+        }
+    }
+}
+
+impl Process for CentralActor {
+    type Msg = CentralMsg;
+    type Timer = CentralTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CentralMsg, CentralTimer>) {
+        if let Role::Worker { manager, .. } = &self.role {
+            let to = *manager;
+            self.send(ctx, to, CentralMsg::Fetch { result: None });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg, CentralTimer>, from: ProcId, msg: CentralMsg) {
+        let now = ctx.now();
+        match &mut self.role {
+            Role::Manager(manager) => {
+                if let CentralMsg::Fetch { result } = msg {
+                    // The manager is a serial server: this fetch queues
+                    // behind earlier dispatch work, and its reply leaves
+                    // only when the dispatcher gets to it.
+                    self.busy_until = self.busy_until.max(now) + self.dispatch_overhead;
+                    self.manager_busy += self.dispatch_overhead;
+                    let queue_delay = self.busy_until - now;
+                    let (reply, broadcast) = manager.on_fetch(from.0, result, now);
+                    let done = matches!(reply, CentralMsg::Done { .. });
+                    let incumbent = manager.incumbent;
+                    self.send_after(ctx, from, reply, queue_delay);
+                    if done {
+                        for w in broadcast {
+                            if w != from.0 {
+                                self.send_after(
+                                    ctx,
+                                    ProcId(w),
+                                    CentralMsg::Done { incumbent },
+                                    queue_delay,
+                                );
+                            }
+                        }
+                        ctx.halt();
+                    }
+                }
+            }
+            Role::Worker {
+                expander,
+                terminated,
+                expanded,
+                ..
+            } => match msg {
+                CentralMsg::Task { code, .. } => {
+                    let expansion = expander.expand(&code);
+                    *expanded += 1;
+                    let cost = SimTime::from_secs_f64(expansion.cost);
+                    self.busy_until = self.busy_until.max(now) + cost;
+                    let result = WorkerResult {
+                        solution: expansion.solution,
+                        children: expansion
+                            .children
+                            .map(|c| (c.var, c.left_bound, c.right_bound)),
+                    };
+                    ctx.set_timer(
+                        self.busy_until - now,
+                        CentralTimer::WorkDone { code, result },
+                    );
+                }
+                CentralMsg::Wait => {
+                    ctx.set_timer(SimTime::from_millis(20), CentralTimer::Retry);
+                }
+                CentralMsg::Done { .. } => {
+                    *terminated = true;
+                    ctx.halt();
+                }
+                CentralMsg::Fetch { .. } => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CentralMsg, CentralTimer>, timer: CentralTimer) {
+        let manager = match &self.role {
+            Role::Worker { manager, .. } => *manager,
+            Role::Manager(_) => return,
+        };
+        match timer {
+            CentralTimer::WorkDone { code, result } => {
+                self.send(
+                    ctx,
+                    manager,
+                    CentralMsg::Fetch {
+                        result: Some((code, result)),
+                    },
+                );
+            }
+            CentralTimer::Retry => {
+                self.send(ctx, manager, CentralMsg::Fetch { result: None });
+            }
+        }
+    }
+}
+
+/// Configuration of a centralized run.
+#[derive(Debug, Clone)]
+pub struct CentralConfig {
+    /// Total processes (manager + workers).
+    pub nprocs: u32,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Manager dispatch overhead per fetch, seconds.
+    pub dispatch_overhead_s: f64,
+    /// Lease timeout for worker-failure recovery, seconds.
+    pub lease_timeout_s: f64,
+    /// Crash schedule.
+    pub failures: Vec<(u32, SimTime)>,
+    /// Seed.
+    pub seed: u64,
+    /// Horizon (manager death hangs the system — the point).
+    pub horizon: SimTime,
+}
+
+impl CentralConfig {
+    /// Defaults for `n` processes.
+    pub fn new(n: u32) -> Self {
+        CentralConfig {
+            nprocs: n,
+            network: NetworkConfig::paper(),
+            dispatch_overhead_s: 2e-3,
+            lease_timeout_s: 2.0,
+            failures: Vec::new(),
+            seed: 1,
+            horizon: SimTime::from_secs(3600),
+        }
+    }
+}
+
+/// Outcome of a centralized run.
+#[derive(Debug, Clone)]
+pub struct CentralRunReport {
+    /// Completion time if the computation finished.
+    pub exec_time: Option<SimTime>,
+    /// Best solution (from the manager, or a worker that heard `Done`).
+    pub best: Option<f64>,
+    /// Did the system finish?
+    pub finished: bool,
+    /// Total worker expansions (incl. redone leases).
+    pub total_expanded: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Fraction of the run the manager spent dispatching (the bottleneck).
+    pub manager_busy_fraction: f64,
+}
+
+/// Run the centralized baseline over a basic tree.
+pub fn run_central(tree: &Arc<BasicTree>, cfg: &CentralConfig) -> CentralRunReport {
+    assert!(cfg.nprocs >= 2, "need a manager and at least one worker");
+    let n = cfg.nprocs as usize;
+    let shared = Rc::new(RefCell::new(SharedNet {
+        net: Network::new(cfg.network.clone(), n),
+    }));
+    let mut engine: Engine<CentralActor> = Engine::new(cfg.seed);
+    let root_bound = tree.node(tree.root()).bound;
+    let workers: Vec<u32> = (1..cfg.nprocs).collect();
+    engine.add_process(
+        CentralActor {
+            role: Role::Manager(Manager::new(
+                root_bound,
+                workers,
+                SimTime::from_secs_f64(cfg.lease_timeout_s),
+            )),
+            shared: Rc::clone(&shared),
+            dispatch_overhead: SimTime::from_secs_f64(cfg.dispatch_overhead_s),
+            busy_until: SimTime::ZERO,
+            manager_busy: SimTime::ZERO,
+        },
+        SimTime::ZERO,
+    );
+    for _ in 1..cfg.nprocs {
+        engine.add_process(
+            CentralActor {
+                role: Role::Worker {
+                    expander: TreeExpander::new(Arc::clone(tree)),
+                    manager: ProcId(0),
+                    terminated: false,
+                    expanded: 0,
+                },
+                shared: Rc::clone(&shared),
+                dispatch_overhead: SimTime::ZERO,
+                busy_until: SimTime::ZERO,
+                manager_busy: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+    }
+    for &(pid, at) in &cfg.failures {
+        engine.schedule_crash(ProcId(pid), at);
+    }
+    let stats = engine.run(RunLimits {
+        time_horizon: Some(cfg.horizon),
+        max_events: Some(100_000_000),
+    });
+
+    let messages = shared.borrow().net.stats().messages_sent;
+    let manager = engine.process(ProcId(0));
+    let (finished, best, manager_busy) = match &manager.role {
+        Role::Manager(m) => (
+            m.done,
+            if m.incumbent.is_finite() {
+                Some(m.incumbent)
+            } else {
+                None
+            },
+            manager.manager_busy,
+        ),
+        _ => unreachable!(),
+    };
+    let mut total_expanded = 0;
+    for pid in 1..n {
+        if let Role::Worker { expanded, .. } = &engine.process(ProcId(pid as u32)).role {
+            total_expanded += *expanded;
+        }
+    }
+    CentralRunReport {
+        exec_time: finished.then_some(stats.end_time),
+        best,
+        finished,
+        total_expanded,
+        messages,
+        manager_busy_fraction: if stats.end_time.is_zero() {
+            0.0
+        } else {
+            manager_busy.as_secs_f64() / stats.end_time.as_secs_f64()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbb_tree::{random_basic_tree, TreeConfig};
+
+    fn tree() -> Arc<BasicTree> {
+        Arc::new(random_basic_tree(&TreeConfig {
+            target_nodes: 301,
+            mean_cost: 0.01,
+            seed: 77,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn central_solves_failure_free() {
+        let t = tree();
+        let report = run_central(&t, &CentralConfig::new(5));
+        assert!(report.finished);
+        assert_eq!(report.best, t.optimal());
+    }
+
+    #[test]
+    fn central_tolerates_worker_crash() {
+        let t = tree();
+        let mut cfg = CentralConfig::new(5);
+        cfg.lease_timeout_s = 0.3;
+        cfg.failures = vec![(3, SimTime::from_millis(200))];
+        let report = run_central(&t, &cfg);
+        assert!(report.finished, "lease reissue must recover worker loss");
+        assert_eq!(report.best, t.optimal());
+    }
+
+    #[test]
+    fn central_dies_with_manager() {
+        let t = tree();
+        let mut cfg = CentralConfig::new(5);
+        cfg.failures = vec![(0, SimTime::from_millis(100))];
+        cfg.horizon = SimTime::from_secs(30);
+        let report = run_central(&t, &cfg);
+        assert!(!report.finished, "manager crash must be fatal");
+        assert_eq!(report.exec_time, None);
+    }
+
+    #[test]
+    fn manager_is_a_bottleneck() {
+        // With tiny node costs, adding workers stops helping: the manager's
+        // serial dispatch saturates.
+        let t = Arc::new(random_basic_tree(&TreeConfig {
+            target_nodes: 1001,
+            mean_cost: 0.002, // cheap nodes: dispatch-bound
+            seed: 3,
+            ..Default::default()
+        }));
+        let small = run_central(&t, &CentralConfig::new(3)).exec_time.unwrap();
+        let large = run_central(&t, &CentralConfig::new(17)).exec_time.unwrap();
+        let speedup = small.as_secs_f64() / large.as_secs_f64();
+        assert!(
+            speedup < 4.0,
+            "8× more workers must not yield near-linear speedup (got {speedup:.1}×)"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! DES harness for DIB clusters, mirroring `ftbb-sim`'s driver.
+
+use crate::process::{DibAction, DibConfig, DibEvent, DibMsg, DibProcess, DibTimer};
+use ftbb_core::{Expander, TreeExpander};
+use ftbb_des::{Ctx, Engine, ProcId, Process, RunLimits, SimTime};
+use ftbb_net::{Network, NetworkConfig};
+use ftbb_tree::BasicTree;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Timers of the DIB actor.
+#[derive(Debug, Clone)]
+pub enum DibSimTimer {
+    /// A protocol timer.
+    Core(DibTimer),
+    /// A scheduled expansion completion.
+    WorkDone {
+        /// Sequence.
+        seq: u64,
+        /// The result.
+        expansion: ftbb_core::Expansion,
+    },
+}
+
+struct SharedNet {
+    net: Network,
+}
+
+/// One simulated DIB machine.
+pub struct DibActor {
+    core: DibProcess,
+    expander: TreeExpander,
+    shared: Rc<RefCell<SharedNet>>,
+    busy_until: SimTime,
+}
+
+impl Process for DibActor {
+    type Msg = DibMsg;
+    type Timer = DibSimTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DibMsg, DibSimTimer>) {
+        let actions = self.core.handle(DibEvent::Start, ctx.now());
+        self.apply(ctx, actions);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DibMsg, DibSimTimer>, from: ProcId, msg: DibMsg) {
+        let actions = self.core.handle(
+            DibEvent::Recv {
+                from: from.0,
+                msg,
+            },
+            ctx.now(),
+        );
+        self.apply(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DibMsg, DibSimTimer>, timer: DibSimTimer) {
+        match timer {
+            DibSimTimer::Core(t) => {
+                let actions = self.core.handle(DibEvent::Timer(t), ctx.now());
+                self.apply(ctx, actions);
+            }
+            DibSimTimer::WorkDone { seq, expansion } => {
+                let actions = self
+                    .core
+                    .handle(DibEvent::WorkDone { seq, expansion }, ctx.now());
+                self.apply(ctx, actions);
+            }
+        }
+    }
+}
+
+impl DibActor {
+    fn apply(&mut self, ctx: &mut Ctx<'_, DibMsg, DibSimTimer>, actions: Vec<DibAction>) {
+        let now = ctx.now();
+        for action in actions {
+            match action {
+                DibAction::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    let verdict = self.shared.borrow_mut().net.transmit(
+                        ctx.pid(),
+                        ProcId(to),
+                        bytes,
+                        now,
+                        ctx.rng(),
+                    );
+                    match verdict {
+                        Ok(delay) => ctx.send(ProcId(to), delay, msg),
+                        Err(_) => ctx.send_lost(ProcId(to), msg),
+                    }
+                }
+                DibAction::StartWork { code, seq } => {
+                    let expansion = self.expander.expand(&code);
+                    let cost = SimTime::from_secs_f64(expansion.cost);
+                    let start = self.busy_until.max(now);
+                    self.busy_until = start + cost;
+                    ctx.set_timer(self.busy_until - now, DibSimTimer::WorkDone { seq, expansion });
+                }
+                DibAction::SetTimer { delay_s, timer } => {
+                    ctx.set_timer(SimTime::from_secs_f64(delay_s), DibSimTimer::Core(timer));
+                }
+                DibAction::Halt => ctx.halt(),
+            }
+        }
+    }
+}
+
+/// Configuration of a DIB simulation.
+#[derive(Debug, Clone)]
+pub struct DibSimConfig {
+    /// Machines.
+    pub nprocs: u32,
+    /// Protocol tuning.
+    pub protocol: DibConfig,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Crash schedule.
+    pub failures: Vec<(u32, SimTime)>,
+    /// Seed.
+    pub seed: u64,
+    /// Virtual-time horizon (DIB can hang when machine 0 dies — the point
+    /// of the comparison — so runs need a cap).
+    pub horizon: SimTime,
+}
+
+impl DibSimConfig {
+    /// Defaults for `n` machines.
+    pub fn new(n: u32) -> Self {
+        DibSimConfig {
+            nprocs: n,
+            protocol: DibConfig::default(),
+            network: NetworkConfig::paper(),
+            failures: Vec::new(),
+            seed: 1,
+            horizon: SimTime::from_secs(3600),
+        }
+    }
+}
+
+/// Outcome of a DIB run.
+#[derive(Debug, Clone)]
+pub struct DibRunReport {
+    /// Virtual completion time (time of the last halt), if terminated.
+    pub exec_time: Option<SimTime>,
+    /// Did every surviving machine learn of termination?
+    pub all_live_terminated: bool,
+    /// Best solution at terminated machines.
+    pub best: Option<f64>,
+    /// Total expansions (including redone work).
+    pub total_expanded: u64,
+    /// Redo recoveries across machines.
+    pub total_redos: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+}
+
+/// Run DIB over a basic tree.
+pub fn run_dib(tree: &Arc<BasicTree>, cfg: &DibSimConfig) -> DibRunReport {
+    let n = cfg.nprocs as usize;
+    let shared = Rc::new(RefCell::new(SharedNet {
+        net: Network::new(cfg.network.clone(), n),
+    }));
+    let mut engine: Engine<DibActor> = Engine::new(cfg.seed);
+    let members: Vec<u32> = (0..cfg.nprocs).collect();
+    for pid in 0..cfg.nprocs {
+        let expander = TreeExpander::new(Arc::clone(tree));
+        let core = DibProcess::new(
+            pid,
+            members.clone(),
+            cfg.protocol,
+            expander.root_bound(),
+            cfg.seed.wrapping_add(pid as u64),
+        );
+        engine.add_process(
+            DibActor {
+                core,
+                expander,
+                shared: Rc::clone(&shared),
+                busy_until: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+    }
+    for &(pid, at) in &cfg.failures {
+        engine.schedule_crash(ProcId(pid), at);
+    }
+    let stats = engine.run(RunLimits {
+        time_horizon: Some(cfg.horizon),
+        max_events: Some(100_000_000),
+    });
+
+    let messages_sent = shared.borrow().net.stats().messages_sent;
+    let crashed: Vec<u32> = cfg.failures.iter().map(|&(p, _)| p).collect();
+    let mut all_live_terminated = true;
+    let mut best = f64::INFINITY;
+    let mut total_expanded = 0;
+    let mut total_redos = 0;
+    for pid in 0..n {
+        let actor = engine.process(ProcId(pid as u32));
+        total_expanded += actor.core.expanded;
+        total_redos += actor.core.redos;
+        if crashed.contains(&(pid as u32)) {
+            continue;
+        }
+        if actor.core.is_terminated() {
+            best = best.min(actor.core.incumbent());
+        } else {
+            all_live_terminated = false;
+        }
+    }
+    DibRunReport {
+        exec_time: if all_live_terminated {
+            Some(stats.end_time)
+        } else {
+            None
+        },
+        all_live_terminated,
+        best: if best.is_finite() { Some(best) } else { None },
+        total_expanded,
+        total_redos,
+        messages_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbb_tree::{random_basic_tree, TreeConfig};
+
+    fn tree() -> Arc<BasicTree> {
+        Arc::new(random_basic_tree(&TreeConfig {
+            target_nodes: 301,
+            mean_cost: 0.01,
+            seed: 21,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn dib_solves_without_failures() {
+        let t = tree();
+        let report = run_dib(&t, &DibSimConfig::new(4));
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, t.optimal());
+    }
+
+    #[test]
+    fn dib_survives_worker_failure() {
+        let t = tree();
+        let mut cfg = DibSimConfig::new(4);
+        cfg.failures = vec![(2, SimTime::from_millis(200))];
+        cfg.protocol.redo_timeout_s = 0.5;
+        cfg.protocol.scan_interval_s = 0.2;
+        let report = run_dib(&t, &cfg);
+        assert!(report.all_live_terminated, "workers must recover via redo");
+        assert_eq!(report.best, t.optimal());
+    }
+
+    #[test]
+    fn dib_hangs_when_root_machine_dies() {
+        // The comparison of §5.5: DIB's hierarchy needs a reliable root.
+        let t = tree();
+        let mut cfg = DibSimConfig::new(4);
+        cfg.failures = vec![(0, SimTime::from_millis(100))];
+        cfg.horizon = SimTime::from_secs(60);
+        let report = run_dib(&t, &cfg);
+        assert!(
+            !report.all_live_terminated,
+            "without machine 0 nobody can detect termination"
+        );
+        assert_eq!(report.exec_time, None);
+    }
+
+    #[test]
+    fn dib_single_machine() {
+        let t = tree();
+        let report = run_dib(&t, &DibSimConfig::new(1));
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, t.optimal());
+    }
+}

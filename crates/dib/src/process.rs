@@ -1,0 +1,630 @@
+//! The DIB protocol process.
+//!
+//! DIB (Finkel & Manber 1987) keeps fault tolerance by *responsibility
+//! tracking*: "each machine memorizes the problems for which it is
+//! responsible, as well as the machines to which it sent problems … The
+//! completion of a problem is reported to the machine the problem came
+//! from. Hence, each machine can determine whether the work for which it is
+//! responsible is still unsolved, and can redo that work in the case of
+//! failure." (paper §3)
+//!
+//! Contrast with the paper's mechanism (§5.5): completion information flows
+//! *up a fixed responsibility tree* instead of epidemically, so machine 0
+//! (the root's owner) must survive for the computation to terminate — the
+//! weakness the paper's decentralized mechanism removes.
+
+use ftbb_core::{ChildPair, Expansion};
+use ftbb_des::SimTime;
+use ftbb_tree::{Code, CodeSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// DIB protocol messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DibMsg {
+    /// "Send me work."
+    Request {
+        /// Sender's incumbent.
+        incumbent: f64,
+    },
+    /// Donated subproblems; the sender stays responsible for them.
+    Grant {
+        /// `(code, bound)` pairs.
+        items: Vec<(Code, f64)>,
+        /// Sender's incumbent.
+        incumbent: f64,
+    },
+    /// Nothing to spare.
+    Deny {
+        /// Sender's incumbent.
+        incumbent: f64,
+    },
+    /// "The problems rooted at these codes are completed" — sent to the
+    /// machine each problem came from.
+    Completed {
+        /// Completed transfer-unit codes.
+        codes: Vec<Code>,
+        /// Sender's incumbent.
+        incumbent: f64,
+    },
+    /// Broadcast by machine 0 when the root completes.
+    Done {
+        /// Final incumbent.
+        incumbent: f64,
+    },
+}
+
+impl DibMsg {
+    /// Wire size in bytes (same accounting scheme as the main protocol).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            DibMsg::Request { .. } | DibMsg::Deny { .. } | DibMsg::Done { .. } => 9,
+            DibMsg::Grant { items, .. } => {
+                11 + items.iter().map(|(c, _)| c.wire_size() + 8).sum::<usize>()
+            }
+            DibMsg::Completed { codes, .. } => {
+                11 + codes.iter().map(|c| c.wire_size()).sum::<usize>()
+            }
+        }
+    }
+
+    /// The piggybacked incumbent.
+    pub fn incumbent(&self) -> f64 {
+        match self {
+            DibMsg::Request { incumbent }
+            | DibMsg::Grant { incumbent, .. }
+            | DibMsg::Deny { incumbent }
+            | DibMsg::Completed { incumbent, .. }
+            | DibMsg::Done { incumbent } => *incumbent,
+        }
+    }
+}
+
+/// Timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DibTimer {
+    /// Work-request retry pacing.
+    Retry,
+    /// Scan outstanding transfers for timeouts (failure recovery).
+    Scan,
+}
+
+/// Events (mirrors the core protocol's harness interface).
+#[derive(Debug, Clone)]
+pub enum DibEvent {
+    /// Process start.
+    Start,
+    /// Expansion finished.
+    WorkDone {
+        /// Echoed sequence number.
+        seq: u64,
+        /// The result.
+        expansion: Expansion,
+    },
+    /// Message received.
+    Recv {
+        /// Sender.
+        from: u32,
+        /// Message.
+        msg: DibMsg,
+    },
+    /// Timer fired.
+    Timer(DibTimer),
+}
+
+/// Actions for the harness.
+#[derive(Debug, Clone)]
+pub enum DibAction {
+    /// Transmit a message.
+    Send {
+        /// Destination.
+        to: u32,
+        /// Message.
+        msg: DibMsg,
+    },
+    /// Expand `code`, echo `seq`.
+    StartWork {
+        /// Subproblem code.
+        code: Code,
+        /// Sequence.
+        seq: u64,
+    },
+    /// Arm a timer.
+    SetTimer {
+        /// Delay in seconds.
+        delay_s: f64,
+        /// Payload.
+        timer: DibTimer,
+    },
+    /// Terminated.
+    Halt,
+}
+
+/// DIB tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DibConfig {
+    /// Work-request retry pacing, seconds.
+    pub retry_s: f64,
+    /// Outstanding-transfer timeout before redoing the work, seconds.
+    pub redo_timeout_s: f64,
+    /// Scan period for the timeout ledger, seconds.
+    pub scan_interval_s: f64,
+    /// Max subproblems per grant.
+    pub grant_max: usize,
+    /// Donor keeps at least this many.
+    pub grant_keep_min: usize,
+}
+
+impl Default for DibConfig {
+    fn default() -> Self {
+        DibConfig {
+            retry_s: 0.05,
+            redo_timeout_s: 2.0,
+            scan_interval_s: 0.5,
+            grant_max: 16,
+            grant_keep_min: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    /// Recipient of the transfer (kept for diagnostics and future
+    /// re-assignment policies; recovery itself redoes the work locally).
+    #[allow(dead_code)]
+    to: u32,
+    since: SimTime,
+}
+
+/// One DIB machine.
+pub struct DibProcess {
+    me: u32,
+    members: Vec<u32>,
+    cfg: DibConfig,
+    /// LIFO pool of `(code, bound)`.
+    pool: Vec<(Code, f64)>,
+    current: Option<Code>,
+    work_seq: u64,
+    /// Local completion knowledge (contracted), covering everything this
+    /// machine has verified complete (own work + reported transfers).
+    done: CodeSet,
+    /// Transfers awaiting completion reports: code -> (recipient, when).
+    outstanding: HashMap<Code, Outstanding>,
+    /// Problems received from others: code -> origin machine. Responsible
+    /// for reporting their completion back.
+    origin: HashMap<Code, u32>,
+    incumbent: f64,
+    terminated: bool,
+    /// A retry timer is in flight (prevents timer-chain multiplication).
+    retry_armed: bool,
+    rng: SmallRng,
+    /// Counters.
+    pub expanded: u64,
+    /// Redo recoveries performed.
+    pub redos: u64,
+    /// Completion reports sent.
+    pub reports_sent: u64,
+}
+
+impl DibProcess {
+    /// Create machine `me`; machine 0 owns the root problem.
+    pub fn new(me: u32, members: Vec<u32>, cfg: DibConfig, root_bound: f64, seed: u64) -> Self {
+        let mut pool = Vec::new();
+        if me == 0 {
+            pool.push((Code::root(), root_bound));
+        }
+        DibProcess {
+            me,
+            members: members.into_iter().filter(|&m| m != me).collect(),
+            cfg,
+            pool,
+            current: None,
+            work_seq: 0,
+            done: CodeSet::new(),
+            outstanding: HashMap::new(),
+            origin: HashMap::new(),
+            incumbent: f64::INFINITY,
+            terminated: false,
+            retry_armed: false,
+            rng: SmallRng::seed_from_u64(seed),
+            expanded: 0,
+            redos: 0,
+            reports_sent: 0,
+        }
+    }
+
+    /// Did this machine learn of global completion?
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Final incumbent.
+    pub fn incumbent(&self) -> f64 {
+        self.incumbent
+    }
+
+    /// Handle one event.
+    pub fn handle(&mut self, event: DibEvent, now: SimTime) -> Vec<DibAction> {
+        let mut out = Vec::new();
+        if self.terminated {
+            return out;
+        }
+        match event {
+            DibEvent::Start => {
+                out.push(DibAction::SetTimer {
+                    delay_s: self.cfg.scan_interval_s,
+                    timer: DibTimer::Scan,
+                });
+                self.start_next(&mut out);
+            }
+            DibEvent::WorkDone { seq, expansion } => {
+                if seq != self.work_seq || self.current.is_none() {
+                    return out;
+                }
+                let code = self.current.take().expect("checked");
+                self.expanded += 1;
+                if let Some(v) = expansion.solution {
+                    self.update_incumbent(v);
+                }
+                match expansion.children {
+                    None => self.complete(code, &mut out),
+                    Some(ChildPair {
+                        var,
+                        left_bound,
+                        right_bound,
+                    }) => {
+                        for (bit, b) in [(false, left_bound), (true, right_bound)] {
+                            let child = code.child(var, bit);
+                            if b >= self.incumbent {
+                                self.complete(child, &mut out);
+                            } else {
+                                self.pool.push((child, b));
+                            }
+                        }
+                    }
+                }
+                self.start_next(&mut out);
+            }
+            DibEvent::Recv { from, msg } => {
+                self.update_incumbent(msg.incumbent());
+                match msg {
+                    DibMsg::Request { .. } => self.on_request(from, &mut out),
+                    DibMsg::Grant { items, .. } => {
+                        for (code, bound) in items {
+                            if self.done.contains(&code) {
+                                // Already proven complete: report straight back.
+                                self.reports_sent += 1;
+                                out.push(DibAction::Send {
+                                    to: from,
+                                    msg: DibMsg::Completed {
+                                        codes: vec![code],
+                                        incumbent: self.incumbent,
+                                    },
+                                });
+                            } else {
+                                self.origin.insert(code.clone(), from);
+                                self.pool.push((code, bound));
+                            }
+                        }
+                        if self.current.is_none() {
+                            self.start_next(&mut out);
+                        }
+                    }
+                    DibMsg::Deny { .. } => {
+                        // The retry chain armed by seek_work paces the next
+                        // attempt; nothing to do here.
+                    }
+                    DibMsg::Completed { codes, .. } => {
+                        for code in codes {
+                            self.outstanding.remove(&code);
+                            self.absorb_completion(code, &mut out);
+                        }
+                    }
+                    DibMsg::Done { .. } => {
+                        self.terminated = true;
+                        out.push(DibAction::Halt);
+                    }
+                }
+            }
+            DibEvent::Timer(DibTimer::Retry) => {
+                self.retry_armed = false;
+                if self.current.is_none() && self.pool.is_empty() {
+                    self.seek_work(&mut out);
+                }
+            }
+            DibEvent::Timer(DibTimer::Scan) => {
+                self.scan_outstanding(now, &mut out);
+                out.push(DibAction::SetTimer {
+                    delay_s: self.cfg.scan_interval_s,
+                    timer: DibTimer::Scan,
+                });
+            }
+        }
+        out
+    }
+
+    fn on_request(&mut self, from: u32, out: &mut Vec<DibAction>) {
+        let spare = self.pool.len().saturating_sub(self.cfg.grant_keep_min);
+        let k = spare.min(self.cfg.grant_max).min(self.pool.len() / 2 + 1);
+        if spare == 0 || k == 0 {
+            out.push(DibAction::Send {
+                to: from,
+                msg: DibMsg::Deny {
+                    incumbent: self.incumbent,
+                },
+            });
+            return;
+        }
+        // Donate the oldest (shallowest) problems; stay responsible.
+        let items: Vec<(Code, f64)> = self.pool.drain(..k).collect();
+        let now_marker = SimTime::ZERO; // refreshed by scan on first pass
+        for (code, _) in &items {
+            self.outstanding.insert(
+                code.clone(),
+                Outstanding {
+                    to: from,
+                    since: now_marker,
+                },
+            );
+        }
+        out.push(DibAction::Send {
+            to: from,
+            msg: DibMsg::Grant {
+                items,
+                incumbent: self.incumbent,
+            },
+        });
+    }
+
+    fn seek_work(&mut self, out: &mut Vec<DibAction>) {
+        if let Some(&target) = self.members.choose(&mut self.rng) {
+            out.push(DibAction::Send {
+                to: target,
+                msg: DibMsg::Request {
+                    incumbent: self.incumbent,
+                },
+            });
+        }
+        // Pace the next attempt (covers lost replies and dead donors);
+        // exactly one retry chain runs at a time.
+        if !self.retry_armed {
+            self.retry_armed = true;
+            out.push(DibAction::SetTimer {
+                delay_s: self.cfg.retry_s,
+                timer: DibTimer::Retry,
+            });
+        }
+    }
+
+    fn start_next(&mut self, out: &mut Vec<DibAction>) {
+        if self.terminated || self.current.is_some() {
+            return;
+        }
+        while let Some((code, bound)) = self.pool.pop() {
+            if self.done.contains(&code) {
+                continue;
+            }
+            if bound >= self.incumbent {
+                self.complete(code, out);
+                if self.terminated {
+                    return;
+                }
+                continue;
+            }
+            self.work_seq += 1;
+            self.current = Some(code.clone());
+            out.push(DibAction::StartWork {
+                code,
+                seq: self.work_seq,
+            });
+            return;
+        }
+        if !self.terminated {
+            self.seek_work(out);
+        }
+    }
+
+    fn complete(&mut self, code: Code, out: &mut Vec<DibAction>) {
+        self.absorb_completion(code, out);
+    }
+
+    /// Fold a completion into local knowledge, then propagate any
+    /// transfer-unit completions to their origins.
+    fn absorb_completion(&mut self, code: Code, out: &mut Vec<DibAction>) {
+        self.done.insert(&code);
+        // Report every received problem whose subtree is now complete.
+        let finished: Vec<Code> = self
+            .origin
+            .keys()
+            .filter(|c| self.done.contains(c))
+            .cloned()
+            .collect();
+        let mut by_origin: HashMap<u32, Vec<Code>> = HashMap::new();
+        for code in finished {
+            let to = self.origin.remove(&code).expect("key exists");
+            by_origin.entry(to).or_default().push(code);
+        }
+        for (to, codes) in by_origin {
+            self.reports_sent += 1;
+            out.push(DibAction::Send {
+                to,
+                msg: DibMsg::Completed {
+                    codes,
+                    incumbent: self.incumbent,
+                },
+            });
+        }
+        // Machine 0: global termination when the root is complete.
+        if self.me == 0 && self.done.is_root_done() && !self.terminated {
+            self.terminated = true;
+            for &to in &self.members {
+                out.push(DibAction::Send {
+                    to,
+                    msg: DibMsg::Done {
+                        incumbent: self.incumbent,
+                    },
+                });
+            }
+            out.push(DibAction::Halt);
+        }
+    }
+
+    fn scan_outstanding(&mut self, now: SimTime, out: &mut Vec<DibAction>) {
+        let timeout = SimTime::from_secs_f64(self.cfg.redo_timeout_s);
+        let mut expired = Vec::new();
+        for (code, o) in self.outstanding.iter_mut() {
+            if o.since.is_zero() {
+                // First scan after the transfer: stamp it.
+                o.since = now;
+            } else if now.saturating_sub(o.since) >= timeout && !self.done.contains(code) {
+                expired.push(code.clone());
+            }
+        }
+        for code in expired {
+            // Redo the work ourselves (possibly redundantly — DIB accepts
+            // that, §5.5).
+            self.outstanding.remove(&code);
+            self.redos += 1;
+            self.pool.push((code, f64::NEG_INFINITY));
+        }
+        if self.current.is_none() && !self.pool.is_empty() {
+            self.start_next(out);
+        }
+    }
+
+    fn update_incumbent(&mut self, v: f64) {
+        if v < self.incumbent {
+            self.incumbent = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DibConfig {
+        DibConfig::default()
+    }
+
+    #[test]
+    fn machine0_owns_root() {
+        let mut p = DibProcess::new(0, vec![0, 1], cfg(), 0.0, 1);
+        let actions = p.handle(DibEvent::Start, SimTime::ZERO);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DibAction::StartWork { code, .. } if code.is_root())));
+    }
+
+    #[test]
+    fn root_leaf_completion_broadcasts_done() {
+        let mut p = DibProcess::new(0, vec![0, 1, 2], cfg(), 0.0, 1);
+        p.handle(DibEvent::Start, SimTime::ZERO);
+        let actions = p.handle(
+            DibEvent::WorkDone {
+                seq: 1,
+                expansion: Expansion {
+                    cost: 1.0,
+                    bound: 0.0,
+                    solution: Some(5.0),
+                    children: None,
+                },
+            },
+            SimTime::ZERO,
+        );
+        assert!(p.is_terminated());
+        let dones = actions
+            .iter()
+            .filter(|a| matches!(a, DibAction::Send { msg: DibMsg::Done { .. }, .. }))
+            .count();
+        assert_eq!(dones, 2);
+    }
+
+    #[test]
+    fn grant_records_responsibility_and_completion_reports_back() {
+        let mut donor = DibProcess::new(0, vec![0, 1], cfg(), 0.0, 1);
+        donor.pool = vec![
+            (Code::from_decisions(&[(1, false)]), 0.0),
+            (Code::from_decisions(&[(1, true)]), 0.0),
+            (Code::from_decisions(&[(1, false), (2, false)]), 0.0),
+        ];
+        let actions = donor.handle(
+            DibEvent::Recv {
+                from: 1,
+                msg: DibMsg::Request {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            SimTime::ZERO,
+        );
+        let granted = actions.iter().find_map(|a| match a {
+            DibAction::Send {
+                msg: DibMsg::Grant { items, .. },
+                ..
+            } => Some(items.clone()),
+            _ => None,
+        });
+        let granted = granted.expect("grant sent");
+        assert!(!granted.is_empty());
+        assert_eq!(donor.outstanding.len(), granted.len());
+
+        // Recipient completes one and reports; donor absorbs it.
+        let code = granted[0].0.clone();
+        donor.handle(
+            DibEvent::Recv {
+                from: 1,
+                msg: DibMsg::Completed {
+                    codes: vec![code.clone()],
+                    incumbent: f64::INFINITY,
+                },
+            },
+            SimTime::ZERO,
+        );
+        assert!(donor.done.contains(&code));
+        assert!(!donor.outstanding.contains_key(&code));
+    }
+
+    #[test]
+    fn timeout_triggers_redo() {
+        let mut donor = DibProcess::new(0, vec![0, 1], cfg(), 0.0, 1);
+        donor.pool = vec![
+            (Code::from_decisions(&[(1, false)]), 0.0),
+            (Code::from_decisions(&[(1, true)]), 0.0),
+            (Code::from_decisions(&[(1, false), (2, false)]), 0.0),
+        ];
+        donor.handle(
+            DibEvent::Recv {
+                from: 1,
+                msg: DibMsg::Request {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            SimTime::ZERO,
+        );
+        assert!(!donor.outstanding.is_empty());
+        // First scan stamps, later scan past the timeout reclaims.
+        donor.handle(DibEvent::Timer(DibTimer::Scan), SimTime::from_secs(1));
+        donor.handle(DibEvent::Timer(DibTimer::Scan), SimTime::from_secs(10));
+        assert!(donor.outstanding.is_empty());
+        assert!(donor.redos > 0);
+    }
+
+    #[test]
+    fn non_root_terminates_only_on_done() {
+        let mut p = DibProcess::new(1, vec![0, 1], cfg(), 0.0, 2);
+        p.handle(DibEvent::Start, SimTime::ZERO);
+        assert!(!p.is_terminated());
+        let actions = p.handle(
+            DibEvent::Recv {
+                from: 0,
+                msg: DibMsg::Done { incumbent: 3.0 },
+            },
+            SimTime::ZERO,
+        );
+        assert!(p.is_terminated());
+        assert!(actions.iter().any(|a| matches!(a, DibAction::Halt)));
+    }
+}

@@ -1,0 +1,352 @@
+//! The gossip-style group membership protocol (§5.2), after van Renesse,
+//! Minsky & Hayden's failure-detection service (Middleware '98).
+//!
+//! Each member keeps a heartbeat counter; on every gossip tick it increments
+//! its own counter and sends its view digest to a few randomly chosen
+//! members. A member whose heartbeat has not advanced within `t_fail` is
+//! suspected; after `t_cleanup` it is forgotten. New members join by sending
+//! their address to a *gossip server* — an ordinary member, except that at
+//! least one server is guaranteed to be up — which then propagates the
+//! newcomer epidemically.
+//!
+//! The state machine is transport-agnostic: `tick`/`on_*` return the
+//! messages to send, and the caller (DES simulator or threaded runtime)
+//! delivers them.
+
+use crate::view::{MemberId, MembershipView, ViewDigest};
+use ftbb_des::SimTime;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Protocol parameters. The defaults follow the paper's "parameters … are
+/// chosen to keep communication and the probability of false membership
+/// information under some threshold values".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Interval between gossip ticks.
+    pub gossip_interval: SimTime,
+    /// How many members receive each gossip round.
+    pub fanout: usize,
+    /// Silence threshold for suspecting a member.
+    pub t_fail: SimTime,
+    /// Silence threshold for forgetting a member.
+    pub t_cleanup: SimTime,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            gossip_interval: SimTime::from_millis(500),
+            fanout: 2,
+            t_fail: SimTime::from_secs(5),
+            t_cleanup: SimTime::from_secs(20),
+        }
+    }
+}
+
+/// A membership message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MembershipMsg {
+    /// Periodic heartbeat gossip.
+    Gossip(ViewDigest),
+    /// A newcomer announcing itself to a gossip server.
+    Join {
+        /// The joining member.
+        member: MemberId,
+    },
+    /// A gossip server's bootstrap reply: the current view.
+    Welcome(ViewDigest),
+}
+
+impl MembershipMsg {
+    /// Bytes on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            MembershipMsg::Gossip(d) | MembershipMsg::Welcome(d) => 1 + d.wire_size(),
+            MembershipMsg::Join { .. } => 1 + 4,
+        }
+    }
+}
+
+/// One member's protocol instance.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    me: MemberId,
+    heartbeat: u64,
+    view: MembershipView,
+    cfg: MembershipConfig,
+    /// True for gossip servers (§5.2): they answer Join with Welcome.
+    is_server: bool,
+}
+
+impl Membership {
+    /// Create a member. Gossip servers answer `Join` messages.
+    pub fn new(me: MemberId, cfg: MembershipConfig, now: SimTime, is_server: bool) -> Self {
+        let mut view = MembershipView::new(cfg.t_fail, cfg.t_cleanup);
+        view.observe(me, 0, now);
+        Membership {
+            me,
+            heartbeat: 0,
+            view,
+            cfg,
+            is_server,
+        }
+    }
+
+    /// This member's id.
+    pub fn id(&self) -> MemberId {
+        self.me
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// Whether this member acts as a gossip server.
+    pub fn is_server(&self) -> bool {
+        self.is_server
+    }
+
+    /// The join message a newcomer sends to its known gossip servers.
+    pub fn join_msg(&self) -> MembershipMsg {
+        MembershipMsg::Join { member: self.me }
+    }
+
+    /// Gossip tick: bump own heartbeat, sweep expired entries, and pick
+    /// `fanout` random alive members to gossip to. Returns `(target, msg)`
+    /// pairs for the caller to transmit.
+    pub fn tick(&mut self, now: SimTime, rng: &mut SmallRng) -> Vec<(MemberId, MembershipMsg)> {
+        self.heartbeat += 1;
+        self.view.observe(self.me, self.heartbeat, now);
+        self.view.sweep(now);
+        let mut targets: Vec<MemberId> = self
+            .view
+            .alive(now)
+            .into_iter()
+            .filter(|&m| m != self.me)
+            .collect();
+        targets.shuffle(rng);
+        targets.truncate(self.cfg.fanout);
+        let digest = self.view.digest();
+        targets
+            .into_iter()
+            .map(|t| (t, MembershipMsg::Gossip(digest.clone())))
+            .collect()
+    }
+
+    /// Handle an incoming membership message. Returns replies to transmit.
+    pub fn on_message(
+        &mut self,
+        from: MemberId,
+        msg: &MembershipMsg,
+        now: SimTime,
+    ) -> Vec<(MemberId, MembershipMsg)> {
+        match msg {
+            MembershipMsg::Gossip(digest) | MembershipMsg::Welcome(digest) => {
+                self.view.merge_digest(digest, now);
+                Vec::new()
+            }
+            MembershipMsg::Join { member } => {
+                // Treat the join as a liveness observation, then welcome the
+                // newcomer with our view (bootstrap) if we are a server.
+                self.view.observe(*member, 0, now);
+                let _ = from;
+                if self.is_server {
+                    vec![(*member, MembershipMsg::Welcome(self.view.digest()))]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Members currently believed alive (including self).
+    pub fn alive_members(&self, now: SimTime) -> Vec<MemberId> {
+        let mut alive = self.view.alive(now);
+        if !alive.contains(&self.me) {
+            alive.push(self.me);
+            alive.sort_unstable();
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Synchronous test harness: a set of members, instant delivery.
+    struct Net {
+        members: Vec<Membership>,
+        rng: SmallRng,
+    }
+
+    impl Net {
+        fn new(n: usize, servers: usize, cfg: MembershipConfig) -> Self {
+            let members = (0..n)
+                .map(|i| Membership::new(i as MemberId, cfg, SimTime::ZERO, i < servers))
+                .collect();
+            Net {
+                members,
+                rng: SmallRng::seed_from_u64(42),
+            }
+        }
+
+        /// One synchronous gossip round at time `now`; `down` members do not
+        /// tick (crashed) but are still message sinks (dropped).
+        fn round(&mut self, now: SimTime, down: &[MemberId]) {
+            let mut outbox = Vec::new();
+            for m in &mut self.members {
+                if down.contains(&m.id()) {
+                    continue;
+                }
+                for (to, msg) in m.tick(now, &mut self.rng) {
+                    outbox.push((m.id(), to, msg));
+                }
+            }
+            let mut replies = Vec::new();
+            for (from, to, msg) in outbox {
+                if down.contains(&to) {
+                    continue;
+                }
+                let more = self.members[to as usize].on_message(from, &msg, now);
+                for (rt, rm) in more {
+                    replies.push((to, rt, rm));
+                }
+            }
+            for (from, to, msg) in replies {
+                if !down.contains(&to) {
+                    self.members[to as usize].on_message(from, &msg, now);
+                }
+            }
+        }
+    }
+
+    fn cfg() -> MembershipConfig {
+        MembershipConfig {
+            gossip_interval: SimTime::from_millis(500),
+            fanout: 2,
+            t_fail: SimTime::from_secs(4),
+            t_cleanup: SimTime::from_secs(12),
+        }
+    }
+
+    #[test]
+    fn views_converge_to_full_group() {
+        let mut net = Net::new(16, 1, cfg());
+        // Everyone joins via server 0.
+        for i in 1..16 {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        for r in 0..20 {
+            net.round(SimTime::from_millis(500 * (r + 1)), &[]);
+        }
+        let now = SimTime::from_secs(10);
+        for m in &net.members {
+            assert_eq!(
+                m.view().known().len(),
+                16,
+                "member {} sees {} members",
+                m.id(),
+                m.view().known().len()
+            );
+            assert_eq!(m.alive_members(now).len(), 16);
+        }
+    }
+
+    #[test]
+    fn crashed_member_is_suspected_then_forgotten() {
+        let mut net = Net::new(8, 1, cfg());
+        // Bootstrap by direct join + rounds.
+        for i in 1..8 {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        for r in 0..10 {
+            net.round(SimTime::from_millis(500 * (r + 1)), &[]);
+        }
+        // Member 5 crashes at t=5s; keep gossiping until t=12s.
+        let mut now = SimTime::from_secs(5);
+        while now < SimTime::from_secs(12) {
+            net.round(now, &[5]);
+            now += SimTime::from_millis(500);
+        }
+        // t_fail = 4s: by t=12s member 5 is suspected everywhere.
+        for m in &net.members {
+            if m.id() == 5 {
+                continue;
+            }
+            assert!(
+                !m.view().alive(now).contains(&5),
+                "member {} still thinks 5 is alive",
+                m.id()
+            );
+        }
+        // Keep going past t_cleanup (12s after last heartbeat ~5s → t=17s+).
+        while now < SimTime::from_secs(20) {
+            net.round(now, &[5]);
+            now += SimTime::from_millis(500);
+        }
+        for m in &net.members {
+            if m.id() == 5 {
+                continue;
+            }
+            assert!(
+                !m.view().known().contains(&5),
+                "member {} did not forget 5",
+                m.id()
+            );
+        }
+    }
+
+    #[test]
+    fn live_members_not_suspected_under_gossip() {
+        let mut net = Net::new(12, 1, cfg());
+        for i in 1..12 {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..60 {
+            now += SimTime::from_millis(500);
+            net.round(now, &[]);
+        }
+        // No false suspicions with reliable delivery and regular ticks.
+        for m in &net.members {
+            assert_eq!(m.view().suspected(now).len(), 0, "member {}", m.id());
+        }
+    }
+
+    #[test]
+    fn non_server_ignores_join() {
+        let mut m = Membership::new(3, cfg(), SimTime::ZERO, false);
+        let replies = m.on_message(9, &MembershipMsg::Join { member: 9 }, SimTime::ZERO);
+        assert!(replies.is_empty());
+        // But it still learned about the newcomer.
+        assert!(m.view().known().contains(&9));
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let m = Membership::new(0, cfg(), SimTime::ZERO, true);
+        assert_eq!(m.join_msg().wire_size(), 5);
+        let digest = m.view().digest();
+        assert_eq!(
+            MembershipMsg::Gossip(digest.clone()).wire_size(),
+            1 + digest.wire_size()
+        );
+    }
+}

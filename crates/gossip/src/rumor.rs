@@ -1,0 +1,260 @@
+//! Rumor mongering (§5.1), after Demers et al. 1988.
+//!
+//! "When a site receives a new update (rumor), it becomes *infectious* and
+//! is willing to share — it repeatedly chooses another member, to which it
+//! sends the rumor." This module implements the classic synchronous-round
+//! analysis model with the standard variants (blind vs. feedback losing of
+//! interest, coin vs. counter), used to validate the convergence properties
+//! the paper's protocols rely on and to benchmark variant trade-offs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How an infective site decides it may lose interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feedback {
+    /// Lose interest based on every send ("blind").
+    Blind,
+    /// Lose interest only when the recipient already knew the rumor.
+    WithFeedback,
+}
+
+/// How interest is actually lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossOfInterest {
+    /// With probability `1/k` per triggering event.
+    Coin {
+        /// The `k` in `1/k`.
+        k: u32,
+    },
+    /// Deterministically after `k` triggering events.
+    Counter {
+        /// Number of events before removal.
+        k: u32,
+    },
+}
+
+/// Configuration of a rumor-mongering run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RumorConfig {
+    /// Gossip targets chosen per infective site per round.
+    pub fanout: u32,
+    /// Feedback variant.
+    pub feedback: Feedback,
+    /// Loss-of-interest variant.
+    pub loss: LossOfInterest,
+}
+
+impl Default for RumorConfig {
+    fn default() -> Self {
+        RumorConfig {
+            fanout: 1,
+            feedback: Feedback::WithFeedback,
+            loss: LossOfInterest::Counter { k: 2 },
+        }
+    }
+}
+
+/// Site state in the SIR epidemic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteState {
+    Susceptible,
+    Infective { events: u32 },
+    Removed,
+}
+
+/// Result of a rumor-mongering simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RumorStats {
+    /// Rounds until no infective site remained.
+    pub rounds: u32,
+    /// Sites that never learned the rumor (the *residual*).
+    pub residual: usize,
+    /// Total messages sent.
+    pub messages: u64,
+}
+
+/// Run the synchronous rumor-mongering epidemic on `n` sites with site 0
+/// initially infective. Deterministic per seed.
+pub fn simulate(n: usize, cfg: &RumorConfig, seed: u64) -> RumorStats {
+    assert!(n >= 2, "need at least two sites");
+    assert!(cfg.fanout >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sites = vec![SiteState::Susceptible; n];
+    sites[0] = SiteState::Infective { events: 0 };
+    let mut rounds = 0u32;
+    let mut messages = 0u64;
+
+    loop {
+        let infectives: Vec<usize> = (0..n)
+            .filter(|&i| matches!(sites[i], SiteState::Infective { .. }))
+            .collect();
+        if infectives.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for &i in &infectives {
+            for _ in 0..cfg.fanout {
+                // Choose a random other member.
+                let mut t = rng.gen_range(0..n - 1);
+                if t >= i {
+                    t += 1;
+                }
+                messages += 1;
+                let target_knew = !matches!(sites[t], SiteState::Susceptible);
+                if !target_knew {
+                    sites[t] = SiteState::Infective { events: 0 };
+                }
+                let triggers = match cfg.feedback {
+                    Feedback::Blind => true,
+                    Feedback::WithFeedback => target_knew,
+                };
+                if triggers {
+                    if let SiteState::Infective { events } = &mut sites[i] {
+                        match cfg.loss {
+                            LossOfInterest::Coin { k } => {
+                                if rng.gen_range(0..k.max(1)) == 0 {
+                                    sites[i] = SiteState::Removed;
+                                    break;
+                                }
+                            }
+                            LossOfInterest::Counter { k } => {
+                                *events += 1;
+                                if *events >= k {
+                                    sites[i] = SiteState::Removed;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(rounds < 100_000, "rumor epidemic failed to die out");
+    }
+
+    let residual = sites
+        .iter()
+        .filter(|s| matches!(s, SiteState::Susceptible))
+        .count();
+    RumorStats {
+        rounds,
+        residual,
+        messages,
+    }
+}
+
+/// One anti-entropy (push-pull) spreading experiment: each round every site
+/// exchanges state with one random partner; both end up knowing the rumor if
+/// either did. Returns rounds until everyone knows. Anti-entropy guarantees
+/// eventual consistency — the property the paper's termination argument
+/// leans on ("all processes will eventually see the same data", §5.1).
+pub fn anti_entropy_rounds(n: usize, seed: u64) -> u32 {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut knows = vec![false; n];
+    knows[0] = true;
+    let mut rounds = 0;
+    while knows.iter().any(|&k| !k) {
+        rounds += 1;
+        for i in 0..n {
+            let mut t = rng.gen_range(0..n - 1);
+            if t >= i {
+                t += 1;
+            }
+            if knows[i] || knows[t] {
+                knows[i] = true;
+                knows[t] = true;
+            }
+        }
+        assert!(rounds < 10_000, "anti-entropy failed to converge");
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidemic_reaches_most_sites() {
+        let stats = simulate(200, &RumorConfig::default(), 1);
+        // Counter-2 feedback rumor mongering leaves a small residual.
+        assert!(stats.residual < 20, "residual {}", stats.residual);
+        assert!(stats.rounds > 0 && stats.messages > 0);
+    }
+
+    #[test]
+    fn higher_k_means_lower_residual_more_messages() {
+        let low = simulate(
+            500,
+            &RumorConfig {
+                loss: LossOfInterest::Counter { k: 1 },
+                ..Default::default()
+            },
+            7,
+        );
+        let high = simulate(
+            500,
+            &RumorConfig {
+                loss: LossOfInterest::Counter { k: 5 },
+                ..Default::default()
+            },
+            7,
+        );
+        assert!(high.residual <= low.residual);
+        assert!(high.messages > low.messages);
+    }
+
+    #[test]
+    fn blind_dies_faster_than_feedback() {
+        let blind = simulate(
+            300,
+            &RumorConfig {
+                feedback: Feedback::Blind,
+                loss: LossOfInterest::Coin { k: 3 },
+                fanout: 1,
+            },
+            11,
+        );
+        let feedback = simulate(
+            300,
+            &RumorConfig {
+                feedback: Feedback::WithFeedback,
+                loss: LossOfInterest::Coin { k: 3 },
+                fanout: 1,
+            },
+            11,
+        );
+        // Blind loses interest on every send, so it sends fewer messages and
+        // leaves a larger residual.
+        assert!(blind.messages <= feedback.messages);
+        assert!(blind.residual >= feedback.residual);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate(100, &RumorConfig::default(), 5);
+        let b = simulate(100, &RumorConfig::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anti_entropy_converges_logarithmically() {
+        for seed in 0..5 {
+            let rounds = anti_entropy_rounds(1024, seed);
+            // log2(1024) = 10; push-pull converges in O(log n) w.h.p.
+            assert!(rounds <= 30, "rounds {rounds}");
+            assert!(rounds >= 4, "suspiciously fast: {rounds}");
+        }
+    }
+
+    #[test]
+    fn two_sites() {
+        let stats = simulate(2, &RumorConfig::default(), 0);
+        assert_eq!(stats.residual, 0);
+        let rounds = anti_entropy_rounds(2, 0);
+        assert_eq!(rounds, 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Membership views (§5.2).
+//!
+//! "Each member process maintains a view of group membership. The view
+//! defines a set of processes that the member believes are part of the
+//! group at any given time. In addition, it contains specific information
+//! designed to log the members' activity by keeping track of when it last
+//! heard of each (known) member, directly from it or through the gossip
+//! system."
+
+use ftbb_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Member identifier (aligned with `ftbb_des::ProcId` indices).
+pub type MemberId = u32;
+
+/// Liveness judgement for one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberStatus {
+    /// Heard from recently.
+    Alive,
+    /// Silent past the failure timeout — presumed crashed.
+    Suspected,
+}
+
+/// Per-member bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemberRecord {
+    /// Largest heartbeat counter seen for this member.
+    pub heartbeat: u64,
+    /// When the heartbeat last increased (local clock).
+    pub last_heard: SimTime,
+}
+
+/// A heartbeat digest shipped inside gossip messages.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ViewDigest {
+    /// `(member, heartbeat)` entries.
+    pub entries: Vec<(MemberId, u64)>,
+}
+
+impl ViewDigest {
+    /// Wire size: 4-byte member + 8-byte heartbeat per entry + 2 header.
+    pub fn wire_size(&self) -> usize {
+        2 + 12 * self.entries.len()
+    }
+}
+
+/// A membership view: heartbeat table plus last-heard bookkeeping.
+///
+/// Swept (forgotten) members leave a *tombstone* recording their last
+/// heartbeat: stale digests still circulating in the group cannot resurrect
+/// a ghost, but a genuinely recovered member (whose heartbeat advances past
+/// the tombstone, or which reappears after the tombstone expires) is
+/// re-admitted as a newcomer — van Renesse et al.'s solution to the
+/// reinsertion problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipView {
+    records: BTreeMap<MemberId, MemberRecord>,
+    /// `member -> (last heartbeat at sweep, sweep time)`.
+    tombstones: BTreeMap<MemberId, (u64, SimTime)>,
+    /// Failure-suspicion timeout: silent longer than this ⇒ suspected.
+    pub t_fail: SimTime,
+    /// Cleanup timeout: suspected longer than this ⇒ forgotten entirely
+    /// (prevents unbounded table growth; must be ≫ `t_fail` so that
+    /// re-propagated old heartbeats do not resurrect ghosts).
+    pub t_cleanup: SimTime,
+}
+
+impl MembershipView {
+    /// Empty view with the given timeouts.
+    pub fn new(t_fail: SimTime, t_cleanup: SimTime) -> Self {
+        assert!(t_cleanup >= t_fail, "cleanup must not precede failure timeout");
+        MembershipView {
+            records: BTreeMap::new(),
+            tombstones: BTreeMap::new(),
+            t_fail,
+            t_cleanup,
+        }
+    }
+
+    /// Record a heartbeat observation; updates `last_heard` only if the
+    /// heartbeat increased (stale gossip must not refresh liveness), and
+    /// ignores tombstoned entries unless the heartbeat proves recovery.
+    pub fn observe(&mut self, member: MemberId, heartbeat: u64, now: SimTime) -> bool {
+        if let Some(&(tomb_hb, tomb_at)) = self.tombstones.get(&member) {
+            let expired = now.saturating_sub(tomb_at) >= self.t_cleanup;
+            if heartbeat <= tomb_hb && !expired {
+                return false; // stale gossip about a forgotten member
+            }
+            self.tombstones.remove(&member);
+        }
+        match self.records.get_mut(&member) {
+            Some(rec) => {
+                if heartbeat > rec.heartbeat {
+                    rec.heartbeat = heartbeat;
+                    rec.last_heard = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.records.insert(
+                    member,
+                    MemberRecord {
+                        heartbeat,
+                        last_heard: now,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Merge a digest; returns how many entries carried news.
+    pub fn merge_digest(&mut self, digest: &ViewDigest, now: SimTime) -> usize {
+        digest
+            .entries
+            .iter()
+            .filter(|&&(m, hb)| self.observe(m, hb, now))
+            .count()
+    }
+
+    /// Build the digest of everything this view knows.
+    pub fn digest(&self) -> ViewDigest {
+        ViewDigest {
+            entries: self
+                .records
+                .iter()
+                .map(|(&m, r)| (m, r.heartbeat))
+                .collect(),
+        }
+    }
+
+    /// Status of one member at local time `now`.
+    pub fn status(&self, member: MemberId, now: SimTime) -> Option<MemberStatus> {
+        self.records.get(&member).map(|r| {
+            if now.saturating_sub(r.last_heard) >= self.t_fail {
+                MemberStatus::Suspected
+            } else {
+                MemberStatus::Alive
+            }
+        })
+    }
+
+    /// Members currently believed alive.
+    pub fn alive(&self, now: SimTime) -> Vec<MemberId> {
+        self.records
+            .iter()
+            .filter(|(_, r)| now.saturating_sub(r.last_heard) < self.t_fail)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Members currently suspected.
+    pub fn suspected(&self, now: SimTime) -> Vec<MemberId> {
+        self.records
+            .iter()
+            .filter(|(_, r)| now.saturating_sub(r.last_heard) >= self.t_fail)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Forget members silent past `t_cleanup`, leaving tombstones so stale
+    /// gossip cannot resurrect them. Returns those forgotten.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<MemberId> {
+        let dead: Vec<MemberId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| now.saturating_sub(r.last_heard) >= self.t_cleanup)
+            .map(|(&m, _)| m)
+            .collect();
+        for m in &dead {
+            if let Some(rec) = self.records.remove(m) {
+                self.tombstones.insert(*m, (rec.heartbeat, now));
+            }
+        }
+        dead
+    }
+
+    /// All known members (alive or suspected).
+    pub fn known(&self) -> Vec<MemberId> {
+        self.records.keys().copied().collect()
+    }
+
+    /// Record for one member.
+    pub fn record(&self, member: MemberId) -> Option<&MemberRecord> {
+        self.records.get(&member)
+    }
+
+    /// Number of known members.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn view() -> MembershipView {
+        MembershipView::new(t(10), t(30))
+    }
+
+    #[test]
+    fn observe_new_member() {
+        let mut v = view();
+        assert!(v.observe(1, 1, t(0)));
+        assert_eq!(v.status(1, t(5)), Some(MemberStatus::Alive));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_refresh() {
+        let mut v = view();
+        v.observe(1, 5, t(0));
+        // Same heartbeat later: no refresh.
+        assert!(!v.observe(1, 5, t(8)));
+        assert_eq!(v.status(1, t(12)), Some(MemberStatus::Suspected));
+        // Larger heartbeat refreshes.
+        assert!(v.observe(1, 6, t(12)));
+        assert_eq!(v.status(1, t(13)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn suspicion_after_t_fail() {
+        let mut v = view();
+        v.observe(2, 1, t(0));
+        assert_eq!(v.status(2, t(9)), Some(MemberStatus::Alive));
+        assert_eq!(v.status(2, t(10)), Some(MemberStatus::Suspected));
+        assert_eq!(v.alive(t(11)), Vec::<MemberId>::new());
+        assert_eq!(v.suspected(t(11)), vec![2]);
+    }
+
+    #[test]
+    fn sweep_forgets_after_cleanup() {
+        let mut v = view();
+        v.observe(3, 1, t(0));
+        assert!(v.sweep(t(29)).is_empty());
+        assert_eq!(v.sweep(t(30)), vec![3]);
+        assert!(v.is_empty());
+        assert_eq!(v.status(3, t(31)), None);
+    }
+
+    #[test]
+    fn tombstone_blocks_stale_resurrection() {
+        let mut v = view();
+        v.observe(3, 7, t(0));
+        v.sweep(t(30));
+        // Stale gossip with the old heartbeat: rejected.
+        assert!(!v.observe(3, 7, t(31)));
+        assert!(!v.observe(3, 5, t(31)));
+        assert!(v.is_empty());
+        // A higher heartbeat proves the member is actually alive: readmitted.
+        assert!(v.observe(3, 8, t(32)));
+        assert_eq!(v.status(3, t(33)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn tombstone_expires_allowing_true_rejoin() {
+        let mut v = view();
+        v.observe(3, 7, t(0));
+        v.sweep(t(30));
+        // After another t_cleanup the tombstone expires; a fresh incarnation
+        // with a low heartbeat may rejoin.
+        assert!(!v.observe(3, 0, t(40)));
+        assert!(v.observe(3, 0, t(60)));
+        assert_eq!(v.status(3, t(61)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn digest_merge_round_trip() {
+        let mut a = view();
+        a.observe(1, 4, t(0));
+        a.observe(2, 7, t(0));
+        let mut b = view();
+        b.observe(2, 3, t(1)); // stale entry for 2
+        let news = b.merge_digest(&a.digest(), t(2));
+        assert_eq!(news, 2); // member 1 is new, member 2's heartbeat advanced
+        assert_eq!(b.record(2).unwrap().heartbeat, 7);
+        // Re-merging the same digest brings nothing.
+        assert_eq!(b.merge_digest(&a.digest(), t(3)), 0);
+    }
+
+    #[test]
+    fn digest_wire_size() {
+        let mut v = view();
+        v.observe(1, 1, t(0));
+        v.observe(2, 1, t(0));
+        assert_eq!(v.digest().wire_size(), 2 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "cleanup must not precede")]
+    fn bad_timeouts_rejected() {
+        MembershipView::new(t(10), t(5));
+    }
+}

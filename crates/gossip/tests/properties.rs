@@ -1,0 +1,111 @@
+//! Property-based tests of the membership view: merge semantics must be
+//! order-insensitive and monotone, or gossip would diverge.
+
+use ftbb_des::SimTime;
+use ftbb_gossip::{MembershipView, ViewDigest};
+use proptest::prelude::*;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+fn view() -> MembershipView {
+    MembershipView::new(SimTime::from_secs(5), SimTime::from_secs(20))
+}
+
+/// Random digest over a small member universe.
+fn digest_strategy() -> impl Strategy<Value = ViewDigest> {
+    proptest::collection::vec((0u32..8, 1u64..100), 0..12)
+        .prop_map(|entries| ViewDigest { entries })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Heartbeats only ever increase: merging any digest never lowers a
+    /// member's recorded heartbeat.
+    #[test]
+    fn merge_is_monotone(d1 in digest_strategy(), d2 in digest_strategy()) {
+        let mut v = view();
+        v.merge_digest(&d1, t(1));
+        let before: Vec<(u32, u64)> = v.digest().entries;
+        v.merge_digest(&d2, t(2));
+        let after = v.digest();
+        for (m, hb) in before {
+            let now = after
+                .entries
+                .iter()
+                .find(|&&(m2, _)| m2 == m)
+                .map(|&(_, h)| h)
+                .expect("members are never dropped by merging");
+            prop_assert!(now >= hb);
+        }
+    }
+
+    /// Merging digests in either order yields the same heartbeat table.
+    #[test]
+    fn merge_commutes(d1 in digest_strategy(), d2 in digest_strategy()) {
+        let mut a = view();
+        a.merge_digest(&d1, t(1));
+        a.merge_digest(&d2, t(1));
+        let mut b = view();
+        b.merge_digest(&d2, t(1));
+        b.merge_digest(&d1, t(1));
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    /// Re-merging a digest is a no-op (idempotence).
+    #[test]
+    fn merge_is_idempotent(d in digest_strategy()) {
+        let mut v = view();
+        v.merge_digest(&d, t(1));
+        let snapshot = v.digest();
+        let news = v.merge_digest(&d, t(2));
+        prop_assert_eq!(news, 0);
+        prop_assert_eq!(v.digest(), snapshot);
+    }
+
+    /// The digest of a merged view dominates both inputs (gossip is a join
+    /// in the heartbeat lattice).
+    #[test]
+    fn digest_is_lattice_join(d1 in digest_strategy(), d2 in digest_strategy()) {
+        let mut v = view();
+        v.merge_digest(&d1, t(1));
+        v.merge_digest(&d2, t(1));
+        let joined = v.digest();
+        for source in [&d1, &d2] {
+            for &(m, hb) in &source.entries {
+                let now = joined
+                    .entries
+                    .iter()
+                    .find(|&&(m2, _)| m2 == m)
+                    .map(|&(_, h)| h)
+                    .unwrap();
+                prop_assert!(now >= hb, "member {m}: {now} < {hb}");
+            }
+        }
+    }
+
+    /// Sweeping and re-learning: after a sweep, stale heartbeats cannot
+    /// resurrect the member, but strictly newer ones can.
+    #[test]
+    fn tombstones_block_only_stale(d in digest_strategy()) {
+        let mut v = view();
+        v.merge_digest(&d, t(0));
+        // Everything goes silent; sweep at t_cleanup.
+        let dead = v.sweep(t(20_000));
+        for &m in &dead {
+            let old_hb = d
+                .entries
+                .iter()
+                .filter(|&&(m2, _)| m2 == m)
+                .map(|&(_, h)| h)
+                .max()
+                .unwrap();
+            // Stale: rejected.
+            prop_assert!(!v.observe(m, old_hb, t(20_001)));
+            // Fresh: readmitted.
+            prop_assert!(v.observe(m, old_hb + 1, t(20_002)));
+        }
+    }
+}

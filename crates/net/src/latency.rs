@@ -1,0 +1,132 @@
+//! Message latency models.
+//!
+//! The paper models communication cost as `1.5 + 0.005 × L` milliseconds for
+//! a message of `L` bytes (Figure 3, Table 1). [`LatencyModel`] generalizes
+//! this to `α + β·L` with optional uniform jitter, capturing the paper's
+//! "latencies may be high, variable, and unpredictable" environment (§4).
+
+use ftbb_des::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Affine latency model `α + β·L` (milliseconds) with optional jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-message cost, in milliseconds.
+    pub fixed_ms: f64,
+    /// Per-byte cost, in milliseconds.
+    pub per_byte_ms: f64,
+    /// Multiplicative jitter half-width: the sampled latency is scaled by a
+    /// uniform factor in `[1 - jitter, 1 + jitter]`. Zero disables jitter and
+    /// keeps the model deterministic.
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// The paper's model: `1.5 + 0.005·L` ms, no jitter.
+    pub const fn paper() -> Self {
+        LatencyModel {
+            fixed_ms: 1.5,
+            per_byte_ms: 0.005,
+            jitter: 0.0,
+        }
+    }
+
+    /// A zero-latency model (useful for unit tests of protocol logic).
+    pub const fn instant() -> Self {
+        LatencyModel {
+            fixed_ms: 0.0,
+            per_byte_ms: 0.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// A LAN-like model: 0.1 ms + 0.0001 ms/byte.
+    pub const fn lan() -> Self {
+        LatencyModel {
+            fixed_ms: 0.1,
+            per_byte_ms: 0.0001,
+            jitter: 0.0,
+        }
+    }
+
+    /// A slow WAN model: 50 ms + 0.01 ms/byte.
+    pub const fn wan() -> Self {
+        LatencyModel {
+            fixed_ms: 50.0,
+            per_byte_ms: 0.01,
+            jitter: 0.0,
+        }
+    }
+
+    /// Deterministic mean latency for a message of `bytes` bytes.
+    pub fn mean_ms(&self, bytes: usize) -> f64 {
+        self.fixed_ms + self.per_byte_ms * bytes as f64
+    }
+
+    /// Sample the transit delay for a message of `bytes` bytes.
+    pub fn sample(&self, bytes: usize, rng: &mut SmallRng) -> SimTime {
+        let base = self.mean_ms(bytes);
+        let ms = if self.jitter > 0.0 {
+            let f: f64 = rng.gen_range(1.0 - self.jitter..=1.0 + self.jitter);
+            base * f
+        } else {
+            base
+        };
+        SimTime::from_millis_f64(ms)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_model_values() {
+        let m = LatencyModel::paper();
+        // 1.5 ms fixed.
+        assert!((m.mean_ms(0) - 1.5).abs() < 1e-12);
+        // 100-byte message: 1.5 + 0.5 = 2.0 ms.
+        assert!((m.mean_ms(100) - 2.0).abs() < 1e-12);
+        // 1 KB message: 1.5 + 5.12 ms.
+        assert!((m.mean_ms(1024) - 6.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let m = LatencyModel::paper();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = m.sample(512, &mut rng);
+        let b = m.sample(512, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, SimTime::from_millis_f64(1.5 + 0.005 * 512.0));
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let m = LatencyModel {
+            fixed_ms: 10.0,
+            per_byte_ms: 0.0,
+            jitter: 0.2,
+        };
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let d = m.sample(0, &mut rng).as_millis_f64();
+            assert!((8.0..=12.0).contains(&d), "jittered delay {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn instant_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(LatencyModel::instant().sample(4096, &mut rng), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! Message-loss model.
+//!
+//! The paper assumes "messages may be lost altogether" but that links do not
+//! duplicate, corrupt, or spontaneously create messages (§4). We model loss
+//! as an independent Bernoulli drop per message.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Independent per-message Bernoulli loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Probability in `[0, 1]` that any given message is dropped in transit.
+    pub p_loss: f64,
+}
+
+impl LossModel {
+    /// A lossless network.
+    pub const fn none() -> Self {
+        LossModel { p_loss: 0.0 }
+    }
+
+    /// Loss with the given probability (clamped to `[0, 1]`).
+    pub fn with_probability(p: f64) -> Self {
+        LossModel {
+            p_loss: p.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Decide whether one message is lost.
+    pub fn is_lost(&self, rng: &mut SmallRng) -> bool {
+        self.p_loss > 0.0 && rng.gen_bool(self.p_loss.min(1.0))
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let m = LossModel::none();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!((0..10_000).all(|_| !m.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let m = LossModel::with_probability(1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!((0..1000).all(|_| m.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn partial_loss_rate_is_close() {
+        let m = LossModel::with_probability(0.3);
+        let mut rng = SmallRng::seed_from_u64(123);
+        let lost = (0..100_000).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn probability_clamped() {
+        assert_eq!(LossModel::with_probability(7.0).p_loss, 1.0);
+        assert_eq!(LossModel::with_probability(-3.0).p_loss, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Temporary network partitions.
+//!
+//! The paper claims its mechanism "also works in the case of temporary
+//! network partitions" (§5.3.2). A [`PartitionSchedule`] is a list of timed
+//! windows during which the process set is split into groups; messages that
+//! cross group boundaries inside a window are dropped.
+
+use ftbb_des::{ProcId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One partition window: between `start` and `end`, only processes in the
+/// same group can communicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive); the partition heals at this instant.
+    pub end: SimTime,
+    /// Disjoint groups of process indices. A process absent from every group
+    /// is treated as isolated (its own singleton group).
+    pub groups: Vec<Vec<u32>>,
+}
+
+impl PartitionWindow {
+    fn group_of(&self, p: ProcId) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&p.0))
+    }
+
+    /// Can `a` reach `b` during this window?
+    pub fn connected(&self, a: ProcId, b: ProcId) -> bool {
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            // Isolated processes can talk to nobody but themselves.
+            _ => a == b,
+        }
+    }
+
+    /// Does the window cover time `t`?
+    pub fn covers(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A set of partition windows (possibly overlapping; a message must survive
+/// every window covering its send time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSchedule {
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// No partitions ever.
+    pub fn none() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// Add a window splitting the given process groups during `[start, end)`.
+    pub fn add_window(&mut self, start: SimTime, end: SimTime, groups: Vec<Vec<u32>>) -> &mut Self {
+        assert!(start < end, "partition window must have positive length");
+        self.windows.push(PartitionWindow { start, end, groups });
+        self
+    }
+
+    /// Convenience: split `{0..n}` into two halves `[0..k)` and `[k..n)`.
+    pub fn split_at(start: SimTime, end: SimTime, n: u32, k: u32) -> Self {
+        let mut s = PartitionSchedule::default();
+        s.add_window(
+            start,
+            end,
+            vec![(0..k).collect(), (k..n).collect()],
+        );
+        s
+    }
+
+    /// Is a message from `a` to `b` sent at time `t` deliverable?
+    pub fn connected(&self, a: ProcId, b: ProcId, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .filter(|w| w.covers(t))
+            .all(|w| w.connected(a, b))
+    }
+
+    /// True when no windows are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn no_partitions_always_connected() {
+        let s = PartitionSchedule::none();
+        assert!(s.connected(ProcId(0), ProcId(1), t(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn split_blocks_cross_group_only() {
+        let s = PartitionSchedule::split_at(t(10), t(20), 4, 2);
+        // Before the window: all connected.
+        assert!(s.connected(ProcId(0), ProcId(3), t(5)));
+        // Inside: same-group ok, cross-group blocked.
+        assert!(s.connected(ProcId(0), ProcId(1), t(15)));
+        assert!(s.connected(ProcId(2), ProcId(3), t(15)));
+        assert!(!s.connected(ProcId(0), ProcId(2), t(15)));
+        assert!(!s.connected(ProcId(3), ProcId(1), t(15)));
+        // Healing instant (end is exclusive): connected again.
+        assert!(s.connected(ProcId(0), ProcId(2), t(20)));
+    }
+
+    #[test]
+    fn isolated_process_cut_off() {
+        let mut s = PartitionSchedule::none();
+        // Only group {0,1}; process 2 unlisted => isolated.
+        s.add_window(t(0), t(10), vec![vec![0, 1]]);
+        assert!(!s.connected(ProcId(0), ProcId(2), t(5)));
+        assert!(!s.connected(ProcId(2), ProcId(1), t(5)));
+        assert!(s.connected(ProcId(2), ProcId(2), t(5)));
+        assert!(s.connected(ProcId(0), ProcId(1), t(5)));
+    }
+
+    #[test]
+    fn overlapping_windows_must_all_pass() {
+        let mut s = PartitionSchedule::none();
+        s.add_window(t(0), t(10), vec![vec![0, 1], vec![2]]);
+        s.add_window(t(5), t(15), vec![vec![0], vec![1, 2]]);
+        // t=7 covered by both: 0-1 blocked by second window.
+        assert!(!s.connected(ProcId(0), ProcId(1), t(7)));
+        // t=2 only first window: 0-1 fine.
+        assert!(s.connected(ProcId(0), ProcId(1), t(2)));
+        // t=12 only second window: 1-2 fine.
+        assert!(s.connected(ProcId(1), ProcId(2), t(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_window_rejected() {
+        PartitionSchedule::none().add_window(t(5), t(5), vec![]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The combined network: latency + loss + partitions + accounting.
+
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use crate::partition::PartitionSchedule;
+use crate::stats::NetStats;
+use ftbb_des::{ProcId, SimTime};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Why a message failed to deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Bernoulli loss.
+    Lost,
+    /// Sender and receiver were in different partition groups.
+    Partitioned,
+}
+
+/// Network configuration (serializable part of a scenario).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Latency model applied to every pair.
+    pub latency: LatencyModel,
+    /// Loss model applied to every message.
+    pub loss: LossModel,
+    /// Partition schedule.
+    pub partitions: PartitionSchedule,
+    /// Transport/protocol header bytes added to every message (UDP/IP-ish
+    /// default of 40), counted in both latency and traffic accounting.
+    pub header_bytes: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            loss: LossModel::default(),
+            partitions: PartitionSchedule::default(),
+            header_bytes: 40,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// The paper's evaluation network: `1.5 + 0.005·L` ms, lossless,
+    /// unpartitioned.
+    pub fn paper() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::paper(),
+            loss: LossModel::none(),
+            partitions: PartitionSchedule::none(),
+            header_bytes: 40,
+        }
+    }
+}
+
+/// Runtime network: applies the config and keeps traffic statistics.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Build a network for `nprocs` processes.
+    pub fn new(config: NetworkConfig, nprocs: usize) -> Self {
+        Network {
+            config,
+            stats: NetStats::new(nprocs),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Attempt to deliver a `bytes`-byte message from `from` to `to`,
+    /// sent at time `now`. Returns the transit delay, or the drop reason.
+    ///
+    /// Every call is accounted in [`NetStats`], delivered or not — the
+    /// sender still pays the communication cost (the paper charges senders
+    /// for each message handed to the network).
+    pub fn transmit(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        bytes: usize,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> Result<SimTime, DropReason> {
+        let bytes = bytes + self.config.header_bytes;
+        self.stats.on_send(from, bytes);
+        if !self.config.partitions.connected(from, to, now) {
+            self.stats.messages_partitioned += 1;
+            return Err(DropReason::Partitioned);
+        }
+        if self.config.loss.is_lost(rng) {
+            self.stats.messages_lost += 1;
+            return Err(DropReason::Lost);
+        }
+        self.stats.messages_delivered += 1;
+        Ok(self.config.latency.sample(bytes, rng))
+    }
+
+    /// Deterministic mean latency for a message size (no loss/partitions),
+    /// including header bytes.
+    pub fn mean_latency(&self, bytes: usize) -> SimTime {
+        SimTime::from_millis_f64(
+            self.config
+                .latency
+                .mean_ms(bytes + self.config.header_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_network_delivers_with_model_latency() {
+        let mut net = Network::new(NetworkConfig::paper(), 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = net
+            .transmit(ProcId(0), ProcId(1), 100, SimTime::ZERO, &mut rng)
+            .unwrap();
+        // 100 payload + 40 header bytes: 1.5 + 0.005·140 = 2.2 ms.
+        assert_eq!(d, SimTime::from_millis_f64(2.2));
+        assert_eq!(net.stats().messages_delivered, 1);
+        assert_eq!(net.stats().bytes_sent, 140);
+    }
+
+    #[test]
+    fn lossy_network_drops_and_counts() {
+        let mut cfg = NetworkConfig::paper();
+        cfg.loss = LossModel::with_probability(1.0);
+        let mut net = Network::new(cfg, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = net.transmit(ProcId(0), ProcId(1), 10, SimTime::ZERO, &mut rng);
+        assert_eq!(r, Err(DropReason::Lost));
+        assert_eq!(net.stats().messages_lost, 1);
+        // Sender still pays: bytes counted (10 payload + 40 header).
+        assert_eq!(net.stats().bytes_sent, 50);
+    }
+
+    #[test]
+    fn partitioned_network_blocks_cross_group() {
+        let mut cfg = NetworkConfig::paper();
+        cfg.partitions =
+            PartitionSchedule::split_at(SimTime::ZERO, SimTime::from_secs(10), 4, 2);
+        let mut net = Network::new(cfg, 4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = net.transmit(ProcId(0), ProcId(3), 10, SimTime::from_secs(5), &mut rng);
+        assert_eq!(r, Err(DropReason::Partitioned));
+        // After healing it delivers.
+        let r2 = net.transmit(ProcId(0), ProcId(3), 10, SimTime::from_secs(10), &mut rng);
+        assert!(r2.is_ok());
+        assert_eq!(net.stats().messages_partitioned, 1);
+    }
+}

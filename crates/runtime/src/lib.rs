@@ -1,0 +1,29 @@
+//! # ftbb-runtime — the protocol on real threads
+//!
+//! The paper evaluates its algorithm in simulation only; this crate runs the
+//! *identical* [`ftbb_core::BnbProcess`] state machine on real threads with
+//! crossbeam channels and wall-clock timers — the "real implementation" the
+//! paper leaves as future work.
+//!
+//! Differences from the simulator are confined to the harness:
+//!
+//! * time is `Instant`-based instead of virtual;
+//! * expansions run the actual [`ftbb_bnb::BranchBound`] computation by
+//!   rebuilding node state from self-contained codes;
+//! * crashes are injected by tripping a [`CrashSwitch`]: the thread stops
+//!   silently, and peers see only silence — the Crash failure model;
+//! * messages travel through in-process channels (sends to dead nodes are
+//!   dropped, like lost datagrams).
+//!
+//! Runs are not deterministic (thread scheduling), but correctness is: any
+//! crash schedule that leaves one node alive yields the sequential optimum.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod node;
+pub mod transport;
+
+pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use node::{run_node, CrashSwitch, NodeOutcome};
+pub use transport::{Envelope, Mesh};

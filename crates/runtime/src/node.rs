@@ -1,0 +1,176 @@
+//! One node: a thread driving a [`BnbProcess`] with real time and channels.
+
+use crate::transport::{Envelope, Mesh};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use ftbb_core::{Action, BnbProcess, Expander, PEvent, PTimer, ProcMetrics};
+use ftbb_des::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a node reports when its thread finishes.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Node id.
+    pub id: u32,
+    /// Did it detect termination (as opposed to being crashed)?
+    pub terminated: bool,
+    /// Its final incumbent.
+    pub incumbent: f64,
+    /// Protocol counters.
+    pub metrics: ProcMetrics,
+    /// Wall-clock lifetime.
+    pub lifetime: Duration,
+}
+
+/// Crash switch handed to the failure injector.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSwitch(Arc<AtomicBool>);
+
+impl CrashSwitch {
+    /// Trip the switch: the node dies silently at its next loop iteration.
+    pub fn crash(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Drive `core` until termination or crash. Returns the outcome
+/// (`None` if the node was crashed — crashed nodes report nothing).
+pub fn run_node<E: Expander>(
+    mut core: BnbProcess,
+    mut expander: E,
+    mesh: &Mesh,
+    inbox: Receiver<Envelope>,
+    crash: CrashSwitch,
+    hard_deadline: Duration,
+) -> Option<NodeOutcome> {
+    let id = core.id();
+    let epoch = Instant::now();
+    let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
+
+    // Pending timers ordered by deadline; ties broken by arming order.
+    let mut timers: BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+
+    let apply = |actions: Vec<Action>,
+                     timers: &mut BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>>,
+                     timer_seq: &mut u64,
+                     expander: &mut E,
+                     core: &mut BnbProcess|
+     -> bool {
+        let mut halted = false;
+        let mut queue = actions;
+        while !queue.is_empty() {
+            let mut next = Vec::new();
+            for action in queue.drain(..) {
+                match action {
+                    Action::Send { to, msg } => mesh.send(id, to, msg),
+                    Action::StartWork { code, seq } => {
+                        // Real computation happens here, inline.
+                        let expansion = expander.expand(&code);
+                        let done = core.handle(
+                            PEvent::WorkDone { seq, expansion },
+                            now(epoch),
+                        );
+                        next.extend(done);
+                    }
+                    Action::SetTimer { delay_s, timer } => {
+                        let at = now(epoch) + SimTime::from_secs_f64(delay_s);
+                        timers.push(Reverse((at, *timer_seq, TimerSlot(timer))));
+                        *timer_seq += 1;
+                    }
+                    Action::Halt => halted = true,
+                }
+            }
+            queue = next;
+        }
+        halted
+    };
+
+    let start_actions = core.handle(PEvent::Start, now(epoch));
+    let mut halted = apply(
+        start_actions,
+        &mut timers,
+        &mut timer_seq,
+        &mut expander,
+        &mut core,
+    );
+
+    while !halted {
+        if crash.is_crashed() {
+            return None;
+        }
+        if epoch.elapsed() > hard_deadline {
+            // Safety valve for tests: report as non-terminated.
+            break;
+        }
+        // Next timer deadline bounds the receive wait.
+        let wait = match timers.peek() {
+            Some(Reverse((at, _, _))) => {
+                let t = now(epoch);
+                if *at <= t {
+                    Duration::ZERO
+                } else {
+                    Duration::from_secs_f64((*at - t).as_secs_f64())
+                }
+            }
+            None => Duration::from_millis(5),
+        };
+        match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
+            Ok(env) => {
+                let actions = core.handle(
+                    PEvent::Recv {
+                        from: env.from,
+                        msg: env.msg,
+                    },
+                    now(epoch),
+                );
+                halted |= apply(actions, &mut timers, &mut timer_seq, &mut expander, &mut core);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // Fire due timers.
+        loop {
+            let due = matches!(timers.peek(), Some(Reverse((at, _, _))) if *at <= now(epoch));
+            if !due {
+                break;
+            }
+            let Reverse((_, _, TimerSlot(timer))) = timers.pop().expect("peeked");
+            let actions = core.handle(PEvent::Timer(timer), now(epoch));
+            halted |= apply(actions, &mut timers, &mut timer_seq, &mut expander, &mut core);
+        }
+    }
+
+    Some(NodeOutcome {
+        id,
+        terminated: core.is_terminated(),
+        incumbent: core.incumbent(),
+        metrics: core.metrics().clone(),
+        lifetime: epoch.elapsed(),
+    })
+}
+
+/// Ordered wrapper so the heap can compare timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerSlot(PTimer);
+
+impl PartialOrd for TimerSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerSlot {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        // Deadline and sequence already totally order heap entries; the
+        // timer payload itself does not participate.
+        std::cmp::Ordering::Equal
+    }
+}

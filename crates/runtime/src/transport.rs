@@ -1,0 +1,88 @@
+//! In-process message transport: one crossbeam channel per node.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use ftbb_core::Msg;
+
+/// A routed protocol message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender node id.
+    pub from: u32,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// The mesh of channels connecting all nodes.
+pub struct Mesh {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl Mesh {
+    /// Build a mesh for `n` nodes; returns the mesh and each node's inbox.
+    pub fn new(n: usize) -> (Mesh, Vec<Receiver<Envelope>>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        (Mesh { senders }, receivers)
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if the mesh has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Send a message; silently drops if the destination has shut down
+    /// (crashed or terminated nodes close their inbox — exactly the
+    /// lost-message behaviour the protocol tolerates).
+    pub fn send(&self, from: u32, to: u32, msg: Msg) {
+        if let Some(tx) = self.senders.get(to as usize) {
+            match tx.try_send(Envelope { from, msg }) {
+                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_messages() {
+        let (mesh, rxs) = Mesh::new(2);
+        mesh.send(
+            0,
+            1,
+            Msg::WorkDeny {
+                incumbent: f64::INFINITY,
+            },
+        );
+        let env = rxs[1].try_recv().unwrap();
+        assert_eq!(env.from, 0);
+        assert!(matches!(env.msg, Msg::WorkDeny { .. }));
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_is_silent() {
+        let (mesh, rxs) = Mesh::new(2);
+        drop(rxs); // all inboxes closed
+        mesh.send(
+            0,
+            1,
+            Msg::WorkDeny {
+                incumbent: f64::INFINITY,
+            },
+        );
+        // no panic
+        assert_eq!(mesh.len(), 2);
+    }
+}

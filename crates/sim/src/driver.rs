@@ -1,0 +1,436 @@
+//! Building and running whole-cluster simulations.
+
+use crate::actor::{SimProcess, TimeBreakdown};
+use crate::shared::{OverheadModel, Shared};
+use ftbb_core::{BnbProcess, Expander, ProcMetrics, ProtocolConfig, TreeExpander};
+use ftbb_des::{Engine, ProcId, RunLimits, RunStats, SimTime, StateInterval};
+use ftbb_net::{NetStats, Network, NetworkConfig};
+use ftbb_tree::BasicTree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub nprocs: u32,
+    /// Protocol parameters (shared by all processes).
+    pub protocol: ProtocolConfig,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Overhead model (contraction, send/receive costs).
+    pub overheads: OverheadModel,
+    /// Granularity multiplier on recorded node costs (§6.2).
+    pub granularity: f64,
+    /// Per-process relative speeds; empty = all 1.0 (homogeneous).
+    pub speeds: Vec<f64>,
+    /// Crash schedule: `(process, time)`.
+    pub failures: Vec<(u32, SimTime)>,
+    /// Non-root processes start uniformly inside `[0, start_stagger_s]`.
+    pub start_stagger_s: f64,
+    /// Storage sampling period, in seconds.
+    pub sample_interval_s: f64,
+    /// Master seed (engine + per-process protocol RNGs).
+    pub seed: u64,
+    /// Record state timelines (Figures 5/6).
+    pub trace: bool,
+    /// Safety valve on dispatched events.
+    pub max_events: u64,
+    /// Optional virtual-time horizon.
+    pub horizon: Option<SimTime>,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration for `nprocs` processes on the
+    /// paper's network.
+    pub fn new(nprocs: u32) -> Self {
+        SimConfig {
+            nprocs,
+            protocol: ProtocolConfig::default(),
+            network: NetworkConfig::paper(),
+            overheads: OverheadModel::default(),
+            granularity: 1.0,
+            speeds: Vec::new(),
+            failures: Vec::new(),
+            start_stagger_s: 0.01,
+            sample_interval_s: 1.0,
+            seed: 1,
+            trace: false,
+            max_events: 500_000_000,
+            horizon: None,
+        }
+    }
+}
+
+/// Per-process outcome.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// Time-category totals.
+    pub times: TimeBreakdown,
+    /// Idle time: lifetime minus busy time.
+    pub idle: SimTime,
+    /// Protocol counters.
+    pub metrics: ProcMetrics,
+    /// When the process detected termination (halted).
+    pub halted_at: Option<SimTime>,
+    /// When the process crashed, if it did.
+    pub crashed_at: Option<SimTime>,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock (virtual) completion: when the last live process halted.
+    pub exec_time: SimTime,
+    /// Earliest termination detection.
+    pub first_detection: Option<SimTime>,
+    /// The best solution at the terminated processes (`None` = infeasible).
+    pub best: Option<f64>,
+    /// Did every non-crashed process detect termination?
+    pub all_live_terminated: bool,
+    /// Per-process reports.
+    pub procs: Vec<ProcReport>,
+    /// Aggregated protocol counters.
+    pub totals: ProcMetrics,
+    /// Network traffic counters.
+    pub net: NetStats,
+    /// Unique subproblems expanded across the system.
+    pub expanded_unique: u64,
+    /// Redundant (repeated) expansions.
+    pub redundant_expansions: u64,
+    /// Peak of summed per-process storage, bytes.
+    pub storage_peak_bytes: usize,
+    /// Duplicated information at the peak, bytes.
+    pub storage_redundant_bytes: usize,
+    /// Per-process state timelines (if tracing was on).
+    pub timelines: Option<Vec<Vec<StateInterval>>>,
+    /// Engine statistics.
+    pub engine: RunStats,
+}
+
+impl RunReport {
+    /// Speedup versus a given uniprocessor reference time.
+    pub fn speedup_vs(&self, uniprocessor: SimTime) -> f64 {
+        if self.exec_time.is_zero() {
+            return 0.0;
+        }
+        uniprocessor.as_secs_f64() / self.exec_time.as_secs_f64()
+    }
+
+    /// Fraction of total busy+idle time spent in a category, system-wide.
+    pub fn fraction(&self, pick: impl Fn(&ProcReport) -> SimTime) -> f64 {
+        let total: f64 = self
+            .procs
+            .iter()
+            .map(|p| p.times.busy().as_secs_f64() + p.idle.as_secs_f64())
+            .sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let part: f64 = self.procs.iter().map(|p| pick(p).as_secs_f64()).sum();
+        part / total
+    }
+
+    /// Communication in MB/hour/processor (Table 1's last column).
+    pub fn comm_mb_per_hour_per_proc(&self) -> f64 {
+        self.net
+            .mb_per_hour_per_proc(self.exec_time, self.procs.len())
+    }
+}
+
+/// Run one simulation of `tree` under `cfg`.
+pub fn run_sim(tree: &Arc<BasicTree>, cfg: &SimConfig) -> RunReport {
+    assert!(cfg.nprocs >= 1);
+    let n = cfg.nprocs as usize;
+    let shared = Rc::new(RefCell::new(Shared::new(
+        Network::new(cfg.network.clone(), n),
+        n,
+        cfg.overheads,
+    )));
+
+    let mut engine: Engine<SimProcess> = Engine::new(cfg.seed);
+    if cfg.trace {
+        engine.enable_trace();
+    }
+
+    let mut seeder = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed_5eed);
+    let members: Vec<u32> = (0..cfg.nprocs).collect();
+    for pid in 0..cfg.nprocs {
+        let expander = TreeExpander::with_granularity(Arc::clone(tree), cfg.granularity);
+        let root_bound = expander.root_bound();
+        let core = if cfg.protocol.membership.is_some() {
+            BnbProcess::with_membership(
+                pid,
+                vec![0], // process 0 doubles as the gossip server
+                pid == 0,
+                cfg.protocol.clone(),
+                root_bound,
+                pid == 0,
+                cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(pid as u64),
+                SimTime::ZERO,
+            )
+        } else {
+            BnbProcess::new(
+                pid,
+                members.clone(),
+                cfg.protocol.clone(),
+                root_bound,
+                pid == 0,
+                cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(pid as u64),
+            )
+        };
+        let speed = cfg.speeds.get(pid as usize).copied().unwrap_or(1.0);
+        let actor = SimProcess::new(
+            core,
+            expander,
+            Rc::clone(&shared),
+            speed,
+            SimTime::from_secs_f64(cfg.sample_interval_s.max(1e-3)),
+        );
+        let start_at = if pid == 0 || cfg.start_stagger_s <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_secs_f64(seeder.gen_range(0.0..=cfg.start_stagger_s))
+        };
+        let got = engine.add_process(actor, start_at);
+        debug_assert_eq!(got, ProcId(pid));
+    }
+    for &(pid, at) in &cfg.failures {
+        assert!(pid < cfg.nprocs, "failure schedule names unknown process");
+        engine.schedule_crash(ProcId(pid), at);
+    }
+
+    let limits = RunLimits {
+        time_horizon: cfg.horizon,
+        max_events: Some(cfg.max_events),
+    };
+    let stats = engine.run(limits);
+
+    // ---- collect ----
+    let sh = shared.borrow();
+    let mut procs = Vec::with_capacity(n);
+    let mut totals = ProcMetrics::default();
+    let mut best = f64::INFINITY;
+    let mut all_live_terminated = true;
+    let mut exec_time = SimTime::ZERO;
+    for pid in 0..n {
+        let actor = engine.process(ProcId(pid as u32));
+        let core = actor.core();
+        let halted_at = sh.halted_at[pid];
+        let crashed_at = sh.crashed_at[pid];
+        let lifetime_end = halted_at.or(crashed_at).unwrap_or(stats.end_time);
+        let idle = lifetime_end.saturating_sub(actor.times().busy());
+        totals.absorb(core.metrics());
+        if crashed_at.is_none() {
+            if core.is_terminated() {
+                best = best.min(core.incumbent());
+                exec_time = exec_time.max(halted_at.unwrap_or(stats.end_time));
+            } else {
+                all_live_terminated = false;
+            }
+        }
+        procs.push(ProcReport {
+            times: *actor.times(),
+            idle,
+            metrics: core.metrics().clone(),
+            halted_at,
+            crashed_at,
+        });
+    }
+    if !all_live_terminated {
+        exec_time = stats.end_time;
+    }
+
+    let timelines = if cfg.trace {
+        Some(engine.tracer().timelines(n, stats.end_time))
+    } else {
+        None
+    };
+
+    RunReport {
+        exec_time,
+        first_detection: sh.first_detection,
+        best: if best.is_finite() { Some(best) } else { None },
+        all_live_terminated,
+        procs,
+        totals,
+        net: sh.net.stats().clone(),
+        expanded_unique: sh.expanded_global.len() as u64,
+        redundant_expansions: sh.redundant_expansions,
+        storage_peak_bytes: sh.peak_storage_sum,
+        storage_redundant_bytes: sh.peak_storage_redundant,
+        timelines,
+        engine: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbb_tree::{random_basic_tree, TreeConfig};
+
+    fn small_tree() -> Arc<BasicTree> {
+        Arc::new(random_basic_tree(&TreeConfig {
+            target_nodes: 401,
+            mean_cost: 0.01,
+            seed: 7,
+            ..Default::default()
+        }))
+    }
+
+    fn quick_cfg(n: u32, seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::new(n);
+        cfg.seed = seed;
+        cfg.protocol.report_interval_s = 0.2;
+        cfg.protocol.table_gossip_interval_s = 1.0;
+        cfg.protocol.lb_timeout_s = 0.1;
+        cfg.protocol.recovery_delay_s = 0.3;
+        cfg.sample_interval_s = 0.2;
+        cfg
+    }
+
+    #[test]
+    fn single_process_solves_tree() {
+        let tree = small_tree();
+        let report = run_sim(&tree, &quick_cfg(1, 3));
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+        assert_eq!(report.redundant_expansions, 0);
+        assert!(report.exec_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn four_processes_agree_with_sequential() {
+        let tree = small_tree();
+        let report = run_sim(&tree, &quick_cfg(4, 11));
+        assert!(report.all_live_terminated, "not all terminated");
+        assert_eq!(report.best, tree.optimal());
+        // Work was actually distributed.
+        let working_procs = report
+            .procs
+            .iter()
+            .filter(|p| p.metrics.expanded > 0)
+            .count();
+        assert!(working_procs >= 2, "only {working_procs} procs worked");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let tree = small_tree();
+        let a = run_sim(&tree, &quick_cfg(4, 5));
+        let b = run_sim(&tree, &quick_cfg(4, 5));
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.totals.expanded, b.totals.expanded);
+        assert_eq!(a.net.messages_sent, b.net.messages_sent);
+    }
+
+    #[test]
+    fn crash_of_one_process_recovers() {
+        let tree = small_tree();
+        let mut cfg = quick_cfg(4, 13);
+        // Kill process 1 early — its pool contents must be recovered.
+        cfg.failures = vec![(1, SimTime::from_millis(300))];
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+        assert!(report.procs[1].crashed_at.is_some());
+        assert!(report.procs[1].halted_at.is_none());
+    }
+
+    #[test]
+    fn crash_of_root_holder_recovers() {
+        let tree = small_tree();
+        let mut cfg = quick_cfg(4, 17);
+        cfg.failures = vec![(0, SimTime::from_millis(200))];
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+    }
+
+    #[test]
+    fn all_but_one_crash_still_solves() {
+        // The paper's headline guarantee (§5.5): "the failure of all
+        // processes but one still allows the problem to be correctly solved."
+        let tree = small_tree();
+        let mut cfg = quick_cfg(4, 19);
+        cfg.failures = vec![
+            (0, SimTime::from_millis(400)),
+            (1, SimTime::from_millis(450)),
+            (3, SimTime::from_millis(500)),
+        ];
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+        // The survivor inevitably redid some lost work.
+        assert!(report.totals.recoveries > 0 || report.redundant_expansions > 0);
+    }
+
+    #[test]
+    fn message_loss_does_not_break_correctness() {
+        let tree = small_tree();
+        let mut cfg = quick_cfg(4, 23);
+        cfg.network.loss = ftbb_net::LossModel::with_probability(0.2);
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+        assert!(report.net.messages_lost > 0);
+    }
+
+    #[test]
+    fn trace_produces_timelines() {
+        let tree = small_tree();
+        let mut cfg = quick_cfg(2, 29);
+        cfg.trace = true;
+        let report = run_sim(&tree, &cfg);
+        let tl = report.timelines.expect("tracing on");
+        assert_eq!(tl.len(), 2);
+        assert!(tl.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn breakdown_accounts_time() {
+        let tree = small_tree();
+        let report = run_sim(&tree, &quick_cfg(3, 31));
+        for (i, p) in report.procs.iter().enumerate() {
+            let lifetime = p.halted_at.unwrap().as_secs_f64();
+            let accounted = (p.times.busy() + p.idle).as_secs_f64();
+            // busy + idle covers the lifetime; a small tail past the halt
+            // instant is possible (the final termination broadcast is
+            // charged at halt time).
+            assert!(
+                accounted >= lifetime - 1e-9,
+                "proc {i}: busy+idle {accounted} < lifetime {lifetime}"
+            );
+            assert!(
+                accounted - lifetime < 0.05 * lifetime + 0.05,
+                "proc {i}: unexplained busy tail: {accounted} vs {lifetime}"
+            );
+            // Expansion time lands in bb or (if every expansion raced with
+            // another process) in the redundant bucket.
+            assert!(
+                p.times.bb + p.times.redundant > SimTime::ZERO || p.metrics.expanded == 0
+            );
+        }
+        // Unique expansions ≤ tree size.
+        assert!(report.expanded_unique <= tree.len() as u64);
+    }
+
+    #[test]
+    fn faster_processor_does_more_work() {
+        let tree = small_tree();
+        let mut cfg = quick_cfg(2, 37);
+        cfg.speeds = vec![4.0, 0.5];
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated);
+        assert_eq!(report.best, tree.optimal());
+        assert!(
+            report.procs[0].metrics.expanded > report.procs[1].metrics.expanded,
+            "fast proc {} vs slow {}",
+            report.procs[0].metrics.expanded,
+            report.procs[1].metrics.expanded
+        );
+    }
+}

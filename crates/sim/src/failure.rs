@@ -1,0 +1,73 @@
+//! Failure-schedule builders for the reliability experiments (§6.3.2).
+
+use ftbb_des::SimTime;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Kill `k` distinct random processes out of `n` at the given times
+/// (cyclic over `times` if `k > times.len()`). Deterministic per seed.
+pub fn kill_random_k(n: u32, k: u32, times: &[SimTime], seed: u64) -> Vec<(u32, SimTime)> {
+    assert!(k < n, "must leave at least one process alive");
+    assert!(!times.is_empty());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pids: Vec<u32> = (0..n).collect();
+    pids.shuffle(&mut rng);
+    pids.truncate(k as usize);
+    pids.iter()
+        .enumerate()
+        .map(|(i, &p)| (p, times[i % times.len()]))
+        .collect()
+}
+
+/// Kill every process except `survivor` at time `at` (the paper's headline
+/// scenario and Figure 6, generalized).
+pub fn kill_all_but_one(n: u32, survivor: u32, at: SimTime) -> Vec<(u32, SimTime)> {
+    assert!(survivor < n);
+    (0..n).filter(|&p| p != survivor).map(|p| (p, at)).collect()
+}
+
+/// The Figure 6 schedule: on `n` processes, all but process 0 crash at
+/// `fraction` of the reference execution time `ref_exec`.
+pub fn fig6_schedule(n: u32, ref_exec: SimTime, fraction: f64) -> Vec<(u32, SimTime)> {
+    assert!((0.0..=1.0).contains(&fraction));
+    let at = SimTime::from_secs_f64(ref_exec.as_secs_f64() * fraction);
+    kill_all_but_one(n, 0, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_random_k_is_deterministic_and_distinct() {
+        let t = [SimTime::from_secs(1), SimTime::from_secs(2)];
+        let a = kill_random_k(10, 4, &t, 9);
+        let b = kill_random_k(10, 4, &t, 9);
+        assert_eq!(a, b);
+        let mut pids: Vec<u32> = a.iter().map(|&(p, _)| p).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), 4);
+    }
+
+    #[test]
+    fn kill_all_but_one_spares_survivor() {
+        let sched = kill_all_but_one(5, 2, SimTime::from_secs(3));
+        assert_eq!(sched.len(), 4);
+        assert!(sched.iter().all(|&(p, _)| p != 2));
+    }
+
+    #[test]
+    fn fig6_schedule_is_at_fraction() {
+        let sched = fig6_schedule(3, SimTime::from_secs(100), 0.85);
+        assert_eq!(sched.len(), 2);
+        assert!(sched.iter().all(|&(_, t)| t == SimTime::from_secs(85)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn cannot_kill_everyone() {
+        kill_random_k(3, 3, &[SimTime::ZERO], 0);
+    }
+}

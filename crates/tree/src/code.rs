@@ -1,0 +1,246 @@
+//! The paper's problem encoding (§5.3.1).
+//!
+//! A subproblem is uniquely identified by its position in the B&B tree,
+//! written as a sequence of pairs `⟨xᵢ, value⟩`: `xᵢ` is the condition
+//! (branching) variable and `value ∈ {0, 1}` selects the left or right
+//! branch. Variables are part of the code because different subtrees may
+//! branch on different variables in different orders. Together with the
+//! root instance data, a code is *self-contained*: it suffices to
+//! reconstruct and re-solve the subproblem on any processor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A condition (branching) variable identifier.
+pub type Var = u16;
+
+/// One decision `⟨var, bit⟩` on the path from the root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pair {
+    /// The condition variable branched upon.
+    pub var: Var,
+    /// `false` = left branch (0), `true` = right branch (1).
+    pub bit: bool,
+}
+
+impl fmt::Debug for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<x{},{}>", self.var, self.bit as u8)
+    }
+}
+
+/// A subproblem code: the path of decisions from the root. The root problem
+/// has the empty code `()`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Code {
+    pairs: Vec<Pair>,
+}
+
+impl Code {
+    /// The root problem's code, `()`.
+    pub fn root() -> Self {
+        Code { pairs: Vec::new() }
+    }
+
+    /// Build a code from decision pairs.
+    pub fn from_pairs(pairs: Vec<Pair>) -> Self {
+        Code { pairs }
+    }
+
+    /// Convenience constructor from `(var, bit)` tuples.
+    pub fn from_decisions(decisions: &[(Var, bool)]) -> Self {
+        Code {
+            pairs: decisions
+                .iter()
+                .map(|&(var, bit)| Pair { var, bit })
+                .collect(),
+        }
+    }
+
+    /// The decision pairs, root-first.
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Is this the root code?
+    pub fn is_root(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Depth in the tree (number of decisions).
+    pub fn depth(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The code of the child obtained by branching on `var` with `bit`.
+    pub fn child(&self, var: Var, bit: bool) -> Code {
+        let mut pairs = Vec::with_capacity(self.pairs.len() + 1);
+        pairs.extend_from_slice(&self.pairs);
+        pairs.push(Pair { var, bit });
+        Code { pairs }
+    }
+
+    /// The parent's code, or `None` for the root.
+    pub fn parent(&self) -> Option<Code> {
+        if self.pairs.is_empty() {
+            None
+        } else {
+            Some(Code {
+                pairs: self.pairs[..self.pairs.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// The sibling's code (same parent, opposite final branch), or `None`
+    /// for the root.
+    pub fn sibling(&self) -> Option<Code> {
+        let last = *self.pairs.last()?;
+        let mut pairs = self.pairs.clone();
+        *pairs.last_mut().expect("non-empty") = Pair {
+            var: last.var,
+            bit: !last.bit,
+        };
+        Some(Code { pairs })
+    }
+
+    /// The final decision pair, or `None` for the root.
+    pub fn last(&self) -> Option<Pair> {
+        self.pairs.last().copied()
+    }
+
+    /// Is `self` an ancestor of (a strict prefix of) `other`?
+    pub fn is_ancestor_of(&self, other: &Code) -> bool {
+        self.pairs.len() < other.pairs.len()
+            && other.pairs[..self.pairs.len()] == self.pairs[..]
+    }
+
+    /// Is `self` an ancestor of or equal to `other`?
+    pub fn is_prefix_of(&self, other: &Code) -> bool {
+        self.pairs.len() <= other.pairs.len()
+            && other.pairs[..self.pairs.len()] == self.pairs[..]
+    }
+
+    /// Are `self` and `other` siblings (same parent, opposite branch)?
+    pub fn is_sibling_of(&self, other: &Code) -> bool {
+        if self.pairs.len() != other.pairs.len() || self.pairs.is_empty() {
+            return false;
+        }
+        let n = self.pairs.len() - 1;
+        self.pairs[..n] == other.pairs[..n]
+            && self.pairs[n].var == other.pairs[n].var
+            && self.pairs[n].bit != other.pairs[n].bit
+    }
+
+    /// Size of this code on the wire, in bytes: each pair packs a 15-bit
+    /// variable id and the branch bit into a `u16`, plus a 2-byte length
+    /// header. This is the quantity the work-report compression of §5.3.2
+    /// reduces.
+    pub fn wire_size(&self) -> usize {
+        2 + 2 * self.pairs.len()
+    }
+}
+
+impl fmt::Debug for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Code {
+    /// Formats like the paper's Figure 1: `(<x1,0>,<x2,1>)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "<x{},{}>", p.var, p.bit as u8)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example of the paper's Figure 1.
+    fn fig1_code() -> Code {
+        Code::from_decisions(&[(1, false), (2, true), (5, false)])
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = Code::root();
+        assert!(r.is_root());
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.sibling(), None);
+        assert_eq!(r.last(), None);
+        assert_eq!(format!("{r}"), "()");
+        assert_eq!(r.wire_size(), 2);
+    }
+
+    #[test]
+    fn figure_1_display() {
+        assert_eq!(format!("{}", fig1_code()), "(<x1,0>,<x2,1>,<x5,0>)");
+    }
+
+    #[test]
+    fn child_parent_sibling() {
+        let c = fig1_code();
+        let parent = Code::from_decisions(&[(1, false), (2, true)]);
+        assert_eq!(c.parent(), Some(parent.clone()));
+        assert_eq!(parent.child(5, false), c);
+        let sib = Code::from_decisions(&[(1, false), (2, true), (5, true)]);
+        assert_eq!(c.sibling(), Some(sib.clone()));
+        assert!(c.is_sibling_of(&sib));
+        assert!(sib.is_sibling_of(&c));
+        assert_eq!(sib.sibling(), Some(c.clone()));
+    }
+
+    #[test]
+    fn siblings_require_same_var() {
+        // Same position, different variable: NOT siblings (different subtrees
+        // may branch on different variables — paper §5.3.1).
+        let a = Code::from_decisions(&[(1, false), (3, false)]);
+        let b = Code::from_decisions(&[(1, false), (4, true)]);
+        assert!(!a.is_sibling_of(&b));
+    }
+
+    #[test]
+    fn ancestry() {
+        let c = fig1_code();
+        let anc = Code::from_decisions(&[(1, false)]);
+        assert!(anc.is_ancestor_of(&c));
+        assert!(Code::root().is_ancestor_of(&c));
+        assert!(!c.is_ancestor_of(&anc));
+        assert!(!c.is_ancestor_of(&c));
+        assert!(c.is_prefix_of(&c));
+        assert!(anc.is_prefix_of(&c));
+        // Divergent path is not an ancestor.
+        let other = Code::from_decisions(&[(1, true)]);
+        assert!(!other.is_ancestor_of(&c));
+    }
+
+    #[test]
+    fn wire_size_grows_with_depth() {
+        // "The deeper the node in the tree, the larger the size of its code."
+        let mut c = Code::root();
+        let mut prev = c.wire_size();
+        for d in 0..10 {
+            c = c.child(d, d % 2 == 0);
+            assert!(c.wire_size() > prev);
+            prev = c.wire_size();
+        }
+        assert_eq!(c.wire_size(), 2 + 2 * 10);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Code::from_decisions(&[(1, false)]);
+        let b = Code::from_decisions(&[(1, false), (2, false)]);
+        let c = Code::from_decisions(&[(1, true)]);
+        assert!(a < b && b < c);
+    }
+}

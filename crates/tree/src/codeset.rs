@@ -1,0 +1,522 @@
+//! Contracting sets of completed subproblem codes (§5.3.2).
+//!
+//! Every process keeps a *table* of the completed problems it knows about.
+//! The table is a trie over decision pairs with two rewrite rules applied
+//! eagerly on insertion:
+//!
+//! 1. **Sibling contraction** — the codes of two completed siblings are
+//!    replaced by their parent's code ("the completion of a parent node
+//!    implies the completion of its children"), recursively.
+//! 2. **Ancestor subsumption** — a code whose ancestor is already completed
+//!    is redundant and dropped.
+//!
+//! Termination detection (§5.4) falls out for free: the computation is done
+//! exactly when contraction produces the root code ([`CodeSet::is_root_done`]).
+
+use crate::code::{Code, Pair, Var};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    /// Branching variable at this node, learned from inserted codes. `None`
+    /// only for terminal (done) nodes and an untouched root.
+    var: Option<Var>,
+    /// Completed: the entire subtree below this position is finished.
+    done: bool,
+    /// Children, indexed by branch bit.
+    kids: [Option<Box<TrieNode>>; 2],
+}
+
+impl TrieNode {
+    fn count_nodes(&self) -> usize {
+        1 + self
+            .kids
+            .iter()
+            .flatten()
+            .map(|k| k.count_nodes())
+            .sum::<usize>()
+    }
+}
+
+/// Outcome of merging codes into a [`CodeSet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Codes that added new information.
+    pub inserted: usize,
+    /// Codes already covered by the table (redundant gossip).
+    pub already_known: usize,
+    /// Number of sibling contractions triggered.
+    pub contractions: usize,
+}
+
+impl MergeOutcome {
+    /// Total codes processed.
+    pub fn processed(&self) -> usize {
+        self.inserted + self.already_known
+    }
+
+    fn absorb(&mut self, other: MergeOutcome) {
+        self.inserted += other.inserted;
+        self.already_known += other.already_known;
+        self.contractions += other.contractions;
+    }
+}
+
+/// A set of completed codes, kept contracted at all times.
+#[derive(Clone, Default, Serialize, Deserialize)]
+#[serde(into = "Vec<Code>", from = "Vec<Code>")]
+pub struct CodeSet {
+    root: TrieNode,
+    /// Live trie nodes (for storage accounting).
+    node_count: usize,
+    /// Lifetime counters.
+    total_inserts: u64,
+    total_contractions: u64,
+}
+
+impl CodeSet {
+    /// An empty table.
+    pub fn new() -> Self {
+        CodeSet {
+            root: TrieNode::default(),
+            node_count: 1,
+            total_inserts: 0,
+            total_contractions: 0,
+        }
+    }
+
+    /// Is the whole tree completed? (The termination condition, §5.4.)
+    pub fn is_root_done(&self) -> bool {
+        self.root.done
+    }
+
+    /// Is `code`'s subtree known completed (directly or via an ancestor)?
+    pub fn contains(&self, code: &Code) -> bool {
+        let mut node = &self.root;
+        if node.done {
+            return true;
+        }
+        for p in code.pairs() {
+            match &node.kids[p.bit as usize] {
+                Some(k) => {
+                    node = k;
+                    if node.done {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        node.done
+    }
+
+    /// Insert one completed code. Returns the merge outcome for this code.
+    pub fn insert(&mut self, code: &Code) -> MergeOutcome {
+        let mut out = MergeOutcome::default();
+        let mut created = 0usize;
+        let mut freed = 0usize;
+        let newly =
+            Self::insert_rec(&mut self.root, code.pairs(), &mut out, &mut created, &mut freed);
+        let _ = newly;
+        self.node_count += created;
+        self.node_count -= freed;
+        self.total_inserts += 1;
+        self.total_contractions += out.contractions as u64;
+        if out.inserted == 0 && out.already_known == 0 {
+            // The code reached its slot and marked it done.
+            out.inserted = 1;
+        }
+        out
+    }
+
+    /// Returns true if `node` *newly* became done during this insertion.
+    fn insert_rec(
+        node: &mut TrieNode,
+        pairs: &[Pair],
+        out: &mut MergeOutcome,
+        created: &mut usize,
+        freed: &mut usize,
+    ) -> bool {
+        if node.done {
+            out.already_known = 1;
+            return false;
+        }
+        match pairs.split_first() {
+            None => {
+                node.done = true;
+                for kid in &mut node.kids {
+                    if let Some(k) = kid.take() {
+                        *freed += k.count_nodes();
+                    }
+                }
+                node.var = None;
+                true
+            }
+            Some((p, rest)) => {
+                match node.var {
+                    None => node.var = Some(p.var),
+                    Some(v) => debug_assert_eq!(
+                        v, p.var,
+                        "inconsistent branching variable in code set (corrupt code?)"
+                    ),
+                }
+                let idx = p.bit as usize;
+                if node.kids[idx].is_none() {
+                    node.kids[idx] = Some(Box::new(TrieNode::default()));
+                    *created += 1;
+                }
+                let child_newly_done = Self::insert_rec(
+                    node.kids[idx].as_mut().expect("just ensured"),
+                    rest,
+                    out,
+                    created,
+                    freed,
+                );
+                if child_newly_done {
+                    let both_done = node
+                        .kids
+                        .iter()
+                        .all(|k| k.as_ref().is_some_and(|n| n.done));
+                    if both_done {
+                        // Sibling contraction: replace the pair by the parent.
+                        for kid in &mut node.kids {
+                            if let Some(k) = kid.take() {
+                                *freed += k.count_nodes();
+                            }
+                        }
+                        node.done = true;
+                        node.var = None;
+                        out.contractions += 1;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Merge many codes (e.g. a received work report). Returns the combined
+    /// outcome; `contractions` is the total contraction work performed, used
+    /// by the simulator to charge list-contraction time.
+    pub fn merge<'a>(&mut self, codes: impl IntoIterator<Item = &'a Code>) -> MergeOutcome {
+        let mut total = MergeOutcome::default();
+        for c in codes {
+            total.absorb(self.insert(c));
+        }
+        total
+    }
+
+    /// Merge another set (by its minimal codes).
+    pub fn merge_set(&mut self, other: &CodeSet) -> MergeOutcome {
+        let codes = other.minimal_codes();
+        self.merge(codes.iter())
+    }
+
+    /// The minimal (contracted) codes covering everything completed: done
+    /// nodes are maximal by construction.
+    pub fn minimal_codes(&self) -> Vec<Code> {
+        let mut out = Vec::new();
+        let mut path: Vec<Pair> = Vec::new();
+        Self::collect_done(&self.root, &mut path, &mut out);
+        out
+    }
+
+    fn collect_done(node: &TrieNode, path: &mut Vec<Pair>, out: &mut Vec<Code>) {
+        if node.done {
+            out.push(Code::from_pairs(path.clone()));
+            return;
+        }
+        let Some(var) = node.var else { return };
+        for bit in [false, true] {
+            if let Some(kid) = &node.kids[bit as usize] {
+                path.push(Pair { var, bit });
+                Self::collect_done(kid, path, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// The minimal codes covering the *uncompleted* space — the complement
+    /// used by failure recovery (§5.3.2). Empty iff the root is done. If the
+    /// table is empty, the complement is the root code itself.
+    pub fn complement(&self) -> Vec<Code> {
+        if self.root.done {
+            return Vec::new();
+        }
+        if self.root.var.is_none() {
+            return vec![Code::root()];
+        }
+        let mut out = Vec::new();
+        let mut path: Vec<Pair> = Vec::new();
+        Self::collect_complement(&self.root, &mut path, &mut out);
+        out
+    }
+
+    fn collect_complement(node: &TrieNode, path: &mut Vec<Pair>, out: &mut Vec<Code>) {
+        debug_assert!(!node.done);
+        let var = node
+            .var
+            .expect("non-done interior trie node always has a branching variable");
+        for bit in [false, true] {
+            match &node.kids[bit as usize] {
+                None => {
+                    // This whole branch is unknown territory.
+                    path.push(Pair { var, bit });
+                    out.push(Code::from_pairs(path.clone()));
+                    path.pop();
+                }
+                Some(kid) if kid.done => {}
+                Some(kid) => {
+                    path.push(Pair { var, bit });
+                    Self::collect_complement(kid, path, out);
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    /// Number of live trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Approximate resident memory of the table, in bytes (the paper's
+    /// storage-space metric).
+    pub fn memory_bytes(&self) -> usize {
+        self.node_count * std::mem::size_of::<TrieNode>()
+    }
+
+    /// Bytes needed to ship the whole table in a message (table gossip).
+    pub fn wire_size(&self) -> usize {
+        2 + self
+            .minimal_codes()
+            .iter()
+            .map(|c| c.wire_size())
+            .sum::<usize>()
+    }
+
+    /// Lifetime number of insert operations.
+    pub fn total_inserts(&self) -> u64 {
+        self.total_inserts
+    }
+
+    /// Lifetime number of contractions performed.
+    pub fn total_contractions(&self) -> u64 {
+        self.total_contractions
+    }
+
+    /// True when nothing has been completed yet.
+    pub fn is_empty(&self) -> bool {
+        !self.root.done && self.root.var.is_none()
+    }
+}
+
+impl PartialEq for CodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.minimal_codes() == other.minimal_codes()
+    }
+}
+impl Eq for CodeSet {}
+
+impl fmt::Debug for CodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.minimal_codes()).finish()
+    }
+}
+
+impl From<Vec<Code>> for CodeSet {
+    fn from(codes: Vec<Code>) -> Self {
+        let mut s = CodeSet::new();
+        s.merge(codes.iter());
+        s
+    }
+}
+
+impl From<CodeSet> for Vec<Code> {
+    fn from(s: CodeSet) -> Vec<Code> {
+        s.minimal_codes()
+    }
+}
+
+/// Compress a list of completed codes into its minimal contracted form —
+/// the work-report compression of §5.3.2.
+pub fn compress(codes: &[Code]) -> Vec<Code> {
+    let mut s = CodeSet::new();
+    s.merge(codes.iter());
+    s.minimal_codes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(dec: &[(Var, bool)]) -> Code {
+        Code::from_decisions(dec)
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = CodeSet::new();
+        assert!(s.is_empty());
+        assert!(!s.is_root_done());
+        assert!(s.minimal_codes().is_empty());
+        assert_eq!(s.complement(), vec![Code::root()]);
+        assert!(!s.contains(&c(&[(1, false)])));
+        assert_eq!(s.node_count(), 1);
+    }
+
+    #[test]
+    fn single_insert() {
+        let mut s = CodeSet::new();
+        let code = c(&[(1, false), (2, true)]);
+        let out = s.insert(&code);
+        assert_eq!(out.inserted, 1);
+        assert_eq!(out.contractions, 0);
+        assert!(s.contains(&code));
+        assert!(!s.contains(&c(&[(1, false)])));
+        // Descendants of a completed code are contained.
+        assert!(s.contains(&c(&[(1, false), (2, true), (7, false)])));
+        assert_eq!(s.minimal_codes(), vec![code]);
+    }
+
+    #[test]
+    fn sibling_contraction() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, false)]));
+        let out = s.insert(&c(&[(1, false), (2, true)]));
+        assert_eq!(out.contractions, 1);
+        // The pair contracted to the parent.
+        assert_eq!(s.minimal_codes(), vec![c(&[(1, false)])]);
+        assert!(s.contains(&c(&[(1, false)])));
+    }
+
+    #[test]
+    fn recursive_contraction_to_root() {
+        // Figure 1's tree: completing all four leaves contracts to the root.
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, false)]));
+        s.insert(&c(&[(1, false), (2, true)]));
+        assert!(!s.is_root_done());
+        s.insert(&c(&[(1, true), (3, true)]));
+        let out = s.insert(&c(&[(1, true), (3, false)]));
+        // Contracts x3-pair -> (x1,1), then x1-pair -> root.
+        assert_eq!(out.contractions, 2);
+        assert!(s.is_root_done());
+        assert_eq!(s.minimal_codes(), vec![Code::root()]);
+        assert!(s.complement().is_empty());
+        // Everything is contained now.
+        assert!(s.contains(&c(&[(9, true), (4, false)])));
+        // Root-done table is a single node.
+        assert_eq!(s.node_count(), 1);
+    }
+
+    #[test]
+    fn ancestor_subsumes_descendant() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false)]));
+        let out = s.insert(&c(&[(1, false), (2, true)]));
+        assert_eq!(out.already_known, 1);
+        assert_eq!(out.inserted, 0);
+        assert_eq!(s.minimal_codes(), vec![c(&[(1, false)])]);
+    }
+
+    #[test]
+    fn descendants_deleted_when_ancestor_inserted() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, true), (5, false)]));
+        s.insert(&c(&[(1, false), (2, false)]));
+        let before = s.node_count();
+        // Now complete (x1,0) directly: both deep entries become redundant.
+        s.insert(&c(&[(1, false)]));
+        assert_eq!(s.minimal_codes(), vec![c(&[(1, false)])]);
+        assert!(s.node_count() < before);
+    }
+
+    #[test]
+    fn complement_of_partial_table() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, true)]));
+        let comp = s.complement();
+        // Uncovered: (x1,0)(x2,0) and (x1,1).
+        assert!(comp.contains(&c(&[(1, false), (2, false)])));
+        assert!(comp.contains(&c(&[(1, true)])));
+        assert_eq!(comp.len(), 2);
+        // Complement and table are disjoint and cover everything:
+        for code in &comp {
+            assert!(!s.contains(code));
+        }
+    }
+
+    #[test]
+    fn complement_then_complete_closes_root() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, true), (5, false)]));
+        s.insert(&c(&[(1, true)]));
+        for code in s.complement() {
+            s.insert(&code);
+        }
+        assert!(s.is_root_done());
+    }
+
+    #[test]
+    fn compress_matches_paper_example() {
+        // Reports containing both children of (x1,0) plus a deep redundant
+        // descendant compress to just (x1,0).
+        let raw = vec![
+            c(&[(1, false), (2, false)]),
+            c(&[(1, false), (2, true), (5, false)]),
+            c(&[(1, false), (2, true), (5, true)]),
+        ];
+        assert_eq!(compress(&raw), vec![c(&[(1, false)])]);
+    }
+
+    #[test]
+    fn merge_outcome_counts() {
+        let mut s = CodeSet::new();
+        let batch = [
+            c(&[(1, false), (2, false)]),
+            c(&[(1, false), (2, true)]),
+            c(&[(1, false)]), // redundant after contraction of the first two
+        ];
+        let out = s.merge(batch.iter());
+        assert_eq!(out.already_known, 1);
+        assert_eq!(out.inserted, 2);
+        assert_eq!(out.contractions, 1);
+        assert_eq!(out.processed(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_semantics() {
+        let mut s = CodeSet::new();
+        s.insert(&c(&[(1, false), (2, true)]));
+        s.insert(&c(&[(1, true), (3, false)]));
+        let codes: Vec<Code> = s.clone().into();
+        let rebuilt = CodeSet::from(codes);
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    fn wire_size_shrinks_with_contraction() {
+        let mut uncompressed = 0usize;
+        let mut s = CodeSet::new();
+        for bits in [(false, false), (false, true), (true, false), (true, true)] {
+            let code = c(&[(1, bits.0), (2, bits.1)]);
+            uncompressed += code.wire_size();
+            s.insert(&code);
+        }
+        // Contracted to root: one empty code.
+        assert!(s.wire_size() < uncompressed);
+        assert_eq!(s.minimal_codes(), vec![Code::root()]);
+    }
+
+    #[test]
+    fn double_insert_counts_known() {
+        let mut s = CodeSet::new();
+        let code = c(&[(4, true)]);
+        s.insert(&code);
+        let out = s.insert(&code);
+        assert_eq!(out.already_known, 1);
+        assert_eq!(out.inserted, 0);
+    }
+}

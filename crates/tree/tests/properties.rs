@@ -1,0 +1,204 @@
+//! Property-based tests of the code algebra — the invariants the paper's
+//! fault-tolerance argument rests on.
+
+use ftbb_tree::{
+    compress, pick_recovery, random_basic_tree, Code, CodeSet, NodeId, RecoveryStrategy,
+    TreeConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A small random full binary tree and a subset of its leaves.
+fn tree_and_leaf_subset() -> impl Strategy<Value = (ftbb_tree::BasicTree, Vec<bool>)> {
+    (2usize..60, any::<u64>()).prop_flat_map(|(pairs, seed)| {
+        let tree = random_basic_tree(&TreeConfig {
+            target_nodes: 2 * pairs + 1,
+            mean_cost: 0.001,
+            seed,
+            ..Default::default()
+        });
+        let leaves = tree.nodes().iter().filter(|n| n.is_leaf()).count();
+        (Just(tree), proptest::collection::vec(any::<bool>(), leaves))
+    })
+}
+
+fn leaf_ids(tree: &ftbb_tree::BasicTree) -> Vec<NodeId> {
+    (0..tree.len() as NodeId)
+        .filter(|&i| tree.node(i).is_leaf())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inserting leaf completions in any order yields the same table.
+    #[test]
+    fn insertion_order_is_irrelevant((tree, picks) in tree_and_leaf_subset(), shuffle_seed in any::<u64>()) {
+        let leaves = leaf_ids(&tree);
+        let chosen: Vec<Code> = leaves
+            .iter()
+            .zip(&picks)
+            .filter(|(_, &p)| p)
+            .map(|(&id, _)| tree.code_of(id))
+            .collect();
+
+        let mut forward = CodeSet::new();
+        forward.merge(chosen.iter());
+
+        let mut shuffled = chosen.clone();
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut SmallRng::seed_from_u64(shuffle_seed));
+        let mut backward = CodeSet::new();
+        backward.merge(shuffled.iter());
+
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Merging is idempotent: re-inserting everything changes nothing.
+    #[test]
+    fn merge_is_idempotent((tree, picks) in tree_and_leaf_subset()) {
+        let leaves = leaf_ids(&tree);
+        let chosen: Vec<Code> = leaves
+            .iter()
+            .zip(&picks)
+            .filter(|(_, &p)| p)
+            .map(|(&id, _)| tree.code_of(id))
+            .collect();
+        let mut set = CodeSet::new();
+        set.merge(chosen.iter());
+        let snapshot = set.minimal_codes();
+        let outcome = set.merge(chosen.iter());
+        prop_assert_eq!(outcome.inserted, 0);
+        prop_assert_eq!(set.minimal_codes(), snapshot);
+    }
+
+    /// `contains(leaf)` is exactly leaf membership in the inserted set —
+    /// contraction neither loses nor invents completions.
+    #[test]
+    fn contains_tracks_leaf_membership((tree, picks) in tree_and_leaf_subset()) {
+        let leaves = leaf_ids(&tree);
+        let mut set = CodeSet::new();
+        for (&id, &p) in leaves.iter().zip(&picks) {
+            if p {
+                set.insert(&tree.code_of(id));
+            }
+        }
+        for (&id, &p) in leaves.iter().zip(&picks) {
+            prop_assert_eq!(set.contains(&tree.code_of(id)), p, "leaf {}", id);
+        }
+    }
+
+    /// Root contracts exactly when every leaf is complete (termination
+    /// detection is sound and complete, §5.4).
+    #[test]
+    fn root_done_iff_all_leaves((tree, picks) in tree_and_leaf_subset()) {
+        let leaves = leaf_ids(&tree);
+        let mut set = CodeSet::new();
+        for (&id, &p) in leaves.iter().zip(&picks) {
+            if p {
+                set.insert(&tree.code_of(id));
+            }
+        }
+        let all = picks.iter().take(leaves.len()).all(|&p| p);
+        prop_assert_eq!(set.is_root_done(), all);
+    }
+
+    /// The complement is disjoint from the table and, together with it,
+    /// covers the whole tree: completing every complement code closes the
+    /// root (recovery always suffices, §5.3.2).
+    #[test]
+    fn complement_is_exact((tree, picks) in tree_and_leaf_subset()) {
+        let leaves = leaf_ids(&tree);
+        let mut set = CodeSet::new();
+        for (&id, &p) in leaves.iter().zip(&picks) {
+            if p {
+                set.insert(&tree.code_of(id));
+            }
+        }
+        let complement = set.complement();
+        for code in &complement {
+            prop_assert!(!set.contains(code), "complement overlaps table");
+        }
+        for code in &complement {
+            set.insert(code);
+        }
+        prop_assert!(set.is_root_done());
+    }
+
+    /// Splitting a batch arbitrarily and merging the compressed halves
+    /// equals merging the raw batch (reports may be compressed, split, and
+    /// routed arbitrarily without information loss).
+    #[test]
+    fn compression_distributes_over_merge((tree, picks) in tree_and_leaf_subset(), split in any::<u64>()) {
+        let leaves = leaf_ids(&tree);
+        let chosen: Vec<Code> = leaves
+            .iter()
+            .zip(&picks)
+            .filter(|(_, &p)| p)
+            .map(|(&id, _)| tree.code_of(id))
+            .collect();
+
+        let mut raw = CodeSet::new();
+        raw.merge(chosen.iter());
+
+        let pivot = if chosen.is_empty() { 0 } else { (split as usize) % (chosen.len() + 1) };
+        let (a, b) = chosen.split_at(pivot);
+        let mut via_reports = CodeSet::new();
+        via_reports.merge(compress(a).iter());
+        via_reports.merge(compress(b).iter());
+
+        prop_assert_eq!(raw, via_reports);
+    }
+
+    /// Recovery picks terminate: repeatedly completing a recovery pick
+    /// closes the root in finitely many steps, for every strategy.
+    #[test]
+    fn recovery_converges((tree, picks) in tree_and_leaf_subset(), strat in 0u8..4) {
+        let strategy = match strat {
+            0 => RecoveryStrategy::Shallowest,
+            1 => RecoveryStrategy::Deepest,
+            2 => RecoveryStrategy::Random,
+            _ => RecoveryStrategy::NearHint,
+        };
+        let leaves = leaf_ids(&tree);
+        let mut set = CodeSet::new();
+        let mut hint = None;
+        for (&id, &p) in leaves.iter().zip(&picks) {
+            if p {
+                let code = tree.code_of(id);
+                set.insert(&code);
+                hint = Some(code);
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut steps = 0usize;
+        while let Some(code) = pick_recovery(&set, strategy, hint.as_ref(), &mut rng) {
+            set.insert(&code);
+            steps += 1;
+            prop_assert!(steps <= tree.len(), "recovery did not converge");
+        }
+        prop_assert!(set.is_root_done());
+    }
+
+    /// Binary code round-trip through the io module.
+    #[test]
+    fn codes_roundtrip_binary((tree, _picks) in tree_and_leaf_subset()) {
+        let codes: Vec<Code> = (0..tree.len() as NodeId).map(|i| tree.code_of(i)).collect();
+        let bytes = ftbb_tree::io::encode_codes(&codes);
+        let back = ftbb_tree::io::decode_codes(&bytes).unwrap();
+        prop_assert_eq!(codes, back);
+    }
+
+    /// Basic trees round-trip through the binary codec.
+    #[test]
+    fn trees_roundtrip_binary(pairs in 2usize..40, seed in any::<u64>()) {
+        let tree = random_basic_tree(&TreeConfig {
+            target_nodes: 2 * pairs + 1,
+            seed,
+            ..Default::default()
+        });
+        let back = ftbb_tree::io::decode_tree(&ftbb_tree::io::encode_tree(&tree)).unwrap();
+        prop_assert_eq!(tree, back);
+    }
+}

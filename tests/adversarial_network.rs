@@ -1,0 +1,128 @@
+//! Correctness under hostile network conditions: message loss, temporary
+//! partitions, and their combination with crashes (§4's environment, and
+//! §5.3.2's claim that the mechanism "also works in the case of temporary
+//! network partitions").
+
+use ftbb::prelude::*;
+use std::sync::Arc;
+
+fn workload(seed: u64) -> Arc<ftbb::tree::BasicTree> {
+    Arc::new(ftbb::tree::random_basic_tree(&ftbb::tree::TreeConfig {
+        target_nodes: 401,
+        mean_cost: 0.01,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn cfg(n: u32, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(n);
+    cfg.seed = seed;
+    cfg.protocol.report_interval_s = 0.1;
+    cfg.protocol.table_gossip_interval_s = 0.4;
+    cfg.protocol.lb_timeout_s = 0.05;
+    cfg.protocol.recovery_delay_s = 0.2;
+    cfg.protocol.recovery_quiet_s = 0.6;
+    cfg.sample_interval_s = 0.25;
+    cfg
+}
+
+#[test]
+fn ten_percent_message_loss() {
+    let tree = workload(600);
+    let mut c = cfg(4, 1);
+    c.network.loss = LossModel::with_probability(0.10);
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+    assert!(report.net.messages_lost > 0, "loss model must have fired");
+}
+
+#[test]
+fn thirty_percent_message_loss() {
+    let tree = workload(700);
+    let mut c = cfg(4, 2);
+    c.network.loss = LossModel::with_probability(0.30);
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+}
+
+#[test]
+fn temporary_partition_heals() {
+    let tree = workload(800);
+    let mut c = cfg(6, 3);
+    // Split 3/3 from t=0.5s to t=2.5s.
+    c.network.partitions = PartitionSchedule::split_at(
+        SimTime::from_millis(500),
+        SimTime::from_millis(2500),
+        6,
+        3,
+    );
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+    assert!(
+        report.net.messages_partitioned > 0,
+        "partition must have blocked traffic"
+    );
+}
+
+#[test]
+fn partition_plus_crash_in_minority() {
+    let tree = workload(900);
+    let mut c = cfg(6, 4);
+    c.network.partitions = PartitionSchedule::split_at(
+        SimTime::from_millis(400),
+        SimTime::from_millis(2000),
+        6,
+        4,
+    );
+    // Both members of the minority side crash during the partition.
+    c.failures = vec![
+        (4, SimTime::from_millis(800)),
+        (5, SimTime::from_millis(900)),
+    ];
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+}
+
+#[test]
+fn loss_and_crashes_combined() {
+    let tree = workload(1000);
+    let mut c = cfg(5, 5);
+    c.network.loss = LossModel::with_probability(0.15);
+    c.failures = vec![
+        (1, SimTime::from_millis(300)),
+        (3, SimTime::from_millis(600)),
+    ];
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+}
+
+#[test]
+fn high_latency_wan() {
+    let tree = workload(1100);
+    let mut c = cfg(4, 6);
+    c.network.latency = LatencyModel::wan(); // 50 ms + 0.01 ms/byte
+    c.protocol.lb_timeout_s = 0.3; // allow for the slower round trips
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+}
+
+#[test]
+fn jittered_latency() {
+    let tree = workload(1200);
+    let mut c = cfg(4, 7);
+    c.network.latency = LatencyModel {
+        fixed_ms: 5.0,
+        per_byte_ms: 0.005,
+        jitter: 0.5,
+    };
+    let report = run_sim(&tree, &c);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+}

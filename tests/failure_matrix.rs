@@ -1,0 +1,116 @@
+//! The paper's central guarantee, exercised as a matrix: for every cluster
+//! size and every number of crashes that leaves at least one process alive,
+//! the simulated system terminates and finds the sequential optimum.
+//! "We guarantee fault tolerance in the sense that the loss of up to all
+//! but one resource will not affect the quality of the solution."
+
+use ftbb::prelude::*;
+use ftbb::sim::kill_random_k;
+use std::sync::Arc;
+
+fn workload(seed: u64) -> Arc<ftbb::tree::BasicTree> {
+    Arc::new(ftbb::tree::random_basic_tree(&ftbb::tree::TreeConfig {
+        target_nodes: 501,
+        mean_cost: 0.01,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn fast_cfg(n: u32, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(n);
+    cfg.seed = seed;
+    cfg.protocol.report_interval_s = 0.1;
+    cfg.protocol.table_gossip_interval_s = 0.5;
+    cfg.protocol.lb_timeout_s = 0.05;
+    cfg.protocol.recovery_delay_s = 0.2;
+    cfg.protocol.recovery_quiet_s = 0.6;
+    cfg.sample_interval_s = 0.25;
+    cfg
+}
+
+#[test]
+fn failure_matrix_small_clusters() {
+    let tree = workload(100);
+    let optimum = tree.optimal();
+    for &n in &[2u32, 4] {
+        for k in 0..n {
+            let mut cfg = fast_cfg(n, 1000 + (n * 10 + k) as u64);
+            cfg.failures = kill_random_k(
+                n,
+                k,
+                &[
+                    SimTime::from_millis(300),
+                    SimTime::from_millis(900),
+                    SimTime::from_millis(1500),
+                ],
+                k as u64 + 7,
+            );
+            let report = run_sim(&tree, &cfg);
+            assert!(
+                report.all_live_terminated,
+                "n={n} k={k}: survivors failed to terminate"
+            );
+            assert_eq!(report.best, optimum, "n={n} k={k}: wrong optimum");
+        }
+    }
+}
+
+#[test]
+fn failure_matrix_eight_procs() {
+    let tree = workload(200);
+    let optimum = tree.optimal();
+    for k in [0u32, 2, 5, 7] {
+        let mut cfg = fast_cfg(8, 2000 + k as u64);
+        cfg.failures = kill_random_k(
+            8,
+            k,
+            &[SimTime::from_millis(250), SimTime::from_millis(700)],
+            k as u64,
+        );
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated, "k={k}");
+        assert_eq!(report.best, optimum, "k={k}");
+    }
+}
+
+#[test]
+fn simultaneous_mass_failure() {
+    // Everyone but one process dies at the same instant (the Figure 6
+    // scenario at cluster scale).
+    let tree = workload(300);
+    let mut cfg = fast_cfg(6, 31);
+    cfg.failures = ftbb::sim::kill_all_but_one(6, 3, SimTime::from_millis(500));
+    let report = run_sim(&tree, &cfg);
+    assert!(report.all_live_terminated);
+    assert_eq!(report.best, tree.optimal());
+    // The survivor had to recover lost work.
+    assert!(report.totals.recoveries > 0);
+}
+
+#[test]
+fn crashes_at_different_phases() {
+    // Early (ramp-up), middle, and late (end-game) crashes.
+    let tree = workload(400);
+    let optimum = tree.optimal();
+    for (label, at_ms) in [("early", 50u64), ("middle", 1200), ("late", 2600)] {
+        let mut cfg = fast_cfg(4, 41);
+        cfg.failures = vec![(1, SimTime::from_millis(at_ms)), (2, SimTime::from_millis(at_ms + 40))];
+        let report = run_sim(&tree, &cfg);
+        assert!(report.all_live_terminated, "{label} crash");
+        assert_eq!(report.best, optimum, "{label} crash");
+    }
+}
+
+#[test]
+fn repeated_seeds_are_deterministic() {
+    let tree = workload(500);
+    let mut cfg = fast_cfg(5, 77);
+    cfg.failures = vec![(2, SimTime::from_millis(400))];
+    let a = run_sim(&tree, &cfg);
+    let b = run_sim(&tree, &cfg);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.totals.expanded, b.totals.expanded);
+    assert_eq!(a.net.messages_sent, b.net.messages_sent);
+    assert_eq!(a.best, b.best);
+}
