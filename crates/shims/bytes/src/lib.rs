@@ -1,0 +1,233 @@
+//! Minimal, API-compatible stand-in for the `bytes` crate.
+//!
+//! The workspace builds offline, so the handful of `Buf`/`BufMut` methods
+//! the codecs use are implemented here over plain `Vec<u8>`/`&[u8]`.
+//! Semantics match `bytes` 1.x for the covered subset; panics on underflow
+//! exactly like the real crate.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Read cursor over a byte source; reads advance the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read raw bytes into `dst`, advancing. Panics if underfull.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write sink for binary encoders.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_f64_le(1.5);
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1u8];
+        r.get_u32_le();
+    }
+}

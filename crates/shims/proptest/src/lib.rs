@@ -1,0 +1,356 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! `any::<T>()` strategies, tuples of strategies, [`Just`],
+//! `collection::vec`, `prop_map`/`prop_flat_map`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (reproducible across runs), and failing inputs are
+//! reported but **not shrunk** — the workspace's tests opt out of
+//! shrinking anyway (`max_shrink_iters: 0`) because each case is a whole
+//! cluster simulation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Run-level configuration (the supported subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Ignored: this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*}
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*}
+}
+arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+}
+}
+tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length specification: fixed or ranged.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Re-export namespace matching `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Deterministic per-test RNG.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// Assert inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) }
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) }
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) }
+}
+
+/// Define property tests. Each case draws fresh random inputs from the
+/// argument strategies; failures report the case number (rerun is
+/// deterministic).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)+);
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::rng_for(stringify!($name), __case);
+                    let ($($pat,)+) =
+                        $crate::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The imports property tests start with.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold((a, b) in (0u32..10, 5u64..6), v in collection::vec(any::<bool>(), 3)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn flat_map_chains(len in 1usize..5) {
+            let strat = Just(len).prop_flat_map(|n| collection::vec(0u8..9, n));
+            let mut rng = crate::rng_for("inner", 0);
+            let v = strat.generate(&mut rng);
+            prop_assert_eq!(v.len(), len);
+        }
+
+        #[test]
+        fn map_transforms(x in 1u32..100) {
+            let strat = (1u32..2).prop_map(|v| v * 10);
+            let mut rng = crate::rng_for("map", x);
+            prop_assert_eq!(strat.generate(&mut rng), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name_and_case() {
+        let mut a = crate::rng_for("t", 3);
+        let mut b = crate::rng_for("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

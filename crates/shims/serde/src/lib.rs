@@ -1,0 +1,364 @@
+//! Minimal, offline stand-in for `serde`, specialized to one format.
+//!
+//! The real serde separates data model from format; this workspace needs
+//! exactly one format — the compact little-endian binary encoding used by
+//! `ftbb-wire` — so [`Serialize`]/[`Deserialize`] *are* that codec:
+//!
+//! * fixed-width little-endian integers and floats (`usize` as `u64`);
+//! * `bool` as one validated byte (decode rejects values > 1);
+//! * `Vec`/`String`/maps with a `u32` length prefix;
+//! * `Option` as a validated tag byte;
+//! * enums as a `u8` variant tag (validated on decode);
+//! * structs as the concatenation of their fields in declaration order.
+//!
+//! Decoding is total: corrupt or truncated input returns [`DecodeError`],
+//! never panics, and length prefixes cannot trigger oversized allocations
+//! (capacity is clamped to what the remaining input could possibly hold).
+//!
+//! The derive macros are re-exported so `use serde::{Serialize,
+//! Deserialize}` + `#[derive(Serialize, Deserialize)]` work exactly as with
+//! real serde (including `#[serde(into = "...", from = "...")]`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced by failed decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl DecodeError {
+    /// Build an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DecodeError(m.into())
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Types encodable to the workspace binary format.
+pub trait Serialize {
+    /// Append this value's encoding to `out`.
+    fn ser(&self, out: &mut Vec<u8>);
+}
+
+/// Types decodable from the workspace binary format.
+pub trait Deserialize: Sized {
+    /// Decode a value from the front of `r`, advancing it.
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+/// Encode a value to bytes.
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.ser(&mut out);
+    out
+}
+
+/// Decode a value from bytes, requiring all input to be consumed.
+pub fn decode<T: Deserialize>(mut data: &[u8]) -> Result<T, DecodeError> {
+    let value = T::de(&mut data)?;
+    if !data.is_empty() {
+        return Err(DecodeError::msg(format!(
+            "{} trailing bytes after value",
+            data.len()
+        )));
+    }
+    Ok(value)
+}
+
+/// Read exactly `n` bytes, advancing `r`.
+pub fn read_bytes<'a>(r: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if r.len() < n {
+        return Err(DecodeError::msg(format!(
+            "truncated: need {n} bytes, have {}",
+            r.len()
+        )));
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Ok(head)
+}
+
+/// Read one byte (used by derived enum/option decoders).
+pub fn read_u8(r: &mut &[u8]) -> Result<u8, DecodeError> {
+    Ok(read_bytes(r, 1)?[0])
+}
+
+/// Read a `u32` length prefix, rejecting lengths beyond a sanity bound.
+fn read_len(r: &mut &[u8]) -> Result<usize, DecodeError> {
+    let len = u32::de(r)? as usize;
+    Ok(len)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $t {
+            fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+                let bytes = read_bytes(r, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized read")))
+            }
+        }
+    )*}
+}
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Serialize for usize {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (*self as u64).ser(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = u64::de(r)?;
+        usize::try_from(v).map_err(|_| DecodeError::msg("usize out of range"))
+    }
+}
+
+impl Serialize for isize {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (*self as i64).ser(out);
+    }
+}
+
+impl Deserialize for isize {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = i64::de(r)?;
+        isize::try_from(v).map_err(|_| DecodeError::msg("isize out of range"))
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        match read_u8(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::msg(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(r)?;
+        let bytes = read_bytes(r, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::msg("invalid utf-8"))
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Trace labels are interned static strings; decoding leaks one
+    /// allocation per distinct decoded label, matching that intent.
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Box::leak(String::de(r)?.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        for item in self {
+            item.ser(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(r)?;
+        // An adversarial length cannot force a huge allocation: every
+        // element consumes at least one input byte for all types used on
+        // the wire, so clamp capacity by what the input could hold.
+        let mut v = Vec::with_capacity(len.min(r.len()));
+        for _ in 0..len {
+            v.push(T::de(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.ser(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        match read_u8(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::de(r)?)),
+            b => Err(DecodeError::msg(format!("invalid option tag {b}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        for (k, v) in self {
+            k.ser(out);
+            v.ser(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(r)?;
+        let mut m = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::de(r)?;
+            let v = V::de(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        for (k, v) in self {
+            k.ser(out);
+            v.ser(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(r)?;
+        let mut m = HashMap::with_capacity(len.min(r.len()));
+        for _ in 0..len {
+            let k = K::de(r)?;
+            let v = V::de(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self, out: &mut Vec<u8>) {
+                $(self.$n.ser(out);)+
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+                Ok(($($t::de(r)?,)+))
+            }
+        }
+    )+}
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (**self).ser(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).ser(out);
+        for item in self {
+            item.ser(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(decode::<u32>(&encode(&7u32)).unwrap(), 7);
+        assert_eq!(decode::<f64>(&encode(&1.25f64)).unwrap(), 1.25);
+        assert_eq!(decode::<bool>(&encode(&true)).unwrap(), true);
+        assert_eq!(decode::<usize>(&encode(&9usize)).unwrap(), 9);
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        assert_eq!(decode::<Vec<(u32, f64)>>(&encode(&v)).unwrap(), v);
+        let s = "héllo".to_string();
+        assert_eq!(decode::<String>(&encode(&s)).unwrap(), s);
+        let o: Option<u64> = Some(11);
+        assert_eq!(decode::<Option<u64>>(&encode(&o)).unwrap(), o);
+    }
+
+    #[test]
+    fn corrupt_input_errors_not_panics() {
+        assert!(decode::<u64>(&[1, 2, 3]).is_err());
+        assert!(decode::<bool>(&[2]).is_err());
+        assert!(decode::<Option<u8>>(&[9, 0]).is_err());
+        assert!(decode::<String>(&[2, 0, 0, 0, 0xff, 0xfe]).is_err());
+        // Huge claimed length with tiny payload: must error, not OOM.
+        let mut evil = Vec::new();
+        (u32::MAX).ser(&mut evil);
+        evil.push(1);
+        assert!(decode::<Vec<u16>>(&evil).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&5u8);
+        bytes.push(0);
+        assert!(decode::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        m.insert(1, "one".to_string());
+        assert_eq!(decode::<BTreeMap<u32, String>>(&encode(&m)).unwrap(), m);
+    }
+}

@@ -1,0 +1,410 @@
+//! Derive macros for the workspace's offline `serde` stand-in.
+//!
+//! Generates implementations of the binary `serde::Serialize` /
+//! `serde::Deserialize` traits for structs (named, tuple, unit) and enums
+//! (unit, tuple, and struct variants), plus the `#[serde(into = "T",
+//! from = "T")]` conversion attribute used by `CodeSet`.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (no `syn`/`quote`
+//! available offline). Generics are not supported — no serialized type in
+//! this workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(into = "T", from = "T")]` conversion types, if present.
+    into_ty: Option<String>,
+    from_ty: Option<String>,
+}
+
+/// Derive the binary `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match (&item.into_ty, &item.shape) {
+        (Some(ty), _) => format!(
+            "let __conv: {ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::ser(&__conv, out);"
+        ),
+        (None, Shape::Struct(fields)) => ser_fields_body(&item.name, fields),
+        (None, Shape::Enum(variants)) => ser_enum_body(&item.name, variants),
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn ser(&self, out: &mut ::std::vec::Vec<u8>) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the binary `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match (&item.from_ty, &item.shape) {
+        (Some(ty), _) => format!(
+            "let __conv: {ty} = ::serde::Deserialize::de(r)?;\n\
+             ::std::result::Result::Ok(::std::convert::Into::into(__conv))"
+        ),
+        (None, Shape::Struct(fields)) => {
+            format!(
+                "::std::result::Result::Ok({})",
+                de_constructor(&item.name, fields)
+            )
+        }
+        (None, Shape::Enum(variants)) => de_enum_body(&item.name, variants),
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn de(r: &mut &[u8]) -> ::std::result::Result<Self, ::serde::DecodeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn ser_fields_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => String::new(),
+        Fields::Named(names) => names
+            .iter()
+            .map(|f| format!("::serde::Serialize::ser(&self.{f}, out);"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Fields::Tuple(n) => (0..*n)
+            .map(|i| format!("::serde::Serialize::ser(&self.{i}, out);"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    assert!(
+        variants.len() <= 256,
+        "enum {name} has too many variants for a u8 tag"
+    );
+    let mut arms = Vec::new();
+    for (tag, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!("{name}::{vname} => {{ out.push({tag}u8); }}"),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let sers: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::ser({b}, out);"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => {{ out.push({tag}u8); {} }}",
+                    binds.join(", "),
+                    sers.join(" ")
+                )
+            }
+            Fields::Named(fields) => {
+                let sers: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::ser({f}, out);"))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => {{ out.push({tag}u8); {} }}",
+                    fields.join(", "),
+                    sers.join(" ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn de_constructor(path: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::de(r)?"))
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::de(r)?".to_string())
+                .collect();
+            format!("{path}({})", inits.join(", "))
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for (tag, v) in variants.iter().enumerate() {
+        let ctor = de_constructor(&format!("{name}::{}", v.name), &v.fields);
+        arms.push(format!("{tag}u8 => ::std::result::Result::Ok({ctor}),"));
+    }
+    format!(
+        "let __tag = ::serde::read_u8(r)?;\n\
+         match __tag {{\n{}\n\
+           _ => ::std::result::Result::Err(::serde::DecodeError::msg(\
+                format!(\"invalid tag {{__tag}} for enum {name}\"))),\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut into_ty = None;
+    let mut from_ty = None;
+
+    // Leading attributes (doc comments, #[serde(...)], …).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut into_ty, &mut from_ty);
+                    i += 2;
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected struct/enum, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type {name}");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            t => panic!("unexpected struct body: {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("unexpected enum body: {t:?}"),
+        },
+        k => panic!("cannot derive for item kind {k}"),
+    };
+
+    Item {
+        name,
+        shape,
+        into_ty,
+        from_ty,
+    }
+}
+
+/// Extract `into`/`from` types from a `serde(...)` attribute body, if this
+/// attribute is one.
+fn parse_serde_attr(stream: TokenStream, into_ty: &mut Option<String>, from_ty: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(key) = &inner[j] {
+            let key = key.to_string();
+            if matches!(&inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                    let raw = lit.to_string();
+                    let ty = raw.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "into" => *into_ty = Some(ty),
+                        "from" => *from_ty = Some(ty),
+                        other => panic!("unsupported serde attribute `{other}`"),
+                    }
+                    j += 3;
+                    if matches!(&inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        j += 1;
+                    }
+                    continue;
+                }
+            }
+            panic!("unsupported serde attribute form at `{key}`");
+        }
+        j += 1;
+    }
+}
+
+/// Skip one attribute (`#[...]`) if present at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance past a type, stopping at a top-level comma (angle brackets are
+/// tracked as depth because they are plain puncts in the token stream).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, found {t}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected ':' after field {field}"
+        );
+        i += 1;
+        i = skip_type(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants are not supported (variant {name})");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,3 @@
+//! # ftbb-wire — the protocol on real sockets (placeholder, filled in below)
+
+pub mod placeholder {}
