@@ -49,11 +49,19 @@ fn bench_selection_rules(c: &mut Criterion) {
 fn bench_record(c: &mut Criterion) {
     let knap = KnapsackInstance::generate(14, 50, Correlation::Weak, 0.5, 5);
     c.bench_function("record_basic_tree_knapsack14", |b| {
-        b.iter(|| record_basic_tree(&knap, RecordLimits::default()).unwrap().len());
+        b.iter(|| {
+            record_basic_tree(&knap, RecordLimits::default())
+                .unwrap()
+                .len()
+        });
     });
     let sat = MaxSatInstance::generate(10, 30, 5);
     c.bench_function("record_basic_tree_maxsat10", |b| {
-        b.iter(|| record_basic_tree(&sat, RecordLimits::default()).unwrap().len());
+        b.iter(|| {
+            record_basic_tree(&sat, RecordLimits::default())
+                .unwrap()
+                .len()
+        });
     });
 }
 

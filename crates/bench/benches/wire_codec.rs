@@ -1,1 +1,121 @@
-fn main() {}
+//! Throughput of the framed wire codec: encode and decode across message
+//! shapes, from 9-byte work requests to multi-item grants and full table
+//! gossips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_core::{GrantItem, Msg};
+use ftbb_runtime::Envelope;
+use ftbb_tree::{random_basic_tree, Code, NodeId, TreeConfig};
+use ftbb_wire::{encode_frame, FrameDecoder};
+
+fn sample_codes(count: usize) -> Vec<Code> {
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: (2 * count + 1).max(51),
+        seed: 9,
+        ..Default::default()
+    });
+    (0..tree.len() as NodeId)
+        .map(|i| tree.code_of(i))
+        .filter(|c| !c.is_root())
+        .take(count)
+        .collect()
+}
+
+fn messages() -> Vec<(&'static str, Msg)> {
+    let codes = sample_codes(64);
+    vec![
+        ("work_request", Msg::WorkRequest { incumbent: -100.25 }),
+        (
+            "work_grant_16",
+            Msg::WorkGrant {
+                items: codes
+                    .iter()
+                    .take(16)
+                    .map(|code| GrantItem {
+                        code: code.clone(),
+                        bound: -1.5,
+                    })
+                    .collect(),
+                incumbent: -100.25,
+            },
+        ),
+        (
+            "table_gossip_64",
+            Msg::TableGossip {
+                codes: codes.clone(),
+                incumbent: -100.25,
+            },
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for (name, msg) in messages() {
+        let env = Envelope { from: 7, msg };
+        let encoded = encode_frame(&env).encoded_len() as u64;
+        group.throughput(Throughput::Bytes(encoded));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &env, |b, env| {
+            b.iter(|| encode_frame(env).encoded_len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for (name, msg) in messages() {
+        let env = Envelope { from: 7, msg };
+        let frame = encode_frame(&env).bytes;
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &frame, |b, frame| {
+            b.iter(|| {
+                let mut dec = FrameDecoder::new();
+                dec.push(frame);
+                dec.try_next().expect("valid").expect("complete")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_decode(c: &mut Criterion) {
+    // A realistic inbound stream: many coalesced report frames fed in
+    // socket-sized chunks.
+    let codes = sample_codes(256);
+    let mut stream = Vec::new();
+    let mut frames = 0u64;
+    for chunk in codes.chunks(8) {
+        stream.extend_from_slice(
+            &encode_frame(&Envelope {
+                from: 3,
+                msg: Msg::WorkReport {
+                    codes: chunk.to_vec(),
+                    incumbent: -12.0,
+                },
+            })
+            .bytes,
+        );
+        frames += 1;
+    }
+    let mut group = c.benchmark_group("wire_stream_decode");
+    group.throughput(Throughput::Elements(frames));
+    group.bench_function("report_stream", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            let mut count = 0u64;
+            for piece in stream.chunks(16 * 1024) {
+                dec.push(piece);
+                while let Some(_env) = dec.try_next().expect("valid stream") {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, frames);
+            count
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_stream_decode);
+criterion_main!(benches);

@@ -28,7 +28,11 @@ fn main() {
         "redundant",
         "detect-after-crash(s)",
     ]);
-    let quiets: &[f64] = if quick_mode() { &[0.5, 4.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0] };
+    let quiets: &[f64] = if quick_mode() {
+        &[0.5, 4.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    };
     for &q in quiets {
         let mut cfg = fig3_config(8);
         cfg.protocol.recovery_quiet_s = q;

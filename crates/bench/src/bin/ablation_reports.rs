@@ -7,8 +7,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin ablation_reports [--quick]`
 
 use ftbb_bench::{quick_mode, save, TextTable};
-use ftbb_sim::scenario::{fig3_config, fig3_tree};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
 
 fn main() {
     let tree = fig3_tree();
@@ -25,7 +25,11 @@ fn main() {
         "contract%",
     ]);
 
-    let batches: &[usize] = if quick_mode() { &[4, 32] } else { &[2, 4, 8, 16, 32, 64] };
+    let batches: &[usize] = if quick_mode() {
+        &[4, 32]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     let fanouts: &[usize] = if quick_mode() { &[2] } else { &[1, 2, 4] };
 
     for &c in batches {

@@ -8,8 +8,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin adaptive_reports [--quick]`
 
 use ftbb_bench::{quick_mode, save, TextTable};
-use ftbb_sim::scenario::{fig3_tree, granularity_config};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_tree, granularity_config};
 
 fn main() {
     let tree = fig3_tree();

@@ -86,7 +86,11 @@ fn main() {
     let ftbb_alive = run_sim(&tree, &fcfg);
     let ft_line = format!(
         "\nkill process 0 at t=2s:  central {}  |  ftbb finishes in {:.2}s with the optimum",
-        if central_dead.finished { "finished (?)" } else { "DEAD — manager lost" },
+        if central_dead.finished {
+            "finished (?)"
+        } else {
+            "DEAD — manager lost"
+        },
         ftbb_alive.exec_time.as_secs_f64()
     );
     println!("{ft_line}");
@@ -96,5 +100,9 @@ fn main() {
     println!("\ncentral speedup saturates as the manager's serial dispatch dominates;");
     println!("the decentralized design keeps scaling and survives the same failure.");
 
-    save("central_compare", &format!("{text}{ft_line}\n"), Some(&table.to_csv()));
+    save(
+        "central_compare",
+        &format!("{text}{ft_line}\n"),
+        Some(&table.to_csv()),
+    );
 }

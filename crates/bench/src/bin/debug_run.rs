@@ -22,8 +22,18 @@ fn main() {
     );
     println!(
         "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
-        "proc", "expand", "bb(s)", "idle(s)", "redun(s)", "halt(s)", "reqs", "grants", "denies",
-        "tmo", "recov", "interrupts"
+        "proc",
+        "expand",
+        "bb(s)",
+        "idle(s)",
+        "redun(s)",
+        "halt(s)",
+        "reqs",
+        "grants",
+        "denies",
+        "tmo",
+        "recov",
+        "interrupts"
     );
     for (i, p) in report.procs.iter().enumerate() {
         println!(

@@ -48,11 +48,20 @@ fn main() {
     let scenarios: Vec<(&str, Vec<(u32, SimTime)>)> = vec![
         ("no failures", vec![]),
         ("1 worker dies", vec![(3, crash_at)]),
-        ("3 workers die", vec![(2, crash_at), (3, crash_at), (4, crash_at)]),
+        (
+            "3 workers die",
+            vec![(2, crash_at), (3, crash_at), (4, crash_at)],
+        ),
         ("root machine dies", vec![(0, crash_at)]),
         (
             "all but one die",
-            vec![(0, crash_at), (1, crash_at), (2, crash_at), (3, crash_at), (4, crash_at)],
+            vec![
+                (0, crash_at),
+                (1, crash_at),
+                (2, crash_at),
+                (3, crash_at),
+                (4, crash_at),
+            ],
         ),
     ];
 

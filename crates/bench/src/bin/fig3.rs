@@ -8,8 +8,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin fig3 [--quick]`
 
 use ftbb_bench::{quick_mode, save, TextTable};
-use ftbb_sim::scenario::{fig3_config, fig3_tree};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
 
 fn main() {
     let tree = fig3_tree();
@@ -44,7 +44,10 @@ fn main() {
     for &n in &proc_counts {
         let cfg = fig3_config(n);
         let report = run_sim(&tree, &cfg);
-        assert!(report.all_live_terminated, "run with {n} procs did not finish");
+        assert!(
+            report.all_live_terminated,
+            "run with {n} procs did not finish"
+        );
         assert_eq!(
             report.best,
             tree.optimal(),
@@ -63,7 +66,11 @@ fn main() {
         let idle = sum(&|p| p.idle.as_secs_f64());
         let redundant = sum(&|p| p.times.redundant.as_secs_f64());
         let total = bb + comm + contract + lb + idle + redundant;
-        let overhead = if total > 0.0 { 100.0 * (total - bb) / total } else { 0.0 };
+        let overhead = if total > 0.0 {
+            100.0 * (total - bb) / total
+        } else {
+            0.0
+        };
         table.row(vec![
             n.to_string(),
             format!("{exec:.2}"),
@@ -81,10 +88,13 @@ fn main() {
     let text = table.render();
     println!("{text}");
     if let Some(uni) = uni_exec {
-        println!("(speedup at max procs ≈ {:.2}×; paper reports 36% overhead at 8 procs)", {
-            let last = &table_last_exec(&text);
-            uni / last
-        });
+        println!(
+            "(speedup at max procs ≈ {:.2}×; paper reports 36% overhead at 8 procs)",
+            {
+                let last = &table_last_exec(&text);
+                uni / last
+            }
+        );
     }
     save("fig3", &text, Some(&table.to_csv()));
 }

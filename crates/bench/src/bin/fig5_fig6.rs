@@ -29,7 +29,11 @@ fn main() {
 
     let fig6 = run_sim(&tree, &fig6_config(fig5.exec_time, 0.85));
     assert!(fig6.all_live_terminated, "the survivor must finish alone");
-    assert_eq!(fig6.best, tree.optimal(), "the crash must not change the answer");
+    assert_eq!(
+        fig6.best,
+        tree.optimal(),
+        "the crash must not change the answer"
+    );
     let fig6_tl = fig6.timelines.as_ref().expect("tracing enabled");
     let fig6_text = format!(
         "=== Figure 6: P1, P2 crash at 85%; P0 recovers (exec {}) ===\n{}",
@@ -50,5 +54,9 @@ fn main() {
         timeline::to_csv(fig5_tl),
         timeline::to_csv(fig6_tl)
     );
-    std::fs::write(ftbb_bench::results_dir().join("fig5_fig6_intervals.csv"), csv).unwrap();
+    std::fs::write(
+        ftbb_bench::results_dir().join("fig5_fig6_intervals.csv"),
+        csv,
+    )
+    .unwrap();
 }

@@ -7,8 +7,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin granularity [--quick]`
 
 use ftbb_bench::{quick_mode, save, TextTable};
-use ftbb_sim::scenario::{fig3_tree, granularity_config};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_tree, granularity_config};
 
 fn main() {
     let tree = fig3_tree();
@@ -44,7 +44,11 @@ fn main() {
             .collect();
         let mean = bb.iter().sum::<f64>() / bb.len() as f64;
         let max = bb.iter().cloned().fold(0.0, f64::max);
-        let imbalance = if mean > 0.0 { 100.0 * (max - mean) / mean } else { 0.0 };
+        let imbalance = if mean > 0.0 {
+            100.0 * (max - mean) / mean
+        } else {
+            0.0
+        };
         let idle: f64 = report.procs.iter().map(|p| p.idle.as_secs_f64()).sum();
         let total: f64 = report
             .procs

@@ -6,8 +6,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin heterogeneity`
 
 use ftbb_bench::{save, TextTable};
-use ftbb_sim::scenario::{fig3_config, fig3_tree};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{fig3_config, fig3_tree};
 
 fn main() {
     let tree = fig3_tree();
@@ -16,8 +16,14 @@ fn main() {
     let scenarios: Vec<(&str, Vec<f64>)> = vec![
         ("homogeneous 1×", vec![1.0; 8]),
         ("half at 2×", vec![2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0]),
-        ("one 8× machine", vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
-        ("spread 0.5–4×", vec![0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0]),
+        (
+            "one 8× machine",
+            vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        ),
+        (
+            "spread 0.5–4×",
+            vec![0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0],
+        ),
     ];
 
     let mut table = TextTable::new(&[

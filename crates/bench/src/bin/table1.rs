@@ -8,8 +8,8 @@
 //! Run: `cargo run --release -p ftbb-bench --bin table1 [--quick]`
 
 use ftbb_bench::{quick_mode, save, TextTable};
-use ftbb_sim::scenario::{table1_config, table1_tree};
 use ftbb_sim::run_sim;
+use ftbb_sim::scenario::{table1_config, table1_tree};
 
 fn main() {
     let tree = table1_tree();

@@ -282,7 +282,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "expected at least one instance with divergent branching order");
+        assert!(
+            found,
+            "expected at least one instance with divergent branching order"
+        );
     }
 
     #[test]

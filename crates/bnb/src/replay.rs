@@ -43,7 +43,10 @@ impl BranchBound for BasicTreeProblem {
     }
 
     fn branching_var(&self, node: &NodeId) -> Option<Var> {
-        self.tree.node(*node).children.map(|_| self.tree.node(*node).var)
+        self.tree
+            .node(*node)
+            .children
+            .map(|_| self.tree.node(*node).var)
     }
 
     fn decompose(&self, node: &NodeId) -> Option<(NodeId, NodeId)> {

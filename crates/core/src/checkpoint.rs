@@ -311,7 +311,13 @@ mod tests {
                     msg: crate::Msg::WorkRequest { .. },
                     ..
                 }
-            ) || matches!(a, crate::Action::SetTimer { timer: PTimer::RecoveryFuse(_), .. })
+            ) || matches!(
+                a,
+                crate::Action::SetTimer {
+                    timer: PTimer::RecoveryFuse(_),
+                    ..
+                }
+            )
         });
         assert!(seeks, "restored idle process must seek work");
     }

@@ -29,6 +29,6 @@ pub use checkpoint::Checkpoint;
 pub use config::ProtocolConfig;
 pub use events::{Action, PEvent, PTimer};
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};
-pub use metrics::ProcMetrics;
+pub use metrics::{ProcMetrics, TransportCounters, TransportStats};
 pub use process::BnbProcess;
 pub use work::{ChildPair, Expander, Expansion, ProblemExpander, TreeExpander};

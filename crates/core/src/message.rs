@@ -159,10 +159,7 @@ mod tests {
         };
         assert_eq!(report.wire_size(), 1 + 8 + 2 + 6);
         let grant = Msg::WorkGrant {
-            items: vec![GrantItem {
-                code,
-                bound: 0.0,
-            }],
+            items: vec![GrantItem { code, bound: 0.0 }],
             incumbent: 1.0,
         };
         assert_eq!(grant.wire_size(), 1 + 8 + 2 + 6 + 8);
@@ -177,7 +174,9 @@ mod tests {
 
     #[test]
     fn kind_classification() {
-        assert!(Msg::WorkRequest { incumbent: 0.0 }.kind().is_load_balancing());
+        assert!(Msg::WorkRequest { incumbent: 0.0 }
+            .kind()
+            .is_load_balancing());
         assert!(!Msg::WorkReport {
             codes: vec![],
             incumbent: 0.0

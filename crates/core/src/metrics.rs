@@ -6,6 +6,7 @@
 //! events: expansions, eliminations, reports, recoveries, redundancy.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters maintained by one protocol process.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -99,9 +100,142 @@ impl ProcMetrics {
     }
 }
 
+/// Shared counters maintained by a transport implementation
+/// (`ftbb-runtime`'s in-process mesh, `ftbb-wire`'s TCP mesh).
+///
+/// The paper's Crash failure model makes "the send was silently dropped"
+/// a *correct* behaviour, which historically meant transports swallowed
+/// `Full`/`Disconnected` without a trace. These counters keep the silence
+/// observable: every send attempt lands in exactly one bucket.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Messages handed to the wire (or in-process queue) successfully.
+    pub sent: AtomicU64,
+    /// Estimated protocol bytes of successful sends (`Msg::wire_size`).
+    pub sent_wire_bytes: AtomicU64,
+    /// Actual encoded bytes of successful sends, frame headers included
+    /// (equals `sent_wire_bytes` for in-process transports, which ship no
+    /// frames).
+    pub sent_encoded_bytes: AtomicU64,
+    /// Sends dropped because the destination queue was full.
+    pub dropped_full: AtomicU64,
+    /// Sends dropped because the destination is disconnected/dead.
+    pub dropped_disconnected: AtomicU64,
+    /// Sends dropped because no route to the destination id exists.
+    pub dropped_no_route: AtomicU64,
+    /// Connections re-established after a drop (TCP transports only).
+    pub reconnects: AtomicU64,
+}
+
+impl TransportCounters {
+    /// Record a successful send of a message whose protocol size is
+    /// `wire_bytes` and whose on-the-wire encoding is `encoded_bytes`.
+    pub fn record_send(&self, wire_bytes: usize, encoded_bytes: usize) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.sent_wire_bytes
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        self.sent_encoded_bytes
+            .fetch_add(encoded_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a send dropped on a full destination queue.
+    pub fn record_dropped_full(&self) {
+        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a send dropped on a dead/disconnected destination.
+    pub fn record_dropped_disconnected(&self) {
+        self.dropped_disconnected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a send dropped because the destination id is unknown.
+    pub fn record_dropped_no_route(&self) {
+        self.dropped_no_route.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection re-established after a failure.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot for reporting/serialization.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            sent_wire_bytes: self.sent_wire_bytes.load(Ordering::Relaxed),
+            sent_encoded_bytes: self.sent_encoded_bytes.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            dropped_no_route: self.dropped_no_route.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of [`TransportCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Messages handed to the wire successfully.
+    pub sent: u64,
+    /// Estimated protocol bytes of successful sends.
+    pub sent_wire_bytes: u64,
+    /// Actual encoded bytes of successful sends.
+    pub sent_encoded_bytes: u64,
+    /// Sends dropped on a full destination queue.
+    pub dropped_full: u64,
+    /// Sends dropped on a dead destination.
+    pub dropped_disconnected: u64,
+    /// Sends dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Connections re-established after a drop.
+    pub reconnects: u64,
+}
+
+impl TransportStats {
+    /// Total send attempts, delivered or not.
+    pub fn attempts(&self) -> u64 {
+        self.sent + self.dropped()
+    }
+
+    /// Total dropped sends across all causes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_full + self.dropped_disconnected + self.dropped_no_route
+    }
+
+    /// Framing overhead of the encoding, as actual/estimated bytes
+    /// (1.0 when the transport ships no frames; 0 when nothing was sent).
+    pub fn encoding_overhead(&self) -> f64 {
+        if self.sent_wire_bytes == 0 {
+            0.0
+        } else {
+            self.sent_encoded_bytes as f64 / self.sent_wire_bytes as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transport_counters_snapshot() {
+        let c = TransportCounters::default();
+        c.record_send(9, 19);
+        c.record_send(11, 21);
+        c.record_dropped_full();
+        c.record_dropped_disconnected();
+        c.record_dropped_disconnected();
+        c.record_dropped_no_route();
+        c.record_reconnect();
+        let s = c.snapshot();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.sent_wire_bytes, 20);
+        assert_eq!(s.sent_encoded_bytes, 40);
+        assert_eq!(s.dropped(), 4);
+        assert_eq!(s.attempts(), 6);
+        assert_eq!(s.reconnects, 1);
+        assert!((s.encoding_overhead() - 2.0).abs() < 1e-12);
+    }
 
     #[test]
     fn compression_ratio() {

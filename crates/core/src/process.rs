@@ -107,7 +107,7 @@ impl BnbProcess {
             metrics: ProcMetrics::default(),
             rng: SmallRng::seed_from_u64(rng_seed),
             membership: None,
-        gossip_servers: Vec::new(),
+            gossip_servers: Vec::new(),
         }
     }
 
@@ -870,12 +870,20 @@ mod tests {
         assert!(code.is_root());
         assert_eq!(seq, 1);
         // Also armed the periodic timers.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::ReportFlush, .. })));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::TableGossip, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: PTimer::ReportFlush,
+                ..
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: PTimer::TableGossip,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -887,9 +895,13 @@ mod tests {
         assert_eq!(reqs.len(), 1);
         assert!(matches!(reqs[0].1, Msg::WorkRequest { .. }));
         // A timeout timer guards the request.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::LbTimeout(_), .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: PTimer::LbTimeout(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -979,9 +991,9 @@ mod tests {
         // Final report: root code to every member, then Halt.
         let final_reports: Vec<_> = sends(&actions)
             .into_iter()
-            .filter(|(_, m)| {
-                matches!(m, Msg::WorkReport { codes, .. } if codes == &vec![Code::root()])
-            })
+            .filter(
+                |(_, m)| matches!(m, Msg::WorkReport { codes, .. } if codes == &vec![Code::root()]),
+            )
             .collect();
         assert_eq!(final_reports.len(), 2); // members 1 and 2
         assert!(actions.iter().any(|a| matches!(a, Action::Halt)));
@@ -1020,10 +1032,15 @@ mod tests {
                 },
                 t0(),
             );
-            if actions
-                .iter()
-                .any(|a| matches!(a, Action::SetTimer { timer: PTimer::RecoveryFuse(_), .. }))
-            {
+            if actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::SetTimer {
+                        timer: PTimer::RecoveryFuse(_),
+                        ..
+                    }
+                )
+            }) {
                 return attempt;
             }
             target = request_target(&actions).expect("retry must send a request");
@@ -1268,9 +1285,13 @@ mod tests {
             .collect();
         assert_eq!(reports.len(), cfg().report_fanout.min(2));
         // Timer re-arms.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::ReportFlush, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: PTimer::ReportFlush,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1311,9 +1332,15 @@ mod tests {
         let retried = sends(&actions)
             .iter()
             .any(|(_, m)| matches!(m, Msg::WorkRequest { .. }));
-        let fused = actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: PTimer::RecoveryFuse(_), .. }));
+        let fused = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::SetTimer {
+                    timer: PTimer::RecoveryFuse(_),
+                    ..
+                }
+            )
+        });
         assert!(retried || fused);
     }
 

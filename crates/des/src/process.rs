@@ -115,7 +115,12 @@ pub trait Process {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
 
     /// Called for each delivered message.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ProcId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        from: ProcId,
+        msg: Self::Msg,
+    );
 
     /// Called for each fired timer.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);

@@ -82,9 +82,7 @@ fn spread_run(seed: u64, n: u32) -> Vec<Vec<(u64, u32)>> {
         );
     }
     eng.run(RunLimits::max_events(100_000));
-    (0..n)
-        .map(|i| eng.process(ProcId(i)).log.clone())
-        .collect()
+    (0..n).map(|i| eng.process(ProcId(i)).log.clone()).collect()
 }
 
 proptest! {

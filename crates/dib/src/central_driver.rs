@@ -85,7 +85,12 @@ impl Process for CentralActor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg, CentralTimer>, from: ProcId, msg: CentralMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, CentralMsg, CentralTimer>,
+        from: ProcId,
+        msg: CentralMsg,
+    ) {
         let now = ctx.now();
         match &mut self.role {
             Role::Manager(manager) => {

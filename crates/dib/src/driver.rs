@@ -45,13 +45,9 @@ impl Process for DibActor {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, DibMsg, DibSimTimer>, from: ProcId, msg: DibMsg) {
-        let actions = self.core.handle(
-            DibEvent::Recv {
-                from: from.0,
-                msg,
-            },
-            ctx.now(),
-        );
+        let actions = self
+            .core
+            .handle(DibEvent::Recv { from: from.0, msg }, ctx.now());
         self.apply(ctx, actions);
     }
 
@@ -95,7 +91,10 @@ impl DibActor {
                     let cost = SimTime::from_secs_f64(expansion.cost);
                     let start = self.busy_until.max(now);
                     self.busy_until = start + cost;
-                    ctx.set_timer(self.busy_until - now, DibSimTimer::WorkDone { seq, expansion });
+                    ctx.set_timer(
+                        self.busy_until - now,
+                        DibSimTimer::WorkDone { seq, expansion },
+                    );
                 }
                 DibAction::SetTimer { delay_s, timer } => {
                     ctx.set_timer(SimTime::from_secs_f64(delay_s), DibSimTimer::Core(timer));

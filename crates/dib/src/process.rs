@@ -538,7 +538,15 @@ mod tests {
         assert!(p.is_terminated());
         let dones = actions
             .iter()
-            .filter(|a| matches!(a, DibAction::Send { msg: DibMsg::Done { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    DibAction::Send {
+                        msg: DibMsg::Done { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(dones, 2);
     }

@@ -70,7 +70,10 @@ pub struct MembershipView {
 impl MembershipView {
     /// Empty view with the given timeouts.
     pub fn new(t_fail: SimTime, t_cleanup: SimTime) -> Self {
-        assert!(t_cleanup >= t_fail, "cleanup must not precede failure timeout");
+        assert!(
+            t_cleanup >= t_fail,
+            "cleanup must not precede failure timeout"
+        );
         MembershipView {
             records: BTreeMap::new(),
             tombstones: BTreeMap::new(),

@@ -120,13 +120,19 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         for _ in 0..1000 {
             let d = m.sample(0, &mut rng).as_millis_f64();
-            assert!((8.0..=12.0).contains(&d), "jittered delay {d} out of bounds");
+            assert!(
+                (8.0..=12.0).contains(&d),
+                "jittered delay {d} out of bounds"
+            );
         }
     }
 
     #[test]
     fn instant_is_zero() {
         let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(LatencyModel::instant().sample(4096, &mut rng), SimTime::ZERO);
+        assert_eq!(
+            LatencyModel::instant().sample(4096, &mut rng),
+            SimTime::ZERO
+        );
     }
 }

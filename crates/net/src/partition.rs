@@ -23,9 +23,7 @@ pub struct PartitionWindow {
 
 impl PartitionWindow {
     fn group_of(&self, p: ProcId) -> Option<usize> {
-        self.groups
-            .iter()
-            .position(|g| g.contains(&p.0))
+        self.groups.iter().position(|g| g.contains(&p.0))
     }
 
     /// Can `a` reach `b` during this window?
@@ -66,11 +64,7 @@ impl PartitionSchedule {
     /// Convenience: split `{0..n}` into two halves `[0..k)` and `[k..n)`.
     pub fn split_at(start: SimTime, end: SimTime, n: u32, k: u32) -> Self {
         let mut s = PartitionSchedule::default();
-        s.add_window(
-            start,
-            end,
-            vec![(0..k).collect(), (k..n).collect()],
-        );
+        s.add_window(start, end, vec![(0..k).collect(), (k..n).collect()]);
         s
     }
 

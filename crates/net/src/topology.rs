@@ -154,8 +154,7 @@ mod tests {
     #[test]
     fn partitioned_network_blocks_cross_group() {
         let mut cfg = NetworkConfig::paper();
-        cfg.partitions =
-            PartitionSchedule::split_at(SimTime::ZERO, SimTime::from_secs(10), 4, 2);
+        cfg.partitions = PartitionSchedule::split_at(SimTime::ZERO, SimTime::from_secs(10), 4, 2);
         let mut net = Network::new(cfg, 4);
         let mut rng = SmallRng::seed_from_u64(0);
         let r = net.transmit(ProcId(0), ProcId(3), 10, SimTime::from_secs(5), &mut rng);

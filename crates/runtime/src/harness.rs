@@ -46,6 +46,19 @@ impl ClusterConfig {
     }
 }
 
+/// Per-node protocol RNG seed derived from a cluster-wide base seed.
+/// Every deployment (threaded harness, `ftbb-wire` daemons) must use
+/// this same mixing, or "identical state machine" stops being true.
+pub fn node_seed(base: u64, id: u32) -> u64 {
+    base.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64)
+}
+
+/// Root-holder election: the lowest member id starts with the root
+/// subproblem. `members` must be sorted (as `BnbProcess` expects).
+pub fn holds_root(id: u32, members: &[u32]) -> bool {
+    members.first() == Some(&id)
+}
+
 /// Result of a cluster run.
 #[derive(Debug)]
 pub struct ClusterOutcome {
@@ -81,14 +94,14 @@ where
             members.clone(),
             cfg.protocol.clone(),
             expander.root_bound(),
-            id == 0,
-            cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64),
+            holds_root(id, &members),
+            node_seed(cfg.seed, id),
         );
         let mesh = std::sync::Arc::clone(&mesh);
         let switch = switches[id as usize].clone();
         let deadline = cfg.deadline;
         handles.push(thread::spawn(move || {
-            run_node(core, expander, &mesh, inbox, switch, deadline)
+            run_node(core, expander, &*mesh, inbox, switch, deadline)
         }));
     }
 
@@ -125,7 +138,8 @@ where
         c.dedup();
         c.len()
     };
-    let all_terminated = nodes.iter().filter(|o| o.terminated).count() >= survivors.min(nodes.len())
+    let all_terminated = nodes.iter().filter(|o| o.terminated).count()
+        >= survivors.min(nodes.len())
         && nodes.iter().all(|o| o.terminated);
     let best = nodes
         .iter()

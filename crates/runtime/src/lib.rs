@@ -2,8 +2,14 @@
 //!
 //! The paper evaluates its algorithm in simulation only; this crate runs the
 //! *identical* [`ftbb_core::BnbProcess`] state machine on real threads with
-//! crossbeam channels and wall-clock timers — the "real implementation" the
-//! paper leaves as future work.
+//! wall-clock timers — the "real implementation" the paper leaves as future
+//! work.
+//!
+//! The network is abstracted behind the [`Transport`] trait: `run_node`
+//! drives the protocol over *any* transport. This crate ships the
+//! in-process [`Mesh`] (one channel per node); the `ftbb-wire` crate
+//! implements the same trait over real TCP sockets between OS processes,
+//! so the identical node loop runs in both deployments.
 //!
 //! Differences from the simulator are confined to the harness:
 //!
@@ -12,8 +18,9 @@
 //!   rebuilding node state from self-contained codes;
 //! * crashes are injected by tripping a [`CrashSwitch`]: the thread stops
 //!   silently, and peers see only silence — the Crash failure model;
-//! * messages travel through in-process channels (sends to dead nodes are
-//!   dropped, like lost datagrams).
+//! * messages travel through the [`Transport`] (sends to dead nodes are
+//!   dropped, like lost datagrams, and counted in
+//!   [`ftbb_core::TransportCounters`]).
 //!
 //! Runs are not deterministic (thread scheduling), but correctness is: any
 //! crash schedule that leaves one node alive yields the sequential optimum.
@@ -24,6 +31,6 @@ pub mod harness;
 pub mod node;
 pub mod transport;
 
-pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use harness::{holds_root, node_seed, run_cluster, ClusterConfig, ClusterOutcome};
 pub use node::{run_node, CrashSwitch, NodeOutcome};
-pub use transport::{Envelope, Mesh};
+pub use transport::{Envelope, Mesh, Transport};

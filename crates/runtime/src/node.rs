@@ -1,6 +1,7 @@
-//! One node: a thread driving a [`BnbProcess`] with real time and channels.
+//! One node: a thread driving a [`BnbProcess`] with real time and an
+//! arbitrary [`Transport`] (in-process channels or real sockets).
 
-use crate::transport::{Envelope, Mesh};
+use crate::transport::{Envelope, Transport};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftbb_core::{Action, BnbProcess, Expander, PEvent, PTimer, ProcMetrics};
 use ftbb_des::SimTime;
@@ -42,10 +43,15 @@ impl CrashSwitch {
 
 /// Drive `core` until termination or crash. Returns the outcome
 /// (`None` if the node was crashed — crashed nodes report nothing).
+///
+/// The node is transport-agnostic: `transport` may be the in-process
+/// [`crate::Mesh`] or any other [`Transport`] (e.g. `ftbb-wire`'s TCP
+/// mesh), as long as `inbox` is the receiving end the transport routes
+/// this node's messages to.
 pub fn run_node<E: Expander>(
     mut core: BnbProcess,
     mut expander: E,
-    mesh: &Mesh,
+    transport: &dyn Transport,
     inbox: Receiver<Envelope>,
     crash: CrashSwitch,
     hard_deadline: Duration,
@@ -59,10 +65,10 @@ pub fn run_node<E: Expander>(
     let mut timer_seq = 0u64;
 
     let apply = |actions: Vec<Action>,
-                     timers: &mut BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>>,
-                     timer_seq: &mut u64,
-                     expander: &mut E,
-                     core: &mut BnbProcess|
+                 timers: &mut BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>>,
+                 timer_seq: &mut u64,
+                 expander: &mut E,
+                 core: &mut BnbProcess|
      -> bool {
         let mut halted = false;
         let mut queue = actions;
@@ -70,14 +76,11 @@ pub fn run_node<E: Expander>(
             let mut next = Vec::new();
             for action in queue.drain(..) {
                 match action {
-                    Action::Send { to, msg } => mesh.send(id, to, msg),
+                    Action::Send { to, msg } => transport.send(id, to, msg),
                     Action::StartWork { code, seq } => {
                         // Real computation happens here, inline.
                         let expansion = expander.expand(&code);
-                        let done = core.handle(
-                            PEvent::WorkDone { seq, expansion },
-                            now(epoch),
-                        );
+                        let done = core.handle(PEvent::WorkDone { seq, expansion }, now(epoch));
                         next.extend(done);
                     }
                     Action::SetTimer { delay_s, timer } => {
@@ -131,7 +134,13 @@ pub fn run_node<E: Expander>(
                     },
                     now(epoch),
                 );
-                halted |= apply(actions, &mut timers, &mut timer_seq, &mut expander, &mut core);
+                halted |= apply(
+                    actions,
+                    &mut timers,
+                    &mut timer_seq,
+                    &mut expander,
+                    &mut core,
+                );
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -144,7 +153,13 @@ pub fn run_node<E: Expander>(
             }
             let Reverse((_, _, TimerSlot(timer))) = timers.pop().expect("peeked");
             let actions = core.handle(PEvent::Timer(timer), now(epoch));
-            halted |= apply(actions, &mut timers, &mut timer_seq, &mut expander, &mut core);
+            halted |= apply(
+                actions,
+                &mut timers,
+                &mut timer_seq,
+                &mut expander,
+                &mut core,
+            );
         }
     }
 

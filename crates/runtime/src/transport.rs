@@ -1,10 +1,19 @@
-//! In-process message transport: one crossbeam channel per node.
+//! Message transports: the [`Transport`] abstraction and the in-process
+//! crossbeam-channel mesh.
+//!
+//! A transport delivers [`Envelope`]s between numbered endpoints under the
+//! paper's Crash failure model: sends to dead or unknown destinations are
+//! *silently dropped* (the protocol tolerates lost messages by design),
+//! but never silently *un*counted — every attempt lands in the transport's
+//! [`TransportCounters`]. The same node loop (`run_node`) drives the
+//! protocol over any transport: the in-process [`Mesh`] here, or
+//! `ftbb-wire`'s TCP mesh across real OS processes.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
-use ftbb_core::Msg;
+use ftbb_core::{Msg, TransportCounters, TransportStats};
 
 /// A routed protocol message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Sender node id.
     pub from: u32,
@@ -12,9 +21,32 @@ pub struct Envelope {
     pub msg: Msg,
 }
 
-/// The mesh of channels connecting all nodes.
+/// Anything that can carry protocol messages between nodes.
+///
+/// Implementations must be cheap to share across threads (`&self` send)
+/// and must follow Crash-model semantics: a send may vanish without an
+/// error, but must then be visible in [`Transport::counters`].
+pub trait Transport: Send + Sync {
+    /// Send `msg` from node `from` to node `to`. Never blocks on a dead
+    /// destination; undeliverable messages are dropped and counted.
+    fn send(&self, from: u32, to: u32, msg: Msg);
+
+    /// Number of endpoints this transport routes to.
+    fn endpoints(&self) -> usize;
+
+    /// The transport's shared counters.
+    fn counters(&self) -> &TransportCounters;
+
+    /// Convenience snapshot of [`Transport::counters`].
+    fn stats(&self) -> TransportStats {
+        self.counters().snapshot()
+    }
+}
+
+/// The in-process mesh: one unbounded channel per node.
 pub struct Mesh {
     senders: Vec<Sender<Envelope>>,
+    counters: TransportCounters,
 }
 
 impl Mesh {
@@ -27,7 +59,13 @@ impl Mesh {
             senders.push(tx);
             receivers.push(rx);
         }
-        (Mesh { senders }, receivers)
+        (
+            Mesh {
+                senders,
+                counters: TransportCounters::default(),
+            },
+            receivers,
+        )
     }
 
     /// Number of endpoints.
@@ -40,15 +78,35 @@ impl Mesh {
         self.senders.is_empty()
     }
 
-    /// Send a message; silently drops if the destination has shut down
-    /// (crashed or terminated nodes close their inbox — exactly the
-    /// lost-message behaviour the protocol tolerates).
+    /// Send a message; silently drops (but counts) if the destination has
+    /// shut down — crashed or terminated nodes close their inbox, exactly
+    /// the lost-message behaviour the protocol tolerates.
     pub fn send(&self, from: u32, to: u32, msg: Msg) {
-        if let Some(tx) = self.senders.get(to as usize) {
-            match tx.try_send(Envelope { from, msg }) {
-                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
-            }
+        let Some(tx) = self.senders.get(to as usize) else {
+            self.counters.record_dropped_no_route();
+            return;
+        };
+        let wire = msg.wire_size();
+        match tx.try_send(Envelope { from, msg }) {
+            // No frame encoding in-process: encoded == estimated bytes.
+            Ok(()) => self.counters.record_send(wire, wire),
+            Err(TrySendError::Full(_)) => self.counters.record_dropped_full(),
+            Err(TrySendError::Disconnected(_)) => self.counters.record_dropped_disconnected(),
         }
+    }
+}
+
+impl Transport for Mesh {
+    fn send(&self, from: u32, to: u32, msg: Msg) {
+        Mesh::send(self, from, to, msg);
+    }
+
+    fn endpoints(&self) -> usize {
+        self.len()
+    }
+
+    fn counters(&self) -> &TransportCounters {
+        &self.counters
     }
 }
 
@@ -69,10 +127,14 @@ mod tests {
         let env = rxs[1].try_recv().unwrap();
         assert_eq!(env.from, 0);
         assert!(matches!(env.msg, Msg::WorkDeny { .. }));
+        let stats = mesh.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.sent_wire_bytes, 9);
+        assert_eq!(stats.dropped(), 0);
     }
 
     #[test]
-    fn send_to_dead_endpoint_is_silent() {
+    fn send_to_dead_endpoint_is_silent_but_counted() {
         let (mesh, rxs) = Mesh::new(2);
         drop(rxs); // all inboxes closed
         mesh.send(
@@ -82,7 +144,27 @@ mod tests {
                 incumbent: f64::INFINITY,
             },
         );
-        // no panic
+        // no panic, and the drop is visible in the counters
         assert_eq!(mesh.len(), 2);
+        let stats = mesh.stats();
+        assert_eq!(stats.sent, 0);
+        assert_eq!(stats.dropped_disconnected, 1);
+    }
+
+    #[test]
+    fn send_to_unknown_endpoint_counts_no_route() {
+        let (mesh, _rxs) = Mesh::new(1);
+        mesh.send(0, 7, Msg::WorkRequest { incumbent: 1.0 });
+        assert_eq!(mesh.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn mesh_is_a_transport_object() {
+        let (mesh, rxs) = Mesh::new(2);
+        let t: &dyn Transport = &mesh;
+        t.send(1, 0, Msg::WorkRequest { incumbent: 2.0 });
+        assert_eq!(t.endpoints(), 2);
+        assert!(rxs[0].try_recv().is_ok());
+        assert_eq!(t.stats().sent, 1);
     }
 }

@@ -27,6 +27,8 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Ignored: this stand-in never shrinks.
     pub max_shrink_iters: u32,
+    /// Ignored: this stand-in never forks.
+    pub fork: bool,
 }
 
 impl Default for ProptestConfig {
@@ -34,6 +36,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 64,
             max_shrink_iters: 0,
+            fork: false,
         }
     }
 }
@@ -71,6 +74,24 @@ pub trait Strategy {
         Self: Sized,
     {
         FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (for heterogeneous match arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
     }
 }
 
@@ -311,8 +332,8 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 

@@ -324,7 +324,7 @@ mod tests {
     fn primitive_round_trips() {
         assert_eq!(decode::<u32>(&encode(&7u32)).unwrap(), 7);
         assert_eq!(decode::<f64>(&encode(&1.25f64)).unwrap(), 1.25);
-        assert_eq!(decode::<bool>(&encode(&true)).unwrap(), true);
+        assert!(decode::<bool>(&encode(&true)).unwrap());
         assert_eq!(decode::<usize>(&encode(&9usize)).unwrap(), 9);
         let v = vec![(1u32, 2.5f64), (3, 4.5)];
         assert_eq!(decode::<Vec<(u32, f64)>>(&encode(&v)).unwrap(), v);

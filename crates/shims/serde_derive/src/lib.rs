@@ -252,7 +252,11 @@ fn parse_item(input: TokenStream) -> Item {
 
 /// Extract `into`/`from` types from a `serde(...)` attribute body, if this
 /// attribute is one.
-fn parse_serde_attr(stream: TokenStream, into_ty: &mut Option<String>, from_ty: &mut Option<String>) {
+fn parse_serde_attr(
+    stream: TokenStream,
+    into_ty: &mut Option<String>,
+    from_ty: &mut Option<String>,
+) {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}

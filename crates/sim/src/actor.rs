@@ -204,13 +204,7 @@ impl Process for SimProcess {
         let now = ctx.now();
         let kind = msg.kind();
         let merged_before = self.core.metrics().merge_codes_processed;
-        let actions = self.core.handle(
-            PEvent::Recv {
-                from: from.0,
-                msg,
-            },
-            now,
-        );
+        let actions = self.core.handle(PEvent::Recv { from: from.0, msg }, now);
         let merged = self.core.metrics().merge_codes_processed - merged_before;
         let (recv_fixed, per_code) = {
             let sh = self.shared.borrow();

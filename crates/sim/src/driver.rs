@@ -410,9 +410,7 @@ mod tests {
             );
             // Expansion time lands in bb or (if every expansion raced with
             // another process) in the redundant bucket.
-            assert!(
-                p.times.bb + p.times.redundant > SimTime::ZERO || p.metrics.expanded == 0
-            );
+            assert!(p.times.bb + p.times.redundant > SimTime::ZERO || p.metrics.expanded == 0);
         }
         // Unique expansions ≤ tree size.
         assert!(report.expanded_unique <= tree.len() as u64);

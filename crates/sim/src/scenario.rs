@@ -139,7 +139,10 @@ mod tests {
         let base = fig3_config(4);
         let g = granularity_config(4, 10.0);
         assert_eq!(g.granularity, 10.0);
-        assert_eq!(g.protocol.report_interval_s, base.protocol.report_interval_s);
+        assert_eq!(
+            g.protocol.report_interval_s,
+            base.protocol.report_interval_s
+        );
         assert!(g.protocol.lb_timeout_s > base.protocol.lb_timeout_s);
     }
 }

@@ -45,7 +45,10 @@ pub fn render(timelines: &[Vec<StateInterval>], end: SimTime, width: usize) -> S
         " ".repeat(width.saturating_sub(6)),
         format_args!("{:.2}s", total)
     );
-    let _ = writeln!(out, "     █ = B&B work   · = idle/starving   ─ = terminated   X = crashed");
+    let _ = writeln!(
+        out,
+        "     █ = B&B work   · = idle/starving   ─ = terminated   X = crashed"
+    );
     out
 }
 

@@ -110,14 +110,12 @@ impl Code {
 
     /// Is `self` an ancestor of (a strict prefix of) `other`?
     pub fn is_ancestor_of(&self, other: &Code) -> bool {
-        self.pairs.len() < other.pairs.len()
-            && other.pairs[..self.pairs.len()] == self.pairs[..]
+        self.pairs.len() < other.pairs.len() && other.pairs[..self.pairs.len()] == self.pairs[..]
     }
 
     /// Is `self` an ancestor of or equal to `other`?
     pub fn is_prefix_of(&self, other: &Code) -> bool {
-        self.pairs.len() <= other.pairs.len()
-            && other.pairs[..self.pairs.len()] == self.pairs[..]
+        self.pairs.len() <= other.pairs.len() && other.pairs[..self.pairs.len()] == self.pairs[..]
     }
 
     /// Are `self` and `other` siblings (same parent, opposite branch)?

@@ -116,8 +116,13 @@ impl CodeSet {
         let mut out = MergeOutcome::default();
         let mut created = 0usize;
         let mut freed = 0usize;
-        let newly =
-            Self::insert_rec(&mut self.root, code.pairs(), &mut out, &mut created, &mut freed);
+        let newly = Self::insert_rec(
+            &mut self.root,
+            code.pairs(),
+            &mut out,
+            &mut created,
+            &mut freed,
+        );
         let _ = newly;
         self.node_count += created;
         self.node_count -= freed;
@@ -174,10 +179,7 @@ impl CodeSet {
                     freed,
                 );
                 if child_newly_done {
-                    let both_done = node
-                        .kids
-                        .iter()
-                        .all(|k| k.as_ref().is_some_and(|n| n.done));
+                    let both_done = node.kids.iter().all(|k| k.as_ref().is_some_and(|n| n.done));
                     if both_done {
                         // Sibling contraction: replace the pair by the parent.
                         for kid in &mut node.kids {

@@ -50,14 +50,8 @@ pub fn pick_recovery(
         return None;
     }
     match strategy {
-        RecoveryStrategy::Shallowest => candidates
-            .iter()
-            .min_by_key(|c| c.depth())
-            .cloned(),
-        RecoveryStrategy::Deepest => candidates
-            .iter()
-            .max_by_key(|c| c.depth())
-            .cloned(),
+        RecoveryStrategy::Shallowest => candidates.iter().min_by_key(|c| c.depth()).cloned(),
+        RecoveryStrategy::Deepest => candidates.iter().max_by_key(|c| c.depth()).cloned(),
         RecoveryStrategy::Random => candidates.choose(rng).cloned(),
         RecoveryStrategy::NearHint => match hint {
             Some(h) => candidates
@@ -152,8 +146,7 @@ mod tests {
         let s = table();
         let mut rng = SmallRng::seed_from_u64(0);
         let hint = c(&[(1, false), (2, true), (5, false)]);
-        let got =
-            pick_recovery(&s, RecoveryStrategy::NearHint, Some(&hint), &mut rng).unwrap();
+        let got = pick_recovery(&s, RecoveryStrategy::NearHint, Some(&hint), &mut rng).unwrap();
         // The sibling (x1,0)(x2,1)(x5,1) shares the longest prefix with the hint.
         assert_eq!(got, c(&[(1, false), (2, true), (5, true)]));
     }

@@ -238,10 +238,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = encode_tree(&fig1_example()).to_vec();
         bytes[0] ^= 0xFF;
-        assert!(matches!(
-            decode_tree(&bytes),
-            Err(CodecError::Malformed(_))
-        ));
+        assert!(matches!(decode_tree(&bytes), Err(CodecError::Malformed(_))));
     }
 
     #[test]

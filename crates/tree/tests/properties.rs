@@ -2,8 +2,7 @@
 //! fault-tolerance argument rests on.
 
 use ftbb_tree::{
-    compress, pick_recovery, random_basic_tree, Code, CodeSet, NodeId, RecoveryStrategy,
-    TreeConfig,
+    compress, pick_recovery, random_basic_tree, Code, CodeSet, NodeId, RecoveryStrategy, TreeConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

@@ -1,1 +1,63 @@
-fn main() {}
+//! `ftbb-noded` — one fault-tolerant branch-and-bound node per OS process.
+//!
+//! ```text
+//! ftbb-noded --id 0 --listen 127.0.0.1:4500 \
+//!            --peer 1=127.0.0.1:4501 --peer 2=127.0.0.1:4502 \
+//!            --problem-n 24 --problem-seed 11
+//! ftbb-noded --config node0.toml
+//! ```
+//!
+//! Prints one `FTBB-OUTCOME` line on stdout when the node terminates (or
+//! hits its deadline); prints nothing when the process is killed — which
+//! is the point.
+
+use ftbb_wire::noded;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{}", HELP);
+        return;
+    }
+    let cfg = match ftbb_wire::parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("ftbb-noded: {e}");
+            eprint!("{}", HELP);
+            std::process::exit(2);
+        }
+    };
+    match noded::run(&cfg) {
+        Ok(report) => {
+            println!("{}", noded::outcome_line(&report));
+            if !report.outcome.terminated {
+                // Deadline hit without termination: report, but fail.
+                std::process::exit(3);
+            }
+        }
+        Err(e) => {
+            eprintln!("ftbb-noded: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+const HELP: &str = "\
+ftbb-noded — one fault-tolerant B&B protocol node per OS process
+
+USAGE:
+    ftbb-noded [--config FILE] [FLAGS]
+
+FLAGS (override --config values):
+    --id N                        node id
+    --listen HOST:PORT            listen address
+    --peer ID=HOST:PORT           peer (repeatable)
+    --deadline-s SECS             wall-clock safety valve (default 30)
+    --crash-at-s SECS             abort() after SECS (crash injection)
+    --seed N                      protocol RNG seed
+    --problem-n N                 knapsack items
+    --problem-range N             value/weight range
+    --problem-correlation KIND    uncorrelated|weak|strong|subsetsum
+    --problem-frac F              capacity fraction
+    --problem-seed N              instance seed (must match cluster-wide)
+";

@@ -1,0 +1,340 @@
+//! The framed wire codec.
+//!
+//! Every protocol message travels as one *frame*:
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────┬──────────────┬─────────┐
+//! │ magic: u32 │ version:u16 │ pay_len: u32 │ checksum:u32 │ payload │
+//! └────────────┴─────────────┴──────────────┴──────────────┴─────────┘
+//! ```
+//!
+//! (all little-endian). The payload is the binary serde encoding of
+//! `(from, msg)` — the same [`Envelope`] the in-process mesh routes. The
+//! decoder is **fuzz-resistant**: arbitrary bytes fed to [`FrameDecoder`]
+//! produce frames or [`WireError`]s, never panics or unbounded
+//! allocations (payload length is bounded by [`MAX_FRAME_PAYLOAD`], and
+//! the checksum rejects corruption before the payload decoder runs).
+//!
+//! Per-message size accounting reuses the protocol's own bookkeeping:
+//! [`encode_frame`] reports both the *estimated* protocol bytes
+//! (`Msg::wire_size`, the quantity the paper's report compression
+//! minimizes) and the *actual* encoded bytes, so
+//! [`ftbb_core::TransportCounters`] can expose the framing overhead.
+
+use ftbb_core::Msg;
+use ftbb_runtime::Envelope;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Frame magic: `"FTWB"` (ftbb wire, binary).
+pub const MAGIC: u32 = 0x4654_5742;
+
+/// Codec version; bumped on any payload-format change. Decoders reject
+/// frames from other versions rather than guessing.
+pub const VERSION: u16 = 1;
+
+/// Fixed frame header size in bytes.
+pub const HEADER_LEN: usize = 4 + 2 + 4 + 4;
+
+/// Upper bound on a frame payload. Protocol messages are small (a work
+/// grant carries tens of codes, each a few dozen bytes); anything larger
+/// is corruption or an attack, and is rejected before allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
+
+/// Errors surfaced by the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First four bytes were not [`MAGIC`]. The stream is garbage or
+    /// desynchronized; the connection should be dropped.
+    BadMagic(u32),
+    /// Frame from an incompatible codec version.
+    BadVersion(u16),
+    /// Claimed payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(usize),
+    /// Payload bytes do not match the header checksum.
+    Checksum {
+        /// Checksum the header claimed.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        actual: u32,
+    },
+    /// Checksummed payload failed structural decoding (e.g. invalid
+    /// enum tag).
+    Payload(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            WireError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            WireError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum {actual:#010x} != header {expected:#010x}"
+                )
+            }
+            WireError::Payload(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over the payload — cheap corruption detection, not security.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// An encoded frame plus its size accounting.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// The full frame (header + payload), ready for the socket.
+    pub bytes: Vec<u8>,
+    /// The message's own estimate of its protocol size
+    /// ([`Msg::wire_size`]), used for paper-faithful accounting.
+    pub wire_size: usize,
+}
+
+impl EncodedFrame {
+    /// Actual encoded length, header included.
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the payload exceeds [`MAX_FRAME_PAYLOAD`] — receivers
+    /// would reject this frame, so it must not be transmitted.
+    pub fn exceeds_limit(&self) -> bool {
+        self.bytes.len() - HEADER_LEN > MAX_FRAME_PAYLOAD
+    }
+}
+
+/// Encode one envelope into a frame.
+///
+/// Frames whose payload exceeds [`MAX_FRAME_PAYLOAD`] are still encoded
+/// (the caller owns the policy), but every receiver will reject them as
+/// [`WireError::Oversize`] and drop the connection — senders must check
+/// [`EncodedFrame::exceeds_limit`] and drop such messages instead of
+/// transmitting them (the TCP mesh does, counting them as full-queue
+/// drops).
+pub fn encode_frame(env: &Envelope) -> EncodedFrame {
+    let mut payload = Vec::with_capacity(8 + env.msg.wire_size());
+    env.from.ser(&mut payload);
+    env.msg.ser(&mut payload);
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    MAGIC.ser(&mut bytes);
+    VERSION.ser(&mut bytes);
+    (payload.len() as u32).ser(&mut bytes);
+    checksum(&payload).ser(&mut bytes);
+    bytes.extend_from_slice(&payload);
+    EncodedFrame {
+        bytes,
+        wire_size: env.msg.wire_size(),
+    }
+}
+
+/// Decode one complete frame from `data` (exactly one frame's bytes).
+/// Mostly useful in tests; streams use [`FrameDecoder`].
+pub fn decode_frame(data: &[u8]) -> Result<Envelope, WireError> {
+    let mut dec = FrameDecoder::new();
+    dec.push(data);
+    match dec.try_next()? {
+        Some(env) if dec.buffered() == 0 => Ok(env),
+        Some(_) => Err(WireError::Payload("trailing bytes after frame".into())),
+        None => Err(WireError::Payload("incomplete frame".into())),
+    }
+}
+
+/// Incremental frame decoder: feed arbitrary byte chunks (as delivered by
+/// the socket — frames may arrive split or coalesced), pull decoded
+/// envelopes.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    pos: usize,
+    /// Frames decoded so far (for accounting/tests).
+    pub frames_decoded: u64,
+    /// Payload + header bytes consumed by successful decodes.
+    pub bytes_decoded: u64,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one frame
+        // plus one socket read.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to decode the next frame. `Ok(None)` means "need more bytes".
+    /// After an error the stream is desynchronized; the caller should
+    /// drop the connection (this matches the Crash model — a corrupt peer
+    /// is indistinguishable from a dead one).
+    pub fn try_next(&mut self) -> Result<Option<Envelope>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("sized"));
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(avail[4..6].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let pay_len = u32::from_le_bytes(avail[6..10].try_into().expect("sized")) as usize;
+        if pay_len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::Oversize(pay_len));
+        }
+        let expected = u32::from_le_bytes(avail[10..14].try_into().expect("sized"));
+        if avail.len() < HEADER_LEN + pay_len {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + pay_len];
+        let actual = checksum(payload);
+        if actual != expected {
+            return Err(WireError::Checksum { expected, actual });
+        }
+        let mut r = payload;
+        let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+        let msg = Msg::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+        if !r.is_empty() {
+            return Err(WireError::Payload(format!(
+                "{} trailing payload bytes",
+                r.len()
+            )));
+        }
+        self.pos += HEADER_LEN + pay_len;
+        self.frames_decoded += 1;
+        self.bytes_decoded += (HEADER_LEN + pay_len) as u64;
+        Ok(Some(Envelope { from, msg }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            from: 3,
+            msg: Msg::WorkRequest { incumbent: 42.5 },
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(&sample());
+        assert_eq!(frame.wire_size, 9);
+        assert_eq!(frame.encoded_len(), frame.bytes.len());
+        let back = decode_frame(&frame.bytes).unwrap();
+        assert_eq!(back.from, 3);
+        assert_eq!(back.msg, sample().msg);
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let frame = encode_frame(&sample());
+        let mut dec = FrameDecoder::new();
+        for chunk in frame.bytes.chunks(3) {
+            dec.push(chunk);
+        }
+        let env = dec.try_next().unwrap().unwrap();
+        assert_eq!(env.msg, sample().msg);
+        assert_eq!(dec.try_next().unwrap(), None);
+    }
+
+    #[test]
+    fn coalesced_frames_split_apart() {
+        let mut stream = Vec::new();
+        for i in 0..5u32 {
+            stream.extend_from_slice(
+                &encode_frame(&Envelope {
+                    from: i,
+                    msg: Msg::WorkDeny {
+                        incumbent: i as f64,
+                    },
+                })
+                .bytes,
+            );
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        for i in 0..5u32 {
+            let env = dec.try_next().unwrap().unwrap();
+            assert_eq!(env.from, i);
+        }
+        assert_eq!(dec.try_next().unwrap(), None);
+        assert_eq!(dec.frames_decoded, 5);
+        assert_eq!(dec.bytes_decoded as usize, stream.len());
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_a_panic() {
+        let frame = encode_frame(&sample()).bytes;
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0xA5;
+            let mut dec = FrameDecoder::new();
+            dec.push(&bad);
+            match dec.try_next() {
+                Err(_) => {}
+                // A flip inside the length field can make the frame claim
+                // more payload than provided: legitimately "need more".
+                Ok(None) => assert!((6..10).contains(&i), "byte {i} silently pended"),
+                Ok(Some(_)) => panic!("corrupt byte {i} decoded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        MAGIC.ser(&mut bytes);
+        VERSION.ser(&mut bytes);
+        (u32::MAX).ser(&mut bytes);
+        0u32.ser(&mut bytes);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.try_next(), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(&sample()).bytes;
+        frame[4] = 0xFE;
+        frame[5] = 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame);
+        assert!(matches!(dec.try_next(), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn garbage_prefix_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(matches!(dec.try_next(), Err(WireError::BadMagic(_))));
+    }
+}

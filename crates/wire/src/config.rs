@@ -1,0 +1,543 @@
+//! `ftbb-noded` configuration: a TOML-subset file, CLI flags, or both
+//! (flags override file values).
+//!
+//! Example config:
+//!
+//! ```toml
+//! id = 0
+//! listen = "127.0.0.1:4500"
+//! peers = ["1=127.0.0.1:4501", "2=127.0.0.1:4502"]
+//! deadline_s = 30.0
+//! crash_at_s = 1.5          # optional: abort() mid-run (Crash model)
+//!
+//! [problem]
+//! kind = "knapsack"
+//! n = 24
+//! range = 80
+//! correlation = "weak"
+//! frac = 0.5
+//! seed = 11
+//! ```
+//!
+//! The parser covers the subset above — scalar `key = value` pairs
+//! (strings, integers, floats, booleans), string arrays, comments, and
+//! `[section]` headers — which keeps the daemon dependency-free.
+
+use ftbb_bnb::{Correlation, KnapsackInstance};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::SocketAddr;
+
+/// Configuration errors (parse or validation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError(msg.into()))
+}
+
+/// The problem a cluster solves. All nodes must agree on this spec; the
+/// instance is regenerated deterministically on every node (codes are
+/// self-contained *given the root instance*, paper §5.3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemSpec {
+    /// Number of knapsack items.
+    pub n: usize,
+    /// Value/weight range.
+    pub range: u64,
+    /// Correlation structure.
+    pub correlation: Correlation,
+    /// Capacity as a fraction of total weight.
+    pub frac: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ProblemSpec {
+    fn default() -> Self {
+        ProblemSpec {
+            n: 20,
+            range: 60,
+            correlation: Correlation::Weak,
+            frac: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+impl ProblemSpec {
+    /// Materialize the knapsack instance.
+    pub fn instance(&self) -> KnapsackInstance {
+        KnapsackInstance::generate(self.n, self.range, self.correlation, self.frac, self.seed)
+    }
+
+    fn correlation_from(name: &str) -> Result<Correlation, ConfigError> {
+        match name {
+            "uncorrelated" => Ok(Correlation::Uncorrelated),
+            "weak" => Ok(Correlation::Weak),
+            "strong" => Ok(Correlation::Strong),
+            "subsetsum" | "subset_sum" => Ok(Correlation::SubsetSum),
+            other => err(format!("unknown correlation `{other}`")),
+        }
+    }
+}
+
+/// Everything one `ftbb-noded` process needs to run.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub id: u32,
+    /// Address to listen on.
+    pub listen: SocketAddr,
+    /// Peer nodes as `(id, address)`.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// The shared problem.
+    pub problem: ProblemSpec,
+    /// Hard wall-clock deadline in seconds (safety valve).
+    pub deadline_s: f64,
+    /// If set, the process `abort()`s this many seconds after start —
+    /// a config-driven crash for experiments without an external killer.
+    pub crash_at_s: Option<f64>,
+    /// RNG seed for protocol randomness (target selection etc.).
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            id: 0,
+            listen: "127.0.0.1:0".parse().expect("static addr"),
+            peers: Vec::new(),
+            problem: ProblemSpec::default(),
+            deadline_s: 30.0,
+            crash_at_s: None,
+            seed: 1,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Member ids of the whole cluster (peers + self), sorted.
+    pub fn members(&self) -> Vec<u32> {
+        let mut m: Vec<u32> = self.peers.iter().map(|&(id, _)| id).collect();
+        m.push(self.id);
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+
+    /// Validate cross-field invariants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.peers.iter().any(|&(id, _)| id == self.id) {
+            return err(format!("peer list contains own id {}", self.id));
+        }
+        if self.deadline_s <= 0.0 {
+            return err("deadline_s must be positive");
+        }
+        if self.problem.n == 0 {
+            return err("problem.n must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------- TOML subset
+
+/// A parsed scalar or string-array value.
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+impl TomlValue {
+    fn parse(raw: &str, line_no: usize) -> Result<TomlValue, ConfigError> {
+        let raw = raw.trim();
+        if let Some(stripped) = raw.strip_prefix('"') {
+            let Some(inner) = stripped.strip_suffix('"') else {
+                return err(format!("line {line_no}: unterminated string"));
+            };
+            if inner.contains('"') {
+                return err(format!("line {line_no}: embedded quotes unsupported"));
+            }
+            return Ok(TomlValue::Str(inner.to_string()));
+        }
+        if raw.starts_with('[') {
+            let Some(inner) = raw.strip_prefix('[').and_then(|r| r.strip_suffix(']')) else {
+                return err(format!("line {line_no}: unterminated array"));
+            };
+            let mut items = Vec::new();
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match TomlValue::parse(part, line_no)? {
+                    TomlValue::Str(s) => items.push(s),
+                    _ => return err(format!("line {line_no}: only string arrays supported")),
+                }
+            }
+            return Ok(TomlValue::StrArray(items));
+        }
+        match raw {
+            "true" => return Ok(TomlValue::Bool(true)),
+            "false" => return Ok(TomlValue::Bool(false)),
+            _ => {}
+        }
+        if let Ok(i) = raw.parse::<i64>() {
+            return Ok(TomlValue::Int(i));
+        }
+        if let Ok(f) = raw.parse::<f64>() {
+            return Ok(TomlValue::Float(f));
+        }
+        err(format!("line {line_no}: cannot parse value `{raw}`"))
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, ConfigError> {
+        match self {
+            TomlValue::Int(i) if *i >= 0 => Ok(*i as u64),
+            _ => err(format!("`{key}` must be a non-negative integer")),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, ConfigError> {
+        match self {
+            TomlValue::Int(i) => Ok(*i as f64),
+            TomlValue::Float(f) => Ok(*f),
+            _ => err(format!("`{key}` must be a number")),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, ConfigError> {
+        match self {
+            TomlValue::Str(s) => Ok(s),
+            _ => err(format!("`{key}` must be a string")),
+        }
+    }
+}
+
+/// Parse the TOML subset into `section.key -> value` (top-level keys have
+/// no dot).
+fn parse_toml_subset(text: &str) -> Result<HashMap<String, TomlValue>, ConfigError> {
+    let mut out = HashMap::new();
+    let mut section = String::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match line.find('#') {
+            // A naive comment strip is fine: config strings never contain '#'.
+            Some(pos) => &line[..pos],
+            None => line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let Some(name) = name.strip_suffix(']') else {
+                return err(format!("line {line_no}: malformed section header"));
+            };
+            section = name.trim().to_string();
+            if section.starts_with('[') {
+                return err(format!("line {line_no}: array-of-tables unsupported"));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(format!("line {line_no}: expected `key = value`"));
+        };
+        let key = key.trim();
+        let full_key = if section.is_empty() {
+            key.to_string()
+        } else {
+            format!("{section}.{key}")
+        };
+        out.insert(full_key, TomlValue::parse(value, line_no)?);
+    }
+    Ok(out)
+}
+
+fn parse_peer(spec: &str) -> Result<(u32, SocketAddr), ConfigError> {
+    let Some((id, addr)) = spec.split_once('=') else {
+        return err(format!("peer `{spec}` is not `id=host:port`"));
+    };
+    let id: u32 = id
+        .trim()
+        .parse()
+        .map_err(|_| ConfigError(format!("bad peer id in `{spec}`")))?;
+    let addr: SocketAddr = addr
+        .trim()
+        .parse()
+        .map_err(|_| ConfigError(format!("bad peer address in `{spec}`")))?;
+    Ok((id, addr))
+}
+
+/// Parse a config file's contents.
+pub fn parse_config(text: &str) -> Result<NodeConfig, ConfigError> {
+    let kv = parse_toml_subset(text)?;
+    let mut cfg = NodeConfig::default();
+    for (key, value) in &kv {
+        match key.as_str() {
+            "id" => cfg.id = value.as_u64(key)? as u32,
+            "listen" => {
+                cfg.listen = value
+                    .as_str(key)?
+                    .parse()
+                    .map_err(|_| ConfigError("bad listen address".to_string()))?;
+            }
+            "peers" => match value {
+                TomlValue::StrArray(items) => {
+                    cfg.peers = items
+                        .iter()
+                        .map(|s| parse_peer(s))
+                        .collect::<Result<_, _>>()?;
+                }
+                _ => return err("`peers` must be an array of \"id=host:port\" strings"),
+            },
+            "deadline_s" => cfg.deadline_s = value.as_f64(key)?,
+            "crash_at_s" => cfg.crash_at_s = Some(value.as_f64(key)?),
+            "seed" => cfg.seed = value.as_u64(key)?,
+            "problem.kind" => {
+                let kind = value.as_str(key)?;
+                if kind != "knapsack" {
+                    return err(format!("unsupported problem kind `{kind}`"));
+                }
+            }
+            "problem.n" => cfg.problem.n = value.as_u64(key)? as usize,
+            "problem.range" => cfg.problem.range = value.as_u64(key)?,
+            "problem.correlation" => {
+                cfg.problem.correlation = ProblemSpec::correlation_from(value.as_str(key)?)?;
+            }
+            "problem.frac" => cfg.problem.frac = value.as_f64(key)?,
+            "problem.seed" => cfg.problem.seed = value.as_u64(key)?,
+            other => return err(format!("unknown config key `{other}`")),
+        }
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Parse CLI arguments (optionally seeded from `--config <file>`).
+/// Flags override file values; see the crate README for the list.
+pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
+    // First pass: locate --config to establish the base.
+    let mut base: Option<NodeConfig> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--config" {
+            let Some(path) = args.get(i + 1) else {
+                return err("--config requires a path");
+            };
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ConfigError(format!("cannot read config {path}: {e}")))?;
+            base = Some(parse_config(&text)?);
+        }
+        i += 1;
+    }
+    let mut cfg = base.unwrap_or_default();
+
+    // Flags override file values. For the repeatable --peer flag that
+    // means the first occurrence *replaces* the file's peer list (so a
+    // flag-supplied topology fully wins), and later occurrences append.
+    let mut peers_replaced = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let take = |name: &str| -> Result<String, ConfigError> {
+            match args.get(i + 1) {
+                Some(v) => Ok(v.clone()),
+                None => err(format!("{name} requires a value")),
+            }
+        };
+        match flag {
+            "--config" => {
+                i += 2; // handled in the first pass
+                continue;
+            }
+            "--id" => {
+                cfg.id = take("--id")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --id".into()))?;
+            }
+            "--listen" => {
+                cfg.listen = take("--listen")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --listen address".into()))?;
+            }
+            "--peer" => {
+                if !peers_replaced {
+                    cfg.peers.clear();
+                    peers_replaced = true;
+                }
+                cfg.peers.push(parse_peer(&take("--peer")?)?);
+            }
+            "--deadline-s" => {
+                cfg.deadline_s = take("--deadline-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --deadline-s".into()))?;
+            }
+            "--crash-at-s" => {
+                cfg.crash_at_s = Some(
+                    take("--crash-at-s")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --crash-at-s".into()))?,
+                );
+            }
+            "--seed" => {
+                cfg.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --seed".into()))?;
+            }
+            "--problem-n" => {
+                cfg.problem.n = take("--problem-n")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --problem-n".into()))?;
+            }
+            "--problem-range" => {
+                cfg.problem.range = take("--problem-range")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --problem-range".into()))?;
+            }
+            "--problem-correlation" => {
+                cfg.problem.correlation =
+                    ProblemSpec::correlation_from(&take("--problem-correlation")?)?;
+            }
+            "--problem-frac" => {
+                cfg.problem.frac = take("--problem-frac")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --problem-frac".into()))?;
+            }
+            "--problem-seed" => {
+                cfg.problem.seed = take("--problem-seed")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --problem-seed".into()))?;
+            }
+            other => return err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# cluster node zero
+id = 0
+listen = "127.0.0.1:4500"
+peers = ["1=127.0.0.1:4501", "2=127.0.0.1:4502"]
+deadline_s = 12.5
+crash_at_s = 1.5
+seed = 9
+
+[problem]
+kind = "knapsack"
+n = 24
+range = 80
+correlation = "weak"
+frac = 0.5
+seed = 11
+"#;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse_config(SAMPLE).unwrap();
+        assert_eq!(cfg.id, 0);
+        assert_eq!(cfg.listen, "127.0.0.1:4500".parse().unwrap());
+        assert_eq!(cfg.peers.len(), 2);
+        assert_eq!(cfg.peers[1], (2, "127.0.0.1:4502".parse().unwrap()));
+        assert_eq!(cfg.deadline_s, 12.5);
+        assert_eq!(cfg.crash_at_s, Some(1.5));
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.problem.n, 24);
+        assert_eq!(cfg.problem.range, 80);
+        assert_eq!(cfg.problem.correlation, Correlation::Weak);
+        assert_eq!(cfg.problem.seed, 11);
+        assert_eq!(cfg.members(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn flags_override_file() {
+        let dir = std::env::temp_dir().join("ftbb-wire-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.toml");
+        std::fs::write(&path, SAMPLE).unwrap();
+        // Without new peer flags the file's peer list stands, so taking
+        // id 2 (listed as a peer in the file) must be rejected.
+        let args: Vec<String> = [
+            "--config",
+            path.to_str().unwrap(),
+            "--id",
+            "2",
+            "--listen",
+            "127.0.0.1:4502",
+            "--problem-seed",
+            "77",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = parse_args(&args).unwrap_err();
+        assert!(err.0.contains("own id"), "{err}");
+
+        // The first --peer flag REPLACES the file's peer list (flags
+        // override file values), so the same identity switch works once
+        // the topology is given on the command line.
+        let args: Vec<String> = [
+            "--config",
+            path.to_str().unwrap(),
+            "--id",
+            "2",
+            "--listen",
+            "127.0.0.1:4502",
+            "--peer",
+            "0=127.0.0.1:4500",
+            "--peer",
+            "1=127.0.0.1:4501",
+            "--problem-seed",
+            "77",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.id, 2);
+        assert_eq!(cfg.problem.seed, 77);
+        assert_eq!(cfg.problem.n, 24, "non-overridden file values survive");
+        assert_eq!(cfg.members(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_config("id = ").is_err());
+        assert!(parse_config("peers = [3]").is_err());
+        assert!(parse_config("listen = \"not-an-addr\"").is_err());
+        assert!(parse_config("mystery = 1").is_err());
+        assert!(parse_config("[problem\nn = 3").is_err());
+        assert!(parse_config("id = 0\npeers = [\"0=127.0.0.1:1\"]").is_err());
+        assert!(parse_config("deadline_s = -1").is_err());
+        assert!(parse_config("[problem]\ncorrelation = \"psychic\"").is_err());
+    }
+
+    #[test]
+    fn same_spec_same_instance_across_nodes() {
+        let spec = ProblemSpec::default();
+        let a = spec.instance();
+        let b = spec.instance();
+        assert_eq!(a, b, "instance generation must be deterministic");
+    }
+}

@@ -1,0 +1,272 @@
+//! Loopback cluster launcher: spawn one `ftbb-noded` OS process per node,
+//! SIGKILL a subset mid-run, and collect survivors' outcomes.
+//!
+//! This is the crate's reason to exist: the paper's fault-tolerance claim
+//! exercised against *real* process death. A SIGKILLed node flushes
+//! nothing, closes its sockets mid-frame, and leaves its last work grant
+//! unreported — exactly the failure the complement-recovery mechanism
+//! (§5.3.2) must absorb.
+
+use crate::config::ProblemSpec;
+use crate::noded::{parse_outcome_line, ParsedOutcome};
+use std::io::Read;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A loopback cluster to launch.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Path to the `ftbb-noded` binary (tests use
+    /// `env!("CARGO_BIN_EXE_ftbb-noded")`).
+    pub noded: PathBuf,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Kill plan: `(node, delay from launch)` — delivered as SIGKILL.
+    pub kill: Vec<(u32, Duration)>,
+    /// Config-driven crash plan: `(node, seconds after its start)` —
+    /// passed to the node as `--crash-at-s`, so the process `abort()`s
+    /// itself instead of being killed externally.
+    pub crash_at: Vec<(u32, f64)>,
+    /// The shared problem.
+    pub problem: ProblemSpec,
+    /// Per-node wall-clock deadline.
+    pub deadline: Duration,
+    /// Base seed for per-node protocol randomness.
+    pub seed: u64,
+}
+
+/// What the cluster produced.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Outcomes parsed from node stdout, in node-id order. Killed nodes
+    /// usually produce none (their entry is `None`).
+    pub outcomes: Vec<Option<ParsedOutcome>>,
+    /// Ids that died (SIGKILL or config-driven crash) before producing
+    /// an outcome.
+    pub killed: Vec<u32>,
+    /// Best incumbent over terminated survivors.
+    pub best: Option<f64>,
+    /// Every non-killed node produced an outcome with `terminated=true`.
+    pub all_survivors_terminated: bool,
+}
+
+/// Launcher errors.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// Spawning or port allocation failed.
+    Io(std::io::Error),
+    /// A node outlived the launcher's patience.
+    Timeout {
+        /// The node that did not exit.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Io(e) => write!(f, "launch failed: {e}"),
+            LaunchError::Timeout { id } => write!(f, "node {id} did not exit in time"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<std::io::Error> for LaunchError {
+    fn from(e: std::io::Error) -> Self {
+        LaunchError::Io(e)
+    }
+}
+
+/// Reserve `n` distinct loopback ports. Racy by nature (the listeners are
+/// dropped before the children bind), but collisions on a quiet loopback
+/// are rare and the caller may simply retry.
+fn allocate_ports(n: usize) -> std::io::Result<Vec<u16>> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        ports.push(l.local_addr()?.port());
+        listeners.push(l); // hold all simultaneously so ports are distinct
+    }
+    Ok(ports)
+}
+
+/// Launch the cluster, execute the kill plan, wait for survivors, and
+/// aggregate their outcomes.
+pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
+    assert!(spec.nodes >= 1);
+    let n = spec.nodes as usize;
+    let ports = allocate_ports(n)?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    for id in 0..spec.nodes {
+        let mut cmd = Command::new(&spec.noded);
+        cmd.arg("--id")
+            .arg(id.to_string())
+            .arg("--listen")
+            .arg(format!("127.0.0.1:{}", ports[id as usize]))
+            .arg("--deadline-s")
+            .arg(format!("{}", spec.deadline.as_secs_f64()))
+            .arg("--seed")
+            .arg(spec.seed.to_string())
+            .arg("--problem-n")
+            .arg(spec.problem.n.to_string())
+            .arg("--problem-range")
+            .arg(spec.problem.range.to_string())
+            .arg("--problem-correlation")
+            .arg(correlation_name(&spec.problem))
+            .arg("--problem-frac")
+            .arg(spec.problem.frac.to_string())
+            .arg("--problem-seed")
+            .arg(spec.problem.seed.to_string());
+        for peer in 0..spec.nodes {
+            if peer != id {
+                cmd.arg("--peer")
+                    .arg(format!("{peer}=127.0.0.1:{}", ports[peer as usize]));
+            }
+        }
+        if let Some(&(_, at)) = spec.crash_at.iter().find(|&&(node, _)| node == id) {
+            cmd.arg("--crash-at-s").arg(at.to_string());
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // Don't orphan already-spawned nodes on a failed spawn.
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e.into());
+            }
+        }
+    }
+    let start = Instant::now();
+
+    // Any error past this point must reap every spawned process — a
+    // launcher error must never leak noded processes (they would run on
+    // for up to deadline_s, holding loopback ports).
+    let reap_all = |children: &mut dyn Iterator<Item = &mut Child>| {
+        for child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+
+    // Execute the kill plan: real SIGKILL, no cleanup, no flush.
+    let mut plan = spec.kill.clone();
+    plan.sort_by_key(|&(_, d)| d);
+    let mut killed = Vec::new();
+    for &(id, delay) in &plan {
+        if id >= spec.nodes {
+            continue;
+        }
+        let elapsed = start.elapsed();
+        if delay > elapsed {
+            std::thread::sleep(delay - elapsed);
+        }
+        match children[id as usize].try_wait() {
+            Ok(Some(_)) => {} // already exited — too late to kill mid-run
+            Ok(None) => {
+                let _ = children[id as usize].kill(); // SIGKILL on unix
+                killed.push(id);
+            }
+            Err(e) => {
+                reap_all(&mut children.iter_mut());
+                return Err(e.into());
+            }
+        }
+    }
+
+    // Wait for everything with a global timeout well past the node
+    // deadline (nodes self-limit via --deadline-s).
+    let patience = spec.deadline + Duration::from_secs(30);
+    let mut outcomes: Vec<Option<ParsedOutcome>> = (0..n).map(|_| None).collect();
+    let mut pending: std::collections::VecDeque<(usize, Child)> =
+        children.into_iter().enumerate().collect();
+    while let Some((id, mut child)) = pending.pop_front() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Err(e) => {
+                    reap_all(
+                        &mut std::iter::once(&mut child).chain(pending.iter_mut().map(|(_, c)| c)),
+                    );
+                    return Err(e.into());
+                }
+                Ok(None) if start.elapsed() > patience => {
+                    reap_all(
+                        &mut std::iter::once(&mut child).chain(pending.iter_mut().map(|(_, c)| c)),
+                    );
+                    return Err(LaunchError::Timeout { id: id as u32 });
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut stdout = String::new();
+        if let Some(mut out) = child.stdout.take() {
+            let _ = out.read_to_string(&mut stdout);
+        }
+        outcomes[id] = stdout.lines().find_map(parse_outcome_line);
+    }
+
+    // A node SIGKILLed (or config-crashed) after finishing still counts
+    // as a survivor if its outcome line made it out.
+    let mut effective_killed: Vec<u32> = killed
+        .iter()
+        .copied()
+        .chain(spec.crash_at.iter().map(|&(id, _)| id))
+        .filter(|&id| id < spec.nodes && outcomes[id as usize].is_none())
+        .collect();
+    effective_killed.sort_unstable();
+    effective_killed.dedup();
+    let all_survivors_terminated = (0..spec.nodes)
+        .filter(|id| !effective_killed.contains(id))
+        .all(|id| {
+            outcomes[id as usize]
+                .as_ref()
+                .map(|o| o.terminated)
+                .unwrap_or(false)
+        });
+    let best = outcomes
+        .iter()
+        .flatten()
+        .filter(|o| o.terminated)
+        .map(|o| o.incumbent)
+        .fold(f64::INFINITY, f64::min);
+
+    Ok(ClusterReport {
+        outcomes,
+        killed: effective_killed,
+        best: best.is_finite().then_some(best),
+        all_survivors_terminated,
+    })
+}
+
+fn correlation_name(problem: &ProblemSpec) -> &'static str {
+    use ftbb_bnb::Correlation;
+    match problem.correlation {
+        Correlation::Uncorrelated => "uncorrelated",
+        Correlation::Weak => "weak",
+        Correlation::Strong => "strong",
+        Correlation::SubsetSum => "subsetsum",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_ports() {
+        let ports = allocate_ports(16).unwrap();
+        let mut unique = ports.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 16);
+    }
+}

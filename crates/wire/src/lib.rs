@@ -1,3 +1,35 @@
-//! # ftbb-wire — the protocol on real sockets (placeholder, filled in below)
+//! # ftbb-wire — the protocol on real sockets, across real processes
+//!
+//! The paper evaluates its fault-tolerance mechanism in simulation;
+//! `ftbb-runtime` moved it to real threads over in-process channels. This
+//! crate takes the final step to real infrastructure: the *identical*
+//! [`ftbb_core::BnbProcess`] state machine on TCP sockets between OS
+//! processes, where message loss, reordering, split reads, and silent
+//! peer death happen for real instead of by injection.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`codec`] | framed, version-tagged, checksummed binary encoding of envelopes |
+//! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets |
+//! | [`config`] | `ftbb-noded` TOML/flag configuration |
+//! | [`noded`] | the per-process node daemon body and its outcome protocol |
+//! | [`launcher`] | loopback cluster spawner with a SIGKILL plan |
+//!
+//! The `ftbb-noded` binary runs one node per process; the launcher spawns
+//! a loopback cluster, SIGKILLs a subset mid-run, and the surviving
+//! processes still converge to the sequential optimum — the paper's
+//! theorem, demonstrated on genuinely unreliable infrastructure.
 
-pub mod placeholder {}
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod config;
+pub mod launcher;
+pub mod noded;
+pub mod tcp;
+
+pub use codec::{decode_frame, encode_frame, EncodedFrame, FrameDecoder, WireError};
+pub use config::{parse_args, parse_config, ConfigError, NodeConfig, ProblemSpec};
+pub use launcher::{launch, ClusterReport, ClusterSpec, LaunchError};
+pub use noded::{outcome_line, parse_outcome_line, NodedReport, ParsedOutcome};
+pub use tcp::TcpMesh;

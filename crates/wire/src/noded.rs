@@ -1,0 +1,214 @@
+//! The body of the `ftbb-noded` binary: one protocol node per OS process.
+//!
+//! The daemon regenerates the shared problem instance from its spec
+//! (codes are self-contained given the root instance), binds a
+//! [`TcpMesh`], and drives the *identical* [`BnbProcess`] state machine
+//! the simulator and the threaded runtime use — only the transport and
+//! the clock differ. On completion it prints a single machine-parseable
+//! `FTBB-OUTCOME` line to stdout for the launcher to collect.
+
+use crate::config::NodeConfig;
+use crate::tcp::TcpMesh;
+use ftbb_core::{BnbProcess, Expander, ProblemExpander, TransportStats};
+use ftbb_runtime::{run_node, ClusterConfig, CrashSwitch, NodeOutcome, Transport};
+use std::time::Duration;
+
+/// What one daemon run produced.
+#[derive(Debug, Clone)]
+pub struct NodedReport {
+    /// The node's protocol outcome.
+    pub outcome: NodeOutcome,
+    /// Transport-layer counters at exit.
+    pub transport: TransportStats,
+}
+
+/// Run one node to completion (termination, deadline, or config-driven
+/// crash).
+pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
+    cfg.validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    // Config-driven crash: a genuine process death (abort), not a
+    // simulated one — peers see only silence.
+    if let Some(crash_at) = cfg.crash_at_s {
+        let delay = Duration::from_secs_f64(crash_at.max(0.0));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            std::process::abort();
+        });
+    }
+
+    let instance = cfg.problem.instance();
+    let expander = ProblemExpander::new(instance);
+    // Millisecond-scale protocol timers, same profile as the threaded
+    // harness (ClusterConfig::new); node count only sizes defaults.
+    let members = cfg.members();
+    let protocol = ClusterConfig::new(members.len() as u32).protocol;
+    let core = BnbProcess::new(
+        cfg.id,
+        members.clone(),
+        protocol,
+        expander.root_bound(),
+        // Same election and seed mixing as the threaded harness — the
+        // state machine must behave identically in every deployment.
+        ftbb_runtime::holds_root(cfg.id, &members),
+        ftbb_runtime::node_seed(cfg.seed, cfg.id),
+    );
+
+    let (mesh, inbox) = TcpMesh::bind(cfg.id, cfg.listen, &cfg.peers)?;
+    let outcome = run_node(
+        core,
+        expander,
+        &mesh,
+        inbox,
+        CrashSwitch::default(),
+        Duration::from_secs_f64(cfg.deadline_s),
+    )
+    .expect("crash switch is never tripped in-process");
+
+    // Let writer threads flush queued frames so the counters reflect
+    // every settled send before the snapshot.
+    mesh.drain(Duration::from_millis(500));
+
+    Ok(NodedReport {
+        transport: mesh.stats(),
+        outcome,
+    })
+}
+
+/// Render the machine-parseable outcome line. The incumbent is shipped as
+/// raw f64 bits so the launcher compares exactly, not through decimal.
+pub fn outcome_line(report: &NodedReport) -> String {
+    let o = &report.outcome;
+    let t = &report.transport;
+    format!(
+        "FTBB-OUTCOME id={} terminated={} incumbent_bits={:#018x} incumbent={} \
+         expanded={} recoveries={} sent={} wire_bytes={} encoded_bytes={} \
+         dropped_full={} dropped_disconnected={} dropped_no_route={} reconnects={}",
+        o.id,
+        o.terminated,
+        o.incumbent.to_bits(),
+        o.incumbent,
+        o.metrics.expanded,
+        o.metrics.recoveries,
+        t.sent,
+        t.sent_wire_bytes,
+        t.sent_encoded_bytes,
+        t.dropped_full,
+        t.dropped_disconnected,
+        t.dropped_no_route,
+        t.reconnects,
+    )
+}
+
+/// One parsed `FTBB-OUTCOME` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedOutcome {
+    /// Node id.
+    pub id: u32,
+    /// Did the node detect termination?
+    pub terminated: bool,
+    /// Final incumbent (exact bits).
+    pub incumbent: f64,
+    /// Subproblems expanded.
+    pub expanded: u64,
+    /// Complement recoveries performed.
+    pub recoveries: u64,
+    /// Transport counters at exit.
+    pub transport: TransportStats,
+}
+
+/// Parse a line produced by [`outcome_line`]. Returns `None` for
+/// non-outcome lines (so callers can scan whole stdout streams).
+pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
+    let rest = line.trim().strip_prefix("FTBB-OUTCOME ")?;
+    let mut fields = std::collections::HashMap::new();
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        fields.insert(k, v);
+    }
+    let get_u64 = |k: &str| -> Option<u64> { fields.get(k)?.parse().ok() };
+    let bits = fields.get("incumbent_bits")?;
+    let bits = u64::from_str_radix(bits.strip_prefix("0x")?, 16).ok()?;
+    Some(ParsedOutcome {
+        id: get_u64("id")? as u32,
+        terminated: fields.get("terminated")? == &"true",
+        incumbent: f64::from_bits(bits),
+        expanded: get_u64("expanded")?,
+        recoveries: get_u64("recoveries")?,
+        transport: TransportStats {
+            sent: get_u64("sent")?,
+            sent_wire_bytes: get_u64("wire_bytes")?,
+            sent_encoded_bytes: get_u64("encoded_bytes")?,
+            dropped_full: get_u64("dropped_full")?,
+            dropped_disconnected: get_u64("dropped_disconnected")?,
+            dropped_no_route: get_u64("dropped_no_route")?,
+            reconnects: get_u64("reconnects")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProblemSpec;
+    use ftbb_core::ProcMetrics;
+
+    #[test]
+    fn outcome_line_round_trips() {
+        let report = NodedReport {
+            outcome: NodeOutcome {
+                id: 3,
+                terminated: true,
+                incumbent: -127.5,
+                metrics: ProcMetrics {
+                    expanded: 42,
+                    recoveries: 2,
+                    ..Default::default()
+                },
+                lifetime: Duration::from_millis(10),
+            },
+            transport: TransportStats {
+                sent: 9,
+                sent_wire_bytes: 81,
+                sent_encoded_bytes: 207,
+                dropped_full: 1,
+                dropped_disconnected: 2,
+                dropped_no_route: 3,
+                reconnects: 4,
+            },
+        };
+        let line = outcome_line(&report);
+        let parsed = parse_outcome_line(&line).expect("parses");
+        assert_eq!(parsed.id, 3);
+        assert!(parsed.terminated);
+        assert_eq!(parsed.incumbent, -127.5);
+        assert_eq!(parsed.expanded, 42);
+        assert_eq!(parsed.recoveries, 2);
+        assert_eq!(parsed.transport, report.transport);
+        assert_eq!(parse_outcome_line("unrelated noise"), None);
+    }
+
+    #[test]
+    fn single_node_tcp_cluster_solves() {
+        // The smallest possible multi-process deployment: one node, no
+        // peers, real sockets for self-traffic.
+        let cfg = NodeConfig {
+            id: 0,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            peers: Vec::new(),
+            problem: ProblemSpec {
+                n: 12,
+                range: 40,
+                ..Default::default()
+            },
+            deadline_s: 30.0,
+            crash_at_s: None,
+            seed: 5,
+        };
+        let report = run(&cfg).expect("run succeeds");
+        assert!(report.outcome.terminated, "single node must terminate");
+        let reference = ftbb_bnb::solve(&cfg.problem.instance(), &ftbb_bnb::SolveConfig::default());
+        assert_eq!(Some(report.outcome.incumbent), reference.best);
+    }
+}

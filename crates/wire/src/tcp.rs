@@ -1,0 +1,451 @@
+//! [`TcpMesh`] — the [`Transport`] over real sockets.
+//!
+//! Topology: every node listens on one TCP address and keeps one
+//! *outgoing* connection per peer (so a pair of nodes shares two
+//! simplex connections, one per direction). Incoming connections only
+//! feed the inbox; the envelope's `from` field identifies the sender.
+//!
+//! Failure semantics are the paper's Crash model on real infrastructure:
+//!
+//! * a send to a peer that is down is **silently dropped** (counted in
+//!   [`TransportCounters`]) — the protocol tolerates lost messages;
+//! * writers **reconnect on drop**: the next send after a failure
+//!   attempts a fresh connection (with a short backoff so dead peers
+//!   cost microseconds, not round-trips), and successful re-establishment
+//!   is counted;
+//! * a reader that sees a corrupt frame drops the connection — a corrupt
+//!   peer is indistinguishable from a dead one.
+
+use crate::codec::{encode_frame, FrameDecoder};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ftbb_core::{Msg, TransportCounters};
+use ftbb_runtime::{Envelope, Transport};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Soft bound on frames queued toward one peer; beyond it sends are
+/// dropped as `Full` (backpressure against a stalled or dead peer).
+const PEER_QUEUE_CAP: usize = 4096;
+
+/// How long a writer waits for a connection attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// After a failed connect, drop sends for this long before retrying —
+/// keeps send() latency flat while a peer is down.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(50);
+
+struct QueuedFrame {
+    wire_size: usize,
+    bytes: Vec<u8>,
+}
+
+struct Peer {
+    queue_tx: Sender<QueuedFrame>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// The TCP transport: one listener, one writer thread per peer.
+pub struct TcpMesh {
+    me: u32,
+    peers: HashMap<u32, Peer>,
+    counters: Arc<TransportCounters>,
+    inbox_tx: Sender<Envelope>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpMesh {
+    /// Bind `listen` and start routing. `peers` lists every *other*
+    /// node's `(id, address)`; the returned receiver is this node's
+    /// inbox (messages from peers and from self-sends).
+    pub fn bind(
+        me: u32,
+        listen: SocketAddr,
+        peers: &[(u32, SocketAddr)],
+    ) -> std::io::Result<(TcpMesh, Receiver<Envelope>)> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let counters = Arc::new(TransportCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox_rx) = unbounded();
+
+        spawn_acceptor(listener, inbox_tx.clone(), Arc::clone(&shutdown));
+
+        let mut peer_map = HashMap::new();
+        for &(id, addr) in peers {
+            if id == me {
+                continue;
+            }
+            let (queue_tx, queue_rx) = unbounded();
+            let depth = Arc::new(AtomicUsize::new(0));
+            spawn_writer(
+                id,
+                addr,
+                queue_rx,
+                Arc::clone(&depth),
+                Arc::clone(&counters),
+            );
+            peer_map.insert(id, Peer { queue_tx, depth });
+        }
+
+        Ok((
+            TcpMesh {
+                me,
+                peers: peer_map,
+                counters,
+                inbox_tx,
+                local_addr,
+                shutdown,
+            },
+            inbox_rx,
+        ))
+    }
+
+    /// The actually bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Wait (up to `timeout`) for every peer queue to flush to the
+    /// sockets, so [`Transport::stats`] reflects all completed sends.
+    /// Returns `true` if fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pending: usize = self
+                .peers
+                .values()
+                .map(|p| p.depth.load(Ordering::Acquire))
+                .sum();
+            if pending == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+}
+
+impl Transport for TcpMesh {
+    fn send(&self, from: u32, to: u32, msg: Msg) {
+        if to == self.me {
+            // Self-sends short-circuit the network, like the in-process
+            // mesh delivering to the sender's own inbox.
+            let wire = msg.wire_size();
+            if self.inbox_tx.try_send(Envelope { from, msg }).is_ok() {
+                self.counters.record_send(wire, wire);
+            } else {
+                self.counters.record_dropped_disconnected();
+            }
+            return;
+        }
+        let Some(peer) = self.peers.get(&to) else {
+            self.counters.record_dropped_no_route();
+            return;
+        };
+        if peer.depth.load(Ordering::Acquire) >= PEER_QUEUE_CAP {
+            self.counters.record_dropped_full();
+            return;
+        }
+        let frame = encode_frame(&Envelope { from, msg });
+        if frame.exceeds_limit() {
+            // Receivers reject oversize frames and drop the connection;
+            // transmitting would only sever the link. Dropping here keeps
+            // the Crash-model contract (a lost message, counted).
+            self.counters.record_dropped_full();
+            return;
+        }
+        peer.depth.fetch_add(1, Ordering::AcqRel);
+        // Success/drop is recorded by the writer thread once the frame
+        // actually reaches (or fails to reach) the socket.
+        if peer
+            .queue_tx
+            .try_send(QueuedFrame {
+                wire_size: frame.wire_size,
+                bytes: frame.bytes,
+            })
+            .is_err()
+        {
+            self.counters.record_dropped_disconnected();
+        }
+    }
+
+    fn endpoints(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    fn counters(&self) -> &TransportCounters {
+        &self.counters
+    }
+}
+
+impl Drop for TcpMesh {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor so it observes the flag and exits.
+        let _ = TcpStream::connect_timeout(&self.local_addr, CONNECT_TIMEOUT);
+        // Writer threads exit when their queue senders drop with `peers`.
+    }
+}
+
+fn spawn_acceptor(listener: TcpListener, inbox: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    spawn_reader(stream, inbox.clone(), Arc::clone(&shutdown));
+                }
+                Err(_) => {
+                    // Transient accept failures (e.g. ECONNABORTED when a
+                    // peer dies mid-handshake — exactly what SIGKILL plans
+                    // produce) must not cost us the listener: pause and
+                    // keep accepting until shutdown.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    });
+}
+
+fn spawn_reader(stream: TcpStream, inbox: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        // Periodic read timeouts let the reader notice shutdown even on
+        // an idle connection.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return, // EOF: peer closed
+                Ok(n) => {
+                    decoder.push(&buf[..n]);
+                    loop {
+                        match decoder.try_next() {
+                            Ok(Some(env)) => {
+                                if inbox.try_send(env).is_err() {
+                                    return; // local node gone
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Corrupt stream: treat the peer as dead.
+                                let _ = stream.shutdown(Shutdown::Both);
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+/// Decrements a peer queue's depth when the frame's processing ends.
+struct DepthGuard<'a>(&'a AtomicUsize);
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn spawn_writer(
+    _peer_id: u32,
+    addr: SocketAddr,
+    queue: Receiver<QueuedFrame>,
+    depth: Arc<AtomicUsize>,
+    counters: Arc<TransportCounters>,
+) {
+    std::thread::spawn(move || {
+        let mut conn: Option<TcpStream> = None;
+        let mut had_connection = false;
+        let mut last_attempt: Option<Instant> = None;
+        // Exits when the owning TcpMesh drops (queue disconnects). The
+        // depth counter is decremented only after the frame's fate is
+        // settled (written or dropped), so `drain` can await the flush.
+        while let Ok(frame) = queue.recv() {
+            let _settled = DepthGuard(&depth);
+            if conn.is_none() {
+                let backing_off = last_attempt
+                    .map(|t| t.elapsed() < RECONNECT_BACKOFF)
+                    .unwrap_or(false);
+                if backing_off {
+                    counters.record_dropped_disconnected();
+                    continue;
+                }
+                last_attempt = Some(Instant::now());
+                match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        if had_connection {
+                            counters.record_reconnect();
+                        }
+                        had_connection = true;
+                        conn = Some(stream);
+                    }
+                    Err(_) => {
+                        counters.record_dropped_disconnected();
+                        continue;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connected above");
+            match stream.write_all(&frame.bytes) {
+                Ok(()) => {
+                    counters.record_send(frame.wire_size, frame.bytes.len());
+                }
+                Err(_) => {
+                    // Connection dropped mid-run: this frame is lost (the
+                    // Crash model's lost datagram); the next send retries
+                    // a fresh connection.
+                    counters.record_dropped_disconnected();
+                    conn = None;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::RecvTimeoutError;
+
+    fn free_addr() -> SocketAddr {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
+    fn recv_msg(rx: &Receiver<Envelope>, within: Duration) -> Option<Envelope> {
+        match rx.recv_timeout(within) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    #[test]
+    fn two_meshes_exchange_messages() {
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[(1, addr_b)]).unwrap();
+        let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+
+        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 7.0 });
+        let env = recv_msg(&rx_b, Duration::from_secs(5)).expect("message arrives");
+        assert_eq!(env.from, 0);
+        assert_eq!(env.msg, Msg::WorkRequest { incumbent: 7.0 });
+
+        mesh_b.send(1, 0, Msg::WorkDeny { incumbent: 7.0 });
+        // Give the writer a moment, then check counters on both sides.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(mesh_a.stats().sent, 1);
+        assert_eq!(mesh_b.stats().sent, 1);
+        assert!(mesh_a.stats().sent_encoded_bytes > mesh_a.stats().sent_wire_bytes);
+    }
+
+    #[test]
+    fn self_send_delivers_locally() {
+        let addr = free_addr();
+        let (mesh, rx) = TcpMesh::bind(4, addr, &[]).unwrap();
+        mesh.send(4, 4, Msg::WorkDeny { incumbent: 1.0 });
+        let env = recv_msg(&rx, Duration::from_secs(1)).expect("self-send arrives");
+        assert_eq!(env.from, 4);
+        assert_eq!(mesh.stats().sent, 1);
+    }
+
+    #[test]
+    fn send_to_dead_peer_drops_silently_and_counts() {
+        let dead = free_addr(); // nothing listening
+        let addr = free_addr();
+        let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, dead)]).unwrap();
+        for _ in 0..3 {
+            mesh.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Connect refusal is fast on loopback; allow the writer to drain.
+        std::thread::sleep(Duration::from_millis(200));
+        let stats = mesh.stats();
+        assert_eq!(stats.sent, 0);
+        assert_eq!(stats.dropped_disconnected, 3);
+    }
+
+    #[test]
+    fn unknown_destination_counts_no_route() {
+        let addr = free_addr();
+        let (mesh, _rx) = TcpMesh::bind(0, addr, &[]).unwrap();
+        mesh.send(0, 9, Msg::WorkRequest { incumbent: 0.0 });
+        assert_eq!(mesh.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn reconnects_after_peer_restart() {
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[(1, addr_b)]).unwrap();
+
+        // First incarnation of peer 1.
+        let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 1.0 });
+        assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
+        drop(rx_b);
+        drop(mesh_b);
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Sends while the peer is down are dropped (possibly after a few
+        // writes into the dead socket's buffer).
+        for _ in 0..20 {
+            mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 2.0 });
+            std::thread::sleep(Duration::from_millis(20));
+            if mesh_a.stats().dropped_disconnected > 0 {
+                break;
+            }
+        }
+        assert!(
+            mesh_a.stats().dropped_disconnected > 0,
+            "no drop recorded while peer down"
+        );
+
+        // Second incarnation on the same address.
+        let (_mesh_b2, rx_b2) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+        let mut delivered = false;
+        for _ in 0..50 {
+            mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 3.0 });
+            if let Some(env) = recv_msg(&rx_b2, Duration::from_millis(100)) {
+                assert!(matches!(env.msg, Msg::WorkDeny { .. }));
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "no delivery after peer restart");
+        assert!(
+            mesh_a.stats().reconnects >= 1,
+            "reconnect not counted: {:?}",
+            mesh_a.stats()
+        );
+    }
+}

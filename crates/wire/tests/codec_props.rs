@@ -1,0 +1,175 @@
+//! Property tests of the framed codec: every message variant survives
+//! encode → frame → split-read → decode, and corrupt or truncated frames
+//! fail loudly (errors), never quietly (panics or wrong data).
+
+use ftbb_core::{GrantItem, Msg};
+use ftbb_gossip::{MembershipMsg, ViewDigest};
+use ftbb_runtime::Envelope;
+use ftbb_tree::Code;
+use ftbb_wire::{encode_frame, FrameDecoder};
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary (possibly deep) tree code.
+fn code_strategy() -> impl Strategy<Value = Code> {
+    collection::vec((0u16..512, any::<bool>()), 0..24)
+        .prop_map(|pairs| Code::from_decisions(&pairs))
+}
+
+fn grant_item_strategy() -> impl Strategy<Value = GrantItem> {
+    (code_strategy(), any::<u32>()).prop_map(|(code, b)| GrantItem {
+        code,
+        bound: b as f64 / 16.0,
+    })
+}
+
+/// Strategy covering every `Msg` variant, including `Membership` and
+/// multi-item `WorkGrant`s.
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (0u8..6).prop_flat_map(|variant| {
+        let incumbent_of = |raw: u32| {
+            if raw.is_multiple_of(7) {
+                f64::INFINITY
+            } else {
+                raw as f64 / 3.0
+            }
+        };
+        match variant {
+            0 => (any::<u32>(), Just(()))
+                .prop_map(move |(i, _)| Msg::WorkRequest {
+                    incumbent: incumbent_of(i),
+                })
+                .boxed(),
+            1 => (collection::vec(grant_item_strategy(), 0..12), any::<u32>())
+                .prop_map(move |(items, i)| Msg::WorkGrant {
+                    items,
+                    incumbent: incumbent_of(i),
+                })
+                .boxed(),
+            2 => (any::<u32>(), Just(()))
+                .prop_map(move |(i, _)| Msg::WorkDeny {
+                    incumbent: incumbent_of(i),
+                })
+                .boxed(),
+            3 => (collection::vec(code_strategy(), 0..16), any::<u32>())
+                .prop_map(move |(codes, i)| Msg::WorkReport {
+                    codes,
+                    incumbent: incumbent_of(i),
+                })
+                .boxed(),
+            4 => (collection::vec(code_strategy(), 0..16), any::<u32>())
+                .prop_map(move |(codes, i)| Msg::TableGossip {
+                    codes,
+                    incumbent: incumbent_of(i),
+                })
+                .boxed(),
+            _ => (
+                0u8..3,
+                any::<u32>(),
+                collection::vec((0u32..64, 0u64..1000), 0..10),
+            )
+                .prop_map(|(kind, member, entries)| {
+                    Msg::Membership(match kind {
+                        0 => MembershipMsg::Join { member },
+                        1 => MembershipMsg::Gossip(ViewDigest { entries }),
+                        _ => MembershipMsg::Welcome(ViewDigest { entries }),
+                    })
+                })
+                .boxed(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip through the frame codec with arbitrary read chunking.
+    #[test]
+    fn every_msg_survives_framing_and_split_reads(
+        msg in msg_strategy(),
+        from in any::<u32>(),
+        chunk in 1usize..64,
+    ) {
+        let env = Envelope { from, msg };
+        let frame = encode_frame(&env);
+        prop_assert!(frame.encoded_len() > frame.wire_size,
+            "frame header must add bytes");
+
+        let mut dec = FrameDecoder::new();
+        let mut decoded = None;
+        for piece in frame.bytes.chunks(chunk) {
+            dec.push(piece);
+            if let Some(got) = dec.try_next().expect("valid frame decodes") {
+                prop_assert!(decoded.is_none(), "only one frame was sent");
+                decoded = Some(got);
+            }
+        }
+        let got = decoded.expect("frame fully fed");
+        prop_assert_eq!(got, env);
+    }
+
+    /// Back-to-back frames decode independently in order.
+    #[test]
+    fn coalesced_streams_split_correctly(
+        msgs in collection::vec(msg_strategy(), 1..8),
+        from in any::<u32>(),
+    ) {
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            stream.extend_from_slice(
+                &encode_frame(&Envelope { from, msg: msg.clone() }).bytes,
+            );
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        for msg in &msgs {
+            let got = dec.try_next().expect("decodes").expect("present");
+            prop_assert_eq!(&got.msg, msg);
+        }
+        prop_assert_eq!(dec.try_next().expect("clean tail"), None);
+    }
+
+    /// Any strict prefix of a frame pends (needs more bytes) — it never
+    /// errors, never panics, and never yields a message.
+    #[test]
+    fn truncated_frames_pend_not_panic(msg in msg_strategy(), cut_seed in any::<u64>()) {
+        let frame = encode_frame(&Envelope { from: 1, msg }).bytes;
+        let cut = (cut_seed as usize) % frame.len();
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..cut]);
+        prop_assert_eq!(dec.try_next().expect("prefix is pending"), None);
+    }
+
+    /// A single flipped byte anywhere in the frame is detected: decode
+    /// returns an error or keeps pending; it never returns wrong data.
+    #[test]
+    fn corruption_never_decodes_silently(msg in msg_strategy(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let env = Envelope { from: 9, msg };
+        let frame = encode_frame(&env).bytes;
+        let pos = (pos_seed as usize) % frame.len();
+        let mut bad = frame.clone();
+        bad[pos] ^= flip;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        match dec.try_next() {
+            Err(_) => {}          // detected
+            Ok(None) => {}        // length grew: stream pends forever
+            Ok(Some(got)) => prop_assert_eq!(got, env, "corrupt frame decoded to different data"),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in collection::vec(any::<u8>(), 0..256), chunk in 1usize..32) {
+        let mut dec = FrameDecoder::new();
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.try_next() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => return, // desync detected: reader would drop the conn
+                }
+            }
+        }
+    }
+}

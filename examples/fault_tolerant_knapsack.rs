@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run --release --example fault_tolerant_knapsack`
 
-use ftbb::bnb::{record_basic_tree, solve, Correlation, KnapsackInstance, RecordLimits, SolveConfig};
+use ftbb::bnb::{
+    record_basic_tree, solve, Correlation, KnapsackInstance, RecordLimits, SolveConfig,
+};
 use ftbb::prelude::*;
 use std::sync::Arc;
 
@@ -93,9 +95,6 @@ fn main() {
     assert!(storm.all_live_terminated);
     assert_eq!(storm.best, reference.best);
 
-    let slowdown =
-        storm.exec_time.as_secs_f64() / calm.exec_time.as_secs_f64().max(1e-9);
-    println!(
-        "\nall three runs agree ✓  (failure storm cost {slowdown:.2}× the calm run)"
-    );
+    let slowdown = storm.exec_time.as_secs_f64() / calm.exec_time.as_secs_f64().max(1e-9);
+    println!("\nall three runs agree ✓  (failure storm cost {slowdown:.2}× the calm run)");
 }

@@ -16,7 +16,11 @@ fn main() {
     let leaf = left.child(2, true); // then x2 = 1
     println!("root  = {root}");
     println!("left  = {left}");
-    println!("leaf  = {leaf}   (depth {}, {} wire bytes)", leaf.depth(), leaf.wire_size());
+    println!(
+        "leaf  = {leaf}   (depth {}, {} wire bytes)",
+        leaf.depth(),
+        leaf.wire_size()
+    );
     println!("sibling of leaf = {}", leaf.sibling().unwrap());
 
     // --- 2. Contraction and termination detection --------------------------
@@ -46,7 +50,9 @@ fn main() {
     cfg.protocol.recovery_delay_s = 0.25;
     cfg.protocol.recovery_quiet_s = 1.0;
     // Crash 6 of the 8 processes mid-run.
-    cfg.failures = (1..7).map(|p| (p, SimTime::from_millis(800 + 100 * p as u64))).collect();
+    cfg.failures = (1..7)
+        .map(|p| (p, SimTime::from_millis(800 + 100 * p as u64)))
+        .collect();
 
     let report = run_sim(&tree, &cfg);
     println!(

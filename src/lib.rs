@@ -28,7 +28,8 @@
 //! | [`des`] | deterministic discrete-event engine (the Parsec substitute) |
 //! | [`net`] | Internet-like network model (`1.5 + 0.005·L` ms, loss, partitions) |
 //! | [`sim`] | the paper's simulation framework: metrics, failures, scenarios |
-//! | [`runtime`] | the same protocol on real threads (crossbeam channels) |
+//! | [`runtime`] | the same protocol on real threads behind the `Transport` trait |
+//! | [`wire`] | the same protocol on TCP sockets across OS processes (`ftbb-noded`) |
 //! | [`dib`] | the DIB baseline (Finkel & Manber 1987) for §5.5's comparison |
 //!
 //! ## Quickstart
@@ -69,6 +70,7 @@ pub use ftbb_net as net;
 pub use ftbb_runtime as runtime;
 pub use ftbb_sim as sim;
 pub use ftbb_tree as tree;
+pub use ftbb_wire as wire;
 
 /// The most common imports for using the library.
 pub mod prelude {
@@ -76,7 +78,8 @@ pub mod prelude {
     pub use ftbb_core::{BnbProcess, Expander, ProtocolConfig, TreeExpander};
     pub use ftbb_des::{ProcId, SimTime};
     pub use ftbb_net::{LatencyModel, LossModel, NetworkConfig, PartitionSchedule};
-    pub use ftbb_runtime::{run_cluster, ClusterConfig};
+    pub use ftbb_runtime::{run_cluster, ClusterConfig, Transport};
     pub use ftbb_sim::{run_sim, RunReport, SimConfig};
     pub use ftbb_tree::{Code, CodeSet, RecoveryStrategy};
+    pub use ftbb_wire::{ClusterSpec, ProblemSpec, TcpMesh};
 }

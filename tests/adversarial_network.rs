@@ -53,12 +53,8 @@ fn temporary_partition_heals() {
     let tree = workload(800);
     let mut c = cfg(6, 3);
     // Split 3/3 from t=0.5s to t=2.5s.
-    c.network.partitions = PartitionSchedule::split_at(
-        SimTime::from_millis(500),
-        SimTime::from_millis(2500),
-        6,
-        3,
-    );
+    c.network.partitions =
+        PartitionSchedule::split_at(SimTime::from_millis(500), SimTime::from_millis(2500), 6, 3);
     let report = run_sim(&tree, &c);
     assert!(report.all_live_terminated);
     assert_eq!(report.best, tree.optimal());
@@ -72,12 +68,8 @@ fn temporary_partition_heals() {
 fn partition_plus_crash_in_minority() {
     let tree = workload(900);
     let mut c = cfg(6, 4);
-    c.network.partitions = PartitionSchedule::split_at(
-        SimTime::from_millis(400),
-        SimTime::from_millis(2000),
-        6,
-        4,
-    );
+    c.network.partitions =
+        PartitionSchedule::split_at(SimTime::from_millis(400), SimTime::from_millis(2000), 6, 4);
     // Both members of the minority side crash during the partition.
     c.failures = vec![
         (4, SimTime::from_millis(800)),

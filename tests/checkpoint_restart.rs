@@ -9,11 +9,7 @@ use ftbb::tree::{random_basic_tree, TreeConfig};
 
 /// Drive a solo process until termination or until `stop_after` expansions,
 /// returning the number of expansions performed.
-fn drive(
-    p: &mut BnbProcess,
-    expander: &mut TreeExpander,
-    stop_after: Option<u64>,
-) -> u64 {
+fn drive(p: &mut BnbProcess, expander: &mut TreeExpander, stop_after: Option<u64>) -> u64 {
     let mut expansions = 0u64;
     let mut pending: Vec<Action> = p.handle(PEvent::Start, SimTime::ZERO);
     while !p.is_terminated() {
@@ -135,9 +131,14 @@ fn restored_process_interoperates_with_peers() {
     drop(solo);
 
     // Restore as member 0 of a pair; member 1 starts fresh.
-    let mut procs = [BnbProcess::restore(&chk, ProtocolConfig::default(), 5),
-        BnbProcess::new(1, vec![0, 1], ProtocolConfig::default(), 0.0, false, 6)];
-    let mut expanders = [TreeExpander::new(tree.clone()), TreeExpander::new(tree.clone())];
+    let mut procs = [
+        BnbProcess::restore(&chk, ProtocolConfig::default(), 5),
+        BnbProcess::new(1, vec![0, 1], ProtocolConfig::default(), 0.0, false, 6),
+    ];
+    let mut expanders = [
+        TreeExpander::new(tree.clone()),
+        TreeExpander::new(tree.clone()),
+    ];
 
     // Synchronous rounds: deliver all actions instantly, expand inline.
     let mut inboxes: Vec<Vec<(u32, ftbb::core::Msg)>> = vec![Vec::new(), Vec::new()];
@@ -154,10 +155,9 @@ fn restored_process_interoperates_with_peers() {
                     Action::StartWork { code, seq } => {
                         any = true;
                         let expansion = expanders[i].expand(&code);
-                        queues[i].extend(procs[i].handle(
-                            PEvent::WorkDone { seq, expansion },
-                            SimTime::ZERO,
-                        ));
+                        queues[i].extend(
+                            procs[i].handle(PEvent::WorkDone { seq, expansion }, SimTime::ZERO),
+                        );
                     }
                     Action::Send { to, msg } => {
                         any = true;

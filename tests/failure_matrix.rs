@@ -95,7 +95,10 @@ fn crashes_at_different_phases() {
     let optimum = tree.optimal();
     for (label, at_ms) in [("early", 50u64), ("middle", 1200), ("late", 2600)] {
         let mut cfg = fast_cfg(4, 41);
-        cfg.failures = vec![(1, SimTime::from_millis(at_ms)), (2, SimTime::from_millis(at_ms + 40))];
+        cfg.failures = vec![
+            (1, SimTime::from_millis(at_ms)),
+            (2, SimTime::from_millis(at_ms + 40)),
+        ];
         let report = run_sim(&tree, &cfg);
         assert!(report.all_live_terminated, "{label} crash");
         assert_eq!(report.best, optimum, "{label} crash");
