@@ -123,6 +123,15 @@ pub struct TransportCounters {
     pub dropped_disconnected: AtomicU64,
     /// Sends dropped because no route to the destination id exists.
     pub dropped_no_route: AtomicU64,
+    /// Sends dropped because the startup retry budget was exhausted
+    /// before the peer ever accepted a connection (TCP transports only).
+    pub dropped_startup: AtomicU64,
+    /// Frames held back for retry instead of being dropped while a peer's
+    /// listener was still coming up (TCP transports only).
+    pub retried: AtomicU64,
+    /// Failed dial attempts that were waited out and retried — during the
+    /// pre-establishment barrier or the startup retry window.
+    pub connect_waits: AtomicU64,
     /// Connections re-established after a drop (TCP transports only).
     pub reconnects: AtomicU64,
 }
@@ -153,6 +162,21 @@ impl TransportCounters {
         self.dropped_no_route.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a send dropped because the startup retry budget ran out.
+    pub fn record_dropped_startup(&self) {
+        self.dropped_startup.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a frame admitted to the startup retry queue.
+    pub fn record_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a failed dial attempt that will be waited out and retried.
+    pub fn record_connect_wait(&self) {
+        self.connect_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a connection re-established after a failure.
     pub fn record_reconnect(&self) {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -167,6 +191,9 @@ impl TransportCounters {
             dropped_full: self.dropped_full.load(Ordering::Relaxed),
             dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
             dropped_no_route: self.dropped_no_route.load(Ordering::Relaxed),
+            dropped_startup: self.dropped_startup.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            connect_waits: self.connect_waits.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
         }
     }
@@ -187,6 +214,12 @@ pub struct TransportStats {
     pub dropped_disconnected: u64,
     /// Sends dropped for lack of a route.
     pub dropped_no_route: u64,
+    /// Sends dropped when the startup retry budget ran out.
+    pub dropped_startup: u64,
+    /// Frames admitted to the startup retry queue.
+    pub retried: u64,
+    /// Failed dial attempts waited out and retried.
+    pub connect_waits: u64,
     /// Connections re-established after a drop.
     pub reconnects: u64,
 }
@@ -199,7 +232,7 @@ impl TransportStats {
 
     /// Total dropped sends across all causes.
     pub fn dropped(&self) -> u64 {
-        self.dropped_full + self.dropped_disconnected + self.dropped_no_route
+        self.dropped_full + self.dropped_disconnected + self.dropped_no_route + self.dropped_startup
     }
 
     /// Framing overhead of the encoding, as actual/estimated bytes
@@ -226,13 +259,20 @@ mod tests {
         c.record_dropped_disconnected();
         c.record_dropped_disconnected();
         c.record_dropped_no_route();
+        c.record_dropped_startup();
+        c.record_retried();
+        c.record_retried();
+        c.record_connect_wait();
         c.record_reconnect();
         let s = c.snapshot();
         assert_eq!(s.sent, 2);
         assert_eq!(s.sent_wire_bytes, 20);
         assert_eq!(s.sent_encoded_bytes, 40);
-        assert_eq!(s.dropped(), 4);
-        assert_eq!(s.attempts(), 6);
+        assert_eq!(s.dropped(), 5);
+        assert_eq!(s.dropped_startup, 1);
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.connect_waits, 1);
+        assert_eq!(s.attempts(), 7);
         assert_eq!(s.reconnects, 1);
         assert!((s.encoding_overhead() - 2.0).abs() < 1e-12);
     }

@@ -6,7 +6,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftbb_core::{Action, BnbProcess, Expander, PEvent, PTimer, ProcMetrics};
 use ftbb_des::SimTime;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -61,51 +61,23 @@ pub fn run_node<E: Expander>(
     let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
 
     // Pending timers ordered by deadline; ties broken by arming order.
-    let mut timers: BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>> = BinaryHeap::new();
+    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
+    // Actions awaiting execution, in emission order. They are executed
+    // one per loop iteration — instead of burning the whole
+    // `StartWork -> WorkDone -> StartWork …` chain in one go — so the
+    // inbox and the timer wheel interleave with computation: a node busy
+    // expanding its pool still answers work requests between expansions,
+    // exactly as the paper's discrete-event model does. (A wave-draining
+    // loop here used to starve the inbox until the pool was empty, which
+    // is why the root solved most of the tree alone while its peers
+    // starved into recovery.)
+    let mut pending: VecDeque<Action> = VecDeque::new();
+    let mut halted = false;
 
-    let apply = |actions: Vec<Action>,
-                 timers: &mut BinaryHeap<Reverse<(SimTime, u64, TimerSlot)>>,
-                 timer_seq: &mut u64,
-                 expander: &mut E,
-                 core: &mut BnbProcess|
-     -> bool {
-        let mut halted = false;
-        let mut queue = actions;
-        while !queue.is_empty() {
-            let mut next = Vec::new();
-            for action in queue.drain(..) {
-                match action {
-                    Action::Send { to, msg } => transport.send(id, to, msg),
-                    Action::StartWork { code, seq } => {
-                        // Real computation happens here, inline.
-                        let expansion = expander.expand(&code);
-                        let done = core.handle(PEvent::WorkDone { seq, expansion }, now(epoch));
-                        next.extend(done);
-                    }
-                    Action::SetTimer { delay_s, timer } => {
-                        let at = now(epoch) + SimTime::from_secs_f64(delay_s);
-                        timers.push(Reverse((at, *timer_seq, TimerSlot(timer))));
-                        *timer_seq += 1;
-                    }
-                    Action::Halt => halted = true,
-                }
-            }
-            queue = next;
-        }
-        halted
-    };
+    pending.extend(core.handle(PEvent::Start, now(epoch)));
 
-    let start_actions = core.handle(PEvent::Start, now(epoch));
-    let mut halted = apply(
-        start_actions,
-        &mut timers,
-        &mut timer_seq,
-        &mut expander,
-        &mut core,
-    );
-
-    while !halted {
+    loop {
         if crash.is_crashed() {
             return None;
         }
@@ -113,53 +85,80 @@ pub fn run_node<E: Expander>(
             // Safety valve for tests: report as non-terminated.
             break;
         }
-        // Next timer deadline bounds the receive wait.
-        let wait = match timers.peek() {
-            Some(Reverse((at, _, _))) => {
-                let t = now(epoch);
-                if *at <= t {
-                    Duration::ZERO
-                } else {
-                    Duration::from_secs_f64((*at - t).as_secs_f64())
+
+        if let Some(action) = pending.pop_front() {
+            match action {
+                Action::Send { to, msg } => transport.send(id, to, msg),
+                Action::StartWork { code, seq } => {
+                    // Real computation happens here, inline.
+                    let expansion = expander.expand(&code);
+                    pending.extend(core.handle(PEvent::WorkDone { seq, expansion }, now(epoch)));
+                }
+                Action::SetTimer { delay_s, timer } => {
+                    let at = now(epoch) + SimTime::from_secs_f64(delay_s);
+                    timers.push(Reverse(TimerEntry {
+                        at,
+                        seq: timer_seq,
+                        timer,
+                    }));
+                    timer_seq += 1;
+                }
+                Action::Halt => halted = true,
+            }
+            if !halted {
+                // Between actions, fold in whatever has arrived — without
+                // blocking; local work keeps priority over idling.
+                while let Ok(env) = inbox.try_recv() {
+                    pending.extend(core.handle(
+                        PEvent::Recv {
+                            from: env.from,
+                            msg: env.msg,
+                        },
+                        now(epoch),
+                    ));
                 }
             }
-            None => Duration::from_millis(5),
-        };
-        match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
-            Ok(env) => {
-                let actions = core.handle(
-                    PEvent::Recv {
-                        from: env.from,
-                        msg: env.msg,
-                    },
-                    now(epoch),
-                );
-                halted |= apply(
-                    actions,
-                    &mut timers,
-                    &mut timer_seq,
-                    &mut expander,
-                    &mut core,
-                );
+        } else if halted {
+            break;
+        } else {
+            // Idle: block on the inbox until the next timer deadline.
+            let wait = match timers.peek() {
+                Some(Reverse(entry)) => {
+                    let t = now(epoch);
+                    if entry.at <= t {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_secs_f64((entry.at - t).as_secs_f64())
+                    }
+                }
+                None => Duration::from_millis(5),
+            };
+            match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
+                Ok(env) => {
+                    pending.extend(core.handle(
+                        PEvent::Recv {
+                            from: env.from,
+                            msg: env.msg,
+                        },
+                        now(epoch),
+                    ));
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
         }
-        // Fire due timers.
-        loop {
-            let due = matches!(timers.peek(), Some(Reverse((at, _, _))) if *at <= now(epoch));
-            if !due {
-                break;
+
+        // Fire due timers. After a halt only the remaining actions are
+        // flushed (final sends); no new events are admitted.
+        if !halted {
+            loop {
+                let due = matches!(timers.peek(), Some(Reverse(entry)) if entry.at <= now(epoch));
+                if !due {
+                    break;
+                }
+                let Reverse(entry) = timers.pop().expect("peeked");
+                pending.extend(core.handle(PEvent::Timer(entry.timer), now(epoch)));
             }
-            let Reverse((_, _, TimerSlot(timer))) = timers.pop().expect("peeked");
-            let actions = core.handle(PEvent::Timer(timer), now(epoch));
-            halted |= apply(
-                actions,
-                &mut timers,
-                &mut timer_seq,
-                &mut expander,
-                &mut core,
-            );
         }
     }
 
@@ -172,20 +171,103 @@ pub fn run_node<E: Expander>(
     })
 }
 
-/// Ordered wrapper so the heap can compare timers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TimerSlot(PTimer);
+/// A pending timer in the heap: ordered by `(at, seq)` — and *equal* by
+/// `(at, seq)` too, so `Ord`, `PartialOrd`, `PartialEq`, and `Eq` agree.
+/// The payload is excluded from comparison entirely; `seq` is unique per
+/// entry, which keeps the order total without consulting the timer.
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    timer: PTimer,
+}
 
-impl PartialOrd for TimerSlot {
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for TimerSlot {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        // Deadline and sequence already totally order heap entries; the
-        // timer payload itself does not participate.
-        std::cmp::Ordering::Equal
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_entries_compare_consistently() {
+        // Same key, different payloads: equal AND Ordering::Equal — the
+        // consistency the old always-Equal Ord violated against a
+        // payload-derived PartialEq.
+        let a = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 1,
+            timer: PTimer::ReportFlush,
+        };
+        let b = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 1,
+            timer: PTimer::TableGossip,
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+
+        // Distinct keys order by deadline then arming sequence, and are
+        // never equal.
+        let later = TimerEntry {
+            at: SimTime::from_millis(6),
+            seq: 0,
+            timer: PTimer::ReportFlush,
+        };
+        assert!(a < later);
+        assert_ne!(a, later);
+        let same_time_later_seq = TimerEntry { seq: 2, ..a };
+        assert!(a < same_time_later_seq);
+        assert_ne!(a, same_time_later_seq);
+    }
+
+    #[test]
+    fn heap_pops_timers_in_deadline_order() {
+        let mut heap: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
+        for (seq, (ms, timer)) in [
+            (9, PTimer::TableGossip),
+            (3, PTimer::ReportFlush),
+            (3, PTimer::MembershipTick),
+            (7, PTimer::LbTimeout(1)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            heap.push(Reverse(TimerEntry {
+                at: SimTime::from_millis(ms),
+                seq: seq as u64,
+                timer,
+            }));
+        }
+        let mut fired = Vec::new();
+        while let Some(Reverse(entry)) = heap.pop() {
+            fired.push((entry.at, entry.seq, entry.timer));
+        }
+        assert_eq!(
+            fired,
+            vec![
+                (SimTime::from_millis(3), 1, PTimer::ReportFlush),
+                (SimTime::from_millis(3), 2, PTimer::MembershipTick),
+                (SimTime::from_millis(7), 3, PTimer::LbTimeout(1)),
+                (SimTime::from_millis(9), 0, PTimer::TableGossip),
+            ]
+        );
     }
 }

@@ -11,6 +11,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
 use ftbb_core::{Msg, TransportCounters, TransportStats};
+use std::time::Duration;
 
 /// A routed protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,18 @@ pub trait Transport: Send + Sync {
     /// Send `msg` from node `from` to node `to`. Never blocks on a dead
     /// destination; undeliverable messages are dropped and counted.
     fn send(&self, from: u32, to: u32, msg: Msg);
+
+    /// Readiness barrier: block (up to `timeout`) until the transport can
+    /// carry traffic to every endpoint, returning whether it is fully
+    /// ready. Harnesses call this *before* injecting `PEvent::Start`, so
+    /// the protocol never opens fire on a half-formed mesh. The default
+    /// is a no-op returning `true` — in-process transports are born
+    /// ready; `ftbb-wire`'s TCP mesh overrides it to pre-establish its
+    /// peer connections.
+    fn ready(&self, timeout: Duration) -> bool {
+        let _ = timeout;
+        true
+    }
 
     /// Number of endpoints this transport routes to.
     fn endpoints(&self) -> usize;
@@ -166,5 +179,16 @@ mod tests {
         assert_eq!(t.endpoints(), 2);
         assert!(rxs[0].try_recv().is_ok());
         assert_eq!(t.stats().sent, 1);
+    }
+
+    #[test]
+    fn in_process_mesh_is_born_ready() {
+        let (mesh, _rxs) = Mesh::new(3);
+        let start = std::time::Instant::now();
+        assert!(mesh.ready(Duration::from_secs(60)));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "default ready() must not block"
+        );
     }
 }

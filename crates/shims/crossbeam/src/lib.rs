@@ -2,8 +2,8 @@
 //!
 //! The workspace builds offline, so the channel subset the runtime uses —
 //! `unbounded`, cloneable `Sender`/`Receiver`, `try_send`, `try_recv`,
-//! `recv`, `recv_timeout` — is implemented here over a mutex-protected
-//! deque and a condvar. Disconnection semantics match crossbeam: a channel
+//! `recv`, `recv_timeout`, blocking `iter` — is implemented here over a
+//! mutex-protected deque and a condvar. Disconnection semantics match crossbeam: a channel
 //! is disconnected when all peers on the other side have dropped.
 
 pub mod channel {
@@ -173,6 +173,25 @@ pub mod channel {
                 }
             }
         }
+
+        /// A blocking iterator over received messages; ends when every
+        /// sender has dropped and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -225,6 +244,16 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(1)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn iter_drains_then_ends() {
+            let (tx, rx) = unbounded();
+            for i in 0..3 {
+                tx.try_send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         }
 
         #[test]

@@ -7,9 +7,13 @@
 //! ftbb-noded --config node0.toml
 //! ```
 //!
-//! Prints one `FTBB-OUTCOME` line on stdout when the node terminates (or
-//! hits its deadline); prints nothing when the process is killed — which
-//! is the point.
+//! Prints one `FTBB-READY id=… addr=…` line the moment its listener is
+//! bound (machine-parseable; with `--listen 127.0.0.1:0` this is how the
+//! chosen port escapes), then one `FTBB-OUTCOME` line on stdout when the
+//! node terminates (or hits its deadline); prints no outcome when the
+//! process is killed — which is the point. With `--peers-from-stdin` the
+//! peer map arrives as `peer ID=HOST:PORT` stdin lines ended by `start`,
+//! letting a launcher wire a whole cluster without pre-allocating ports.
 
 use ftbb_wire::noded;
 
@@ -50,8 +54,14 @@ USAGE:
 
 FLAGS (override --config values):
     --id N                        node id
-    --listen HOST:PORT            listen address
+    --listen HOST:PORT            listen address (port 0 picks a free
+                                  port, announced on the FTBB-READY line)
     --peer ID=HOST:PORT           peer (repeatable)
+    --peers-from-stdin            read `peer ID=HOST:PORT` lines (ended
+                                  by `start`) from stdin after binding
+    --preconnect-s SECS           readiness-barrier budget: wait this
+                                  long for peer connections before
+                                  starting the protocol (default 5)
     --deadline-s SECS             wall-clock safety valve (default 30)
     --crash-at-s SECS             abort() after SECS (crash injection)
     --seed N                      protocol RNG seed

@@ -20,6 +20,13 @@
 //! (`Msg::wire_size`, the quantity the paper's report compression
 //! minimizes) and the *actual* encoded bytes, so
 //! [`ftbb_core::TransportCounters`] can expose the framing overhead.
+//!
+//! Delivery is **at most once**: a frame is written to a socket at most
+//! one time. The transport's startup retry window
+//! ([`crate::tcp::RETRY_WINDOW`]) retries frames that never reached a
+//! socket at all (the peer had not yet accepted any connection), so it
+//! cannot duplicate — it only narrows the silent-drop window; frames
+//! lost *after* a `write` started are never replayed.
 
 use ftbb_core::Msg;
 use ftbb_runtime::Envelope;

@@ -108,6 +108,16 @@ pub struct NodeConfig {
     pub crash_at_s: Option<f64>,
     /// RNG seed for protocol randomness (target selection etc.).
     pub seed: u64,
+    /// Readiness-barrier budget in seconds: how long the daemon waits
+    /// for connections to every peer before injecting `Start`. Peers
+    /// that never show up are the Crash model's problem — the node
+    /// starts anyway once the budget is spent.
+    pub preconnect_s: f64,
+    /// Learn the peer map from stdin instead of flags/file: after
+    /// printing its `FTBB-READY` line the daemon reads `peer id=addr`
+    /// lines terminated by `start`. This is how the launcher wires a
+    /// `--listen 127.0.0.1:0` cluster without pre-allocating ports.
+    pub peers_from_stdin: bool,
 }
 
 impl Default for NodeConfig {
@@ -120,18 +130,27 @@ impl Default for NodeConfig {
             deadline_s: 30.0,
             crash_at_s: None,
             seed: 1,
+            preconnect_s: 5.0,
+            peers_from_stdin: false,
         }
     }
+}
+
+/// Member ids of a cluster (peers + self), sorted and deduplicated —
+/// the canonical membership every node derives from its peer map,
+/// whether that map came from flags, a file, or stdin wiring.
+pub fn member_ids(id: u32, peers: &[(u32, SocketAddr)]) -> Vec<u32> {
+    let mut m: Vec<u32> = peers.iter().map(|&(peer, _)| peer).collect();
+    m.push(id);
+    m.sort_unstable();
+    m.dedup();
+    m
 }
 
 impl NodeConfig {
     /// Member ids of the whole cluster (peers + self), sorted.
     pub fn members(&self) -> Vec<u32> {
-        let mut m: Vec<u32> = self.peers.iter().map(|&(id, _)| id).collect();
-        m.push(self.id);
-        m.sort_unstable();
-        m.dedup();
-        m
+        member_ids(self.id, &self.peers)
     }
 
     /// Validate cross-field invariants.
@@ -141,6 +160,9 @@ impl NodeConfig {
         }
         if self.deadline_s <= 0.0 {
             return err("deadline_s must be positive");
+        }
+        if !self.preconnect_s.is_finite() || self.preconnect_s < 0.0 {
+            return err("preconnect_s must be a non-negative number");
         }
         if self.problem.n == 0 {
             return err("problem.n must be at least 1");
@@ -267,7 +289,7 @@ fn parse_toml_subset(text: &str) -> Result<HashMap<String, TomlValue>, ConfigErr
     Ok(out)
 }
 
-fn parse_peer(spec: &str) -> Result<(u32, SocketAddr), ConfigError> {
+pub(crate) fn parse_peer(spec: &str) -> Result<(u32, SocketAddr), ConfigError> {
     let Some((id, addr)) = spec.split_once('=') else {
         return err(format!("peer `{spec}` is not `id=host:port`"));
     };
@@ -307,6 +329,11 @@ pub fn parse_config(text: &str) -> Result<NodeConfig, ConfigError> {
             "deadline_s" => cfg.deadline_s = value.as_f64(key)?,
             "crash_at_s" => cfg.crash_at_s = Some(value.as_f64(key)?),
             "seed" => cfg.seed = value.as_u64(key)?,
+            "preconnect_s" => cfg.preconnect_s = value.as_f64(key)?,
+            "peers_from_stdin" => match value {
+                TomlValue::Bool(b) => cfg.peers_from_stdin = *b,
+                _ => return err("`peers_from_stdin` must be a boolean"),
+            },
             "problem.kind" => {
                 let kind = value.as_str(key)?;
                 if kind != "knapsack" {
@@ -397,6 +424,16 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 cfg.seed = take("--seed")?
                     .parse()
                     .map_err(|_| ConfigError("bad --seed".into()))?;
+            }
+            "--preconnect-s" => {
+                cfg.preconnect_s = take("--preconnect-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --preconnect-s".into()))?;
+            }
+            "--peers-from-stdin" => {
+                cfg.peers_from_stdin = true;
+                i += 1; // flag takes no value
+                continue;
             }
             "--problem-n" => {
                 cfg.problem.n = take("--problem-n")?
@@ -530,7 +567,24 @@ seed = 11
         assert!(parse_config("[problem\nn = 3").is_err());
         assert!(parse_config("id = 0\npeers = [\"0=127.0.0.1:1\"]").is_err());
         assert!(parse_config("deadline_s = -1").is_err());
+        assert!(parse_config("preconnect_s = -0.5").is_err());
+        assert!(parse_config("peers_from_stdin = 3").is_err());
         assert!(parse_config("[problem]\ncorrelation = \"psychic\"").is_err());
+    }
+
+    #[test]
+    fn parses_startup_wiring_options() {
+        let cfg = parse_config("preconnect_s = 2.5\npeers_from_stdin = true").unwrap();
+        assert_eq!(cfg.preconnect_s, 2.5);
+        assert!(cfg.peers_from_stdin);
+
+        let args: Vec<String> = ["--peers-from-stdin", "--preconnect-s", "0.25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert!(cfg.peers_from_stdin);
+        assert_eq!(cfg.preconnect_s, 0.25);
     }
 
     #[test]

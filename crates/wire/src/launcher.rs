@@ -6,13 +6,21 @@
 //! nothing, closes its sockets mid-frame, and leaves its last work grant
 //! unreported — exactly the failure the complement-recovery mechanism
 //! (§5.3.2) must absorb.
+//!
+//! Wiring is race-free: every node is spawned with `--listen 127.0.0.1:0
+//! --peers-from-stdin`, binds its own port, and announces it on a
+//! machine-parseable `FTBB-READY` line; the launcher collects the lines
+//! and writes the full peer map back over each node's stdin. No port is
+//! ever reserved-then-released (the old `allocate_ports` race), and the
+//! kill-plan clock starts only once every node has been wired.
 
 use crate::config::ProblemSpec;
-use crate::noded::{parse_outcome_line, ParsedOutcome};
-use std::io::Read;
-use std::net::TcpListener;
+use crate::noded::{parse_outcome_line, parse_ready_line, ParsedOutcome};
+use crossbeam::channel::{unbounded, Receiver};
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::time::{Duration, Instant};
 
 /// A loopback cluster to launch.
@@ -23,7 +31,8 @@ pub struct ClusterSpec {
     pub noded: PathBuf,
     /// Number of nodes.
     pub nodes: u32,
-    /// Kill plan: `(node, delay from launch)` — delivered as SIGKILL.
+    /// Kill plan: `(node, delay from wiring completion)` — delivered as
+    /// SIGKILL once every node has its peer map.
     pub kill: Vec<(u32, Duration)>,
     /// Config-driven crash plan: `(node, seconds after its start)` —
     /// passed to the node as `--crash-at-s`, so the process `abort()`s
@@ -52,11 +61,62 @@ pub struct ClusterReport {
     pub all_survivors_terminated: bool,
 }
 
+impl ClusterReport {
+    /// Total subproblems expanded across all reporting nodes.
+    pub fn total_expanded(&self) -> u64 {
+        self.outcomes.iter().flatten().map(|o| o.expanded).sum()
+    }
+
+    /// The largest single-node share of the cluster's expansions, in
+    /// `0.0..=1.0` (0 when nothing was expanded). The skew regression
+    /// asserts this stays below ~0.9 on a no-failure cluster: before
+    /// connection pre-establishment the root routinely expanded nearly
+    /// the whole tree alone while its startup grants were dropped.
+    pub fn max_expansion_share(&self) -> f64 {
+        let total = self.total_expanded();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self
+            .outcomes
+            .iter()
+            .flatten()
+            .map(|o| o.expanded)
+            .max()
+            .unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// One line per reporting node with its expansion count and share —
+    /// printed by [`launch`] so work skew is visible in CI logs.
+    pub fn skew_summary(&self) -> String {
+        let total = self.total_expanded();
+        let mut out = String::new();
+        for o in self.outcomes.iter().flatten() {
+            let share = if total == 0 {
+                0.0
+            } else {
+                o.expanded as f64 * 100.0 / total as f64
+            };
+            out.push_str(&format!(
+                "launcher: node {} expanded={} ({share:.1}% of {total})\n",
+                o.id, o.expanded
+            ));
+        }
+        out
+    }
+}
+
 /// Launcher errors.
 #[derive(Debug)]
 pub enum LaunchError {
-    /// Spawning or port allocation failed.
+    /// Spawning or wiring failed.
     Io(std::io::Error),
+    /// A node did not print its `FTBB-READY` line in time.
+    NotReady {
+        /// The node that stayed silent.
+        id: u32,
+    },
     /// A node outlived the launcher's patience.
     Timeout {
         /// The node that did not exit.
@@ -68,6 +128,7 @@ impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::Io(e) => write!(f, "launch failed: {e}"),
+            LaunchError::NotReady { id } => write!(f, "node {id} never reported ready"),
             LaunchError::Timeout { id } => write!(f, "node {id} did not exit in time"),
         }
     }
@@ -81,34 +142,38 @@ impl From<std::io::Error> for LaunchError {
     }
 }
 
-/// Reserve `n` distinct loopback ports. Racy by nature (the listeners are
-/// dropped before the children bind), but collisions on a quiet loopback
-/// are rare and the caller may simply retry.
-fn allocate_ports(n: usize) -> std::io::Result<Vec<u16>> {
-    let mut listeners = Vec::with_capacity(n);
-    let mut ports = Vec::with_capacity(n);
-    for _ in 0..n {
-        let l = TcpListener::bind("127.0.0.1:0")?;
-        ports.push(l.local_addr()?.port());
-        listeners.push(l); // hold all simultaneously so ports are distinct
-    }
-    Ok(ports)
+/// How long the launcher waits for every node's `FTBB-READY` line.
+const READY_PATIENCE: Duration = Duration::from_secs(20);
+
+/// One spawned node and the stream of its stdout lines.
+struct Spawned {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: Receiver<String>,
+    addr: Option<SocketAddr>,
 }
 
-/// Launch the cluster, execute the kill plan, wait for survivors, and
-/// aggregate their outcomes.
+/// Launch the cluster, wire it over stdin, execute the kill plan, wait
+/// for survivors, and aggregate their outcomes.
 pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     assert!(spec.nodes >= 1);
     let n = spec.nodes as usize;
-    let ports = allocate_ports(n)?;
 
-    let mut children: Vec<Child> = Vec::with_capacity(n);
+    let mut nodes: Vec<Spawned> = Vec::with_capacity(n);
+    let reap_all = |nodes: &mut Vec<Spawned>| {
+        for node in nodes.iter_mut() {
+            let _ = node.child.kill();
+            let _ = node.child.wait();
+        }
+    };
+
     for id in 0..spec.nodes {
         let mut cmd = Command::new(&spec.noded);
         cmd.arg("--id")
             .arg(id.to_string())
             .arg("--listen")
-            .arg(format!("127.0.0.1:{}", ports[id as usize]))
+            .arg("127.0.0.1:0")
+            .arg("--peers-from-stdin")
             .arg("--deadline-s")
             .arg(format!("{}", spec.deadline.as_secs_f64()))
             .arg("--seed")
@@ -123,39 +188,82 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
             .arg(spec.problem.frac.to_string())
             .arg("--problem-seed")
             .arg(spec.problem.seed.to_string());
-        for peer in 0..spec.nodes {
-            if peer != id {
-                cmd.arg("--peer")
-                    .arg(format!("{peer}=127.0.0.1:{}", ports[peer as usize]));
-            }
-        }
         if let Some(&(_, at)) = spec.crash_at.iter().find(|&&(node, _)| node == id) {
             cmd.arg("--crash-at-s").arg(at.to_string());
         }
-        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
         match cmd.spawn() {
-            Ok(child) => children.push(child),
+            Ok(mut child) => {
+                let stdin = child.stdin.take();
+                let stdout = child.stdout.take().expect("stdout piped");
+                // One reader thread per node: its stdout lines flow into
+                // a channel the launcher drains (ready line now, outcome
+                // line after exit). The thread ends at EOF.
+                let (tx, rx) = unbounded();
+                std::thread::spawn(move || {
+                    for line in BufReader::new(stdout).lines() {
+                        let Ok(line) = line else { break };
+                        if tx.send(line).is_err() {
+                            break;
+                        }
+                    }
+                });
+                nodes.push(Spawned {
+                    child,
+                    stdin,
+                    lines: rx,
+                    addr: None,
+                });
+            }
             Err(e) => {
                 // Don't orphan already-spawned nodes on a failed spawn.
-                for mut child in children {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
+                reap_all(&mut nodes);
                 return Err(e.into());
             }
         }
     }
-    let start = Instant::now();
 
-    // Any error past this point must reap every spawned process — a
-    // launcher error must never leak noded processes (they would run on
-    // for up to deadline_s, holding loopback ports).
-    let reap_all = |children: &mut dyn Iterator<Item = &mut Child>| {
-        for child in children {
-            let _ = child.kill();
-            let _ = child.wait();
+    // Collect every node's FTBB-READY line (each binds independently, so
+    // sequential waits are fine — patience is per node).
+    for id in 0..n {
+        let deadline = Instant::now() + READY_PATIENCE;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match nodes[id].lines.recv_timeout(remaining) {
+                Ok(line) => {
+                    if let Some((_, addr)) = parse_ready_line(&line) {
+                        nodes[id].addr = Some(addr);
+                        break;
+                    }
+                }
+                Err(_) => {
+                    reap_all(&mut nodes);
+                    return Err(LaunchError::NotReady { id: id as u32 });
+                }
+            }
         }
-    };
+    }
+
+    // Wire the full peer map into every node and release them with
+    // `start`. Dropping stdin afterwards closes the pipe cleanly.
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|s| s.addr.expect("collected")).collect();
+    for id in 0..n {
+        let mut stdin = nodes[id].stdin.take().expect("stdin piped");
+        let mut wiring = String::new();
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer != id {
+                wiring.push_str(&format!("peer {peer}={addr}\n"));
+            }
+        }
+        wiring.push_str("start\n");
+        if let Err(e) = stdin.write_all(wiring.as_bytes()) {
+            reap_all(&mut nodes);
+            return Err(e.into());
+        }
+    }
+    let start = Instant::now();
 
     // Execute the kill plan: real SIGKILL, no cleanup, no flush.
     let mut plan = spec.kill.clone();
@@ -169,14 +277,14 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         if delay > elapsed {
             std::thread::sleep(delay - elapsed);
         }
-        match children[id as usize].try_wait() {
+        match nodes[id as usize].child.try_wait() {
             Ok(Some(_)) => {} // already exited — too late to kill mid-run
             Ok(None) => {
-                let _ = children[id as usize].kill(); // SIGKILL on unix
+                let _ = nodes[id as usize].child.kill(); // SIGKILL on unix
                 killed.push(id);
             }
             Err(e) => {
-                reap_all(&mut children.iter_mut());
+                reap_all(&mut nodes);
                 return Err(e.into());
             }
         }
@@ -186,32 +294,24 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     // deadline (nodes self-limit via --deadline-s).
     let patience = spec.deadline + Duration::from_secs(30);
     let mut outcomes: Vec<Option<ParsedOutcome>> = (0..n).map(|_| None).collect();
-    let mut pending: std::collections::VecDeque<(usize, Child)> =
-        children.into_iter().enumerate().collect();
-    while let Some((id, mut child)) = pending.pop_front() {
+    for id in 0..n {
         loop {
-            match child.try_wait() {
+            match nodes[id].child.try_wait() {
                 Ok(Some(_)) => break,
                 Err(e) => {
-                    reap_all(
-                        &mut std::iter::once(&mut child).chain(pending.iter_mut().map(|(_, c)| c)),
-                    );
+                    reap_all(&mut nodes);
                     return Err(e.into());
                 }
                 Ok(None) if start.elapsed() > patience => {
-                    reap_all(
-                        &mut std::iter::once(&mut child).chain(pending.iter_mut().map(|(_, c)| c)),
-                    );
+                    reap_all(&mut nodes);
                     return Err(LaunchError::Timeout { id: id as u32 });
                 }
                 Ok(None) => std::thread::sleep(Duration::from_millis(20)),
             }
         }
-        let mut stdout = String::new();
-        if let Some(mut out) = child.stdout.take() {
-            let _ = out.read_to_string(&mut stdout);
-        }
-        outcomes[id] = stdout.lines().find_map(parse_outcome_line);
+        // The node exited, so its reader thread sees EOF and drops the
+        // sender; a blocking drain terminates promptly.
+        outcomes[id] = nodes[id].lines.iter().find_map(|l| parse_outcome_line(&l));
     }
 
     // A node SIGKILLed (or config-crashed) after finishing still counts
@@ -239,12 +339,16 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         .map(|o| o.incumbent)
         .fold(f64::INFINITY, f64::min);
 
-    Ok(ClusterReport {
+    let report = ClusterReport {
         outcomes,
         killed: effective_killed,
         best: best.is_finite().then_some(best),
         all_survivors_terminated,
-    })
+    };
+    // Per-node expansion counts on stderr, so work skew is visible in CI
+    // logs (the multiprocess tests run with --nocapture there).
+    eprint!("{}", report.skew_summary());
+    Ok(report)
 }
 
 fn correlation_name(problem: &ProblemSpec) -> &'static str {
@@ -260,13 +364,39 @@ fn correlation_name(problem: &ProblemSpec) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftbb_core::TransportStats;
+
+    fn outcome(id: u32, expanded: u64) -> ParsedOutcome {
+        ParsedOutcome {
+            id,
+            terminated: true,
+            incumbent: -1.0,
+            expanded,
+            recoveries: 0,
+            transport: TransportStats::default(),
+        }
+    }
 
     #[test]
-    fn allocates_distinct_ports() {
-        let ports = allocate_ports(16).unwrap();
-        let mut unique = ports.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        assert_eq!(unique.len(), 16);
+    fn expansion_share_and_summary() {
+        let report = ClusterReport {
+            outcomes: vec![Some(outcome(0, 75)), None, Some(outcome(2, 25))],
+            killed: vec![1],
+            best: Some(-1.0),
+            all_survivors_terminated: true,
+        };
+        assert_eq!(report.total_expanded(), 100);
+        assert!((report.max_expansion_share() - 0.75).abs() < 1e-12);
+        let summary = report.skew_summary();
+        assert!(summary.contains("node 0 expanded=75 (75.0% of 100)"));
+        assert!(summary.contains("node 2 expanded=25 (25.0% of 100)"));
+
+        let empty = ClusterReport {
+            outcomes: vec![None],
+            killed: vec![0],
+            best: None,
+            all_survivors_terminated: true,
+        };
+        assert_eq!(empty.max_expansion_share(), 0.0);
     }
 }

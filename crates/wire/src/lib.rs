@@ -12,13 +12,23 @@
 //! | [`codec`] | framed, version-tagged, checksummed binary encoding of envelopes |
 //! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets |
 //! | [`config`] | `ftbb-noded` TOML/flag configuration |
-//! | [`noded`] | the per-process node daemon body and its outcome protocol |
+//! | [`noded`] | the per-process node daemon body and its ready/outcome protocol |
 //! | [`launcher`] | loopback cluster spawner with a SIGKILL plan |
 //!
 //! The `ftbb-noded` binary runs one node per process; the launcher spawns
 //! a loopback cluster, SIGKILLs a subset mid-run, and the surviving
 //! processes still converge to the sequential optimum — the paper's
 //! theorem, demonstrated on genuinely unreliable infrastructure.
+//!
+//! Startup is handled explicitly rather than hopefully: nodes announce
+//! their bound address on a `FTBB-READY` line, the launcher wires the
+//! peer map over stdin (no port pre-allocation race), and every node
+//! runs a readiness barrier — pre-establishing its peer connections —
+//! before the protocol's `Start`. Frames sent while a listener is still
+//! coming up are retried inside a bounded startup window
+//! ([`tcp::RETRY_WINDOW`] / [`tcp::RETRY_MAX_FRAMES`]) instead of being
+//! silently dropped; past the budget, the paper's Crash-model semantics
+//! (counted silent drops) resume unchanged.
 
 #![warn(missing_docs)]
 
@@ -29,7 +39,10 @@ pub mod noded;
 pub mod tcp;
 
 pub use codec::{decode_frame, encode_frame, EncodedFrame, FrameDecoder, WireError};
-pub use config::{parse_args, parse_config, ConfigError, NodeConfig, ProblemSpec};
+pub use config::{member_ids, parse_args, parse_config, ConfigError, NodeConfig, ProblemSpec};
 pub use launcher::{launch, ClusterReport, ClusterSpec, LaunchError};
-pub use noded::{outcome_line, parse_outcome_line, NodedReport, ParsedOutcome};
+pub use noded::{
+    outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring, ready_line, NodedReport,
+    ParsedOutcome,
+};
 pub use tcp::TcpMesh;

@@ -1,16 +1,28 @@
 //! The body of the `ftbb-noded` binary: one protocol node per OS process.
 //!
+//! The daemon's startup is two-phase so clusters can be wired without a
+//! port-allocation race: it binds its listener first (resolving
+//! `--listen 127.0.0.1:0` to a real port), prints one machine-parseable
+//! `FTBB-READY id=… addr=…` line, and — with `--peers-from-stdin` —
+//! learns the peer map from `peer id=addr` stdin lines terminated by
+//! `start`. It then runs the readiness barrier ([`Transport::ready`],
+//! pre-establishing every peer connection) *before* injecting the
+//! protocol's `Start` event, so the mesh is never half-formed when the
+//! root hands out its first work grants.
+//!
 //! The daemon regenerates the shared problem instance from its spec
-//! (codes are self-contained given the root instance), binds a
-//! [`TcpMesh`], and drives the *identical* [`BnbProcess`] state machine
-//! the simulator and the threaded runtime use — only the transport and
-//! the clock differ. On completion it prints a single machine-parseable
-//! `FTBB-OUTCOME` line to stdout for the launcher to collect.
+//! (codes are self-contained given the root instance) and drives the
+//! *identical* [`BnbProcess`] state machine the simulator and the
+//! threaded runtime use — only the transport and the clock differ. On
+//! completion it prints a single machine-parseable `FTBB-OUTCOME` line
+//! to stdout for the launcher to collect.
 
 use crate::config::NodeConfig;
 use crate::tcp::TcpMesh;
 use ftbb_core::{BnbProcess, Expander, ProblemExpander, TransportStats};
 use ftbb_runtime::{run_node, ClusterConfig, CrashSwitch, NodeOutcome, Transport};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
 
 /// What one daemon run produced.
@@ -28,21 +40,32 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     cfg.validate()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
-    // Config-driven crash: a genuine process death (abort), not a
-    // simulated one — peers see only silence.
-    if let Some(crash_at) = cfg.crash_at_s {
-        let delay = Duration::from_secs_f64(crash_at.max(0.0));
-        std::thread::spawn(move || {
-            std::thread::sleep(delay);
-            std::process::abort();
-        });
+    // Phase 1: bind the listener (resolving `:0`) and announce the
+    // address, so whoever spawned us can wire the cluster race-free.
+    let listener = TcpListener::bind(cfg.listen)?;
+    let local_addr = listener.local_addr()?;
+    println!("{}", ready_line(cfg.id, local_addr));
+    std::io::stdout().flush()?;
+
+    // Phase 2: learn the topology — from stdin when wired by a
+    // launcher, from the parsed config otherwise.
+    let peers = if cfg.peers_from_stdin {
+        read_peer_wiring(std::io::stdin().lock())?
+    } else {
+        cfg.peers.clone()
+    };
+    if peers.iter().any(|&(id, _)| id == cfg.id) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("peer wiring contains own id {}", cfg.id),
+        ));
     }
 
     let instance = cfg.problem.instance();
     let expander = ProblemExpander::new(instance);
     // Millisecond-scale protocol timers, same profile as the threaded
     // harness (ClusterConfig::new); node count only sizes defaults.
-    let members = cfg.members();
+    let members = crate::config::member_ids(cfg.id, &peers);
     let protocol = ClusterConfig::new(members.len() as u32).protocol;
     let core = BnbProcess::new(
         cfg.id,
@@ -55,7 +78,31 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         ftbb_runtime::node_seed(cfg.seed, cfg.id),
     );
 
-    let (mesh, inbox) = TcpMesh::bind(cfg.id, cfg.listen, &cfg.peers)?;
+    let (mesh, inbox) = TcpMesh::from_listener(cfg.id, listener, &peers)?;
+
+    // Phase 3: readiness barrier — pre-establish every peer connection
+    // before `Start`, so the first work grants cannot vanish into
+    // listeners that are still coming up. A peer that never appears is
+    // the Crash model's problem; start anyway once the budget is spent.
+    if !mesh.ready(Duration::from_secs_f64(cfg.preconnect_s)) {
+        eprintln!(
+            "ftbb-noded: readiness barrier timed out after {}s; starting on a partial mesh",
+            cfg.preconnect_s
+        );
+    }
+
+    // Config-driven crash: a genuine process death (abort), not a
+    // simulated one — peers see only silence. The clock starts after the
+    // readiness barrier, so `crash_at_s` measures computation time, not
+    // wiring or pre-establishment time.
+    if let Some(crash_at) = cfg.crash_at_s {
+        let delay = Duration::from_secs_f64(crash_at.max(0.0));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            std::process::abort();
+        });
+    }
+
     let outcome = run_node(
         core,
         expander,
@@ -76,6 +123,55 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     })
 }
 
+/// Render the machine-parseable readiness line a daemon prints the
+/// moment its listener is bound — before it knows its peers.
+pub fn ready_line(id: u32, addr: SocketAddr) -> String {
+    format!("FTBB-READY id={id} addr={addr}")
+}
+
+/// Parse a line produced by [`ready_line`]. Returns `None` for
+/// non-ready lines (so callers can scan whole stdout streams).
+pub fn parse_ready_line(line: &str) -> Option<(u32, SocketAddr)> {
+    let rest = line.trim().strip_prefix("FTBB-READY ")?;
+    let mut id = None;
+    let mut addr = None;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        match k {
+            "id" => id = v.parse::<u32>().ok(),
+            "addr" => addr = v.parse::<SocketAddr>().ok(),
+            _ => {}
+        }
+    }
+    Some((id?, addr?))
+}
+
+/// Read launcher-supplied peer wiring: `peer <id>=<host>:<port>` lines
+/// terminated by a `start` line. Blank lines are tolerated; anything
+/// else (including EOF before `start`) is an error.
+pub fn read_peer_wiring(input: impl BufRead) -> std::io::Result<Vec<(u32, SocketAddr)>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut peers = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "start" {
+            return Ok(peers);
+        }
+        let Some(spec) = line.strip_prefix("peer ") else {
+            return Err(bad(format!("unexpected wiring line `{line}`")));
+        };
+        peers.push(crate::config::parse_peer(spec.trim()).map_err(|e| bad(e.to_string()))?);
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "stdin closed before `start`",
+    ))
+}
+
 /// Render the machine-parseable outcome line. The incumbent is shipped as
 /// raw f64 bits so the launcher compares exactly, not through decimal.
 pub fn outcome_line(report: &NodedReport) -> String {
@@ -84,7 +180,8 @@ pub fn outcome_line(report: &NodedReport) -> String {
     format!(
         "FTBB-OUTCOME id={} terminated={} incumbent_bits={:#018x} incumbent={} \
          expanded={} recoveries={} sent={} wire_bytes={} encoded_bytes={} \
-         dropped_full={} dropped_disconnected={} dropped_no_route={} reconnects={}",
+         dropped_full={} dropped_disconnected={} dropped_no_route={} \
+         dropped_startup={} retried={} connect_waits={} reconnects={}",
         o.id,
         o.terminated,
         o.incumbent.to_bits(),
@@ -97,6 +194,9 @@ pub fn outcome_line(report: &NodedReport) -> String {
         t.dropped_full,
         t.dropped_disconnected,
         t.dropped_no_route,
+        t.dropped_startup,
+        t.retried,
+        t.connect_waits,
         t.reconnects,
     )
 }
@@ -143,6 +243,9 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
             dropped_full: get_u64("dropped_full")?,
             dropped_disconnected: get_u64("dropped_disconnected")?,
             dropped_no_route: get_u64("dropped_no_route")?,
+            dropped_startup: get_u64("dropped_startup")?,
+            retried: get_u64("retried")?,
+            connect_waits: get_u64("connect_waits")?,
             reconnects: get_u64("reconnects")?,
         },
     })
@@ -175,6 +278,9 @@ mod tests {
                 dropped_full: 1,
                 dropped_disconnected: 2,
                 dropped_no_route: 3,
+                dropped_startup: 5,
+                retried: 6,
+                connect_waits: 7,
                 reconnects: 4,
             },
         };
@@ -187,6 +293,34 @@ mod tests {
         assert_eq!(parsed.recoveries, 2);
         assert_eq!(parsed.transport, report.transport);
         assert_eq!(parse_outcome_line("unrelated noise"), None);
+    }
+
+    #[test]
+    fn ready_line_round_trips() {
+        let addr: SocketAddr = "127.0.0.1:45107".parse().unwrap();
+        let line = ready_line(3, addr);
+        assert_eq!(parse_ready_line(&line), Some((3, addr)));
+        assert_eq!(parse_ready_line("FTBB-OUTCOME id=3"), None);
+        assert_eq!(parse_ready_line("noise"), None);
+        assert_eq!(parse_ready_line("FTBB-READY id=x addr=nope"), None);
+    }
+
+    #[test]
+    fn peer_wiring_parses_and_rejects() {
+        let wiring = "peer 1=127.0.0.1:4501\n\npeer 2=127.0.0.1:4502\nstart\nignored-after\n";
+        let peers = read_peer_wiring(wiring.as_bytes()).unwrap();
+        assert_eq!(
+            peers,
+            vec![
+                (1, "127.0.0.1:4501".parse().unwrap()),
+                (2, "127.0.0.1:4502".parse().unwrap()),
+            ]
+        );
+
+        // EOF before `start` is an error, as is junk.
+        assert!(read_peer_wiring("peer 1=127.0.0.1:4501\n".as_bytes()).is_err());
+        assert!(read_peer_wiring("launch the missiles\nstart\n".as_bytes()).is_err());
+        assert!(read_peer_wiring("peer 1=not-an-addr\nstart\n".as_bytes()).is_err());
     }
 
     #[test]
@@ -203,8 +337,8 @@ mod tests {
                 ..Default::default()
             },
             deadline_s: 30.0,
-            crash_at_s: None,
             seed: 5,
+            ..Default::default()
         };
         let report = run(&cfg).expect("run succeeds");
         assert!(report.outcome.terminated, "single node must terminate");

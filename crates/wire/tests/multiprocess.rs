@@ -76,6 +76,61 @@ fn five_processes_two_sigkills_still_reach_the_optimum() {
     }
 }
 
+/// The startup-skew regression: before connection pre-establishment, the
+/// root's first work grants were silently dropped while its peers'
+/// listeners were still coming up (connect backoff), so the root solved
+/// most of the tree alone and the peers starved into recovery. With the
+/// readiness barrier and the bounded startup retry window, a no-failure
+/// cluster must lose *zero* frames to the startup window and spread the
+/// expansions: no single node may account for more than ~90% of the tree.
+#[test]
+fn no_kill_cluster_loses_no_startup_grants_and_shares_the_work() {
+    let problem = heavy_problem();
+    let reference = solve(&problem.instance(), &SolveConfig::default());
+
+    let spec = ClusterSpec {
+        noded: noded(),
+        nodes: 5,
+        kill: Vec::new(),
+        crash_at: Vec::new(),
+        problem,
+        deadline: Duration::from_secs(60),
+        seed: 9,
+    };
+    // launch() itself prints the per-node skew summary to stderr, which
+    // the CI step surfaces with --nocapture.
+    let report = launch(&spec).expect("cluster launches");
+
+    assert!(
+        report.all_survivors_terminated,
+        "nodes failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(report.best, reference.best);
+    assert_eq!(report.outcomes.iter().flatten().count(), 5);
+
+    let startup_drops: u64 = report
+        .outcomes
+        .iter()
+        .flatten()
+        .map(|o| o.transport.dropped_startup)
+        .sum();
+    assert_eq!(
+        startup_drops, 0,
+        "pre-establishment must leave nothing to the startup retry window: {:?}",
+        report.outcomes
+    );
+
+    let share = report.max_expansion_share();
+    assert!(
+        share <= 0.90,
+        "work skew: one node expanded {:.1}% of {} total nodes\n{}",
+        share * 100.0,
+        report.total_expanded(),
+        report.skew_summary()
+    );
+}
+
 #[test]
 fn four_processes_no_failures_reach_the_optimum() {
     let problem = ProblemSpec {

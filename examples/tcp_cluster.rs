@@ -72,16 +72,20 @@ fn main() {
         match outcome {
             Some(o) => println!(
                 "node {id}: terminated={} incumbent={} expanded={} recoveries={} \
-                 sent={} dropped={} (full={}, disconnected={}, no_route={})",
+                 sent={} retried={} dropped={} (full={}, disconnected={}, no_route={}, \
+                 startup={}) connect_waits={}",
                 o.terminated,
                 o.incumbent,
                 o.expanded,
                 o.recoveries,
                 o.transport.sent,
+                o.transport.retried,
                 o.transport.dropped(),
                 o.transport.dropped_full,
                 o.transport.dropped_disconnected,
                 o.transport.dropped_no_route,
+                o.transport.dropped_startup,
+                o.transport.connect_waits,
             ),
             None => println!("node {id}: no outcome (SIGKILLed)"),
         }
