@@ -1,0 +1,50 @@
+//! MAX-SAT benchmarks — the second tracked workload, beside
+//! `benches/knapsack.rs`. Solve throughput across instance sizes, the
+//! enum-dispatch overhead of `AnyInstance` (what every deployment path
+//! now pays), and announce-payload encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbb_bnb::{solve, AnyInstance, MaxSatInstance, SolveConfig};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat_solve");
+    for &vars in &[12u16, 16, 20] {
+        let inst = MaxSatInstance::generate(vars, vars as usize * 3, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &inst, |b, inst| {
+            b.iter(|| solve(inst, &SolveConfig::default()).best);
+        });
+    }
+    group.finish();
+}
+
+fn bench_any_dispatch_overhead(c: &mut Criterion) {
+    // Direct solve vs the same instance behind AnyInstance's enum
+    // dispatch: the cost of the problem-agnostic layer on a hot loop.
+    let inst = MaxSatInstance::generate(16, 48, 7);
+    let any = AnyInstance::MaxSat(inst.clone());
+    let mut group = c.benchmark_group("maxsat_dispatch");
+    group.bench_function("direct", |b| {
+        b.iter(|| solve(&inst, &SolveConfig::default()).best);
+    });
+    group.bench_function("any_instance", |b| {
+        b.iter(|| solve(&any, &SolveConfig::default()).best);
+    });
+    group.finish();
+}
+
+fn bench_announce_encode(c: &mut Criterion) {
+    // The problem-announce frame's encode cost for a wire-shipped
+    // MAX-SAT workload.
+    let any = AnyInstance::MaxSat(MaxSatInstance::generate(24, 100, 3));
+    c.bench_function("maxsat_announce_encode", |b| {
+        b.iter(|| ftbb_wire::encode_announce(0, &any).bytes.len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_solve,
+    bench_any_dispatch_overhead,
+    bench_announce_encode
+);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Problem-agnostic workloads: one serializable type over every
+//! [`BranchBound`] problem the repo ships.
+//!
+//! The paper's mechanism is *problem-specific only through the tree code*
+//! (§2, §5.3.1): any branch-and-bound problem whose decisions encode as
+//! `⟨variable, value⟩` pairs rides the same recovery machinery. This
+//! module makes that claim executable: [`AnyInstance`] is an enum over 0/1
+//! knapsack, weighted MAX-SAT, and recorded basic trees, dispatching the
+//! [`BranchBound`] operators per variant. Because it derives the workspace
+//! serde codec, a materialized instance travels the wire unchanged — the
+//! `ftbb-wire` problem-announce frame ships an [`AnyInstance`] so peers
+//! can solve a problem they never generated locally.
+
+use crate::knapsack::{KnapNode, KnapsackInstance};
+use crate::maxsat::{MaxSatInstance, SatNode};
+use crate::problem::BranchBound;
+use crate::replay::BasicTreeProblem;
+use ftbb_tree::{NodeId, Var};
+use serde::{Deserialize, Serialize};
+
+/// Any workload the cluster can solve, in one serializable value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyInstance {
+    /// 0/1 knapsack ([`KnapsackInstance`]).
+    Knapsack(KnapsackInstance),
+    /// Weighted MAX-SAT ([`MaxSatInstance`]).
+    MaxSat(MaxSatInstance),
+    /// A recorded basic tree replayed through [`BasicTreeProblem`].
+    RecordedTree(BasicTreeProblem),
+}
+
+/// A subproblem of an [`AnyInstance`]: the matching variant's node type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnyNode {
+    /// Knapsack subproblem.
+    Knapsack(KnapNode),
+    /// MAX-SAT partial assignment.
+    MaxSat(SatNode),
+    /// Recorded-tree node id.
+    Tree(NodeId),
+}
+
+/// A node of the wrong variant reached an [`AnyInstance`] operator. Like a
+/// foreign tree code, this indicates protocol corruption, not a user error.
+fn mismatch(instance: &AnyInstance, node: &AnyNode) -> ! {
+    panic!(
+        "AnyInstance mismatch: {} instance asked to expand a {:?} node",
+        instance.kind(),
+        node
+    );
+}
+
+impl AnyInstance {
+    /// A human-readable workload label (`knapsack` / `maxsat` /
+    /// `recorded-tree`) for logs and error messages. Note this names the
+    /// *materialized* workload, not a config spelling: a recorded tree is
+    /// the same instance whether it came from `--problem tree-file` or
+    /// over the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnyInstance::Knapsack(_) => "knapsack",
+            AnyInstance::MaxSat(_) => "maxsat",
+            AnyInstance::RecordedTree(_) => "recorded-tree",
+        }
+    }
+
+    /// Structural validation, for instances decoded from untrusted bytes
+    /// (the serde derive decodes structure, not invariants). Mirrors the
+    /// panicking checks of the variants' constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            AnyInstance::Knapsack(k) => {
+                if k.capacity == 0 {
+                    return Err("knapsack capacity must be at least 1".into());
+                }
+                if k.items.iter().any(|i| i.weight == 0) {
+                    return Err("knapsack item weights must be at least 1".into());
+                }
+                Ok(())
+            }
+            AnyInstance::MaxSat(m) => {
+                if m.num_vars > 64 {
+                    return Err("maxsat supports at most 64 variables".into());
+                }
+                for c in &m.clauses {
+                    if c.literals.is_empty() {
+                        return Err("maxsat clause is empty".into());
+                    }
+                    if !(c.weight > 0.0 && c.weight.is_finite()) {
+                        return Err("maxsat clause weight must be positive and finite".into());
+                    }
+                    if c.literals.iter().any(|l| l.var >= m.num_vars) {
+                        return Err("maxsat literal variable out of range".into());
+                    }
+                }
+                Ok(())
+            }
+            AnyInstance::RecordedTree(t) => t.tree().validate(),
+        }
+    }
+}
+
+impl From<KnapsackInstance> for AnyInstance {
+    fn from(k: KnapsackInstance) -> Self {
+        AnyInstance::Knapsack(k)
+    }
+}
+
+impl From<MaxSatInstance> for AnyInstance {
+    fn from(m: MaxSatInstance) -> Self {
+        AnyInstance::MaxSat(m)
+    }
+}
+
+impl From<BasicTreeProblem> for AnyInstance {
+    fn from(t: BasicTreeProblem) -> Self {
+        AnyInstance::RecordedTree(t)
+    }
+}
+
+impl From<ftbb_tree::BasicTree> for AnyInstance {
+    fn from(t: ftbb_tree::BasicTree) -> Self {
+        AnyInstance::RecordedTree(BasicTreeProblem::new(t))
+    }
+}
+
+impl BranchBound for AnyInstance {
+    type Node = AnyNode;
+
+    fn root(&self) -> AnyNode {
+        match self {
+            AnyInstance::Knapsack(p) => AnyNode::Knapsack(p.root()),
+            AnyInstance::MaxSat(p) => AnyNode::MaxSat(p.root()),
+            AnyInstance::RecordedTree(p) => AnyNode::Tree(p.root()),
+        }
+    }
+
+    fn bound(&self, node: &AnyNode) -> f64 {
+        match (self, node) {
+            (AnyInstance::Knapsack(p), AnyNode::Knapsack(n)) => p.bound(n),
+            (AnyInstance::MaxSat(p), AnyNode::MaxSat(n)) => p.bound(n),
+            (AnyInstance::RecordedTree(p), AnyNode::Tree(n)) => p.bound(n),
+            _ => mismatch(self, node),
+        }
+    }
+
+    fn solution(&self, node: &AnyNode) -> Option<f64> {
+        match (self, node) {
+            (AnyInstance::Knapsack(p), AnyNode::Knapsack(n)) => p.solution(n),
+            (AnyInstance::MaxSat(p), AnyNode::MaxSat(n)) => p.solution(n),
+            (AnyInstance::RecordedTree(p), AnyNode::Tree(n)) => p.solution(n),
+            _ => mismatch(self, node),
+        }
+    }
+
+    fn branching_var(&self, node: &AnyNode) -> Option<Var> {
+        match (self, node) {
+            (AnyInstance::Knapsack(p), AnyNode::Knapsack(n)) => p.branching_var(n),
+            (AnyInstance::MaxSat(p), AnyNode::MaxSat(n)) => p.branching_var(n),
+            (AnyInstance::RecordedTree(p), AnyNode::Tree(n)) => p.branching_var(n),
+            _ => mismatch(self, node),
+        }
+    }
+
+    fn decompose(&self, node: &AnyNode) -> Option<(AnyNode, AnyNode)> {
+        match (self, node) {
+            (AnyInstance::Knapsack(p), AnyNode::Knapsack(n)) => p
+                .decompose(n)
+                .map(|(l, r)| (AnyNode::Knapsack(l), AnyNode::Knapsack(r))),
+            (AnyInstance::MaxSat(p), AnyNode::MaxSat(n)) => p
+                .decompose(n)
+                .map(|(l, r)| (AnyNode::MaxSat(l), AnyNode::MaxSat(r))),
+            (AnyInstance::RecordedTree(p), AnyNode::Tree(n)) => p
+                .decompose(n)
+                .map(|(l, r)| (AnyNode::Tree(l), AnyNode::Tree(r))),
+            _ => mismatch(self, node),
+        }
+    }
+
+    fn cost(&self, node: &AnyNode) -> f64 {
+        match (self, node) {
+            (AnyInstance::Knapsack(p), AnyNode::Knapsack(n)) => p.cost(n),
+            (AnyInstance::MaxSat(p), AnyNode::MaxSat(n)) => p.cost(n),
+            (AnyInstance::RecordedTree(p), AnyNode::Tree(n)) => p.cost(n),
+            _ => mismatch(self, node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{solve, SolveConfig};
+    use crate::knapsack::Correlation;
+    use crate::recorder::{record_basic_tree, RecordLimits};
+    use ftbb_tree::basic_tree::fig1_example;
+
+    #[test]
+    fn knapsack_dispatch_matches_direct_solve() {
+        let k = KnapsackInstance::generate(14, 50, Correlation::Weak, 0.5, 9);
+        let direct = solve(&k, &SolveConfig::default());
+        let any = AnyInstance::from(k);
+        let dispatched = solve(&any, &SolveConfig::default());
+        assert_eq!(dispatched.best, direct.best);
+        assert_eq!(dispatched.best_code, direct.best_code);
+        assert_eq!(any.kind(), "knapsack");
+    }
+
+    #[test]
+    fn maxsat_dispatch_matches_direct_solve() {
+        let m = MaxSatInstance::generate(10, 30, 4);
+        let direct = solve(&m, &SolveConfig::default());
+        let any = AnyInstance::from(m);
+        let dispatched = solve(&any, &SolveConfig::default());
+        assert_eq!(dispatched.best, direct.best);
+        assert_eq!(any.kind(), "maxsat");
+    }
+
+    #[test]
+    fn recorded_tree_dispatch_matches_tree_optimum() {
+        let any = AnyInstance::from(fig1_example());
+        let r = solve(&any, &SolveConfig::default());
+        assert_eq!(r.best, fig1_example().optimal());
+        assert_eq!(any.kind(), "recorded-tree");
+    }
+
+    #[test]
+    fn rebuild_is_self_contained_for_every_variant() {
+        let variants: Vec<AnyInstance> = vec![
+            KnapsackInstance::generate(12, 40, Correlation::Uncorrelated, 0.5, 3).into(),
+            MaxSatInstance::generate(8, 20, 3).into(),
+            fig1_example().into(),
+        ];
+        for any in variants {
+            let r = solve(&any, &SolveConfig::default());
+            let code = r.best_code.expect("feasible instance");
+            let node = any.rebuild(&code).expect("own best code replays");
+            assert_eq!(any.solution(&node), r.best, "{}", any.kind());
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        let k = KnapsackInstance::generate(10, 30, Correlation::Strong, 0.5, 5);
+        let m = MaxSatInstance::generate(6, 12, 7);
+        let tree = record_basic_tree(&k, RecordLimits::default()).unwrap();
+        for any in [
+            AnyInstance::Knapsack(k.clone()),
+            AnyInstance::MaxSat(m),
+            AnyInstance::RecordedTree(BasicTreeProblem::new(tree)),
+        ] {
+            let bytes = serde::encode(&any);
+            let back: AnyInstance = serde::decode(&bytes).expect("round trip");
+            assert_eq!(back, any);
+            assert!(back.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_instances() {
+        let mut k = KnapsackInstance::generate(5, 20, Correlation::Weak, 0.5, 1);
+        k.capacity = 0;
+        assert!(AnyInstance::Knapsack(k).validate().is_err());
+
+        let mut m = MaxSatInstance::generate(4, 8, 1);
+        m.clauses[0].weight = -1.0;
+        assert!(AnyInstance::MaxSat(m.clone()).validate().is_err());
+        m.clauses[0].weight = 1.0;
+        m.clauses[0].literals[0].var = 99;
+        assert!(AnyInstance::MaxSat(m).validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "AnyInstance mismatch")]
+    fn foreign_node_variant_panics() {
+        let any = AnyInstance::from(MaxSatInstance::generate(4, 8, 1));
+        let knap_node =
+            AnyNode::Knapsack(KnapsackInstance::generate(4, 10, Correlation::Weak, 0.5, 1).root());
+        any.bound(&knap_node);
+    }
+}

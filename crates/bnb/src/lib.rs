@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod engine;
 pub mod knapsack;
 pub mod maxsat;
@@ -20,9 +21,10 @@ pub mod problem;
 pub mod recorder;
 pub mod replay;
 
+pub use any::{AnyInstance, AnyNode};
 pub use engine::{solve, solve_observed, SolveConfig, SolveResult, SolveStats};
-pub use knapsack::{Correlation, Item, KnapsackInstance};
-pub use maxsat::{Clause, Literal, MaxSatInstance};
+pub use knapsack::{Correlation, Item, KnapNode, KnapsackInstance};
+pub use maxsat::{Clause, Literal, MaxSatInstance, SatNode};
 pub use pool::{Pool, PoolEntry, SelectRule};
 pub use problem::BranchBound;
 pub use recorder::{record_basic_tree, RecordError, RecordLimits};

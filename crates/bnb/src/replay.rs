@@ -8,9 +8,15 @@
 
 use crate::problem::BranchBound;
 use ftbb_tree::{BasicTree, NodeId, Var};
+use serde::{Deserialize, Serialize};
 
 /// A [`BranchBound`] problem backed by a recorded [`BasicTree`].
-#[derive(Debug, Clone)]
+///
+/// Serializable so it can ride [`crate::AnyInstance`] over the wire; a
+/// decoded value must be re-checked with [`BasicTree::validate`] (the
+/// derive decodes structure, not invariants — `AnyInstance::validate`
+/// does this for announce frames).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BasicTreeProblem {
     tree: BasicTree,
 }

@@ -31,4 +31,4 @@ pub use events::{Action, PEvent, PTimer};
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};
 pub use metrics::{ProcMetrics, TransportCounters, TransportStats};
 pub use process::BnbProcess;
-pub use work::{ChildPair, Expander, Expansion, ProblemExpander, TreeExpander};
+pub use work::{AnyExpander, ChildPair, Expander, Expansion, ProblemExpander, TreeExpander};

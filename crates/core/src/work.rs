@@ -125,6 +125,14 @@ impl<P: BranchBound> ProblemExpander<P> {
     }
 }
 
+/// The problem-agnostic expander: a [`ProblemExpander`] over
+/// [`ftbb_bnb::AnyInstance`]. This is what deployment harnesses
+/// (`ftbb-wire`'s `ftbb-noded`, the threaded runtime) use once the
+/// workload has been materialized — whether locally from a spec or from
+/// a peer's problem-announce frame — so the whole stack above this line
+/// is generic over the problem kind.
+pub type AnyExpander = ProblemExpander<ftbb_bnb::AnyInstance>;
+
 impl<P: BranchBound> Expander for ProblemExpander<P> {
     fn expand(&mut self, code: &Code) -> Expansion {
         let node = self
@@ -193,14 +201,19 @@ mod tests {
         e.expand(&Code::from_decisions(&[(99, true)]));
     }
 
-    #[test]
-    fn problem_expander_agrees_with_recorder() {
-        let k = KnapsackInstance::generate(10, 30, Correlation::Uncorrelated, 0.5, 3);
-        let tree = ftbb_bnb::record_basic_tree(&k, ftbb_bnb::RecordLimits::default()).unwrap();
-        let mut live = ProblemExpander::new(k);
+    /// Shared body: a live expander over `problem` must agree with a
+    /// [`TreeExpander`] replaying the tree recorded from that same
+    /// problem, on every recorded node (bounds may differ only by the
+    /// recorder's monotonicity clamp).
+    fn assert_expander_agrees_with_recorder<P>(problem: P)
+    where
+        P: ftbb_bnb::BranchBound,
+        P::Node: Clone,
+    {
+        let tree = ftbb_bnb::record_basic_tree(&problem, ftbb_bnb::RecordLimits::default())
+            .expect("recordable instance");
+        let mut live = ProblemExpander::new(problem);
         let mut replay = TreeExpander::new(tree.clone());
-        // Expansions agree on every recorded node (bounds may differ only by
-        // the recorder's monotonicity clamp).
         for id in (0..tree.len() as u32).step_by(7) {
             let code = tree.code_of(id);
             let a = live.expand(&code);
@@ -210,5 +223,49 @@ mod tests {
             assert!(a.bound <= b.bound + 1e-9);
         }
         assert_eq!(live.root_bound(), replay.root_bound());
+    }
+
+    #[test]
+    fn problem_expander_agrees_with_recorder() {
+        assert_expander_agrees_with_recorder(KnapsackInstance::generate(
+            10,
+            30,
+            Correlation::Uncorrelated,
+            0.5,
+            3,
+        ));
+    }
+
+    #[test]
+    fn problem_expander_agrees_with_recorder_maxsat() {
+        // MAX-SAT branches on a *dynamically chosen* variable, so this
+        // additionally checks that recorded ⟨var, value⟩ codes replay
+        // through rebuild() when branching order differs across subtrees.
+        assert_expander_agrees_with_recorder(ftbb_bnb::MaxSatInstance::generate(8, 22, 6));
+    }
+
+    #[test]
+    fn problem_expander_agrees_with_recorder_recorded_tree() {
+        // A recorded tree wrapped back into a BranchBound problem and
+        // re-recorded: the round trip must be exact (the tree path has no
+        // bound clamp to hide behind).
+        let k = KnapsackInstance::generate(9, 25, Correlation::Weak, 0.5, 8);
+        let tree = ftbb_bnb::record_basic_tree(&k, ftbb_bnb::RecordLimits::default()).unwrap();
+        assert_expander_agrees_with_recorder(ftbb_bnb::BasicTreeProblem::new(tree));
+    }
+
+    #[test]
+    fn any_expander_dispatches_all_variants() {
+        use ftbb_bnb::AnyInstance;
+        let k = KnapsackInstance::generate(10, 30, Correlation::Uncorrelated, 0.5, 3);
+        let tree = ftbb_bnb::record_basic_tree(&k, ftbb_bnb::RecordLimits::default()).unwrap();
+        let variants: Vec<AnyInstance> = vec![
+            k.into(),
+            ftbb_bnb::MaxSatInstance::generate(8, 22, 6).into(),
+            tree.into(),
+        ];
+        for any in variants {
+            assert_expander_agrees_with_recorder(any);
+        }
     }
 }

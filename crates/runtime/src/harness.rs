@@ -73,6 +73,10 @@ pub struct ClusterOutcome {
 /// Run `problem` on a threaded cluster. Each node rebuilds subproblem state
 /// from codes (self-contained encoding), exactly as a distributed
 /// deployment would.
+///
+/// The harness is problem-agnostic: any [`BranchBound`] implementation
+/// works, including [`ftbb_bnb::AnyInstance`] — the same enum-dispatched
+/// workload type the TCP deployment ships over the wire.
 pub fn run_cluster<P>(problem: &P, cfg: &ClusterConfig) -> ClusterOutcome
 where
     P: BranchBound + Clone + Send + Sync + 'static,
@@ -178,6 +182,41 @@ mod tests {
         let reference = solve(&k, &SolveConfig::default());
         let outcome = run_cluster(&k, &ClusterConfig::new(1));
         assert!(outcome.all_terminated);
+        assert_eq!(outcome.best, reference.best);
+    }
+
+    #[test]
+    fn threaded_cluster_is_problem_agnostic() {
+        // The same harness runs every AnyInstance variant — knapsack,
+        // MAX-SAT (dynamic branching order), and a recorded tree — and
+        // each matches its own sequential optimum.
+        use ftbb_bnb::AnyInstance;
+        let k = knapsack(3);
+        let tree = ftbb_bnb::record_basic_tree(&k, ftbb_bnb::RecordLimits::default()).unwrap();
+        let variants: Vec<AnyInstance> = vec![
+            k.into(),
+            ftbb_bnb::MaxSatInstance::generate(12, 40, 2).into(),
+            tree.into(),
+        ];
+        for any in variants {
+            let reference = solve(&any, &SolveConfig::default());
+            let outcome = run_cluster(&any, &ClusterConfig::new(3));
+            assert!(outcome.all_terminated, "{} did not terminate", any.kind());
+            assert_eq!(outcome.best, reference.best, "{}", any.kind());
+        }
+    }
+
+    #[test]
+    fn crash_one_of_three_still_solves_maxsat() {
+        // The fault-tolerance machinery never sees the problem kind:
+        // crashing a node mid-run on a MAX-SAT workload recovers exactly
+        // like the knapsack case.
+        let m = ftbb_bnb::MaxSatInstance::generate(20, 70, 9);
+        let reference = solve(&m, &SolveConfig::default());
+        let mut cfg = ClusterConfig::new(3);
+        cfg.crashes = vec![(1, Duration::from_millis(8))];
+        let outcome = run_cluster(&m, &cfg);
+        assert!(outcome.all_terminated, "survivors did not terminate");
         assert_eq!(outcome.best, reference.best);
     }
 

@@ -65,9 +65,22 @@ FLAGS (override --config values):
     --deadline-s SECS             wall-clock safety valve (default 30)
     --crash-at-s SECS             abort() after SECS (crash injection)
     --seed N                      protocol RNG seed
+
+PROBLEM (tagged; --problem selects the kind, the rest are per-kind):
+    --problem KIND                knapsack | maxsat | tree-file | wire
+                                  (default knapsack; `wire` receives the
+                                  instance from the root's announce frame
+                                  instead of generating it locally)
+  knapsack:
     --problem-n N                 knapsack items
     --problem-range N             value/weight range
     --problem-correlation KIND    uncorrelated|weak|strong|subsetsum
     --problem-frac F              capacity fraction
     --problem-seed N              instance seed (must match cluster-wide)
+  maxsat:
+    --problem-vars N              boolean variables (2..=64)
+    --problem-clauses N           random weighted clauses
+    --problem-seed N              instance seed (must match cluster-wide)
+  tree-file:
+    --problem-file PATH           recorded basic tree (ftbb_tree::io)
 ";

@@ -8,12 +8,17 @@
 //! └────────────┴─────────────┴──────────────┴──────────────┴─────────┘
 //! ```
 //!
-//! (all little-endian). The payload is the binary serde encoding of
-//! `(from, msg)` — the same [`Envelope`] the in-process mesh routes. The
-//! decoder is **fuzz-resistant**: arbitrary bytes fed to [`FrameDecoder`]
-//! produce frames or [`WireError`]s, never panics or unbounded
-//! allocations (payload length is bounded by [`MAX_FRAME_PAYLOAD`], and
-//! the checksum rejects corruption before the payload decoder runs).
+//! (all little-endian). The payload starts with one *kind* byte:
+//! [`PAYLOAD_PROTOCOL`] frames carry the binary serde encoding of
+//! `(from, msg)` — the same [`Envelope`] the in-process mesh routes —
+//! and [`PAYLOAD_ANNOUNCE`] frames carry `(from, AnyInstance)`, the
+//! problem announce a root sends so peers started with `--problem wire`
+//! can solve an instance they never had locally. The decoder is
+//! **fuzz-resistant**: arbitrary bytes fed to [`FrameDecoder`] produce
+//! frames or [`WireError`]s, never panics or unbounded allocations
+//! (payload length is bounded by [`MAX_FRAME_PAYLOAD`], the checksum
+//! rejects corruption before the payload decoder runs, and decoded
+//! instances are re-validated structurally).
 //!
 //! Per-message size accounting reuses the protocol's own bookkeeping:
 //! [`encode_frame`] reports both the *estimated* protocol bytes
@@ -28,6 +33,7 @@
 //! cannot duplicate — it only narrows the silent-drop window; frames
 //! lost *after* a `write` started are never replayed.
 
+use ftbb_bnb::AnyInstance;
 use ftbb_core::Msg;
 use ftbb_runtime::Envelope;
 use serde::{Deserialize, Serialize};
@@ -37,8 +43,15 @@ use std::fmt;
 pub const MAGIC: u32 = 0x4654_5742;
 
 /// Codec version; bumped on any payload-format change. Decoders reject
-/// frames from other versions rather than guessing.
-pub const VERSION: u16 = 1;
+/// frames from other versions rather than guessing. (v2 added the
+/// payload kind byte and the problem-announce frame.)
+pub const VERSION: u16 = 2;
+
+/// Payload kind byte of a protocol envelope frame.
+pub const PAYLOAD_PROTOCOL: u8 = 0;
+
+/// Payload kind byte of a problem-announce frame.
+pub const PAYLOAD_ANNOUNCE: u8 = 1;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 4 + 2 + 4 + 4;
@@ -99,6 +112,33 @@ pub fn checksum(data: &[u8]) -> u32 {
     h
 }
 
+/// Everything a frame can carry: a routed protocol message, or the
+/// workload handshake that precedes the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A routed protocol message (the steady-state traffic).
+    Protocol(Envelope),
+    /// A problem announce: the sender's materialized workload, shipped
+    /// before `Start` so `--problem wire` peers can join a computation
+    /// whose instance they never generated.
+    Announce {
+        /// Announcing node's id.
+        from: u32,
+        /// The materialized (validated) workload.
+        instance: AnyInstance,
+    },
+}
+
+impl WireFrame {
+    /// The protocol envelope, if this is a protocol frame.
+    pub fn into_envelope(self) -> Option<Envelope> {
+        match self {
+            WireFrame::Protocol(env) => Some(env),
+            WireFrame::Announce { .. } => None,
+        }
+    }
+}
+
 /// An encoded frame plus its size accounting.
 #[derive(Debug, Clone)]
 pub struct EncodedFrame {
@@ -131,28 +171,43 @@ impl EncodedFrame {
 /// transmitting them (the TCP mesh does, counting them as full-queue
 /// drops).
 pub fn encode_frame(env: &Envelope) -> EncodedFrame {
-    let mut payload = Vec::with_capacity(8 + env.msg.wire_size());
+    let mut payload = Vec::with_capacity(9 + env.msg.wire_size());
+    payload.push(PAYLOAD_PROTOCOL);
     env.from.ser(&mut payload);
     env.msg.ser(&mut payload);
+    frame_bytes(payload, env.msg.wire_size())
+}
+
+/// Encode a problem-announce frame. The announce is a handshake, not
+/// protocol traffic, so its `wire_size` accounting is simply the payload
+/// length (there is no protocol-level estimate to compare against).
+pub fn encode_announce(from: u32, instance: &AnyInstance) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_ANNOUNCE);
+    from.ser(&mut payload);
+    instance.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Wrap a finished payload in the frame header.
+fn frame_bytes(payload: Vec<u8>, wire_size: usize) -> EncodedFrame {
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
     MAGIC.ser(&mut bytes);
     VERSION.ser(&mut bytes);
     (payload.len() as u32).ser(&mut bytes);
     checksum(&payload).ser(&mut bytes);
     bytes.extend_from_slice(&payload);
-    EncodedFrame {
-        bytes,
-        wire_size: env.msg.wire_size(),
-    }
+    EncodedFrame { bytes, wire_size }
 }
 
 /// Decode one complete frame from `data` (exactly one frame's bytes).
 /// Mostly useful in tests; streams use [`FrameDecoder`].
-pub fn decode_frame(data: &[u8]) -> Result<Envelope, WireError> {
+pub fn decode_frame(data: &[u8]) -> Result<WireFrame, WireError> {
     let mut dec = FrameDecoder::new();
     dec.push(data);
     match dec.try_next()? {
-        Some(env) if dec.buffered() == 0 => Ok(env),
+        Some(frame) if dec.buffered() == 0 => Ok(frame),
         Some(_) => Err(WireError::Payload("trailing bytes after frame".into())),
         None => Err(WireError::Payload("incomplete frame".into())),
     }
@@ -160,7 +215,7 @@ pub fn decode_frame(data: &[u8]) -> Result<Envelope, WireError> {
 
 /// Incremental frame decoder: feed arbitrary byte chunks (as delivered by
 /// the socket — frames may arrive split or coalesced), pull decoded
-/// envelopes.
+/// frames.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
@@ -198,7 +253,7 @@ impl FrameDecoder {
     /// After an error the stream is desynchronized; the caller should
     /// drop the connection (this matches the Crash model — a corrupt peer
     /// is indistinguishable from a dead one).
-    pub fn try_next(&mut self) -> Result<Option<Envelope>, WireError> {
+    pub fn try_next(&mut self) -> Result<Option<WireFrame>, WireError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < HEADER_LEN {
             return Ok(None);
@@ -225,8 +280,31 @@ impl FrameDecoder {
             return Err(WireError::Checksum { expected, actual });
         }
         let mut r = payload;
-        let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
-        let msg = Msg::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+        let kind = serde::read_u8(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+        let frame = match kind {
+            PAYLOAD_PROTOCOL => {
+                let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+                let msg = Msg::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+                WireFrame::Protocol(Envelope { from, msg })
+            }
+            PAYLOAD_ANNOUNCE => {
+                let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+                let instance =
+                    AnyInstance::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+                // The serde derive decodes structure, not invariants; an
+                // instance off the network must also be *valid* before
+                // the expander is allowed to trust it.
+                instance
+                    .validate()
+                    .map_err(|e| WireError::Payload(format!("invalid announced instance: {e}")))?;
+                WireFrame::Announce { from, instance }
+            }
+            other => {
+                return Err(WireError::Payload(format!(
+                    "unknown payload kind byte {other}"
+                )));
+            }
+        };
         if !r.is_empty() {
             return Err(WireError::Payload(format!(
                 "{} trailing payload bytes",
@@ -236,7 +314,7 @@ impl FrameDecoder {
         self.pos += HEADER_LEN + pay_len;
         self.frames_decoded += 1;
         self.bytes_decoded += (HEADER_LEN + pay_len) as u64;
-        Ok(Some(Envelope { from, msg }))
+        Ok(Some(frame))
     }
 }
 
@@ -257,8 +335,48 @@ mod tests {
         assert_eq!(frame.wire_size, 9);
         assert_eq!(frame.encoded_len(), frame.bytes.len());
         let back = decode_frame(&frame.bytes).unwrap();
-        assert_eq!(back.from, 3);
-        assert_eq!(back.msg, sample().msg);
+        let env = back.into_envelope().expect("protocol frame");
+        assert_eq!(env.from, 3);
+        assert_eq!(env.msg, sample().msg);
+    }
+
+    #[test]
+    fn announce_frame_round_trip() {
+        let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 3));
+        let frame = encode_announce(7, &instance);
+        assert!(!frame.exceeds_limit());
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::Announce {
+                from,
+                instance: got,
+            } => {
+                assert_eq!(from, 7);
+                assert_eq!(got, instance);
+            }
+            other => panic!("expected announce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn announce_of_invalid_instance_is_rejected_on_decode() {
+        // Corrupt instance (empty clause) hand-encoded past the
+        // constructor's asserts: the decoder must refuse it.
+        let mut m = ftbb_bnb::MaxSatInstance::generate(4, 8, 1);
+        m.clauses[0].literals.clear();
+        let frame = encode_announce(0, &ftbb_bnb::AnyInstance::MaxSat(m));
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("invalid announced instance"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_payload_kind_is_rejected() {
+        let frame = frame_bytes(vec![0x7F, 0, 0, 0, 0], 5);
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("payload kind"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -268,7 +386,7 @@ mod tests {
         for chunk in frame.bytes.chunks(3) {
             dec.push(chunk);
         }
-        let env = dec.try_next().unwrap().unwrap();
+        let env = dec.try_next().unwrap().unwrap().into_envelope().unwrap();
         assert_eq!(env.msg, sample().msg);
         assert_eq!(dec.try_next().unwrap(), None);
     }
@@ -290,7 +408,7 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&stream);
         for i in 0..5u32 {
-            let env = dec.try_next().unwrap().unwrap();
+            let env = dec.try_next().unwrap().unwrap().into_envelope().unwrap();
             assert_eq!(env.from, i);
         }
         assert_eq!(dec.try_next().unwrap(), None);

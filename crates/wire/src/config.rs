@@ -11,7 +11,7 @@
 //! crash_at_s = 1.5          # optional: abort() mid-run (Crash model)
 //!
 //! [problem]
-//! kind = "knapsack"
+//! kind = "knapsack"         # knapsack | maxsat | tree-file | wire
 //! n = 24
 //! range = 80
 //! correlation = "weak"
@@ -19,14 +19,22 @@
 //! seed = 11
 //! ```
 //!
+//! The `[problem]` section is *tagged*: `kind` selects the workload and
+//! the remaining keys are per-kind. `maxsat` takes `vars`, `clauses`,
+//! `seed`; `tree-file` takes `file` (a basic tree written by
+//! `ftbb_tree::io::write_tree_file`); `wire` takes nothing — the node
+//! learns the materialized instance from the root's problem-announce
+//! frame instead of generating it locally.
+//!
 //! The parser covers the subset above — scalar `key = value` pairs
 //! (strings, integers, floats, booleans), string arrays, comments, and
 //! `[section]` headers — which keeps the daemon dependency-free.
 
-use ftbb_bnb::{Correlation, KnapsackInstance};
+use ftbb_bnb::{AnyInstance, BasicTreeProblem, Correlation, KnapsackInstance, MaxSatInstance};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 
 /// Configuration errors (parse or validation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,11 +52,18 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
     Err(ConfigError(msg.into()))
 }
 
-/// The problem a cluster solves. All nodes must agree on this spec; the
-/// instance is regenerated deterministically on every node (codes are
-/// self-contained *given the root instance*, paper §5.3.1).
+/// The canonical list of problem kinds `ftbb-noded` understands, in the
+/// spelling configs and `--problem` use. The single source for the
+/// `assemble` kind check; [`PROBLEM_KINDS`] (help/error text) must stay
+/// in sync — a unit test enforces it.
+const KINDS: [&str; 4] = ["knapsack", "maxsat", "tree-file", "wire"];
+
+/// The problem kinds `ftbb-noded` understands, for help and error text.
+pub const PROBLEM_KINDS: &str = "knapsack | maxsat | tree-file | wire";
+
+/// Parameters of a generated 0/1 knapsack workload.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ProblemSpec {
+pub struct KnapsackSpec {
     /// Number of knapsack items.
     pub n: usize,
     /// Value/weight range.
@@ -61,9 +76,9 @@ pub struct ProblemSpec {
     pub seed: u64,
 }
 
-impl Default for ProblemSpec {
+impl Default for KnapsackSpec {
     fn default() -> Self {
-        ProblemSpec {
+        KnapsackSpec {
             n: 20,
             range: 60,
             correlation: Correlation::Weak,
@@ -73,19 +88,319 @@ impl Default for ProblemSpec {
     }
 }
 
+/// Parameters of a generated weighted MAX-SAT workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxSatSpec {
+    /// Number of boolean variables (2..=64).
+    pub vars: u16,
+    /// Number of random clauses.
+    pub clauses: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for MaxSatSpec {
+    fn default() -> Self {
+        MaxSatSpec {
+            vars: 18,
+            clauses: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// A recorded basic tree loaded from disk (`ftbb_tree::io` format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeFileSpec {
+    /// Path to the tree file.
+    pub file: PathBuf,
+}
+
+/// The problem a cluster solves. All nodes must agree on the *instance*;
+/// with a generator spec (`knapsack`, `maxsat`) every node regenerates it
+/// deterministically, with `tree-file` it is loaded from disk, and with
+/// `wire` the node receives the materialized instance from the root's
+/// problem-announce frame (codes are self-contained *given the root
+/// instance*, paper §5.3.1 — however the instance got there).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemSpec {
+    /// Generated 0/1 knapsack.
+    Knapsack(KnapsackSpec),
+    /// Generated weighted MAX-SAT.
+    MaxSat(MaxSatSpec),
+    /// Recorded basic tree from a file.
+    TreeFile(TreeFileSpec),
+    /// No local instance: learn it from a peer's announce frame.
+    Wire,
+}
+
+impl Default for ProblemSpec {
+    fn default() -> Self {
+        ProblemSpec::Knapsack(KnapsackSpec::default())
+    }
+}
+
 impl ProblemSpec {
-    /// Materialize the knapsack instance.
-    pub fn instance(&self) -> KnapsackInstance {
-        KnapsackInstance::generate(self.n, self.range, self.correlation, self.frac, self.seed)
+    /// Convenience constructor for a tree-file workload.
+    pub fn tree_file(file: impl Into<PathBuf>) -> Self {
+        ProblemSpec::TreeFile(TreeFileSpec { file: file.into() })
     }
 
-    fn correlation_from(name: &str) -> Result<Correlation, ConfigError> {
-        match name {
-            "uncorrelated" => Ok(Correlation::Uncorrelated),
-            "weak" => Ok(Correlation::Weak),
-            "strong" => Ok(Correlation::Strong),
-            "subsetsum" | "subset_sum" => Ok(Correlation::SubsetSum),
-            other => err(format!("unknown correlation `{other}`")),
+    /// The spec's kind tag, as written in configs and `--problem`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ProblemSpec::Knapsack(_) => "knapsack",
+            ProblemSpec::MaxSat(_) => "maxsat",
+            ProblemSpec::TreeFile(_) => "tree-file",
+            ProblemSpec::Wire => "wire",
+        }
+    }
+
+    /// Materialize the instance. Generators are deterministic per spec;
+    /// `tree-file` reads (and validates) the file; `wire` has no local
+    /// instance — the daemon must wait for the announce frame instead.
+    pub fn instance(&self) -> Result<AnyInstance, ConfigError> {
+        match self {
+            ProblemSpec::Knapsack(k) => Ok(AnyInstance::Knapsack(KnapsackInstance::generate(
+                k.n,
+                k.range,
+                k.correlation,
+                k.frac,
+                k.seed,
+            ))),
+            ProblemSpec::MaxSat(m) => Ok(AnyInstance::MaxSat(MaxSatInstance::generate(
+                m.vars, m.clauses, m.seed,
+            ))),
+            ProblemSpec::TreeFile(t) => {
+                let tree = ftbb_tree::io::read_tree_file(&t.file).map_err(|e| {
+                    ConfigError(format!("cannot load tree file {}: {e}", t.file.display()))
+                })?;
+                Ok(AnyInstance::RecordedTree(BasicTreeProblem::new(tree)))
+            }
+            ProblemSpec::Wire => {
+                err("problem kind `wire` has no local instance; it arrives in the announce frame")
+            }
+        }
+    }
+
+    /// Render this spec as `ftbb-noded` CLI flags — the launcher's
+    /// kind-aware replacement for hand-assembled knapsack flags.
+    pub fn flag_args(&self) -> Vec<String> {
+        let mut args = vec!["--problem".to_string(), self.kind_name().to_string()];
+        match self {
+            ProblemSpec::Knapsack(k) => {
+                args.extend([
+                    "--problem-n".into(),
+                    k.n.to_string(),
+                    "--problem-range".into(),
+                    k.range.to_string(),
+                    "--problem-correlation".into(),
+                    correlation_name(k.correlation).into(),
+                    "--problem-frac".into(),
+                    k.frac.to_string(),
+                    "--problem-seed".into(),
+                    k.seed.to_string(),
+                ]);
+            }
+            ProblemSpec::MaxSat(m) => {
+                args.extend([
+                    "--problem-vars".into(),
+                    m.vars.to_string(),
+                    "--problem-clauses".into(),
+                    m.clauses.to_string(),
+                    "--problem-seed".into(),
+                    m.seed.to_string(),
+                ]);
+            }
+            ProblemSpec::TreeFile(t) => {
+                args.extend([
+                    "--problem-file".into(),
+                    t.file.to_string_lossy().into_owned(),
+                ]);
+            }
+            ProblemSpec::Wire => {}
+        }
+        args
+    }
+
+    /// Validate the spec's own parameters (generator preconditions).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            ProblemSpec::Knapsack(k) => {
+                if k.n == 0 {
+                    return err("problem.n must be at least 1");
+                }
+                if k.range < 2 {
+                    return err("problem.range must be at least 2");
+                }
+                if !(k.frac.is_finite() && k.frac > 0.0) {
+                    return err("problem.frac must be a positive number");
+                }
+                Ok(())
+            }
+            ProblemSpec::MaxSat(m) => {
+                if !(2..=64).contains(&m.vars) {
+                    return err("problem.vars must be in 2..=64");
+                }
+                if m.clauses == 0 {
+                    return err("problem.clauses must be at least 1");
+                }
+                Ok(())
+            }
+            ProblemSpec::TreeFile(t) => {
+                if t.file.as_os_str().is_empty() {
+                    return err("problem.file must be a non-empty path");
+                }
+                Ok(())
+            }
+            ProblemSpec::Wire => Ok(()),
+        }
+    }
+}
+
+fn correlation_from(name: &str) -> Result<Correlation, ConfigError> {
+    match name {
+        "uncorrelated" => Ok(Correlation::Uncorrelated),
+        "weak" => Ok(Correlation::Weak),
+        "strong" => Ok(Correlation::Strong),
+        "subsetsum" | "subset_sum" => Ok(Correlation::SubsetSum),
+        other => err(format!("unknown correlation `{other}`")),
+    }
+}
+
+/// The flag/config spelling of a correlation value.
+fn correlation_name(c: Correlation) -> &'static str {
+    match c {
+        Correlation::Uncorrelated => "uncorrelated",
+        Correlation::Weak => "weak",
+        Correlation::Strong => "strong",
+        Correlation::SubsetSum => "subsetsum",
+    }
+}
+
+/// Problem parameters as they accumulate from a config file or flags,
+/// before the kind is resolved. `assemble` turns this into a
+/// [`ProblemSpec`], rejecting parameters that do not belong to the
+/// resolved kind (instead of silently ignoring them).
+#[derive(Debug, Default)]
+struct ProblemScratch {
+    kind: Option<String>,
+    n: Option<usize>,
+    range: Option<u64>,
+    correlation: Option<Correlation>,
+    frac: Option<f64>,
+    seed: Option<u64>,
+    vars: Option<u16>,
+    clauses: Option<usize>,
+    file: Option<PathBuf>,
+}
+
+impl ProblemScratch {
+    /// The kind this scratch resolves to (`knapsack` when none given).
+    fn kind(&self) -> &str {
+        self.kind.as_deref().unwrap_or(KINDS[0])
+    }
+
+    /// Merge `overrides` on top of this scratch (flags over file). When
+    /// the override switches to a different kind, this scratch's
+    /// parameters are discarded entirely — `--problem maxsat` must not
+    /// inherit a config file's knapsack parameters.
+    fn merged_with(self, overrides: ProblemScratch) -> ProblemScratch {
+        if overrides.kind() != self.kind() && overrides.kind.is_some() {
+            return overrides;
+        }
+        ProblemScratch {
+            kind: overrides.kind.or(self.kind),
+            n: overrides.n.or(self.n),
+            range: overrides.range.or(self.range),
+            correlation: overrides.correlation.or(self.correlation),
+            frac: overrides.frac.or(self.frac),
+            seed: overrides.seed.or(self.seed),
+            vars: overrides.vars.or(self.vars),
+            clauses: overrides.clauses.or(self.clauses),
+            file: overrides.file.or(self.file),
+        }
+    }
+
+    /// Resolve into a spec: explicit values win, per-kind defaults fill
+    /// the gaps, and parameters foreign to the kind are rejected.
+    fn assemble(self) -> Result<ProblemSpec, ConfigError> {
+        let kind = self.kind();
+        if !KINDS.contains(&kind) {
+            return err(format!(
+                "unsupported problem kind `{kind}` (supported: {PROBLEM_KINDS})"
+            ));
+        }
+        // One row per parameter, declaring which kinds accept it. A new
+        // kind or parameter is added here once — not once per kind — so
+        // a foreign parameter can never be silently ignored.
+        let ownership: [(bool, &str, &[&str]); 8] = [
+            (self.n.is_some(), "problem.n / --problem-n", &["knapsack"]),
+            (
+                self.range.is_some(),
+                "problem.range / --problem-range",
+                &["knapsack"],
+            ),
+            (
+                self.correlation.is_some(),
+                "problem.correlation / --problem-correlation",
+                &["knapsack"],
+            ),
+            (
+                self.frac.is_some(),
+                "problem.frac / --problem-frac",
+                &["knapsack"],
+            ),
+            (
+                self.seed.is_some(),
+                "problem.seed / --problem-seed",
+                &["knapsack", "maxsat"],
+            ),
+            (
+                self.vars.is_some(),
+                "problem.vars / --problem-vars",
+                &["maxsat"],
+            ),
+            (
+                self.clauses.is_some(),
+                "problem.clauses / --problem-clauses",
+                &["maxsat"],
+            ),
+            (
+                self.file.is_some(),
+                "problem.file / --problem-file",
+                &["tree-file"],
+            ),
+        ];
+        for (set, param, accepted_by) in ownership {
+            if set && !accepted_by.contains(&kind) {
+                return err(format!("`{param}` does not apply to problem kind `{kind}`"));
+            }
+        }
+        match kind {
+            "knapsack" => {
+                let b = KnapsackSpec::default();
+                Ok(ProblemSpec::Knapsack(KnapsackSpec {
+                    n: self.n.unwrap_or(b.n),
+                    range: self.range.unwrap_or(b.range),
+                    correlation: self.correlation.unwrap_or(b.correlation),
+                    frac: self.frac.unwrap_or(b.frac),
+                    seed: self.seed.unwrap_or(b.seed),
+                }))
+            }
+            "maxsat" => {
+                let b = MaxSatSpec::default();
+                Ok(ProblemSpec::MaxSat(MaxSatSpec {
+                    vars: self.vars.unwrap_or(b.vars),
+                    clauses: self.clauses.unwrap_or(b.clauses),
+                    seed: self.seed.unwrap_or(b.seed),
+                }))
+            }
+            "tree-file" => match self.file {
+                Some(file) => Ok(ProblemSpec::TreeFile(TreeFileSpec { file })),
+                None => err("problem kind `tree-file` requires problem.file / --problem-file"),
+            },
+            _ => Ok(ProblemSpec::Wire),
         }
     }
 }
@@ -164,8 +479,9 @@ impl NodeConfig {
         if !self.preconnect_s.is_finite() || self.preconnect_s < 0.0 {
             return err("preconnect_s must be a non-negative number");
         }
-        if self.problem.n == 0 {
-            return err("problem.n must be at least 1");
+        self.problem.validate()?;
+        if self.problem == ProblemSpec::Wire && self.peers.is_empty() && !self.peers_from_stdin {
+            return err("problem kind `wire` needs at least one peer to announce the instance");
         }
         Ok(())
     }
@@ -306,8 +622,21 @@ pub(crate) fn parse_peer(spec: &str) -> Result<(u32, SocketAddr), ConfigError> {
 
 /// Parse a config file's contents.
 pub fn parse_config(text: &str) -> Result<NodeConfig, ConfigError> {
+    let (mut cfg, problem) = parse_config_parts(text)?;
+    cfg.problem = problem.assemble()?;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Parse a config file into the non-problem fields plus the raw problem
+/// scratch, deferring problem assembly and cross-field validation — so
+/// `parse_args` can layer flags on top before requiredness checks run
+/// (a file with `kind = "wire"` and peers given as `--peer` flags is
+/// legitimate).
+fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), ConfigError> {
     let kv = parse_toml_subset(text)?;
     let mut cfg = NodeConfig::default();
+    let mut problem = ProblemScratch::default();
     for (key, value) in &kv {
         match key.as_str() {
             "id" => cfg.id = value.as_u64(key)? as u32,
@@ -334,31 +663,37 @@ pub fn parse_config(text: &str) -> Result<NodeConfig, ConfigError> {
                 TomlValue::Bool(b) => cfg.peers_from_stdin = *b,
                 _ => return err("`peers_from_stdin` must be a boolean"),
             },
-            "problem.kind" => {
-                let kind = value.as_str(key)?;
-                if kind != "knapsack" {
-                    return err(format!("unsupported problem kind `{kind}`"));
-                }
-            }
-            "problem.n" => cfg.problem.n = value.as_u64(key)? as usize,
-            "problem.range" => cfg.problem.range = value.as_u64(key)?,
+            "problem.kind" => problem.kind = Some(value.as_str(key)?.to_string()),
+            "problem.n" => problem.n = Some(value.as_u64(key)? as usize),
+            "problem.range" => problem.range = Some(value.as_u64(key)?),
             "problem.correlation" => {
-                cfg.problem.correlation = ProblemSpec::correlation_from(value.as_str(key)?)?;
+                problem.correlation = Some(correlation_from(value.as_str(key)?)?);
             }
-            "problem.frac" => cfg.problem.frac = value.as_f64(key)?,
-            "problem.seed" => cfg.problem.seed = value.as_u64(key)?,
+            "problem.frac" => problem.frac = Some(value.as_f64(key)?),
+            "problem.seed" => problem.seed = Some(value.as_u64(key)?),
+            "problem.vars" => {
+                problem.vars = Some(
+                    u16::try_from(value.as_u64(key)?)
+                        .map_err(|_| ConfigError("problem.vars out of range".into()))?,
+                );
+            }
+            "problem.clauses" => problem.clauses = Some(value.as_u64(key)? as usize),
+            "problem.file" => problem.file = Some(PathBuf::from(value.as_str(key)?)),
             other => return err(format!("unknown config key `{other}`")),
         }
     }
-    cfg.validate()?;
-    Ok(cfg)
+    Ok((cfg, problem))
 }
 
 /// Parse CLI arguments (optionally seeded from `--config <file>`).
 /// Flags override file values; see the crate README for the list.
 pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
-    // First pass: locate --config to establish the base.
-    let mut base: Option<NodeConfig> = None;
+    // First pass: locate --config to establish the base. The file's
+    // problem section and cross-field invariants are NOT validated here
+    // — flags may legitimately complete the file (e.g. `kind = "wire"`
+    // in the file with peers supplied as `--peer` flags), so assembly
+    // and validation run once, on the merged result.
+    let mut base: Option<(NodeConfig, ProblemScratch)> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--config" {
@@ -367,15 +702,19 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
             };
             let text = std::fs::read_to_string(path)
                 .map_err(|e| ConfigError(format!("cannot read config {path}: {e}")))?;
-            base = Some(parse_config(&text)?);
+            base = Some(parse_config_parts(&text)?);
         }
         i += 1;
     }
-    let mut cfg = base.unwrap_or_default();
+    let (mut cfg, file_problem) = base.unwrap_or_default();
 
     // Flags override file values. For the repeatable --peer flag that
     // means the first occurrence *replaces* the file's peer list (so a
     // flag-supplied topology fully wins), and later occurrences append.
+    // Problem flags accumulate in their own scratch and are merged over
+    // the file's at the end, so `--problem maxsat` cleanly switches
+    // kinds without inheriting the file's knapsack parameters.
+    let mut problem = ProblemScratch::default();
     let mut peers_replaced = false;
     let mut i = 0;
     while i < args.len() {
@@ -435,34 +774,62 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 i += 1; // flag takes no value
                 continue;
             }
+            "--problem" => {
+                problem.kind = Some(take("--problem")?);
+            }
             "--problem-n" => {
-                cfg.problem.n = take("--problem-n")?
-                    .parse()
-                    .map_err(|_| ConfigError("bad --problem-n".into()))?;
+                problem.n = Some(
+                    take("--problem-n")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-n".into()))?,
+                );
             }
             "--problem-range" => {
-                cfg.problem.range = take("--problem-range")?
-                    .parse()
-                    .map_err(|_| ConfigError("bad --problem-range".into()))?;
+                problem.range = Some(
+                    take("--problem-range")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-range".into()))?,
+                );
             }
             "--problem-correlation" => {
-                cfg.problem.correlation =
-                    ProblemSpec::correlation_from(&take("--problem-correlation")?)?;
+                problem.correlation = Some(correlation_from(&take("--problem-correlation")?)?);
             }
             "--problem-frac" => {
-                cfg.problem.frac = take("--problem-frac")?
-                    .parse()
-                    .map_err(|_| ConfigError("bad --problem-frac".into()))?;
+                problem.frac = Some(
+                    take("--problem-frac")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-frac".into()))?,
+                );
             }
             "--problem-seed" => {
-                cfg.problem.seed = take("--problem-seed")?
-                    .parse()
-                    .map_err(|_| ConfigError("bad --problem-seed".into()))?;
+                problem.seed = Some(
+                    take("--problem-seed")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-seed".into()))?,
+                );
+            }
+            "--problem-vars" => {
+                problem.vars = Some(
+                    take("--problem-vars")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-vars".into()))?,
+                );
+            }
+            "--problem-clauses" => {
+                problem.clauses = Some(
+                    take("--problem-clauses")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --problem-clauses".into()))?,
+                );
+            }
+            "--problem-file" => {
+                problem.file = Some(PathBuf::from(take("--problem-file")?));
             }
             other => return err(format!("unknown flag `{other}`")),
         }
         i += 2;
     }
+    cfg.problem = file_problem.merged_with(problem).assemble()?;
     cfg.validate()?;
     Ok(cfg)
 }
@@ -499,11 +866,197 @@ seed = 11
         assert_eq!(cfg.deadline_s, 12.5);
         assert_eq!(cfg.crash_at_s, Some(1.5));
         assert_eq!(cfg.seed, 9);
-        assert_eq!(cfg.problem.n, 24);
-        assert_eq!(cfg.problem.range, 80);
-        assert_eq!(cfg.problem.correlation, Correlation::Weak);
-        assert_eq!(cfg.problem.seed, 11);
+        let ProblemSpec::Knapsack(k) = &cfg.problem else {
+            panic!("expected knapsack, got {:?}", cfg.problem);
+        };
+        assert_eq!(k.n, 24);
+        assert_eq!(k.range, 80);
+        assert_eq!(k.correlation, Correlation::Weak);
+        assert_eq!(k.seed, 11);
         assert_eq!(cfg.members(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parses_maxsat_config() {
+        let cfg = parse_config(
+            "id = 0\n[problem]\nkind = \"maxsat\"\nvars = 14\nclauses = 40\nseed = 3\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.problem,
+            ProblemSpec::MaxSat(MaxSatSpec {
+                vars: 14,
+                clauses: 40,
+                seed: 3,
+            })
+        );
+        // Deterministic per spec, like every generator kind.
+        assert_eq!(
+            cfg.problem.instance().unwrap(),
+            cfg.problem.instance().unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_tree_file_and_wire_configs() {
+        let cfg =
+            parse_config("[problem]\nkind = \"tree-file\"\nfile = \"/tmp/t.ftbb\"\n").unwrap();
+        assert_eq!(cfg.problem, ProblemSpec::tree_file("/tmp/t.ftbb"));
+
+        // `wire` has no params and no local instance; it needs a peer to
+        // hear the announce from.
+        let cfg =
+            parse_config("id = 1\npeers = [\"0=127.0.0.1:4500\"]\n[problem]\nkind = \"wire\"\n")
+                .unwrap();
+        assert_eq!(cfg.problem, ProblemSpec::Wire);
+        assert!(cfg.problem.instance().is_err());
+        assert!(parse_config("[problem]\nkind = \"wire\"\n").is_err());
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_supported_kinds() {
+        let e = parse_config("[problem]\nkind = \"sudoku\"\n").unwrap_err();
+        for kind in KINDS {
+            assert!(e.0.contains(kind), "`{kind}` missing from: {e}");
+        }
+    }
+
+    #[test]
+    fn kind_list_spellings_agree() {
+        // The canonical KINDS slice, the help/error text, and every
+        // spec's kind_name must not drift apart.
+        assert_eq!(PROBLEM_KINDS, KINDS.join(" | "));
+        for spec in [
+            ProblemSpec::Knapsack(KnapsackSpec::default()),
+            ProblemSpec::MaxSat(MaxSatSpec::default()),
+            ProblemSpec::tree_file("/tmp/t.ftbb"),
+            ProblemSpec::Wire,
+        ] {
+            assert!(KINDS.contains(&spec.kind_name()), "{}", spec.kind_name());
+        }
+    }
+
+    #[test]
+    fn flags_complete_a_partial_config_file() {
+        // The file alone would be invalid; flags legitimately complete
+        // it, and only the merged result is validated.
+        let dir = std::env::temp_dir().join("ftbb-wire-config-partial-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // wire kind in the file, peers from flags.
+        let wire_path = dir.join("wire.toml");
+        std::fs::write(&wire_path, "id = 1\n[problem]\nkind = \"wire\"\n").unwrap();
+        let args: Vec<String> = [
+            "--config",
+            wire_path.to_str().unwrap(),
+            "--peer",
+            "0=127.0.0.1:4500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.problem, ProblemSpec::Wire);
+        assert_eq!(cfg.peers.len(), 1);
+
+        // tree-file kind in the file, path from flags.
+        let tree_path = dir.join("tree.toml");
+        std::fs::write(&tree_path, "[problem]\nkind = \"tree-file\"\n").unwrap();
+        let args: Vec<String> = [
+            "--config",
+            tree_path.to_str().unwrap(),
+            "--problem-file",
+            "/tmp/w.ftbb",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.problem, ProblemSpec::tree_file("/tmp/w.ftbb"));
+
+        // Standalone, the same files still fail (nothing completes them).
+        let solo: Vec<String> = ["--config", wire_path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&solo).is_err());
+        std::fs::remove_file(&wire_path).ok();
+        std::fs::remove_file(&tree_path).ok();
+    }
+
+    #[test]
+    fn foreign_params_are_rejected_not_ignored() {
+        // Knapsack params under a maxsat kind (and vice versa) are
+        // configuration mistakes, loudly reported.
+        assert!(parse_config("[problem]\nkind = \"maxsat\"\nn = 24\n").is_err());
+        assert!(parse_config("[problem]\nkind = \"knapsack\"\nvars = 8\n").is_err());
+        assert!(parse_config("[problem]\nkind = \"wire\"\nseed = 3\n").is_err());
+        assert!(parse_config("[problem]\nkind = \"tree-file\"\n").is_err());
+
+        let args: Vec<String> = ["--problem", "maxsat", "--problem-frac", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn problem_flag_switches_kind_without_inheriting_params() {
+        let dir = std::env::temp_dir().join("ftbb-wire-config-kind-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.toml");
+        std::fs::write(&path, SAMPLE).unwrap();
+        // The file is knapsack (n=24 etc.); switching to maxsat on the
+        // command line must not drag knapsack params along.
+        let args: Vec<String> = [
+            "--config",
+            path.to_str().unwrap(),
+            "--problem",
+            "maxsat",
+            "--problem-vars",
+            "12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(
+            cfg.problem,
+            ProblemSpec::MaxSat(MaxSatSpec {
+                vars: 12,
+                ..Default::default()
+            })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flag_args_round_trip_through_the_parser() {
+        let specs = [
+            ProblemSpec::Knapsack(KnapsackSpec {
+                n: 30,
+                range: 99,
+                correlation: Correlation::SubsetSum,
+                frac: 0.4,
+                seed: 17,
+            }),
+            ProblemSpec::MaxSat(MaxSatSpec {
+                vars: 21,
+                clauses: 77,
+                seed: 5,
+            }),
+            ProblemSpec::tree_file("/tmp/workload.ftbb"),
+        ];
+        for spec in specs {
+            let mut args = spec.flag_args();
+            // `wire` needs peers; generators don't. Give every spec one.
+            args.extend(["--peer".to_string(), "1=127.0.0.1:4501".to_string()]);
+            let cfg = parse_args(&args).unwrap();
+            assert_eq!(cfg.problem, spec, "flags: {args:?}");
+        }
+        let mut args = ProblemSpec::Wire.flag_args();
+        args.extend(["--peer".to_string(), "1=127.0.0.1:4501".to_string()]);
+        assert_eq!(parse_args(&args).unwrap().problem, ProblemSpec::Wire);
     }
 
     #[test]
@@ -552,8 +1105,11 @@ seed = 11
         .collect();
         let cfg = parse_args(&args).unwrap();
         assert_eq!(cfg.id, 2);
-        assert_eq!(cfg.problem.seed, 77);
-        assert_eq!(cfg.problem.n, 24, "non-overridden file values survive");
+        let ProblemSpec::Knapsack(k) = &cfg.problem else {
+            panic!("expected knapsack");
+        };
+        assert_eq!(k.seed, 77);
+        assert_eq!(k.n, 24, "non-overridden file values survive");
         assert_eq!(cfg.members(), vec![0, 1, 2]);
         std::fs::remove_file(&path).ok();
     }
@@ -590,8 +1146,25 @@ seed = 11
     #[test]
     fn same_spec_same_instance_across_nodes() {
         let spec = ProblemSpec::default();
-        let a = spec.instance();
-        let b = spec.instance();
+        let a = spec.instance().unwrap();
+        let b = spec.instance().unwrap();
         assert_eq!(a, b, "instance generation must be deterministic");
+    }
+
+    #[test]
+    fn tree_file_spec_loads_a_written_tree() {
+        let dir = std::env::temp_dir().join("ftbb-wire-treefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.ftbb");
+        let tree = ftbb_tree::basic_tree::fig1_example();
+        ftbb_tree::io::write_tree_file(&tree, &path).unwrap();
+
+        let spec = ProblemSpec::tree_file(&path);
+        let instance = spec.instance().unwrap();
+        assert_eq!(instance, AnyInstance::from(tree));
+
+        let missing = ProblemSpec::tree_file(dir.join("nope.ftbb"));
+        assert!(missing.instance().is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -38,8 +38,14 @@ pub struct ClusterSpec {
     /// passed to the node as `--crash-at-s`, so the process `abort()`s
     /// itself instead of being killed externally.
     pub crash_at: Vec<(u32, f64)>,
-    /// The shared problem.
+    /// The shared problem (any kind — the launcher renders it as the
+    /// matching `--problem*` flags).
     pub problem: ProblemSpec,
+    /// Ship the problem over the wire: only node 0 gets the problem
+    /// flags; every other node is started with `--problem wire` and
+    /// learns the materialized instance from node 0's announce frame —
+    /// peers solve a workload they never had locally.
+    pub wire_peers: bool,
     /// Per-node wall-clock deadline.
     pub deadline: Duration,
     /// Base seed for per-node protocol randomness.
@@ -177,17 +183,12 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
             .arg("--deadline-s")
             .arg(format!("{}", spec.deadline.as_secs_f64()))
             .arg("--seed")
-            .arg(spec.seed.to_string())
-            .arg("--problem-n")
-            .arg(spec.problem.n.to_string())
-            .arg("--problem-range")
-            .arg(spec.problem.range.to_string())
-            .arg("--problem-correlation")
-            .arg(correlation_name(&spec.problem))
-            .arg("--problem-frac")
-            .arg(spec.problem.frac.to_string())
-            .arg("--problem-seed")
-            .arg(spec.problem.seed.to_string());
+            .arg(spec.seed.to_string());
+        if spec.wire_peers && id != 0 {
+            cmd.arg("--problem").arg("wire");
+        } else {
+            cmd.args(spec.problem.flag_args());
+        }
         if let Some(&(_, at)) = spec.crash_at.iter().find(|&&(node, _)| node == id) {
             cmd.arg("--crash-at-s").arg(at.to_string());
         }
@@ -349,16 +350,6 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     // logs (the multiprocess tests run with --nocapture there).
     eprint!("{}", report.skew_summary());
     Ok(report)
-}
-
-fn correlation_name(problem: &ProblemSpec) -> &'static str {
-    use ftbb_bnb::Correlation;
-    match problem.correlation {
-        Correlation::Uncorrelated => "uncorrelated",
-        Correlation::Weak => "weak",
-        Correlation::Strong => "strong",
-        Correlation::SubsetSum => "subsetsum",
-    }
 }
 
 #[cfg(test)]

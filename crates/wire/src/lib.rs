@@ -38,8 +38,13 @@ pub mod launcher;
 pub mod noded;
 pub mod tcp;
 
-pub use codec::{decode_frame, encode_frame, EncodedFrame, FrameDecoder, WireError};
-pub use config::{member_ids, parse_args, parse_config, ConfigError, NodeConfig, ProblemSpec};
+pub use codec::{
+    decode_frame, encode_announce, encode_frame, EncodedFrame, FrameDecoder, WireError, WireFrame,
+};
+pub use config::{
+    member_ids, parse_args, parse_config, ConfigError, KnapsackSpec, MaxSatSpec, NodeConfig,
+    ProblemSpec, TreeFileSpec, PROBLEM_KINDS,
+};
 pub use launcher::{launch, ClusterReport, ClusterSpec, LaunchError};
 pub use noded::{
     outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring, ready_line, NodedReport,

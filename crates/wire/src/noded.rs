@@ -10,20 +10,28 @@
 //! protocol's `Start` event, so the mesh is never half-formed when the
 //! root hands out its first work grants.
 //!
-//! The daemon regenerates the shared problem instance from its spec
-//! (codes are self-contained given the root instance) and drives the
-//! *identical* [`BnbProcess`] state machine the simulator and the
-//! threaded runtime use — only the transport and the clock differ. On
-//! completion it prints a single machine-parseable `FTBB-OUTCOME` line
-//! to stdout for the launcher to collect.
+//! The daemon materializes the shared problem instance from its spec —
+//! regenerated from generator parameters, loaded from a tree file, or
+//! (with `--problem wire`) received in the root's problem-announce frame
+//! — and drives the *identical* [`BnbProcess`] state machine the
+//! simulator and the threaded runtime use; only the transport and the
+//! clock differ. Codes are self-contained given the root instance,
+//! however that instance arrived. On completion it prints a single
+//! machine-parseable `FTBB-OUTCOME` line to stdout for the launcher to
+//! collect.
 
-use crate::config::NodeConfig;
+use crate::config::{NodeConfig, ProblemSpec};
 use crate::tcp::TcpMesh;
-use ftbb_core::{BnbProcess, Expander, ProblemExpander, TransportStats};
+use ftbb_bnb::AnyInstance;
+use ftbb_core::{AnyExpander, BnbProcess, Expander, TransportStats};
 use ftbb_runtime::{run_node, ClusterConfig, CrashSwitch, NodeOutcome, Transport};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
+
+/// Extra grace past the readiness budget that a `--problem wire` node
+/// waits for the root's problem announce before giving up.
+const ANNOUNCE_GRACE: Duration = Duration::from_secs(15);
 
 /// What one daemon run produced.
 #[derive(Debug, Clone)]
@@ -61,22 +69,10 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         ));
     }
 
-    let instance = cfg.problem.instance();
-    let expander = ProblemExpander::new(instance);
-    // Millisecond-scale protocol timers, same profile as the threaded
-    // harness (ClusterConfig::new); node count only sizes defaults.
     let members = crate::config::member_ids(cfg.id, &peers);
-    let protocol = ClusterConfig::new(members.len() as u32).protocol;
-    let core = BnbProcess::new(
-        cfg.id,
-        members.clone(),
-        protocol,
-        expander.root_bound(),
-        // Same election and seed mixing as the threaded harness — the
-        // state machine must behave identically in every deployment.
-        ftbb_runtime::holds_root(cfg.id, &members),
-        ftbb_runtime::node_seed(cfg.seed, cfg.id),
-    );
+    // Same election and seed mixing as the threaded harness — the
+    // state machine must behave identically in every deployment.
+    let holds_root = ftbb_runtime::holds_root(cfg.id, &members);
 
     let (mesh, inbox) = TcpMesh::from_listener(cfg.id, listener, &peers)?;
 
@@ -90,6 +86,73 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
             cfg.preconnect_s
         );
     }
+
+    // Phase 4: resolve the workload. A node with a concrete spec
+    // materializes it locally; the root additionally announces the
+    // materialized instance so `--problem wire` peers can join a
+    // computation whose instance they never generated. This happens
+    // after the readiness barrier, so announce frames ride connections
+    // that already exist.
+    let bad_input = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+    let instance: AnyInstance = match &cfg.problem {
+        ProblemSpec::Wire => {
+            if holds_root {
+                return Err(bad_input(format!(
+                    "node {} would hold the root subproblem but has --problem wire; \
+                     the root must own a concrete problem spec",
+                    cfg.id
+                )));
+            }
+            let patience = Duration::from_secs_f64(cfg.preconnect_s) + ANNOUNCE_GRACE;
+            match mesh.recv_announce(patience) {
+                Some((from, instance)) => {
+                    eprintln!(
+                        "ftbb-noded: received {} instance from node {from}",
+                        instance.kind()
+                    );
+                    instance
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "no problem announce arrived within {:.1}s",
+                            patience.as_secs_f64()
+                        ),
+                    ));
+                }
+            }
+        }
+        spec => {
+            let instance = spec.instance().map_err(|e| bad_input(e.to_string()))?;
+            if holds_root && !peers.is_empty() && !mesh.announce_instance(&instance) {
+                // Not fatal: peers with concrete specs never read the
+                // announce, so this cluster still runs. Only `--problem
+                // wire` peers are affected — they will time out waiting
+                // with their own clear error.
+                eprintln!(
+                    "ftbb-noded: {} instance exceeds the announce frame limit; \
+                     --problem wire peers (if any) cannot be served — give every \
+                     node the concrete spec instead (e.g. --problem tree-file)",
+                    instance.kind()
+                );
+            }
+            instance
+        }
+    };
+
+    let expander = AnyExpander::new(instance);
+    // Millisecond-scale protocol timers, same profile as the threaded
+    // harness (ClusterConfig::new); node count only sizes defaults.
+    let protocol = ClusterConfig::new(members.len() as u32).protocol;
+    let core = BnbProcess::new(
+        cfg.id,
+        members.clone(),
+        protocol,
+        expander.root_bound(),
+        holds_root,
+        ftbb_runtime::node_seed(cfg.seed, cfg.id),
+    );
 
     // Config-driven crash: a genuine process death (abort), not a
     // simulated one — peers see only silence. The clock starts after the
@@ -254,7 +317,7 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ProblemSpec;
+    use crate::config::{KnapsackSpec, ProblemSpec};
     use ftbb_core::ProcMetrics;
 
     #[test]
@@ -331,18 +394,21 @@ mod tests {
             id: 0,
             listen: "127.0.0.1:0".parse().unwrap(),
             peers: Vec::new(),
-            problem: ProblemSpec {
+            problem: ProblemSpec::Knapsack(KnapsackSpec {
                 n: 12,
                 range: 40,
                 ..Default::default()
-            },
+            }),
             deadline_s: 30.0,
             seed: 5,
             ..Default::default()
         };
         let report = run(&cfg).expect("run succeeds");
         assert!(report.outcome.terminated, "single node must terminate");
-        let reference = ftbb_bnb::solve(&cfg.problem.instance(), &ftbb_bnb::SolveConfig::default());
+        let reference = ftbb_bnb::solve(
+            &cfg.problem.instance().unwrap(),
+            &ftbb_bnb::SolveConfig::default(),
+        );
         assert_eq!(Some(report.outcome.incumbent), reference.best);
     }
 }

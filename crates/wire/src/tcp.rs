@@ -31,8 +31,9 @@
 //! * A reader that sees a corrupt frame drops the connection — a corrupt
 //!   peer is indistinguishable from a dead one.
 
-use crate::codec::{encode_frame, FrameDecoder};
+use crate::codec::{encode_announce, encode_frame, FrameDecoder, WireFrame};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ftbb_bnb::AnyInstance;
 use ftbb_core::{Msg, TransportCounters};
 use ftbb_runtime::{Envelope, Transport};
 use std::collections::{HashMap, VecDeque};
@@ -106,6 +107,9 @@ pub struct TcpMesh {
     peers: HashMap<u32, Peer>,
     counters: Arc<TransportCounters>,
     inbox_tx: Sender<Envelope>,
+    /// Problem-announce frames land here instead of the inbox: they are
+    /// a pre-`Start` handshake, not protocol traffic.
+    announce_rx: Receiver<(u32, AnyInstance)>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
 }
@@ -136,8 +140,14 @@ impl TcpMesh {
         let counters = Arc::new(TransportCounters::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let (inbox_tx, inbox_rx) = unbounded();
+        let (announce_tx, announce_rx) = unbounded();
 
-        spawn_acceptor(listener, inbox_tx.clone(), Arc::clone(&shutdown));
+        spawn_acceptor(
+            listener,
+            inbox_tx.clone(),
+            announce_tx,
+            Arc::clone(&shutdown),
+        );
 
         let mut peer_map = HashMap::new();
         for &(id, addr) in peers {
@@ -170,11 +180,44 @@ impl TcpMesh {
                 peers: peer_map,
                 counters,
                 inbox_tx,
+                announce_rx,
                 local_addr,
                 shutdown,
             },
             inbox_rx,
         ))
+    }
+
+    /// Ship this node's materialized workload to every peer as a
+    /// problem-announce frame (the `--problem wire` handshake). Returns
+    /// `false` (sending nothing) when the encoded instance exceeds
+    /// [`crate::codec::MAX_FRAME_PAYLOAD`] — receivers would reject the
+    /// frame and drop the connection, so an oversize workload must travel
+    /// out of band (e.g. a shared tree file) instead.
+    pub fn announce_instance(&self, instance: &AnyInstance) -> bool {
+        let frame = encode_announce(self.me, instance);
+        if frame.exceeds_limit() {
+            for _ in 0..self.peers.len() {
+                self.counters.record_dropped_full();
+            }
+            return false;
+        }
+        for peer in self.peers.values() {
+            peer.enqueue(
+                QueuedFrame {
+                    wire_size: frame.wire_size,
+                    bytes: frame.bytes.clone(),
+                },
+                &self.counters,
+            );
+        }
+        true
+    }
+
+    /// Wait (up to `timeout`) for a peer's problem announce. Returns the
+    /// announcing node's id and the decoded, already-validated instance.
+    pub fn recv_announce(&self, timeout: Duration) -> Option<(u32, AnyInstance)> {
+        self.announce_rx.recv_timeout(timeout).ok()
     }
 
     /// The actually bound listen address (resolves port 0).
@@ -300,7 +343,12 @@ impl Drop for TcpMesh {
     }
 }
 
-fn spawn_acceptor(listener: TcpListener, inbox: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+fn spawn_acceptor(
+    listener: TcpListener,
+    inbox: Sender<Envelope>,
+    announce: Sender<(u32, AnyInstance)>,
+    shutdown: Arc<AtomicBool>,
+) {
     std::thread::spawn(move || {
         while !shutdown.load(Ordering::Acquire) {
             match listener.accept() {
@@ -308,7 +356,12 @@ fn spawn_acceptor(listener: TcpListener, inbox: Sender<Envelope>, shutdown: Arc<
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    spawn_reader(stream, inbox.clone(), Arc::clone(&shutdown));
+                    spawn_reader(
+                        stream,
+                        inbox.clone(),
+                        announce.clone(),
+                        Arc::clone(&shutdown),
+                    );
                 }
                 Err(_) => {
                     // Transient accept failures (e.g. ECONNABORTED when a
@@ -322,7 +375,12 @@ fn spawn_acceptor(listener: TcpListener, inbox: Sender<Envelope>, shutdown: Arc<
     });
 }
 
-fn spawn_reader(stream: TcpStream, inbox: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+fn spawn_reader(
+    stream: TcpStream,
+    inbox: Sender<Envelope>,
+    announce: Sender<(u32, AnyInstance)>,
+    shutdown: Arc<AtomicBool>,
+) {
     std::thread::spawn(move || {
         let mut stream = stream;
         // Periodic read timeouts let the reader notice shutdown even on
@@ -340,8 +398,13 @@ fn spawn_reader(stream: TcpStream, inbox: Sender<Envelope>, shutdown: Arc<Atomic
                     decoder.push(&buf[..n]);
                     loop {
                         match decoder.try_next() {
-                            Ok(Some(env)) => {
+                            Ok(Some(WireFrame::Protocol(env))) => {
                                 if inbox.try_send(env).is_err() {
+                                    return; // local node gone
+                                }
+                            }
+                            Ok(Some(WireFrame::Announce { from, instance })) => {
+                                if announce.try_send((from, instance)).is_err() {
                                     return; // local node gone
                                 }
                             }
@@ -802,6 +865,52 @@ mod tests {
         );
         assert_eq!(peer.depth.load(Ordering::Acquire), 0);
         assert_eq!(counters.snapshot().dropped_disconnected, 1);
+    }
+
+    #[test]
+    fn announce_reaches_every_peer_but_not_the_inbox() {
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let addr_c = free_addr();
+        let (mesh_a, rx_a) = TcpMesh::bind(0, addr_a, &[(1, addr_b), (2, addr_c)]).unwrap();
+        let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a), (2, addr_c)]).unwrap();
+        let (mesh_c, _rx_c) = TcpMesh::bind(2, addr_c, &[(0, addr_a), (1, addr_b)]).unwrap();
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+
+        let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 9));
+        assert!(mesh_a.announce_instance(&instance));
+
+        for mesh in [&mesh_b, &mesh_c] {
+            let (from, got) = mesh
+                .recv_announce(Duration::from_secs(5))
+                .expect("announce arrives");
+            assert_eq!(from, 0);
+            assert_eq!(got, instance);
+        }
+        // The handshake must not leak into the protocol inbox.
+        assert!(recv_msg(&rx_b, Duration::from_millis(100)).is_none());
+        // Nor does the announcer hear its own announce.
+        assert!(mesh_a.recv_announce(Duration::from_millis(100)).is_none());
+        drop(rx_a);
+    }
+
+    #[test]
+    fn oversize_announce_is_refused_and_counted_not_transmitted() {
+        // ~150k nodes encode past MAX_FRAME_PAYLOAD; receivers would
+        // reject the frame and drop the connection, so the mesh must
+        // refuse to send it (per-peer counted drops) instead.
+        let tree = ftbb_tree::generator::random_basic_tree(&ftbb_tree::generator::TreeConfig {
+            target_nodes: 150_001,
+            ..Default::default()
+        });
+        let instance = ftbb_bnb::AnyInstance::from(tree);
+        assert!(crate::codec::encode_announce(0, &instance).exceeds_limit());
+
+        let addr = free_addr();
+        let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, free_addr()), (2, free_addr())]).unwrap();
+        assert!(!mesh.announce_instance(&instance));
+        assert_eq!(mesh.stats().dropped_full, 2);
+        assert_eq!(mesh.stats().sent, 0);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! encode → frame → split-read → decode, and corrupt or truncated frames
 //! fail loudly (errors), never quietly (panics or wrong data).
 
+use ftbb_bnb::AnyInstance;
 use ftbb_core::{GrantItem, Msg};
 use ftbb_gossip::{MembershipMsg, ViewDigest};
 use ftbb_runtime::Envelope;
 use ftbb_tree::Code;
-use ftbb_wire::{encode_frame, FrameDecoder};
+use ftbb_wire::{encode_announce, encode_frame, FrameDecoder, WireFrame};
 use proptest::prelude::*;
 
 /// Strategy for an arbitrary (possibly deep) tree code.
@@ -79,6 +80,45 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
     })
 }
 
+/// Strategy producing every [`AnyInstance`] variant from generator
+/// parameters (all three are deterministic per seed, so shrinking stays
+/// meaningful).
+fn any_instance_strategy() -> impl Strategy<Value = AnyInstance> {
+    (0u8..3).prop_flat_map(|variant| match variant {
+        0 => (4u64..14, 10u64..60, any::<u64>())
+            .prop_map(|(n, range, seed)| {
+                AnyInstance::Knapsack(ftbb_bnb::KnapsackInstance::generate(
+                    n as usize,
+                    range.max(2),
+                    ftbb_bnb::Correlation::Weak,
+                    0.5,
+                    seed,
+                ))
+            })
+            .boxed(),
+        1 => (2u64..12, 4u64..30, any::<u64>())
+            .prop_map(|(vars, clauses, seed)| {
+                AnyInstance::MaxSat(ftbb_bnb::MaxSatInstance::generate(
+                    vars as u16,
+                    clauses as usize,
+                    seed,
+                ))
+            })
+            .boxed(),
+        _ => (3u64..120, any::<u64>())
+            .prop_map(|(nodes, seed)| {
+                AnyInstance::from(ftbb_tree::generator::random_basic_tree(
+                    &ftbb_tree::generator::TreeConfig {
+                        target_nodes: nodes as usize,
+                        seed,
+                        ..Default::default()
+                    },
+                ))
+            })
+            .boxed(),
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -104,7 +144,7 @@ proptest! {
             }
         }
         let got = decoded.expect("frame fully fed");
-        prop_assert_eq!(got, env);
+        prop_assert_eq!(got, WireFrame::Protocol(env));
     }
 
     /// Back-to-back frames decode independently in order.
@@ -122,7 +162,12 @@ proptest! {
         let mut dec = FrameDecoder::new();
         dec.push(&stream);
         for msg in &msgs {
-            let got = dec.try_next().expect("decodes").expect("present");
+            let got = dec
+                .try_next()
+                .expect("decodes")
+                .expect("present")
+                .into_envelope()
+                .expect("protocol frame");
             prop_assert_eq!(&got.msg, msg);
         }
         prop_assert_eq!(dec.try_next().expect("clean tail"), None);
@@ -153,7 +198,40 @@ proptest! {
         match dec.try_next() {
             Err(_) => {}          // detected
             Ok(None) => {}        // length grew: stream pends forever
-            Ok(Some(got)) => prop_assert_eq!(got, env, "corrupt frame decoded to different data"),
+            Ok(Some(got)) => prop_assert_eq!(
+                got,
+                WireFrame::Protocol(env),
+                "corrupt frame decoded to different data"
+            ),
+        }
+    }
+
+    /// Every `AnyInstance` variant survives the announce frame: encode →
+    /// split-read decode → identical, validated instance.
+    #[test]
+    fn every_instance_survives_the_announce_frame(
+        instance in any_instance_strategy(),
+        from in any::<u32>(),
+        chunk in 1usize..512,
+    ) {
+        let frame = encode_announce(from, &instance);
+        prop_assert!(!frame.exceeds_limit());
+        let mut dec = FrameDecoder::new();
+        let mut decoded = None;
+        for piece in frame.bytes.chunks(chunk) {
+            dec.push(piece);
+            if let Some(got) = dec.try_next().expect("valid frame decodes") {
+                prop_assert!(decoded.is_none(), "only one frame was sent");
+                decoded = Some(got);
+            }
+        }
+        match decoded.expect("frame fully fed") {
+            WireFrame::Announce { from: got_from, instance: got } => {
+                prop_assert_eq!(got_from, from);
+                prop_assert!(got.validate().is_ok());
+                prop_assert_eq!(got, instance);
+            }
+            other => prop_assert!(false, "expected announce, got {:?}", other),
         }
     }
 

@@ -8,7 +8,7 @@
 
 use ftbb_bnb::{solve, Correlation, SolveConfig};
 use ftbb_wire::launcher::{launch, ClusterSpec};
-use ftbb_wire::ProblemSpec;
+use ftbb_wire::{KnapsackSpec, MaxSatSpec, ProblemSpec};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -20,20 +20,27 @@ fn noded() -> PathBuf {
 /// (~1 s single-node), so kills at tens of milliseconds land
 /// mid-computation.
 fn heavy_problem() -> ProblemSpec {
-    ProblemSpec {
+    ProblemSpec::Knapsack(KnapsackSpec {
         n: 36,
         range: 120,
         correlation: Correlation::Strong,
         frac: 0.5,
         seed: 3,
-    }
+    })
+}
+
+/// The sequential optimum for a spec — the oracle every surviving node
+/// must agree with.
+fn reference_best(problem: &ProblemSpec) -> Option<f64> {
+    let instance = problem.instance().expect("materializable spec");
+    solve(&instance, &SolveConfig::default()).best
 }
 
 #[test]
 fn five_processes_two_sigkills_still_reach_the_optimum() {
     let problem = heavy_problem();
-    let reference = solve(&problem.instance(), &SolveConfig::default());
-    assert!(reference.best.is_some(), "instance must be feasible");
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
 
     let spec = ClusterSpec {
         noded: noded(),
@@ -44,6 +51,7 @@ fn five_processes_two_sigkills_still_reach_the_optimum() {
             (3, Duration::from_millis(120)),
         ],
         problem,
+        wire_peers: false,
         deadline: Duration::from_secs(60),
         seed: 7,
     };
@@ -59,19 +67,14 @@ fn five_processes_two_sigkills_still_reach_the_optimum() {
         report.outcomes
     );
     assert_eq!(
-        report.best, reference.best,
+        report.best, reference,
         "survivors disagree with the sequential optimum"
     );
     // Every surviving node individually knows the optimum (the incumbent
     // circulates in every message).
     for outcome in report.outcomes.iter().flatten() {
         if outcome.terminated {
-            assert_eq!(
-                Some(outcome.incumbent),
-                reference.best,
-                "node {}",
-                outcome.id
-            );
+            assert_eq!(Some(outcome.incumbent), reference, "node {}", outcome.id);
         }
     }
 }
@@ -86,7 +89,7 @@ fn five_processes_two_sigkills_still_reach_the_optimum() {
 #[test]
 fn no_kill_cluster_loses_no_startup_grants_and_shares_the_work() {
     let problem = heavy_problem();
-    let reference = solve(&problem.instance(), &SolveConfig::default());
+    let reference = reference_best(&problem);
 
     let spec = ClusterSpec {
         noded: noded(),
@@ -94,6 +97,7 @@ fn no_kill_cluster_loses_no_startup_grants_and_shares_the_work() {
         kill: Vec::new(),
         crash_at: Vec::new(),
         problem,
+        wire_peers: false,
         deadline: Duration::from_secs(60),
         seed: 9,
     };
@@ -106,7 +110,7 @@ fn no_kill_cluster_loses_no_startup_grants_and_shares_the_work() {
         "nodes failed to terminate: {:?}",
         report.outcomes
     );
-    assert_eq!(report.best, reference.best);
+    assert_eq!(report.best, reference);
     assert_eq!(report.outcomes.iter().flatten().count(), 5);
 
     let startup_drops: u64 = report
@@ -133,14 +137,14 @@ fn no_kill_cluster_loses_no_startup_grants_and_shares_the_work() {
 
 #[test]
 fn four_processes_no_failures_reach_the_optimum() {
-    let problem = ProblemSpec {
+    let problem = ProblemSpec::Knapsack(KnapsackSpec {
         n: 18,
         range: 60,
         correlation: Correlation::Uncorrelated,
         frac: 0.5,
         seed: 5,
-    };
-    let reference = solve(&problem.instance(), &SolveConfig::default());
+    });
+    let reference = reference_best(&problem);
 
     let spec = ClusterSpec {
         noded: noded(),
@@ -148,13 +152,14 @@ fn four_processes_no_failures_reach_the_optimum() {
         kill: Vec::new(),
         crash_at: Vec::new(),
         problem,
+        wire_peers: false,
         deadline: Duration::from_secs(60),
         seed: 3,
     };
     let report = launch(&spec).expect("cluster launches");
 
     assert!(report.all_survivors_terminated);
-    assert_eq!(report.best, reference.best);
+    assert_eq!(report.best, reference);
     assert_eq!(report.outcomes.iter().flatten().count(), 4);
     // Real sockets carried real traffic: framing overhead is visible in
     // the aggregated transport counters. (A single node may legitimately
@@ -191,7 +196,7 @@ fn config_driven_crash_is_survivable_too() {
     // node's own --crash-at-s abort() — exercising the config path
     // instead of an external killer.
     let problem = heavy_problem();
-    let reference = solve(&problem.instance(), &SolveConfig::default());
+    let reference = reference_best(&problem);
 
     let spec = ClusterSpec {
         noded: noded(),
@@ -199,6 +204,7 @@ fn config_driven_crash_is_survivable_too() {
         kill: Vec::new(),
         crash_at: vec![(2, 0.08)],
         problem,
+        wire_peers: false,
         deadline: Duration::from_secs(60),
         seed: 11,
     };
@@ -211,6 +217,108 @@ fn config_driven_crash_is_survivable_too() {
         report.outcomes
     );
     for o in report.outcomes.iter().flatten() {
-        assert_eq!(Some(o.incumbent), reference.best, "node {}", o.id);
+        assert_eq!(Some(o.incumbent), reference, "node {}", o.id);
+    }
+}
+
+/// The MAX-SAT mirror of the SIGKILL acceptance test, with the workload
+/// additionally shipped over the wire: only node 0 knows the problem
+/// spec; the other four start `--problem wire` and receive the
+/// materialized instance in node 0's announce frame. Two of those
+/// wire-fed peers are then SIGKILLed mid-run, and the survivors (which
+/// include wire-fed peers) must still reach the sequential optimum —
+/// the recovery machinery is genuinely problem-agnostic.
+#[test]
+fn five_process_maxsat_cluster_two_sigkills_reach_the_optimum() {
+    let problem = ProblemSpec::MaxSat(MaxSatSpec {
+        vars: 26,
+        clauses: 110,
+        seed: 13,
+    });
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
+
+    let spec = ClusterSpec {
+        noded: noded(),
+        nodes: 5,
+        crash_at: Vec::new(),
+        kill: vec![
+            (1, Duration::from_millis(60)),
+            (3, Duration::from_millis(120)),
+        ],
+        problem,
+        wire_peers: true,
+        deadline: Duration::from_secs(60),
+        seed: 21,
+    };
+    let report = launch(&spec).expect("cluster launches");
+
+    assert!(
+        !report.killed.is_empty(),
+        "no SIGKILL landed mid-run — the cluster finished too fast for the kill plan"
+    );
+    assert!(
+        report.all_survivors_terminated,
+        "survivors failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(
+        report.best, reference,
+        "survivors disagree with the sequential optimum"
+    );
+    for o in report.outcomes.iter().flatten() {
+        if o.terminated {
+            assert_eq!(Some(o.incumbent), reference, "node {}", o.id);
+        }
+    }
+}
+
+/// A recorded-tree workload from a file, solved by peers that have
+/// neither the file nor the generator: node 0 loads the tree with
+/// `--problem tree-file`, peers start `--problem wire` and learn the
+/// whole tree from the announce frame. Survivor parity with the
+/// sequential optimum proves the instance transfer was faithful.
+#[test]
+fn tree_file_cluster_ships_the_tree_to_wire_peers() {
+    use ftbb_tree::generator::{random_basic_tree, TreeConfig};
+
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: 4001,
+        mean_cost: 0.0004,
+        seed: 23,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join("ftbb-wire-treefile-cluster");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("workload.ftbb");
+    ftbb_tree::io::write_tree_file(&tree, &path).unwrap();
+
+    let problem = ProblemSpec::tree_file(&path);
+    let reference = reference_best(&problem);
+    assert_eq!(reference, tree.optimal());
+
+    let spec = ClusterSpec {
+        noded: noded(),
+        nodes: 3,
+        kill: Vec::new(),
+        crash_at: Vec::new(),
+        problem,
+        wire_peers: true,
+        deadline: Duration::from_secs(60),
+        seed: 5,
+    };
+    let report = launch(&spec).expect("cluster launches");
+    std::fs::remove_file(&path).ok();
+
+    assert!(
+        report.all_survivors_terminated,
+        "nodes failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(report.best, reference);
+    assert_eq!(report.outcomes.iter().flatten().count(), 3);
+    // The wire peers did real work on an instance they never loaded.
+    for o in report.outcomes.iter().flatten() {
+        assert_eq!(Some(o.incumbent), reference, "node {}", o.id);
     }
 }

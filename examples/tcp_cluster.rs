@@ -2,6 +2,11 @@
 //! over loopback, SIGKILL two of them mid-run, and watch the survivors
 //! still converge to the sequential optimum.
 //!
+//! Only node 0 is given the problem spec — the other four start with
+//! `--problem wire` and receive the materialized instance in node 0's
+//! problem-announce frame, demonstrating that peers can solve a workload
+//! they never had locally.
+//!
 //! ```text
 //! cargo build -p ftbb-wire          # builds the ftbb-noded daemon
 //! cargo run --example tcp_cluster
@@ -9,7 +14,7 @@
 
 use ftbb::bnb::{solve, SolveConfig};
 use ftbb::wire::launcher::{launch, ClusterSpec};
-use ftbb::wire::ProblemSpec;
+use ftbb::wire::{KnapsackSpec, ProblemSpec};
 use ftbb_bnb::Correlation;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -39,15 +44,15 @@ fn find_noded() -> PathBuf {
 }
 
 fn main() {
-    let problem = ProblemSpec {
+    let problem = ProblemSpec::Knapsack(KnapsackSpec {
         n: 36,
         range: 120,
         correlation: Correlation::Strong,
         frac: 0.5,
         seed: 3,
-    };
+    });
     println!("solving the reference sequentially…");
-    let reference = solve(&problem.instance(), &SolveConfig::default());
+    let reference = solve(&problem.instance().unwrap(), &SolveConfig::default());
     println!("sequential optimum: {:?}", reference.best);
 
     let spec = ClusterSpec {
@@ -59,12 +64,16 @@ fn main() {
             (3, Duration::from_millis(120)),
         ],
         problem,
+        wire_peers: true,
         deadline: Duration::from_secs(60),
         seed: 42,
     };
     println!(
-        "launching {} ftbb-noded processes on loopback; SIGKILL plan: {:?}",
-        spec.nodes, spec.kill
+        "launching {} ftbb-noded processes on loopback ({} workload; only \
+         node 0 has the spec, peers learn it over the wire); SIGKILL plan: {:?}",
+        spec.nodes,
+        spec.problem.kind_name(),
+        spec.kill
     );
     let report = launch(&spec).expect("cluster launch");
 

@@ -74,12 +74,14 @@ pub use ftbb_wire as wire;
 
 /// The most common imports for using the library.
 pub mod prelude {
-    pub use ftbb_bnb::{solve, BranchBound, KnapsackInstance, SelectRule, SolveConfig};
-    pub use ftbb_core::{BnbProcess, Expander, ProtocolConfig, TreeExpander};
+    pub use ftbb_bnb::{
+        solve, AnyInstance, BranchBound, KnapsackInstance, MaxSatInstance, SelectRule, SolveConfig,
+    };
+    pub use ftbb_core::{AnyExpander, BnbProcess, Expander, ProtocolConfig, TreeExpander};
     pub use ftbb_des::{ProcId, SimTime};
     pub use ftbb_net::{LatencyModel, LossModel, NetworkConfig, PartitionSchedule};
     pub use ftbb_runtime::{run_cluster, ClusterConfig, Transport};
     pub use ftbb_sim::{run_sim, RunReport, SimConfig};
     pub use ftbb_tree::{Code, CodeSet, RecoveryStrategy};
-    pub use ftbb_wire::{ClusterSpec, ProblemSpec, TcpMesh};
+    pub use ftbb_wire::{ClusterSpec, KnapsackSpec, MaxSatSpec, ProblemSpec, TcpMesh};
 }
