@@ -1,12 +1,16 @@
-//! Process-state checkpointing.
+//! Process-state checkpointing — the deployed restart/rejoin substrate.
 //!
 //! The paper's §1 frames two roads to reliability: general-purpose
 //! middleware mechanisms (checkpoint/restart à la Condor) versus
 //! problem-specific mechanisms (its contribution). This module provides the
-//! former for the same protocol process, for two reasons:
+//! former for the same protocol process, and since the node-lifecycle
+//! refactor it is *deployed*, not merely comparative:
 //!
-//! 1. **Operational**: a deployment can persist a process's protocol state
-//!    (table, pool, incumbent) and restart it after a reboot without
+//! 1. **Operational**: `ftbb-noded --checkpoint-dir` persists snapshots of
+//!    a process's protocol state (table, pool, incumbent, problem binding)
+//!    with atomic write-rename, and `--resume` restarts a killed node from
+//!    its last snapshot. The restarted process re-joins the live cluster
+//!    under a bumped **incarnation number** (see below) instead of
 //!    re-joining as an amnesiac — complementary to the paper's mechanism,
 //!    which guarantees correctness even *without* this.
 //! 2. **Comparative**: the `checkpoint_compare` bench quantifies what the
@@ -15,22 +19,59 @@
 //!    the gossip mechanism recovers *global* knowledge for free.
 //!
 //! A checkpoint captures exactly the state needed to resume: the completion
-//! table, the local pool, fresh codes, and the incumbent. Transient state
-//! (in-flight expansion, pending load-balancing handshakes, timers) is
-//! deliberately *not* captured: on restore, the process simply starts its
-//! next work item; anything that was in flight is re-derived or recovered
-//! by the normal protocol paths.
+//! table, the local pool, fresh codes, the incumbent, the process's
+//! incarnation, and (optionally) the materialized problem binding so a
+//! resumed daemon needs no `--problem` flags and no announce frame.
+//! Transient state (in-flight expansion, pending load-balancing handshakes,
+//! timers) is deliberately *not* captured: on restore, the process simply
+//! starts its next work item; anything that was in flight is re-derived or
+//! recovered by the normal protocol paths.
+//!
+//! **Incarnations**: each (re)start of a node is one incarnation. A fresh
+//! node is incarnation 0; restoring from a checkpoint yields incarnation
+//! `checkpoint.incarnation + 1`. Transports tag frames with incarnations so
+//! traffic from (or addressed to) a node's previous life is rejected as
+//! stale rather than delivered to the wrong incarnation.
 
 use crate::config::ProtocolConfig;
 use crate::process::BnbProcess;
+use ftbb_bnb::AnyInstance;
 use ftbb_tree::{Code, CodeSet};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Version tag of the checkpoint blob format. v2 added the incarnation
+/// number and the optional problem binding.
+pub const CHECKPOINT_VERSION: u16 = 2;
+
+/// Where periodic checkpoint snapshots go. The engine (`ftbb-runtime`'s
+/// `NodeEngine`) calls [`CheckpointSink::store`] on a cadence; sinks own
+/// durability (e.g. `ftbb-wire`'s atomic write-rename directory sink) and
+/// error reporting policy. A store failure never stops the engine — a node
+/// that cannot persist keeps computing; it merely loses restartability.
+pub trait CheckpointSink: Send {
+    /// Persist one snapshot.
+    fn store(&mut self, chk: &Checkpoint) -> Result<(), String>;
+}
+
+/// The no-op sink: checkpoints vanish. Used by harnesses that only want
+/// the engine, not persistence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl CheckpointSink for NullSink {
+    fn store(&mut self, _chk: &Checkpoint) -> Result<(), String> {
+        Ok(())
+    }
+}
 
 /// A serializable snapshot of a protocol process's durable state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Process id.
     pub me: u32,
+    /// Which life of the process this snapshot belongs to (0 = first).
+    pub incarnation: u32,
     /// Static member list (empty when membership-managed).
     pub members: Vec<u32>,
     /// Completion table, as contracted codes.
@@ -43,19 +84,50 @@ pub struct Checkpoint {
     pub incumbent: f64,
     /// Root bound (to reseed the pool priority space).
     pub root_bound: f64,
+    /// The materialized workload, when the snapshotting deployment binds
+    /// one (daemons do; bare `BnbProcess` checkpoints carry `None`). A
+    /// bound checkpoint is self-sufficient: restore needs no problem spec
+    /// and no announce frame. Shared (`Arc`) because the binding is
+    /// immutable for a node's whole life while snapshots are taken on a
+    /// cadence — attaching it must never deep-copy the workload.
+    pub problem: Option<Arc<AnyInstance>>,
 }
 
 impl Checkpoint {
-    /// Approximate serialized size in bytes (for overhead accounting).
+    /// Attach the lifecycle binding: which incarnation this snapshot
+    /// belongs to, and the materialized problem it was solving.
+    pub fn bind(mut self, incarnation: u32, problem: Option<Arc<AnyInstance>>) -> Checkpoint {
+        self.incarnation = incarnation;
+        self.problem = problem;
+        self
+    }
+
+    /// Serialized size in bytes (for overhead accounting). Tracks
+    /// [`Checkpoint::encode`] exactly for the protocol state (codes
+    /// account themselves via [`Code::wire_size`], which the tree codec
+    /// matches byte-for-byte); the problem binding, when present, is sized
+    /// by encoding it — bindings are embedded only by deployments that
+    /// persist rarely, so the cost sits off the hot path.
     pub fn wire_size(&self) -> usize {
-        let codes: usize = self
-            .table
+        let codes = |cs: &[Code]| -> usize {
+            // 4-byte blob length prefix + encode_codes: 4-byte count +
+            // per-code wire_size.
+            4 + 4 + cs.iter().map(|c| c.wire_size()).sum::<usize>()
+        };
+        let pool: usize = self
+            .pool
             .iter()
-            .chain(self.fresh.iter())
-            .map(|c| c.wire_size())
+            .map(|(c, _)| codes(std::slice::from_ref(c)) + 8)
             .sum();
-        let pool: usize = self.pool.iter().map(|(c, _)| c.wire_size() + 8).sum();
-        16 + 4 * self.members.len() + codes + pool
+        let problem = 1 + self.problem.as_ref().map_or(0, |p| serde::encode(p).len());
+        // magic + version + me + incarnation + incumbent + root_bound
+        (4 + 2 + 4 + 4 + 8 + 8)
+            + (4 + 4 * self.members.len())
+            + codes(&self.table)
+            + codes(&self.fresh)
+            + 4
+            + pool
+            + problem
     }
 
     /// Encode to a compact binary blob (magic + bincode-free hand codec).
@@ -63,7 +135,9 @@ impl Checkpoint {
         use bytes::BufMut;
         let mut buf = bytes::BytesMut::new();
         buf.put_u32_le(0x4654_4350); // "FTCP"
+        buf.put_u16_le(CHECKPOINT_VERSION);
         buf.put_u32_le(self.me);
+        buf.put_u32_le(self.incarnation);
         buf.put_f64_le(self.incumbent);
         buf.put_f64_le(self.root_bound);
         buf.put_u32_le(self.members.len() as u32);
@@ -82,7 +156,9 @@ impl Checkpoint {
             put_codes(&mut buf, std::slice::from_ref(code));
             buf.put_f64_le(*bound);
         }
-        buf.to_vec()
+        let mut out = buf.to_vec();
+        self.problem.ser(&mut out);
+        out
     }
 
     /// Decode a blob produced by [`Checkpoint::encode`].
@@ -95,11 +171,16 @@ impl Checkpoint {
                 Ok(())
             }
         };
-        need(data, 4 + 4 + 16 + 4)?;
+        need(data, 4 + 2 + 8 + 16 + 4)?;
         if data.get_u32_le() != 0x4654_4350 {
             return Err("bad checkpoint magic".into());
         }
+        let version = data.get_u16_le();
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
         let me = data.get_u32_le();
+        let incarnation = data.get_u32_le();
         let incumbent = data.get_f64_le();
         let root_bound = data.get_f64_le();
         let nmembers = data.get_u32_le() as usize;
@@ -128,36 +209,54 @@ impl Checkpoint {
             let bound = data.get_f64_le();
             pool.push((code, bound));
         }
+        let problem = Option::<Arc<AnyInstance>>::de(&mut data).map_err(|e| e.to_string())?;
+        if let Some(p) = &problem {
+            // Serde decodes structure, not invariants; a binding off disk
+            // must also be valid before an expander trusts it.
+            p.validate()
+                .map_err(|e| format!("invalid problem binding: {e}"))?;
+        }
+        if !data.is_empty() {
+            return Err(format!("{} trailing checkpoint bytes", data.len()));
+        }
         Ok(Checkpoint {
             me,
+            incarnation,
             members,
             table,
             fresh,
             pool,
             incumbent,
             root_bound,
+            problem,
         })
     }
 }
 
 impl BnbProcess {
-    /// Snapshot this process's durable state.
+    /// Snapshot this process's durable state. The lifecycle binding
+    /// (incarnation, problem) is the deployment's to attach — see
+    /// [`Checkpoint::bind`]; a bare process snapshot is incarnation 0
+    /// with no binding.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             me: self.id(),
+            incarnation: 0,
             members: self.static_member_list(),
             table: self.table().minimal_codes(),
             pool: self.pool_snapshot(),
             fresh: self.fresh_snapshot(),
             incumbent: self.incumbent(),
             root_bound: self.root_bound(),
+            problem: None,
         }
     }
 
     /// Rebuild a process from a checkpoint. The restored process is idle
     /// (no expansion in flight); drive it with [`crate::PEvent::Start`] to
     /// resume — it will pick up its pool, or seek work, or recover, exactly
-    /// as the protocol dictates.
+    /// as the protocol dictates. The caller owns the incarnation bump (the
+    /// restored *process* is state; the new *life* is the engine's).
     pub fn restore(chk: &Checkpoint, cfg: ProtocolConfig, rng_seed: u64) -> BnbProcess {
         let mut p = BnbProcess::new(
             chk.me,
@@ -221,8 +320,10 @@ mod tests {
         let p = worked_process();
         let chk = p.checkpoint();
         assert_eq!(chk.me, 0);
+        assert_eq!(chk.incarnation, 0);
         assert_eq!(chk.incumbent, 5.0);
         assert!(!chk.table.is_empty());
+        assert!(chk.problem.is_none());
         assert!(chk.wire_size() > 0);
     }
 
@@ -235,12 +336,46 @@ mod tests {
     }
 
     #[test]
+    fn bound_checkpoint_round_trips_with_problem_and_incarnation() {
+        let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 3));
+        let chk = worked_process()
+            .checkpoint()
+            .bind(3, Some(Arc::new(instance.clone())));
+        assert_eq!(chk.incarnation, 3);
+        let back = Checkpoint::decode(&chk.encode()).unwrap();
+        assert_eq!(back, chk);
+        assert_eq!(back.problem.as_deref(), Some(&instance));
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(Checkpoint::decode(&[]).is_err());
         assert!(Checkpoint::decode(&[1, 2, 3, 4, 5, 6, 7, 8]).is_err());
         let mut blob = worked_process().checkpoint().encode();
         blob.truncate(blob.len() / 2);
         assert!(Checkpoint::decode(&blob).is_err());
+        // Trailing junk is rejected, not ignored.
+        let mut blob = worked_process().checkpoint().encode();
+        blob.push(0xA5);
+        assert!(Checkpoint::decode(&blob).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version_and_invalid_binding() {
+        let mut blob = worked_process().checkpoint().encode();
+        blob[4] = 0xEE; // version bytes follow the magic
+        assert!(Checkpoint::decode(&blob)
+            .unwrap_err()
+            .contains("checkpoint version"));
+
+        // A structurally decodable but invalid problem binding is refused.
+        let mut m = ftbb_bnb::MaxSatInstance::generate(4, 8, 1);
+        m.clauses[0].literals.clear();
+        let chk = worked_process()
+            .checkpoint()
+            .bind(1, Some(Arc::new(ftbb_bnb::AnyInstance::MaxSat(m))));
+        let err = Checkpoint::decode(&chk.encode()).unwrap_err();
+        assert!(err.contains("invalid problem binding"), "{err}");
     }
 
     #[test]
@@ -287,12 +422,23 @@ mod tests {
     }
 
     #[test]
-    fn wire_size_estimate_is_close_to_encoding() {
+    fn wire_size_tracks_the_encoding() {
+        let bare = worked_process().checkpoint();
+        assert_eq!(bare.wire_size(), bare.encode().len());
+
+        let bound = bare.bind(
+            2,
+            Some(Arc::new(ftbb_bnb::AnyInstance::from(
+                ftbb_bnb::MaxSatInstance::generate(8, 20, 5),
+            ))),
+        );
+        assert_eq!(bound.wire_size(), bound.encode().len());
+    }
+
+    #[test]
+    fn null_sink_swallows_checkpoints() {
         let chk = worked_process().checkpoint();
-        let est = chk.wire_size();
-        let real = chk.encode().len();
-        // The estimate tracks the encoding within a small constant margin.
-        assert!(real.abs_diff(est) < 64, "estimate {est} vs encoded {real}");
+        assert!(NullSink.store(&chk).is_ok());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod metrics;
 pub mod process;
 pub mod work;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointSink, NullSink};
 pub use config::ProtocolConfig;
 pub use events::{Action, PEvent, PTimer};
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};

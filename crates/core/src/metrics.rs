@@ -134,6 +134,20 @@ pub struct TransportCounters {
     pub connect_waits: AtomicU64,
     /// Connections re-established after a drop (TCP transports only).
     pub reconnects: AtomicU64,
+    /// Problem-announce frames handed to the transport (root side of the
+    /// `--problem wire` handshake); one per peer per announce.
+    pub announces_sent: AtomicU64,
+    /// Problem-announce frames received and routed to the announce
+    /// channel.
+    pub announces_recv: AtomicU64,
+    /// Rejoin frames received: a peer came back under a new incarnation
+    /// and was (re)registered.
+    pub rejoins: AtomicU64,
+    /// Inbound frames dropped because they belonged to a stale
+    /// incarnation — addressed to this node's previous life, or sent by a
+    /// peer's previous life. A *receive*-side drop, so it is excluded from
+    /// [`TransportStats::dropped`] (which sums send-side drops).
+    pub dropped_stale: AtomicU64,
 }
 
 impl TransportCounters {
@@ -182,6 +196,26 @@ impl TransportCounters {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one announce frame handed to the transport.
+    pub fn record_announce_sent(&self) {
+        self.announces_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one announce frame received.
+    pub fn record_announce_recv(&self) {
+        self.announces_recv.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one rejoin frame received.
+    pub fn record_rejoin(&self) {
+        self.rejoins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an inbound frame dropped as belonging to a stale incarnation.
+    pub fn record_dropped_stale(&self) {
+        self.dropped_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain-value snapshot for reporting/serialization.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -195,6 +229,10 @@ impl TransportCounters {
             retried: self.retried.load(Ordering::Relaxed),
             connect_waits: self.connect_waits.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            announces_sent: self.announces_sent.load(Ordering::Relaxed),
+            announces_recv: self.announces_recv.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            dropped_stale: self.dropped_stale.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +260,15 @@ pub struct TransportStats {
     pub connect_waits: u64,
     /// Connections re-established after a drop.
     pub reconnects: u64,
+    /// Announce frames handed to the transport.
+    pub announces_sent: u64,
+    /// Announce frames received.
+    pub announces_recv: u64,
+    /// Rejoin frames received.
+    pub rejoins: u64,
+    /// Inbound frames dropped as stale-incarnation (receive-side; not
+    /// part of [`TransportStats::dropped`]).
+    pub dropped_stale: u64,
 }
 
 impl TransportStats {
@@ -264,6 +311,13 @@ mod tests {
         c.record_retried();
         c.record_connect_wait();
         c.record_reconnect();
+        c.record_announce_sent();
+        c.record_announce_sent();
+        c.record_announce_recv();
+        c.record_rejoin();
+        c.record_dropped_stale();
+        c.record_dropped_stale();
+        c.record_dropped_stale();
         let s = c.snapshot();
         assert_eq!(s.sent, 2);
         assert_eq!(s.sent_wire_bytes, 20);
@@ -274,6 +328,13 @@ mod tests {
         assert_eq!(s.connect_waits, 1);
         assert_eq!(s.attempts(), 7);
         assert_eq!(s.reconnects, 1);
+        assert_eq!(s.announces_sent, 2);
+        assert_eq!(s.announces_recv, 1);
+        assert_eq!(s.rejoins, 1);
+        assert_eq!(s.dropped_stale, 3);
+        // Stale drops are receive-side: they do not inflate the send-side
+        // drop total.
+        assert_eq!(s.dropped(), 5);
         assert!((s.encoding_overhead() - 2.0).abs() < 1e-12);
     }
 

@@ -1,9 +1,24 @@
-//! One node: a thread driving a [`BnbProcess`] with real time and an
-//! arbitrary [`Transport`] (in-process channels or real sockets).
+//! One node: a restorable [`NodeEngine`] driving a [`BnbProcess`] with real
+//! time and an arbitrary [`Transport`] (in-process channels or real
+//! sockets).
+//!
+//! The engine is the unit of the node *lifecycle*: it can be constructed
+//! fresh, or restored from a [`Checkpoint`] + problem binding, and it can
+//! emit periodic snapshots of its durable state through a
+//! [`CheckpointSink`] while it runs. Every engine belongs to one
+//! **incarnation** of its node — a fresh engine is incarnation 0, a
+//! restored engine is `checkpoint.incarnation + 1` — so transports can
+//! reject traffic from (or addressed to) a node's previous life.
+//! [`run_node`] remains as the one-shot convenience wrapper harnesses use
+//! when they want neither restore nor persistence.
 
 use crate::transport::{Envelope, Transport};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use ftbb_core::{Action, BnbProcess, Expander, PEvent, PTimer, ProcMetrics};
+use ftbb_bnb::AnyInstance;
+use ftbb_core::{
+    Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, NullSink, PEvent,
+    PTimer, ProcMetrics, ProtocolConfig,
+};
 use ftbb_des::SimTime;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -11,11 +26,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// What a node reports when its thread finishes.
+/// What a node reports when its engine finishes.
 #[derive(Debug, Clone)]
 pub struct NodeOutcome {
     /// Node id.
     pub id: u32,
+    /// Which life of the node produced this outcome (0 = first).
+    pub incarnation: u32,
     /// Did it detect termination (as opposed to being crashed)?
     pub terminated: bool,
     /// Its final incumbent.
@@ -41,134 +58,286 @@ impl CrashSwitch {
     }
 }
 
-/// Drive `core` until termination or crash. Returns the outcome
-/// (`None` if the node was crashed — crashed nodes report nothing).
+/// The node state machine between the protocol core and the harness: the
+/// timer wheel, the interleaving action pump, and — since the lifecycle
+/// refactor — the checkpoint/restore surface.
 ///
-/// The node is transport-agnostic: `transport` may be the in-process
-/// [`crate::Mesh`] or any other [`Transport`] (e.g. `ftbb-wire`'s TCP
-/// mesh), as long as `inbox` is the receiving end the transport routes
-/// this node's messages to.
+/// An engine is either *fresh* ([`NodeEngine::new`], incarnation 0) or
+/// *restored* ([`NodeEngine::restore`], next incarnation, state and
+/// problem binding from the checkpoint). [`NodeEngine::run`] drives it to
+/// termination, crash, or deadline; [`NodeEngine::run_with_sink`]
+/// additionally emits periodic snapshots a later incarnation can restore
+/// from.
+pub struct NodeEngine<E: Expander> {
+    core: BnbProcess,
+    expander: E,
+    incarnation: u32,
+    /// The materialized workload this engine is solving, when the
+    /// deployment binds one — embedded in emitted checkpoints so restore
+    /// needs no problem spec and no announce frame. Shared: snapshots on
+    /// a cadence must never deep-copy the workload.
+    problem: Option<Arc<AnyInstance>>,
+    /// Pending timers ordered by deadline; ties broken by arming order.
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    /// Actions awaiting execution, in emission order. They are executed
+    /// one per loop iteration — instead of burning the whole
+    /// `StartWork -> WorkDone -> StartWork …` chain in one go — so the
+    /// inbox and the timer wheel interleave with computation: a node busy
+    /// expanding its pool still answers work requests between expansions,
+    /// exactly as the paper's discrete-event model does. (A wave-draining
+    /// loop here used to starve the inbox until the pool was empty, which
+    /// is why the root solved most of the tree alone while its peers
+    /// starved into recovery.)
+    pending: VecDeque<Action>,
+    halted: bool,
+}
+
+impl NodeEngine<AnyExpander> {
+    /// Restore an engine from a checkpoint carrying a problem binding:
+    /// the durable protocol state comes back via [`BnbProcess::restore`],
+    /// the expander is rebuilt from the embedded instance, and the engine
+    /// starts its next life (`checkpoint.incarnation + 1`).
+    pub fn restore(
+        chk: &Checkpoint,
+        cfg: ProtocolConfig,
+        rng_seed: u64,
+    ) -> Result<NodeEngine<AnyExpander>, String> {
+        let problem = chk
+            .problem
+            .clone()
+            .ok_or("checkpoint carries no problem binding; cannot rebuild the expander")?;
+        let core = BnbProcess::restore(chk, cfg, rng_seed);
+        // One deep copy per restore (the expander owns its instance);
+        // the binding itself stays shared for the engine's lifetime.
+        let mut engine = NodeEngine::new(core, AnyExpander::new((*problem).clone()));
+        engine.incarnation = chk.incarnation + 1;
+        engine.problem = Some(problem);
+        Ok(engine)
+    }
+}
+
+impl<E: Expander> NodeEngine<E> {
+    /// A fresh engine (incarnation 0) around an unstarted (or restored —
+    /// see [`NodeEngine::restore`] for the usual path) process.
+    pub fn new(core: BnbProcess, expander: E) -> NodeEngine<E> {
+        NodeEngine {
+            core,
+            expander,
+            incarnation: 0,
+            problem: None,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            pending: VecDeque::new(),
+            halted: false,
+        }
+    }
+
+    /// Attach the materialized workload, so emitted checkpoints are
+    /// self-sufficient (restorable without a problem spec).
+    pub fn bind_problem(&mut self, problem: impl Into<Arc<AnyInstance>>) {
+        self.problem = Some(problem.into());
+    }
+
+    /// Which life of the node this engine is.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Snapshot the engine's durable state, tagged with its incarnation
+    /// and problem binding.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.core
+            .checkpoint()
+            .bind(self.incarnation, self.problem.clone())
+    }
+
+    /// Drive the engine until termination or crash, with no persistence.
+    /// Returns the outcome (`None` if the node was crashed — crashed
+    /// nodes report nothing).
+    pub fn run(
+        self,
+        transport: &dyn Transport,
+        inbox: Receiver<Envelope>,
+        crash: CrashSwitch,
+        hard_deadline: Duration,
+    ) -> Option<NodeOutcome> {
+        self.run_with_sink(transport, inbox, crash, hard_deadline, &mut NullSink, None)
+    }
+
+    /// Drive the engine until termination or crash, emitting a snapshot
+    /// through `sink` at startup, every `checkpoint_every` (when set),
+    /// and once more at clean exit. A failing sink is reported to stderr
+    /// and never stops the engine — a node that cannot persist keeps
+    /// computing; it merely loses restartability.
+    ///
+    /// The engine is transport-agnostic: `transport` may be the
+    /// in-process [`crate::Mesh`] or any other [`Transport`] (e.g.
+    /// `ftbb-wire`'s TCP mesh), as long as `inbox` is the receiving end
+    /// the transport routes this node's messages to.
+    pub fn run_with_sink(
+        mut self,
+        transport: &dyn Transport,
+        inbox: Receiver<Envelope>,
+        crash: CrashSwitch,
+        hard_deadline: Duration,
+        sink: &mut dyn CheckpointSink,
+        checkpoint_every: Option<Duration>,
+    ) -> Option<NodeOutcome> {
+        let id = self.core.id();
+        let epoch = Instant::now();
+        let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
+
+        self.pending
+            .extend(self.core.handle(PEvent::Start, now(epoch)));
+        // A process restored from a post-termination checkpoint is done
+        // already; it emitted its Halt in a previous life and will not
+        // emit another — without this, it would idle to the deadline.
+        self.halted |= self.core.is_terminated();
+        // An immediate snapshot bounds the restart hole: even a node
+        // killed moments after (re)starting leaves a restorable file.
+        let mut last_checkpoint = Instant::now();
+        if checkpoint_every.is_some() {
+            self.store_snapshot(sink);
+        }
+
+        loop {
+            if crash.is_crashed() {
+                return None;
+            }
+            if epoch.elapsed() > hard_deadline {
+                // Safety valve for tests: report as non-terminated.
+                break;
+            }
+
+            if let Some(action) = self.pending.pop_front() {
+                match action {
+                    Action::Send { to, msg } => transport.send(id, to, msg),
+                    Action::StartWork { code, seq } => {
+                        // Real computation happens here, inline.
+                        let expansion = self.expander.expand(&code);
+                        self.pending.extend(
+                            self.core
+                                .handle(PEvent::WorkDone { seq, expansion }, now(epoch)),
+                        );
+                    }
+                    Action::SetTimer { delay_s, timer } => {
+                        let at = now(epoch) + SimTime::from_secs_f64(delay_s);
+                        self.timers.push(Reverse(TimerEntry {
+                            at,
+                            seq: self.timer_seq,
+                            timer,
+                        }));
+                        self.timer_seq += 1;
+                    }
+                    Action::Halt => self.halted = true,
+                }
+                if !self.halted {
+                    // Between actions, fold in whatever has arrived —
+                    // without blocking; local work keeps priority over
+                    // idling.
+                    while let Ok(env) = inbox.try_recv() {
+                        self.pending.extend(self.core.handle(
+                            PEvent::Recv {
+                                from: env.from,
+                                msg: env.msg,
+                            },
+                            now(epoch),
+                        ));
+                    }
+                }
+            } else if self.halted {
+                break;
+            } else {
+                // Idle: block on the inbox until the next timer deadline.
+                let wait = match self.timers.peek() {
+                    Some(Reverse(entry)) => {
+                        let t = now(epoch);
+                        if entry.at <= t {
+                            Duration::ZERO
+                        } else {
+                            Duration::from_secs_f64((entry.at - t).as_secs_f64())
+                        }
+                    }
+                    None => Duration::from_millis(5),
+                };
+                match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
+                    Ok(env) => {
+                        self.pending.extend(self.core.handle(
+                            PEvent::Recv {
+                                from: env.from,
+                                msg: env.msg,
+                            },
+                            now(epoch),
+                        ));
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+
+            // Fire due timers. After a halt only the remaining actions are
+            // flushed (final sends); no new events are admitted.
+            if !self.halted {
+                loop {
+                    let due = matches!(self.timers.peek(), Some(Reverse(entry)) if entry.at <= now(epoch));
+                    if !due {
+                        break;
+                    }
+                    let Reverse(entry) = self.timers.pop().expect("peeked");
+                    self.pending
+                        .extend(self.core.handle(PEvent::Timer(entry.timer), now(epoch)));
+                }
+            }
+
+            if let Some(every) = checkpoint_every {
+                if last_checkpoint.elapsed() >= every {
+                    self.store_snapshot(sink);
+                    last_checkpoint = Instant::now();
+                }
+            }
+        }
+
+        // A final snapshot at clean exit, so a terminated node's file
+        // records the finished table (restores of it stay terminated).
+        if checkpoint_every.is_some() {
+            self.store_snapshot(sink);
+        }
+
+        Some(NodeOutcome {
+            id,
+            incarnation: self.incarnation,
+            terminated: self.core.is_terminated(),
+            incumbent: self.core.incumbent(),
+            metrics: self.core.metrics().clone(),
+            lifetime: epoch.elapsed(),
+        })
+    }
+
+    fn store_snapshot(&self, sink: &mut dyn CheckpointSink) {
+        if let Err(e) = sink.store(&self.checkpoint()) {
+            eprintln!(
+                "node {} (incarnation {}): checkpoint store failed: {e}",
+                self.core.id(),
+                self.incarnation
+            );
+        }
+    }
+}
+
+/// Drive `core` until termination or crash, with no restore and no
+/// persistence — the one-shot wrapper around a fresh [`NodeEngine`].
+/// Returns the outcome (`None` if the node was crashed — crashed nodes
+/// report nothing).
 pub fn run_node<E: Expander>(
-    mut core: BnbProcess,
-    mut expander: E,
+    core: BnbProcess,
+    expander: E,
     transport: &dyn Transport,
     inbox: Receiver<Envelope>,
     crash: CrashSwitch,
     hard_deadline: Duration,
 ) -> Option<NodeOutcome> {
-    let id = core.id();
-    let epoch = Instant::now();
-    let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
-
-    // Pending timers ordered by deadline; ties broken by arming order.
-    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
-    // Actions awaiting execution, in emission order. They are executed
-    // one per loop iteration — instead of burning the whole
-    // `StartWork -> WorkDone -> StartWork …` chain in one go — so the
-    // inbox and the timer wheel interleave with computation: a node busy
-    // expanding its pool still answers work requests between expansions,
-    // exactly as the paper's discrete-event model does. (A wave-draining
-    // loop here used to starve the inbox until the pool was empty, which
-    // is why the root solved most of the tree alone while its peers
-    // starved into recovery.)
-    let mut pending: VecDeque<Action> = VecDeque::new();
-    let mut halted = false;
-
-    pending.extend(core.handle(PEvent::Start, now(epoch)));
-
-    loop {
-        if crash.is_crashed() {
-            return None;
-        }
-        if epoch.elapsed() > hard_deadline {
-            // Safety valve for tests: report as non-terminated.
-            break;
-        }
-
-        if let Some(action) = pending.pop_front() {
-            match action {
-                Action::Send { to, msg } => transport.send(id, to, msg),
-                Action::StartWork { code, seq } => {
-                    // Real computation happens here, inline.
-                    let expansion = expander.expand(&code);
-                    pending.extend(core.handle(PEvent::WorkDone { seq, expansion }, now(epoch)));
-                }
-                Action::SetTimer { delay_s, timer } => {
-                    let at = now(epoch) + SimTime::from_secs_f64(delay_s);
-                    timers.push(Reverse(TimerEntry {
-                        at,
-                        seq: timer_seq,
-                        timer,
-                    }));
-                    timer_seq += 1;
-                }
-                Action::Halt => halted = true,
-            }
-            if !halted {
-                // Between actions, fold in whatever has arrived — without
-                // blocking; local work keeps priority over idling.
-                while let Ok(env) = inbox.try_recv() {
-                    pending.extend(core.handle(
-                        PEvent::Recv {
-                            from: env.from,
-                            msg: env.msg,
-                        },
-                        now(epoch),
-                    ));
-                }
-            }
-        } else if halted {
-            break;
-        } else {
-            // Idle: block on the inbox until the next timer deadline.
-            let wait = match timers.peek() {
-                Some(Reverse(entry)) => {
-                    let t = now(epoch);
-                    if entry.at <= t {
-                        Duration::ZERO
-                    } else {
-                        Duration::from_secs_f64((entry.at - t).as_secs_f64())
-                    }
-                }
-                None => Duration::from_millis(5),
-            };
-            match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
-                Ok(env) => {
-                    pending.extend(core.handle(
-                        PEvent::Recv {
-                            from: env.from,
-                            msg: env.msg,
-                        },
-                        now(epoch),
-                    ));
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        }
-
-        // Fire due timers. After a halt only the remaining actions are
-        // flushed (final sends); no new events are admitted.
-        if !halted {
-            loop {
-                let due = matches!(timers.peek(), Some(Reverse(entry)) if entry.at <= now(epoch));
-                if !due {
-                    break;
-                }
-                let Reverse(entry) = timers.pop().expect("peeked");
-                pending.extend(core.handle(PEvent::Timer(entry.timer), now(epoch)));
-            }
-        }
-    }
-
-    Some(NodeOutcome {
-        id,
-        terminated: core.is_terminated(),
-        incumbent: core.incumbent(),
-        metrics: core.metrics().clone(),
-        lifetime: epoch.elapsed(),
-    })
+    NodeEngine::new(core, expander).run(transport, inbox, crash, hard_deadline)
 }
 
 /// A pending timer in the heap: ordered by `(at, seq)` — and *equal* by
@@ -205,6 +374,8 @@ impl Ord for TimerEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Mesh;
+    use ftbb_bnb::{solve, AnyInstance, Correlation, KnapsackInstance, SolveConfig};
 
     #[test]
     fn timer_entries_compare_consistently() {
@@ -269,5 +440,134 @@ mod tests {
                 (SimTime::from_millis(9), 0, PTimer::TableGossip),
             ]
         );
+    }
+
+    /// A sink that remembers every snapshot it was handed.
+    #[derive(Default)]
+    struct VecSink(Vec<Checkpoint>);
+
+    impl CheckpointSink for VecSink {
+        fn store(&mut self, chk: &Checkpoint) -> Result<(), String> {
+            self.0.push(chk.clone());
+            Ok(())
+        }
+    }
+
+    fn tiny_instance() -> AnyInstance {
+        AnyInstance::from(KnapsackInstance::generate(
+            12,
+            40,
+            Correlation::Uncorrelated,
+            0.5,
+            5,
+        ))
+    }
+
+    fn engine_for(instance: &AnyInstance) -> NodeEngine<AnyExpander> {
+        let expander = AnyExpander::new(instance.clone());
+        let core = BnbProcess::new(
+            0,
+            vec![0],
+            ProtocolConfig::default(),
+            expander.root_bound(),
+            true,
+            3,
+        );
+        let mut engine = NodeEngine::new(core, expander);
+        engine.bind_problem(instance.clone());
+        engine
+    }
+
+    #[test]
+    fn single_node_engine_solves_and_emits_bound_checkpoints() {
+        let instance = tiny_instance();
+        let reference = solve(&instance, &SolveConfig::default());
+        let engine = engine_for(&instance);
+        assert_eq!(engine.incarnation(), 0);
+
+        let (mesh, mut inboxes) = Mesh::new(1);
+        let mut sink = VecSink::default();
+        let outcome = engine
+            .run_with_sink(
+                &mesh,
+                inboxes.pop().unwrap(),
+                CrashSwitch::default(),
+                Duration::from_secs(30),
+                &mut sink,
+                Some(Duration::from_millis(1)),
+            )
+            .expect("not crashed");
+        assert!(outcome.terminated);
+        assert_eq!(outcome.incarnation, 0);
+        assert_eq!(Some(outcome.incumbent), reference.best);
+
+        // At least the startup and exit snapshots, all bound and all
+        // restorable (encode/decode round trip).
+        assert!(sink.0.len() >= 2, "{} snapshots", sink.0.len());
+        for chk in &sink.0 {
+            assert_eq!(chk.incarnation, 0);
+            assert_eq!(chk.problem.as_deref(), Some(&instance));
+            assert_eq!(&Checkpoint::decode(&chk.encode()).unwrap(), chk);
+        }
+        // The final snapshot records the finished search.
+        let last = sink.0.last().unwrap();
+        assert_eq!(Some(last.incumbent), reference.best);
+    }
+
+    #[test]
+    fn restored_engine_finishes_the_interrupted_search() {
+        let instance = tiny_instance();
+        let reference = solve(&instance, &SolveConfig::default());
+
+        // First life: crash immediately, keeping only the startup
+        // snapshot (root in pool, nothing solved).
+        let engine = engine_for(&instance);
+        let (mesh, mut inboxes) = Mesh::new(1);
+        let mut sink = VecSink::default();
+        let crash = CrashSwitch::default();
+        crash.crash();
+        let outcome = engine.run_with_sink(
+            &mesh,
+            inboxes.pop().unwrap(),
+            crash,
+            Duration::from_secs(30),
+            &mut sink,
+            Some(Duration::from_millis(1)),
+        );
+        assert!(outcome.is_none(), "crashed engines report nothing");
+        let chk = sink.0.first().expect("startup snapshot exists").clone();
+        assert!(
+            Checkpoint::decode(&chk.encode()).is_ok(),
+            "snapshot survives persistence"
+        );
+
+        // Second life: restored from the snapshot, next incarnation,
+        // solves to the sequential optimum with no problem spec in sight.
+        let engine =
+            NodeEngine::restore(&chk, ProtocolConfig::default(), 9).expect("bound checkpoint");
+        assert_eq!(engine.incarnation(), 1);
+        let (mesh, mut inboxes) = Mesh::new(1);
+        let outcome = engine
+            .run(
+                &mesh,
+                inboxes.pop().unwrap(),
+                CrashSwitch::default(),
+                Duration::from_secs(30),
+            )
+            .expect("not crashed");
+        assert!(outcome.terminated);
+        assert_eq!(outcome.incarnation, 1);
+        assert_eq!(Some(outcome.incumbent), reference.best);
+    }
+
+    #[test]
+    fn restore_without_binding_is_refused() {
+        let core = BnbProcess::new(0, vec![0], ProtocolConfig::default(), 0.0, true, 1);
+        let chk = core.checkpoint(); // bare: no problem binding
+        let err = match NodeEngine::restore(&chk, ProtocolConfig::default(), 1) {
+            Err(e) => e,
+            Ok(_) => panic!("bare checkpoint must not restore into an engine"),
+        };
+        assert!(err.contains("problem binding"), "{err}");
     }
 }

@@ -307,6 +307,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// `Arc<T>` encodes exactly as `T` (sharing is a process-local concern,
+/// not a wire one) — so a field can switch between owned and shared
+/// without changing its encoding.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (**self).ser(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn de(r: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(std::sync::Arc::new(T::de(r)?))
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn ser(&self, out: &mut Vec<u8>) {
         (self.len() as u32).ser(out);
@@ -352,6 +367,15 @@ mod tests {
         let mut bytes = encode(&5u8);
         bytes.push(0);
         assert!(decode::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn arc_encodes_as_its_inner_value() {
+        let owned: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        let shared: Option<std::sync::Arc<Vec<u32>>> = Some(std::sync::Arc::new(vec![1, 2, 3]));
+        assert_eq!(encode(&owned), encode(&shared));
+        let back: Option<std::sync::Arc<Vec<u32>>> = decode(&encode(&owned)).unwrap();
+        assert_eq!(back, shared);
     }
 
     #[test]

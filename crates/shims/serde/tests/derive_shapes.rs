@@ -119,6 +119,52 @@ fn variant_tags_are_stable_and_invalid_tags_rejected() {
     assert!(decode::<Tagged>(&bytes).is_err());
 }
 
+/// The `RejoinSummary` shape (ftbb-wire's rejoin frame payload): a flat
+/// struct of floats and counters, encoded next to a `String` address —
+/// the exact field mix the rejoin handshake writes. No shim growth was
+/// needed for it; this pins the encoding it relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RejoinShaped {
+    incumbent: f64,
+    table_codes: u32,
+    pool_len: u32,
+}
+
+#[test]
+fn rejoin_shaped_payloads_round_trip_next_to_strings() {
+    for (summary, addr) in [
+        (
+            RejoinShaped {
+                incumbent: -127.25,
+                table_codes: 4096,
+                pool_len: 0,
+            },
+            "127.0.0.1:45107",
+        ),
+        (
+            RejoinShaped {
+                incumbent: f64::INFINITY,
+                table_codes: 0,
+                pool_len: u32::MAX,
+            },
+            "[::1]:1",
+        ),
+    ] {
+        // Encoded exactly as the rejoin frame lays it out: address
+        // string, then the summary struct.
+        let mut bytes = Vec::new();
+        addr.to_string().ser(&mut bytes);
+        summary.ser(&mut bytes);
+
+        let mut r = bytes.as_slice();
+        let got_addr = String::de(&mut r).expect("address decodes");
+        let got_summary = RejoinShaped::de(&mut r).expect("summary decodes");
+        assert!(r.is_empty(), "nothing may trail the summary");
+        assert_eq!(got_addr, addr);
+        assert_eq!(got_summary, summary);
+    }
+}
+
 #[test]
 fn truncated_payloads_error_cleanly() {
     for value in samples() {

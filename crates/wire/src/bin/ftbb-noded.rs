@@ -66,6 +66,18 @@ FLAGS (override --config values):
     --crash-at-s SECS             abort() after SECS (crash injection)
     --seed N                      protocol RNG seed
 
+LIFECYCLE (checkpoint persistence and restart/rejoin):
+    --checkpoint-dir DIR          persist snapshots to DIR/node-<id>.ckpt
+                                  (atomic write-rename; at startup, every
+                                  cadence tick, and at clean exit)
+    --checkpoint-every-s SECS     snapshot cadence (default 0.5)
+    --resume                      restore DIR/node-<id>.ckpt instead of
+                                  starting fresh: come back as the next
+                                  incarnation, take the problem binding
+                                  from the checkpoint (--problem* flags
+                                  are ignored), and send a rejoin frame
+                                  so peers re-register this node
+
 PROBLEM (tagged; --problem selects the kind, the rest are per-kind):
     --problem KIND                knapsack | maxsat | tree-file | wire
                                   (default knapsack; `wire` receives the

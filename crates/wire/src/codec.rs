@@ -9,16 +9,29 @@
 //! ```
 //!
 //! (all little-endian). The payload starts with one *kind* byte:
-//! [`PAYLOAD_PROTOCOL`] frames carry the binary serde encoding of
-//! `(from, msg)` — the same [`Envelope`] the in-process mesh routes —
-//! and [`PAYLOAD_ANNOUNCE`] frames carry `(from, AnyInstance)`, the
-//! problem announce a root sends so peers started with `--problem wire`
-//! can solve an instance they never had locally. The decoder is
-//! **fuzz-resistant**: arbitrary bytes fed to [`FrameDecoder`] produce
-//! frames or [`WireError`]s, never panics or unbounded allocations
-//! (payload length is bounded by [`MAX_FRAME_PAYLOAD`], the checksum
-//! rejects corruption before the payload decoder runs, and decoded
-//! instances are re-validated structurally).
+//!
+//! * [`PAYLOAD_PROTOCOL`] frames carry the binary serde encoding of
+//!   `(from, from_incarnation, to_incarnation, msg)` — the routed
+//!   [`Envelope`] plus the **incarnation tags** the lifecycle refactor
+//!   added: the sender stamps which of its own lives produced the frame
+//!   and which life of the destination it believes it is talking to, so
+//!   receivers can reject traffic from (or addressed to) a previous life
+//!   as stale instead of delivering it to the wrong incarnation.
+//! * [`PAYLOAD_ANNOUNCE`] frames carry `(from, incarnation, AnyInstance)`,
+//!   the problem announce a root sends so peers started with
+//!   `--problem wire` can solve an instance they never had locally.
+//! * [`PAYLOAD_REJOIN`] frames carry a [`RejoinFrame`]: a restarted node's
+//!   (id, new incarnation, new listen address, resume summary). Receivers
+//!   re-register the peer — new writer if the address moved, bumped
+//!   incarnation either way — which is how a node killed and restored
+//!   from a checkpoint re-enters a live mesh.
+//!
+//! The decoder is **fuzz-resistant**: arbitrary bytes fed to
+//! [`FrameDecoder`] produce frames or [`WireError`]s, never panics or
+//! unbounded allocations (payload length is bounded by
+//! [`MAX_FRAME_PAYLOAD`], the checksum rejects corruption before the
+//! payload decoder runs, and decoded instances are re-validated
+//! structurally).
 //!
 //! Per-message size accounting reuses the protocol's own bookkeeping:
 //! [`encode_frame`] reports both the *estimated* protocol bytes
@@ -38,20 +51,25 @@ use ftbb_core::Msg;
 use ftbb_runtime::Envelope;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::net::SocketAddr;
 
 /// Frame magic: `"FTWB"` (ftbb wire, binary).
 pub const MAGIC: u32 = 0x4654_5742;
 
 /// Codec version; bumped on any payload-format change. Decoders reject
 /// frames from other versions rather than guessing. (v2 added the
-/// payload kind byte and the problem-announce frame.)
-pub const VERSION: u16 = 2;
+/// payload kind byte and the problem-announce frame; v3 added the
+/// incarnation tags and the rejoin frame.)
+pub const VERSION: u16 = 3;
 
 /// Payload kind byte of a protocol envelope frame.
 pub const PAYLOAD_PROTOCOL: u8 = 0;
 
 /// Payload kind byte of a problem-announce frame.
 pub const PAYLOAD_ANNOUNCE: u8 = 1;
+
+/// Payload kind byte of a rejoin frame.
+pub const PAYLOAD_REJOIN: u8 = 2;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 4 + 2 + 4 + 4;
@@ -112,29 +130,69 @@ pub fn checksum(data: &[u8]) -> u32 {
     h
 }
 
-/// Everything a frame can carry: a routed protocol message, or the
-/// workload handshake that precedes the protocol.
+/// What a rejoining node tells the mesh about the state it resumed from —
+/// operator-facing context for the rejoin log line, not protocol input
+/// (the protocol recovers knowledge through reports and gossip as usual).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejoinSummary {
+    /// Best-known solution at the restored checkpoint.
+    pub incumbent: f64,
+    /// Contracted codes in the restored completion table.
+    pub table_codes: u32,
+    /// Subproblems in the restored pool.
+    pub pool_len: u32,
+}
+
+/// The rejoin handshake: a node restored from a checkpoint announcing its
+/// new life to a live mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejoinFrame {
+    /// The rejoining node's id.
+    pub from: u32,
+    /// Its new incarnation (`checkpoint.incarnation + 1`).
+    pub incarnation: u32,
+    /// Where its new listener lives (a restarted daemon may come back on
+    /// a different port).
+    pub addr: SocketAddr,
+    /// What it resumed from.
+    pub summary: RejoinSummary,
+}
+
+/// Everything a frame can carry: a routed protocol message, or one of the
+/// two lifecycle handshakes (problem announce, rejoin).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireFrame {
     /// A routed protocol message (the steady-state traffic).
-    Protocol(Envelope),
+    Protocol {
+        /// The routed message.
+        env: Envelope,
+        /// Which of the sender's lives produced this frame.
+        from_incarnation: u32,
+        /// Which life of the destination the sender believes it is
+        /// talking to.
+        to_incarnation: u32,
+    },
     /// A problem announce: the sender's materialized workload, shipped
     /// before `Start` so `--problem wire` peers can join a computation
     /// whose instance they never generated.
     Announce {
         /// Announcing node's id.
         from: u32,
+        /// Announcing node's incarnation.
+        incarnation: u32,
         /// The materialized (validated) workload.
         instance: AnyInstance,
     },
+    /// A restarted node re-entering the mesh under a new incarnation.
+    Rejoin(RejoinFrame),
 }
 
 impl WireFrame {
     /// The protocol envelope, if this is a protocol frame.
     pub fn into_envelope(self) -> Option<Envelope> {
         match self {
-            WireFrame::Protocol(env) => Some(env),
-            WireFrame::Announce { .. } => None,
+            WireFrame::Protocol { env, .. } => Some(env),
+            WireFrame::Announce { .. } | WireFrame::Rejoin(_) => None,
         }
     }
 }
@@ -162,7 +220,8 @@ impl EncodedFrame {
     }
 }
 
-/// Encode one envelope into a frame.
+/// Encode one envelope into a frame, stamped with the sender's
+/// incarnation and the destination incarnation the sender believes in.
 ///
 /// Frames whose payload exceeds [`MAX_FRAME_PAYLOAD`] are still encoded
 /// (the caller owns the policy), but every receiver will reject them as
@@ -170,10 +229,12 @@ impl EncodedFrame {
 /// [`EncodedFrame::exceeds_limit`] and drop such messages instead of
 /// transmitting them (the TCP mesh does, counting them as full-queue
 /// drops).
-pub fn encode_frame(env: &Envelope) -> EncodedFrame {
-    let mut payload = Vec::with_capacity(9 + env.msg.wire_size());
+pub fn encode_frame(env: &Envelope, from_incarnation: u32, to_incarnation: u32) -> EncodedFrame {
+    let mut payload = Vec::with_capacity(17 + env.msg.wire_size());
     payload.push(PAYLOAD_PROTOCOL);
     env.from.ser(&mut payload);
+    from_incarnation.ser(&mut payload);
+    to_incarnation.ser(&mut payload);
     env.msg.ser(&mut payload);
     frame_bytes(payload, env.msg.wire_size())
 }
@@ -181,11 +242,25 @@ pub fn encode_frame(env: &Envelope) -> EncodedFrame {
 /// Encode a problem-announce frame. The announce is a handshake, not
 /// protocol traffic, so its `wire_size` accounting is simply the payload
 /// length (there is no protocol-level estimate to compare against).
-pub fn encode_announce(from: u32, instance: &AnyInstance) -> EncodedFrame {
+pub fn encode_announce(from: u32, incarnation: u32, instance: &AnyInstance) -> EncodedFrame {
     let mut payload = Vec::new();
     payload.push(PAYLOAD_ANNOUNCE);
     from.ser(&mut payload);
+    incarnation.ser(&mut payload);
     instance.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Encode a rejoin frame. Like the announce, it is a handshake: its
+/// `wire_size` accounting is the payload length.
+pub fn encode_rejoin(rejoin: &RejoinFrame) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_REJOIN);
+    rejoin.from.ser(&mut payload);
+    rejoin.incarnation.ser(&mut payload);
+    rejoin.addr.to_string().ser(&mut payload);
+    rejoin.summary.ser(&mut payload);
     let wire = payload.len();
     frame_bytes(payload, wire)
 }
@@ -280,24 +355,50 @@ impl FrameDecoder {
             return Err(WireError::Checksum { expected, actual });
         }
         let mut r = payload;
-        let kind = serde::read_u8(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+        let bad = |e: serde::DecodeError| WireError::Payload(e.to_string());
+        let kind = serde::read_u8(&mut r).map_err(bad)?;
         let frame = match kind {
             PAYLOAD_PROTOCOL => {
-                let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
-                let msg = Msg::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
-                WireFrame::Protocol(Envelope { from, msg })
+                let from = u32::de(&mut r).map_err(bad)?;
+                let from_incarnation = u32::de(&mut r).map_err(bad)?;
+                let to_incarnation = u32::de(&mut r).map_err(bad)?;
+                let msg = Msg::de(&mut r).map_err(bad)?;
+                WireFrame::Protocol {
+                    env: Envelope { from, msg },
+                    from_incarnation,
+                    to_incarnation,
+                }
             }
             PAYLOAD_ANNOUNCE => {
-                let from = u32::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
-                let instance =
-                    AnyInstance::de(&mut r).map_err(|e| WireError::Payload(e.to_string()))?;
+                let from = u32::de(&mut r).map_err(bad)?;
+                let incarnation = u32::de(&mut r).map_err(bad)?;
+                let instance = AnyInstance::de(&mut r).map_err(bad)?;
                 // The serde derive decodes structure, not invariants; an
                 // instance off the network must also be *valid* before
                 // the expander is allowed to trust it.
                 instance
                     .validate()
                     .map_err(|e| WireError::Payload(format!("invalid announced instance: {e}")))?;
-                WireFrame::Announce { from, instance }
+                WireFrame::Announce {
+                    from,
+                    incarnation,
+                    instance,
+                }
+            }
+            PAYLOAD_REJOIN => {
+                let from = u32::de(&mut r).map_err(bad)?;
+                let incarnation = u32::de(&mut r).map_err(bad)?;
+                let addr = String::de(&mut r).map_err(bad)?;
+                let addr: SocketAddr = addr
+                    .parse()
+                    .map_err(|_| WireError::Payload(format!("bad rejoin address `{addr}`")))?;
+                let summary = RejoinSummary::de(&mut r).map_err(bad)?;
+                WireFrame::Rejoin(RejoinFrame {
+                    from,
+                    incarnation,
+                    addr,
+                    summary,
+                })
             }
             other => {
                 return Err(WireError::Payload(format!(
@@ -331,29 +432,87 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let frame = encode_frame(&sample());
+        let frame = encode_frame(&sample(), 2, 5);
         assert_eq!(frame.wire_size, 9);
         assert_eq!(frame.encoded_len(), frame.bytes.len());
-        let back = decode_frame(&frame.bytes).unwrap();
-        let env = back.into_envelope().expect("protocol frame");
-        assert_eq!(env.from, 3);
-        assert_eq!(env.msg, sample().msg);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::Protocol {
+                env,
+                from_incarnation,
+                to_incarnation,
+            } => {
+                assert_eq!(env.from, 3);
+                assert_eq!(env.msg, sample().msg);
+                assert_eq!(from_incarnation, 2);
+                assert_eq!(to_incarnation, 5);
+            }
+            other => panic!("expected protocol frame, got {other:?}"),
+        }
     }
 
     #[test]
     fn announce_frame_round_trip() {
         let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 3));
-        let frame = encode_announce(7, &instance);
+        let frame = encode_announce(7, 4, &instance);
         assert!(!frame.exceeds_limit());
         match decode_frame(&frame.bytes).unwrap() {
             WireFrame::Announce {
                 from,
+                incarnation,
                 instance: got,
             } => {
                 assert_eq!(from, 7);
+                assert_eq!(incarnation, 4);
                 assert_eq!(got, instance);
             }
             other => panic!("expected announce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejoin_frame_round_trip() {
+        let rejoin = RejoinFrame {
+            from: 2,
+            incarnation: 3,
+            addr: "127.0.0.1:45107".parse().unwrap(),
+            summary: RejoinSummary {
+                incumbent: -12.5,
+                table_codes: 7,
+                pool_len: 4,
+            },
+        };
+        let frame = encode_rejoin(&rejoin);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::Rejoin(got) => assert_eq!(got, rejoin),
+            other => panic!("expected rejoin, got {other:?}"),
+        }
+        // A rejoin is a handshake, not protocol traffic.
+        assert_eq!(decode_frame(&frame.bytes).unwrap().into_envelope(), None);
+    }
+
+    #[test]
+    fn rejoin_with_bad_address_is_rejected() {
+        let rejoin = RejoinFrame {
+            from: 2,
+            incarnation: 1,
+            addr: "127.0.0.1:45107".parse().unwrap(),
+            summary: RejoinSummary {
+                incumbent: 0.0,
+                table_codes: 0,
+                pool_len: 0,
+            },
+        };
+        // Re-encode by hand with a garbage address string.
+        let mut payload = vec![PAYLOAD_REJOIN];
+        rejoin.from.ser(&mut payload);
+        rejoin.incarnation.ser(&mut payload);
+        "not-an-addr".to_string().ser(&mut payload);
+        rejoin.summary.ser(&mut payload);
+        let wire = payload.len();
+        let frame = frame_bytes(payload, wire);
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("rejoin address"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
         }
     }
 
@@ -363,7 +522,7 @@ mod tests {
         // constructor's asserts: the decoder must refuse it.
         let mut m = ftbb_bnb::MaxSatInstance::generate(4, 8, 1);
         m.clauses[0].literals.clear();
-        let frame = encode_announce(0, &ftbb_bnb::AnyInstance::MaxSat(m));
+        let frame = encode_announce(0, 0, &ftbb_bnb::AnyInstance::MaxSat(m));
         match decode_frame(&frame.bytes) {
             Err(WireError::Payload(e)) => assert!(e.contains("invalid announced instance"), "{e}"),
             other => panic!("expected payload error, got {other:?}"),
@@ -381,7 +540,7 @@ mod tests {
 
     #[test]
     fn split_reads_reassemble() {
-        let frame = encode_frame(&sample());
+        let frame = encode_frame(&sample(), 0, 0);
         let mut dec = FrameDecoder::new();
         for chunk in frame.bytes.chunks(3) {
             dec.push(chunk);
@@ -396,12 +555,16 @@ mod tests {
         let mut stream = Vec::new();
         for i in 0..5u32 {
             stream.extend_from_slice(
-                &encode_frame(&Envelope {
-                    from: i,
-                    msg: Msg::WorkDeny {
-                        incumbent: i as f64,
+                &encode_frame(
+                    &Envelope {
+                        from: i,
+                        msg: Msg::WorkDeny {
+                            incumbent: i as f64,
+                        },
                     },
-                })
+                    0,
+                    0,
+                )
                 .bytes,
             );
         }
@@ -418,7 +581,7 @@ mod tests {
 
     #[test]
     fn corruption_is_an_error_not_a_panic() {
-        let frame = encode_frame(&sample()).bytes;
+        let frame = encode_frame(&sample(), 1, 2).bytes;
         for i in 0..frame.len() {
             let mut bad = frame.clone();
             bad[i] ^= 0xA5;
@@ -429,6 +592,21 @@ mod tests {
                 // A flip inside the length field can make the frame claim
                 // more payload than provided: legitimately "need more".
                 Ok(None) => assert!((6..10).contains(&i), "byte {i} silently pended"),
+                Ok(Some(WireFrame::Protocol {
+                    env,
+                    from_incarnation,
+                    to_incarnation,
+                })) => {
+                    // Incarnation tags are outside the checksum-protected
+                    // message, but inside the checksummed payload — a flip
+                    // there must have been caught. If the frame decoded,
+                    // everything must be intact (i.e. unreachable).
+                    assert!(
+                        env == sample() && from_incarnation == 1 && to_incarnation == 2,
+                        "corrupt byte {i} decoded to different data"
+                    );
+                    panic!("corrupt byte {i} decoded successfully");
+                }
                 Ok(Some(_)) => panic!("corrupt byte {i} decoded successfully"),
             }
         }
@@ -448,7 +626,7 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let mut frame = encode_frame(&sample()).bytes;
+        let mut frame = encode_frame(&sample(), 0, 0).bytes;
         frame[4] = 0xFE;
         frame[5] = 0xFF;
         let mut dec = FrameDecoder::new();

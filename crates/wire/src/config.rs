@@ -433,6 +433,18 @@ pub struct NodeConfig {
     /// lines terminated by `start`. This is how the launcher wires a
     /// `--listen 127.0.0.1:0` cluster without pre-allocating ports.
     pub peers_from_stdin: bool,
+    /// Directory for checkpoint snapshots (`node-<id>.ckpt`, written
+    /// atomically via write-rename). `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in seconds (only meaningful with a checkpoint
+    /// directory; an extra snapshot is always written at startup and at
+    /// clean exit).
+    pub checkpoint_every_s: f64,
+    /// Restore state from `checkpoint_dir/node-<id>.ckpt` instead of
+    /// starting fresh: the node comes back under the next incarnation,
+    /// takes its problem binding from the checkpoint (any `--problem*`
+    /// flags are ignored), and announces its rejoin to the peers.
+    pub resume: bool,
 }
 
 impl Default for NodeConfig {
@@ -447,6 +459,9 @@ impl Default for NodeConfig {
             seed: 1,
             preconnect_s: 5.0,
             peers_from_stdin: false,
+            checkpoint_dir: None,
+            checkpoint_every_s: 0.5,
+            resume: false,
         }
     }
 }
@@ -478,6 +493,12 @@ impl NodeConfig {
         }
         if !self.preconnect_s.is_finite() || self.preconnect_s < 0.0 {
             return err("preconnect_s must be a non-negative number");
+        }
+        if !(self.checkpoint_every_s.is_finite() && self.checkpoint_every_s > 0.0) {
+            return err("checkpoint_every_s must be a positive number");
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return err("--resume needs --checkpoint-dir to know where the snapshot lives");
         }
         self.problem.validate()?;
         if self.problem == ProblemSpec::Wire && self.peers.is_empty() && !self.peers_from_stdin {
@@ -663,6 +684,12 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
                 TomlValue::Bool(b) => cfg.peers_from_stdin = *b,
                 _ => return err("`peers_from_stdin` must be a boolean"),
             },
+            "checkpoint_dir" => cfg.checkpoint_dir = Some(PathBuf::from(value.as_str(key)?)),
+            "checkpoint_every_s" => cfg.checkpoint_every_s = value.as_f64(key)?,
+            "resume" => match value {
+                TomlValue::Bool(b) => cfg.resume = *b,
+                _ => return err("`resume` must be a boolean"),
+            },
             "problem.kind" => problem.kind = Some(value.as_str(key)?.to_string()),
             "problem.n" => problem.n = Some(value.as_u64(key)? as usize),
             "problem.range" => problem.range = Some(value.as_u64(key)?),
@@ -771,6 +798,19 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
             }
             "--peers-from-stdin" => {
                 cfg.peers_from_stdin = true;
+                i += 1; // flag takes no value
+                continue;
+            }
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = Some(PathBuf::from(take("--checkpoint-dir")?));
+            }
+            "--checkpoint-every-s" => {
+                cfg.checkpoint_every_s = take("--checkpoint-every-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --checkpoint-every-s".into()))?;
+            }
+            "--resume" => {
+                cfg.resume = true;
                 i += 1; // flag takes no value
                 continue;
             }
@@ -1126,6 +1166,39 @@ seed = 11
         assert!(parse_config("preconnect_s = -0.5").is_err());
         assert!(parse_config("peers_from_stdin = 3").is_err());
         assert!(parse_config("[problem]\ncorrelation = \"psychic\"").is_err());
+    }
+
+    #[test]
+    fn parses_lifecycle_options() {
+        let cfg = parse_config(
+            "checkpoint_dir = \"/tmp/ckpts\"\ncheckpoint_every_s = 0.25\nresume = true\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.checkpoint_dir, Some(PathBuf::from("/tmp/ckpts")));
+        assert_eq!(cfg.checkpoint_every_s, 0.25);
+        assert!(cfg.resume);
+
+        let args: Vec<String> = [
+            "--checkpoint-dir",
+            "/tmp/elsewhere",
+            "--checkpoint-every-s",
+            "1.5",
+            "--resume",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.checkpoint_dir, Some(PathBuf::from("/tmp/elsewhere")));
+        assert_eq!(cfg.checkpoint_every_s, 1.5);
+        assert!(cfg.resume);
+
+        // Resume without a checkpoint directory has nothing to resume
+        // from; a non-positive cadence would never snapshot.
+        assert!(parse_config("resume = true\n").is_err());
+        assert!(parse_config("checkpoint_every_s = 0\n").is_err());
+        assert!(parse_config("checkpoint_every_s = -2\n").is_err());
+        assert!(parse_config("resume = 3\n").is_err());
     }
 
     #[test]

@@ -1,18 +1,27 @@
 //! Loopback cluster launcher: spawn one `ftbb-noded` OS process per node,
-//! SIGKILL a subset mid-run, and collect survivors' outcomes.
+//! execute a **lifecycle plan** (SIGKILLs and checkpoint restarts)
+//! mid-run, and collect the outcomes.
 //!
 //! This is the crate's reason to exist: the paper's fault-tolerance claim
 //! exercised against *real* process death. A SIGKILLed node flushes
 //! nothing, closes its sockets mid-frame, and leaves its last work grant
 //! unreported — exactly the failure the complement-recovery mechanism
-//! (§5.3.2) must absorb.
+//! (§5.3.2) must absorb. The lifecycle plan adds the paper's target
+//! environment's other half — nodes *returning*: a killed node can be
+//! restarted from its checkpoint (`--resume`), rejoin the live cluster
+//! under a new incarnation, and contribute expansions again.
 //!
 //! Wiring is race-free: every node is spawned with `--listen 127.0.0.1:0
 //! --peers-from-stdin`, binds its own port, and announces it on a
 //! machine-parseable `FTBB-READY` line; the launcher collects the lines
 //! and writes the full peer map back over each node's stdin. No port is
 //! ever reserved-then-released (the old `allocate_ports` race), and the
-//! kill-plan clock starts only once every node has been wired.
+//! lifecycle clock starts only once every node has been wired. Restarts
+//! rebind the node's *original* address (its peers keep their rosters),
+//! and hold the `start` release for [`REJOIN_SETTLE`] — the rebound
+//! listener sits silent, like a slow workstation coming back, while
+//! peers' traffic addressed to the previous incarnation lands and is
+//! counted off as stale.
 
 use crate::config::ProblemSpec;
 use crate::noded::{parse_outcome_line, parse_ready_line, ParsedOutcome};
@@ -23,6 +32,54 @@ use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::time::{Duration, Instant};
 
+/// One step of a cluster's lifecycle plan, timed from wiring completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// SIGKILL the node: no cleanup, no flush, sockets die mid-frame.
+    Kill {
+        /// The node to kill.
+        node: u32,
+        /// Delay from wiring completion.
+        at: Duration,
+    },
+    /// Restart a previously killed node from its checkpoint
+    /// (`--resume`): it rebinds its original address, restores
+    /// `node-<id>.ckpt`, and rejoins under the next incarnation.
+    /// Requires [`ClusterSpec::checkpoint_dir`].
+    Restart {
+        /// The node to restart.
+        node: u32,
+        /// Delay from wiring completion.
+        at: Duration,
+    },
+}
+
+impl LifecycleEvent {
+    /// A kill step.
+    pub fn kill(node: u32, at: Duration) -> LifecycleEvent {
+        LifecycleEvent::Kill { node, at }
+    }
+
+    /// A restart-from-checkpoint step.
+    pub fn restart(node: u32, at: Duration) -> LifecycleEvent {
+        LifecycleEvent::Restart { node, at }
+    }
+
+    fn at(&self) -> Duration {
+        match *self {
+            LifecycleEvent::Kill { at, .. } | LifecycleEvent::Restart { at, .. } => at,
+        }
+    }
+}
+
+/// How long a restarted node's bound-but-silent listener lingers before
+/// the launcher releases it with `start`: the settle window in which
+/// peers' traffic tagged for the previous incarnation piles into the
+/// backlog and is then counted off as stale — the slow-rejoining
+/// workstation of the paper's adaptive-pool environment, made
+/// reproducible.
+pub const REJOIN_SETTLE: Duration = Duration::from_millis(300);
+
 /// A loopback cluster to launch.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -31,9 +88,9 @@ pub struct ClusterSpec {
     pub noded: PathBuf,
     /// Number of nodes.
     pub nodes: u32,
-    /// Kill plan: `(node, delay from wiring completion)` — delivered as
-    /// SIGKILL once every node has its peer map.
-    pub kill: Vec<(u32, Duration)>,
+    /// Lifecycle plan: kills and checkpoint restarts, executed in time
+    /// order once every node has its peer map.
+    pub lifecycle: Vec<LifecycleEvent>,
     /// Config-driven crash plan: `(node, seconds after its start)` —
     /// passed to the node as `--crash-at-s`, so the process `abort()`s
     /// itself instead of being killed externally.
@@ -46,6 +103,12 @@ pub struct ClusterSpec {
     /// learns the materialized instance from node 0's announce frame —
     /// peers solve a workload they never had locally.
     pub wire_peers: bool,
+    /// Checkpoint directory passed to every node (`--checkpoint-dir`);
+    /// required for `Restart` lifecycle steps.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in seconds (`--checkpoint-every-s`), used when
+    /// `checkpoint_dir` is set.
+    pub checkpoint_every_s: f64,
     /// Per-node wall-clock deadline.
     pub deadline: Duration,
     /// Base seed for per-node protocol randomness.
@@ -55,11 +118,12 @@ pub struct ClusterSpec {
 /// What the cluster produced.
 #[derive(Debug)]
 pub struct ClusterReport {
-    /// Outcomes parsed from node stdout, in node-id order. Killed nodes
-    /// usually produce none (their entry is `None`).
+    /// Outcomes parsed from node stdout, in node-id order — from a
+    /// node's *latest* incarnation when it was restarted. Killed nodes
+    /// that never came back produce none (their entry is `None`).
     pub outcomes: Vec<Option<ParsedOutcome>>,
-    /// Ids that died (SIGKILL or config-driven crash) before producing
-    /// an outcome.
+    /// Ids that died (SIGKILL or config-driven crash) and never produced
+    /// an outcome afterwards.
     pub killed: Vec<u32>,
     /// Best incumbent over terminated survivors.
     pub best: Option<f64>,
@@ -93,8 +157,12 @@ impl ClusterReport {
         max as f64 / total as f64
     }
 
-    /// One line per reporting node with its expansion count and share —
-    /// printed by [`launch`] so work skew is visible in CI logs.
+    /// One line per reporting node with its incarnation, expansion count
+    /// and share — printed by [`launch`] so work skew *and* a rejoined
+    /// incarnation's contribution are visible in CI logs. (Expansions
+    /// are per-incarnation: a restarted node reports only what its new
+    /// life expanded; whatever its killed life did rides in the
+    /// checkpointed table, not in any count.)
     pub fn skew_summary(&self) -> String {
         let total = self.total_expanded();
         let mut out = String::new();
@@ -105,8 +173,8 @@ impl ClusterReport {
                 o.expanded as f64 * 100.0 / total as f64
             };
             out.push_str(&format!(
-                "launcher: node {} expanded={} ({share:.1}% of {total})\n",
-                o.id, o.expanded
+                "launcher: node {} inc={} expanded={} ({share:.1}% of {total})\n",
+                o.id, o.incarnation, o.expanded
             ));
         }
         out
@@ -128,6 +196,9 @@ pub enum LaunchError {
         /// The node that did not exit.
         id: u32,
     },
+    /// The lifecycle plan is inconsistent (restart without a checkpoint
+    /// directory, restart of a node that was never killed, …).
+    BadPlan(String),
 }
 
 impl std::fmt::Display for LaunchError {
@@ -136,6 +207,7 @@ impl std::fmt::Display for LaunchError {
             LaunchError::Io(e) => write!(f, "launch failed: {e}"),
             LaunchError::NotReady { id } => write!(f, "node {id} never reported ready"),
             LaunchError::Timeout { id } => write!(f, "node {id} did not exit in time"),
+            LaunchError::BadPlan(e) => write!(f, "bad lifecycle plan: {e}"),
         }
     }
 }
@@ -159,11 +231,107 @@ struct Spawned {
     addr: Option<SocketAddr>,
 }
 
-/// Launch the cluster, wire it over stdin, execute the kill plan, wait
-/// for survivors, and aggregate their outcomes.
+/// Spawn one node process and its stdout reader thread. Fresh lives
+/// (`listen: None`) bind `127.0.0.1:0` and get their problem flags;
+/// resumed lives rebind the first life's address (`listen: Some(..)`)
+/// and pass `--resume` instead — their problem binding lives in the
+/// checkpoint — with a shortened readiness budget (live peers accept
+/// within milliseconds; a permanently dead one must not stall the
+/// rejoin for the full fresh-start budget).
+fn spawn_node(spec: &ClusterSpec, id: u32, listen: Option<SocketAddr>) -> std::io::Result<Spawned> {
+    let resume = listen.is_some();
+    let mut cmd = Command::new(&spec.noded);
+    cmd.arg("--id")
+        .arg(id.to_string())
+        .arg("--listen")
+        .arg(listen.map_or("127.0.0.1:0".to_string(), |a| a.to_string()))
+        .arg("--peers-from-stdin")
+        .arg("--deadline-s")
+        .arg(format!("{}", spec.deadline.as_secs_f64()))
+        .arg("--seed")
+        .arg(spec.seed.to_string());
+    if let Some(dir) = &spec.checkpoint_dir {
+        cmd.arg("--checkpoint-dir")
+            .arg(dir)
+            .arg("--checkpoint-every-s")
+            .arg(spec.checkpoint_every_s.to_string());
+    }
+    if resume {
+        cmd.arg("--resume").arg("--preconnect-s").arg("1.5");
+    } else if spec.wire_peers && id != 0 {
+        cmd.arg("--problem").arg("wire");
+    } else {
+        cmd.args(spec.problem.flag_args());
+    }
+    if let Some(&(_, at)) = spec.crash_at.iter().find(|&&(node, _)| node == id) {
+        if !resume {
+            cmd.arg("--crash-at-s").arg(at.to_string());
+        }
+    }
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd.spawn()?;
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take().expect("stdout piped");
+    // One reader thread per node: its stdout lines flow into a channel
+    // the launcher drains (ready line now, outcome line after exit). The
+    // thread ends at EOF.
+    let (tx, rx) = unbounded();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    Ok(Spawned {
+        child,
+        stdin,
+        lines: rx,
+        addr: listen,
+    })
+}
+
+/// Wait for a node's `FTBB-READY` line and record its address.
+fn await_ready(node: &mut Spawned, id: u32) -> Result<SocketAddr, LaunchError> {
+    let deadline = Instant::now() + READY_PATIENCE;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match node.lines.recv_timeout(remaining) {
+            Ok(line) => {
+                if let Some((_, addr)) = parse_ready_line(&line) {
+                    node.addr = Some(addr);
+                    return Ok(addr);
+                }
+            }
+            Err(_) => return Err(LaunchError::NotReady { id }),
+        }
+    }
+}
+
+/// Write the peer map (everyone but `id`) plus `start` into a node.
+fn wire_node(node: &mut Spawned, id: usize, addrs: &[SocketAddr]) -> std::io::Result<()> {
+    let mut stdin = node.stdin.take().expect("stdin piped");
+    let mut wiring = String::new();
+    for (peer, addr) in addrs.iter().enumerate() {
+        if peer != id {
+            wiring.push_str(&format!("peer {peer}={addr}\n"));
+        }
+    }
+    wiring.push_str("start\n");
+    stdin.write_all(wiring.as_bytes())
+    // Dropping stdin afterwards closes the pipe cleanly.
+}
+
+/// Launch the cluster, wire it over stdin, execute the lifecycle plan
+/// (kills and checkpoint restarts), wait for survivors, and aggregate
+/// their outcomes.
 pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     assert!(spec.nodes >= 1);
     let n = spec.nodes as usize;
+    validate_plan(spec)?;
 
     let mut nodes: Vec<Spawned> = Vec::with_capacity(n);
     let reap_all = |nodes: &mut Vec<Spawned>| {
@@ -174,50 +342,8 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     };
 
     for id in 0..spec.nodes {
-        let mut cmd = Command::new(&spec.noded);
-        cmd.arg("--id")
-            .arg(id.to_string())
-            .arg("--listen")
-            .arg("127.0.0.1:0")
-            .arg("--peers-from-stdin")
-            .arg("--deadline-s")
-            .arg(format!("{}", spec.deadline.as_secs_f64()))
-            .arg("--seed")
-            .arg(spec.seed.to_string());
-        if spec.wire_peers && id != 0 {
-            cmd.arg("--problem").arg("wire");
-        } else {
-            cmd.args(spec.problem.flag_args());
-        }
-        if let Some(&(_, at)) = spec.crash_at.iter().find(|&&(node, _)| node == id) {
-            cmd.arg("--crash-at-s").arg(at.to_string());
-        }
-        cmd.stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null());
-        match cmd.spawn() {
-            Ok(mut child) => {
-                let stdin = child.stdin.take();
-                let stdout = child.stdout.take().expect("stdout piped");
-                // One reader thread per node: its stdout lines flow into
-                // a channel the launcher drains (ready line now, outcome
-                // line after exit). The thread ends at EOF.
-                let (tx, rx) = unbounded();
-                std::thread::spawn(move || {
-                    for line in BufReader::new(stdout).lines() {
-                        let Ok(line) = line else { break };
-                        if tx.send(line).is_err() {
-                            break;
-                        }
-                    }
-                });
-                nodes.push(Spawned {
-                    child,
-                    stdin,
-                    lines: rx,
-                    addr: None,
-                });
-            }
+        match spawn_node(spec, id, None) {
+            Ok(spawned) => nodes.push(spawned),
             Err(e) => {
                 // Don't orphan already-spawned nodes on a failed spawn.
                 reap_all(&mut nodes);
@@ -229,71 +355,74 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     // Collect every node's FTBB-READY line (each binds independently, so
     // sequential waits are fine — patience is per node).
     for id in 0..n {
-        let deadline = Instant::now() + READY_PATIENCE;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            match nodes[id].lines.recv_timeout(remaining) {
-                Ok(line) => {
-                    if let Some((_, addr)) = parse_ready_line(&line) {
-                        nodes[id].addr = Some(addr);
-                        break;
-                    }
-                }
-                Err(_) => {
-                    reap_all(&mut nodes);
-                    return Err(LaunchError::NotReady { id: id as u32 });
-                }
-            }
+        if let Err(e) = await_ready(&mut nodes[id], id as u32) {
+            reap_all(&mut nodes);
+            return Err(e);
         }
     }
 
     // Wire the full peer map into every node and release them with
-    // `start`. Dropping stdin afterwards closes the pipe cleanly.
+    // `start`.
     let addrs: Vec<SocketAddr> = nodes.iter().map(|s| s.addr.expect("collected")).collect();
     for id in 0..n {
-        let mut stdin = nodes[id].stdin.take().expect("stdin piped");
-        let mut wiring = String::new();
-        for (peer, addr) in addrs.iter().enumerate() {
-            if peer != id {
-                wiring.push_str(&format!("peer {peer}={addr}\n"));
-            }
-        }
-        wiring.push_str("start\n");
-        if let Err(e) = stdin.write_all(wiring.as_bytes()) {
+        if let Err(e) = wire_node(&mut nodes[id], id, &addrs) {
             reap_all(&mut nodes);
             return Err(e.into());
         }
     }
     let start = Instant::now();
 
-    // Execute the kill plan: real SIGKILL, no cleanup, no flush.
-    let mut plan = spec.kill.clone();
-    plan.sort_by_key(|&(_, d)| d);
+    // Execute the lifecycle plan in time order: real SIGKILL (no
+    // cleanup, no flush) and checkpoint restarts.
+    let mut plan = spec.lifecycle.clone();
+    plan.sort_by_key(|e| e.at());
     let mut killed = Vec::new();
-    for &(id, delay) in &plan {
-        if id >= spec.nodes {
-            continue;
-        }
+    for event in &plan {
         let elapsed = start.elapsed();
-        if delay > elapsed {
-            std::thread::sleep(delay - elapsed);
+        if event.at() > elapsed {
+            std::thread::sleep(event.at() - elapsed);
         }
-        match nodes[id as usize].child.try_wait() {
-            Ok(Some(_)) => {} // already exited — too late to kill mid-run
-            Ok(None) => {
-                let _ = nodes[id as usize].child.kill(); // SIGKILL on unix
-                killed.push(id);
+        match *event {
+            LifecycleEvent::Kill { node: id, .. } => {
+                if id >= spec.nodes {
+                    continue;
+                }
+                match nodes[id as usize].child.try_wait() {
+                    Ok(Some(_)) => {} // already exited — too late to kill mid-run
+                    Ok(None) => {
+                        let _ = nodes[id as usize].child.kill(); // SIGKILL on unix
+                        killed.push(id);
+                    }
+                    Err(e) => {
+                        reap_all(&mut nodes);
+                        return Err(e.into());
+                    }
+                }
             }
-            Err(e) => {
-                reap_all(&mut nodes);
-                return Err(e.into());
+            LifecycleEvent::Restart { node: id, .. } => {
+                if id >= spec.nodes {
+                    continue;
+                }
+                // Make sure the first life is fully gone (SIGKILL is
+                // asynchronous) so the original port can be rebound.
+                let _ = nodes[id as usize].child.kill();
+                let _ = nodes[id as usize].child.wait();
+                match restart_node(spec, id, &addrs) {
+                    Ok(spawned) => nodes[id as usize] = spawned,
+                    Err(e) => {
+                        reap_all(&mut nodes);
+                        return Err(e);
+                    }
+                }
             }
         }
     }
 
     // Wait for everything with a global timeout well past the node
-    // deadline (nodes self-limit via --deadline-s).
-    let patience = spec.deadline + Duration::from_secs(30);
+    // deadline (nodes self-limit via --deadline-s). Restarts reset the
+    // per-node clock, so allow one extra deadline for the latest event.
+    let last_event = plan.last().map(|e| e.at()).unwrap_or(Duration::ZERO);
+    let patience = spec.deadline + last_event + Duration::from_secs(30);
     let mut outcomes: Vec<Option<ParsedOutcome>> = (0..n).map(|_| None).collect();
     for id in 0..n {
         loop {
@@ -316,7 +445,8 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     }
 
     // A node SIGKILLed (or config-crashed) after finishing still counts
-    // as a survivor if its outcome line made it out.
+    // as a survivor if its outcome line made it out — and a killed node
+    // that was restarted and reported is a survivor too.
     let mut effective_killed: Vec<u32> = killed
         .iter()
         .copied()
@@ -352,14 +482,76 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     Ok(report)
 }
 
+/// Static consistency of the lifecycle plan.
+fn validate_plan(spec: &ClusterSpec) -> Result<(), LaunchError> {
+    let bad = |m: String| Err(LaunchError::BadPlan(m));
+    let mut plan = spec.lifecycle.clone();
+    plan.sort_by_key(|e| e.at());
+    let mut dead: Vec<u32> = Vec::new();
+    for event in &plan {
+        match *event {
+            LifecycleEvent::Kill { node, .. } => dead.push(node),
+            LifecycleEvent::Restart { node, .. } => {
+                if spec.checkpoint_dir.is_none() {
+                    return bad(format!(
+                        "restart of node {node} needs ClusterSpec::checkpoint_dir"
+                    ));
+                }
+                match dead.iter().position(|&d| d == node) {
+                    Some(i) => {
+                        dead.remove(i);
+                    }
+                    None => {
+                        return bad(format!("restart of node {node} without a preceding kill"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bring a killed node back from its checkpoint: respawn with `--resume`
+/// on the node's *original* address, hold the wiring for
+/// [`REJOIN_SETTLE`], then release it.
+fn restart_node(spec: &ClusterSpec, id: u32, addrs: &[SocketAddr]) -> Result<Spawned, LaunchError> {
+    // Rebind the original address: peers keep their rosters, and their
+    // in-flight traffic demonstrably lands on the new life (where the
+    // incarnation filter disposes of it). The first bind can race the
+    // kernel reclaiming the killed process's port — retry briefly.
+    let addr = addrs[id as usize];
+    let bind_deadline = Instant::now() + READY_PATIENCE;
+    let mut node = loop {
+        let mut spawned = spawn_node(spec, id, Some(addr)).map_err(LaunchError::Io)?;
+        match await_ready(&mut spawned, id) {
+            Ok(_) => break spawned,
+            Err(e) => {
+                let _ = spawned.child.kill();
+                let _ = spawned.child.wait();
+                if Instant::now() >= bind_deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    // The settle window: the listener is bound (peers' reconnects land
+    // in the backlog) but the daemon is still waiting for its wiring —
+    // a slow workstation rejoining. Stale traffic accumulates here.
+    std::thread::sleep(REJOIN_SETTLE);
+    wire_node(&mut node, id as usize, addrs).map_err(LaunchError::Io)?;
+    Ok(node)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ftbb_core::TransportStats;
 
-    fn outcome(id: u32, expanded: u64) -> ParsedOutcome {
+    fn outcome(id: u32, incarnation: u32, expanded: u64) -> ParsedOutcome {
         ParsedOutcome {
             id,
+            incarnation,
             terminated: true,
             incumbent: -1.0,
             expanded,
@@ -371,7 +563,7 @@ mod tests {
     #[test]
     fn expansion_share_and_summary() {
         let report = ClusterReport {
-            outcomes: vec![Some(outcome(0, 75)), None, Some(outcome(2, 25))],
+            outcomes: vec![Some(outcome(0, 0, 75)), None, Some(outcome(2, 1, 25))],
             killed: vec![1],
             best: Some(-1.0),
             all_survivors_terminated: true,
@@ -379,8 +571,11 @@ mod tests {
         assert_eq!(report.total_expanded(), 100);
         assert!((report.max_expansion_share() - 0.75).abs() < 1e-12);
         let summary = report.skew_summary();
-        assert!(summary.contains("node 0 expanded=75 (75.0% of 100)"));
-        assert!(summary.contains("node 2 expanded=25 (25.0% of 100)"));
+        assert!(summary.contains("node 0 inc=0 expanded=75 (75.0% of 100)"));
+        assert!(
+            summary.contains("node 2 inc=1 expanded=25 (25.0% of 100)"),
+            "a rejoined incarnation's contribution must be visible: {summary}"
+        );
 
         let empty = ClusterReport {
             outcomes: vec![None],
@@ -389,5 +584,48 @@ mod tests {
             all_survivors_terminated: true,
         };
         assert_eq!(empty.max_expansion_share(), 0.0);
+    }
+
+    #[test]
+    fn lifecycle_plans_are_validated() {
+        let base = ClusterSpec {
+            noded: PathBuf::from("/nonexistent"),
+            nodes: 3,
+            lifecycle: Vec::new(),
+            crash_at: Vec::new(),
+            problem: ProblemSpec::default(),
+            wire_peers: false,
+            checkpoint_dir: None,
+            checkpoint_every_s: 0.1,
+            deadline: Duration::from_secs(1),
+            seed: 1,
+        };
+
+        // Restart without a checkpoint dir.
+        let mut spec = base.clone();
+        spec.lifecycle = vec![
+            LifecycleEvent::kill(1, Duration::from_millis(10)),
+            LifecycleEvent::restart(1, Duration::from_millis(20)),
+        ];
+        assert!(matches!(validate_plan(&spec), Err(LaunchError::BadPlan(_))));
+
+        // Restart of a never-killed node.
+        let mut spec = base.clone();
+        spec.checkpoint_dir = Some(PathBuf::from("/tmp/ckpt"));
+        spec.lifecycle = vec![LifecycleEvent::restart(2, Duration::from_millis(20))];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("without a preceding kill"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+
+        // Kill → restart → kill again is a consistent story.
+        let mut spec = base;
+        spec.checkpoint_dir = Some(PathBuf::from("/tmp/ckpt"));
+        spec.lifecycle = vec![
+            LifecycleEvent::kill(1, Duration::from_millis(10)),
+            LifecycleEvent::restart(1, Duration::from_millis(30)),
+            LifecycleEvent::kill(1, Duration::from_millis(50)),
+        ];
+        assert!(validate_plan(&spec).is_ok());
     }
 }

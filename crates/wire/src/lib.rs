@@ -9,16 +9,18 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`codec`] | framed, version-tagged, checksummed binary encoding of envelopes |
-//! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets |
-//! | [`config`] | `ftbb-noded` TOML/flag configuration |
-//! | [`noded`] | the per-process node daemon body and its ready/outcome protocol |
-//! | [`launcher`] | loopback cluster spawner with a SIGKILL plan |
+//! | [`codec`] | framed, version-tagged, checksummed binary encoding of envelopes, incarnation-stamped, with announce + rejoin handshake frames |
+//! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets, with dynamic peer (re)registration and stale-incarnation filtering |
+//! | [`config`] | `ftbb-noded` TOML/flag configuration (incl. checkpoint/resume) |
+//! | [`noded`] | the per-process node daemon body, its ready/outcome protocol, and the [`noded::DirSink`] checkpoint store |
+//! | [`launcher`] | loopback cluster spawner with a lifecycle plan (SIGKILLs and checkpoint restarts) |
 //!
 //! The `ftbb-noded` binary runs one node per process; the launcher spawns
-//! a loopback cluster, SIGKILLs a subset mid-run, and the surviving
-//! processes still converge to the sequential optimum — the paper's
-//! theorem, demonstrated on genuinely unreliable infrastructure.
+//! a loopback cluster, SIGKILLs a subset mid-run — and can restart a
+//! killed node from its checkpoint, which rejoins under a new
+//! incarnation — and the surviving processes still converge to the
+//! sequential optimum — the paper's theorem, demonstrated on genuinely
+//! unreliable infrastructure.
 //!
 //! Startup is handled explicitly rather than hopefully: nodes announce
 //! their bound address on a `FTBB-READY` line, the launcher wires the
@@ -39,15 +41,18 @@ pub mod noded;
 pub mod tcp;
 
 pub use codec::{
-    decode_frame, encode_announce, encode_frame, EncodedFrame, FrameDecoder, WireError, WireFrame,
+    decode_frame, encode_announce, encode_frame, encode_rejoin, EncodedFrame, FrameDecoder,
+    RejoinFrame, RejoinSummary, WireError, WireFrame,
 };
 pub use config::{
     member_ids, parse_args, parse_config, ConfigError, KnapsackSpec, MaxSatSpec, NodeConfig,
     ProblemSpec, TreeFileSpec, PROBLEM_KINDS,
 };
-pub use launcher::{launch, ClusterReport, ClusterSpec, LaunchError};
+pub use launcher::{
+    launch, ClusterReport, ClusterSpec, LaunchError, LifecycleEvent, REJOIN_SETTLE,
+};
 pub use noded::{
-    outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring, ready_line, NodedReport,
-    ParsedOutcome,
+    checkpoint_path, outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring,
+    ready_line, DirSink, NodedReport, ParsedOutcome,
 };
 pub use tcp::TcpMesh;

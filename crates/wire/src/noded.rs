@@ -19,14 +19,27 @@
 //! however that instance arrived. On completion it prints a single
 //! machine-parseable `FTBB-OUTCOME` line to stdout for the launcher to
 //! collect.
+//!
+//! **Lifecycle**: with `--checkpoint-dir` the engine persists snapshots
+//! (`node-<id>.ckpt`, atomic write-rename) at startup, every
+//! `--checkpoint-every-s`, and at clean exit. With `--resume` the daemon
+//! restores that snapshot instead of starting fresh: it comes back as the
+//! next **incarnation** of its node, takes the problem binding from the
+//! checkpoint (no `--problem*` flags, no announce wait), replays the
+//! readiness barrier for itself, and sends a rejoin frame so every peer
+//! re-registers it — new address and all — and starts tagging traffic
+//! for its new life. Frames addressed to (or sent by) the previous life
+//! are counted and dropped as stale by the transport.
 
+use crate::codec::RejoinSummary;
 use crate::config::{NodeConfig, ProblemSpec};
 use crate::tcp::TcpMesh;
 use ftbb_bnb::AnyInstance;
-use ftbb_core::{AnyExpander, BnbProcess, Expander, TransportStats};
-use ftbb_runtime::{run_node, ClusterConfig, CrashSwitch, NodeOutcome, Transport};
+use ftbb_core::{AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, TransportStats};
+use ftbb_runtime::{ClusterConfig, CrashSwitch, NodeEngine, NodeOutcome, Transport};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Extra grace past the readiness budget that a `--problem wire` node
@@ -42,11 +55,46 @@ pub struct NodedReport {
     pub transport: TransportStats,
 }
 
+/// Checkpoint file of node `id` under `dir` — shared between the daemon
+/// (writing) and whoever restarts it (passing `--resume`).
+pub fn checkpoint_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("node-{id}.ckpt"))
+}
+
+/// The durable checkpoint sink: snapshots land in
+/// [`checkpoint_path`]`(dir, id)` via atomic write-rename (write the blob
+/// to `…tmp`, then rename over the live file), so a crash mid-write can
+/// never leave a torn checkpoint — the previous snapshot survives intact.
+pub struct DirSink {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl DirSink {
+    /// Create the directory (if needed) and the sink for node `id`.
+    pub fn new(dir: &Path, id: u32) -> std::io::Result<DirSink> {
+        std::fs::create_dir_all(dir)?;
+        let path = checkpoint_path(dir, id);
+        let tmp = dir.join(format!("node-{id}.ckpt.tmp"));
+        Ok(DirSink { path, tmp })
+    }
+}
+
+impl CheckpointSink for DirSink {
+    fn store(&mut self, chk: &Checkpoint) -> Result<(), String> {
+        std::fs::write(&self.tmp, chk.encode())
+            .map_err(|e| format!("write {}: {e}", self.tmp.display()))?;
+        std::fs::rename(&self.tmp, &self.path)
+            .map_err(|e| format!("rename into {}: {e}", self.path.display()))
+    }
+}
+
 /// Run one node to completion (termination, deadline, or config-driven
 /// crash).
 pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     cfg.validate()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let bad_input = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
 
     // Phase 1: bind the listener (resolving `:0`) and announce the
     // address, so whoever spawned us can wire the cluster race-free.
@@ -63,10 +111,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         cfg.peers.clone()
     };
     if peers.iter().any(|&(id, _)| id == cfg.id) {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("peer wiring contains own id {}", cfg.id),
-        ));
+        return Err(bad_input(format!("peer wiring contains own id {}", cfg.id)));
     }
 
     let members = crate::config::member_ids(cfg.id, &peers);
@@ -74,12 +119,42 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     // state machine must behave identically in every deployment.
     let holds_root = ftbb_runtime::holds_root(cfg.id, &members);
 
-    let (mesh, inbox) = TcpMesh::from_listener(cfg.id, listener, &peers)?;
+    // Resuming? Load the snapshot *before* the mesh exists: the mesh
+    // must be born as the next incarnation so every frame it emits is
+    // tagged for the new life.
+    let restored: Option<Checkpoint> = if cfg.resume {
+        let dir = cfg.checkpoint_dir.as_ref().expect("validated with resume");
+        let path = checkpoint_path(dir, cfg.id);
+        let blob = std::fs::read(&path).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("cannot read checkpoint {}: {e}", path.display()),
+            )
+        })?;
+        let chk = Checkpoint::decode(&blob)
+            .map_err(|e| bad_input(format!("corrupt checkpoint {}: {e}", path.display())))?;
+        if chk.me != cfg.id {
+            return Err(bad_input(format!(
+                "checkpoint {} belongs to node {}, not node {}",
+                path.display(),
+                chk.me,
+                cfg.id
+            )));
+        }
+        Some(chk)
+    } else {
+        None
+    };
+    let incarnation = restored.as_ref().map_or(0, |chk| chk.incarnation + 1);
+
+    let (mesh, inbox) = TcpMesh::from_listener_incarnated(cfg.id, incarnation, listener, &peers)?;
 
     // Phase 3: readiness barrier — pre-establish every peer connection
     // before `Start`, so the first work grants cannot vanish into
-    // listeners that are still coming up. A peer that never appears is
-    // the Crash model's problem; start anyway once the budget is spent.
+    // listeners that are still coming up. A rejoining node replays this
+    // same barrier for itself: its peers are live, so it connects fast.
+    // A peer that never appears is the Crash model's problem; start
+    // anyway once the budget is spent.
     if !mesh.ready(Duration::from_secs_f64(cfg.preconnect_s)) {
         eprintln!(
             "ftbb-noded: readiness barrier timed out after {}s; starting on a partial mesh",
@@ -87,72 +162,107 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         );
     }
 
-    // Phase 4: resolve the workload. A node with a concrete spec
-    // materializes it locally; the root additionally announces the
-    // materialized instance so `--problem wire` peers can join a
-    // computation whose instance they never generated. This happens
-    // after the readiness barrier, so announce frames ride connections
-    // that already exist.
-    let bad_input = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
-    let instance: AnyInstance = match &cfg.problem {
-        ProblemSpec::Wire => {
-            if holds_root {
-                return Err(bad_input(format!(
-                    "node {} would hold the root subproblem but has --problem wire; \
-                     the root must own a concrete problem spec",
-                    cfg.id
-                )));
-            }
-            let patience = Duration::from_secs_f64(cfg.preconnect_s) + ANNOUNCE_GRACE;
-            match mesh.recv_announce(patience) {
-                Some((from, instance)) => {
-                    eprintln!(
-                        "ftbb-noded: received {} instance from node {from}",
-                        instance.kind()
-                    );
+    // Phase 4: resolve the workload and build the engine.
+    //
+    // * Resume: state and problem binding come from the checkpoint; the
+    //   daemon announces its rejoin (id, new incarnation, new address,
+    //   resume summary) so peers re-register it, then starts.
+    // * Fresh with a concrete spec: materialize locally; the root
+    //   additionally announces the instance so `--problem wire` peers
+    //   can join a computation whose instance they never generated.
+    // * Fresh `--problem wire`: wait for the root's announce.
+    //
+    // All of this happens after the readiness barrier, so handshake
+    // frames ride connections that already exist.
+    let engine: NodeEngine<AnyExpander> = match &restored {
+        Some(chk) => {
+            let protocol = ClusterConfig::new(members.len() as u32).protocol;
+            let engine =
+                NodeEngine::restore(chk, protocol, ftbb_runtime::node_seed(cfg.seed, cfg.id))
+                    .map_err(bad_input)?;
+            eprintln!(
+                "ftbb-noded: node {} resuming as incarnation {} ({} table codes, {} pooled, \
+                 incumbent {})",
+                cfg.id,
+                engine.incarnation(),
+                chk.table.len(),
+                chk.pool.len(),
+                chk.incumbent
+            );
+            mesh.send_rejoin(RejoinSummary {
+                incumbent: chk.incumbent,
+                table_codes: chk.table.len() as u32,
+                pool_len: chk.pool.len() as u32,
+            });
+            engine
+        }
+        None => {
+            let instance: AnyInstance = match &cfg.problem {
+                ProblemSpec::Wire => {
+                    if holds_root {
+                        return Err(bad_input(format!(
+                            "node {} would hold the root subproblem but has --problem wire; \
+                             the root must own a concrete problem spec",
+                            cfg.id
+                        )));
+                    }
+                    let patience = Duration::from_secs_f64(cfg.preconnect_s) + ANNOUNCE_GRACE;
+                    match mesh.recv_announce(patience) {
+                        Some((from, instance)) => {
+                            eprintln!(
+                                "ftbb-noded: received {} instance from node {from}",
+                                instance.kind()
+                            );
+                            instance
+                        }
+                        None => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                format!(
+                                    "no problem announce arrived within {:.1}s",
+                                    patience.as_secs_f64()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                spec => {
+                    let instance = spec.instance().map_err(|e| bad_input(e.to_string()))?;
+                    if holds_root && !peers.is_empty() && !mesh.announce_instance(&instance) {
+                        // Not fatal: peers with concrete specs never read the
+                        // announce, so this cluster still runs. Only `--problem
+                        // wire` peers are affected — they will time out waiting
+                        // with their own clear error.
+                        eprintln!(
+                            "ftbb-noded: {} instance exceeds the announce frame limit; \
+                             --problem wire peers (if any) cannot be served — give every \
+                             node the concrete spec instead (e.g. --problem tree-file)",
+                            instance.kind()
+                        );
+                    }
                     instance
                 }
-                None => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        format!(
-                            "no problem announce arrived within {:.1}s",
-                            patience.as_secs_f64()
-                        ),
-                    ));
-                }
-            }
-        }
-        spec => {
-            let instance = spec.instance().map_err(|e| bad_input(e.to_string()))?;
-            if holds_root && !peers.is_empty() && !mesh.announce_instance(&instance) {
-                // Not fatal: peers with concrete specs never read the
-                // announce, so this cluster still runs. Only `--problem
-                // wire` peers are affected — they will time out waiting
-                // with their own clear error.
-                eprintln!(
-                    "ftbb-noded: {} instance exceeds the announce frame limit; \
-                     --problem wire peers (if any) cannot be served — give every \
-                     node the concrete spec instead (e.g. --problem tree-file)",
-                    instance.kind()
-                );
-            }
-            instance
+            };
+            let expander = AnyExpander::new(instance.clone());
+            // Millisecond-scale protocol timers, same profile as the
+            // threaded harness (ClusterConfig::new); node count only
+            // sizes defaults.
+            let protocol = ClusterConfig::new(members.len() as u32).protocol;
+            let core = BnbProcess::new(
+                cfg.id,
+                members.clone(),
+                protocol,
+                expander.root_bound(),
+                holds_root,
+                ftbb_runtime::node_seed(cfg.seed, cfg.id),
+            );
+            let mut engine = NodeEngine::new(core, expander);
+            // Bound checkpoints are self-sufficient: `--resume` needs
+            // neither a problem spec nor an announce.
+            engine.bind_problem(instance);
+            engine
         }
     };
-
-    let expander = AnyExpander::new(instance);
-    // Millisecond-scale protocol timers, same profile as the threaded
-    // harness (ClusterConfig::new); node count only sizes defaults.
-    let protocol = ClusterConfig::new(members.len() as u32).protocol;
-    let core = BnbProcess::new(
-        cfg.id,
-        members.clone(),
-        protocol,
-        expander.root_bound(),
-        holds_root,
-        ftbb_runtime::node_seed(cfg.seed, cfg.id),
-    );
 
     // Config-driven crash: a genuine process death (abort), not a
     // simulated one — peers see only silence. The clock starts after the
@@ -166,14 +276,21 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         });
     }
 
-    let outcome = run_node(
-        core,
-        expander,
-        &mesh,
-        inbox,
-        CrashSwitch::default(),
-        Duration::from_secs_f64(cfg.deadline_s),
-    )
+    let deadline = Duration::from_secs_f64(cfg.deadline_s);
+    let outcome = match &cfg.checkpoint_dir {
+        Some(dir) => {
+            let mut sink = DirSink::new(dir, cfg.id)?;
+            engine.run_with_sink(
+                &mesh,
+                inbox,
+                CrashSwitch::default(),
+                deadline,
+                &mut sink,
+                Some(Duration::from_secs_f64(cfg.checkpoint_every_s)),
+            )
+        }
+        None => engine.run(&mesh, inbox, CrashSwitch::default(), deadline),
+    }
     .expect("crash switch is never tripped in-process");
 
     // Let writer threads flush queued frames so the counters reflect
@@ -241,11 +358,13 @@ pub fn outcome_line(report: &NodedReport) -> String {
     let o = &report.outcome;
     let t = &report.transport;
     format!(
-        "FTBB-OUTCOME id={} terminated={} incumbent_bits={:#018x} incumbent={} \
+        "FTBB-OUTCOME id={} incarnation={} terminated={} incumbent_bits={:#018x} incumbent={} \
          expanded={} recoveries={} sent={} wire_bytes={} encoded_bytes={} \
          dropped_full={} dropped_disconnected={} dropped_no_route={} \
-         dropped_startup={} retried={} connect_waits={} reconnects={}",
+         dropped_startup={} dropped_stale={} retried={} connect_waits={} reconnects={} \
+         announces_sent={} announces_recv={} rejoins={}",
         o.id,
+        o.incarnation,
         o.terminated,
         o.incumbent.to_bits(),
         o.incumbent,
@@ -258,9 +377,13 @@ pub fn outcome_line(report: &NodedReport) -> String {
         t.dropped_disconnected,
         t.dropped_no_route,
         t.dropped_startup,
+        t.dropped_stale,
         t.retried,
         t.connect_waits,
         t.reconnects,
+        t.announces_sent,
+        t.announces_recv,
+        t.rejoins,
     )
 }
 
@@ -269,6 +392,8 @@ pub fn outcome_line(report: &NodedReport) -> String {
 pub struct ParsedOutcome {
     /// Node id.
     pub id: u32,
+    /// Which life of the node reported (0 = never restarted).
+    pub incarnation: u32,
     /// Did the node detect termination?
     pub terminated: bool,
     /// Final incumbent (exact bits).
@@ -295,6 +420,7 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
     let bits = u64::from_str_radix(bits.strip_prefix("0x")?, 16).ok()?;
     Some(ParsedOutcome {
         id: get_u64("id")? as u32,
+        incarnation: get_u64("incarnation")? as u32,
         terminated: fields.get("terminated")? == &"true",
         incumbent: f64::from_bits(bits),
         expanded: get_u64("expanded")?,
@@ -307,9 +433,13 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
             dropped_disconnected: get_u64("dropped_disconnected")?,
             dropped_no_route: get_u64("dropped_no_route")?,
             dropped_startup: get_u64("dropped_startup")?,
+            dropped_stale: get_u64("dropped_stale")?,
             retried: get_u64("retried")?,
             connect_waits: get_u64("connect_waits")?,
             reconnects: get_u64("reconnects")?,
+            announces_sent: get_u64("announces_sent")?,
+            announces_recv: get_u64("announces_recv")?,
+            rejoins: get_u64("rejoins")?,
         },
     })
 }
@@ -325,6 +455,7 @@ mod tests {
         let report = NodedReport {
             outcome: NodeOutcome {
                 id: 3,
+                incarnation: 2,
                 terminated: true,
                 incumbent: -127.5,
                 metrics: ProcMetrics {
@@ -342,14 +473,19 @@ mod tests {
                 dropped_disconnected: 2,
                 dropped_no_route: 3,
                 dropped_startup: 5,
+                dropped_stale: 8,
                 retried: 6,
                 connect_waits: 7,
                 reconnects: 4,
+                announces_sent: 10,
+                announces_recv: 11,
+                rejoins: 12,
             },
         };
         let line = outcome_line(&report);
         let parsed = parse_outcome_line(&line).expect("parses");
         assert_eq!(parsed.id, 3);
+        assert_eq!(parsed.incarnation, 2);
         assert!(parsed.terminated);
         assert_eq!(parsed.incumbent, -127.5);
         assert_eq!(parsed.expanded, 42);
@@ -387,6 +523,44 @@ mod tests {
     }
 
     #[test]
+    fn dir_sink_writes_atomically_renamed_snapshots() {
+        let dir = std::env::temp_dir().join("ftbb-wire-dirsink-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = DirSink::new(&dir, 4).unwrap();
+
+        let p = BnbProcess::new(
+            4,
+            vec![3, 4],
+            ftbb_core::ProtocolConfig::default(),
+            0.0,
+            true,
+            1,
+        );
+        let chk = p.checkpoint().bind(
+            1,
+            Some(std::sync::Arc::new(AnyInstance::from(
+                ftbb_bnb::MaxSatInstance::generate(4, 8, 2),
+            ))),
+        );
+        sink.store(&chk).unwrap();
+
+        let path = checkpoint_path(&dir, 4);
+        let back = Checkpoint::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back, chk);
+        assert!(
+            !dir.join("node-4.ckpt.tmp").exists(),
+            "the tmp file must be renamed away"
+        );
+
+        // A second store overwrites in place (rename semantics).
+        let chk2 = chk.clone().bind(2, chk.problem.clone());
+        sink.store(&chk2).unwrap();
+        let back = Checkpoint::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back.incarnation, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn single_node_tcp_cluster_solves() {
         // The smallest possible multi-process deployment: one node, no
         // peers, real sockets for self-traffic.
@@ -405,10 +579,77 @@ mod tests {
         };
         let report = run(&cfg).expect("run succeeds");
         assert!(report.outcome.terminated, "single node must terminate");
+        assert_eq!(report.outcome.incarnation, 0);
         let reference = ftbb_bnb::solve(
             &cfg.problem.instance().unwrap(),
             &ftbb_bnb::SolveConfig::default(),
         );
         assert_eq!(Some(report.outcome.incumbent), reference.best);
+    }
+
+    #[test]
+    fn single_node_checkpoints_and_resumes_terminated() {
+        // A full single-process lifecycle: run with checkpoints, then
+        // resume the finished snapshot — the second life must come back
+        // as incarnation 1, already terminated, same incumbent.
+        let dir = std::env::temp_dir().join("ftbb-wire-noded-resume-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = NodeConfig {
+            id: 0,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            peers: Vec::new(),
+            problem: ProblemSpec::Knapsack(KnapsackSpec {
+                n: 12,
+                range: 40,
+                ..Default::default()
+            }),
+            deadline_s: 30.0,
+            seed: 5,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_s: 0.05,
+            ..Default::default()
+        };
+        let first = run(&cfg).expect("first life runs");
+        assert!(first.outcome.terminated);
+        assert!(checkpoint_path(&dir, 0).exists());
+
+        let resumed_cfg = NodeConfig {
+            resume: true,
+            ..cfg
+        };
+        let second = run(&resumed_cfg).expect("second life runs");
+        assert!(second.outcome.terminated);
+        assert_eq!(second.outcome.incarnation, 1);
+        assert_eq!(second.outcome.incumbent, first.outcome.incumbent);
+        // The finished table restored: nothing left to expand, and the
+        // engine exits promptly instead of idling to the deadline.
+        assert_eq!(second.outcome.metrics.expanded, 0);
+        assert!(
+            second.outcome.lifetime < Duration::from_secs(10),
+            "a restored-terminated engine must not idle to the deadline: {:?}",
+            second.outcome.lifetime
+        );
+
+        // And the file now records the second life.
+        let chk = Checkpoint::decode(&std::fs::read(checkpoint_path(&dir, 0)).unwrap()).unwrap();
+        assert_eq!(chk.incarnation, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_a_snapshot_fails_loudly() {
+        let dir = std::env::temp_dir().join("ftbb-wire-noded-nosnap-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = NodeConfig {
+            id: 9,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let err = run(&cfg).expect_err("nothing to resume from");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

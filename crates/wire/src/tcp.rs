@@ -4,6 +4,21 @@
 //! *outgoing* connection per peer (so a pair of nodes shares two
 //! simplex connections, one per direction). Incoming connections only
 //! feed the inbox; the envelope's `from` field identifies the sender.
+//! The peer roster is **dynamic**: it is seeded at construction, but a
+//! peer can be (re)registered at any time — which is how a node killed
+//! and restarted from a checkpoint re-enters a live mesh (its
+//! [`RejoinFrame`] carries its new address and incarnation, and every
+//! receiver re-points its writer).
+//!
+//! **Incarnations**: the mesh belongs to one life of its node. Outgoing
+//! protocol frames are stamped with the sender's incarnation and the
+//! destination incarnation the sender currently believes in; inbound
+//! frames whose tags disagree with reality — addressed to this node's
+//! previous life, or sent by a peer's previous life — are dropped and
+//! counted as `dropped_stale` instead of being delivered to the wrong
+//! incarnation. Incarnation knowledge flows through rejoin (and announce)
+//! frames; a fresh mesh assumes incarnation 0 for everyone, which is
+//! correct for first lives.
 //!
 //! Failure semantics are the paper's Crash model on real infrastructure,
 //! with one deliberate refinement at startup:
@@ -13,7 +28,9 @@
 //!   retry until connected or a deadline. Harnesses run this readiness
 //!   barrier *before* injecting `Start`, so the protocol never opens
 //!   fire on a half-formed mesh and the root's first work grants cannot
-//!   vanish into a listener that is still coming up.
+//!   vanish into a listener that is still coming up. A rejoining node
+//!   replays exactly this barrier for itself before sending its rejoin
+//!   frames.
 //! * **Startup retry window**: until a peer has accepted its first
 //!   connection, a frame that cannot be delivered is *retried* instead
 //!   of dropped — held in a small bounded queue ([`RETRY_MAX_FRAMES`]
@@ -31,7 +48,10 @@
 //! * A reader that sees a corrupt frame drops the connection — a corrupt
 //!   peer is indistinguishable from a dead one.
 
-use crate::codec::{encode_announce, encode_frame, FrameDecoder, WireFrame};
+use crate::codec::{
+    encode_announce, encode_frame, encode_rejoin, FrameDecoder, RejoinFrame, RejoinSummary,
+    WireFrame,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{Msg, TransportCounters};
@@ -39,8 +59,8 @@ use ftbb_runtime::{Envelope, Transport};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Soft bound on frames queued toward one peer; beyond it sends are
@@ -81,6 +101,9 @@ enum WriterCmd {
 }
 
 struct Peer {
+    addr: SocketAddr,
+    /// Destination's latest known incarnation; stamps outgoing frames.
+    incarnation: Arc<AtomicU32>,
     queue_tx: Sender<WriterCmd>,
     depth: Arc<AtomicUsize>,
     connected: Arc<AtomicBool>,
@@ -101,23 +124,95 @@ impl Peer {
     }
 }
 
+/// The routing state readers and the mesh share: the dynamic peer map,
+/// the inbound incarnation filter, and the counters.
+struct Registry {
+    me: u32,
+    my_incarnation: u32,
+    peers: RwLock<HashMap<u32, Peer>>,
+    /// Highest incarnation seen per sender; frames from lower ones are a
+    /// previous life's stragglers and are dropped as stale.
+    seen: RwLock<HashMap<u32, u32>>,
+    counters: Arc<TransportCounters>,
+}
+
+impl Registry {
+    /// (Re)register `id` at `addr` with (at least) `incarnation`. A new
+    /// address replaces the writer (the old writer thread exits when its
+    /// queue disconnects); a known address just bumps the outbound
+    /// incarnation tag, keeping the live connection.
+    fn register(&self, id: u32, addr: SocketAddr, incarnation: u32) {
+        if id == self.me {
+            return;
+        }
+        {
+            let peers = self.peers.read().expect("peer map poisoned");
+            if let Some(peer) = peers.get(&id) {
+                if peer.addr == addr {
+                    peer.incarnation.fetch_max(incarnation, Ordering::AcqRel);
+                    return;
+                }
+            }
+        }
+        let peer = spawn_peer(addr, incarnation, Arc::clone(&self.counters));
+        self.peers
+            .write()
+            .expect("peer map poisoned")
+            .insert(id, peer);
+    }
+
+    /// An admitted frame from `from` at `incarnation` is proof of that
+    /// life: raise our *outbound* tag for the peer to match, so frames
+    /// we send it stop being addressed to an older life. This is how a
+    /// restarted node — born assuming incarnation 0 for everyone —
+    /// relearns the current incarnation of peers that restarted before
+    /// it did: rejoin frames teach the roster once, and every ordinary
+    /// frame after that self-heals stragglers.
+    fn note_sender_life(&self, from: u32, incarnation: u32) {
+        if let Some(peer) = self.peers.read().expect("peer map poisoned").get(&from) {
+            peer.incarnation.fetch_max(incarnation, Ordering::AcqRel);
+        }
+    }
+
+    /// Admit (or reject) an inbound frame from `from` at `incarnation`,
+    /// advancing the per-sender high-water mark.
+    fn admit_sender(&self, from: u32, incarnation: u32) -> bool {
+        {
+            let seen = self.seen.read().expect("seen map poisoned");
+            match seen.get(&from) {
+                Some(&cur) if incarnation < cur => return false,
+                Some(&cur) if incarnation == cur => return true,
+                _ => {}
+            }
+        }
+        let mut seen = self.seen.write().expect("seen map poisoned");
+        let cur = seen.entry(from).or_insert(incarnation);
+        if incarnation < *cur {
+            return false;
+        }
+        *cur = incarnation;
+        true
+    }
+}
+
 /// The TCP transport: one listener, one writer thread per peer.
 pub struct TcpMesh {
-    me: u32,
-    peers: HashMap<u32, Peer>,
-    counters: Arc<TransportCounters>,
+    registry: Arc<Registry>,
     inbox_tx: Sender<Envelope>,
     /// Problem-announce frames land here instead of the inbox: they are
     /// a pre-`Start` handshake, not protocol traffic.
     announce_rx: Receiver<(u32, AnyInstance)>,
+    /// Rejoin frames, after the registry has acted on them — for logging
+    /// and tests; draining is optional.
+    rejoin_rx: Receiver<RejoinFrame>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
 }
 
 impl TcpMesh {
-    /// Bind `listen` and start routing. `peers` lists every *other*
-    /// node's `(id, address)`; the returned receiver is this node's
-    /// inbox (messages from peers and from self-sends).
+    /// Bind `listen` and start routing as incarnation 0. `peers` lists
+    /// every *other* node's `(id, address)`; the returned receiver is
+    /// this node's inbox (messages from peers and from self-sends).
     pub fn bind(
         me: u32,
         listen: SocketAddr,
@@ -127,12 +222,24 @@ impl TcpMesh {
         TcpMesh::from_listener(me, listener, peers)
     }
 
-    /// Build the mesh around an already-bound listener. This is the
-    /// two-phase entry point `ftbb-noded` uses: bind first (resolving
-    /// `:0` to a real port), announce the address, learn the peer map,
-    /// *then* start routing.
+    /// Build the mesh around an already-bound listener, as incarnation 0.
+    /// This is the two-phase entry point `ftbb-noded` uses: bind first
+    /// (resolving `:0` to a real port), announce the address, learn the
+    /// peer map, *then* start routing.
     pub fn from_listener(
         me: u32,
+        listener: TcpListener,
+        peers: &[(u32, SocketAddr)],
+    ) -> std::io::Result<(TcpMesh, Receiver<Envelope>)> {
+        TcpMesh::from_listener_incarnated(me, 0, listener, peers)
+    }
+
+    /// Build the mesh around an already-bound listener as a specific
+    /// incarnation of its node — the entry point for restarted daemons
+    /// (`--resume` bumps the checkpointed incarnation by one).
+    pub fn from_listener_incarnated(
+        me: u32,
+        incarnation: u32,
         listener: TcpListener,
         peers: &[(u32, SocketAddr)],
     ) -> std::io::Result<(TcpMesh, Receiver<Envelope>)> {
@@ -141,51 +248,47 @@ impl TcpMesh {
         let shutdown = Arc::new(AtomicBool::new(false));
         let (inbox_tx, inbox_rx) = unbounded();
         let (announce_tx, announce_rx) = unbounded();
+        let (rejoin_tx, rejoin_rx) = unbounded();
+
+        let registry = Arc::new(Registry {
+            me,
+            my_incarnation: incarnation,
+            peers: RwLock::new(HashMap::new()),
+            seen: RwLock::new(HashMap::new()),
+            counters,
+        });
+        for &(id, addr) in peers {
+            registry.register(id, addr, 0);
+        }
 
         spawn_acceptor(
             listener,
+            Arc::clone(&registry),
             inbox_tx.clone(),
             announce_tx,
+            rejoin_tx,
             Arc::clone(&shutdown),
         );
 
-        let mut peer_map = HashMap::new();
-        for &(id, addr) in peers {
-            if id == me {
-                continue;
-            }
-            let (queue_tx, queue_rx) = unbounded();
-            let depth = Arc::new(AtomicUsize::new(0));
-            let connected = Arc::new(AtomicBool::new(false));
-            spawn_writer(
-                addr,
-                queue_rx,
-                Arc::clone(&depth),
-                Arc::clone(&connected),
-                Arc::clone(&counters),
-            );
-            peer_map.insert(
-                id,
-                Peer {
-                    queue_tx,
-                    depth,
-                    connected,
-                },
-            );
-        }
-
         Ok((
             TcpMesh {
-                me,
-                peers: peer_map,
-                counters,
+                registry,
                 inbox_tx,
                 announce_rx,
+                rejoin_rx,
                 local_addr,
                 shutdown,
             },
             inbox_rx,
         ))
+    }
+
+    /// (Re)register a peer: new peers join the roster, a known peer at a
+    /// new address gets a fresh writer, and the outbound incarnation tag
+    /// is raised to `incarnation`. Rejoin frames do this automatically;
+    /// the method is public for harnesses that wire rejoins themselves.
+    pub fn register_peer(&self, id: u32, addr: SocketAddr, incarnation: u32) {
+        self.registry.register(id, addr, incarnation);
     }
 
     /// Ship this node's materialized workload to every peer as a
@@ -195,20 +298,23 @@ impl TcpMesh {
     /// frame and drop the connection, so an oversize workload must travel
     /// out of band (e.g. a shared tree file) instead.
     pub fn announce_instance(&self, instance: &AnyInstance) -> bool {
-        let frame = encode_announce(self.me, instance);
+        let registry = &self.registry;
+        let frame = encode_announce(registry.me, registry.my_incarnation, instance);
+        let peers = registry.peers.read().expect("peer map poisoned");
         if frame.exceeds_limit() {
-            for _ in 0..self.peers.len() {
-                self.counters.record_dropped_full();
+            for _ in 0..peers.len() {
+                registry.counters.record_dropped_full();
             }
             return false;
         }
-        for peer in self.peers.values() {
+        for peer in peers.values() {
+            registry.counters.record_announce_sent();
             peer.enqueue(
                 QueuedFrame {
                     wire_size: frame.wire_size,
                     bytes: frame.bytes.clone(),
                 },
-                &self.counters,
+                &registry.counters,
             );
         }
         true
@@ -218,6 +324,36 @@ impl TcpMesh {
     /// announcing node's id and the decoded, already-validated instance.
     pub fn recv_announce(&self, timeout: Duration) -> Option<(u32, AnyInstance)> {
         self.announce_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Announce this node's rejoin to every peer: its id, its new
+    /// incarnation, its (possibly new) listen address, and a summary of
+    /// the state it resumed from. Receivers re-register the peer and
+    /// start tagging traffic for the new life.
+    pub fn send_rejoin(&self, summary: RejoinSummary) {
+        let registry = &self.registry;
+        let frame = encode_rejoin(&RejoinFrame {
+            from: registry.me,
+            incarnation: registry.my_incarnation,
+            addr: self.local_addr,
+            summary,
+        });
+        for peer in registry.peers.read().expect("peer map poisoned").values() {
+            peer.enqueue(
+                QueuedFrame {
+                    wire_size: frame.wire_size,
+                    bytes: frame.bytes.clone(),
+                },
+                &registry.counters,
+            );
+        }
+    }
+
+    /// Wait (up to `timeout`) for a peer's rejoin frame. The registry has
+    /// already acted on it (writer re-pointed, incarnations bumped) by
+    /// the time it surfaces here; this is for logging and tests.
+    pub fn recv_rejoin(&self, timeout: Duration) -> Option<RejoinFrame> {
+        self.rejoin_rx.recv_timeout(timeout).ok()
     }
 
     /// The actually bound listen address (resolves port 0).
@@ -232,18 +368,20 @@ impl TcpMesh {
     /// again — already-connected peers are skipped.
     pub fn connect_all(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        for peer in self.peers.values() {
-            if !peer.connected.load(Ordering::Acquire) {
-                let _ = peer.queue_tx.try_send(WriterCmd::Preconnect { deadline });
+        {
+            let peers = self.registry.peers.read().expect("peer map poisoned");
+            for peer in peers.values() {
+                if !peer.connected.load(Ordering::Acquire) {
+                    let _ = peer.queue_tx.try_send(WriterCmd::Preconnect { deadline });
+                }
             }
         }
         loop {
-            if self
-                .peers
-                .values()
-                .all(|p| p.connected.load(Ordering::Acquire))
             {
-                return true;
+                let peers = self.registry.peers.read().expect("peer map poisoned");
+                if peers.values().all(|p| p.connected.load(Ordering::Acquire)) {
+                    return true;
+                }
             }
             if Instant::now() >= deadline {
                 return false;
@@ -261,7 +399,10 @@ impl TcpMesh {
         let deadline = Instant::now() + timeout;
         loop {
             let pending: usize = self
+                .registry
                 .peers
+                .read()
+                .expect("peer map poisoned")
                 .values()
                 .map(|p| p.depth.load(Ordering::Acquire))
                 .sum();
@@ -277,37 +418,48 @@ impl TcpMesh {
 
     /// This node's id.
     pub fn id(&self) -> u32 {
-        self.me
+        self.registry.me
+    }
+
+    /// Which life of the node this mesh belongs to.
+    pub fn incarnation(&self) -> u32 {
+        self.registry.my_incarnation
     }
 }
 
 impl Transport for TcpMesh {
     fn send(&self, from: u32, to: u32, msg: Msg) {
-        if to == self.me {
+        let registry = &self.registry;
+        if to == registry.me {
             // Self-sends short-circuit the network, like the in-process
             // mesh delivering to the sender's own inbox.
             let wire = msg.wire_size();
             if self.inbox_tx.try_send(Envelope { from, msg }).is_ok() {
-                self.counters.record_send(wire, wire);
+                registry.counters.record_send(wire, wire);
             } else {
-                self.counters.record_dropped_disconnected();
+                registry.counters.record_dropped_disconnected();
             }
             return;
         }
-        let Some(peer) = self.peers.get(&to) else {
-            self.counters.record_dropped_no_route();
+        let peers = registry.peers.read().expect("peer map poisoned");
+        let Some(peer) = peers.get(&to) else {
+            registry.counters.record_dropped_no_route();
             return;
         };
         if peer.depth.load(Ordering::Acquire) >= PEER_QUEUE_CAP {
-            self.counters.record_dropped_full();
+            registry.counters.record_dropped_full();
             return;
         }
-        let frame = encode_frame(&Envelope { from, msg });
+        let frame = encode_frame(
+            &Envelope { from, msg },
+            registry.my_incarnation,
+            peer.incarnation.load(Ordering::Acquire),
+        );
         if frame.exceeds_limit() {
             // Receivers reject oversize frames and drop the connection;
             // transmitting would only sever the link. Dropping here keeps
             // the Crash-model contract (a lost message, counted).
-            self.counters.record_dropped_full();
+            registry.counters.record_dropped_full();
             return;
         }
         // Success/drop is recorded by the writer thread once the frame
@@ -317,7 +469,7 @@ impl Transport for TcpMesh {
                 wire_size: frame.wire_size,
                 bytes: frame.bytes,
             },
-            &self.counters,
+            &registry.counters,
         );
     }
 
@@ -326,11 +478,11 @@ impl Transport for TcpMesh {
     }
 
     fn endpoints(&self) -> usize {
-        self.peers.len() + 1
+        self.registry.peers.read().expect("peer map poisoned").len() + 1
     }
 
     fn counters(&self) -> &TransportCounters {
-        &self.counters
+        &self.registry.counters
     }
 }
 
@@ -339,14 +491,17 @@ impl Drop for TcpMesh {
         self.shutdown.store(true, Ordering::Release);
         // Wake the acceptor so it observes the flag and exits.
         let _ = TcpStream::connect_timeout(&self.local_addr, CONNECT_TIMEOUT);
-        // Writer threads exit when their queue senders drop with `peers`.
+        // Writer threads exit once their queue senders drop — with the
+        // peer map, when the last reader releases the registry.
     }
 }
 
 fn spawn_acceptor(
     listener: TcpListener,
+    registry: Arc<Registry>,
     inbox: Sender<Envelope>,
     announce: Sender<(u32, AnyInstance)>,
+    rejoin: Sender<RejoinFrame>,
     shutdown: Arc<AtomicBool>,
 ) {
     std::thread::spawn(move || {
@@ -358,8 +513,10 @@ fn spawn_acceptor(
                     }
                     spawn_reader(
                         stream,
+                        Arc::clone(&registry),
                         inbox.clone(),
                         announce.clone(),
+                        rejoin.clone(),
                         Arc::clone(&shutdown),
                     );
                 }
@@ -377,8 +534,10 @@ fn spawn_acceptor(
 
 fn spawn_reader(
     stream: TcpStream,
+    registry: Arc<Registry>,
     inbox: Sender<Envelope>,
     announce: Sender<(u32, AnyInstance)>,
+    rejoin: Sender<RejoinFrame>,
     shutdown: Arc<AtomicBool>,
 ) {
     std::thread::spawn(move || {
@@ -398,15 +557,58 @@ fn spawn_reader(
                     decoder.push(&buf[..n]);
                     loop {
                         match decoder.try_next() {
-                            Ok(Some(WireFrame::Protocol(env))) => {
+                            Ok(Some(WireFrame::Protocol {
+                                env,
+                                from_incarnation,
+                                to_incarnation,
+                            })) => {
+                                // Frames from a sender's previous life are
+                                // stale — count and drop, never deliver.
+                                if !registry.admit_sender(env.from, from_incarnation) {
+                                    registry.counters.record_dropped_stale();
+                                    continue;
+                                }
+                                // The sender's current life is now proven;
+                                // tag our own traffic to it accordingly —
+                                // even when the frame below turns out to
+                                // be addressed to OUR previous life (its
+                                // from-tag is truthful regardless).
+                                registry.note_sender_life(env.from, from_incarnation);
+                                // Frames for another of this node's lives
+                                // are stale too.
+                                if to_incarnation != registry.my_incarnation {
+                                    registry.counters.record_dropped_stale();
+                                    continue;
+                                }
                                 if inbox.try_send(env).is_err() {
                                     return; // local node gone
                                 }
                             }
-                            Ok(Some(WireFrame::Announce { from, instance })) => {
+                            Ok(Some(WireFrame::Announce {
+                                from,
+                                incarnation,
+                                instance,
+                            })) => {
+                                if !registry.admit_sender(from, incarnation) {
+                                    registry.counters.record_dropped_stale();
+                                    continue;
+                                }
+                                registry.note_sender_life(from, incarnation);
+                                registry.counters.record_announce_recv();
                                 if announce.try_send((from, instance)).is_err() {
                                     return; // local node gone
                                 }
+                            }
+                            Ok(Some(WireFrame::Rejoin(frame))) => {
+                                if !registry.admit_sender(frame.from, frame.incarnation) {
+                                    registry.counters.record_dropped_stale();
+                                    continue;
+                                }
+                                registry.counters.record_rejoin();
+                                registry.register(frame.from, frame.addr, frame.incarnation);
+                                // Best-effort surface for logging/tests; a
+                                // full channel is not a routing failure.
+                                let _ = rejoin.try_send(frame);
                             }
                             Ok(None) => break,
                             Err(_) => {
@@ -427,6 +629,28 @@ fn spawn_reader(
             }
         }
     });
+}
+
+/// Build one peer entry: its queue, its shared flags, and its writer
+/// thread.
+fn spawn_peer(addr: SocketAddr, incarnation: u32, counters: Arc<TransportCounters>) -> Peer {
+    let (queue_tx, queue_rx) = unbounded();
+    let depth = Arc::new(AtomicUsize::new(0));
+    let connected = Arc::new(AtomicBool::new(false));
+    spawn_writer(
+        addr,
+        queue_rx,
+        Arc::clone(&depth),
+        Arc::clone(&connected),
+        counters,
+    );
+    Peer {
+        addr,
+        incarnation: Arc::new(AtomicU32::new(incarnation)),
+        queue_tx,
+        depth,
+        connected,
+    }
 }
 
 /// One peer's writer: owns the outgoing connection, the startup retry
@@ -637,9 +861,11 @@ fn spawn_writer(
             window_until: None,
             retry: VecDeque::new(),
         };
-        // Exits when the owning TcpMesh drops (queue disconnects). The
-        // depth counter is decremented only after a frame's fate is
-        // settled (written or dropped), so `drain` can await the flush.
+        // Exits when the owning TcpMesh drops (queue disconnects) or the
+        // peer is re-registered at a new address (its entry — and queue
+        // sender — is replaced). The depth counter is decremented only
+        // after a frame's fate is settled (written or dropped), so
+        // `drain` can await the flush.
         loop {
             let cmd = if w.retry.is_empty() {
                 match queue.recv() {
@@ -685,6 +911,19 @@ mod tests {
         }
     }
 
+    /// Rebind an address a just-dropped mesh used: its acceptor thread
+    /// may hold the listener for a few more scheduler slices.
+    fn bind_retry(addr: SocketAddr) -> TcpListener {
+        let end = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => return l,
+                Err(_) if Instant::now() < end => std::thread::sleep(Duration::from_millis(10)),
+                Err(e) => panic!("cannot rebind {addr}: {e}"),
+            }
+        }
+    }
+
     /// Deadline-bounded wait for a counter condition — no fixed sleeps.
     fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
         let end = Instant::now() + deadline;
@@ -718,6 +957,9 @@ mod tests {
         assert_eq!(mesh_a.stats().sent, 1);
         assert_eq!(mesh_b.stats().sent, 1);
         assert!(mesh_a.stats().sent_encoded_bytes > mesh_a.stats().sent_wire_bytes);
+        // First lives both ways: nothing is stale.
+        assert_eq!(mesh_a.stats().dropped_stale, 0);
+        assert_eq!(mesh_b.stats().dropped_stale, 0);
     }
 
     #[test]
@@ -851,6 +1093,8 @@ mod tests {
         let (queue_tx, queue_rx) = unbounded();
         drop(queue_rx);
         let peer = Peer {
+            addr: free_addr(),
+            incarnation: Arc::new(AtomicU32::new(0)),
             queue_tx,
             depth: Arc::new(AtomicUsize::new(0)),
             connected: Arc::new(AtomicBool::new(false)),
@@ -879,6 +1123,7 @@ mod tests {
 
         let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 9));
         assert!(mesh_a.announce_instance(&instance));
+        assert_eq!(mesh_a.stats().announces_sent, 2);
 
         for mesh in [&mesh_b, &mesh_c] {
             let (from, got) = mesh
@@ -886,6 +1131,7 @@ mod tests {
                 .expect("announce arrives");
             assert_eq!(from, 0);
             assert_eq!(got, instance);
+            assert_eq!(mesh.stats().announces_recv, 1);
         }
         // The handshake must not leak into the protocol inbox.
         assert!(recv_msg(&rx_b, Duration::from_millis(100)).is_none());
@@ -904,12 +1150,13 @@ mod tests {
             ..Default::default()
         });
         let instance = ftbb_bnb::AnyInstance::from(tree);
-        assert!(crate::codec::encode_announce(0, &instance).exceeds_limit());
+        assert!(crate::codec::encode_announce(0, 0, &instance).exceeds_limit());
 
         let addr = free_addr();
         let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, free_addr()), (2, free_addr())]).unwrap();
         assert!(!mesh.announce_instance(&instance));
         assert_eq!(mesh.stats().dropped_full, 2);
+        assert_eq!(mesh.stats().announces_sent, 0);
         assert_eq!(mesh.stats().sent, 0);
     }
 
@@ -949,24 +1196,210 @@ mod tests {
             mesh_a.stats()
         );
 
-        // Second incarnation on the same address: deliveries resume and
-        // the re-establishment is counted.
-        let (_mesh_b2, rx_b2) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+        // Second incarnation on the same address: mesh_a still tags its
+        // frames for incarnation 0, so deliveries reach the new listener
+        // but must NOT reach its inbox — they belong to the previous
+        // life, and are counted as stale drops instead.
+        let listener = bind_retry(addr_b);
+        let (mesh_b2, rx_b2) =
+            TcpMesh::from_listener_incarnated(1, 1, listener, &[(0, addr_a)]).unwrap();
+        assert_eq!(mesh_b2.incarnation(), 1);
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 3.0 });
+                mesh_a.drain(Duration::from_millis(50));
+                mesh_b2.stats().dropped_stale > 0
+            }),
+            "frames addressed to the previous life must be counted stale: {:?}",
+            mesh_b2.stats()
+        );
+        assert!(
+            recv_msg(&rx_b2, Duration::from_millis(100)).is_none(),
+            "a restarted listener must not receive frames addressed to its previous life"
+        );
+        assert!(
+            mesh_a.stats().reconnects >= 1,
+            "reconnect not counted: {:?}",
+            mesh_a.stats()
+        );
+
+        // Once the rejoin teaches mesh_a the new incarnation (the test
+        // wires it directly; daemons learn it from the rejoin frame),
+        // deliveries resume.
+        mesh_a.register_peer(1, addr_b, 1);
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while Instant::now() < deadline {
-            mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 3.0 });
+            mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 4.0 });
             if let Some(env) = recv_msg(&rx_b2, Duration::from_millis(100)) {
                 assert!(matches!(env.msg, Msg::WorkDeny { .. }));
                 delivered = true;
                 break;
             }
         }
-        assert!(delivered, "no delivery after peer restart");
+        assert!(delivered, "no delivery after the incarnation was learned");
+    }
+
+    #[test]
+    fn rejoin_frame_reregisters_the_peer_and_resumes_delivery() {
+        // A rejoins the mesh on a NEW address under a new incarnation:
+        // its rejoin frame must re-point B's writer without any help.
+        let addr_a1 = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a1, _rx_a1) = TcpMesh::bind(7, addr_a1, &[(8, addr_b)]).unwrap();
+        let (mesh_b, rx_b) = TcpMesh::bind(8, addr_b, &[(7, addr_a1)]).unwrap();
+        assert!(mesh_a1.ready(Duration::from_secs(10)));
+        mesh_a1.send(7, 8, Msg::WorkRequest { incumbent: 1.0 });
+        assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
+
+        // First life of node 7 dies; its second life binds elsewhere.
+        drop(mesh_a1);
+        let addr_a2 = free_addr();
+        let listener = TcpListener::bind(addr_a2).unwrap();
+        let (mesh_a2, rx_a2) =
+            TcpMesh::from_listener_incarnated(7, 1, listener, &[(8, addr_b)]).unwrap();
+        assert!(mesh_a2.ready(Duration::from_secs(10)));
+        mesh_a2.send_rejoin(RejoinSummary {
+            incumbent: -3.5,
+            table_codes: 11,
+            pool_len: 2,
+        });
+
+        // B observes the rejoin (counted + surfaced)…
+        let frame = mesh_b
+            .recv_rejoin(Duration::from_secs(5))
+            .expect("rejoin arrives");
+        assert_eq!(frame.from, 7);
+        assert_eq!(frame.incarnation, 1);
+        assert_eq!(frame.addr, addr_a2);
+        assert_eq!(frame.summary.table_codes, 11);
+        assert_eq!(mesh_b.stats().rejoins, 1);
+
+        // …and delivery to the NEW address (old one is gone) works,
+        // tagged for the new life.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while Instant::now() < deadline {
+            mesh_b.send(8, 7, Msg::WorkDeny { incumbent: 2.0 });
+            if recv_msg(&rx_a2, Duration::from_millis(100)).is_some() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "rejoin must re-point the writer: {:?}", {
+            mesh_b.stats()
+        });
+        assert_eq!(
+            mesh_a2.stats().dropped_stale,
+            0,
+            "new-life frames are not stale"
+        );
+    }
+
+    #[test]
+    fn two_restarted_peers_relearn_each_other_from_ordinary_traffic() {
+        // Both nodes are later lives (A is incarnation 2, B incarnation
+        // 3) but each was just (re)born assuming incarnation 0 for the
+        // other — the double-restart scenario, where no rejoin exchange
+        // happened between the two new lives. The first frames cross
+        // stale, but every admitted frame proves the sender's current
+        // life, so the pair must converge to mutual delivery instead of
+        // staying unidirectionally partitioned.
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a, rx_a) = {
+            let l = TcpListener::bind(addr_a).unwrap();
+            TcpMesh::from_listener_incarnated(11, 2, l, &[(12, addr_b)]).unwrap()
+        };
+        let (mesh_b, rx_b) = {
+            let l = TcpListener::bind(addr_b).unwrap();
+            TcpMesh::from_listener_incarnated(12, 3, l, &[(11, addr_a)]).unwrap()
+        };
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+        assert!(mesh_b.ready(Duration::from_secs(10)));
+
+        // Keep probing in both directions until both inboxes deliver.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (mut a_heard, mut b_heard) = (false, false);
+        while Instant::now() < deadline && !(a_heard && b_heard) {
+            mesh_a.send(11, 12, Msg::WorkRequest { incumbent: 1.0 });
+            mesh_b.send(12, 11, Msg::WorkRequest { incumbent: 2.0 });
+            b_heard |= recv_msg(&rx_b, Duration::from_millis(50)).is_some();
+            a_heard |= recv_msg(&rx_a, Duration::from_millis(50)).is_some();
+        }
         assert!(
-            mesh_a.stats().reconnects >= 1,
-            "reconnect not counted: {:?}",
-            mesh_a.stats()
+            a_heard && b_heard,
+            "both directions must heal (a_heard={a_heard}, b_heard={b_heard}): A {:?} / B {:?}",
+            mesh_a.stats(),
+            mesh_b.stats()
+        );
+        // The healing is visible: at least one side's early frames were
+        // counted stale before the incarnations were learned.
+        assert!(
+            mesh_a.stats().dropped_stale + mesh_b.stats().dropped_stale >= 1,
+            "the first crossing frames must have been stale: A {:?} / B {:?}",
+            mesh_a.stats(),
+            mesh_b.stats()
+        );
+    }
+
+    #[test]
+    fn register_peer_adds_unknown_peers_dynamically() {
+        // A mesh born with an empty roster learns a peer at runtime.
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[]).unwrap();
+        let (_mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+
+        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+        assert_eq!(
+            mesh_a.stats().dropped_no_route,
+            1,
+            "unknown before registration"
+        );
+        assert_eq!(mesh_a.endpoints(), 1);
+
+        mesh_a.register_peer(1, addr_b, 0);
+        assert_eq!(mesh_a.endpoints(), 2);
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 1.0 });
+        assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn stale_senders_are_filtered_once_a_newer_life_is_seen() {
+        // B has seen A's incarnation 1; a lingering incarnation-0 mesh of
+        // A (its previous life's sockets) keeps sending — those frames
+        // must be dropped as stale, not delivered.
+        let addr_a_old = free_addr();
+        let addr_a_new = free_addr();
+        let addr_b = free_addr();
+        let (mesh_a_old, _rx_old) = TcpMesh::bind(3, addr_a_old, &[(4, addr_b)]).unwrap();
+        let (mesh_b, rx_b) = TcpMesh::bind(4, addr_b, &[(3, addr_a_old)]).unwrap();
+        assert!(mesh_a_old.ready(Duration::from_secs(10)));
+
+        let listener = TcpListener::bind(addr_a_new).unwrap();
+        let (mesh_a_new, _rx_new) =
+            TcpMesh::from_listener_incarnated(3, 1, listener, &[(4, addr_b)]).unwrap();
+        assert!(mesh_a_new.ready(Duration::from_secs(10)));
+        mesh_a_new.send_rejoin(RejoinSummary {
+            incumbent: 0.0,
+            table_codes: 0,
+            pool_len: 0,
+        });
+        assert!(mesh_b.recv_rejoin(Duration::from_secs(5)).is_some());
+
+        // The previous life keeps talking into its established socket.
+        mesh_a_old.send(3, 4, Msg::WorkRequest { incumbent: 9.0 });
+        assert!(mesh_a_old.drain(Duration::from_secs(5)));
+        assert!(
+            wait_until(Duration::from_secs(5), || mesh_b.stats().dropped_stale >= 1),
+            "stragglers from the previous life must be counted stale: {:?}",
+            mesh_b.stats()
+        );
+        assert!(
+            recv_msg(&rx_b, Duration::from_millis(100)).is_none(),
+            "stragglers from the previous life must not be delivered"
         );
     }
 }

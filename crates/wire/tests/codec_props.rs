@@ -122,15 +122,18 @@ fn any_instance_strategy() -> impl Strategy<Value = AnyInstance> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Round trip through the frame codec with arbitrary read chunking.
+    /// Round trip through the frame codec with arbitrary read chunking —
+    /// including the incarnation tags the lifecycle refactor added.
     #[test]
     fn every_msg_survives_framing_and_split_reads(
         msg in msg_strategy(),
         from in any::<u32>(),
+        from_incarnation in any::<u32>(),
+        to_incarnation in any::<u32>(),
         chunk in 1usize..64,
     ) {
         let env = Envelope { from, msg };
-        let frame = encode_frame(&env);
+        let frame = encode_frame(&env, from_incarnation, to_incarnation);
         prop_assert!(frame.encoded_len() > frame.wire_size,
             "frame header must add bytes");
 
@@ -144,7 +147,7 @@ proptest! {
             }
         }
         let got = decoded.expect("frame fully fed");
-        prop_assert_eq!(got, WireFrame::Protocol(env));
+        prop_assert_eq!(got, WireFrame::Protocol { env, from_incarnation, to_incarnation });
     }
 
     /// Back-to-back frames decode independently in order.
@@ -156,7 +159,7 @@ proptest! {
         let mut stream = Vec::new();
         for msg in &msgs {
             stream.extend_from_slice(
-                &encode_frame(&Envelope { from, msg: msg.clone() }).bytes,
+                &encode_frame(&Envelope { from, msg: msg.clone() }, 0, 0).bytes,
             );
         }
         let mut dec = FrameDecoder::new();
@@ -177,7 +180,7 @@ proptest! {
     /// errors, never panics, and never yields a message.
     #[test]
     fn truncated_frames_pend_not_panic(msg in msg_strategy(), cut_seed in any::<u64>()) {
-        let frame = encode_frame(&Envelope { from: 1, msg }).bytes;
+        let frame = encode_frame(&Envelope { from: 1, msg }, 0, 0).bytes;
         let cut = (cut_seed as usize) % frame.len();
         let mut dec = FrameDecoder::new();
         dec.push(&frame[..cut]);
@@ -189,7 +192,7 @@ proptest! {
     #[test]
     fn corruption_never_decodes_silently(msg in msg_strategy(), pos_seed in any::<u64>(), flip in 1u8..=255) {
         let env = Envelope { from: 9, msg };
-        let frame = encode_frame(&env).bytes;
+        let frame = encode_frame(&env, 3, 4).bytes;
         let pos = (pos_seed as usize) % frame.len();
         let mut bad = frame.clone();
         bad[pos] ^= flip;
@@ -200,7 +203,7 @@ proptest! {
             Ok(None) => {}        // length grew: stream pends forever
             Ok(Some(got)) => prop_assert_eq!(
                 got,
-                WireFrame::Protocol(env),
+                WireFrame::Protocol { env, from_incarnation: 3, to_incarnation: 4 },
                 "corrupt frame decoded to different data"
             ),
         }
@@ -212,9 +215,10 @@ proptest! {
     fn every_instance_survives_the_announce_frame(
         instance in any_instance_strategy(),
         from in any::<u32>(),
+        incarnation in any::<u32>(),
         chunk in 1usize..512,
     ) {
-        let frame = encode_announce(from, &instance);
+        let frame = encode_announce(from, incarnation, &instance);
         prop_assert!(!frame.exceeds_limit());
         let mut dec = FrameDecoder::new();
         let mut decoded = None;
@@ -226,12 +230,51 @@ proptest! {
             }
         }
         match decoded.expect("frame fully fed") {
-            WireFrame::Announce { from: got_from, instance: got } => {
+            WireFrame::Announce { from: got_from, incarnation: got_inc, instance: got } => {
                 prop_assert_eq!(got_from, from);
+                prop_assert_eq!(got_inc, incarnation);
                 prop_assert!(got.validate().is_ok());
                 prop_assert_eq!(got, instance);
             }
             other => prop_assert!(false, "expected announce, got {:?}", other),
+        }
+    }
+
+    /// Rejoin frames survive framing and split reads for arbitrary ids,
+    /// incarnations, ports, and summaries.
+    #[test]
+    fn every_rejoin_survives_framing(
+        from in any::<u32>(),
+        incarnation in any::<u32>(),
+        port in 1u16..65535,
+        table_codes in any::<u32>(),
+        pool_len in any::<u32>(),
+        incumbent_raw in any::<u32>(),
+        chunk in 1usize..64,
+    ) {
+        let rejoin = ftbb_wire::RejoinFrame {
+            from,
+            incarnation,
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+            summary: ftbb_wire::RejoinSummary {
+                incumbent: incumbent_raw as f64 / 7.0,
+                table_codes,
+                pool_len,
+            },
+        };
+        let frame = ftbb_wire::encode_rejoin(&rejoin);
+        let mut dec = FrameDecoder::new();
+        let mut decoded = None;
+        for piece in frame.bytes.chunks(chunk) {
+            dec.push(piece);
+            if let Some(got) = dec.try_next().expect("valid frame decodes") {
+                prop_assert!(decoded.is_none(), "only one frame was sent");
+                decoded = Some(got);
+            }
+        }
+        match decoded.expect("frame fully fed") {
+            WireFrame::Rejoin(got) => prop_assert_eq!(got, rejoin),
+            other => prop_assert!(false, "expected rejoin, got {:?}", other),
         }
     }
 

@@ -13,7 +13,7 @@
 //! ```
 
 use ftbb::bnb::{solve, SolveConfig};
-use ftbb::wire::launcher::{launch, ClusterSpec};
+use ftbb::wire::launcher::{launch, ClusterSpec, LifecycleEvent};
 use ftbb::wire::{KnapsackSpec, ProblemSpec};
 use ftbb_bnb::Correlation;
 use std::path::PathBuf;
@@ -55,34 +55,42 @@ fn main() {
     let reference = solve(&problem.instance().unwrap(), &SolveConfig::default());
     println!("sequential optimum: {:?}", reference.best);
 
+    // Lifecycle plan: SIGKILL two nodes mid-run, then bring node 1 back
+    // from its checkpoint — it rejoins under incarnation 1 and keeps
+    // contributing expansions.
+    let checkpoint_dir = std::env::temp_dir().join("ftbb-tcp-cluster-example");
     let spec = ClusterSpec {
         noded: find_noded(),
         nodes: 5,
         crash_at: Vec::new(),
-        kill: vec![
-            (1, Duration::from_millis(60)),
-            (3, Duration::from_millis(120)),
+        lifecycle: vec![
+            LifecycleEvent::kill(1, Duration::from_millis(60)),
+            LifecycleEvent::kill(3, Duration::from_millis(120)),
+            LifecycleEvent::restart(1, Duration::from_millis(400)),
         ],
         problem,
         wire_peers: true,
+        checkpoint_dir: Some(checkpoint_dir.clone()),
+        checkpoint_every_s: 0.05,
         deadline: Duration::from_secs(60),
         seed: 42,
     };
     println!(
         "launching {} ftbb-noded processes on loopback ({} workload; only \
-         node 0 has the spec, peers learn it over the wire); SIGKILL plan: {:?}",
+         node 0 has the spec, peers learn it over the wire); lifecycle plan: {:?}",
         spec.nodes,
         spec.problem.kind_name(),
-        spec.kill
+        spec.lifecycle
     );
     let report = launch(&spec).expect("cluster launch");
 
     for (id, outcome) in report.outcomes.iter().enumerate() {
         match outcome {
             Some(o) => println!(
-                "node {id}: terminated={} incumbent={} expanded={} recoveries={} \
-                 sent={} retried={} dropped={} (full={}, disconnected={}, no_route={}, \
-                 startup={}) connect_waits={}",
+                "node {id} (incarnation {}): terminated={} incumbent={} expanded={} \
+                 recoveries={} sent={} retried={} dropped={} (full={}, disconnected={}, \
+                 no_route={}, startup={}) stale={} rejoins={} connect_waits={}",
+                o.incarnation,
                 o.terminated,
                 o.incumbent,
                 o.expanded,
@@ -94,12 +102,15 @@ fn main() {
                 o.transport.dropped_disconnected,
                 o.transport.dropped_no_route,
                 o.transport.dropped_startup,
+                o.transport.dropped_stale,
+                o.transport.rejoins,
                 o.transport.connect_waits,
             ),
-            None => println!("node {id}: no outcome (SIGKILLed)"),
+            None => println!("node {id}: no outcome (SIGKILLed, never restarted)"),
         }
     }
-    println!("killed mid-run: {:?}", report.killed);
+    std::fs::remove_dir_all(&checkpoint_dir).ok();
+    println!("killed for good: {:?}", report.killed);
     println!(
         "survivors terminated: {} — best: {:?}",
         report.all_survivors_terminated, report.best
