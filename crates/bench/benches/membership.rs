@@ -1,0 +1,77 @@
+//! Benchmarks of the membership protocol (§5.2) — the costs the elastic
+//! TCP cluster pays continuously: merging gossiped view digests and the
+//! per-tick work of a member (heartbeat bump, sweep, target selection).
+//!
+//! `view_merge` measures digest-merge throughput at growing group sizes
+//! (the dominant receive-side cost of membership traffic);
+//! `heartbeat_tick` measures one full `Membership::tick` per node count
+//! (the steady per-interval overhead every node pays, ~20×/s at the
+//! deployed 50 ms interval).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbb_des::SimTime;
+use ftbb_gossip::{Membership, MembershipConfig, MembershipView, ViewDigest};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn cfg() -> MembershipConfig {
+    MembershipConfig {
+        gossip_interval: SimTime::from_millis(50),
+        fanout: 2,
+        t_fail: SimTime::from_millis(500),
+        t_cleanup: SimTime::from_secs(3),
+    }
+}
+
+/// A digest over `n` members with staggered heartbeats.
+fn digest(n: u32, offset: u64) -> ViewDigest {
+    ViewDigest {
+        entries: (0..n).map(|m| (m, offset + (m as u64 % 7))).collect(),
+    }
+}
+
+fn bench_view_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_view_merge");
+    for &n in &[8u32, 64, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Alternate two digests whose heartbeats keep advancing, so
+            // every merge processes real news (the expensive path).
+            let mut view = MembershipView::new(cfg().t_fail, cfg().t_cleanup);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let d = digest(n, round);
+                black_box(view.merge_digest(&d, SimTime::from_millis(round)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_heartbeat_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_heartbeat_tick");
+    for &n in &[8u32, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Generous timeouts keep the whole group alive for the run,
+            // so every tick exercises the full alive set (sweeps would
+            // shrink it and flatter the numbers).
+            let tick_cfg = MembershipConfig {
+                t_fail: SimTime::from_secs(1 << 20),
+                t_cleanup: SimTime::from_secs(1 << 21),
+                ..cfg()
+            };
+            let mut member = Membership::new(0, tick_cfg, SimTime::ZERO, true);
+            member.observe_members(&(1..n).collect::<Vec<_>>(), SimTime::ZERO);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut now_ms = 0u64;
+            b.iter(|| {
+                now_ms += 1;
+                black_box(member.tick(SimTime::from_millis(now_ms), &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_merge, bench_heartbeat_tick);
+criterion_main!(benches);

@@ -53,10 +53,10 @@ fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_encode");
     for (name, msg) in messages() {
         let env = Envelope { from: 7, msg };
-        let encoded = encode_frame(&env, 0, 0).encoded_len() as u64;
+        let encoded = encode_frame(&env, 0, 0, &[]).encoded_len() as u64;
         group.throughput(Throughput::Bytes(encoded));
         group.bench_with_input(BenchmarkId::from_parameter(name), &env, |b, env| {
-            b.iter(|| encode_frame(env, 0, 0).encoded_len());
+            b.iter(|| encode_frame(env, 0, 0, &[]).encoded_len());
         });
     }
     group.finish();
@@ -66,7 +66,7 @@ fn bench_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_decode");
     for (name, msg) in messages() {
         let env = Envelope { from: 7, msg };
-        let frame = encode_frame(&env, 0, 0).bytes;
+        let frame = encode_frame(&env, 0, 0, &[]).bytes;
         group.throughput(Throughput::Bytes(frame.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &frame, |b, frame| {
             b.iter(|| {
@@ -97,6 +97,7 @@ fn bench_stream_decode(c: &mut Criterion) {
                 },
                 0,
                 0,
+                &[],
             )
             .bytes,
         );

@@ -36,13 +36,32 @@
 use crate::config::ProtocolConfig;
 use crate::process::BnbProcess;
 use ftbb_bnb::AnyInstance;
+use ftbb_des::SimTime;
 use ftbb_tree::{Code, CodeSet};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Version tag of the checkpoint blob format. v2 added the incarnation
-/// number and the optional problem binding.
-pub const CHECKPOINT_VERSION: u16 = 2;
+/// number and the optional problem binding; v3 added the membership
+/// (gossip) binding.
+pub const CHECKPOINT_VERSION: u16 = 3;
+
+/// The membership half of a checkpoint: how a gossip-managed process was
+/// wired into the group when the snapshot was taken. Restoring it lets
+/// the next incarnation rejoin with its last-known world — its view's
+/// members become immediate gossip/load-balancing targets instead of
+/// being relearned one Welcome at a time — while heartbeat monotonicity
+/// still protects against the view being stale (members that died while
+/// the node was down simply never heartbeat again and get re-suspected).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipBinding {
+    /// The gossip servers this process joins through.
+    pub servers: Vec<u32>,
+    /// Whether this process itself answers joins (§5.2 gossip server).
+    pub is_server: bool,
+    /// Every member the view knew (alive or suspected) at snapshot time.
+    pub known: Vec<u32>,
+}
 
 /// Where periodic checkpoint snapshots go. The engine (`ftbb-runtime`'s
 /// `NodeEngine`) calls [`CheckpointSink::store`] on a cadence; sinks own
@@ -91,6 +110,9 @@ pub struct Checkpoint {
     /// immutable for a node's whole life while snapshots are taken on a
     /// cadence — attaching it must never deep-copy the workload.
     pub problem: Option<Arc<AnyInstance>>,
+    /// Membership binding, when the process runs the gossip protocol
+    /// (`None` under a static member list). See [`GossipBinding`].
+    pub gossip: Option<GossipBinding>,
 }
 
 impl Checkpoint {
@@ -120,6 +142,7 @@ impl Checkpoint {
             .map(|(c, _)| codes(std::slice::from_ref(c)) + 8)
             .sum();
         let problem = 1 + self.problem.as_ref().map_or(0, |p| serde::encode(p).len());
+        let gossip = 1 + self.gossip.as_ref().map_or(0, |g| serde::encode(g).len());
         // magic + version + me + incarnation + incumbent + root_bound
         (4 + 2 + 4 + 4 + 8 + 8)
             + (4 + 4 * self.members.len())
@@ -128,6 +151,7 @@ impl Checkpoint {
             + 4
             + pool
             + problem
+            + gossip
     }
 
     /// Encode to a compact binary blob (magic + bincode-free hand codec).
@@ -158,6 +182,7 @@ impl Checkpoint {
         }
         let mut out = buf.to_vec();
         self.problem.ser(&mut out);
+        self.gossip.ser(&mut out);
         out
     }
 
@@ -216,6 +241,7 @@ impl Checkpoint {
             p.validate()
                 .map_err(|e| format!("invalid problem binding: {e}"))?;
         }
+        let gossip = Option::<GossipBinding>::de(&mut data).map_err(|e| e.to_string())?;
         if !data.is_empty() {
             return Err(format!("{} trailing checkpoint bytes", data.len()));
         }
@@ -229,6 +255,7 @@ impl Checkpoint {
             incumbent,
             root_bound,
             problem,
+            gossip,
         })
     }
 }
@@ -249,6 +276,11 @@ impl BnbProcess {
             incumbent: self.incumbent(),
             root_bound: self.root_bound(),
             problem: None,
+            gossip: self.membership().map(|m| GossipBinding {
+                servers: self.gossip_server_list(),
+                is_server: m.is_server(),
+                known: m.view().known(),
+            }),
         }
     }
 
@@ -257,7 +289,19 @@ impl BnbProcess {
     /// resume — it will pick up its pool, or seek work, or recover, exactly
     /// as the protocol dictates. The caller owns the incarnation bump (the
     /// restored *process* is state; the new *life* is the engine's).
+    ///
+    /// A checkpoint with a [`GossipBinding`] restores into a
+    /// membership-managed process (rejoining with its last-known view):
+    /// the membership *knobs* come from `cfg.membership`, like every other
+    /// protocol parameter — falling back to
+    /// `ftbb_gossip::MembershipConfig::default()` when the caller did not
+    /// set them.
     pub fn restore(chk: &Checkpoint, cfg: ProtocolConfig, rng_seed: u64) -> BnbProcess {
+        let mut cfg = cfg;
+        if chk.gossip.is_some() && cfg.membership.is_none() {
+            cfg.membership = Some(ftbb_gossip::MembershipConfig::default());
+        }
+        let mcfg = cfg.membership;
         let mut p = BnbProcess::new(
             chk.me,
             chk.members.clone(),
@@ -266,6 +310,15 @@ impl BnbProcess {
             false,
             rng_seed,
         );
+        if let Some(g) = &chk.gossip {
+            p.restore_membership(
+                &g.servers,
+                g.is_server,
+                &g.known,
+                mcfg.expect("set above"),
+                SimTime::ZERO,
+            );
+        }
         let mut table = CodeSet::new();
         table.merge(chk.table.iter());
         p.restore_state(table, &chk.pool, chk.fresh.clone(), chk.incumbent);
@@ -345,6 +398,54 @@ mod tests {
         let back = Checkpoint::decode(&chk.encode()).unwrap();
         assert_eq!(back, chk);
         assert_eq!(back.problem.as_deref(), Some(&instance));
+    }
+
+    #[test]
+    fn gossip_checkpoint_round_trips_and_restores_the_view() {
+        let mcfg = ftbb_gossip::MembershipConfig {
+            gossip_interval: SimTime::from_millis(100),
+            fanout: 2,
+            t_fail: SimTime::from_secs(2),
+            t_cleanup: SimTime::from_secs(8),
+        };
+        let cfg = ProtocolConfig {
+            membership: Some(mcfg),
+            ..Default::default()
+        };
+        let mut p = BnbProcess::with_membership(
+            2,
+            vec![0, 5],
+            true,
+            cfg.clone(),
+            0.0,
+            false,
+            1,
+            SimTime::ZERO,
+        );
+        p.seed_membership_view(&[0, 1, 3], SimTime::ZERO);
+
+        let chk = p.checkpoint();
+        let g = chk
+            .gossip
+            .as_ref()
+            .expect("membership process binds gossip");
+        assert_eq!(g.servers, vec![0, 5]);
+        assert!(g.is_server);
+        assert_eq!(g.known, vec![0, 1, 2, 3]);
+        assert_eq!(chk.wire_size(), chk.encode().len());
+        let back = Checkpoint::decode(&chk.encode()).unwrap();
+        assert_eq!(back, chk);
+
+        // The restored incarnation rejoins with its last-known world.
+        let restored = BnbProcess::restore(&chk, cfg, 9);
+        let mem = restored.membership().expect("membership restored");
+        assert!(mem.is_server());
+        assert_eq!(mem.view().known(), vec![0, 1, 2, 3]);
+
+        // Without explicit knobs the default membership config applies —
+        // a gossip checkpoint never silently restores into static mode.
+        let plain = BnbProcess::restore(&chk, ProtocolConfig::default(), 9);
+        assert!(plain.membership().is_some());
     }
 
     #[test]

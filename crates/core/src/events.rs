@@ -27,6 +27,45 @@ pub enum PTimer {
     MembershipTick,
 }
 
+impl PTimer {
+    /// Firing rank for timers that come due at the *same* instant: lower
+    /// fires first. This is the single source of the tie-break order every
+    /// harness must use (the threaded runtime keys its timer heap on it;
+    /// the DES engine's FIFO tie-break is equivalent because the protocol
+    /// arms timers in this same order) — so the deployments cannot drift
+    /// apart on simultaneous deadlines.
+    ///
+    /// Liveness first: a due membership tick fires before load-balancing
+    /// verdicts (which consult the alive set), which fire before the
+    /// recovery fuse (so a grant that raced the fuse wins), which fires
+    /// before the periodic report/table flushes.
+    pub fn priority(self) -> u8 {
+        match self {
+            PTimer::MembershipTick => 0,
+            PTimer::LbTimeout(_) => 1,
+            PTimer::RecoveryFuse(_) => 2,
+            PTimer::ReportFlush => 3,
+            PTimer::TableGossip => 4,
+        }
+    }
+}
+
+/// A membership transition observed by the process (at its gossip tick).
+/// Buffered inside [`crate::BnbProcess`] and drained by the harness (e.g.
+/// `ftbb-runtime`'s engine surfaces them as engine events on stderr);
+/// counted in [`crate::ProcMetrics::peers_suspected`] /
+/// [`crate::ProcMetrics::peers_forgotten`] either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A member's heartbeat went silent past `t_fail`: it is no longer a
+    /// load-balancing target and its unreported work is now
+    /// recovery-eligible.
+    Suspected(u32),
+    /// A member stayed silent past `t_cleanup` and was swept from the
+    /// view (tombstoned).
+    Forgotten(u32),
+}
+
 /// Events delivered to the process.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PEvent {
@@ -90,5 +129,26 @@ mod tests {
         assert_eq!(PTimer::LbTimeout(3), PTimer::LbTimeout(3));
         assert_ne!(PTimer::LbTimeout(3), PTimer::LbTimeout(4));
         assert_ne!(PTimer::ReportFlush, PTimer::TableGossip);
+    }
+
+    #[test]
+    fn timer_priorities_are_total_and_pinned() {
+        // The tie-break table, pinned: membership/liveness first, then
+        // load balancing, recovery, and the periodic flushes. Payloads do
+        // not affect the rank.
+        let ranked = [
+            PTimer::MembershipTick,
+            PTimer::LbTimeout(9),
+            PTimer::RecoveryFuse(2),
+            PTimer::ReportFlush,
+            PTimer::TableGossip,
+        ];
+        for (i, t) in ranked.iter().enumerate() {
+            assert_eq!(t.priority() as usize, i, "{t:?}");
+        }
+        assert_eq!(
+            PTimer::LbTimeout(0).priority(),
+            PTimer::LbTimeout(7).priority()
+        );
     }
 }

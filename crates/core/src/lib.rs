@@ -25,9 +25,9 @@ pub mod metrics;
 pub mod process;
 pub mod work;
 
-pub use checkpoint::{Checkpoint, CheckpointSink, NullSink};
+pub use checkpoint::{Checkpoint, CheckpointSink, GossipBinding, NullSink};
 pub use config::ProtocolConfig;
-pub use events::{Action, PEvent, PTimer};
+pub use events::{Action, MembershipEvent, PEvent, PTimer};
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};
 pub use metrics::{ProcMetrics, TransportCounters, TransportStats};
 pub use process::BnbProcess;

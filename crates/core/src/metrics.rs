@@ -53,6 +53,13 @@ pub struct ProcMetrics {
     pub merge_codes_processed: u64,
     /// Contractions performed while merging.
     pub merge_contractions: u64,
+    /// Members this process suspected via heartbeat timeout (§5.2) —
+    /// each transition to Suspected counts once; a member that recovers
+    /// and goes silent again counts again.
+    pub peers_suspected: u64,
+    /// Members forgotten (swept after `t_cleanup`) from this process's
+    /// membership view.
+    pub peers_forgotten: u64,
     /// Did this process detect termination?
     pub terminated: bool,
 }
@@ -96,6 +103,8 @@ impl ProcMetrics {
         self.redundant_interrupts += other.redundant_interrupts;
         self.merge_codes_processed += other.merge_codes_processed;
         self.merge_contractions += other.merge_contractions;
+        self.peers_suspected += other.peers_suspected;
+        self.peers_forgotten += other.peers_forgotten;
         self.terminated |= other.terminated;
     }
 }
@@ -143,6 +152,13 @@ pub struct TransportCounters {
     /// Rejoin frames received: a peer came back under a new incarnation
     /// and was (re)registered.
     pub rejoins: AtomicU64,
+    /// Join frames received: a brand-new node introduced itself through
+    /// this node (gossip-server side of the elastic-join handshake) and
+    /// was registered.
+    pub joins: AtomicU64,
+    /// Previously-unknown peers learned from the id→addr book piggybacked
+    /// on membership frames (codec v4) and registered dynamically.
+    pub peers_discovered: AtomicU64,
     /// Inbound frames dropped because they belonged to a stale
     /// incarnation — addressed to this node's previous life, or sent by a
     /// peer's previous life. A *receive*-side drop, so it is excluded from
@@ -211,6 +227,16 @@ impl TransportCounters {
         self.rejoins.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one join frame received.
+    pub fn record_join(&self) {
+        self.joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one peer learned from a piggybacked address book.
+    pub fn record_peer_discovered(&self) {
+        self.peers_discovered.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record an inbound frame dropped as belonging to a stale incarnation.
     pub fn record_dropped_stale(&self) {
         self.dropped_stale.fetch_add(1, Ordering::Relaxed);
@@ -232,6 +258,8 @@ impl TransportCounters {
             announces_sent: self.announces_sent.load(Ordering::Relaxed),
             announces_recv: self.announces_recv.load(Ordering::Relaxed),
             rejoins: self.rejoins.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            peers_discovered: self.peers_discovered.load(Ordering::Relaxed),
             dropped_stale: self.dropped_stale.load(Ordering::Relaxed),
         }
     }
@@ -266,6 +294,10 @@ pub struct TransportStats {
     pub announces_recv: u64,
     /// Rejoin frames received.
     pub rejoins: u64,
+    /// Join frames received (elastic-join handshake, server side).
+    pub joins: u64,
+    /// Unknown peers learned from piggybacked address books.
+    pub peers_discovered: u64,
     /// Inbound frames dropped as stale-incarnation (receive-side; not
     /// part of [`TransportStats::dropped`]).
     pub dropped_stale: u64,
@@ -315,6 +347,9 @@ mod tests {
         c.record_announce_sent();
         c.record_announce_recv();
         c.record_rejoin();
+        c.record_join();
+        c.record_join();
+        c.record_peer_discovered();
         c.record_dropped_stale();
         c.record_dropped_stale();
         c.record_dropped_stale();
@@ -331,6 +366,8 @@ mod tests {
         assert_eq!(s.announces_sent, 2);
         assert_eq!(s.announces_recv, 1);
         assert_eq!(s.rejoins, 1);
+        assert_eq!(s.joins, 2);
+        assert_eq!(s.peers_discovered, 1);
         assert_eq!(s.dropped_stale, 3);
         // Stale drops are receive-side: they do not inflate the send-side
         // drop total.

@@ -20,17 +20,22 @@
 //!   one final report (the root code) goes to every member (§5.4).
 
 use crate::config::ProtocolConfig;
-use crate::events::{Action, PEvent, PTimer};
+use crate::events::{Action, MembershipEvent, PEvent, PTimer};
 use crate::message::{GrantItem, Incumbent, Msg};
 use crate::metrics::ProcMetrics;
 use crate::work::Expansion;
 use ftbb_bnb::{Pool, PoolEntry};
 use ftbb_des::SimTime;
-use ftbb_gossip::Membership;
+use ftbb_gossip::{Membership, MembershipConfig};
 use ftbb_tree::{pick_recovery, Code, CodeSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Cap on the buffered (undrained) membership transitions: harnesses that
+/// never call [`BnbProcess::take_membership_events`] (the DES simulator)
+/// must not accumulate unbounded state over long runs.
+const MEMBERSHIP_EVENT_CAP: usize = 1024;
 
 /// One participant in the distributed B&B computation.
 pub struct BnbProcess {
@@ -62,6 +67,12 @@ pub struct BnbProcess {
     rng: SmallRng,
     membership: Option<Membership>,
     gossip_servers: Vec<u32>,
+    /// Members currently believed suspected (as of the last membership
+    /// tick), for transition detection — a member entering this set is
+    /// one suspicion event, however long it stays silent afterwards.
+    suspected_seen: Vec<u32>,
+    /// Suspicion/cleanup transitions awaiting a harness drain.
+    membership_events: Vec<MembershipEvent>,
 }
 
 impl BnbProcess {
@@ -108,6 +119,8 @@ impl BnbProcess {
             rng: SmallRng::seed_from_u64(rng_seed),
             membership: None,
             gossip_servers: Vec::new(),
+            suspected_seen: Vec::new(),
+            membership_events: Vec::new(),
         }
     }
 
@@ -139,6 +152,36 @@ impl BnbProcess {
     /// This process's id.
     pub fn id(&self) -> u32 {
         self.me
+    }
+
+    /// The membership protocol instance, when this process runs one
+    /// (`None` under a static member list).
+    pub fn membership(&self) -> Option<&Membership> {
+        self.membership.as_ref()
+    }
+
+    /// Seed the membership view with an externally-known member set (e.g.
+    /// launcher-wired peers): they become load-balancing targets
+    /// immediately instead of only after the first gossip exchange, and
+    /// their heartbeats must then advance or they get suspected like
+    /// anyone else. No-op without membership.
+    pub fn seed_membership_view(&mut self, members: &[u32], now: SimTime) {
+        if let Some(mem) = &mut self.membership {
+            mem.observe_members(members, now);
+        }
+    }
+
+    /// Drain the buffered suspicion/cleanup transitions (in observation
+    /// order). Harnesses surface these as engine events; the counters in
+    /// [`ProcMetrics`] record them either way.
+    pub fn take_membership_events(&mut self) -> Vec<MembershipEvent> {
+        std::mem::take(&mut self.membership_events)
+    }
+
+    fn push_membership_event(&mut self, event: MembershipEvent) {
+        if self.membership_events.len() < MEMBERSHIP_EVENT_CAP {
+            self.membership_events.push(event);
+        }
     }
 
     /// Has this process detected termination?
@@ -397,23 +440,49 @@ impl BnbProcess {
                 }
             }
             PTimer::MembershipTick => {
-                if let Some(mem) = &mut self.membership {
-                    for (to, msg) in mem.tick(now, &mut self.rng) {
-                        out.push(Action::Send {
-                            to,
-                            msg: Msg::Membership(msg),
-                        });
-                    }
-                    let interval = self
-                        .cfg
-                        .membership
-                        .expect("membership config")
-                        .gossip_interval;
-                    out.push(Action::SetTimer {
-                        delay_s: interval.as_secs_f64(),
-                        timer: PTimer::MembershipTick,
+                let Some(mem) = &mut self.membership else {
+                    return;
+                };
+                let known_before = mem.view().known();
+                for (to, msg) in mem.tick(now, &mut self.rng) {
+                    out.push(Action::Send {
+                        to,
+                        msg: Msg::Membership(msg),
                     });
                 }
+                // Transition detection: the tick is the one place the
+                // view's time-driven judgements are (re)evaluated, so
+                // suspicion (silence past `t_fail`) and cleanup (swept
+                // past `t_cleanup`) are observed — and counted — here.
+                let suspected_now = mem.view().suspected(now);
+                let known_after = mem.view().known();
+                let forgotten: Vec<u32> = known_before
+                    .into_iter()
+                    .filter(|m| !known_after.contains(m))
+                    .collect();
+                let newly_suspected: Vec<u32> = suspected_now
+                    .iter()
+                    .copied()
+                    .filter(|m| !self.suspected_seen.contains(m))
+                    .collect();
+                self.suspected_seen = suspected_now;
+                for m in newly_suspected {
+                    self.metrics.peers_suspected += 1;
+                    self.push_membership_event(MembershipEvent::Suspected(m));
+                }
+                for m in forgotten {
+                    self.metrics.peers_forgotten += 1;
+                    self.push_membership_event(MembershipEvent::Forgotten(m));
+                }
+                let interval = self
+                    .cfg
+                    .membership
+                    .expect("membership config")
+                    .gossip_interval;
+                out.push(Action::SetTimer {
+                    delay_s: interval.as_secs_f64(),
+                    timer: PTimer::MembershipTick,
+                });
             }
         }
     }
@@ -745,6 +814,29 @@ impl BnbProcess {
     /// The static member list (including self's peers only).
     pub(crate) fn static_member_list(&self) -> Vec<u32> {
         self.static_members.clone()
+    }
+
+    /// The gossip servers this process joins through (empty when static).
+    pub(crate) fn gossip_server_list(&self) -> Vec<u32> {
+        self.gossip_servers.clone()
+    }
+
+    /// Rebuild the membership protocol from a checkpointed binding: the
+    /// restored incarnation rejoins with its last-known world (the
+    /// checkpointed view's members, observed fresh at `now`) instead of
+    /// as an amnesiac that only knows the servers.
+    pub(crate) fn restore_membership(
+        &mut self,
+        servers: &[u32],
+        is_server: bool,
+        known: &[u32],
+        mcfg: MembershipConfig,
+        now: SimTime,
+    ) {
+        let mut mem = Membership::new(self.me, mcfg, now, is_server);
+        mem.observe_members(known, now);
+        self.membership = Some(mem);
+        self.gossip_servers = servers.iter().copied().filter(|&s| s != self.me).collect();
     }
 
     /// Snapshot the pool as `(code, bound)` pairs. The in-flight expansion
@@ -1453,6 +1545,77 @@ mod tests {
             );
         }
         assert_eq!(p.report_interval(), 8.0);
+    }
+
+    #[test]
+    fn membership_tick_counts_suspicion_and_cleanup_transitions() {
+        use ftbb_gossip::{MembershipMsg, ViewDigest};
+        let mcfg = ftbb_gossip::MembershipConfig {
+            gossip_interval: SimTime::from_millis(100),
+            fanout: 2,
+            t_fail: SimTime::from_secs(1),
+            t_cleanup: SimTime::from_secs(3),
+        };
+        let cfg = ProtocolConfig {
+            membership: Some(mcfg),
+            ..cfg()
+        };
+        let mut p =
+            BnbProcess::with_membership(1, vec![0], false, cfg, 0.0, false, 1, SimTime::ZERO);
+        p.seed_membership_view(&[0, 2], SimTime::ZERO);
+        p.handle(PEvent::Start, SimTime::ZERO);
+        let tick = |p: &mut BnbProcess, ms: u64| {
+            p.handle(
+                PEvent::Timer(PTimer::MembershipTick),
+                SimTime::from_millis(ms),
+            );
+        };
+        let gossip_from_0 = |p: &mut BnbProcess, hb: u64, ms: u64| {
+            p.handle(
+                PEvent::Recv {
+                    from: 0,
+                    msg: Msg::Membership(MembershipMsg::Gossip(ViewDigest {
+                        entries: vec![(0, hb)],
+                    })),
+                },
+                SimTime::from_millis(ms),
+            );
+        };
+
+        // Inside t_fail: nobody is suspected.
+        tick(&mut p, 500);
+        assert_eq!(p.metrics().peers_suspected, 0);
+        assert!(p.take_membership_events().is_empty());
+
+        // Peer 0 keeps heartbeating; peer 2 goes silent past t_fail.
+        gossip_from_0(&mut p, 5, 900);
+        tick(&mut p, 1500);
+        assert_eq!(p.metrics().peers_suspected, 1);
+        assert_eq!(
+            p.take_membership_events(),
+            vec![MembershipEvent::Suspected(2)]
+        );
+
+        // Still suspected on the next tick: transitions count once.
+        gossip_from_0(&mut p, 6, 1900);
+        tick(&mut p, 2000);
+        assert_eq!(p.metrics().peers_suspected, 1);
+        assert!(p.take_membership_events().is_empty());
+
+        // Past t_cleanup, peer 2 is swept (and peer 0, silent since
+        // t=1.9s, crosses t_fail — a second genuine suspicion).
+        tick(&mut p, 3500);
+        assert_eq!(p.metrics().peers_forgotten, 1);
+        assert_eq!(p.metrics().peers_suspected, 2);
+        let events = p.take_membership_events();
+        assert!(
+            events.contains(&MembershipEvent::Forgotten(2)),
+            "{events:?}"
+        );
+        assert!(
+            events.contains(&MembershipEvent::Suspected(0)),
+            "{events:?}"
+        );
     }
 
     #[test]

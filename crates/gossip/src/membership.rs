@@ -114,6 +114,19 @@ impl Membership {
         MembershipMsg::Join { member: self.me }
     }
 
+    /// Seed the view with an externally-known member set (heartbeat 0,
+    /// observed at `now`). Two deployments use this: statically-wired
+    /// nodes running membership (the wiring is their bootstrap), and a
+    /// process restored from a checkpoint rejoining with its last-known
+    /// world. Members already known keep their (higher) heartbeats.
+    pub fn observe_members(&mut self, members: &[MemberId], now: SimTime) {
+        for &m in members {
+            if m != self.me {
+                self.view.observe(m, 0, now);
+            }
+        }
+    }
+
     /// Gossip tick: bump own heartbeat, sweep expired entries, and pick
     /// `fanout` random alive members to gossip to. Returns `(target, msg)`
     /// pairs for the caller to transmit.
@@ -328,6 +341,24 @@ mod tests {
         for m in &net.members {
             assert_eq!(m.view().suspected(now).len(), 0, "member {}", m.id());
         }
+    }
+
+    #[test]
+    fn observe_members_seeds_without_lowering_heartbeats() {
+        let mut m = Membership::new(3, cfg(), SimTime::ZERO, false);
+        m.on_message(
+            7,
+            &MembershipMsg::Gossip(ViewDigest {
+                entries: vec![(7, 9)],
+            }),
+            SimTime::ZERO,
+        );
+        m.observe_members(&[3, 5, 7], SimTime::from_millis(10));
+        // Self is never observed as a peer twice; 5 is new at heartbeat 0;
+        // 7 keeps its higher heartbeat.
+        assert_eq!(m.view().known(), vec![3, 5, 7]);
+        assert_eq!(m.view().record(5).unwrap().heartbeat, 0);
+        assert_eq!(m.view().record(7).unwrap().heartbeat, 9);
     }
 
     #[test]

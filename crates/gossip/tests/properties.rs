@@ -54,6 +54,65 @@ proptest! {
         prop_assert_eq!(a.digest(), b.digest());
     }
 
+    /// Merging is associative: however the three digests are grouped —
+    /// all into one view, or two pre-merged into an intermediate view
+    /// whose digest then merges into the third — the resulting heartbeat
+    /// table is identical. This is what lets views ride the wire: a
+    /// digest of a merged view carries exactly the information of its
+    /// inputs, so multi-hop gossip cannot depend on the relay path.
+    #[test]
+    fn merge_is_associative(
+        d1 in digest_strategy(),
+        d2 in digest_strategy(),
+        d3 in digest_strategy(),
+    ) {
+        // (d1 ∪ d2) ∪ d3, with the left pair pre-merged in a relay view.
+        let mut left_relay = view();
+        left_relay.merge_digest(&d1, t(1));
+        left_relay.merge_digest(&d2, t(1));
+        let mut left = view();
+        left.merge_digest(&left_relay.digest(), t(2));
+        left.merge_digest(&d3, t(2));
+
+        // d1 ∪ (d2 ∪ d3), with the right pair pre-merged in a relay view.
+        let mut right_relay = view();
+        right_relay.merge_digest(&d2, t(1));
+        right_relay.merge_digest(&d3, t(1));
+        let mut right = view();
+        right.merge_digest(&d1, t(2));
+        right.merge_digest(&right_relay.digest(), t(2));
+
+        // And the flat grouping, no relay at all.
+        let mut flat = view();
+        flat.merge_digest(&d1, t(2));
+        flat.merge_digest(&d2, t(2));
+        flat.merge_digest(&d3, t(2));
+
+        prop_assert_eq!(left.digest(), right.digest());
+        prop_assert_eq!(flat.digest(), left.digest());
+    }
+
+    /// The merged heartbeat is exactly the per-member maximum over the
+    /// inputs — not merely an upper bound. Monotonicity alone would allow
+    /// an implementation to inflate heartbeats, which would let a relay
+    /// keep a dead member looking alive.
+    #[test]
+    fn merged_heartbeat_is_exactly_the_max(d1 in digest_strategy(), d2 in digest_strategy()) {
+        let mut v = view();
+        v.merge_digest(&d1, t(1));
+        v.merge_digest(&d2, t(1));
+        for &(m, hb) in &v.digest().entries {
+            let max_in = d1
+                .entries
+                .iter()
+                .chain(&d2.entries)
+                .filter(|&&(m2, _)| m2 == m)
+                .map(|&(_, h)| h)
+                .max();
+            prop_assert_eq!(Some(hb), max_in, "member {}", m);
+        }
+    }
+
     /// Re-merging a digest is a no-op (idempotence).
     #[test]
     fn merge_is_idempotent(d in digest_strategy()) {

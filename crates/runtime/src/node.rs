@@ -16,8 +16,8 @@ use crate::transport::{Envelope, Transport};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{
-    Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, NullSink, PEvent,
-    PTimer, ProcMetrics, ProtocolConfig,
+    Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, MembershipEvent,
+    NullSink, PEvent, PTimer, ProcMetrics, ProtocolConfig,
 };
 use ftbb_des::SimTime;
 use std::cmp::Reverse;
@@ -290,6 +290,24 @@ impl<E: Expander> NodeEngine<E> {
                 }
             }
 
+            // Surface membership transitions as engine events: the
+            // protocol core already dropped suspected peers from its
+            // load-balancing targets and made their unreported work
+            // recovery-eligible; the engine makes the transition visible
+            // to the operator.
+            for event in self.core.take_membership_events() {
+                match event {
+                    MembershipEvent::Suspected(peer) => eprintln!(
+                        "node {} (incarnation {}): peer {} suspected via heartbeat timeout",
+                        id, self.incarnation, peer
+                    ),
+                    MembershipEvent::Forgotten(peer) => eprintln!(
+                        "node {} (incarnation {}): peer {} forgotten (silent past cleanup)",
+                        id, self.incarnation, peer
+                    ),
+                }
+            }
+
             if let Some(every) = checkpoint_every {
                 if last_checkpoint.elapsed() >= every {
                     self.store_snapshot(sink);
@@ -340,10 +358,13 @@ pub fn run_node<E: Expander>(
     NodeEngine::new(core, expander).run(transport, inbox, crash, hard_deadline)
 }
 
-/// A pending timer in the heap: ordered by `(at, seq)` — and *equal* by
-/// `(at, seq)` too, so `Ord`, `PartialOrd`, `PartialEq`, and `Eq` agree.
-/// The payload is excluded from comparison entirely; `seq` is unique per
-/// entry, which keeps the order total without consulting the timer.
+/// A pending timer in the heap: ordered by `(at, priority, seq)` — and
+/// *equal* by that key too, so `Ord`, `PartialOrd`, `PartialEq`, and `Eq`
+/// agree. The deadline comes first; equal deadlines fire in
+/// [`PTimer::priority`] order (the single tie-break table core defines,
+/// so the runtime cannot drift from the simulator's ordering); `seq` is
+/// unique per entry, which keeps the order total — FIFO within one
+/// priority class — without consulting the rest of the payload.
 #[derive(Debug, Clone, Copy)]
 struct TimerEntry {
     at: SimTime,
@@ -351,9 +372,15 @@ struct TimerEntry {
     timer: PTimer,
 }
 
+impl TimerEntry {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.at, self.timer.priority(), self.seq)
+    }
+}
+
 impl PartialEq for TimerEntry {
     fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
+        self.key() == other.key()
     }
 }
 
@@ -367,7 +394,7 @@ impl PartialOrd for TimerEntry {
 
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -379,38 +406,55 @@ mod tests {
 
     #[test]
     fn timer_entries_compare_consistently() {
-        // Same key, different payloads: equal AND Ordering::Equal — the
-        // consistency the old always-Equal Ord violated against a
-        // payload-derived PartialEq.
+        // Same key (deadline, priority class, sequence) — payload
+        // differences inside one class don't exist for PTimer, so equal
+        // keys mean genuinely interchangeable entries: equal AND
+        // Ordering::Equal, the consistency the old always-Equal Ord
+        // violated against a payload-derived PartialEq.
         let a = TimerEntry {
             at: SimTime::from_millis(5),
             seq: 1,
-            timer: PTimer::ReportFlush,
+            timer: PTimer::LbTimeout(3),
         };
         let b = TimerEntry {
             at: SimTime::from_millis(5),
             seq: 1,
-            timer: PTimer::TableGossip,
+            timer: PTimer::LbTimeout(9),
         };
         assert_eq!(a, b);
         assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
 
-        // Distinct keys order by deadline then arming sequence, and are
-        // never equal.
+        // Distinct keys order by deadline, then the core-defined timer
+        // priority, then arming sequence — and are never equal.
         let later = TimerEntry {
             at: SimTime::from_millis(6),
             seq: 0,
-            timer: PTimer::ReportFlush,
+            timer: PTimer::LbTimeout(3),
         };
         assert!(a < later);
         assert_ne!(a, later);
         let same_time_later_seq = TimerEntry { seq: 2, ..a };
         assert!(a < same_time_later_seq);
         assert_ne!(a, same_time_later_seq);
+        // A due membership tick outranks an equal-deadline report flush
+        // regardless of which was armed first (the old magic (at, seq)
+        // key let arming order decide; the rank now comes from
+        // PTimer::priority, core's single tie-break table).
+        let flush_armed_first = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 0,
+            timer: PTimer::ReportFlush,
+        };
+        let tick_armed_later = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 7,
+            timer: PTimer::MembershipTick,
+        };
+        assert!(tick_armed_later < flush_armed_first);
     }
 
     #[test]
-    fn heap_pops_timers_in_deadline_order() {
+    fn heap_pops_timers_in_deadline_then_priority_order() {
         let mut heap: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
         for (seq, (ms, timer)) in [
             (9, PTimer::TableGossip),
@@ -431,11 +475,14 @@ mod tests {
         while let Some(Reverse(entry)) = heap.pop() {
             fired.push((entry.at, entry.seq, entry.timer));
         }
+        // At the 3 ms tie, the membership tick (priority 0) fires before
+        // the report flush (priority 3) even though the flush was armed
+        // first.
         assert_eq!(
             fired,
             vec![
-                (SimTime::from_millis(3), 1, PTimer::ReportFlush),
                 (SimTime::from_millis(3), 2, PTimer::MembershipTick),
+                (SimTime::from_millis(3), 1, PTimer::ReportFlush),
                 (SimTime::from_millis(7), 3, PTimer::LbTimeout(1)),
                 (SimTime::from_millis(9), 0, PTimer::TableGossip),
             ]

@@ -66,6 +66,26 @@ FLAGS (override --config values):
     --crash-at-s SECS             abort() after SECS (crash injection)
     --seed N                      protocol RNG seed
 
+MEMBERSHIP (gossip protocol instead of a static member list):
+    --gossip-servers LIST         comma-separated gossip servers, each
+                                  ID (resolved from the peer wiring) or
+                                  ID=HOST:PORT; presence enables the
+                                  membership protocol, and a node whose
+                                  own id is listed answers joins
+    --join                        elastic join: start knowing only the
+                                  gossip servers (no --peer wiring) and
+                                  enter the live cluster through them;
+                                  requires an ID=HOST:PORT server entry
+    --gossip-interval-s SECS      heartbeat gossip tick (default 0.05)
+    --suspect-after-s SECS        silence before suspicion (default 0.5)
+    --forget-after-s SECS         suspicion before cleanup (default 3)
+
+TRANSPORT:
+    --retry-window-s SECS         startup retry window per peer
+                                  (default 1)
+    --retry-max-frames N          frames parked in that window
+                                  (default 64)
+
 LIFECYCLE (checkpoint persistence and restart/rejoin):
     --checkpoint-dir DIR          persist snapshots to DIR/node-<id>.ckpt
                                   (atomic write-rename; at startup, every

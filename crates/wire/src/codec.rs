@@ -11,12 +11,17 @@
 //! (all little-endian). The payload starts with one *kind* byte:
 //!
 //! * [`PAYLOAD_PROTOCOL`] frames carry the binary serde encoding of
-//!   `(from, from_incarnation, to_incarnation, msg)` — the routed
+//!   `(from, from_incarnation, to_incarnation, msg, book)` — the routed
 //!   [`Envelope`] plus the **incarnation tags** the lifecycle refactor
-//!   added: the sender stamps which of its own lives produced the frame
+//!   added (the sender stamps which of its own lives produced the frame
 //!   and which life of the destination it believes it is talking to, so
 //!   receivers can reject traffic from (or addressed to) a previous life
-//!   as stale instead of delivering it to the wrong incarnation.
+//!   as stale instead of delivering it to the wrong incarnation) plus —
+//!   since codec v4 — an **address book**: membership frames piggyback
+//!   the sender's peer roster as `(id, addr, incarnation)` entries so a
+//!   receiver can open routes to members it learned about through gossip
+//!   but has never exchanged wiring with — already tagged for the right
+//!   life. Non-membership traffic ships an empty book.
 //! * [`PAYLOAD_ANNOUNCE`] frames carry `(from, incarnation, AnyInstance)`,
 //!   the problem announce a root sends so peers started with
 //!   `--problem wire` can solve an instance they never had locally.
@@ -25,6 +30,12 @@
 //!   re-register the peer — new writer if the address moved, bumped
 //!   incarnation either way — which is how a node killed and restored
 //!   from a checkpoint re-enters a live mesh.
+//! * [`PAYLOAD_JOIN`] frames carry a [`JoinFrame`]: a brand-new node's
+//!   (id, incarnation, listen address), sent to its gossip servers before
+//!   `Start`. The receiver registers the newcomer — the wire-level half
+//!   of the §5.2 join handshake; the protocol-level
+//!   `MembershipMsg::Join`/`Welcome` exchange then rides ordinary
+//!   protocol frames over the routes this one opened.
 //!
 //! The decoder is **fuzz-resistant**: arbitrary bytes fed to
 //! [`FrameDecoder`] produce frames or [`WireError`]s, never panics or
@@ -59,8 +70,9 @@ pub const MAGIC: u32 = 0x4654_5742;
 /// Codec version; bumped on any payload-format change. Decoders reject
 /// frames from other versions rather than guessing. (v2 added the
 /// payload kind byte and the problem-announce frame; v3 added the
-/// incarnation tags and the rejoin frame.)
-pub const VERSION: u16 = 3;
+/// incarnation tags and the rejoin frame; v4 added the piggybacked
+/// id→addr book on protocol frames and the join frame.)
+pub const VERSION: u16 = 4;
 
 /// Payload kind byte of a protocol envelope frame.
 pub const PAYLOAD_PROTOCOL: u8 = 0;
@@ -70,6 +82,9 @@ pub const PAYLOAD_ANNOUNCE: u8 = 1;
 
 /// Payload kind byte of a rejoin frame.
 pub const PAYLOAD_REJOIN: u8 = 2;
+
+/// Payload kind byte of a join frame.
+pub const PAYLOAD_JOIN: u8 = 3;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 4 + 2 + 4 + 4;
@@ -158,8 +173,23 @@ pub struct RejoinFrame {
     pub summary: RejoinSummary,
 }
 
+/// The elastic-join handshake: a brand-new node introducing itself to a
+/// gossip server it was pointed at (`ftbb-noded --join
+/// --gossip-servers`). The receiver registers the sender so the
+/// protocol-level membership join can flow; gossip then spreads the
+/// newcomer (and its address, via the piggybacked book) epidemically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinFrame {
+    /// The joining node's id.
+    pub from: u32,
+    /// Its incarnation (0 for a first life).
+    pub incarnation: u32,
+    /// Where its listener lives.
+    pub addr: SocketAddr,
+}
+
 /// Everything a frame can carry: a routed protocol message, or one of the
-/// two lifecycle handshakes (problem announce, rejoin).
+/// lifecycle handshakes (problem announce, rejoin, join).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireFrame {
     /// A routed protocol message (the steady-state traffic).
@@ -171,6 +201,11 @@ pub enum WireFrame {
         /// Which life of the destination the sender believes it is
         /// talking to.
         to_incarnation: u32,
+        /// The sender's address book, `(id, addr, incarnation)` per
+        /// known peer (empty on non-membership traffic): how peers
+        /// discovered through gossip become routable — at the right
+        /// incarnation — without ever having been wired.
+        book: Vec<(u32, SocketAddr, u32)>,
     },
     /// A problem announce: the sender's materialized workload, shipped
     /// before `Start` so `--problem wire` peers can join a computation
@@ -185,6 +220,8 @@ pub enum WireFrame {
     },
     /// A restarted node re-entering the mesh under a new incarnation.
     Rejoin(RejoinFrame),
+    /// A brand-new node introducing itself to a gossip server.
+    Join(JoinFrame),
 }
 
 impl WireFrame {
@@ -192,7 +229,7 @@ impl WireFrame {
     pub fn into_envelope(self) -> Option<Envelope> {
         match self {
             WireFrame::Protocol { env, .. } => Some(env),
-            WireFrame::Announce { .. } | WireFrame::Rejoin(_) => None,
+            WireFrame::Announce { .. } | WireFrame::Rejoin(_) | WireFrame::Join(_) => None,
         }
     }
 }
@@ -221,7 +258,11 @@ impl EncodedFrame {
 }
 
 /// Encode one envelope into a frame, stamped with the sender's
-/// incarnation and the destination incarnation the sender believes in.
+/// incarnation and the destination incarnation the sender believes in,
+/// plus an `(id, addr, incarnation)` address `book` (pass `&[]` for
+/// non-membership traffic — the mesh piggybacks its roster only on
+/// membership frames, where discovery belongs and the amortized cost is
+/// a few bytes per gossip tick).
 ///
 /// Frames whose payload exceeds [`MAX_FRAME_PAYLOAD`] are still encoded
 /// (the caller owns the policy), but every receiver will reject them as
@@ -229,13 +270,23 @@ impl EncodedFrame {
 /// [`EncodedFrame::exceeds_limit`] and drop such messages instead of
 /// transmitting them (the TCP mesh does, counting them as full-queue
 /// drops).
-pub fn encode_frame(env: &Envelope, from_incarnation: u32, to_incarnation: u32) -> EncodedFrame {
-    let mut payload = Vec::with_capacity(17 + env.msg.wire_size());
+pub fn encode_frame(
+    env: &Envelope,
+    from_incarnation: u32,
+    to_incarnation: u32,
+    book: &[(u32, SocketAddr, u32)],
+) -> EncodedFrame {
+    let mut payload = Vec::with_capacity(21 + env.msg.wire_size());
     payload.push(PAYLOAD_PROTOCOL);
     env.from.ser(&mut payload);
     from_incarnation.ser(&mut payload);
     to_incarnation.ser(&mut payload);
     env.msg.ser(&mut payload);
+    let book: Vec<(u32, String, u32)> = book
+        .iter()
+        .map(|&(id, a, inc)| (id, a.to_string(), inc))
+        .collect();
+    book.ser(&mut payload);
     frame_bytes(payload, env.msg.wire_size())
 }
 
@@ -261,6 +312,17 @@ pub fn encode_rejoin(rejoin: &RejoinFrame) -> EncodedFrame {
     rejoin.incarnation.ser(&mut payload);
     rejoin.addr.to_string().ser(&mut payload);
     rejoin.summary.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Encode a join frame (a handshake: `wire_size` is the payload length).
+pub fn encode_join(join: &JoinFrame) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_JOIN);
+    join.from.ser(&mut payload);
+    join.incarnation.ser(&mut payload);
+    join.addr.to_string().ser(&mut payload);
     let wire = payload.len();
     frame_bytes(payload, wire)
 }
@@ -363,10 +425,19 @@ impl FrameDecoder {
                 let from_incarnation = u32::de(&mut r).map_err(bad)?;
                 let to_incarnation = u32::de(&mut r).map_err(bad)?;
                 let msg = Msg::de(&mut r).map_err(bad)?;
+                let raw_book = Vec::<(u32, String, u32)>::de(&mut r).map_err(bad)?;
+                let mut book = Vec::with_capacity(raw_book.len());
+                for (id, addr, inc) in raw_book {
+                    let addr: SocketAddr = addr
+                        .parse()
+                        .map_err(|_| WireError::Payload(format!("bad book address `{addr}`")))?;
+                    book.push((id, addr, inc));
+                }
                 WireFrame::Protocol {
                     env: Envelope { from, msg },
                     from_incarnation,
                     to_incarnation,
+                    book,
                 }
             }
             PAYLOAD_ANNOUNCE => {
@@ -398,6 +469,19 @@ impl FrameDecoder {
                     incarnation,
                     addr,
                     summary,
+                })
+            }
+            PAYLOAD_JOIN => {
+                let from = u32::de(&mut r).map_err(bad)?;
+                let incarnation = u32::de(&mut r).map_err(bad)?;
+                let addr = String::de(&mut r).map_err(bad)?;
+                let addr: SocketAddr = addr
+                    .parse()
+                    .map_err(|_| WireError::Payload(format!("bad join address `{addr}`")))?;
+                WireFrame::Join(JoinFrame {
+                    from,
+                    incarnation,
+                    addr,
                 })
             }
             other => {
@@ -432,7 +516,7 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let frame = encode_frame(&sample(), 2, 5);
+        let frame = encode_frame(&sample(), 2, 5, &[]);
         assert_eq!(frame.wire_size, 9);
         assert_eq!(frame.encoded_len(), frame.bytes.len());
         match decode_frame(&frame.bytes).unwrap() {
@@ -440,14 +524,68 @@ mod tests {
                 env,
                 from_incarnation,
                 to_incarnation,
+                book,
             } => {
                 assert_eq!(env.from, 3);
                 assert_eq!(env.msg, sample().msg);
                 assert_eq!(from_incarnation, 2);
                 assert_eq!(to_incarnation, 5);
+                assert!(book.is_empty());
             }
             other => panic!("expected protocol frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn address_book_rides_protocol_frames() {
+        let book: Vec<(u32, SocketAddr, u32)> = vec![
+            (4, "127.0.0.1:4504".parse().unwrap(), 0),
+            (9, "10.0.0.9:45109".parse().unwrap(), 3),
+        ];
+        let frame = encode_frame(&sample(), 0, 0, &book);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::Protocol { book: got, env, .. } => {
+                assert_eq!(got, book);
+                assert_eq!(env.msg, sample().msg);
+            }
+            other => panic!("expected protocol frame, got {other:?}"),
+        }
+        // The book rides outside the protocol-size accounting (it is
+        // transport bookkeeping, not §5 traffic) but inside the encoded
+        // bytes.
+        assert_eq!(frame.wire_size, sample().msg.wire_size());
+        assert!(frame.encoded_len() > encode_frame(&sample(), 0, 0, &[]).encoded_len());
+    }
+
+    #[test]
+    fn book_with_bad_address_is_rejected() {
+        let mut payload = vec![PAYLOAD_PROTOCOL];
+        3u32.ser(&mut payload);
+        0u32.ser(&mut payload);
+        0u32.ser(&mut payload);
+        sample().msg.ser(&mut payload);
+        vec![(7u32, "not-an-addr".to_string(), 0u32)].ser(&mut payload);
+        let frame = frame_bytes(payload, 9);
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("book address"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_frame_round_trip() {
+        let join = JoinFrame {
+            from: 6,
+            incarnation: 0,
+            addr: "127.0.0.1:45106".parse().unwrap(),
+        };
+        let frame = encode_join(&join);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::Join(got) => assert_eq!(got, join),
+            other => panic!("expected join, got {other:?}"),
+        }
+        // A join is a handshake, not protocol traffic.
+        assert_eq!(decode_frame(&frame.bytes).unwrap().into_envelope(), None);
     }
 
     #[test]
@@ -540,7 +678,7 @@ mod tests {
 
     #[test]
     fn split_reads_reassemble() {
-        let frame = encode_frame(&sample(), 0, 0);
+        let frame = encode_frame(&sample(), 0, 0, &[]);
         let mut dec = FrameDecoder::new();
         for chunk in frame.bytes.chunks(3) {
             dec.push(chunk);
@@ -564,6 +702,7 @@ mod tests {
                     },
                     0,
                     0,
+                    &[],
                 )
                 .bytes,
             );
@@ -581,7 +720,7 @@ mod tests {
 
     #[test]
     fn corruption_is_an_error_not_a_panic() {
-        let frame = encode_frame(&sample(), 1, 2).bytes;
+        let frame = encode_frame(&sample(), 1, 2, &[]).bytes;
         for i in 0..frame.len() {
             let mut bad = frame.clone();
             bad[i] ^= 0xA5;
@@ -596,6 +735,7 @@ mod tests {
                     env,
                     from_incarnation,
                     to_incarnation,
+                    ..
                 })) => {
                     // Incarnation tags are outside the checksum-protected
                     // message, but inside the checksummed payload — a flip
@@ -626,7 +766,7 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let mut frame = encode_frame(&sample(), 0, 0).bytes;
+        let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes;
         frame[4] = 0xFE;
         frame[5] = 0xFF;
         let mut dec = FrameDecoder::new();

@@ -9,6 +9,8 @@
 //! peers = ["1=127.0.0.1:4501", "2=127.0.0.1:4502"]
 //! deadline_s = 30.0
 //! crash_at_s = 1.5          # optional: abort() mid-run (Crash model)
+//! gossip_servers = ["0"]    # optional: membership mode (id 0 serves joins)
+//! suspect_after_s = 0.5     # heartbeat silence before suspicion
 //!
 //! [problem]
 //! kind = "knapsack"         # knapsack | maxsat | tree-file | wire
@@ -30,11 +32,15 @@
 //! (strings, integers, floats, booleans), string arrays, comments, and
 //! `[section]` headers — which keeps the daemon dependency-free.
 
+use crate::tcp::WireConfig;
 use ftbb_bnb::{AnyInstance, BasicTreeProblem, Correlation, KnapsackInstance, MaxSatInstance};
+use ftbb_des::SimTime;
+use ftbb_gossip::MembershipConfig;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Configuration errors (parse or validation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -445,6 +451,33 @@ pub struct NodeConfig {
     /// takes its problem binding from the checkpoint (any `--problem*`
     /// flags are ignored), and announces its rejoin to the peers.
     pub resume: bool,
+    /// Gossip servers as `(id, optional address)`. Non-empty enables
+    /// **membership mode**: the node runs the §5.2 gossip protocol —
+    /// joins through the servers, heartbeats, suspects silent members —
+    /// instead of a static member list. Entries without an address
+    /// (`--gossip-servers 0`) must be resolvable from the peer wiring;
+    /// entries with one (`--gossip-servers 0=HOST:PORT`) need no wiring
+    /// at all, which is what `--join` relies on. A node whose own id is
+    /// listed *is* a gossip server.
+    pub gossip_servers: Vec<(u32, Option<SocketAddr>)>,
+    /// Elastic join: start knowing *only* the gossip servers (no peer
+    /// flags, no stdin wiring) and enter the live cluster through the
+    /// join handshake. Requires an addressed entry in `gossip_servers`.
+    /// A joiner never holds the root subproblem.
+    pub join: bool,
+    /// Membership gossip tick interval in seconds (membership mode).
+    pub gossip_interval_s: f64,
+    /// Heartbeat silence before a member is suspected (`t_fail`), seconds.
+    pub suspect_after_s: f64,
+    /// Suspicion duration before a member is forgotten (`t_cleanup`),
+    /// seconds; must be ≥ `suspect_after_s`.
+    pub forget_after_s: f64,
+    /// Startup retry window of the TCP transport, seconds (see
+    /// [`crate::tcp::WireConfig::retry_window`]).
+    pub retry_window_s: f64,
+    /// Frame budget of that window (see
+    /// [`crate::tcp::WireConfig::retry_max_frames`]).
+    pub retry_max_frames: usize,
 }
 
 impl Default for NodeConfig {
@@ -462,6 +495,13 @@ impl Default for NodeConfig {
             checkpoint_dir: None,
             checkpoint_every_s: 0.5,
             resume: false,
+            gossip_servers: Vec::new(),
+            join: false,
+            gossip_interval_s: 0.05,
+            suspect_after_s: 0.5,
+            forget_after_s: 3.0,
+            retry_window_s: crate::tcp::RETRY_WINDOW.as_secs_f64(),
+            retry_max_frames: crate::tcp::RETRY_MAX_FRAMES,
         }
     }
 }
@@ -483,6 +523,37 @@ impl NodeConfig {
         member_ids(self.id, &self.peers)
     }
 
+    /// Is membership mode enabled (any gossip servers configured)?
+    pub fn gossip_mode(&self) -> bool {
+        !self.gossip_servers.is_empty()
+    }
+
+    /// Is this node itself a gossip server?
+    pub fn is_gossip_server(&self) -> bool {
+        self.gossip_servers.iter().any(|&(id, _)| id == self.id)
+    }
+
+    /// The membership protocol parameters, when membership mode is on.
+    pub fn membership(&self) -> Option<MembershipConfig> {
+        if !self.gossip_mode() {
+            return None;
+        }
+        Some(MembershipConfig {
+            gossip_interval: SimTime::from_secs_f64(self.gossip_interval_s),
+            fanout: 2,
+            t_fail: SimTime::from_secs_f64(self.suspect_after_s),
+            t_cleanup: SimTime::from_secs_f64(self.forget_after_s),
+        })
+    }
+
+    /// The transport tuning this daemon applies to its mesh.
+    pub fn wire_config(&self) -> WireConfig {
+        WireConfig {
+            retry_window: Duration::from_secs_f64(self.retry_window_s),
+            retry_max_frames: self.retry_max_frames,
+        }
+    }
+
     /// Validate cross-field invariants.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.peers.iter().any(|&(id, _)| id == self.id) {
@@ -499,6 +570,53 @@ impl NodeConfig {
         }
         if self.resume && self.checkpoint_dir.is_none() {
             return err("--resume needs --checkpoint-dir to know where the snapshot lives");
+        }
+        if self.gossip_mode() {
+            for &v in &[
+                self.gossip_interval_s,
+                self.suspect_after_s,
+                self.forget_after_s,
+            ] {
+                if !(v.is_finite() && v > 0.0) {
+                    return err("membership intervals must be positive numbers");
+                }
+            }
+            if self.forget_after_s < self.suspect_after_s {
+                return err("forget_after_s must be at least suspect_after_s");
+            }
+        }
+        // Bounded above because it feeds `Duration::from_secs_f64`,
+        // which panics on absurd values — and a retry window past an
+        // hour is a configuration mistake anyway.
+        if !(self.retry_window_s.is_finite() && (0.0..=3600.0).contains(&self.retry_window_s)) {
+            return err("retry_window_s must be between 0 and 3600 seconds");
+        }
+        if self.join {
+            if !self.gossip_mode() {
+                return err("--join needs --gossip-servers to know whom to join through");
+            }
+            if !self
+                .gossip_servers
+                .iter()
+                .any(|&(id, addr)| id != self.id && addr.is_some())
+            {
+                return err(
+                    "--join needs at least one gossip server given as ID=HOST:PORT \
+                     (a joiner has no peer wiring to resolve bare ids against)",
+                );
+            }
+            if !self.peers.is_empty() || self.peers_from_stdin {
+                return err("--join replaces peer wiring; drop --peer/--peers-from-stdin");
+            }
+            if self.resume {
+                return err("--join is for brand-new nodes; restarted nodes use --resume alone");
+            }
+            if self.problem == ProblemSpec::Wire {
+                return err(
+                    "--join needs a concrete problem spec (the root's announce is sent \
+                     before a joiner exists)",
+                );
+            }
         }
         self.problem.validate()?;
         if self.problem == ProblemSpec::Wire && self.peers.is_empty() && !self.peers_from_stdin {
@@ -626,6 +744,22 @@ fn parse_toml_subset(text: &str) -> Result<HashMap<String, TomlValue>, ConfigErr
     Ok(out)
 }
 
+/// Parse one gossip-server entry: `ID` (resolved from peer wiring) or
+/// `ID=HOST:PORT` (self-contained — what `--join` requires).
+pub(crate) fn parse_gossip_server(spec: &str) -> Result<(u32, Option<SocketAddr>), ConfigError> {
+    let spec = spec.trim();
+    if spec.contains('=') {
+        let (id, addr) = parse_peer(spec)?;
+        Ok((id, Some(addr)))
+    } else {
+        spec.parse().map(|id| (id, None)).map_err(|_| {
+            ConfigError(format!(
+                "bad gossip server `{spec}` (want ID or ID=HOST:PORT)"
+            ))
+        })
+    }
+}
+
 pub(crate) fn parse_peer(spec: &str) -> Result<(u32, SocketAddr), ConfigError> {
     let Some((id, addr)) = spec.split_once('=') else {
         return err(format!("peer `{spec}` is not `id=host:port`"));
@@ -690,6 +824,24 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
                 TomlValue::Bool(b) => cfg.resume = *b,
                 _ => return err("`resume` must be a boolean"),
             },
+            "gossip_servers" => match value {
+                TomlValue::StrArray(items) => {
+                    cfg.gossip_servers = items
+                        .iter()
+                        .map(|s| parse_gossip_server(s))
+                        .collect::<Result<_, _>>()?;
+                }
+                _ => return err("`gossip_servers` must be an array of \"ID\" or \"ID=HOST:PORT\""),
+            },
+            "join" => match value {
+                TomlValue::Bool(b) => cfg.join = *b,
+                _ => return err("`join` must be a boolean"),
+            },
+            "gossip_interval_s" => cfg.gossip_interval_s = value.as_f64(key)?,
+            "suspect_after_s" => cfg.suspect_after_s = value.as_f64(key)?,
+            "forget_after_s" => cfg.forget_after_s = value.as_f64(key)?,
+            "retry_window_s" => cfg.retry_window_s = value.as_f64(key)?,
+            "retry_max_frames" => cfg.retry_max_frames = value.as_u64(key)? as usize,
             "problem.kind" => problem.kind = Some(value.as_str(key)?.to_string()),
             "problem.n" => problem.n = Some(value.as_u64(key)? as usize),
             "problem.range" => problem.range = Some(value.as_u64(key)?),
@@ -813,6 +965,43 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 cfg.resume = true;
                 i += 1; // flag takes no value
                 continue;
+            }
+            "--gossip-servers" => {
+                cfg.gossip_servers = take("--gossip-servers")?
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(parse_gossip_server)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--join" => {
+                cfg.join = true;
+                i += 1; // flag takes no value
+                continue;
+            }
+            "--gossip-interval-s" => {
+                cfg.gossip_interval_s = take("--gossip-interval-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --gossip-interval-s".into()))?;
+            }
+            "--suspect-after-s" => {
+                cfg.suspect_after_s = take("--suspect-after-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --suspect-after-s".into()))?;
+            }
+            "--forget-after-s" => {
+                cfg.forget_after_s = take("--forget-after-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --forget-after-s".into()))?;
+            }
+            "--retry-window-s" => {
+                cfg.retry_window_s = take("--retry-window-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --retry-window-s".into()))?;
+            }
+            "--retry-max-frames" => {
+                cfg.retry_max_frames = take("--retry-max-frames")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --retry-max-frames".into()))?;
             }
             "--problem" => {
                 problem.kind = Some(take("--problem")?);
@@ -1199,6 +1388,97 @@ seed = 11
         assert!(parse_config("checkpoint_every_s = 0\n").is_err());
         assert!(parse_config("checkpoint_every_s = -2\n").is_err());
         assert!(parse_config("resume = 3\n").is_err());
+    }
+
+    #[test]
+    fn parses_gossip_and_transport_options() {
+        let cfg = parse_config(
+            "gossip_servers = [\"0\", \"3=127.0.0.1:4503\"]\ngossip_interval_s = 0.1\n\
+             suspect_after_s = 0.4\nforget_after_s = 2.0\nretry_window_s = 0.25\n\
+             retry_max_frames = 16\n",
+        )
+        .unwrap();
+        assert!(cfg.gossip_mode());
+        assert!(cfg.is_gossip_server(), "own id 0 is listed as a server");
+        assert_eq!(
+            cfg.gossip_servers,
+            vec![(0, None), (3, Some("127.0.0.1:4503".parse().unwrap()))]
+        );
+        let m = cfg.membership().expect("membership mode");
+        assert_eq!(m.gossip_interval, SimTime::from_secs_f64(0.1));
+        assert_eq!(m.t_fail, SimTime::from_secs_f64(0.4));
+        assert_eq!(m.t_cleanup, SimTime::from_secs_f64(2.0));
+        let w = cfg.wire_config();
+        assert_eq!(w.retry_window, Duration::from_secs_f64(0.25));
+        assert_eq!(w.retry_max_frames, 16);
+
+        // Defaults: static mode, historical transport constants.
+        let plain = NodeConfig::default();
+        assert!(!plain.gossip_mode());
+        assert_eq!(plain.membership(), None);
+        assert_eq!(plain.wire_config(), WireConfig::default());
+
+        // Inverted membership timeouts are a configuration mistake.
+        assert!(parse_config(
+            "gossip_servers = [\"0\"]\nsuspect_after_s = 2.0\nforget_after_s = 1.0\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn join_mode_is_validated() {
+        let ok: Vec<String> = [
+            "--id",
+            "5",
+            "--join",
+            "--gossip-servers",
+            "0=127.0.0.1:4500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_args(&ok).unwrap();
+        assert!(cfg.join && cfg.gossip_mode() && !cfg.is_gossip_server());
+        assert_eq!(cfg.gossip_servers.len(), 1);
+
+        // --join without servers, with bare-id servers only, with peer
+        // wiring, with --resume, or with --problem wire: all rejected.
+        let cases: Vec<Vec<&str>> = vec![
+            vec!["--id", "5", "--join"],
+            vec!["--id", "5", "--join", "--gossip-servers", "0"],
+            vec![
+                "--id",
+                "5",
+                "--join",
+                "--gossip-servers",
+                "0=127.0.0.1:4500",
+                "--peer",
+                "1=127.0.0.1:4501",
+            ],
+            vec![
+                "--id",
+                "5",
+                "--join",
+                "--gossip-servers",
+                "0=127.0.0.1:4500",
+                "--checkpoint-dir",
+                "/tmp/x",
+                "--resume",
+            ],
+            vec![
+                "--id",
+                "5",
+                "--join",
+                "--gossip-servers",
+                "0=127.0.0.1:4500",
+                "--problem",
+                "wire",
+            ],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{args:?} must be rejected");
+        }
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub enum LifecycleEvent {
         /// Delay from wiring completion.
         at: Duration,
     },
+    /// Spawn a brand-new node mid-run that was never part of any peer
+    /// wiring: it starts with `--join --gossip-servers 0=<addr0>` and
+    /// enters the live cluster through the elastic-join handshake.
+    /// Requires [`ClusterSpec::gossip`]; `node` must be the next unused
+    /// id (`nodes + number of prior joins`).
+    Join {
+        /// The id the joining node takes.
+        node: u32,
+        /// Delay from wiring completion.
+        at: Duration,
+    },
 }
 
 impl LifecycleEvent {
@@ -65,9 +76,42 @@ impl LifecycleEvent {
         LifecycleEvent::Restart { node, at }
     }
 
+    /// An elastic-join step (a brand-new node enters mid-run).
+    pub fn join(node: u32, at: Duration) -> LifecycleEvent {
+        LifecycleEvent::Join { node, at }
+    }
+
     fn at(&self) -> Duration {
         match *self {
-            LifecycleEvent::Kill { at, .. } | LifecycleEvent::Restart { at, .. } => at,
+            LifecycleEvent::Kill { at, .. }
+            | LifecycleEvent::Restart { at, .. }
+            | LifecycleEvent::Join { at, .. } => at,
+        }
+    }
+}
+
+/// Membership timing for a gossip-mode cluster (`ClusterSpec::gossip`).
+/// Node 0 acts as the gossip server; every node gets these knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipTiming {
+    /// Heartbeat gossip tick interval, seconds.
+    pub interval_s: f64,
+    /// Silence before suspicion (`t_fail`), seconds.
+    pub suspect_s: f64,
+    /// Suspicion before cleanup (`t_cleanup`), seconds.
+    pub forget_s: f64,
+}
+
+impl Default for GossipTiming {
+    /// The daemon's own defaults ([`crate::NodeConfig::default`]) — one
+    /// source, so launcher-driven clusters and hand-started nodes cannot
+    /// drift apart.
+    fn default() -> Self {
+        let d = crate::config::NodeConfig::default();
+        GossipTiming {
+            interval_s: d.gossip_interval_s,
+            suspect_s: d.suspect_after_s,
+            forget_s: d.forget_after_s,
         }
     }
 }
@@ -103,6 +147,11 @@ pub struct ClusterSpec {
     /// learns the materialized instance from node 0's announce frame —
     /// peers solve a workload they never had locally.
     pub wire_peers: bool,
+    /// Membership mode: when set, every node runs the gossip protocol
+    /// with node 0 as the gossip server (`--gossip-servers 0` plus these
+    /// timing knobs), and the lifecycle plan may contain `Join` steps —
+    /// brand-new nodes entering mid-run through node 0's address.
+    pub gossip: Option<GossipTiming>,
     /// Checkpoint directory passed to every node (`--checkpoint-dir`);
     /// required for `Restart` lifecycle steps.
     pub checkpoint_dir: Option<PathBuf>,
@@ -121,6 +170,8 @@ pub struct ClusterReport {
     /// Outcomes parsed from node stdout, in node-id order — from a
     /// node's *latest* incarnation when it was restarted. Killed nodes
     /// that never came back produce none (their entry is `None`).
+    /// Elastic joiners (`LifecycleEvent::Join`) take the ids after
+    /// `nodes` and appear here too.
     pub outcomes: Vec<Option<ParsedOutcome>>,
     /// Ids that died (SIGKILL or config-driven crash) and never produced
     /// an outcome afterwards.
@@ -237,19 +288,44 @@ struct Spawned {
 /// and pass `--resume` instead — their problem binding lives in the
 /// checkpoint — with a shortened readiness budget (live peers accept
 /// within milliseconds; a permanently dead one must not stall the
-/// rejoin for the full fresh-start budget).
-fn spawn_node(spec: &ClusterSpec, id: u32, listen: Option<SocketAddr>) -> std::io::Result<Spawned> {
+/// rejoin for the full fresh-start budget). Joiners
+/// (`join_through: Some(server)`) get no wiring at all: only
+/// `--join --gossip-servers 0=<server>` plus the concrete problem spec.
+fn spawn_node(
+    spec: &ClusterSpec,
+    id: u32,
+    listen: Option<SocketAddr>,
+    join_through: Option<SocketAddr>,
+) -> std::io::Result<Spawned> {
     let resume = listen.is_some();
+    let joiner = join_through.is_some();
     let mut cmd = Command::new(&spec.noded);
     cmd.arg("--id")
         .arg(id.to_string())
         .arg("--listen")
         .arg(listen.map_or("127.0.0.1:0".to_string(), |a| a.to_string()))
-        .arg("--peers-from-stdin")
         .arg("--deadline-s")
         .arg(format!("{}", spec.deadline.as_secs_f64()))
         .arg("--seed")
         .arg(spec.seed.to_string());
+    if !joiner {
+        cmd.arg("--peers-from-stdin");
+    }
+    if let Some(gossip) = &spec.gossip {
+        match join_through {
+            Some(server) => cmd
+                .arg("--join")
+                .arg("--gossip-servers")
+                .arg(format!("0={server}")),
+            None => cmd.arg("--gossip-servers").arg("0"),
+        };
+        cmd.arg("--gossip-interval-s")
+            .arg(gossip.interval_s.to_string())
+            .arg("--suspect-after-s")
+            .arg(gossip.suspect_s.to_string())
+            .arg("--forget-after-s")
+            .arg(gossip.forget_s.to_string());
+    }
     if let Some(dir) = &spec.checkpoint_dir {
         cmd.arg("--checkpoint-dir")
             .arg(dir)
@@ -258,7 +334,7 @@ fn spawn_node(spec: &ClusterSpec, id: u32, listen: Option<SocketAddr>) -> std::i
     }
     if resume {
         cmd.arg("--resume").arg("--preconnect-s").arg("1.5");
-    } else if spec.wire_peers && id != 0 {
+    } else if spec.wire_peers && id != 0 && !joiner {
         cmd.arg("--problem").arg("wire");
     } else {
         cmd.args(spec.problem.flag_args());
@@ -342,7 +418,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     };
 
     for id in 0..spec.nodes {
-        match spawn_node(spec, id, None) {
+        match spawn_node(spec, id, None, None) {
             Ok(spawned) => nodes.push(spawned),
             Err(e) => {
                 // Don't orphan already-spawned nodes on a failed spawn.
@@ -384,7 +460,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         }
         match *event {
             LifecycleEvent::Kill { node: id, .. } => {
-                if id >= spec.nodes {
+                if (id as usize) >= nodes.len() {
                     continue;
                 }
                 match nodes[id as usize].child.try_wait() {
@@ -399,8 +475,20 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                     }
                 }
             }
+            LifecycleEvent::Join { node: id, .. } => {
+                // Validated: id is the next unused one. The joiner knows
+                // only node 0's address — it appears in no peer wiring.
+                debug_assert_eq!(id as usize, nodes.len());
+                match join_node(spec, id, addrs[0]) {
+                    Ok(spawned) => nodes.push(spawned),
+                    Err(e) => {
+                        reap_all(&mut nodes);
+                        return Err(e);
+                    }
+                }
+            }
             LifecycleEvent::Restart { node: id, .. } => {
-                if id >= spec.nodes {
+                if (id as usize) >= nodes.len() || id >= spec.nodes {
                     continue;
                 }
                 // Make sure the first life is fully gone (SIGKILL is
@@ -419,12 +507,14 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     }
 
     // Wait for everything with a global timeout well past the node
-    // deadline (nodes self-limit via --deadline-s). Restarts reset the
-    // per-node clock, so allow one extra deadline for the latest event.
+    // deadline (nodes self-limit via --deadline-s). Restarts and joins
+    // reset the per-node clock, so allow one extra deadline for the
+    // latest event.
     let last_event = plan.last().map(|e| e.at()).unwrap_or(Duration::ZERO);
     let patience = spec.deadline + last_event + Duration::from_secs(30);
-    let mut outcomes: Vec<Option<ParsedOutcome>> = (0..n).map(|_| None).collect();
-    for id in 0..n {
+    let total = nodes.len();
+    let mut outcomes: Vec<Option<ParsedOutcome>> = (0..total).map(|_| None).collect();
+    for id in 0..total {
         loop {
             match nodes[id].child.try_wait() {
                 Ok(Some(_)) => break,
@@ -451,11 +541,11 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         .iter()
         .copied()
         .chain(spec.crash_at.iter().map(|&(id, _)| id))
-        .filter(|&id| id < spec.nodes && outcomes[id as usize].is_none())
+        .filter(|&id| (id as usize) < total && outcomes[id as usize].is_none())
         .collect();
     effective_killed.sort_unstable();
     effective_killed.dedup();
-    let all_survivors_terminated = (0..spec.nodes)
+    let all_survivors_terminated = (0..total as u32)
         .filter(|id| !effective_killed.contains(id))
         .all(|id| {
             outcomes[id as usize]
@@ -488,6 +578,7 @@ fn validate_plan(spec: &ClusterSpec) -> Result<(), LaunchError> {
     let mut plan = spec.lifecycle.clone();
     plan.sort_by_key(|e| e.at());
     let mut dead: Vec<u32> = Vec::new();
+    let mut total = spec.nodes;
     for event in &plan {
         match *event {
             LifecycleEvent::Kill { node, .. } => dead.push(node),
@@ -506,9 +597,31 @@ fn validate_plan(spec: &ClusterSpec) -> Result<(), LaunchError> {
                     }
                 }
             }
+            LifecycleEvent::Join { node, .. } => {
+                if spec.gossip.is_none() {
+                    return bad(format!("join of node {node} needs ClusterSpec::gossip"));
+                }
+                if node != total {
+                    return bad(format!(
+                        "join must take the next unused id {total}, not {node}"
+                    ));
+                }
+                total += 1;
+            }
         }
     }
     Ok(())
+}
+
+/// Spawn an elastic joiner: a brand-new node that appears in no wiring
+/// and knows only the gossip server's (node 0's) address.
+fn join_node(spec: &ClusterSpec, id: u32, server: SocketAddr) -> Result<Spawned, LaunchError> {
+    let mut node = spawn_node(spec, id, None, Some(server)).map_err(LaunchError::Io)?;
+    await_ready(&mut node, id)?;
+    // No wiring to write: the joiner bootstraps itself. Close its stdin
+    // so it never blocks on a pipe nobody feeds.
+    drop(node.stdin.take());
+    Ok(node)
 }
 
 /// Bring a killed node back from its checkpoint: respawn with `--resume`
@@ -522,7 +635,7 @@ fn restart_node(spec: &ClusterSpec, id: u32, addrs: &[SocketAddr]) -> Result<Spa
     let addr = addrs[id as usize];
     let bind_deadline = Instant::now() + READY_PATIENCE;
     let mut node = loop {
-        let mut spawned = spawn_node(spec, id, Some(addr)).map_err(LaunchError::Io)?;
+        let mut spawned = spawn_node(spec, id, Some(addr), None).map_err(LaunchError::Io)?;
         match await_ready(&mut spawned, id) {
             Ok(_) => break spawned,
             Err(e) => {
@@ -556,6 +669,8 @@ mod tests {
             incumbent: -1.0,
             expanded,
             recoveries: 0,
+            suspected: 0,
+            forgotten: 0,
             transport: TransportStats::default(),
         }
     }
@@ -595,11 +710,39 @@ mod tests {
             crash_at: Vec::new(),
             problem: ProblemSpec::default(),
             wire_peers: false,
+            gossip: None,
             checkpoint_dir: None,
             checkpoint_every_s: 0.1,
             deadline: Duration::from_secs(1),
             seed: 1,
         };
+
+        // Join without gossip mode.
+        let mut spec = base.clone();
+        spec.lifecycle = vec![LifecycleEvent::join(3, Duration::from_millis(10))];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("ClusterSpec::gossip"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+
+        // Join with a wrong (already used / skipped) id.
+        let mut spec = base.clone();
+        spec.gossip = Some(GossipTiming::default());
+        spec.lifecycle = vec![LifecycleEvent::join(5, Duration::from_millis(10))];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("next unused id 3"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+
+        // Two joins take consecutive ids; killing a joiner is fine.
+        let mut spec = base.clone();
+        spec.gossip = Some(GossipTiming::default());
+        spec.lifecycle = vec![
+            LifecycleEvent::join(3, Duration::from_millis(10)),
+            LifecycleEvent::join(4, Duration::from_millis(20)),
+            LifecycleEvent::kill(4, Duration::from_millis(30)),
+        ];
+        assert!(validate_plan(&spec).is_ok());
 
         // Restart without a checkpoint dir.
         let mut spec = base.clone();

@@ -41,18 +41,18 @@ pub mod noded;
 pub mod tcp;
 
 pub use codec::{
-    decode_frame, encode_announce, encode_frame, encode_rejoin, EncodedFrame, FrameDecoder,
-    RejoinFrame, RejoinSummary, WireError, WireFrame,
+    decode_frame, encode_announce, encode_frame, encode_join, encode_rejoin, EncodedFrame,
+    FrameDecoder, JoinFrame, RejoinFrame, RejoinSummary, WireError, WireFrame,
 };
 pub use config::{
     member_ids, parse_args, parse_config, ConfigError, KnapsackSpec, MaxSatSpec, NodeConfig,
     ProblemSpec, TreeFileSpec, PROBLEM_KINDS,
 };
 pub use launcher::{
-    launch, ClusterReport, ClusterSpec, LaunchError, LifecycleEvent, REJOIN_SETTLE,
+    launch, ClusterReport, ClusterSpec, GossipTiming, LaunchError, LifecycleEvent, REJOIN_SETTLE,
 };
 pub use noded::{
     checkpoint_path, outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring,
     ready_line, DirSink, NodedReport, ParsedOutcome,
 };
-pub use tcp::TcpMesh;
+pub use tcp::{TcpMesh, WireConfig};

@@ -20,6 +20,18 @@
 //! machine-parseable `FTBB-OUTCOME` line to stdout for the launcher to
 //! collect.
 //!
+//! **Membership** (`--gossip-servers`): instead of a static member list,
+//! the daemon runs the §5.2 gossip protocol — it joins through its
+//! servers, heartbeats on `--gossip-interval-s`, suspects members silent
+//! past `--suspect-after-s` (they leave the load-balancing targets and
+//! their unreported work becomes recovery-eligible), and forgets them
+//! past `--forget-after-s`. With `--join` the daemon starts knowing
+//! *only* a server address — no peer flags, no stdin wiring: it sends a
+//! wire-level join frame, gets the membership Welcome back, and discovers
+//! every other member (and its route, via the codec-v4 address book
+//! piggybacked on membership frames) through gossip. This is how a
+//! brand-new machine enters a live cluster mid-run.
+//!
 //! **Lifecycle**: with `--checkpoint-dir` the engine persists snapshots
 //! (`node-<id>.ckpt`, atomic write-rename) at startup, every
 //! `--checkpoint-every-s`, and at clean exit. With `--resume` the daemon
@@ -116,8 +128,36 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
 
     let members = crate::config::member_ids(cfg.id, &peers);
     // Same election and seed mixing as the threaded harness — the
-    // state machine must behave identically in every deployment.
-    let holds_root = ftbb_runtime::holds_root(cfg.id, &members);
+    // state machine must behave identically in every deployment. A
+    // joiner never holds the root: it enters a computation that is
+    // already running somewhere else.
+    let holds_root = !cfg.join && ftbb_runtime::holds_root(cfg.id, &members);
+
+    // Membership mode: resolve the gossip-server roster against the
+    // wiring. Addressed entries (`0=HOST:PORT`) become mesh routes on
+    // their own — the elastic-join path, where no wiring exists; bare
+    // ids must already be wired.
+    let mut mesh_peers = peers.clone();
+    for &(sid, addr) in &cfg.gossip_servers {
+        if sid == cfg.id {
+            continue;
+        }
+        match addr {
+            Some(a) => {
+                if !mesh_peers.iter().any(|&(id, _)| id == sid) {
+                    mesh_peers.push((sid, a));
+                }
+            }
+            None => {
+                if !peers.iter().any(|&(id, _)| id == sid) {
+                    return Err(bad_input(format!(
+                        "gossip server {sid} has no address and is not in the peer wiring; \
+                         give it as {sid}=HOST:PORT"
+                    )));
+                }
+            }
+        }
+    }
 
     // Resuming? Load the snapshot *before* the mesh exists: the mesh
     // must be born as the next incarnation so every frame it emits is
@@ -147,7 +187,13 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     };
     let incarnation = restored.as_ref().map_or(0, |chk| chk.incarnation + 1);
 
-    let (mesh, inbox) = TcpMesh::from_listener_incarnated(cfg.id, incarnation, listener, &peers)?;
+    let (mesh, inbox) = TcpMesh::from_listener_incarnated_with(
+        cfg.id,
+        incarnation,
+        listener,
+        &mesh_peers,
+        cfg.wire_config(),
+    )?;
 
     // Phase 3: readiness barrier — pre-establish every peer connection
     // before `Start`, so the first work grants cannot vanish into
@@ -162,6 +208,19 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         );
     }
 
+    // Elastic join: introduce this node to its gossip servers at the
+    // wire level (id, incarnation, listen address) so the reverse route
+    // exists before the protocol-level membership Join asks for a
+    // Welcome over it.
+    if cfg.join {
+        eprintln!(
+            "ftbb-noded: node {} joining through {} gossip server(s)",
+            cfg.id,
+            mesh_peers.len()
+        );
+        mesh.send_join();
+    }
+
     // Phase 4: resolve the workload and build the engine.
     //
     // * Resume: state and problem binding come from the checkpoint; the
@@ -174,12 +233,23 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     //
     // All of this happens after the readiness barrier, so handshake
     // frames ride connections that already exist.
+    // Millisecond-scale protocol timers, same profile as the threaded
+    // harness (ClusterConfig::new); node count only sizes defaults. In
+    // membership mode the gossip knobs ride along — including into
+    // restore, where the checkpoint's gossip binding expects them.
+    let protocol = {
+        let mut p = ClusterConfig::new(members.len() as u32).protocol;
+        p.membership = cfg.membership();
+        p
+    };
     let engine: NodeEngine<AnyExpander> = match &restored {
         Some(chk) => {
-            let protocol = ClusterConfig::new(members.len() as u32).protocol;
-            let engine =
-                NodeEngine::restore(chk, protocol, ftbb_runtime::node_seed(cfg.seed, cfg.id))
-                    .map_err(bad_input)?;
+            let engine = NodeEngine::restore(
+                chk,
+                protocol.clone(),
+                ftbb_runtime::node_seed(cfg.seed, cfg.id),
+            )
+            .map_err(bad_input)?;
             eprintln!(
                 "ftbb-noded: node {} resuming as incarnation {} ({} table codes, {} pooled, \
                  incumbent {})",
@@ -244,18 +314,37 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                 }
             };
             let expander = AnyExpander::new(instance.clone());
-            // Millisecond-scale protocol timers, same profile as the
-            // threaded harness (ClusterConfig::new); node count only
-            // sizes defaults.
-            let protocol = ClusterConfig::new(members.len() as u32).protocol;
-            let core = BnbProcess::new(
-                cfg.id,
-                members.clone(),
-                protocol,
-                expander.root_bound(),
-                holds_root,
-                ftbb_runtime::node_seed(cfg.seed, cfg.id),
-            );
+            let core = if cfg.gossip_mode() {
+                // Membership mode: the member list is the gossip view's
+                // alive set. Wired nodes seed the view with their peer
+                // map (immediate load-balancing targets whose heartbeats
+                // must then keep arriving); a joiner starts knowing only
+                // its servers and learns the world from the Welcome.
+                let server_ids: Vec<u32> = cfg.gossip_servers.iter().map(|&(id, _)| id).collect();
+                let mut p = BnbProcess::with_membership(
+                    cfg.id,
+                    server_ids,
+                    cfg.is_gossip_server(),
+                    protocol.clone(),
+                    expander.root_bound(),
+                    holds_root,
+                    ftbb_runtime::node_seed(cfg.seed, cfg.id),
+                    ftbb_des::SimTime::ZERO,
+                );
+                if !cfg.join {
+                    p.seed_membership_view(&members, ftbb_des::SimTime::ZERO);
+                }
+                p
+            } else {
+                BnbProcess::new(
+                    cfg.id,
+                    members.clone(),
+                    protocol.clone(),
+                    expander.root_bound(),
+                    holds_root,
+                    ftbb_runtime::node_seed(cfg.seed, cfg.id),
+                )
+            };
             let mut engine = NodeEngine::new(core, expander);
             // Bound checkpoints are self-sufficient: `--resume` needs
             // neither a problem spec nor an announce.
@@ -359,10 +448,10 @@ pub fn outcome_line(report: &NodedReport) -> String {
     let t = &report.transport;
     format!(
         "FTBB-OUTCOME id={} incarnation={} terminated={} incumbent_bits={:#018x} incumbent={} \
-         expanded={} recoveries={} sent={} wire_bytes={} encoded_bytes={} \
-         dropped_full={} dropped_disconnected={} dropped_no_route={} \
+         expanded={} recoveries={} suspected={} forgotten={} sent={} wire_bytes={} \
+         encoded_bytes={} dropped_full={} dropped_disconnected={} dropped_no_route={} \
          dropped_startup={} dropped_stale={} retried={} connect_waits={} reconnects={} \
-         announces_sent={} announces_recv={} rejoins={}",
+         announces_sent={} announces_recv={} rejoins={} joins={} discovered={}",
         o.id,
         o.incarnation,
         o.terminated,
@@ -370,6 +459,8 @@ pub fn outcome_line(report: &NodedReport) -> String {
         o.incumbent,
         o.metrics.expanded,
         o.metrics.recoveries,
+        o.metrics.peers_suspected,
+        o.metrics.peers_forgotten,
         t.sent,
         t.sent_wire_bytes,
         t.sent_encoded_bytes,
@@ -384,6 +475,8 @@ pub fn outcome_line(report: &NodedReport) -> String {
         t.announces_sent,
         t.announces_recv,
         t.rejoins,
+        t.joins,
+        t.peers_discovered,
     )
 }
 
@@ -402,6 +495,10 @@ pub struct ParsedOutcome {
     pub expanded: u64,
     /// Complement recoveries performed.
     pub recoveries: u64,
+    /// Members suspected via heartbeat timeout (membership mode).
+    pub suspected: u64,
+    /// Members forgotten after the cleanup timeout (membership mode).
+    pub forgotten: u64,
     /// Transport counters at exit.
     pub transport: TransportStats,
 }
@@ -425,6 +522,8 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
         incumbent: f64::from_bits(bits),
         expanded: get_u64("expanded")?,
         recoveries: get_u64("recoveries")?,
+        suspected: get_u64("suspected")?,
+        forgotten: get_u64("forgotten")?,
         transport: TransportStats {
             sent: get_u64("sent")?,
             sent_wire_bytes: get_u64("wire_bytes")?,
@@ -440,6 +539,8 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
             announces_sent: get_u64("announces_sent")?,
             announces_recv: get_u64("announces_recv")?,
             rejoins: get_u64("rejoins")?,
+            joins: get_u64("joins")?,
+            peers_discovered: get_u64("discovered")?,
         },
     })
 }
@@ -461,6 +562,8 @@ mod tests {
                 metrics: ProcMetrics {
                     expanded: 42,
                     recoveries: 2,
+                    peers_suspected: 3,
+                    peers_forgotten: 1,
                     ..Default::default()
                 },
                 lifetime: Duration::from_millis(10),
@@ -480,6 +583,8 @@ mod tests {
                 announces_sent: 10,
                 announces_recv: 11,
                 rejoins: 12,
+                joins: 13,
+                peers_discovered: 14,
             },
         };
         let line = outcome_line(&report);
@@ -490,6 +595,8 @@ mod tests {
         assert_eq!(parsed.incumbent, -127.5);
         assert_eq!(parsed.expanded, 42);
         assert_eq!(parsed.recoveries, 2);
+        assert_eq!(parsed.suspected, 3);
+        assert_eq!(parsed.forgotten, 1);
         assert_eq!(parsed.transport, report.transport);
         assert_eq!(parse_outcome_line("unrelated noise"), None);
     }

@@ -33,8 +33,10 @@
 //!   frames.
 //! * **Startup retry window**: until a peer has accepted its first
 //!   connection, a frame that cannot be delivered is *retried* instead
-//!   of dropped — held in a small bounded queue ([`RETRY_MAX_FRAMES`]
-//!   frames, [`RETRY_WINDOW`] long) while the writer keeps dialing.
+//!   of dropped — held in a small bounded queue while the writer keeps
+//!   dialing. Both budgets are configurable per mesh through
+//!   [`WireConfig`] (`retry_window`, default [`RETRY_WINDOW`] = 1 s;
+//!   `retry_max_frames`, default [`RETRY_MAX_FRAMES`] = 64 frames).
 //!   Frames that outlive the budget are dropped and counted as
 //!   `dropped_startup`; an at-most-once window made explicit and
 //!   bounded rather than pretended free.
@@ -47,10 +49,24 @@
 //!   successful re-establishment is counted.
 //! * A reader that sees a corrupt frame drops the connection — a corrupt
 //!   peer is indistinguishable from a dead one.
+//!
+//! **Live peer discovery** (codec v4): outgoing membership frames
+//! piggyback this node's address book — `(id, addr, incarnation)` per
+//! known peer plus itself — and inbound books open routes to members
+//! this mesh has never been wired with, already tagged for the right
+//! life (counted as `peers_discovered`). A *relayed* entry never
+//! re-points a known peer's route; the sender's *own* entry is
+//! authoritative (the admitted frame proves its current address and
+//! incarnation), like a join/rejoin frame — which is how a route
+//! learned from a book that later went stale heals itself on the next
+//! membership frame from that peer. A brand-new node enters a live mesh
+//! by sending a [`JoinFrame`] to its gossip servers
+//! ([`TcpMesh::send_join`]); gossip then spreads its existence — and,
+//! via the books, its address — epidemically.
 
 use crate::codec::{
-    encode_announce, encode_frame, encode_rejoin, FrameDecoder, RejoinFrame, RejoinSummary,
-    WireFrame,
+    encode_announce, encode_frame, encode_join, encode_rejoin, FrameDecoder, JoinFrame,
+    RejoinFrame, RejoinSummary, WireFrame,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ftbb_bnb::AnyInstance;
@@ -74,14 +90,40 @@ const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
 /// before retrying — keeps send() latency flat while a peer is down.
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(50);
 
-/// Time budget of the startup retry window: frames sent before the peer
-/// ever connected are retried for this long, then dropped (counted as
-/// `dropped_startup`).
+/// Default time budget of the startup retry window: frames sent before
+/// the peer ever connected are retried for this long, then dropped
+/// (counted as `dropped_startup`). Configurable per mesh through
+/// [`WireConfig::retry_window`].
 pub const RETRY_WINDOW: Duration = Duration::from_secs(1);
 
-/// Frame budget of the startup retry window: at most this many frames
-/// are held for retry per peer; overflow drops immediately.
+/// Default frame budget of the startup retry window: at most this many
+/// frames are held for retry per peer; overflow drops immediately.
+/// Configurable per mesh through [`WireConfig::retry_max_frames`].
 pub const RETRY_MAX_FRAMES: usize = 64;
+
+/// Transport tuning knobs, applied to every peer writer of a mesh.
+/// Defaults reproduce the historical constants exactly; deployments with
+/// slower-starting peers (large clusters, loaded CI machines) can widen
+/// the startup window, and latency-sensitive ones can shrink it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Startup retry window: how long frames to a never-yet-connected
+    /// peer are retried before reverting to counted silent drops
+    /// (default [`RETRY_WINDOW`], 1 s).
+    pub retry_window: Duration,
+    /// Per-peer frame budget of that window; overflow drops immediately
+    /// (default [`RETRY_MAX_FRAMES`], 64 frames).
+    pub retry_max_frames: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            retry_window: RETRY_WINDOW,
+            retry_max_frames: RETRY_MAX_FRAMES,
+        }
+    }
+}
 
 /// Pacing of dial attempts while the retry window or the
 /// pre-establishment barrier is waiting for a listener.
@@ -129,6 +171,7 @@ impl Peer {
 struct Registry {
     me: u32,
     my_incarnation: u32,
+    cfg: WireConfig,
     peers: RwLock<HashMap<u32, Peer>>,
     /// Highest incarnation seen per sender; frames from lower ones are a
     /// previous life's stragglers and are dropped as stale.
@@ -154,11 +197,40 @@ impl Registry {
                 }
             }
         }
-        let peer = spawn_peer(addr, incarnation, Arc::clone(&self.counters));
+        let peer = spawn_peer(addr, incarnation, Arc::clone(&self.counters), self.cfg);
         self.peers
             .write()
             .expect("peer map poisoned")
             .insert(id, peer);
+    }
+
+    /// Learn a peer from a *relayed* (third-party) address-book entry:
+    /// unknown ids are registered at the book's incarnation; for known
+    /// ids only the outbound incarnation tag is raised (monotone). A
+    /// relayed entry never re-points an existing writer — address
+    /// changes are authoritative only through join/rejoin frames or the
+    /// sender's *own* book entry (see the reader), so a stale relayed
+    /// book cannot hijack a live route.
+    fn learn_peer(&self, id: u32, addr: SocketAddr, incarnation: u32) {
+        if id == self.me {
+            return;
+        }
+        {
+            let peers = self.peers.read().expect("peer map poisoned");
+            if let Some(peer) = peers.get(&id) {
+                peer.incarnation.fetch_max(incarnation, Ordering::AcqRel);
+                return;
+            }
+        }
+        let mut peers = self.peers.write().expect("peer map poisoned");
+        if peers.contains_key(&id) {
+            return; // raced another reader; first learner wins
+        }
+        peers.insert(
+            id,
+            spawn_peer(addr, incarnation, Arc::clone(&self.counters), self.cfg),
+        );
+        self.counters.record_peer_discovered();
     }
 
     /// An admitted frame from `from` at `incarnation` is proof of that
@@ -205,6 +277,9 @@ pub struct TcpMesh {
     /// Rejoin frames, after the registry has acted on them — for logging
     /// and tests; draining is optional.
     rejoin_rx: Receiver<RejoinFrame>,
+    /// Join frames, after the registry has acted on them — for logging
+    /// and tests; draining is optional.
+    join_rx: Receiver<JoinFrame>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
 }
@@ -236,12 +311,34 @@ impl TcpMesh {
 
     /// Build the mesh around an already-bound listener as a specific
     /// incarnation of its node — the entry point for restarted daemons
-    /// (`--resume` bumps the checkpointed incarnation by one).
+    /// (`--resume` bumps the checkpointed incarnation by one). Uses the
+    /// default [`WireConfig`]; see
+    /// [`TcpMesh::from_listener_incarnated_with`] for tuned transports.
     pub fn from_listener_incarnated(
         me: u32,
         incarnation: u32,
         listener: TcpListener,
         peers: &[(u32, SocketAddr)],
+    ) -> std::io::Result<(TcpMesh, Receiver<Envelope>)> {
+        TcpMesh::from_listener_incarnated_with(
+            me,
+            incarnation,
+            listener,
+            peers,
+            WireConfig::default(),
+        )
+    }
+
+    /// [`TcpMesh::from_listener_incarnated`] with explicit transport
+    /// tuning ([`WireConfig`]): the startup retry window and its frame
+    /// budget apply to every writer this mesh ever spawns, including
+    /// peers registered later (rejoin, join, gossip discovery).
+    pub fn from_listener_incarnated_with(
+        me: u32,
+        incarnation: u32,
+        listener: TcpListener,
+        peers: &[(u32, SocketAddr)],
+        cfg: WireConfig,
     ) -> std::io::Result<(TcpMesh, Receiver<Envelope>)> {
         let local_addr = listener.local_addr()?;
         let counters = Arc::new(TransportCounters::default());
@@ -249,10 +346,12 @@ impl TcpMesh {
         let (inbox_tx, inbox_rx) = unbounded();
         let (announce_tx, announce_rx) = unbounded();
         let (rejoin_tx, rejoin_rx) = unbounded();
+        let (join_tx, join_rx) = unbounded();
 
         let registry = Arc::new(Registry {
             me,
             my_incarnation: incarnation,
+            cfg,
             peers: RwLock::new(HashMap::new()),
             seen: RwLock::new(HashMap::new()),
             counters,
@@ -264,9 +363,12 @@ impl TcpMesh {
         spawn_acceptor(
             listener,
             Arc::clone(&registry),
-            inbox_tx.clone(),
-            announce_tx,
-            rejoin_tx,
+            ReaderSinks {
+                inbox: inbox_tx.clone(),
+                announce: announce_tx,
+                rejoin: rejoin_tx,
+                join: join_tx,
+            },
             Arc::clone(&shutdown),
         );
 
@@ -276,6 +378,7 @@ impl TcpMesh {
                 inbox_tx,
                 announce_rx,
                 rejoin_rx,
+                join_rx,
                 local_addr,
                 shutdown,
             },
@@ -354,6 +457,35 @@ impl TcpMesh {
     /// the time it surfaces here; this is for logging and tests.
     pub fn recv_rejoin(&self, timeout: Duration) -> Option<RejoinFrame> {
         self.rejoin_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Introduce this node to every currently-registered peer (for a
+    /// joining node: its gossip servers) with a join frame carrying its
+    /// id, incarnation, and listen address. Receivers register the
+    /// sender, opening the reverse route the membership Welcome needs.
+    pub fn send_join(&self) {
+        let registry = &self.registry;
+        let frame = encode_join(&JoinFrame {
+            from: registry.me,
+            incarnation: registry.my_incarnation,
+            addr: self.local_addr,
+        });
+        for peer in registry.peers.read().expect("peer map poisoned").values() {
+            peer.enqueue(
+                QueuedFrame {
+                    wire_size: frame.wire_size,
+                    bytes: frame.bytes.clone(),
+                },
+                &registry.counters,
+            );
+        }
+    }
+
+    /// Wait (up to `timeout`) for a newcomer's join frame. The registry
+    /// has already registered the sender by the time it surfaces here;
+    /// this is for logging and tests.
+    pub fn recv_join(&self, timeout: Duration) -> Option<JoinFrame> {
+        self.join_rx.recv_timeout(timeout).ok()
     }
 
     /// The actually bound listen address (resolves port 0).
@@ -450,10 +582,27 @@ impl Transport for TcpMesh {
             registry.counters.record_dropped_full();
             return;
         }
+        // Membership traffic piggybacks this node's address book (codec
+        // v4) — `(id, addr, incarnation)` per known peer plus itself —
+        // so the receiver opens routes to members it only knows from
+        // gossip, tagged for the right life. Work/report traffic ships
+        // an empty book: discovery belongs to the membership plane.
+        let book: Vec<(u32, SocketAddr, u32)> = if matches!(msg, Msg::Membership(_)) {
+            let mut book: Vec<(u32, SocketAddr, u32)> = peers
+                .iter()
+                .map(|(&id, p)| (id, p.addr, p.incarnation.load(Ordering::Acquire)))
+                .collect();
+            book.push((registry.me, self.local_addr, registry.my_incarnation));
+            book.sort_unstable_by_key(|&(id, _, _)| id);
+            book
+        } else {
+            Vec::new()
+        };
         let frame = encode_frame(
             &Envelope { from, msg },
             registry.my_incarnation,
             peer.incarnation.load(Ordering::Acquire),
+            &book,
         );
         if frame.exceeds_limit() {
             // Receivers reject oversize frames and drop the connection;
@@ -496,12 +645,20 @@ impl Drop for TcpMesh {
     }
 }
 
-fn spawn_acceptor(
-    listener: TcpListener,
-    registry: Arc<Registry>,
+/// The channels a reader routes decoded frames into, bundled so the
+/// acceptor can clone them per connection.
+#[derive(Clone)]
+struct ReaderSinks {
     inbox: Sender<Envelope>,
     announce: Sender<(u32, AnyInstance)>,
     rejoin: Sender<RejoinFrame>,
+    join: Sender<JoinFrame>,
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    sinks: ReaderSinks,
     shutdown: Arc<AtomicBool>,
 ) {
     std::thread::spawn(move || {
@@ -514,9 +671,7 @@ fn spawn_acceptor(
                     spawn_reader(
                         stream,
                         Arc::clone(&registry),
-                        inbox.clone(),
-                        announce.clone(),
-                        rejoin.clone(),
+                        sinks.clone(),
                         Arc::clone(&shutdown),
                     );
                 }
@@ -535,9 +690,7 @@ fn spawn_acceptor(
 fn spawn_reader(
     stream: TcpStream,
     registry: Arc<Registry>,
-    inbox: Sender<Envelope>,
-    announce: Sender<(u32, AnyInstance)>,
-    rejoin: Sender<RejoinFrame>,
+    sinks: ReaderSinks,
     shutdown: Arc<AtomicBool>,
 ) {
     std::thread::spawn(move || {
@@ -561,6 +714,7 @@ fn spawn_reader(
                                 env,
                                 from_incarnation,
                                 to_incarnation,
+                                book,
                             })) => {
                                 // Frames from a sender's previous life are
                                 // stale — count and drop, never deliver.
@@ -574,13 +728,29 @@ fn spawn_reader(
                                 // be addressed to OUR previous life (its
                                 // from-tag is truthful regardless).
                                 registry.note_sender_life(env.from, from_incarnation);
+                                // A live sender's address book teaches us
+                                // routes to gossip-discovered members —
+                                // valid whichever of our lives the frame
+                                // below was addressed to. The sender's
+                                // *own* entry is authoritative (the frame
+                                // proves its current address and life, so
+                                // it may re-point a stale route); relayed
+                                // entries only open new routes or raise
+                                // incarnation tags.
+                                for (id, addr, inc) in book {
+                                    if id == env.from {
+                                        registry.register(id, addr, from_incarnation.max(inc));
+                                    } else {
+                                        registry.learn_peer(id, addr, inc);
+                                    }
+                                }
                                 // Frames for another of this node's lives
                                 // are stale too.
                                 if to_incarnation != registry.my_incarnation {
                                     registry.counters.record_dropped_stale();
                                     continue;
                                 }
-                                if inbox.try_send(env).is_err() {
+                                if sinks.inbox.try_send(env).is_err() {
                                     return; // local node gone
                                 }
                             }
@@ -595,7 +765,7 @@ fn spawn_reader(
                                 }
                                 registry.note_sender_life(from, incarnation);
                                 registry.counters.record_announce_recv();
-                                if announce.try_send((from, instance)).is_err() {
+                                if sinks.announce.try_send((from, instance)).is_err() {
                                     return; // local node gone
                                 }
                             }
@@ -608,7 +778,19 @@ fn spawn_reader(
                                 registry.register(frame.from, frame.addr, frame.incarnation);
                                 // Best-effort surface for logging/tests; a
                                 // full channel is not a routing failure.
-                                let _ = rejoin.try_send(frame);
+                                let _ = sinks.rejoin.try_send(frame);
+                            }
+                            Ok(Some(WireFrame::Join(frame))) => {
+                                if !registry.admit_sender(frame.from, frame.incarnation) {
+                                    registry.counters.record_dropped_stale();
+                                    continue;
+                                }
+                                registry.counters.record_join();
+                                // A join IS authoritative for the sender's
+                                // address (it announces itself), unlike a
+                                // relayed book entry.
+                                registry.register(frame.from, frame.addr, frame.incarnation);
+                                let _ = sinks.join.try_send(frame);
                             }
                             Ok(None) => break,
                             Err(_) => {
@@ -633,7 +815,12 @@ fn spawn_reader(
 
 /// Build one peer entry: its queue, its shared flags, and its writer
 /// thread.
-fn spawn_peer(addr: SocketAddr, incarnation: u32, counters: Arc<TransportCounters>) -> Peer {
+fn spawn_peer(
+    addr: SocketAddr,
+    incarnation: u32,
+    counters: Arc<TransportCounters>,
+    cfg: WireConfig,
+) -> Peer {
     let (queue_tx, queue_rx) = unbounded();
     let depth = Arc::new(AtomicUsize::new(0));
     let connected = Arc::new(AtomicBool::new(false));
@@ -643,6 +830,7 @@ fn spawn_peer(addr: SocketAddr, incarnation: u32, counters: Arc<TransportCounter
         Arc::clone(&depth),
         Arc::clone(&connected),
         counters,
+        cfg,
     );
     Peer {
         addr,
@@ -657,6 +845,7 @@ fn spawn_peer(addr: SocketAddr, incarnation: u32, counters: Arc<TransportCounter
 /// window, and the settlement of every queued frame's depth reservation.
 struct Writer {
     addr: SocketAddr,
+    cfg: WireConfig,
     depth: Arc<AtomicUsize>,
     connected: Arc<AtomicBool>,
     counters: Arc<TransportCounters>,
@@ -786,9 +975,9 @@ impl Writer {
     /// it with the attribution the current phase calls for.
     fn admit_or_drop(&mut self, frame: QueuedFrame) {
         if self.window_until.is_none() {
-            self.window_until = Some(Instant::now() + RETRY_WINDOW);
+            self.window_until = Some(Instant::now() + self.cfg.retry_window);
         }
-        if self.window_open() && self.retry.len() < RETRY_MAX_FRAMES {
+        if self.window_open() && self.retry.len() < self.cfg.retry_max_frames {
             self.counters.record_retried();
             self.retry.push_back(frame); // depth stays reserved
         } else if !self.had_connection {
@@ -848,10 +1037,12 @@ fn spawn_writer(
     depth: Arc<AtomicUsize>,
     connected: Arc<AtomicBool>,
     counters: Arc<TransportCounters>,
+    cfg: WireConfig,
 ) {
     std::thread::spawn(move || {
         let mut w = Writer {
             addr,
+            cfg,
             depth,
             connected,
             counters,
@@ -1340,6 +1531,184 @@ mod tests {
             "the first crossing frames must have been stale: A {:?} / B {:?}",
             mesh_a.stats(),
             mesh_b.stats()
+        );
+    }
+
+    #[test]
+    fn join_frame_registers_the_newcomer_and_opens_the_reverse_route() {
+        // A gossip server born with an EMPTY roster; a joiner that knows
+        // only the server's address. The join frame must teach the server
+        // the newcomer's route without any wiring.
+        let addr_server = free_addr();
+        let addr_joiner = free_addr();
+        let (server, _rx_server) = TcpMesh::bind(0, addr_server, &[]).unwrap();
+        let (joiner, rx_joiner) = TcpMesh::bind(7, addr_joiner, &[(0, addr_server)]).unwrap();
+        assert!(joiner.ready(Duration::from_secs(10)));
+        joiner.send_join();
+
+        let frame = server
+            .recv_join(Duration::from_secs(5))
+            .expect("join arrives");
+        assert_eq!(frame.from, 7);
+        assert_eq!(frame.incarnation, 0);
+        assert_eq!(frame.addr, addr_joiner);
+        assert_eq!(server.stats().joins, 1);
+        assert_eq!(server.endpoints(), 2, "the newcomer is registered");
+
+        // The reverse route works: the server can now answer (the
+        // membership Welcome travels exactly this way).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while Instant::now() < deadline {
+            server.send(0, 7, Msg::WorkDeny { incumbent: 1.0 });
+            if recv_msg(&rx_joiner, Duration::from_millis(100)).is_some() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "join must open the reverse route: {:?}", {
+            server.stats()
+        });
+    }
+
+    #[test]
+    fn membership_books_teach_gossip_discovered_peers() {
+        use ftbb_gossip::MembershipMsg;
+        // A knows B and C; B knows only A. A's membership gossip to B
+        // piggybacks A's book, which teaches B a route to C — a peer B
+        // has never exchanged wiring with.
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let addr_c = free_addr();
+        let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[(1, addr_b), (2, addr_c)]).unwrap();
+        let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
+        let (_mesh_c, rx_c) = TcpMesh::bind(2, addr_c, &[(0, addr_a)]).unwrap();
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+        assert_eq!(
+            mesh_b.endpoints(),
+            2,
+            "B starts knowing only A (and itself)"
+        );
+
+        mesh_a.send(0, 1, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
+        assert_eq!(
+            mesh_b.stats().peers_discovered,
+            1,
+            "C was learned from A's book: {:?}",
+            mesh_b.stats()
+        );
+        assert_eq!(mesh_b.endpoints(), 3);
+
+        // …and the learned route carries traffic.
+        mesh_b.send(1, 2, Msg::WorkRequest { incumbent: 4.0 });
+        assert!(
+            recv_msg(&rx_c, Duration::from_secs(5)).is_some(),
+            "B must reach C through the discovered route"
+        );
+
+        // Non-membership traffic ships no book: a fresh mesh that only
+        // ever saw work traffic discovers nothing.
+        mesh_a.send(0, 2, Msg::WorkRequest { incumbent: 1.0 });
+        assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
+        assert_eq!(_mesh_c.stats().peers_discovered, 0);
+    }
+
+    #[test]
+    fn senders_own_book_entry_repoints_a_stale_route() {
+        use ftbb_gossip::MembershipMsg;
+        // C believes A lives at a dead address (e.g. learned from a book
+        // that went stale when A moved). A's own membership frame to C
+        // carries A's self-entry, which is authoritative: C must
+        // re-point its writer to A's real address and deliver again.
+        let addr_a_stale = free_addr(); // nothing ever listens here
+        let addr_a_real = free_addr();
+        let addr_c = free_addr();
+        let (mesh_a, rx_a) = TcpMesh::bind(0, addr_a_real, &[(2, addr_c)]).unwrap();
+        let (mesh_c, rx_c) = TcpMesh::bind(2, addr_c, &[]).unwrap();
+        mesh_c.register_peer(0, addr_a_stale, 0); // the stale route
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+
+        mesh_a.send(0, 2, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
+
+        // C's writer now points at addr_a_real: traffic flows again.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while Instant::now() < deadline {
+            mesh_c.send(2, 0, Msg::WorkDeny { incumbent: 2.0 });
+            if recv_msg(&rx_a, Duration::from_millis(100)).is_some() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(
+            delivered,
+            "the sender's own book entry must heal the stale route: {:?}",
+            mesh_c.stats()
+        );
+    }
+
+    #[test]
+    fn book_discovered_peers_inherit_the_relayed_incarnation() {
+        use ftbb_gossip::MembershipMsg;
+        // A knows B is at incarnation 2 (taught directly); C learns B
+        // purely from A's book and must tag its first frames for B's
+        // CURRENT life, not incarnation 0 — otherwise everything C says
+        // until B happens to answer would be dropped as stale.
+        let addr_a = free_addr();
+        let addr_b = free_addr();
+        let addr_c = free_addr();
+        let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[(2, addr_c)]).unwrap();
+        mesh_a.register_peer(1, addr_b, 2);
+        let (mesh_b, rx_b) = {
+            let l = TcpListener::bind(addr_b).unwrap();
+            TcpMesh::from_listener_incarnated(1, 2, l, &[]).unwrap()
+        };
+        let (mesh_c, rx_c) = TcpMesh::bind(2, addr_c, &[(0, addr_a)]).unwrap();
+        assert!(mesh_a.ready(Duration::from_secs(10)));
+
+        mesh_a.send(0, 2, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
+        assert_eq!(mesh_c.stats().peers_discovered, 1, "{:?}", mesh_c.stats());
+
+        // C's very first frame to B is admitted by incarnation-2 B.
+        mesh_c.send(2, 1, Msg::WorkRequest { incumbent: 1.0 });
+        assert!(
+            recv_msg(&rx_b, Duration::from_secs(5)).is_some(),
+            "frames to a discovered peer must carry its relayed incarnation: {:?}",
+            mesh_b.stats()
+        );
+        assert_eq!(mesh_b.stats().dropped_stale, 0, "{:?}", mesh_b.stats());
+    }
+
+    #[test]
+    fn wire_config_tunes_the_startup_retry_window() {
+        // A mesh configured with a tiny startup budget: 2 frames / 100 ms
+        // instead of the default 64 / 1 s. The third frame overflows the
+        // frame budget instantly, and the parked two expire quickly.
+        let dead = free_addr();
+        let addr = free_addr();
+        let listener = TcpListener::bind(addr).unwrap();
+        let cfg = WireConfig {
+            retry_window: Duration::from_millis(100),
+            retry_max_frames: 2,
+        };
+        let (mesh, _rx) =
+            TcpMesh::from_listener_incarnated_with(0, 0, listener, &[(1, dead)], cfg).unwrap();
+        for _ in 0..5 {
+            mesh.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+        }
+        assert!(
+            mesh.drain(Duration::from_secs(3)),
+            "a 100 ms window must settle well before the default 1 s"
+        );
+        let stats = mesh.stats();
+        assert_eq!(stats.sent, 0);
+        assert_eq!(stats.dropped_startup, 5, "{stats:?}");
+        assert_eq!(
+            stats.retried, 2,
+            "only the configured budget parks: {stats:?}"
         );
     }
 

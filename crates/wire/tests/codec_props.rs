@@ -119,21 +119,34 @@ fn any_instance_strategy() -> impl Strategy<Value = AnyInstance> {
     })
 }
 
+/// Strategy for a piggybacked address book (codec v4):
+/// `(id, addr, incarnation)` entries.
+fn book_strategy() -> impl Strategy<Value = Vec<(u32, std::net::SocketAddr, u32)>> {
+    collection::vec((any::<u32>(), 1u16..65535, any::<u32>()), 0..8).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(id, port, inc)| (id, std::net::SocketAddr::from(([127, 0, 0, 1], port)), inc))
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Round trip through the frame codec with arbitrary read chunking —
-    /// including the incarnation tags the lifecycle refactor added.
+    /// including the incarnation tags the lifecycle refactor added and
+    /// the piggybacked address book codec v4 added.
     #[test]
     fn every_msg_survives_framing_and_split_reads(
         msg in msg_strategy(),
         from in any::<u32>(),
         from_incarnation in any::<u32>(),
         to_incarnation in any::<u32>(),
+        book in book_strategy(),
         chunk in 1usize..64,
     ) {
         let env = Envelope { from, msg };
-        let frame = encode_frame(&env, from_incarnation, to_incarnation);
+        let frame = encode_frame(&env, from_incarnation, to_incarnation, &book);
         prop_assert!(frame.encoded_len() > frame.wire_size,
             "frame header must add bytes");
 
@@ -147,7 +160,7 @@ proptest! {
             }
         }
         let got = decoded.expect("frame fully fed");
-        prop_assert_eq!(got, WireFrame::Protocol { env, from_incarnation, to_incarnation });
+        prop_assert_eq!(got, WireFrame::Protocol { env, from_incarnation, to_incarnation, book });
     }
 
     /// Back-to-back frames decode independently in order.
@@ -159,7 +172,7 @@ proptest! {
         let mut stream = Vec::new();
         for msg in &msgs {
             stream.extend_from_slice(
-                &encode_frame(&Envelope { from, msg: msg.clone() }, 0, 0).bytes,
+                &encode_frame(&Envelope { from, msg: msg.clone() }, 0, 0, &[]).bytes,
             );
         }
         let mut dec = FrameDecoder::new();
@@ -180,7 +193,7 @@ proptest! {
     /// errors, never panics, and never yields a message.
     #[test]
     fn truncated_frames_pend_not_panic(msg in msg_strategy(), cut_seed in any::<u64>()) {
-        let frame = encode_frame(&Envelope { from: 1, msg }, 0, 0).bytes;
+        let frame = encode_frame(&Envelope { from: 1, msg }, 0, 0, &[]).bytes;
         let cut = (cut_seed as usize) % frame.len();
         let mut dec = FrameDecoder::new();
         dec.push(&frame[..cut]);
@@ -192,7 +205,7 @@ proptest! {
     #[test]
     fn corruption_never_decodes_silently(msg in msg_strategy(), pos_seed in any::<u64>(), flip in 1u8..=255) {
         let env = Envelope { from: 9, msg };
-        let frame = encode_frame(&env, 3, 4).bytes;
+        let frame = encode_frame(&env, 3, 4, &[]).bytes;
         let pos = (pos_seed as usize) % frame.len();
         let mut bad = frame.clone();
         bad[pos] ^= flip;
@@ -203,9 +216,38 @@ proptest! {
             Ok(None) => {}        // length grew: stream pends forever
             Ok(Some(got)) => prop_assert_eq!(
                 got,
-                WireFrame::Protocol { env, from_incarnation: 3, to_incarnation: 4 },
+                WireFrame::Protocol { env, from_incarnation: 3, to_incarnation: 4, book: vec![] },
                 "corrupt frame decoded to different data"
             ),
+        }
+    }
+
+    /// Join frames survive framing and split reads.
+    #[test]
+    fn every_join_survives_framing(
+        from in any::<u32>(),
+        incarnation in any::<u32>(),
+        port in 1u16..65535,
+        chunk in 1usize..64,
+    ) {
+        let join = ftbb_wire::JoinFrame {
+            from,
+            incarnation,
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        };
+        let frame = ftbb_wire::encode_join(&join);
+        let mut dec = FrameDecoder::new();
+        let mut decoded = None;
+        for piece in frame.bytes.chunks(chunk) {
+            dec.push(piece);
+            if let Some(got) = dec.try_next().expect("valid frame decodes") {
+                prop_assert!(decoded.is_none(), "only one frame was sent");
+                decoded = Some(got);
+            }
+        }
+        match decoded.expect("frame fully fed") {
+            WireFrame::Join(got) => prop_assert_eq!(got, join),
+            other => prop_assert!(false, "expected join, got {:?}", other),
         }
     }
 

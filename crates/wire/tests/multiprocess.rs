@@ -13,7 +13,7 @@
 //! counted off as stale.
 
 use ftbb_bnb::{solve, Correlation, SolveConfig};
-use ftbb_wire::launcher::{launch, ClusterSpec, LifecycleEvent};
+use ftbb_wire::launcher::{launch, ClusterSpec, GossipTiming, LifecycleEvent};
 use ftbb_wire::{KnapsackSpec, MaxSatSpec, ProblemSpec};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -32,6 +32,7 @@ fn base_spec(problem: ProblemSpec, nodes: u32, seed: u64) -> ClusterSpec {
         crash_at: Vec::new(),
         problem,
         wire_peers: false,
+        gossip: None,
         checkpoint_dir: None,
         checkpoint_every_s: 0.05,
         deadline: Duration::from_secs(60),
@@ -326,6 +327,102 @@ fn tree_file_cluster_ships_the_tree_to_wire_peers() {
     for o in report.outcomes.iter().flatten() {
         assert_eq!(Some(o.incumbent), reference, "node {}", o.id);
     }
+}
+
+/// The elastic-join regression — the gossip-membership acceptance test.
+///
+/// Three nodes start through the launcher's wiring with the membership
+/// protocol on (node 0 is the gossip server). Two more nodes then join
+/// mid-run knowing *only* node 0's address — they appear in no peer
+/// wiring whatsoever and discover the rest of the cluster through the
+/// join handshake, the membership Welcome, and the codec-v4 address
+/// books piggybacked on gossip. One original (wired) node is SIGKILLed;
+/// its heartbeats stop, so the survivors must *suspect* it via the
+/// §5.2 timeout (asserted on the new suspicion counters), drop it from
+/// load balancing, recover its unreported work, and still reach the
+/// sequential optimum — with the joiners contributing expansions.
+#[test]
+fn joined_nodes_contribute_and_dead_node_is_suspected() {
+    let problem = heavy_problem();
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
+
+    let mut spec = base_spec(problem, 3, 29);
+    spec.gossip = Some(GossipTiming {
+        interval_s: 0.03,
+        suspect_s: 0.35,
+        forget_s: 3.0,
+    });
+    spec.lifecycle = vec![
+        LifecycleEvent::join(3, Duration::from_millis(80)),
+        LifecycleEvent::join(4, Duration::from_millis(120)),
+        LifecycleEvent::kill(1, Duration::from_millis(220)),
+    ];
+    let report = launch(&spec).expect("cluster launches");
+
+    assert_eq!(
+        report.killed,
+        vec![1],
+        "node 1 must die mid-run: {report:?}"
+    );
+    assert!(
+        report.all_survivors_terminated,
+        "survivors (incl. joiners) failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(
+        report.best, reference,
+        "cluster disagrees with the sequential optimum"
+    );
+    assert_eq!(report.outcomes.len(), 5, "3 wired nodes + 2 joiners");
+
+    // The joiners entered through the server and did real work.
+    let joiner_expanded: u64 = [3usize, 4]
+        .iter()
+        .filter_map(|&id| report.outcomes[id].as_ref())
+        .map(|o| o.expanded)
+        .sum();
+    assert!(
+        joiner_expanded > 0,
+        "joiners must contribute expansions:\n{}",
+        report.skew_summary()
+    );
+    for &id in &[3usize, 4] {
+        let o = report.outcomes[id].as_ref().expect("joiner reports");
+        assert!(o.terminated, "joiner {id} detects termination");
+        assert_eq!(Some(o.incumbent), reference, "joiner {id}");
+    }
+
+    // The join handshake is visible on the server's counters…
+    let server = report.outcomes[0].as_ref().expect("server survives");
+    assert!(
+        server.transport.joins >= 2,
+        "server must see both join frames: {:?}",
+        server.transport
+    );
+    // …and gossip discovery opened routes nobody wired: some survivor
+    // learned a peer purely from a piggybacked address book.
+    let discovered: u64 = report
+        .outcomes
+        .iter()
+        .flatten()
+        .map(|o| o.transport.peers_discovered)
+        .sum();
+    assert!(
+        discovered >= 1,
+        "address books must teach unwired routes: {:?}",
+        report.outcomes
+    );
+
+    // The SIGKILLed node went silent; the membership protocol must have
+    // suspected it somewhere (heartbeat timeout), which is what removed
+    // it from load balancing and made its work recovery-eligible.
+    let suspected: u64 = report.outcomes.iter().flatten().map(|o| o.suspected).sum();
+    assert!(
+        suspected >= 1,
+        "the dead node must be suspected via heartbeat timeout: {:?}",
+        report.outcomes
+    );
 }
 
 /// The restart/rejoin regression — the node-lifecycle acceptance test.

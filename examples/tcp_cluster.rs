@@ -70,6 +70,7 @@ fn main() {
         ],
         problem,
         wire_peers: true,
+        gossip: None,
         checkpoint_dir: Some(checkpoint_dir.clone()),
         checkpoint_every_s: 0.05,
         deadline: Duration::from_secs(60),
