@@ -23,6 +23,7 @@ pub mod events;
 pub mod message;
 pub mod metrics;
 pub mod process;
+pub mod telemetry;
 pub mod work;
 
 pub use checkpoint::{Checkpoint, CheckpointSink, GossipBinding, NullSink};
@@ -31,4 +32,5 @@ pub use events::{Action, MembershipEvent, PEvent, PTimer};
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};
 pub use metrics::{ProcMetrics, TransportCounters, TransportStats};
 pub use process::BnbProcess;
+pub use telemetry::{PhaseTimes, Telemetry, TimeCategory, TraceEvent};
 pub use work::{AnyExpander, ChildPair, Expander, Expansion, ProblemExpander, TreeExpander};

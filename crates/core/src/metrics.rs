@@ -60,6 +60,11 @@ pub struct ProcMetrics {
     /// Members forgotten (swept after `t_cleanup`) from this process's
     /// membership view.
     pub peers_forgotten: u64,
+    /// Membership events silently discarded because the process's bounded
+    /// event buffer (driven by a harness that was not draining it) was
+    /// full. Non-zero means the harness missed suspicion/forget
+    /// transitions.
+    pub membership_events_dropped: u64,
     /// Did this process detect termination?
     pub terminated: bool,
 }
@@ -105,6 +110,7 @@ impl ProcMetrics {
         self.merge_contractions += other.merge_contractions;
         self.peers_suspected += other.peers_suspected;
         self.peers_forgotten += other.peers_forgotten;
+        self.membership_events_dropped += other.membership_events_dropped;
         self.terminated |= other.terminated;
     }
 }

@@ -181,6 +181,10 @@ impl BnbProcess {
     fn push_membership_event(&mut self, event: MembershipEvent) {
         if self.membership_events.len() < MEMBERSHIP_EVENT_CAP {
             self.membership_events.push(event);
+        } else {
+            // A harness that never drains the buffer loses transitions;
+            // count the loss instead of hiding it.
+            self.metrics.membership_events_dropped += 1;
         }
     }
 
@@ -1615,6 +1619,25 @@ mod tests {
         assert!(
             events.contains(&MembershipEvent::Suspected(0)),
             "{events:?}"
+        );
+    }
+
+    #[test]
+    fn membership_event_overflow_is_counted_not_silent() {
+        let mut p = BnbProcess::new(0, vec![0, 1, 2], cfg(), 0.0, true, 1);
+        for i in 0..(MEMBERSHIP_EVENT_CAP as u64 + 100) {
+            p.push_membership_event(MembershipEvent::Suspected((i % 2) as u32));
+        }
+        // The buffer holds exactly the cap; every overflow landed in the
+        // counter instead of vanishing.
+        assert_eq!(p.metrics().membership_events_dropped, 100);
+        assert_eq!(p.take_membership_events().len(), MEMBERSHIP_EVENT_CAP);
+        // Draining frees the buffer: the next event is kept again.
+        p.push_membership_event(MembershipEvent::Forgotten(1));
+        assert_eq!(p.metrics().membership_events_dropped, 100);
+        assert_eq!(
+            p.take_membership_events(),
+            vec![MembershipEvent::Forgotten(1)]
         );
     }
 

@@ -32,5 +32,5 @@ pub mod node;
 pub mod transport;
 
 pub use harness::{holds_root, node_seed, run_cluster, ClusterConfig, ClusterOutcome};
-pub use node::{run_node, CrashSwitch, NodeEngine, NodeOutcome};
+pub use node::{run_node, CrashSwitch, MetricsReporter, MetricsSnapshot, NodeEngine, NodeOutcome};
 pub use transport::{Envelope, Mesh, Transport};

@@ -17,7 +17,8 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{
     Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, MembershipEvent,
-    NullSink, PEvent, PTimer, ProcMetrics, ProtocolConfig,
+    MsgKind, NullSink, PEvent, PTimer, PhaseTimes, ProcMetrics, ProtocolConfig, Telemetry,
+    TimeCategory, TransportStats,
 };
 use ftbb_des::SimTime;
 use std::cmp::Reverse;
@@ -39,8 +40,65 @@ pub struct NodeOutcome {
     pub incumbent: f64,
     /// Protocol counters.
     pub metrics: ProcMetrics,
+    /// Figure-3 wall-time breakdown of this life.
+    pub phase: PhaseTimes,
     /// Wall-clock lifetime.
     pub lifetime: Duration,
+}
+
+/// A periodic point-in-time view of a running engine, handed to the
+/// metrics reporter installed via [`NodeEngine::set_metrics_reporter`].
+/// `ftbb-wire`'s noded formats these as `FTBB-METRICS` stdout lines.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Node id.
+    pub id: u32,
+    /// Incarnation of the reporting engine.
+    pub incarnation: u32,
+    /// Snapshot sequence number within this life (0, 1, ...).
+    pub seq: u64,
+    /// Wall seconds since this engine started running.
+    pub elapsed_s: f64,
+    /// Figure-3 time breakdown so far; `phase.total()` reconciles with
+    /// `elapsed_s` (everything the engine does is charged somewhere).
+    pub phase: PhaseTimes,
+    /// Protocol counters so far.
+    pub metrics: ProcMetrics,
+    /// Transport counters so far (shared across the process).
+    pub transport: TransportStats,
+    /// Trace events shed so far by the telemetry sink's bounded queue.
+    pub trace_events_dropped: u64,
+}
+
+/// Which Figure-3 category handling a received message belongs to:
+/// reports and table gossips feed contraction; requests, grants, and
+/// denials are the load-balancing protocol; membership traffic is
+/// membership upkeep.
+fn msg_category(kind: MsgKind) -> TimeCategory {
+    match kind {
+        MsgKind::WorkRequest | MsgKind::WorkGrant | MsgKind::WorkDeny => TimeCategory::LoadBalance,
+        MsgKind::WorkReport | MsgKind::TableGossip => TimeCategory::Contract,
+        MsgKind::Membership => TimeCategory::Membership,
+    }
+}
+
+/// Which Figure-3 category a timer firing belongs to. The recovery fuse
+/// is charged to contraction: its expiry is what triggers complement
+/// recovery (§5.3.2).
+fn timer_category(timer: PTimer) -> TimeCategory {
+    match timer {
+        PTimer::ReportFlush | PTimer::TableGossip => TimeCategory::Communicate,
+        PTimer::LbTimeout(_) => TimeCategory::LoadBalance,
+        PTimer::RecoveryFuse(_) => TimeCategory::Contract,
+        PTimer::MembershipTick => TimeCategory::Membership,
+    }
+}
+
+/// Charge the wall time since `*mark` to `cat` and advance the mark.
+fn charge(phase: &mut PhaseTimes, mark: &mut Instant, cat: TimeCategory) {
+    let now = Instant::now();
+    phase.add(cat, now.duration_since(*mark).as_secs_f64());
+    *mark = now;
 }
 
 /// Crash switch handed to the failure injector.
@@ -91,7 +149,17 @@ pub struct NodeEngine<E: Expander> {
     /// starved into recovery.)
     pending: VecDeque<Action>,
     halted: bool,
+    /// Structured trace sink; [`Telemetry::disabled`] (a no-op) unless the
+    /// deployment installs one.
+    telemetry: Telemetry,
+    /// Periodic metrics cadence + consumer, when installed.
+    metrics_every: Option<Duration>,
+    metrics_out: Option<MetricsReporter>,
 }
+
+/// Consumer installed via [`NodeEngine::set_metrics_reporter`]; receives a
+/// [`MetricsSnapshot`] on every cadence tick and once at clean exit.
+pub type MetricsReporter = Box<dyn FnMut(&MetricsSnapshot) + Send>;
 
 impl NodeEngine<AnyExpander> {
     /// Restore an engine from a checkpoint carrying a problem binding:
@@ -130,6 +198,9 @@ impl<E: Expander> NodeEngine<E> {
             timer_seq: 0,
             pending: VecDeque::new(),
             halted: false,
+            telemetry: Telemetry::disabled(),
+            metrics_every: None,
+            metrics_out: None,
         }
     }
 
@@ -137,6 +208,22 @@ impl<E: Expander> NodeEngine<E> {
     /// self-sufficient (restorable without a problem spec).
     pub fn bind_problem(&mut self, problem: impl Into<Arc<AnyInstance>>) {
         self.problem = Some(problem.into());
+    }
+
+    /// Install a structured trace sink. Engine lifecycle transitions —
+    /// start, suspicion, forgetting, recovery, halt, checkpoint failures —
+    /// are emitted as typed [`ftbb_core::TraceEvent`]s instead of ad-hoc
+    /// stderr prints.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Install a periodic metrics reporter: every `every` of wall time
+    /// (and once at clean exit), `out` receives a [`MetricsSnapshot`] of
+    /// the running engine.
+    pub fn set_metrics_reporter(&mut self, every: Duration, out: MetricsReporter) {
+        self.metrics_every = Some(every);
+        self.metrics_out = Some(out);
     }
 
     /// Which life of the node this engine is.
@@ -188,8 +275,20 @@ impl<E: Expander> NodeEngine<E> {
         let epoch = Instant::now();
         let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
 
+        // The Figure-3 phase clock: every slice of wall time between two
+        // marks is charged to exactly one category, so the per-category
+        // sums reconcile with elapsed wall time.
+        let mut phase = PhaseTimes::default();
+        let mut mark = epoch;
+        let mut last_recoveries = self.core.metrics().recoveries;
+
+        self.telemetry.emit(
+            "engine_start",
+            &[("finished_already", self.core.is_terminated().to_string())],
+        );
         self.pending
             .extend(self.core.handle(PEvent::Start, now(epoch)));
+        charge(&mut phase, &mut mark, TimeCategory::Expand);
         // A process restored from a post-termination checkpoint is done
         // already; it emitted its Halt in a previous life and will not
         // emit another — without this, it would idle to the deadline.
@@ -199,7 +298,10 @@ impl<E: Expander> NodeEngine<E> {
         let mut last_checkpoint = Instant::now();
         if checkpoint_every.is_some() {
             self.store_snapshot(sink);
+            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
         }
+        let mut last_metrics = Instant::now();
+        let mut metrics_seq = 0u64;
 
         loop {
             if crash.is_crashed() {
@@ -212,7 +314,10 @@ impl<E: Expander> NodeEngine<E> {
 
             if let Some(action) = self.pending.pop_front() {
                 match action {
-                    Action::Send { to, msg } => transport.send(id, to, msg),
+                    Action::Send { to, msg } => {
+                        transport.send(id, to, msg);
+                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
+                    }
                     Action::StartWork { code, seq } => {
                         // Real computation happens here, inline.
                         let expansion = self.expander.expand(&code);
@@ -220,6 +325,7 @@ impl<E: Expander> NodeEngine<E> {
                             self.core
                                 .handle(PEvent::WorkDone { seq, expansion }, now(epoch)),
                         );
+                        charge(&mut phase, &mut mark, TimeCategory::Expand);
                     }
                     Action::SetTimer { delay_s, timer } => {
                         let at = now(epoch) + SimTime::from_secs_f64(delay_s);
@@ -229,14 +335,23 @@ impl<E: Expander> NodeEngine<E> {
                             timer,
                         }));
                         self.timer_seq += 1;
+                        charge(&mut phase, &mut mark, timer_category(timer));
                     }
-                    Action::Halt => self.halted = true,
+                    Action::Halt => {
+                        self.halted = true;
+                        self.telemetry.emit(
+                            "halt",
+                            &[("incumbent", format!("{:?}", self.core.incumbent()))],
+                        );
+                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
+                    }
                 }
                 if !self.halted {
                     // Between actions, fold in whatever has arrived —
                     // without blocking; local work keeps priority over
                     // idling.
                     while let Ok(env) = inbox.try_recv() {
+                        let cat = msg_category(env.msg.kind());
                         self.pending.extend(self.core.handle(
                             PEvent::Recv {
                                 from: env.from,
@@ -244,6 +359,7 @@ impl<E: Expander> NodeEngine<E> {
                             },
                             now(epoch),
                         ));
+                        charge(&mut phase, &mut mark, cat);
                     }
                 }
             } else if self.halted {
@@ -263,6 +379,11 @@ impl<E: Expander> NodeEngine<E> {
                 };
                 match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
                     Ok(env) => {
+                        // Split the blocking receive: the wait itself was
+                        // idle time; handling the message is charged to
+                        // the message's category.
+                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                        let cat = msg_category(env.msg.kind());
                         self.pending.extend(self.core.handle(
                             PEvent::Recv {
                                 from: env.from,
@@ -270,8 +391,11 @@ impl<E: Expander> NodeEngine<E> {
                             },
                             now(epoch),
                         ));
+                        charge(&mut phase, &mut mark, cat);
                     }
-                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Timeout) => {
+                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                    }
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
@@ -287,31 +411,50 @@ impl<E: Expander> NodeEngine<E> {
                     let Reverse(entry) = self.timers.pop().expect("peeked");
                     self.pending
                         .extend(self.core.handle(PEvent::Timer(entry.timer), now(epoch)));
+                    charge(&mut phase, &mut mark, timer_category(entry.timer));
                 }
             }
 
-            // Surface membership transitions as engine events: the
+            // Surface membership transitions as typed trace events: the
             // protocol core already dropped suspected peers from its
             // load-balancing targets and made their unreported work
             // recovery-eligible; the engine makes the transition visible
             // to the operator.
             for event in self.core.take_membership_events() {
                 match event {
-                    MembershipEvent::Suspected(peer) => eprintln!(
-                        "node {} (incarnation {}): peer {} suspected via heartbeat timeout",
-                        id, self.incarnation, peer
-                    ),
-                    MembershipEvent::Forgotten(peer) => eprintln!(
-                        "node {} (incarnation {}): peer {} forgotten (silent past cleanup)",
-                        id, self.incarnation, peer
-                    ),
+                    MembershipEvent::Suspected(peer) => self
+                        .telemetry
+                        .emit("suspect", &[("peer", peer.to_string())]),
+                    MembershipEvent::Forgotten(peer) => {
+                        self.telemetry.emit("forget", &[("peer", peer.to_string())])
+                    }
                 }
             }
+            // Complement recoveries happen inside the core; surface each
+            // increment as a trace event so cluster timelines show repair
+            // following failure.
+            let recoveries = self.core.metrics().recoveries;
+            if recoveries > last_recoveries {
+                self.telemetry
+                    .emit("recovery", &[("total", recoveries.to_string())]);
+                last_recoveries = recoveries;
+            }
+            charge(&mut phase, &mut mark, TimeCategory::Membership);
 
             if let Some(every) = checkpoint_every {
                 if last_checkpoint.elapsed() >= every {
                     self.store_snapshot(sink);
                     last_checkpoint = Instant::now();
+                    charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+                }
+            }
+
+            if let Some(every) = self.metrics_every {
+                if last_metrics.elapsed() >= every {
+                    self.report_metrics(transport, epoch, &phase, metrics_seq);
+                    metrics_seq += 1;
+                    last_metrics = Instant::now();
+                    charge(&mut phase, &mut mark, TimeCategory::Communicate);
                 }
             }
         }
@@ -320,7 +463,20 @@ impl<E: Expander> NodeEngine<E> {
         // records the finished table (restores of it stay terminated).
         if checkpoint_every.is_some() {
             self.store_snapshot(sink);
+            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
         }
+        // And a final metrics snapshot, so even a short-lived node leaves
+        // at least one interval line.
+        if self.metrics_every.is_some() {
+            self.report_metrics(transport, epoch, &phase, metrics_seq);
+        }
+        self.telemetry.emit(
+            "engine_exit",
+            &[
+                ("terminated", self.core.is_terminated().to_string()),
+                ("expanded", self.core.metrics().expanded.to_string()),
+            ],
+        );
 
         Some(NodeOutcome {
             id,
@@ -328,17 +484,46 @@ impl<E: Expander> NodeEngine<E> {
             terminated: self.core.is_terminated(),
             incumbent: self.core.incumbent(),
             metrics: self.core.metrics().clone(),
+            phase,
             lifetime: epoch.elapsed(),
         })
     }
 
+    /// Build a [`MetricsSnapshot`] of the running engine and hand it to
+    /// the installed reporter.
+    fn report_metrics(
+        &mut self,
+        transport: &dyn Transport,
+        epoch: Instant,
+        phase: &PhaseTimes,
+        seq: u64,
+    ) {
+        let snap = MetricsSnapshot {
+            id: self.core.id(),
+            incarnation: self.incarnation,
+            seq,
+            elapsed_s: epoch.elapsed().as_secs_f64(),
+            phase: *phase,
+            metrics: self.core.metrics().clone(),
+            transport: transport.stats(),
+            trace_events_dropped: self.telemetry.events_dropped(),
+        };
+        if let Some(out) = self.metrics_out.as_mut() {
+            out(&snap);
+        }
+    }
+
     fn store_snapshot(&self, sink: &mut dyn CheckpointSink) {
         if let Err(e) = sink.store(&self.checkpoint()) {
+            self.telemetry
+                .emit("checkpoint_error", &[("error", e.clone())]);
             eprintln!(
                 "node {} (incarnation {}): checkpoint store failed: {e}",
                 self.core.id(),
                 self.incarnation
             );
+        } else {
+            self.telemetry.emit("checkpoint", &[]);
         }
     }
 }
@@ -605,6 +790,89 @@ mod tests {
         assert!(outcome.terminated);
         assert_eq!(outcome.incarnation, 1);
         assert_eq!(Some(outcome.incumbent), reference.best);
+    }
+
+    #[test]
+    fn phase_clock_reconciles_and_telemetry_records_lifecycle() {
+        use ftbb_core::TraceEvent;
+        use std::io::Write;
+        use std::sync::Mutex;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let instance = tiny_instance();
+        let mut engine = engine_for(&instance);
+        let buf = SharedBuf::default();
+        let telemetry = Telemetry::to_writer(0, 0, Box::new(buf.clone()));
+        engine.set_telemetry(telemetry.clone());
+        let snaps: Arc<Mutex<Vec<MetricsSnapshot>>> = Arc::default();
+        let sink = Arc::clone(&snaps);
+        engine.set_metrics_reporter(
+            Duration::from_millis(1),
+            Box::new(move |s| sink.lock().unwrap().push(s.clone())),
+        );
+
+        let (mesh, mut inboxes) = Mesh::new(1);
+        let outcome = engine
+            .run(
+                &mesh,
+                inboxes.pop().unwrap(),
+                CrashSwitch::default(),
+                Duration::from_secs(30),
+            )
+            .expect("not crashed");
+        assert!(outcome.terminated);
+
+        // Every slice of wall time landed in some category: the breakdown
+        // reconciles with the engine's lifetime (10% is the acceptance
+        // tolerance; in-process it is far tighter).
+        let total = outcome.phase.total();
+        let elapsed = outcome.lifetime.as_secs_f64();
+        assert!(
+            (total - elapsed).abs() <= 0.1 * elapsed.max(1e-3),
+            "phase sum {total} vs elapsed {elapsed}"
+        );
+        // A solving single node does real expansion work.
+        assert!(outcome.phase.expand_s > 0.0);
+
+        // Interval snapshots arrived, ordered, and each reconciles too.
+        let snaps = snaps.lock().unwrap();
+        assert!(!snaps.is_empty());
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            assert!(
+                (s.phase.total() - s.elapsed_s).abs() <= 0.1 * s.elapsed_s.max(1e-3),
+                "snapshot {i}: {} vs {}",
+                s.phase.total(),
+                s.elapsed_s
+            );
+        }
+
+        // The trace records the engine's lifecycle as typed events.
+        drop(telemetry);
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let kinds: Vec<String> = text
+            .lines()
+            .map(|l| {
+                TraceEvent::parse_jsonl(l)
+                    .expect("parseable trace line")
+                    .kind
+            })
+            .collect();
+        assert_eq!(kinds.first().map(String::as_str), Some("engine_start"));
+        assert!(kinds.iter().any(|k| k == "halt"), "{kinds:?}");
+        assert_eq!(kinds.last().map(String::as_str), Some("engine_exit"));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Minimal, API-compatible stand-in for `crossbeam`'s MPMC channels.
 //!
 //! The workspace builds offline, so the channel subset the runtime uses —
-//! `unbounded`, cloneable `Sender`/`Receiver`, `try_send`, `try_recv`,
-//! `recv`, `recv_timeout`, blocking `iter` — is implemented here over a
-//! mutex-protected deque and a condvar. Disconnection semantics match crossbeam: a channel
-//! is disconnected when all peers on the other side have dropped.
+//! `unbounded`, `bounded`, cloneable `Sender`/`Receiver`, `try_send`,
+//! `try_recv`, `recv`, `recv_timeout`, blocking `iter` — is implemented here
+//! over a mutex-protected deque and a condvar. Disconnection semantics match
+//! crossbeam: a channel is disconnected when all peers on the other side have
+//! dropped. Bounded channels report [`channel::TrySendError::Full`] from
+//! `try_send` when at capacity, which is what `ftbb-core`'s telemetry sink
+//! relies on to shed load instead of blocking the event pump.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -15,8 +18,31 @@ pub mod channel {
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled on every pop so blocked bounded-channel senders can
+        /// retry; unused by unbounded channels.
+        space: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// `None` for unbounded channels; `Some(cap)` bounds the queue and
+        /// makes `try_send` report `Full` at capacity.
+        cap: Option<usize>,
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            cap,
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     /// The sending half; cloneable.
@@ -32,8 +58,7 @@ pub mod channel {
     /// Error from [`Sender::try_send`].
     #[derive(Debug, PartialEq, Eq)]
     pub enum TrySendError<T> {
-        /// The channel is full (never returned by unbounded channels; kept
-        /// for API compatibility).
+        /// The channel is at capacity (bounded channels only).
         Full(T),
         /// All receivers have dropped.
         Disconnected(T),
@@ -67,37 +92,55 @@ pub mod channel {
 
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let chan = Arc::new(Chan {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            senders: AtomicUsize::new(1),
-            receivers: AtomicUsize::new(1),
-        });
-        (
-            Sender {
-                chan: Arc::clone(&chan),
-            },
-            Receiver { chan },
-        )
+        new_chan(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` messages;
+    /// `try_send` reports [`TrySendError::Full`] once the queue is at
+    /// capacity. A `cap` of zero is rounded up to one (this shim has no
+    /// rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
     }
 
     impl<T> Sender<T> {
-        /// Enqueue without blocking. Unbounded channels never report
-        /// `Full`; `Disconnected` when every receiver is gone.
+        /// Enqueue without blocking. `Full` when a bounded channel is at
+        /// capacity; `Disconnected` when every receiver is gone.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
             if self.chan.receivers.load(Ordering::Acquire) == 0 {
                 return Err(TrySendError::Disconnected(value));
             }
-            self.chan.queue.lock().unwrap().push_back(value);
+            let mut q = self.chan.queue.lock().unwrap();
+            if let Some(cap) = self.chan.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
             self.chan.ready.notify_one();
             Ok(())
         }
 
-        /// Enqueue; `Err` when every receiver is gone.
+        /// Enqueue, blocking while a bounded channel is at capacity; `Err`
+        /// when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.try_send(value).map_err(|e| match e {
-                TrySendError::Full(v) | TrySendError::Disconnected(v) => SendError(v),
-            })
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.chan.queue.lock().unwrap();
+            if let Some(cap) = self.chan.cap {
+                while q.len() >= cap {
+                    if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.chan.space.wait(q).unwrap();
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.chan.ready.notify_one();
+            Ok(())
         }
     }
 
@@ -126,7 +169,12 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.chan.queue.lock().unwrap();
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    if self.chan.cap.is_some() {
+                        self.chan.space.notify_one();
+                    }
+                    Ok(v)
+                }
                 None if self.chan.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -134,11 +182,21 @@ pub mod channel {
             }
         }
 
+        /// Iterate over the messages available right now, without
+        /// blocking: ends at the first `try_recv` miss (empty *or*
+        /// disconnected).
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+
         /// Block until a message arrives or every sender is gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut q = self.chan.queue.lock().unwrap();
             loop {
                 if let Some(v) = q.pop_front() {
+                    if self.chan.cap.is_some() {
+                        self.chan.space.notify_one();
+                    }
                     return Ok(v);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -154,6 +212,9 @@ pub mod channel {
             let mut q = self.chan.queue.lock().unwrap();
             loop {
                 if let Some(v) = q.pop_front() {
+                    if self.chan.cap.is_some() {
+                        self.chan.space.notify_one();
+                    }
                     return Ok(v);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -205,7 +266,12 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders blocked on a full bounded
+                // channel so they observe disconnection.
+                let _guard = self.chan.queue.lock().unwrap();
+                self.chan.space.notify_all();
+            }
         }
     }
 
@@ -265,6 +331,40 @@ pub mod channel {
                 Err(RecvTimeoutError::Timeout)
             );
             assert!(start.elapsed() >= Duration::from_millis(9));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            // Popping frees a slot.
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(0u32).unwrap();
+            let h = std::thread::spawn(move || tx.send(1).is_ok());
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(1));
+            assert!(h.join().unwrap());
+        }
+
+        #[test]
+        fn bounded_send_errors_when_receiver_drops() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(0u32).unwrap();
+            let h = std::thread::spawn(move || tx.send(1));
+            std::thread::sleep(Duration::from_millis(10));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(SendError(1)));
         }
 
         #[test]

@@ -9,7 +9,8 @@
 //!
 //! Prints one `FTBB-READY id=… addr=…` line the moment its listener is
 //! bound (machine-parseable; with `--listen 127.0.0.1:0` this is how the
-//! chosen port escapes), then one `FTBB-OUTCOME` line on stdout when the
+//! chosen port escapes), interval `FTBB-METRICS` snapshots when
+//! `--metrics-every-s` is set, then one `FTBB-OUTCOME` line on stdout when the
 //! node terminates (or hits its deadline); prints no outcome when the
 //! process is killed — which is the point. With `--peers-from-stdin` the
 //! peer map arrives as `peer ID=HOST:PORT` stdin lines ended by `start`,
@@ -97,6 +98,19 @@ LIFECYCLE (checkpoint persistence and restart/rejoin):
                                   from the checkpoint (--problem* flags
                                   are ignored), and send a rejoin frame
                                   so peers re-register this node
+
+TELEMETRY (structured tracing and interval metrics):
+    --trace-file PATH             append structured trace events (one
+                                  JSON object per line: timestamp, node,
+                                  incarnation, kind, fields) to PATH;
+                                  never blocks the node — overflow is
+                                  counted and reported, not waited on
+    --metrics-every-s SECS        print an FTBB-METRICS line on stdout
+                                  every SECS with the Figure-3 time
+                                  accounting (expand/communicate/
+                                  contract/load-balance/membership/idle/
+                                  checkpoint), process counters, and
+                                  transport counters
 
 PROBLEM (tagged; --problem selects the kind, the rest are per-kind):
     --problem KIND                knapsack | maxsat | tree-file | wire

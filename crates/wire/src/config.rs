@@ -478,6 +478,13 @@ pub struct NodeConfig {
     /// Frame budget of that window (see
     /// [`crate::tcp::WireConfig::retry_max_frames`]).
     pub retry_max_frames: usize,
+    /// Structured trace file (JSONL, one event per line), opened in
+    /// append mode so a restarted node's lives accumulate. `None`
+    /// disables tracing.
+    pub trace_file: Option<PathBuf>,
+    /// Interval in seconds between `FTBB-METRICS` stdout snapshots
+    /// (Figure-3 time breakdown + counters); `None` disables them.
+    pub metrics_every_s: Option<f64>,
 }
 
 impl Default for NodeConfig {
@@ -502,6 +509,8 @@ impl Default for NodeConfig {
             forget_after_s: 3.0,
             retry_window_s: crate::tcp::RETRY_WINDOW.as_secs_f64(),
             retry_max_frames: crate::tcp::RETRY_MAX_FRAMES,
+            trace_file: None,
+            metrics_every_s: None,
         }
     }
 }
@@ -570,6 +579,11 @@ impl NodeConfig {
         }
         if self.resume && self.checkpoint_dir.is_none() {
             return err("--resume needs --checkpoint-dir to know where the snapshot lives");
+        }
+        if let Some(every) = self.metrics_every_s {
+            if !(every.is_finite() && every > 0.0) {
+                return err("metrics_every_s must be a positive number");
+            }
         }
         if self.gossip_mode() {
             for &v in &[
@@ -820,6 +834,8 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
             },
             "checkpoint_dir" => cfg.checkpoint_dir = Some(PathBuf::from(value.as_str(key)?)),
             "checkpoint_every_s" => cfg.checkpoint_every_s = value.as_f64(key)?,
+            "trace_file" => cfg.trace_file = Some(PathBuf::from(value.as_str(key)?)),
+            "metrics_every_s" => cfg.metrics_every_s = Some(value.as_f64(key)?),
             "resume" => match value {
                 TomlValue::Bool(b) => cfg.resume = *b,
                 _ => return err("`resume` must be a boolean"),
@@ -960,6 +976,16 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 cfg.checkpoint_every_s = take("--checkpoint-every-s")?
                     .parse()
                     .map_err(|_| ConfigError("bad --checkpoint-every-s".into()))?;
+            }
+            "--trace-file" => {
+                cfg.trace_file = Some(PathBuf::from(take("--trace-file")?));
+            }
+            "--metrics-every-s" => {
+                cfg.metrics_every_s = Some(
+                    take("--metrics-every-s")?
+                        .parse()
+                        .map_err(|_| ConfigError("bad --metrics-every-s".into()))?,
+                );
             }
             "--resume" => {
                 cfg.resume = true;
@@ -1388,6 +1414,30 @@ seed = 11
         assert!(parse_config("checkpoint_every_s = 0\n").is_err());
         assert!(parse_config("checkpoint_every_s = -2\n").is_err());
         assert!(parse_config("resume = 3\n").is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_options() {
+        let cfg = parse_config("trace_file = \"/tmp/n0.jsonl\"\nmetrics_every_s = 0.5\n").unwrap();
+        assert_eq!(cfg.trace_file, Some(PathBuf::from("/tmp/n0.jsonl")));
+        assert_eq!(cfg.metrics_every_s, Some(0.5));
+
+        let args: Vec<String> = ["--trace-file", "/tmp/n1.jsonl", "--metrics-every-s", "0.25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.trace_file, Some(PathBuf::from("/tmp/n1.jsonl")));
+        assert_eq!(cfg.metrics_every_s, Some(0.25));
+
+        // Defaults: telemetry off.
+        let cfg = parse_config("").unwrap();
+        assert_eq!(cfg.trace_file, None);
+        assert_eq!(cfg.metrics_every_s, None);
+
+        // A cadence that never fires is a config mistake, not a mode.
+        assert!(parse_config("metrics_every_s = 0\n").is_err());
+        assert!(parse_config("metrics_every_s = -1\n").is_err());
     }
 
     #[test]

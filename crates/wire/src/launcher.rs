@@ -24,13 +24,16 @@
 //! counted off as stale.
 
 use crate::config::ProblemSpec;
-use crate::noded::{parse_outcome_line, parse_ready_line, ParsedOutcome};
+use crate::noded::{
+    parse_metrics_line, parse_outcome_line, parse_ready_line, ParsedMetrics, ParsedOutcome,
+};
 use crossbeam::channel::{unbounded, Receiver};
+use ftbb_core::TraceEvent;
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// One step of a cluster's lifecycle plan, timed from wiring completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +161,16 @@ pub struct ClusterSpec {
     /// Snapshot cadence in seconds (`--checkpoint-every-s`), used when
     /// `checkpoint_dir` is set.
     pub checkpoint_every_s: f64,
+    /// Telemetry directory: when set, every node writes its structured
+    /// trace to `<dir>/node-<id>.jsonl` (`--trace-file`; restarts append
+    /// to the same file), and after the run the launcher merges all
+    /// traces — plus its own kill/restart/join actions — into the
+    /// cluster-wide [`ClusterReport::timeline`].
+    pub trace_dir: Option<PathBuf>,
+    /// Metrics cadence in seconds (`--metrics-every-s`): when set, every
+    /// node prints interval `FTBB-METRICS` snapshots which the launcher
+    /// collects into [`ClusterReport::metrics`].
+    pub metrics_every_s: Option<f64>,
     /// Per-node wall-clock deadline.
     pub deadline: Duration,
     /// Base seed for per-node protocol randomness.
@@ -180,6 +193,17 @@ pub struct ClusterReport {
     pub best: Option<f64>,
     /// Every non-killed node produced an outcome with `terminated=true`.
     pub all_survivors_terminated: bool,
+    /// Interval `FTBB-METRICS` snapshots per node id, in emission order
+    /// (empty unless [`ClusterSpec::metrics_every_s`] was set). A
+    /// restarted node's series spans both lives; the `incarnation` field
+    /// of each snapshot tells them apart.
+    pub metrics: Vec<Vec<ParsedMetrics>>,
+    /// The cluster-wide event timeline: every node's structured trace
+    /// (read from [`ClusterSpec::trace_dir`]) merged with the launcher's
+    /// own lifecycle actions (`kill`/`restart`/`join`, tagged
+    /// `source=launcher`), ordered by the shared unix-microsecond
+    /// timestamp. Empty unless `trace_dir` was set.
+    pub timeline: Vec<TraceEvent>,
 }
 
 impl ClusterReport {
@@ -229,6 +253,83 @@ impl ClusterReport {
             ));
         }
         out
+    }
+
+    /// The human-readable telemetry digest: the merged cluster timeline
+    /// (timestamps relative to its first event) followed by the per-node
+    /// Figure-3 time-accounting table taken from each node's last
+    /// `FTBB-METRICS` snapshot. Empty when the cluster ran without
+    /// telemetry.
+    pub fn cluster_report(&self) -> String {
+        let mut out = String::new();
+        if !self.timeline.is_empty() {
+            let t0 = self.timeline[0].t_us;
+            out.push_str(&format!(
+                "cluster timeline ({} events):\n",
+                self.timeline.len()
+            ));
+            for e in &self.timeline {
+                let dt = e.t_us.saturating_sub(t0) as f64 / 1e6;
+                out.push_str(&format!(
+                    "  +{dt:8.3}s node {} inc={} {}",
+                    e.node, e.incarnation, e.kind
+                ));
+                for (k, v) in &e.fields {
+                    out.push_str(&format!(" {k}={v}"));
+                }
+                out.push('\n');
+            }
+        }
+        let last: Vec<&ParsedMetrics> = self
+            .metrics
+            .iter()
+            .filter_map(|series| series.last())
+            .collect();
+        if !last.is_empty() {
+            out.push_str(
+                "figure-3 time accounting (seconds, from each node's last FTBB-METRICS):\n",
+            );
+            out.push_str(
+                "  node inc  elapsed   expand    comm contract  loadbal   member \
+                 idle     ckpt      sum\n",
+            );
+            for m in last {
+                let p = &m.phase;
+                out.push_str(&format!(
+                    "  {:>4} {:>3} {:>8.3} {:>8.3} {:>7.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} \
+                     {:>8.3} {:>8.3}\n",
+                    m.id,
+                    m.incarnation,
+                    m.elapsed_s,
+                    p.expand_s,
+                    p.communicate_s,
+                    p.contract_s,
+                    p.load_balance_s,
+                    p.membership_s,
+                    p.idle_s,
+                    p.checkpoint_s,
+                    p.total()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A launcher lifecycle action as a timeline event, stamped with the same
+/// unix-microsecond clock the nodes' traces use, so kills and restarts
+/// interleave correctly with the suspicions and recoveries they cause.
+fn launcher_event(kind: &str, node: u32) -> TraceEvent {
+    let t_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    TraceEvent {
+        t_us,
+        node,
+        incarnation: 0,
+        kind: kind.to_string(),
+        fields: vec![("source".to_string(), "launcher".to_string())],
     }
 }
 
@@ -332,6 +433,16 @@ fn spawn_node(
             .arg("--checkpoint-every-s")
             .arg(spec.checkpoint_every_s.to_string());
     }
+    if let Some(dir) = &spec.trace_dir {
+        // One file per node id, append mode in the daemon: a restarted
+        // incarnation continues the same file, and the merged timeline
+        // shows both lives under their own incarnation stamps.
+        cmd.arg("--trace-file")
+            .arg(dir.join(format!("node-{id}.jsonl")));
+    }
+    if let Some(every) = spec.metrics_every_s {
+        cmd.arg("--metrics-every-s").arg(every.to_string());
+    }
     if resume {
         cmd.arg("--resume").arg("--preconnect-s").arg("1.5");
     } else if spec.wire_peers && id != 0 && !joiner {
@@ -409,6 +520,10 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     let n = spec.nodes as usize;
     validate_plan(spec)?;
 
+    if let Some(dir) = &spec.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
     let mut nodes: Vec<Spawned> = Vec::with_capacity(n);
     let reap_all = |nodes: &mut Vec<Spawned>| {
         for node in nodes.iter_mut() {
@@ -453,6 +568,11 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     let mut plan = spec.lifecycle.clone();
     plan.sort_by_key(|e| e.at());
     let mut killed = Vec::new();
+    // Metrics accumulate per node id across lives (a restart replaces the
+    // `Spawned`, so the first life's snapshots are drained before the
+    // swap); the launcher's own actions become timeline events.
+    let mut metrics: Vec<Vec<ParsedMetrics>> = (0..n).map(|_| Vec::new()).collect();
+    let mut timeline: Vec<TraceEvent> = Vec::new();
     for event in &plan {
         let elapsed = start.elapsed();
         if event.at() > elapsed {
@@ -468,6 +588,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                     Ok(None) => {
                         let _ = nodes[id as usize].child.kill(); // SIGKILL on unix
                         killed.push(id);
+                        timeline.push(launcher_event("kill", id));
                     }
                     Err(e) => {
                         reap_all(&mut nodes);
@@ -480,7 +601,11 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                 // only node 0's address — it appears in no peer wiring.
                 debug_assert_eq!(id as usize, nodes.len());
                 match join_node(spec, id, addrs[0]) {
-                    Ok(spawned) => nodes.push(spawned),
+                    Ok(spawned) => {
+                        nodes.push(spawned);
+                        metrics.push(Vec::new());
+                        timeline.push(launcher_event("join", id));
+                    }
                     Err(e) => {
                         reap_all(&mut nodes);
                         return Err(e);
@@ -495,8 +620,18 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                 // asynchronous) so the original port can be rebound.
                 let _ = nodes[id as usize].child.kill();
                 let _ = nodes[id as usize].child.wait();
+                // Keep the killed life's interval snapshots before its
+                // stdout channel is dropped with the old `Spawned`.
+                for line in nodes[id as usize].lines.try_iter() {
+                    if let Some(m) = parse_metrics_line(&line) {
+                        metrics[id as usize].push(m);
+                    }
+                }
                 match restart_node(spec, id, &addrs) {
-                    Ok(spawned) => nodes[id as usize] = spawned,
+                    Ok(spawned) => {
+                        nodes[id as usize] = spawned;
+                        timeline.push(launcher_event("restart", id));
+                    }
                     Err(e) => {
                         reap_all(&mut nodes);
                         return Err(e);
@@ -530,9 +665,31 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
             }
         }
         // The node exited, so its reader thread sees EOF and drops the
-        // sender; a blocking drain terminates promptly.
-        outcomes[id] = nodes[id].lines.iter().find_map(|l| parse_outcome_line(&l));
+        // sender; a blocking drain terminates promptly. Every line is
+        // scanned: interval FTBB-METRICS snapshots and the final
+        // FTBB-OUTCOME ride the same stream.
+        for line in nodes[id].lines.iter() {
+            if let Some(m) = parse_metrics_line(&line) {
+                metrics[id].push(m);
+            } else if let Some(o) = parse_outcome_line(&line) {
+                outcomes[id] = Some(o);
+            }
+        }
     }
+
+    // Merge every node's structured trace into the launcher's lifecycle
+    // events: all stamps share the unix-microsecond clock, so a plain
+    // sort yields the cluster-wide ordered timeline (a kill precedes the
+    // suspicions and recoveries it causes).
+    if let Some(dir) = &spec.trace_dir {
+        for id in 0..total as u32 {
+            let path = dir.join(format!("node-{id}.jsonl"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                timeline.extend(text.lines().filter_map(TraceEvent::parse_jsonl));
+            }
+        }
+    }
+    timeline.sort_by_key(|e| e.t_us);
 
     // A node SIGKILLed (or config-crashed) after finishing still counts
     // as a survivor if its outcome line made it out — and a killed node
@@ -565,10 +722,14 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         killed: effective_killed,
         best: best.is_finite().then_some(best),
         all_survivors_terminated,
+        metrics,
+        timeline,
     };
     // Per-node expansion counts on stderr, so work skew is visible in CI
-    // logs (the multiprocess tests run with --nocapture there).
+    // logs (the multiprocess tests run with --nocapture there) — and the
+    // telemetry digest when the cluster ran with it on.
     eprint!("{}", report.skew_summary());
+    eprint!("{}", report.cluster_report());
     Ok(report)
 }
 
@@ -671,18 +832,30 @@ mod tests {
             recoveries: 0,
             suspected: 0,
             forgotten: 0,
+            membership_events_dropped: 0,
+            trace_events_dropped: 0,
             transport: TransportStats::default(),
+        }
+    }
+
+    fn mk_report(outcomes: Vec<Option<ParsedOutcome>>, killed: Vec<u32>) -> ClusterReport {
+        let n = outcomes.len();
+        ClusterReport {
+            outcomes,
+            killed,
+            best: Some(-1.0),
+            all_survivors_terminated: true,
+            metrics: (0..n).map(|_| Vec::new()).collect(),
+            timeline: Vec::new(),
         }
     }
 
     #[test]
     fn expansion_share_and_summary() {
-        let report = ClusterReport {
-            outcomes: vec![Some(outcome(0, 0, 75)), None, Some(outcome(2, 1, 25))],
-            killed: vec![1],
-            best: Some(-1.0),
-            all_survivors_terminated: true,
-        };
+        let report = mk_report(
+            vec![Some(outcome(0, 0, 75)), None, Some(outcome(2, 1, 25))],
+            vec![1],
+        );
         assert_eq!(report.total_expanded(), 100);
         assert!((report.max_expansion_share() - 0.75).abs() < 1e-12);
         let summary = report.skew_summary();
@@ -692,13 +865,72 @@ mod tests {
             "a rejoined incarnation's contribution must be visible: {summary}"
         );
 
-        let empty = ClusterReport {
-            outcomes: vec![None],
-            killed: vec![0],
-            best: None,
-            all_survivors_terminated: true,
-        };
+        let empty = mk_report(vec![None], vec![0]);
         assert_eq!(empty.max_expansion_share(), 0.0);
+    }
+
+    #[test]
+    fn cluster_report_renders_timeline_and_figure3_table() {
+        use crate::noded::parse_metrics_line;
+        use ftbb_core::TraceEvent;
+
+        let mut r = mk_report(vec![Some(outcome(0, 0, 10)), None], vec![1]);
+        assert_eq!(r.cluster_report(), "", "no telemetry, no digest");
+
+        // A kill (launcher) followed by a survivor's suspicion of the
+        // dead node, already time-ordered.
+        r.timeline = vec![
+            TraceEvent {
+                t_us: 1_000_000,
+                node: 1,
+                incarnation: 0,
+                kind: "kill".into(),
+                fields: vec![("source".into(), "launcher".into())],
+            },
+            TraceEvent {
+                t_us: 1_400_000,
+                node: 0,
+                incarnation: 0,
+                kind: "suspect".into(),
+                fields: vec![("peer".into(), "1".into())],
+            },
+        ];
+        let snap = ftbb_runtime::MetricsSnapshot {
+            id: 0,
+            incarnation: 0,
+            seq: 3,
+            elapsed_s: 2.5,
+            phase: ftbb_core::PhaseTimes {
+                expand_s: 1.5,
+                ..Default::default()
+            },
+            metrics: Default::default(),
+            transport: TransportStats::default(),
+            trace_events_dropped: 0,
+        };
+        let line = crate::noded::metrics_line(&snap);
+        r.metrics[0] = vec![parse_metrics_line(&line).expect("own line parses")];
+
+        let digest = r.cluster_report();
+        assert!(digest.contains("cluster timeline (2 events):"), "{digest}");
+        assert!(
+            digest.contains("+   0.000s node 1 inc=0 kill source=launcher"),
+            "{digest}"
+        );
+        assert!(
+            digest.contains("+   0.400s node 0 inc=0 suspect peer=1"),
+            "{digest}"
+        );
+        assert!(digest.contains("figure-3 time accounting"), "{digest}");
+        // One table row for node 0 (node 1 has no metrics).
+        assert_eq!(
+            digest
+                .lines()
+                .filter(|l| l.trim_start().starts_with("0 "))
+                .count(),
+            1,
+            "{digest}"
+        );
     }
 
     #[test]
@@ -713,6 +945,8 @@ mod tests {
             gossip: None,
             checkpoint_dir: None,
             checkpoint_every_s: 0.1,
+            trace_dir: None,
+            metrics_every_s: None,
             deadline: Duration::from_secs(1),
             seed: 1,
         };

@@ -11,9 +11,10 @@
 //! |---|---|
 //! | [`codec`] | framed, version-tagged, checksummed binary encoding of envelopes, incarnation-stamped, with announce + rejoin handshake frames |
 //! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets, with dynamic peer (re)registration and stale-incarnation filtering |
-//! | [`config`] | `ftbb-noded` TOML/flag configuration (incl. checkpoint/resume) |
-//! | [`noded`] | the per-process node daemon body, its ready/outcome protocol, and the [`noded::DirSink`] checkpoint store |
-//! | [`launcher`] | loopback cluster spawner with a lifecycle plan (SIGKILLs and checkpoint restarts) |
+//! | [`config`] | `ftbb-noded` TOML/flag configuration (incl. checkpoint/resume and telemetry) |
+//! | [`lines`] | the shared `TAG key=value …` codec behind every `FTBB-*` stdout line |
+//! | [`noded`] | the per-process node daemon body, its ready/metrics/outcome protocol, and the [`noded::DirSink`] checkpoint store |
+//! | [`launcher`] | loopback cluster spawner with a lifecycle plan (SIGKILLs and checkpoint restarts) and cluster-wide telemetry aggregation |
 //!
 //! The `ftbb-noded` binary runs one node per process; the launcher spawns
 //! a loopback cluster, SIGKILLs a subset mid-run — and can restart a
@@ -37,6 +38,7 @@
 pub mod codec;
 pub mod config;
 pub mod launcher;
+pub mod lines;
 pub mod noded;
 pub mod tcp;
 
@@ -51,8 +53,10 @@ pub use config::{
 pub use launcher::{
     launch, ClusterReport, ClusterSpec, GossipTiming, LaunchError, LifecycleEvent, REJOIN_SETTLE,
 };
+pub use lines::{render_f64_bits, render_line, Fields};
 pub use noded::{
-    checkpoint_path, outcome_line, parse_outcome_line, parse_ready_line, read_peer_wiring,
-    ready_line, DirSink, NodedReport, ParsedOutcome,
+    checkpoint_path, metrics_line, outcome_line, parse_metrics_line, parse_outcome_line,
+    parse_ready_line, read_peer_wiring, ready_line, DirSink, NodedReport, ParsedMetrics,
+    ParsedOutcome,
 };
 pub use tcp::{TcpMesh, WireConfig};

@@ -1,0 +1,138 @@
+//! The `FTBB-*` stdout line codec.
+//!
+//! The daemon talks to its launcher through single-line, machine-parseable
+//! stdout records: `FTBB-READY` (listener bound), `FTBB-METRICS` (interval
+//! snapshots), `FTBB-OUTCOME` (final report). They all share one shape —
+//! `TAG key=value key=value …` with whitespace-free values — so the
+//! formatter and the field scanner live here once instead of being
+//! hand-rolled per tag. Parsers are total: any malformed line yields
+//! `None`, never a panic, because launchers scan whole stdout streams that
+//! also carry arbitrary diagnostic output.
+
+use std::collections::HashMap;
+
+/// Render one `TAG key=value …` line. Values must not contain whitespace
+/// (debug-asserted): the scanner splits on it.
+pub fn render_line(tag: &str, fields: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(32 + fields.len() * 12);
+    out.push_str(tag);
+    for (k, v) in fields {
+        debug_assert!(
+            !k.chars().any(char::is_whitespace) && !v.chars().any(char::is_whitespace),
+            "line fields must be whitespace-free: {k}={v}"
+        );
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out
+}
+
+/// The parsed fields of one `TAG key=value …` line, with typed accessors.
+/// Obtained from [`Fields::parse`]; borrowed from the input line.
+pub struct Fields<'a> {
+    map: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Fields<'a> {
+    /// Scan `line` as a `tag key=value …` record. `None` if the tag does
+    /// not match or any token after it lacks a `=`.
+    pub fn parse(tag: &str, line: &'a str) -> Option<Fields<'a>> {
+        let rest = line.trim().strip_prefix(tag)?;
+        // The tag must be a whole token: either the line is exactly the
+        // tag, or a space follows it.
+        let rest = if rest.is_empty() {
+            rest
+        } else {
+            rest.strip_prefix(' ')?
+        };
+        let mut map = HashMap::new();
+        for pair in rest.split_whitespace() {
+            let (k, v) = pair.split_once('=')?;
+            map.insert(k, v);
+        }
+        Some(Fields { map })
+    }
+
+    /// Raw field value.
+    pub fn get(&self, key: &str) -> Option<&'a str> {
+        self.map.get(key).copied()
+    }
+
+    /// Field parsed as `u64`.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Field parsed as `u32`.
+    pub fn u32(&self, key: &str) -> Option<u32> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Field parsed as `f64` (decimal text; see [`Fields::f64_bits`] for
+    /// the exact-bits encoding).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Field parsed as `bool` (`true`/`false`).
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Field carrying exact `f64` bits in the `{:#018x}` form
+    /// ([`render_f64_bits`]); survives round trips bit-for-bit where
+    /// decimal text would not.
+    pub fn f64_bits(&self, key: &str) -> Option<f64> {
+        let hex = self.get(key)?.strip_prefix("0x")?;
+        u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+    }
+}
+
+/// Render an `f64` as its exact bit pattern (`0x…`, 16 hex digits) for a
+/// field that must round-trip bit-for-bit.
+pub fn render_f64_bits(v: f64) -> String {
+    format!("{:#018x}", v.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let line = render_line(
+            "FTBB-TEST",
+            &[
+                ("id", "7".to_string()),
+                ("ok", "true".to_string()),
+                ("x", render_f64_bits(-0.125)),
+                ("rate", "1.5".to_string()),
+            ],
+        );
+        let f = Fields::parse("FTBB-TEST", &line).expect("parses");
+        assert_eq!(f.u32("id"), Some(7));
+        assert_eq!(f.u64("id"), Some(7));
+        assert_eq!(f.bool("ok"), Some(true));
+        assert_eq!(f.f64_bits("x"), Some(-0.125));
+        assert_eq!(f.f64("rate"), Some(1.5));
+        assert_eq!(f.get("missing"), None);
+        assert_eq!(f.u64("ok"), None);
+    }
+
+    #[test]
+    fn parse_is_total_and_tag_strict() {
+        assert!(Fields::parse("FTBB-TEST", "FTBB-TEST").is_some());
+        assert!(Fields::parse("FTBB-TEST", "  FTBB-TEST a=1  ").is_some());
+        assert!(Fields::parse("FTBB-TEST", "FTBB-TESTY a=1").is_none());
+        assert!(Fields::parse("FTBB-TEST", "FTBB-OTHER a=1").is_none());
+        assert!(Fields::parse("FTBB-TEST", "FTBB-TEST a=1 naked").is_none());
+        assert!(Fields::parse("FTBB-TEST", "").is_none());
+        assert!(Fields::parse("FTBB-TEST", "noise before FTBB-TEST a=1").is_none());
+    }
+}

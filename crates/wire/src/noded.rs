@@ -45,10 +45,16 @@
 
 use crate::codec::RejoinSummary;
 use crate::config::{NodeConfig, ProblemSpec};
+use crate::lines::{render_f64_bits, render_line, Fields};
 use crate::tcp::TcpMesh;
 use ftbb_bnb::AnyInstance;
-use ftbb_core::{AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, TransportStats};
-use ftbb_runtime::{ClusterConfig, CrashSwitch, NodeEngine, NodeOutcome, Transport};
+use ftbb_core::{
+    AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, PhaseTimes, Telemetry,
+    TransportStats,
+};
+use ftbb_runtime::{
+    ClusterConfig, CrashSwitch, MetricsSnapshot, NodeEngine, NodeOutcome, Transport,
+};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
@@ -65,6 +71,9 @@ pub struct NodedReport {
     pub outcome: NodeOutcome,
     /// Transport-layer counters at exit.
     pub transport: TransportStats,
+    /// Trace events the telemetry sink had to shed (0 when tracing is
+    /// off or the writer kept up).
+    pub trace_events_dropped: u64,
 }
 
 /// Checkpoint file of node `id` under `dir` — shared between the daemon
@@ -187,6 +196,30 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     };
     let incarnation = restored.as_ref().map_or(0, |chk| chk.incarnation + 1);
 
+    // Structured tracing: with `--trace-file` every lifecycle event of
+    // this node (and of its engine) lands as one JSONL record. The file
+    // is opened in append mode so a restarted node's lives accumulate in
+    // one per-node trace.
+    let telemetry = match &cfg.trace_file {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Telemetry::to_writer(cfg.id, incarnation, Box::new(file))
+        }
+        None => Telemetry::disabled(),
+    };
+    telemetry.emit(
+        "node_start",
+        &[
+            ("addr", local_addr.to_string()),
+            ("peers", peers.len().to_string()),
+            ("resume", cfg.resume.to_string()),
+            ("join", cfg.join.to_string()),
+        ],
+    );
+
     let (mesh, inbox) = TcpMesh::from_listener_incarnated_with(
         cfg.id,
         incarnation,
@@ -202,6 +235,10 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     // A peer that never appears is the Crash model's problem; start
     // anyway once the budget is spent.
     if !mesh.ready(Duration::from_secs_f64(cfg.preconnect_s)) {
+        telemetry.emit(
+            "barrier_timeout",
+            &[("budget_s", cfg.preconnect_s.to_string())],
+        );
         eprintln!(
             "ftbb-noded: readiness barrier timed out after {}s; starting on a partial mesh",
             cfg.preconnect_s
@@ -213,6 +250,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     // exists before the protocol-level membership Join asks for a
     // Welcome over it.
     if cfg.join {
+        telemetry.emit("join", &[("servers", mesh_peers.len().to_string())]);
         eprintln!(
             "ftbb-noded: node {} joining through {} gossip server(s)",
             cfg.id,
@@ -242,7 +280,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         p.membership = cfg.membership();
         p
     };
-    let engine: NodeEngine<AnyExpander> = match &restored {
+    let mut engine: NodeEngine<AnyExpander> = match &restored {
         Some(chk) => {
             let engine = NodeEngine::restore(
                 chk,
@@ -250,6 +288,14 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                 ftbb_runtime::node_seed(cfg.seed, cfg.id),
             )
             .map_err(bad_input)?;
+            telemetry.emit(
+                "resume",
+                &[
+                    ("table_codes", chk.table.len().to_string()),
+                    ("pooled", chk.pool.len().to_string()),
+                    ("incumbent", chk.incumbent.to_string()),
+                ],
+            );
             eprintln!(
                 "ftbb-noded: node {} resuming as incarnation {} ({} table codes, {} pooled, \
                  incumbent {})",
@@ -279,6 +325,13 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                     let patience = Duration::from_secs_f64(cfg.preconnect_s) + ANNOUNCE_GRACE;
                     match mesh.recv_announce(patience) {
                         Some((from, instance)) => {
+                            telemetry.emit(
+                                "announce_recv",
+                                &[
+                                    ("from", from.to_string()),
+                                    ("kind", instance.kind().to_string()),
+                                ],
+                            );
                             eprintln!(
                                 "ftbb-noded: received {} instance from node {from}",
                                 instance.kind()
@@ -303,6 +356,10 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                         // announce, so this cluster still runs. Only `--problem
                         // wire` peers are affected — they will time out waiting
                         // with their own clear error.
+                        telemetry.emit(
+                            "announce_too_large",
+                            &[("kind", instance.kind().to_string())],
+                        );
                         eprintln!(
                             "ftbb-noded: {} instance exceeds the announce frame limit; \
                              --problem wire peers (if any) cannot be served — give every \
@@ -353,6 +410,20 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         }
     };
 
+    // The engine inherits the node's trace sink, and — with
+    // `--metrics-every-s` — reports interval `FTBB-METRICS` lines on
+    // stdout, flushed per line so the launcher can tail them live.
+    engine.set_telemetry(telemetry.clone());
+    if let Some(every_s) = cfg.metrics_every_s {
+        engine.set_metrics_reporter(
+            Duration::from_secs_f64(every_s),
+            Box::new(|snap: &MetricsSnapshot| {
+                println!("{}", metrics_line(snap));
+                let _ = std::io::stdout().flush();
+            }),
+        );
+    }
+
     // Config-driven crash: a genuine process death (abort), not a
     // simulated one — peers see only silence. The clock starts after the
     // readiness barrier, so `crash_at_s` measures computation time, not
@@ -386,33 +457,33 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     // every settled send before the snapshot.
     mesh.drain(Duration::from_millis(500));
 
+    // Dropping the last telemetry handle (the engine's clone died with
+    // the engine) joins the trace writer: the file is complete before
+    // the outcome line goes out.
+    let trace_events_dropped = telemetry.events_dropped();
+    drop(telemetry);
+
     Ok(NodedReport {
         transport: mesh.stats(),
         outcome,
+        trace_events_dropped,
     })
 }
 
 /// Render the machine-parseable readiness line a daemon prints the
 /// moment its listener is bound — before it knows its peers.
 pub fn ready_line(id: u32, addr: SocketAddr) -> String {
-    format!("FTBB-READY id={id} addr={addr}")
+    render_line(
+        "FTBB-READY",
+        &[("id", id.to_string()), ("addr", addr.to_string())],
+    )
 }
 
 /// Parse a line produced by [`ready_line`]. Returns `None` for
 /// non-ready lines (so callers can scan whole stdout streams).
 pub fn parse_ready_line(line: &str) -> Option<(u32, SocketAddr)> {
-    let rest = line.trim().strip_prefix("FTBB-READY ")?;
-    let mut id = None;
-    let mut addr = None;
-    for pair in rest.split_whitespace() {
-        let (k, v) = pair.split_once('=')?;
-        match k {
-            "id" => id = v.parse::<u32>().ok(),
-            "addr" => addr = v.parse::<SocketAddr>().ok(),
-            _ => {}
-        }
-    }
-    Some((id?, addr?))
+    let f = Fields::parse("FTBB-READY", line)?;
+    Some((f.u32("id")?, f.get("addr")?.parse().ok()?))
 }
 
 /// Read launcher-supplied peer wiring: `peer <id>=<host>:<port>` lines
@@ -446,37 +517,40 @@ pub fn read_peer_wiring(input: impl BufRead) -> std::io::Result<Vec<(u32, Socket
 pub fn outcome_line(report: &NodedReport) -> String {
     let o = &report.outcome;
     let t = &report.transport;
-    format!(
-        "FTBB-OUTCOME id={} incarnation={} terminated={} incumbent_bits={:#018x} incumbent={} \
-         expanded={} recoveries={} suspected={} forgotten={} sent={} wire_bytes={} \
-         encoded_bytes={} dropped_full={} dropped_disconnected={} dropped_no_route={} \
-         dropped_startup={} dropped_stale={} retried={} connect_waits={} reconnects={} \
-         announces_sent={} announces_recv={} rejoins={} joins={} discovered={}",
-        o.id,
-        o.incarnation,
-        o.terminated,
-        o.incumbent.to_bits(),
-        o.incumbent,
-        o.metrics.expanded,
-        o.metrics.recoveries,
-        o.metrics.peers_suspected,
-        o.metrics.peers_forgotten,
-        t.sent,
-        t.sent_wire_bytes,
-        t.sent_encoded_bytes,
-        t.dropped_full,
-        t.dropped_disconnected,
-        t.dropped_no_route,
-        t.dropped_startup,
-        t.dropped_stale,
-        t.retried,
-        t.connect_waits,
-        t.reconnects,
-        t.announces_sent,
-        t.announces_recv,
-        t.rejoins,
-        t.joins,
-        t.peers_discovered,
+    render_line(
+        "FTBB-OUTCOME",
+        &[
+            ("id", o.id.to_string()),
+            ("incarnation", o.incarnation.to_string()),
+            ("terminated", o.terminated.to_string()),
+            ("incumbent_bits", render_f64_bits(o.incumbent)),
+            ("incumbent", o.incumbent.to_string()),
+            ("expanded", o.metrics.expanded.to_string()),
+            ("recoveries", o.metrics.recoveries.to_string()),
+            ("suspected", o.metrics.peers_suspected.to_string()),
+            ("forgotten", o.metrics.peers_forgotten.to_string()),
+            (
+                "mev_dropped",
+                o.metrics.membership_events_dropped.to_string(),
+            ),
+            ("trace_dropped", report.trace_events_dropped.to_string()),
+            ("sent", t.sent.to_string()),
+            ("wire_bytes", t.sent_wire_bytes.to_string()),
+            ("encoded_bytes", t.sent_encoded_bytes.to_string()),
+            ("dropped_full", t.dropped_full.to_string()),
+            ("dropped_disconnected", t.dropped_disconnected.to_string()),
+            ("dropped_no_route", t.dropped_no_route.to_string()),
+            ("dropped_startup", t.dropped_startup.to_string()),
+            ("dropped_stale", t.dropped_stale.to_string()),
+            ("retried", t.retried.to_string()),
+            ("connect_waits", t.connect_waits.to_string()),
+            ("reconnects", t.reconnects.to_string()),
+            ("announces_sent", t.announces_sent.to_string()),
+            ("announces_recv", t.announces_recv.to_string()),
+            ("rejoins", t.rejoins.to_string()),
+            ("joins", t.joins.to_string()),
+            ("discovered", t.peers_discovered.to_string()),
+        ],
     )
 }
 
@@ -499,6 +573,10 @@ pub struct ParsedOutcome {
     pub suspected: u64,
     /// Members forgotten after the cleanup timeout (membership mode).
     pub forgotten: u64,
+    /// Membership events the core's bounded buffer had to discard.
+    pub membership_events_dropped: u64,
+    /// Trace events the telemetry sink's bounded queue had to discard.
+    pub trace_events_dropped: u64,
     /// Transport counters at exit.
     pub transport: TransportStats,
 }
@@ -506,42 +584,130 @@ pub struct ParsedOutcome {
 /// Parse a line produced by [`outcome_line`]. Returns `None` for
 /// non-outcome lines (so callers can scan whole stdout streams).
 pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
-    let rest = line.trim().strip_prefix("FTBB-OUTCOME ")?;
-    let mut fields = std::collections::HashMap::new();
-    for pair in rest.split_whitespace() {
-        let (k, v) = pair.split_once('=')?;
-        fields.insert(k, v);
-    }
-    let get_u64 = |k: &str| -> Option<u64> { fields.get(k)?.parse().ok() };
-    let bits = fields.get("incumbent_bits")?;
-    let bits = u64::from_str_radix(bits.strip_prefix("0x")?, 16).ok()?;
+    let f = Fields::parse("FTBB-OUTCOME", line)?;
     Some(ParsedOutcome {
-        id: get_u64("id")? as u32,
-        incarnation: get_u64("incarnation")? as u32,
-        terminated: fields.get("terminated")? == &"true",
-        incumbent: f64::from_bits(bits),
-        expanded: get_u64("expanded")?,
-        recoveries: get_u64("recoveries")?,
-        suspected: get_u64("suspected")?,
-        forgotten: get_u64("forgotten")?,
+        id: f.u32("id")?,
+        incarnation: f.u32("incarnation")?,
+        terminated: f.bool("terminated")?,
+        incumbent: f.f64_bits("incumbent_bits")?,
+        expanded: f.u64("expanded")?,
+        recoveries: f.u64("recoveries")?,
+        suspected: f.u64("suspected")?,
+        forgotten: f.u64("forgotten")?,
+        membership_events_dropped: f.u64("mev_dropped")?,
+        trace_events_dropped: f.u64("trace_dropped")?,
         transport: TransportStats {
-            sent: get_u64("sent")?,
-            sent_wire_bytes: get_u64("wire_bytes")?,
-            sent_encoded_bytes: get_u64("encoded_bytes")?,
-            dropped_full: get_u64("dropped_full")?,
-            dropped_disconnected: get_u64("dropped_disconnected")?,
-            dropped_no_route: get_u64("dropped_no_route")?,
-            dropped_startup: get_u64("dropped_startup")?,
-            dropped_stale: get_u64("dropped_stale")?,
-            retried: get_u64("retried")?,
-            connect_waits: get_u64("connect_waits")?,
-            reconnects: get_u64("reconnects")?,
-            announces_sent: get_u64("announces_sent")?,
-            announces_recv: get_u64("announces_recv")?,
-            rejoins: get_u64("rejoins")?,
-            joins: get_u64("joins")?,
-            peers_discovered: get_u64("discovered")?,
+            sent: f.u64("sent")?,
+            sent_wire_bytes: f.u64("wire_bytes")?,
+            sent_encoded_bytes: f.u64("encoded_bytes")?,
+            dropped_full: f.u64("dropped_full")?,
+            dropped_disconnected: f.u64("dropped_disconnected")?,
+            dropped_no_route: f.u64("dropped_no_route")?,
+            dropped_startup: f.u64("dropped_startup")?,
+            dropped_stale: f.u64("dropped_stale")?,
+            retried: f.u64("retried")?,
+            connect_waits: f.u64("connect_waits")?,
+            reconnects: f.u64("reconnects")?,
+            announces_sent: f.u64("announces_sent")?,
+            announces_recv: f.u64("announces_recv")?,
+            rejoins: f.u64("rejoins")?,
+            joins: f.u64("joins")?,
+            peers_discovered: f.u64("discovered")?,
         },
+    })
+}
+
+/// Render one machine-parseable `FTBB-METRICS` interval line from a live
+/// engine snapshot: the Figure-3 time breakdown (seconds per category),
+/// the protocol counters behind it, and the transport totals. Printed on
+/// stdout every `--metrics-every-s`, parseable via [`parse_metrics_line`].
+pub fn metrics_line(snap: &MetricsSnapshot) -> String {
+    let p = &snap.phase;
+    let m = &snap.metrics;
+    render_line(
+        "FTBB-METRICS",
+        &[
+            ("id", snap.id.to_string()),
+            ("incarnation", snap.incarnation.to_string()),
+            ("seq", snap.seq.to_string()),
+            ("elapsed_s", format!("{:.6}", snap.elapsed_s)),
+            ("expand_s", format!("{:.6}", p.expand_s)),
+            ("communicate_s", format!("{:.6}", p.communicate_s)),
+            ("contract_s", format!("{:.6}", p.contract_s)),
+            ("load_balance_s", format!("{:.6}", p.load_balance_s)),
+            ("membership_s", format!("{:.6}", p.membership_s)),
+            ("idle_s", format!("{:.6}", p.idle_s)),
+            ("checkpoint_s", format!("{:.6}", p.checkpoint_s)),
+            ("expanded", m.expanded.to_string()),
+            ("recoveries", m.recoveries.to_string()),
+            ("suspected", m.peers_suspected.to_string()),
+            ("forgotten", m.peers_forgotten.to_string()),
+            ("mev_dropped", m.membership_events_dropped.to_string()),
+            ("trace_dropped", snap.trace_events_dropped.to_string()),
+            ("sent", snap.transport.sent.to_string()),
+            ("dropped", snap.transport.dropped().to_string()),
+        ],
+    )
+}
+
+/// One parsed `FTBB-METRICS` interval line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedMetrics {
+    /// Node id.
+    pub id: u32,
+    /// Incarnation of the reporting engine.
+    pub incarnation: u32,
+    /// Snapshot sequence number within that life.
+    pub seq: u64,
+    /// Wall seconds since the engine started.
+    pub elapsed_s: f64,
+    /// Figure-3 time breakdown; `phase.total()` reconciles with
+    /// `elapsed_s`.
+    pub phase: PhaseTimes,
+    /// Subproblems expanded so far.
+    pub expanded: u64,
+    /// Complement recoveries so far.
+    pub recoveries: u64,
+    /// Members suspected so far.
+    pub suspected: u64,
+    /// Members forgotten so far.
+    pub forgotten: u64,
+    /// Membership events discarded by the core's bounded buffer.
+    pub membership_events_dropped: u64,
+    /// Trace events discarded by the telemetry sink's bounded queue.
+    pub trace_events_dropped: u64,
+    /// Messages handed to the wire so far.
+    pub sent: u64,
+    /// Send-side drops so far (all causes).
+    pub dropped: u64,
+}
+
+/// Parse a line produced by [`metrics_line`]. Returns `None` for
+/// non-metrics lines (so callers can scan whole stdout streams).
+pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
+    let f = Fields::parse("FTBB-METRICS", line)?;
+    Some(ParsedMetrics {
+        id: f.u32("id")?,
+        incarnation: f.u32("incarnation")?,
+        seq: f.u64("seq")?,
+        elapsed_s: f.f64("elapsed_s")?,
+        phase: PhaseTimes {
+            expand_s: f.f64("expand_s")?,
+            communicate_s: f.f64("communicate_s")?,
+            contract_s: f.f64("contract_s")?,
+            load_balance_s: f.f64("load_balance_s")?,
+            membership_s: f.f64("membership_s")?,
+            idle_s: f.f64("idle_s")?,
+            checkpoint_s: f.f64("checkpoint_s")?,
+        },
+        expanded: f.u64("expanded")?,
+        recoveries: f.u64("recoveries")?,
+        suspected: f.u64("suspected")?,
+        forgotten: f.u64("forgotten")?,
+        membership_events_dropped: f.u64("mev_dropped")?,
+        trace_events_dropped: f.u64("trace_dropped")?,
+        sent: f.u64("sent")?,
+        dropped: f.u64("dropped")?,
     })
 }
 
@@ -564,10 +730,13 @@ mod tests {
                     recoveries: 2,
                     peers_suspected: 3,
                     peers_forgotten: 1,
+                    membership_events_dropped: 17,
                     ..Default::default()
                 },
+                phase: PhaseTimes::default(),
                 lifetime: Duration::from_millis(10),
             },
+            trace_events_dropped: 5,
             transport: TransportStats {
                 sent: 9,
                 sent_wire_bytes: 81,
@@ -597,8 +766,62 @@ mod tests {
         assert_eq!(parsed.recoveries, 2);
         assert_eq!(parsed.suspected, 3);
         assert_eq!(parsed.forgotten, 1);
+        assert_eq!(parsed.membership_events_dropped, 17);
+        assert_eq!(parsed.trace_events_dropped, 5);
         assert_eq!(parsed.transport, report.transport);
         assert_eq!(parse_outcome_line("unrelated noise"), None);
+    }
+
+    #[test]
+    fn metrics_line_round_trips() {
+        let snap = MetricsSnapshot {
+            id: 4,
+            incarnation: 1,
+            seq: 7,
+            elapsed_s: 2.5,
+            phase: PhaseTimes {
+                expand_s: 1.0,
+                communicate_s: 0.5,
+                contract_s: 0.25,
+                load_balance_s: 0.125,
+                membership_s: 0.0625,
+                idle_s: 0.5,
+                checkpoint_s: 0.0625,
+            },
+            metrics: ProcMetrics {
+                expanded: 99,
+                recoveries: 1,
+                peers_suspected: 2,
+                peers_forgotten: 1,
+                membership_events_dropped: 3,
+                ..Default::default()
+            },
+            transport: TransportStats {
+                sent: 11,
+                dropped_full: 1,
+                dropped_disconnected: 2,
+                ..Default::default()
+            },
+            trace_events_dropped: 4,
+        };
+        let line = metrics_line(&snap);
+        let parsed = parse_metrics_line(&line).expect("parses");
+        assert_eq!(parsed.id, 4);
+        assert_eq!(parsed.incarnation, 1);
+        assert_eq!(parsed.seq, 7);
+        assert_eq!(parsed.elapsed_s, 2.5);
+        assert_eq!(parsed.phase, snap.phase);
+        assert!((parsed.phase.total() - 2.5).abs() < 1e-9);
+        assert_eq!(parsed.expanded, 99);
+        assert_eq!(parsed.recoveries, 1);
+        assert_eq!(parsed.suspected, 2);
+        assert_eq!(parsed.forgotten, 1);
+        assert_eq!(parsed.membership_events_dropped, 3);
+        assert_eq!(parsed.trace_events_dropped, 4);
+        assert_eq!(parsed.sent, 11);
+        assert_eq!(parsed.dropped, 3);
+        assert_eq!(parse_metrics_line("FTBB-OUTCOME id=1"), None);
+        assert_eq!(parse_metrics_line("noise"), None);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Property tests of the `FTBB-*` stdout line codec and the trace JSONL
+//! codec: every report/snapshot round-trips through its line, and the
+//! parsers are total — truncated, corrupted, or arbitrary input yields
+//! `None`, never a panic. Launchers scan whole stdout streams (and whole
+//! trace files) that also carry arbitrary diagnostic output, so the
+//! parsers must shrug at anything.
+
+use ftbb_core::{PhaseTimes, ProcMetrics, TraceEvent, TransportStats};
+use ftbb_runtime::{MetricsSnapshot, NodeOutcome};
+use ftbb_wire::noded::NodedReport;
+use ftbb_wire::{metrics_line, outcome_line, parse_metrics_line, parse_outcome_line};
+use proptest::collection;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Seconds that survive the lines' `{:.6}` decimal formatting exactly:
+/// whole microseconds.
+fn micros_strategy() -> impl Strategy<Value = f64> {
+    (0u64..10_000_000_000).prop_map(|us| us as f64 / 1e6)
+}
+
+/// Printable-ASCII garbage to splice into lines.
+fn garbage_strategy() -> impl Strategy<Value = String> {
+    collection::vec(0x20u32..0x7f, 0..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+/// Arbitrary unicode text — including quotes, backslashes, newlines, and
+/// control characters.
+fn text_strategy(max: usize) -> impl Strategy<Value = String> {
+    collection::vec(any::<u32>(), 0..max).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(|c| char::from_u32(c % 0x11_0000))
+            .collect::<String>()
+    })
+}
+
+/// Lowercase identifier-ish field keys.
+fn key_strategy() -> impl Strategy<Value = String> {
+    collection::vec(0u8..27, 1..12).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| if b == 26 { '_' } else { (b'a' + b) as char })
+            .collect::<String>()
+    })
+}
+
+fn phase_strategy() -> impl Strategy<Value = PhaseTimes> {
+    (
+        micros_strategy(),
+        micros_strategy(),
+        micros_strategy(),
+        micros_strategy(),
+        micros_strategy(),
+        micros_strategy(),
+        micros_strategy(),
+    )
+        .prop_map(|(ex, co, ct, lb, me, id, ck)| PhaseTimes {
+            expand_s: ex,
+            communicate_s: co,
+            contract_s: ct,
+            load_balance_s: lb,
+            membership_s: me,
+            idle_s: id,
+            checkpoint_s: ck,
+        })
+}
+
+fn transport_strategy() -> impl Strategy<Value = TransportStats> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(sent, wire, enc, d1, d2, d3)| TransportStats {
+            sent: sent as u64,
+            sent_wire_bytes: wire as u64,
+            sent_encoded_bytes: enc as u64,
+            dropped_full: d1 as u64,
+            dropped_disconnected: d2 as u64,
+            dropped_no_route: d3 as u64,
+            dropped_startup: (d1 % 7) as u64,
+            dropped_stale: (d2 % 5) as u64,
+            retried: (d3 % 3) as u64,
+            connect_waits: (sent % 11) as u64,
+            reconnects: (wire % 13) as u64,
+            announces_sent: (enc % 17) as u64,
+            announces_recv: (d1 % 19) as u64,
+            rejoins: (d2 % 23) as u64,
+            joins: (d3 % 29) as u64,
+            peers_discovered: (sent % 31) as u64,
+        })
+}
+
+fn report_strategy() -> impl Strategy<Value = NodedReport> {
+    (
+        any::<u32>(),
+        0u32..8,
+        any::<bool>(),
+        any::<u64>(), // incumbent bits: any f64 including NaN/∞ must survive
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        phase_strategy(),
+        transport_strategy(),
+    )
+        .prop_map(
+            |(id, inc, terminated, bits, (expanded, rec, sus, forg), (mev, tev), phase, t)| {
+                let metrics = ProcMetrics {
+                    expanded,
+                    recoveries: rec,
+                    peers_suspected: sus,
+                    peers_forgotten: forg,
+                    membership_events_dropped: mev,
+                    ..Default::default()
+                };
+                NodedReport {
+                    outcome: NodeOutcome {
+                        id,
+                        incarnation: inc,
+                        terminated,
+                        incumbent: f64::from_bits(bits),
+                        metrics,
+                        phase,
+                        lifetime: Duration::from_millis(5),
+                    },
+                    transport: t,
+                    trace_events_dropped: tev,
+                }
+            },
+        )
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        any::<u32>(),
+        0u32..8,
+        any::<u64>(),
+        micros_strategy(),
+        phase_strategy(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        transport_strategy(),
+    )
+        .prop_map(
+            |(id, inc, seq, elapsed, phase, (expanded, rec, sus, forg), (mev, tev), t)| {
+                MetricsSnapshot {
+                    id,
+                    incarnation: inc,
+                    seq,
+                    elapsed_s: elapsed,
+                    phase,
+                    metrics: ProcMetrics {
+                        expanded,
+                        recoveries: rec,
+                        peers_suspected: sus,
+                        peers_forgotten: forg,
+                        membership_events_dropped: mev,
+                        ..Default::default()
+                    },
+                    transport: t,
+                    trace_events_dropped: tev,
+                }
+            },
+        )
+}
+
+/// Splice `garbage` over a slice of `line` (at a char boundary), or
+/// truncate — the mangled stream a launcher might actually see.
+fn mangle(line: &str, at_seed: u64, garbage: &str) -> String {
+    let cuts: Vec<usize> = line
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain([line.len()])
+        .collect();
+    let cut = cuts[(at_seed as usize) % cuts.len()];
+    let mut out = line[..cut].to_string();
+    out.push_str(garbage);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every outcome — including NaN/infinite incumbents, which ride as
+    /// exact bits — survives its stdout line.
+    #[test]
+    fn outcome_line_round_trips(report in report_strategy()) {
+        let line = outcome_line(&report);
+        let parsed = parse_outcome_line(&line).expect("own line parses");
+        let o = &report.outcome;
+        prop_assert_eq!(parsed.id, o.id);
+        prop_assert_eq!(parsed.incarnation, o.incarnation);
+        prop_assert_eq!(parsed.terminated, o.terminated);
+        prop_assert_eq!(parsed.incumbent.to_bits(), o.incumbent.to_bits(),
+            "incumbent must round-trip bit-for-bit");
+        prop_assert_eq!(parsed.expanded, o.metrics.expanded);
+        prop_assert_eq!(parsed.recoveries, o.metrics.recoveries);
+        prop_assert_eq!(parsed.suspected, o.metrics.peers_suspected);
+        prop_assert_eq!(parsed.forgotten, o.metrics.peers_forgotten);
+        prop_assert_eq!(parsed.membership_events_dropped,
+            o.metrics.membership_events_dropped);
+        prop_assert_eq!(parsed.trace_events_dropped, report.trace_events_dropped);
+        prop_assert_eq!(parsed.transport, report.transport);
+    }
+
+    /// Every interval snapshot survives its stdout line; microsecond
+    /// phase times round-trip exactly through the `{:.6}` formatting.
+    #[test]
+    fn metrics_line_round_trips(snap in snapshot_strategy()) {
+        let line = metrics_line(&snap);
+        let parsed = parse_metrics_line(&line).expect("own line parses");
+        prop_assert_eq!(parsed.id, snap.id);
+        prop_assert_eq!(parsed.incarnation, snap.incarnation);
+        prop_assert_eq!(parsed.seq, snap.seq);
+        prop_assert_eq!(parsed.elapsed_s, snap.elapsed_s);
+        prop_assert_eq!(parsed.phase, snap.phase);
+        prop_assert_eq!(parsed.expanded, snap.metrics.expanded);
+        prop_assert_eq!(parsed.recoveries, snap.metrics.recoveries);
+        prop_assert_eq!(parsed.suspected, snap.metrics.peers_suspected);
+        prop_assert_eq!(parsed.forgotten, snap.metrics.peers_forgotten);
+        prop_assert_eq!(parsed.membership_events_dropped,
+            snap.metrics.membership_events_dropped);
+        prop_assert_eq!(parsed.trace_events_dropped, snap.trace_events_dropped);
+        prop_assert_eq!(parsed.sent, snap.transport.sent);
+        prop_assert_eq!(parsed.dropped, snap.transport.dropped());
+    }
+
+    /// A valid line mangled anywhere — truncated mid-token, spliced with
+    /// garbage — never panics either parser; a parse that still succeeds
+    /// is fine (the mangling may hit redundant tail fields), a failed one
+    /// must be `None`, not a crash.
+    #[test]
+    fn mangled_lines_never_panic(
+        report in report_strategy(),
+        snap in snapshot_strategy(),
+        at in any::<u64>(),
+        garbage in garbage_strategy(),
+    ) {
+        let _ = parse_outcome_line(&mangle(&outcome_line(&report), at, &garbage));
+        let _ = parse_metrics_line(&mangle(&metrics_line(&snap), at, &garbage));
+    }
+
+    /// Arbitrary text never panics any line parser, and a line missing
+    /// its tag never parses.
+    #[test]
+    fn arbitrary_text_never_parses_or_panics(text in text_strategy(64)) {
+        let _ = parse_outcome_line(&text);
+        let _ = parse_metrics_line(&text);
+        let _ = ftbb_wire::parse_ready_line(&text);
+        let _ = TraceEvent::parse_jsonl(&text);
+        if !text.contains("FTBB-OUTCOME") {
+            prop_assert!(parse_outcome_line(&text).is_none());
+        }
+        if !text.contains("FTBB-METRICS") {
+            prop_assert!(parse_metrics_line(&text).is_none());
+        }
+    }
+
+    /// Trace events with arbitrary kinds and field values — quotes,
+    /// backslashes, newlines, control characters — survive the JSONL
+    /// encoding, and mangled JSONL never panics the parser.
+    #[test]
+    fn trace_event_jsonl_round_trips(
+        t_us in any::<u64>(),
+        node in any::<u32>(),
+        inc in any::<u32>(),
+        kind in text_strategy(24),
+        fields in collection::vec((key_strategy(), text_strategy(24)), 0..5),
+        at in any::<u64>(),
+        garbage in garbage_strategy(),
+    ) {
+        let event = TraceEvent {
+            t_us,
+            node,
+            incarnation: inc,
+            kind,
+            fields: fields
+                .into_iter()
+                // Reserved keys would be reabsorbed into the header on
+                // parse; real emitters never use them as field names.
+                .filter(|(k, _)| !matches!(k.as_str(), "t_us" | "node" | "inc" | "kind"))
+                .collect(),
+        };
+        let line = event.to_jsonl();
+        prop_assert!(!line.contains('\n'), "JSONL events are single lines");
+        let parsed = TraceEvent::parse_jsonl(&line).expect("own line parses");
+        prop_assert_eq!(parsed, event);
+        let _ = TraceEvent::parse_jsonl(&mangle(&line, at, &garbage));
+    }
+}

@@ -35,6 +35,8 @@ fn base_spec(problem: ProblemSpec, nodes: u32, seed: u64) -> ClusterSpec {
         gossip: None,
         checkpoint_dir: None,
         checkpoint_every_s: 0.05,
+        trace_dir: None,
+        metrics_every_s: None,
         deadline: Duration::from_secs(60),
         seed,
     }
@@ -422,6 +424,117 @@ fn joined_nodes_contribute_and_dead_node_is_suspected() {
         suspected >= 1,
         "the dead node must be suspected via heartbeat timeout: {:?}",
         report.outcomes
+    );
+}
+
+/// The telemetry regression — the observability acceptance test.
+///
+/// Five nodes run with structured tracing (`--trace-file`) and interval
+/// metrics (`--metrics-every-s`) on; one node is SIGKILLed mid-run. The
+/// launcher must come back with (a) several parseable `FTBB-METRICS`
+/// snapshots per survivor whose Figure-3 category times reconcile with
+/// the node's elapsed wall clock, and (b) a merged cluster timeline in
+/// which the kill precedes the survivors' suspicion of the dead node,
+/// which precedes a recovery — the paper's §5 failure story, readable
+/// off one ordered event stream.
+#[test]
+fn telemetry_timeline_orders_kill_suspicion_recovery() {
+    let problem = heavy_problem();
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
+
+    let dir = std::env::temp_dir().join("ftbb-wire-telemetry-regression");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut spec = base_spec(problem, 5, 31);
+    spec.gossip = Some(GossipTiming {
+        interval_s: 0.03,
+        suspect_s: 0.35,
+        forget_s: 3.0,
+    });
+    spec.trace_dir = Some(dir.clone());
+    spec.metrics_every_s = Some(0.12);
+    spec.lifecycle = vec![LifecycleEvent::kill(2, Duration::from_millis(150))];
+    let report = launch(&spec).expect("cluster launches");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        report.killed,
+        vec![2],
+        "node 2 must die mid-run: {report:?}"
+    );
+    assert!(
+        report.all_survivors_terminated,
+        "survivors failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(report.best, reference);
+
+    // (a) Interval metrics: every survivor produced several parseable
+    // snapshots, and each node's Figure-3 category times sum to its
+    // elapsed wall clock (the phase clock attributes *every* slice of
+    // the event pump to exactly one category).
+    for &id in &[0usize, 1, 3, 4] {
+        let series = &report.metrics[id];
+        assert!(
+            series.len() >= 3,
+            "survivor {id} produced {} FTBB-METRICS snapshots, want >= 3\n{}",
+            series.len(),
+            report.cluster_report()
+        );
+        for pair in series.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "snapshots arrive in order");
+        }
+        let last = series.last().unwrap();
+        let drift = (last.phase.total() - last.elapsed_s).abs();
+        assert!(
+            drift <= 0.1 * last.elapsed_s + 0.05,
+            "node {id}: category times {:.3}s vs elapsed {:.3}s — the phase \
+             clock must account for the whole event pump",
+            last.phase.total(),
+            last.elapsed_s
+        );
+        assert!(last.phase.expand_s > 0.0, "node {id} did real work");
+    }
+
+    // (b) The merged timeline tells the failure story in order: the
+    // launcher's kill, then a *survivor* suspecting node 2 via the
+    // heartbeat timeout, then a recovery of the dead node's work.
+    let timeline = &report.timeline;
+    assert!(!timeline.is_empty(), "trace_dir must yield a timeline");
+    for pair in timeline.windows(2) {
+        assert!(pair[0].t_us <= pair[1].t_us, "timeline is time-ordered");
+    }
+    // Every node's engine announced itself.
+    for id in 0..5u32 {
+        assert!(
+            timeline
+                .iter()
+                .any(|e| e.node == id && e.kind == "engine_start"),
+            "node {id} must appear in the merged timeline"
+        );
+    }
+    let kill_at = timeline
+        .iter()
+        .position(|e| e.kind == "kill" && e.node == 2)
+        .expect("launcher kill event in timeline");
+    let suspect_at = timeline
+        .iter()
+        .position(|e| e.kind == "suspect" && e.node != 2 && e.field("peer") == Some("2"))
+        .expect("a survivor must suspect the dead node");
+    let recovery_at = timeline
+        .iter()
+        .position(|e| e.kind == "recovery")
+        .expect("the dead node's work must be recovered");
+    assert!(
+        kill_at < suspect_at,
+        "suspicion follows the kill: {}",
+        report.cluster_report()
+    );
+    assert!(
+        kill_at < recovery_at,
+        "recovery follows the kill: {}",
+        report.cluster_report()
     );
 }
 

@@ -73,6 +73,8 @@ fn main() {
         gossip: None,
         checkpoint_dir: Some(checkpoint_dir.clone()),
         checkpoint_every_s: 0.05,
+        trace_dir: Some(checkpoint_dir.join("traces")),
+        metrics_every_s: Some(0.25),
         deadline: Duration::from_secs(60),
         seed: 42,
     };
