@@ -37,7 +37,11 @@ fn bench_announce_encode(c: &mut Criterion) {
     // MAX-SAT workload.
     let any = AnyInstance::MaxSat(MaxSatInstance::generate(24, 100, 3));
     c.bench_function("maxsat_announce_encode", |b| {
-        b.iter(|| ftbb_wire::encode_announce(0, 0, &any).bytes.len());
+        b.iter(|| {
+            ftbb_wire::encode_announce(0, 0, ftbb_core::JobId::DEFAULT, &any)
+                .bytes
+                .len()
+        });
     });
 }
 

@@ -1,0 +1,146 @@
+//! Benchmarks of the service layer — the two numbers the multi-job
+//! refactor must answer for: what does **admission** cost (how long from
+//! a client's `SubmitJob` frame to the pool's `JobAccepted`, and what
+//! the gateway pays to materialize a `JobEngine`), and what does
+//! **multiplexing** cost (jobs/sec through one `ServiceEngine` pump at
+//! 1, 2, and 4 concurrent jobs — whether N interleaved jobs approach N×
+//! the single-job wall clock or degrade each other). The numbers are
+//! recorded in `BENCH_service.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_bnb::{AnyInstance, Correlation, KnapsackInstance};
+use ftbb_core::{AnyExpander, BnbProcess, Expander, JobId};
+use ftbb_runtime::{node_seed, ClusterConfig, CrashSwitch, JobEngine, Mesh, ServiceEngine};
+use ftbb_wire::noded::run_service;
+use ftbb_wire::{encode_submit, FrameDecoder, NodeConfig, WireFrame};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A job small enough that the pool solves it in well under a
+/// millisecond: the admission benches stay at roughly constant pool
+/// load, and the throughput benches finish thousands of batches.
+fn small_instance(seed: u64) -> AnyInstance {
+    KnapsackInstance::generate(14, 50, Correlation::Uncorrelated, 0.5, seed).into()
+}
+
+/// Materialize one job the way a gateway does on admission: clone the
+/// instance into an expander, seat a fresh per-job protocol process, and
+/// bind the problem for checkpointing.
+fn materialize(job: JobId, instance: &AnyInstance) -> JobEngine<AnyExpander> {
+    let expander = AnyExpander::new(instance.clone());
+    let core = BnbProcess::new(
+        0,
+        vec![0],
+        ClusterConfig::new(1).protocol,
+        expander.root_bound(),
+        true,
+        node_seed(7 ^ job.raw(), 0),
+    );
+    let mut engine = JobEngine::new(job, core, expander);
+    engine.bind_problem(instance.clone());
+    engine
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_admission");
+
+    // The gateway's in-process share of admission: what it costs to turn
+    // an instance into a runnable JobEngine.
+    group.bench_function("materialize_job", |b| {
+        let instance = small_instance(3);
+        let mut next = 1u64;
+        b.iter(|| {
+            next += 1;
+            black_box(materialize(JobId::from(next), &instance))
+        });
+    });
+
+    // End-to-end admission latency over a real socket: one live
+    // `run_service` node; each iteration opens a fresh client
+    // connection, sends a SubmitJob frame, and blocks until the
+    // JobAccepted frame comes back — the full submit handshake a
+    // `ftbb-submit` user experiences (the tiny job then completes in the
+    // background, so pool load stays flat across iterations).
+    group.bench_function("submit_to_accepted", |b| {
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            drop(listener);
+            let cfg = NodeConfig {
+                id: 0,
+                listen: addr,
+                service: true,
+                deadline_s: 600.0,
+                seed: 5,
+                ..Default::default()
+            };
+            addr_tx.send(addr).unwrap();
+            run_service(&cfg).expect("service runs");
+        });
+        let addr = addr_rx.recv().unwrap();
+        // Give the listener a moment to come up before the first connect.
+        std::thread::sleep(Duration::from_millis(50));
+
+        let instance = small_instance(3);
+        let mut next = 1u64;
+        b.iter(|| {
+            next += 1;
+            let job = JobId::from(next);
+            let frame = encode_submit(job, &instance);
+            let mut stream = TcpStream::connect(addr).expect("service reachable");
+            stream.set_nodelay(true).ok();
+            stream.write_all(&frame.bytes).expect("submit frame sent");
+            let mut decoder = FrameDecoder::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = stream.read(&mut buf).expect("service replies");
+                assert!(n > 0, "service closed the stream before accepting");
+                decoder.push(&buf[..n]);
+                match decoder.try_next().expect("clean reply stream") {
+                    Some(WireFrame::JobAccepted { job: j, node }) => {
+                        assert_eq!(j, job);
+                        break black_box(node);
+                    }
+                    Some(_) | None => continue,
+                }
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    for n in [1u64, 2, 4] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(BenchmarkId::new("jobs", n), |b| {
+            let instances: Vec<AnyInstance> = (0..n).map(|j| small_instance(10 + j)).collect();
+            b.iter(|| {
+                // One single-node pump multiplexing n concurrent jobs to
+                // completion (non-daemon: run returns when all halt).
+                let mut svc: ServiceEngine<AnyExpander> = ServiceEngine::new(0, 0);
+                for (j, instance) in instances.iter().enumerate() {
+                    svc.admit(materialize(JobId::from(j as u64 + 1), instance));
+                }
+                let (mesh, mut inboxes) = Mesh::new(1);
+                let outcome = svc
+                    .run(
+                        &mesh,
+                        inboxes.pop().unwrap(),
+                        CrashSwitch::default(),
+                        Duration::from_secs(30),
+                    )
+                    .expect("pump not crashed");
+                assert_eq!(outcome.jobs.len(), n as usize);
+                black_box(outcome)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_throughput);
+criterion_main!(benches);

@@ -82,6 +82,7 @@ fn bench_jsonl(c: &mut Criterion) {
         t_us: 123_456_789,
         node: 3,
         incarnation: 1,
+        job: 0,
         kind: "suspect".to_string(),
         fields: vec![
             ("peer".to_string(), "2".to_string()),
@@ -99,6 +100,7 @@ fn bench_jsonl(c: &mut Criterion) {
 fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         id: 2,
+        job: 0,
         incarnation: 0,
         seq: 17,
         elapsed_s: 3.25,

@@ -52,7 +52,11 @@ fn messages() -> Vec<(&'static str, Msg)> {
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_encode");
     for (name, msg) in messages() {
-        let env = Envelope { from: 7, msg };
+        let env = Envelope {
+            job: ftbb_core::JobId::DEFAULT,
+            from: 7,
+            msg,
+        };
         let encoded = encode_frame(&env, 0, 0, &[]).encoded_len() as u64;
         group.throughput(Throughput::Bytes(encoded));
         group.bench_with_input(BenchmarkId::from_parameter(name), &env, |b, env| {
@@ -65,7 +69,11 @@ fn bench_encode(c: &mut Criterion) {
 fn bench_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_decode");
     for (name, msg) in messages() {
-        let env = Envelope { from: 7, msg };
+        let env = Envelope {
+            job: ftbb_core::JobId::DEFAULT,
+            from: 7,
+            msg,
+        };
         let frame = encode_frame(&env, 0, 0, &[]).bytes;
         group.throughput(Throughput::Bytes(frame.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &frame, |b, frame| {
@@ -89,6 +97,7 @@ fn bench_stream_decode(c: &mut Criterion) {
         stream.extend_from_slice(
             &encode_frame(
                 &Envelope {
+                    job: ftbb_core::JobId::DEFAULT,
                     from: 3,
                     msg: Msg::WorkReport {
                         codes: chunk.to_vec(),

@@ -34,6 +34,7 @@
 //! stale rather than delivered to the wrong incarnation.
 
 use crate::config::ProtocolConfig;
+use crate::job::JobId;
 use crate::process::BnbProcess;
 use ftbb_bnb::AnyInstance;
 use ftbb_des::SimTime;
@@ -43,8 +44,9 @@ use std::sync::Arc;
 
 /// Version tag of the checkpoint blob format. v2 added the incarnation
 /// number and the optional problem binding; v3 added the membership
-/// (gossip) binding.
-pub const CHECKPOINT_VERSION: u16 = 3;
+/// (gossip) binding; v4 added the job id (service mode: one snapshot
+/// file per job).
+pub const CHECKPOINT_VERSION: u16 = 4;
 
 /// The membership half of a checkpoint: how a gossip-managed process was
 /// wired into the group when the snapshot was taken. Restoring it lets
@@ -91,6 +93,10 @@ pub struct Checkpoint {
     pub me: u32,
     /// Which life of the process this snapshot belongs to (0 = first).
     pub incarnation: u32,
+    /// Which job this snapshot belongs to. A service node persists one
+    /// checkpoint file *per job*; the legacy single-run path uses
+    /// [`JobId::DEFAULT`].
+    pub job: JobId,
     /// Static member list (empty when membership-managed).
     pub members: Vec<u32>,
     /// Completion table, as contracted codes.
@@ -124,6 +130,12 @@ impl Checkpoint {
         self
     }
 
+    /// Scope the snapshot to one job of a service pool.
+    pub fn with_job(mut self, job: JobId) -> Checkpoint {
+        self.job = job;
+        self
+    }
+
     /// Serialized size in bytes (for overhead accounting). Tracks
     /// [`Checkpoint::encode`] exactly for the protocol state (codes
     /// account themselves via [`Code::wire_size`], which the tree codec
@@ -143,8 +155,8 @@ impl Checkpoint {
             .sum();
         let problem = 1 + self.problem.as_ref().map_or(0, |p| serde::encode(p).len());
         let gossip = 1 + self.gossip.as_ref().map_or(0, |g| serde::encode(g).len());
-        // magic + version + me + incarnation + incumbent + root_bound
-        (4 + 2 + 4 + 4 + 8 + 8)
+        // magic + version + me + incarnation + job + incumbent + root_bound
+        (4 + 2 + 4 + 4 + 8 + 8 + 8)
             + (4 + 4 * self.members.len())
             + codes(&self.table)
             + codes(&self.fresh)
@@ -162,6 +174,7 @@ impl Checkpoint {
         buf.put_u16_le(CHECKPOINT_VERSION);
         buf.put_u32_le(self.me);
         buf.put_u32_le(self.incarnation);
+        buf.put_u64_le(self.job.raw());
         buf.put_f64_le(self.incumbent);
         buf.put_f64_le(self.root_bound);
         buf.put_u32_le(self.members.len() as u32);
@@ -196,7 +209,7 @@ impl Checkpoint {
                 Ok(())
             }
         };
-        need(data, 4 + 2 + 8 + 16 + 4)?;
+        need(data, 4 + 2 + 8 + 8 + 16 + 4)?;
         if data.get_u32_le() != 0x4654_4350 {
             return Err("bad checkpoint magic".into());
         }
@@ -206,6 +219,7 @@ impl Checkpoint {
         }
         let me = data.get_u32_le();
         let incarnation = data.get_u32_le();
+        let job = JobId(data.get_u64_le());
         let incumbent = data.get_f64_le();
         let root_bound = data.get_f64_le();
         let nmembers = data.get_u32_le() as usize;
@@ -248,6 +262,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             me,
             incarnation,
+            job,
             members,
             table,
             fresh,
@@ -269,6 +284,7 @@ impl BnbProcess {
         Checkpoint {
             me: self.id(),
             incarnation: 0,
+            job: JobId::DEFAULT,
             members: self.static_member_list(),
             table: self.table().minimal_codes(),
             pool: self.pool_snapshot(),
@@ -383,8 +399,16 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let chk = worked_process().checkpoint();
+        assert_eq!(chk.job, JobId::DEFAULT, "bare snapshots are job 0");
         let blob = chk.encode();
         let back = Checkpoint::decode(&blob).unwrap();
+        assert_eq!(chk, back);
+
+        // A job-scoped snapshot keeps its scope through persistence.
+        let chk = worked_process().checkpoint().with_job(JobId(0xfeed));
+        assert_eq!(chk.wire_size(), chk.encode().len());
+        let back = Checkpoint::decode(&chk.encode()).unwrap();
+        assert_eq!(back.job, JobId(0xfeed));
         assert_eq!(chk, back);
     }
 

@@ -20,6 +20,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod events;
+pub mod job;
 pub mod message;
 pub mod metrics;
 pub mod process;
@@ -29,6 +30,7 @@ pub mod work;
 pub use checkpoint::{Checkpoint, CheckpointSink, GossipBinding, NullSink};
 pub use config::ProtocolConfig;
 pub use events::{Action, MembershipEvent, PEvent, PTimer};
+pub use job::JobId;
 pub use message::{GrantItem, Incumbent, Msg, MsgKind};
 pub use metrics::{ProcMetrics, TransportCounters, TransportStats};
 pub use process::BnbProcess;

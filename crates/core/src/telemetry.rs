@@ -160,6 +160,10 @@ pub struct TraceEvent {
     pub node: u32,
     /// Emitting node's incarnation.
     pub incarnation: u32,
+    /// Job the event is scoped to; `0` for pool-level (or legacy
+    /// single-run) events. Service-mode engines stamp per-job events via
+    /// [`Telemetry::for_job`].
+    pub job: u64,
     /// Event kind (`"suspect"`, `"checkpoint"`, `"node_start"`, ...).
     pub kind: String,
     /// Free-form key=value payload, in emission order.
@@ -185,6 +189,12 @@ impl TraceEvent {
         out.push_str(&self.node.to_string());
         out.push_str(",\"inc\":");
         out.push_str(&self.incarnation.to_string());
+        if self.job != 0 {
+            // Pool-level events omit the job key: single-run traces stay
+            // byte-identical to the pre-service format.
+            out.push_str(",\"job\":");
+            out.push_str(&self.job.to_string());
+        }
         out.push_str(",\"kind\":\"");
         json_escape(&self.kind, &mut out);
         out.push('"');
@@ -209,6 +219,7 @@ impl TraceEvent {
         let mut t_us = None;
         let mut node = None;
         let mut inc = None;
+        let mut job = 0u64;
         let mut kind = None;
         let mut fields = Vec::new();
         for (k, v) in pairs {
@@ -216,6 +227,7 @@ impl TraceEvent {
                 "t_us" => t_us = Some(v.parse::<u64>().ok()?),
                 "node" => node = Some(v.parse::<u32>().ok()?),
                 "inc" => inc = Some(v.parse::<u32>().ok()?),
+                "job" => job = v.parse::<u64>().ok()?,
                 "kind" => kind = Some(v),
                 _ => fields.push((k, v)),
             }
@@ -224,6 +236,7 @@ impl TraceEvent {
             t_us: t_us?,
             node: node?,
             incarnation: inc?,
+            job,
             kind: kind?,
             fields,
         })
@@ -386,6 +399,7 @@ impl Drop for TelemetryInner {
                     t_us: self.epoch_unix_us + self.epoch_instant.elapsed().as_micros() as u64,
                     node: self.node,
                     incarnation: self.incarnation,
+                    job: 0,
                     kind: "trace_overflow".to_string(),
                     fields: vec![("dropped".to_string(), dropped.to_string())],
                 });
@@ -412,12 +426,34 @@ impl Drop for TelemetryInner {
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<TelemetryInner>>,
+    /// Job stamp applied to every event emitted through this handle
+    /// (0 = pool-level). See [`Telemetry::for_job`].
+    job: u64,
 }
 
 impl Telemetry {
     /// The no-op handle: `emit` does nothing.
     pub fn disabled() -> Telemetry {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            job: 0,
+        }
+    }
+
+    /// A clone of this handle whose events carry the given job dimension:
+    /// same sink, same writer thread, same drop counter — only the
+    /// [`TraceEvent::job`] stamp differs. Service engines hold one
+    /// job-stamped clone per admitted job.
+    pub fn for_job(&self, job: u64) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            job,
+        }
+    }
+
+    /// The job stamp this handle applies (0 = pool-level).
+    pub fn job(&self) -> u64 {
+        self.job
     }
 
     /// An enabled handle writing JSONL to `out` with the default queue
@@ -464,6 +500,7 @@ impl Telemetry {
                 writer: Some(writer),
                 dropped: AtomicU64::new(0),
             })),
+            job: 0,
         }
     }
 
@@ -489,6 +526,7 @@ impl Telemetry {
             t_us: inner.epoch_unix_us + inner.epoch_instant.elapsed().as_micros() as u64,
             node: inner.node,
             incarnation: inner.incarnation,
+            job: self.job,
             kind: kind.to_string(),
             fields: fields
                 .iter()
@@ -551,6 +589,7 @@ mod tests {
             t_us: 1_755_000_000_123_456,
             node: 3,
             incarnation: 2,
+            job: 0,
             kind: "suspect".to_string(),
             fields: vec![
                 ("peer".to_string(), "7".to_string()),
@@ -558,6 +597,20 @@ mod tests {
             ],
         };
         let line = ev.to_jsonl();
+        assert!(!line.contains("\"job\""), "job 0 stays off the line");
+        assert_eq!(TraceEvent::parse_jsonl(&line), Some(ev));
+
+        // A job-scoped event carries its dimension through the round trip.
+        let ev = TraceEvent {
+            t_us: 17,
+            node: 1,
+            incarnation: 0,
+            job: 42,
+            kind: "job_done".to_string(),
+            fields: vec![],
+        };
+        let line = ev.to_jsonl();
+        assert!(line.contains("\"job\":42"), "{line}");
         assert_eq!(TraceEvent::parse_jsonl(&line), Some(ev));
     }
 
@@ -567,6 +620,7 @@ mod tests {
             t_us: 1,
             node: 0,
             incarnation: 0,
+            job: 0,
             kind: "k\u{1}\u{1f}".to_string(),
             fields: vec![("α".to_string(), "β\u{8}\u{c}".to_string())],
         };
@@ -597,6 +651,7 @@ mod tests {
             t_us: 9,
             node: 1,
             incarnation: 0,
+            job: 0,
             kind: "x".to_string(),
             fields: vec![("a".to_string(), "b".to_string())],
         }
@@ -660,6 +715,32 @@ mod tests {
         t.emit("anything", &[("k", "v".to_string())]);
         assert_eq!(t.events_dropped(), 0);
         assert_eq!(t.now_us(), 0);
+    }
+
+    #[test]
+    fn job_stamped_handles_share_the_sink() {
+        let buf = SharedBuf::default();
+        let t = Telemetry::to_writer(2, 0, Box::new(buf.clone()));
+        let a = t.for_job(7);
+        let b = t.for_job(9);
+        assert_eq!(t.job(), 0);
+        assert_eq!(a.job(), 7);
+        t.emit("pool_tick", &[]);
+        a.emit("job_admitted", &[]);
+        b.emit("job_admitted", &[]);
+        drop((a, b));
+        drop(t);
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse_jsonl(l).expect("parseable line"))
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].job, 0);
+        assert_eq!(events[1].job, 7);
+        assert_eq!(events[2].job, 9);
+        assert!(events.iter().all(|e| e.node == 2));
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! One node: a restorable [`NodeEngine`] driving a [`BnbProcess`] with real
-//! time and an arbitrary [`Transport`] (in-process channels or real
-//! sockets).
+//! One node, one job: the restorable [`NodeEngine`] — now a thin wrapper
+//! that admits a single [`crate::JobEngine`] (job [`JobId::DEFAULT`]) into
+//! a [`crate::ServiceEngine`] and runs it to completion.
 //!
 //! The engine is the unit of the node *lifecycle*: it can be constructed
 //! fresh, or restored from a [`Checkpoint`] + problem binding, and it can
@@ -11,21 +11,24 @@
 //! reject traffic from (or addressed to) a node's previous life.
 //! [`run_node`] remains as the one-shot convenience wrapper harnesses use
 //! when they want neither restore nor persistence.
+//!
+//! The pump itself — the timer wheel, the interleaving action loop, the
+//! phase clock, the checkpoint/metrics cadences — lives in
+//! [`crate::service`]: the single-job engine and the multi-job service
+//! run the *same* code, so everything the single-run regressions pin
+//! holds for service mode by construction.
 
+use crate::service::{JobEngine, ServiceEngine, ServiceOutcome};
 use crate::transport::{Envelope, Transport};
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::Receiver;
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{
-    Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, MembershipEvent,
-    MsgKind, NullSink, PEvent, PTimer, PhaseTimes, ProcMetrics, ProtocolConfig, Telemetry,
-    TimeCategory, TransportStats,
+    AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, JobId, NullSink, PhaseTimes,
+    ProcMetrics, ProtocolConfig, Telemetry, TransportStats,
 };
-use ftbb_des::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a node reports when its engine finishes.
 #[derive(Debug, Clone)]
@@ -55,7 +58,11 @@ pub struct MetricsSnapshot {
     pub id: u32,
     /// Incarnation of the reporting engine.
     pub incarnation: u32,
-    /// Snapshot sequence number within this life (0, 1, ...).
+    /// Which job this snapshot describes (0 — [`JobId::DEFAULT`] — on
+    /// the legacy single-run path). A service engine emits one snapshot
+    /// per admitted job each cadence tick.
+    pub job: u64,
+    /// Snapshot sequence number for this job within this life (0, 1, ...).
     pub seq: u64,
     /// Wall seconds since this engine started running.
     pub elapsed_s: f64,
@@ -70,37 +77,6 @@ pub struct MetricsSnapshot {
     pub trace_events_dropped: u64,
 }
 
-/// Which Figure-3 category handling a received message belongs to:
-/// reports and table gossips feed contraction; requests, grants, and
-/// denials are the load-balancing protocol; membership traffic is
-/// membership upkeep.
-fn msg_category(kind: MsgKind) -> TimeCategory {
-    match kind {
-        MsgKind::WorkRequest | MsgKind::WorkGrant | MsgKind::WorkDeny => TimeCategory::LoadBalance,
-        MsgKind::WorkReport | MsgKind::TableGossip => TimeCategory::Contract,
-        MsgKind::Membership => TimeCategory::Membership,
-    }
-}
-
-/// Which Figure-3 category a timer firing belongs to. The recovery fuse
-/// is charged to contraction: its expiry is what triggers complement
-/// recovery (§5.3.2).
-fn timer_category(timer: PTimer) -> TimeCategory {
-    match timer {
-        PTimer::ReportFlush | PTimer::TableGossip => TimeCategory::Communicate,
-        PTimer::LbTimeout(_) => TimeCategory::LoadBalance,
-        PTimer::RecoveryFuse(_) => TimeCategory::Contract,
-        PTimer::MembershipTick => TimeCategory::Membership,
-    }
-}
-
-/// Charge the wall time since `*mark` to `cat` and advance the mark.
-fn charge(phase: &mut PhaseTimes, mark: &mut Instant, cat: TimeCategory) {
-    let now = Instant::now();
-    phase.add(cat, now.duration_since(*mark).as_secs_f64());
-    *mark = now;
-}
-
 /// Crash switch handed to the failure injector.
 #[derive(Debug, Clone, Default)]
 pub struct CrashSwitch(Arc<AtomicBool>);
@@ -111,14 +87,17 @@ impl CrashSwitch {
         self.0.store(true, Ordering::Release);
     }
 
-    fn is_crashed(&self) -> bool {
+    pub(crate) fn is_crashed(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
 }
 
-/// The node state machine between the protocol core and the harness: the
-/// timer wheel, the interleaving action pump, and — since the lifecycle
-/// refactor — the checkpoint/restore surface.
+/// Consumer installed via [`NodeEngine::set_metrics_reporter`]; receives a
+/// [`MetricsSnapshot`] on every cadence tick and once at clean exit.
+pub type MetricsReporter = Box<dyn FnMut(&MetricsSnapshot) + Send>;
+
+/// The single-job node engine: one [`crate::JobEngine`] run to completion
+/// by a dedicated [`crate::ServiceEngine`].
 ///
 /// An engine is either *fresh* ([`NodeEngine::new`], incarnation 0) or
 /// *restored* ([`NodeEngine::restore`], next incarnation, state and
@@ -127,61 +106,33 @@ impl CrashSwitch {
 /// additionally emits periodic snapshots a later incarnation can restore
 /// from.
 pub struct NodeEngine<E: Expander> {
-    core: BnbProcess,
-    expander: E,
+    job: JobEngine<E>,
     incarnation: u32,
-    /// The materialized workload this engine is solving, when the
-    /// deployment binds one — embedded in emitted checkpoints so restore
-    /// needs no problem spec and no announce frame. Shared: snapshots on
-    /// a cadence must never deep-copy the workload.
-    problem: Option<Arc<AnyInstance>>,
-    /// Pending timers ordered by deadline; ties broken by arming order.
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    timer_seq: u64,
-    /// Actions awaiting execution, in emission order. They are executed
-    /// one per loop iteration — instead of burning the whole
-    /// `StartWork -> WorkDone -> StartWork …` chain in one go — so the
-    /// inbox and the timer wheel interleave with computation: a node busy
-    /// expanding its pool still answers work requests between expansions,
-    /// exactly as the paper's discrete-event model does. (A wave-draining
-    /// loop here used to starve the inbox until the pool was empty, which
-    /// is why the root solved most of the tree alone while its peers
-    /// starved into recovery.)
-    pending: VecDeque<Action>,
-    halted: bool,
-    /// Structured trace sink; [`Telemetry::disabled`] (a no-op) unless the
-    /// deployment installs one.
     telemetry: Telemetry,
-    /// Periodic metrics cadence + consumer, when installed.
     metrics_every: Option<Duration>,
     metrics_out: Option<MetricsReporter>,
 }
-
-/// Consumer installed via [`NodeEngine::set_metrics_reporter`]; receives a
-/// [`MetricsSnapshot`] on every cadence tick and once at clean exit.
-pub type MetricsReporter = Box<dyn FnMut(&MetricsSnapshot) + Send>;
 
 impl NodeEngine<AnyExpander> {
     /// Restore an engine from a checkpoint carrying a problem binding:
     /// the durable protocol state comes back via [`BnbProcess::restore`],
     /// the expander is rebuilt from the embedded instance, and the engine
-    /// starts its next life (`checkpoint.incarnation + 1`).
+    /// starts its next life (`checkpoint.incarnation + 1`). The job scope
+    /// is preserved from the checkpoint ([`JobId::DEFAULT`] for
+    /// snapshots written by single-run deployments).
     pub fn restore(
         chk: &Checkpoint,
         cfg: ProtocolConfig,
         rng_seed: u64,
     ) -> Result<NodeEngine<AnyExpander>, String> {
-        let problem = chk
-            .problem
-            .clone()
-            .ok_or("checkpoint carries no problem binding; cannot rebuild the expander")?;
-        let core = BnbProcess::restore(chk, cfg, rng_seed);
-        // One deep copy per restore (the expander owns its instance);
-        // the binding itself stays shared for the engine's lifetime.
-        let mut engine = NodeEngine::new(core, AnyExpander::new((*problem).clone()));
-        engine.incarnation = chk.incarnation + 1;
-        engine.problem = Some(problem);
-        Ok(engine)
+        let job = JobEngine::restore(chk, cfg, rng_seed)?;
+        Ok(NodeEngine {
+            job,
+            incarnation: chk.incarnation + 1,
+            telemetry: Telemetry::disabled(),
+            metrics_every: None,
+            metrics_out: None,
+        })
     }
 }
 
@@ -190,14 +141,8 @@ impl<E: Expander> NodeEngine<E> {
     /// see [`NodeEngine::restore`] for the usual path) process.
     pub fn new(core: BnbProcess, expander: E) -> NodeEngine<E> {
         NodeEngine {
-            core,
-            expander,
+            job: JobEngine::new(JobId::DEFAULT, core, expander),
             incarnation: 0,
-            problem: None,
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
-            pending: VecDeque::new(),
-            halted: false,
             telemetry: Telemetry::disabled(),
             metrics_every: None,
             metrics_out: None,
@@ -207,7 +152,7 @@ impl<E: Expander> NodeEngine<E> {
     /// Attach the materialized workload, so emitted checkpoints are
     /// self-sufficient (restorable without a problem spec).
     pub fn bind_problem(&mut self, problem: impl Into<Arc<AnyInstance>>) {
-        self.problem = Some(problem.into());
+        self.job.bind_problem(problem);
     }
 
     /// Install a structured trace sink. Engine lifecycle transitions —
@@ -234,9 +179,7 @@ impl<E: Expander> NodeEngine<E> {
     /// Snapshot the engine's durable state, tagged with its incarnation
     /// and problem binding.
     pub fn checkpoint(&self) -> Checkpoint {
-        self.core
-            .checkpoint()
-            .bind(self.incarnation, self.problem.clone())
+        self.job.checkpoint(self.incarnation)
     }
 
     /// Drive the engine until termination or crash, with no persistence.
@@ -263,7 +206,7 @@ impl<E: Expander> NodeEngine<E> {
     /// `ftbb-wire`'s TCP mesh), as long as `inbox` is the receiving end
     /// the transport routes this node's messages to.
     pub fn run_with_sink(
-        mut self,
+        self,
         transport: &dyn Transport,
         inbox: Receiver<Envelope>,
         crash: CrashSwitch,
@@ -271,260 +214,40 @@ impl<E: Expander> NodeEngine<E> {
         sink: &mut dyn CheckpointSink,
         checkpoint_every: Option<Duration>,
     ) -> Option<NodeOutcome> {
-        let id = self.core.id();
-        let epoch = Instant::now();
-        let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
-
-        // The Figure-3 phase clock: every slice of wall time between two
-        // marks is charged to exactly one category, so the per-category
-        // sums reconcile with elapsed wall time.
-        let mut phase = PhaseTimes::default();
-        let mut mark = epoch;
-        let mut last_recoveries = self.core.metrics().recoveries;
-
-        self.telemetry.emit(
-            "engine_start",
-            &[("finished_already", self.core.is_terminated().to_string())],
-        );
-        self.pending
-            .extend(self.core.handle(PEvent::Start, now(epoch)));
-        charge(&mut phase, &mut mark, TimeCategory::Expand);
-        // A process restored from a post-termination checkpoint is done
-        // already; it emitted its Halt in a previous life and will not
-        // emit another — without this, it would idle to the deadline.
-        self.halted |= self.core.is_terminated();
-        // An immediate snapshot bounds the restart hole: even a node
-        // killed moments after (re)starting leaves a restorable file.
-        let mut last_checkpoint = Instant::now();
-        if checkpoint_every.is_some() {
-            self.store_snapshot(sink);
-            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+        let id = self.job.core.id();
+        let mut service: ServiceEngine<E> = ServiceEngine::new(id, self.incarnation);
+        service.set_telemetry(self.telemetry);
+        if let (Some(every), Some(out)) = (self.metrics_every, self.metrics_out) {
+            service.set_metrics_reporter(every, out);
         }
-        let mut last_metrics = Instant::now();
-        let mut metrics_seq = 0u64;
-
-        loop {
-            if crash.is_crashed() {
-                return None;
-            }
-            if epoch.elapsed() > hard_deadline {
-                // Safety valve for tests: report as non-terminated.
-                break;
-            }
-
-            if let Some(action) = self.pending.pop_front() {
-                match action {
-                    Action::Send { to, msg } => {
-                        transport.send(id, to, msg);
-                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
-                    }
-                    Action::StartWork { code, seq } => {
-                        // Real computation happens here, inline.
-                        let expansion = self.expander.expand(&code);
-                        self.pending.extend(
-                            self.core
-                                .handle(PEvent::WorkDone { seq, expansion }, now(epoch)),
-                        );
-                        charge(&mut phase, &mut mark, TimeCategory::Expand);
-                    }
-                    Action::SetTimer { delay_s, timer } => {
-                        let at = now(epoch) + SimTime::from_secs_f64(delay_s);
-                        self.timers.push(Reverse(TimerEntry {
-                            at,
-                            seq: self.timer_seq,
-                            timer,
-                        }));
-                        self.timer_seq += 1;
-                        charge(&mut phase, &mut mark, timer_category(timer));
-                    }
-                    Action::Halt => {
-                        self.halted = true;
-                        self.telemetry.emit(
-                            "halt",
-                            &[("incumbent", format!("{:?}", self.core.incumbent()))],
-                        );
-                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
-                    }
-                }
-                if !self.halted {
-                    // Between actions, fold in whatever has arrived —
-                    // without blocking; local work keeps priority over
-                    // idling.
-                    while let Ok(env) = inbox.try_recv() {
-                        let cat = msg_category(env.msg.kind());
-                        self.pending.extend(self.core.handle(
-                            PEvent::Recv {
-                                from: env.from,
-                                msg: env.msg,
-                            },
-                            now(epoch),
-                        ));
-                        charge(&mut phase, &mut mark, cat);
-                    }
-                }
-            } else if self.halted {
-                break;
-            } else {
-                // Idle: block on the inbox until the next timer deadline.
-                let wait = match self.timers.peek() {
-                    Some(Reverse(entry)) => {
-                        let t = now(epoch);
-                        if entry.at <= t {
-                            Duration::ZERO
-                        } else {
-                            Duration::from_secs_f64((entry.at - t).as_secs_f64())
-                        }
-                    }
-                    None => Duration::from_millis(5),
-                };
-                match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
-                    Ok(env) => {
-                        // Split the blocking receive: the wait itself was
-                        // idle time; handling the message is charged to
-                        // the message's category.
-                        charge(&mut phase, &mut mark, TimeCategory::Idle);
-                        let cat = msg_category(env.msg.kind());
-                        self.pending.extend(self.core.handle(
-                            PEvent::Recv {
-                                from: env.from,
-                                msg: env.msg,
-                            },
-                            now(epoch),
-                        ));
-                        charge(&mut phase, &mut mark, cat);
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        charge(&mut phase, &mut mark, TimeCategory::Idle);
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-
-            // Fire due timers. After a halt only the remaining actions are
-            // flushed (final sends); no new events are admitted.
-            if !self.halted {
-                loop {
-                    let due = matches!(self.timers.peek(), Some(Reverse(entry)) if entry.at <= now(epoch));
-                    if !due {
-                        break;
-                    }
-                    let Reverse(entry) = self.timers.pop().expect("peeked");
-                    self.pending
-                        .extend(self.core.handle(PEvent::Timer(entry.timer), now(epoch)));
-                    charge(&mut phase, &mut mark, timer_category(entry.timer));
-                }
-            }
-
-            // Surface membership transitions as typed trace events: the
-            // protocol core already dropped suspected peers from its
-            // load-balancing targets and made their unreported work
-            // recovery-eligible; the engine makes the transition visible
-            // to the operator.
-            for event in self.core.take_membership_events() {
-                match event {
-                    MembershipEvent::Suspected(peer) => self
-                        .telemetry
-                        .emit("suspect", &[("peer", peer.to_string())]),
-                    MembershipEvent::Forgotten(peer) => {
-                        self.telemetry.emit("forget", &[("peer", peer.to_string())])
-                    }
-                }
-            }
-            // Complement recoveries happen inside the core; surface each
-            // increment as a trace event so cluster timelines show repair
-            // following failure.
-            let recoveries = self.core.metrics().recoveries;
-            if recoveries > last_recoveries {
-                self.telemetry
-                    .emit("recovery", &[("total", recoveries.to_string())]);
-                last_recoveries = recoveries;
-            }
-            charge(&mut phase, &mut mark, TimeCategory::Membership);
-
-            if let Some(every) = checkpoint_every {
-                if last_checkpoint.elapsed() >= every {
-                    self.store_snapshot(sink);
-                    last_checkpoint = Instant::now();
-                    charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
-                }
-            }
-
-            if let Some(every) = self.metrics_every {
-                if last_metrics.elapsed() >= every {
-                    self.report_metrics(transport, epoch, &phase, metrics_seq);
-                    metrics_seq += 1;
-                    last_metrics = Instant::now();
-                    charge(&mut phase, &mut mark, TimeCategory::Communicate);
-                }
-            }
-        }
-
-        // A final snapshot at clean exit, so a terminated node's file
-        // records the finished table (restores of it stay terminated).
-        if checkpoint_every.is_some() {
-            self.store_snapshot(sink);
-            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
-        }
-        // And a final metrics snapshot, so even a short-lived node leaves
-        // at least one interval line.
-        if self.metrics_every.is_some() {
-            self.report_metrics(transport, epoch, &phase, metrics_seq);
-        }
-        self.telemetry.emit(
-            "engine_exit",
-            &[
-                ("terminated", self.core.is_terminated().to_string()),
-                ("expanded", self.core.metrics().expanded.to_string()),
-            ],
-        );
-
-        Some(NodeOutcome {
-            id,
-            incarnation: self.incarnation,
-            terminated: self.core.is_terminated(),
-            incumbent: self.core.incumbent(),
-            metrics: self.core.metrics().clone(),
-            phase,
-            lifetime: epoch.elapsed(),
-        })
+        service.admit(self.job);
+        let outcome = service.run_with_sink(
+            transport,
+            inbox,
+            crash,
+            hard_deadline,
+            sink,
+            checkpoint_every,
+        )?;
+        Some(adapt_outcome(outcome))
     }
+}
 
-    /// Build a [`MetricsSnapshot`] of the running engine and hand it to
-    /// the installed reporter.
-    fn report_metrics(
-        &mut self,
-        transport: &dyn Transport,
-        epoch: Instant,
-        phase: &PhaseTimes,
-        seq: u64,
-    ) {
-        let snap = MetricsSnapshot {
-            id: self.core.id(),
-            incarnation: self.incarnation,
-            seq,
-            elapsed_s: epoch.elapsed().as_secs_f64(),
-            phase: *phase,
-            metrics: self.core.metrics().clone(),
-            transport: transport.stats(),
-            trace_events_dropped: self.telemetry.events_dropped(),
-        };
-        if let Some(out) = self.metrics_out.as_mut() {
-            out(&snap);
-        }
-    }
-
-    fn store_snapshot(&self, sink: &mut dyn CheckpointSink) {
-        if let Err(e) = sink.store(&self.checkpoint()) {
-            self.telemetry
-                .emit("checkpoint_error", &[("error", e.clone())]);
-            eprintln!(
-                "node {} (incarnation {}): checkpoint store failed: {e}",
-                self.core.id(),
-                self.incarnation
-            );
-        } else {
-            self.telemetry.emit("checkpoint", &[]);
-        }
+/// Collapse a one-job [`ServiceOutcome`] into the legacy [`NodeOutcome`].
+fn adapt_outcome(outcome: ServiceOutcome) -> NodeOutcome {
+    let job = outcome
+        .jobs
+        .into_iter()
+        .next()
+        .expect("single-job service reports exactly one job");
+    NodeOutcome {
+        id: outcome.id,
+        incarnation: outcome.incarnation,
+        terminated: job.terminated,
+        incumbent: job.incumbent,
+        metrics: job.metrics,
+        phase: outcome.phase,
+        lifetime: outcome.lifetime,
     }
 }
 
@@ -543,136 +266,11 @@ pub fn run_node<E: Expander>(
     NodeEngine::new(core, expander).run(transport, inbox, crash, hard_deadline)
 }
 
-/// A pending timer in the heap: ordered by `(at, priority, seq)` — and
-/// *equal* by that key too, so `Ord`, `PartialOrd`, `PartialEq`, and `Eq`
-/// agree. The deadline comes first; equal deadlines fire in
-/// [`PTimer::priority`] order (the single tie-break table core defines,
-/// so the runtime cannot drift from the simulator's ordering); `seq` is
-/// unique per entry, which keeps the order total — FIFO within one
-/// priority class — without consulting the rest of the payload.
-#[derive(Debug, Clone, Copy)]
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    timer: PTimer,
-}
-
-impl TimerEntry {
-    fn key(&self) -> (SimTime, u8, u64) {
-        (self.at, self.timer.priority(), self.seq)
-    }
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-
-impl Eq for TimerEntry {}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::transport::Mesh;
     use ftbb_bnb::{solve, AnyInstance, Correlation, KnapsackInstance, SolveConfig};
-
-    #[test]
-    fn timer_entries_compare_consistently() {
-        // Same key (deadline, priority class, sequence) — payload
-        // differences inside one class don't exist for PTimer, so equal
-        // keys mean genuinely interchangeable entries: equal AND
-        // Ordering::Equal, the consistency the old always-Equal Ord
-        // violated against a payload-derived PartialEq.
-        let a = TimerEntry {
-            at: SimTime::from_millis(5),
-            seq: 1,
-            timer: PTimer::LbTimeout(3),
-        };
-        let b = TimerEntry {
-            at: SimTime::from_millis(5),
-            seq: 1,
-            timer: PTimer::LbTimeout(9),
-        };
-        assert_eq!(a, b);
-        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
-
-        // Distinct keys order by deadline, then the core-defined timer
-        // priority, then arming sequence — and are never equal.
-        let later = TimerEntry {
-            at: SimTime::from_millis(6),
-            seq: 0,
-            timer: PTimer::LbTimeout(3),
-        };
-        assert!(a < later);
-        assert_ne!(a, later);
-        let same_time_later_seq = TimerEntry { seq: 2, ..a };
-        assert!(a < same_time_later_seq);
-        assert_ne!(a, same_time_later_seq);
-        // A due membership tick outranks an equal-deadline report flush
-        // regardless of which was armed first (the old magic (at, seq)
-        // key let arming order decide; the rank now comes from
-        // PTimer::priority, core's single tie-break table).
-        let flush_armed_first = TimerEntry {
-            at: SimTime::from_millis(5),
-            seq: 0,
-            timer: PTimer::ReportFlush,
-        };
-        let tick_armed_later = TimerEntry {
-            at: SimTime::from_millis(5),
-            seq: 7,
-            timer: PTimer::MembershipTick,
-        };
-        assert!(tick_armed_later < flush_armed_first);
-    }
-
-    #[test]
-    fn heap_pops_timers_in_deadline_then_priority_order() {
-        let mut heap: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
-        for (seq, (ms, timer)) in [
-            (9, PTimer::TableGossip),
-            (3, PTimer::ReportFlush),
-            (3, PTimer::MembershipTick),
-            (7, PTimer::LbTimeout(1)),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            heap.push(Reverse(TimerEntry {
-                at: SimTime::from_millis(ms),
-                seq: seq as u64,
-                timer,
-            }));
-        }
-        let mut fired = Vec::new();
-        while let Some(Reverse(entry)) = heap.pop() {
-            fired.push((entry.at, entry.seq, entry.timer));
-        }
-        // At the 3 ms tie, the membership tick (priority 0) fires before
-        // the report flush (priority 3) even though the flush was armed
-        // first.
-        assert_eq!(
-            fired,
-            vec![
-                (SimTime::from_millis(3), 2, PTimer::MembershipTick),
-                (SimTime::from_millis(3), 1, PTimer::ReportFlush),
-                (SimTime::from_millis(7), 3, PTimer::LbTimeout(1)),
-                (SimTime::from_millis(9), 0, PTimer::TableGossip),
-            ]
-        );
-    }
 
     /// A sink that remembers every snapshot it was handed.
     #[derive(Default)]
@@ -733,11 +331,13 @@ mod tests {
         assert_eq!(outcome.incarnation, 0);
         assert_eq!(Some(outcome.incumbent), reference.best);
 
-        // At least the startup and exit snapshots, all bound and all
-        // restorable (encode/decode round trip).
+        // At least the startup and exit snapshots, all bound, all scoped
+        // to the default job, and all restorable (encode/decode round
+        // trip).
         assert!(sink.0.len() >= 2, "{} snapshots", sink.0.len());
         for chk in &sink.0 {
             assert_eq!(chk.incarnation, 0);
+            assert_eq!(chk.job, JobId::DEFAULT);
             assert_eq!(chk.problem.as_deref(), Some(&instance));
             assert_eq!(&Checkpoint::decode(&chk.encode()).unwrap(), chk);
         }
@@ -794,7 +394,7 @@ mod tests {
 
     #[test]
     fn phase_clock_reconciles_and_telemetry_records_lifecycle() {
-        use ftbb_core::TraceEvent;
+        use ftbb_core::{Telemetry, TraceEvent};
         use std::io::Write;
         use std::sync::Mutex;
 
@@ -845,11 +445,13 @@ mod tests {
         // A solving single node does real expansion work.
         assert!(outcome.phase.expand_s > 0.0);
 
-        // Interval snapshots arrived, ordered, and each reconciles too.
+        // Interval snapshots arrived, ordered, job-scoped to the default
+        // job, and each reconciles too.
         let snaps = snaps.lock().unwrap();
         assert!(!snaps.is_empty());
         for (i, s) in snaps.iter().enumerate() {
             assert_eq!(s.seq, i as u64);
+            assert_eq!(s.job, 0, "single-run snapshots carry the default job");
             assert!(
                 (s.phase.total() - s.elapsed_s).abs() <= 0.1 * s.elapsed_s.max(1e-3),
                 "snapshot {i}: {} vs {}",

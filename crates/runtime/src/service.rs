@@ -1,0 +1,1178 @@
+//! The multi-job solve service: one pump, one transport, N jobs.
+//!
+//! The service refactor splits the old monolithic `NodeEngine` in two:
+//!
+//! * [`JobEngine`] — the thin per-job state machine (admitted →
+//!   announced → solving → halted): one [`BnbProcess`], one expander,
+//!   one timer wheel, one pending-action queue, restorable from a
+//!   job-scoped [`Checkpoint`].
+//! * [`ServiceEngine`] — owns the event pump. It multiplexes any number
+//!   of concurrent [`JobEngine`]s over **one** inbox, one phase clock,
+//!   and one transport: each loop iteration executes one pending action
+//!   from the next job in round-robin order, folds inbound envelopes to
+//!   the engine their [`JobId`] stamp names, fires every job's due
+//!   timers, and runs the checkpoint/metrics cadences per job.
+//!
+//! The legacy single-run `NodeEngine` is now a thin wrapper that admits
+//! exactly one job ([`JobId::DEFAULT`]) into a [`ServiceEngine`] and
+//! adapts the outcome — so the 1-job pump *is* the N-job pump, and
+//! everything the single-run regressions pin (phase reconciliation,
+//! restored-terminated fast exit, snapshot cadence) holds for the
+//! service by construction.
+//!
+//! In daemon mode ([`ServiceEngine::daemon`]) the pump outlives its
+//! jobs: new [`JobEngine`]s stream in over an admission channel while
+//! the pump runs, completed jobs are reported through [`ServiceHooks`]
+//! (admission, incumbent improvements, completion), and the engine exits
+//! only at its deadline. Envelopes for jobs not yet admitted are stashed
+//! (bounded) and replayed on admission, so job-announce races with
+//! protocol traffic lose nothing.
+
+use crate::node::{CrashSwitch, MetricsReporter, MetricsSnapshot};
+use crate::transport::{Envelope, Transport};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use ftbb_bnb::AnyInstance;
+use ftbb_core::{
+    Action, AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, JobId, MembershipEvent,
+    MsgKind, NullSink, PEvent, PTimer, PhaseTimes, ProcMetrics, ProtocolConfig, Telemetry,
+    TimeCategory,
+};
+use ftbb_des::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bound on envelopes stashed per not-yet-admitted job. Traffic for a
+/// job can outrun its admission (the announce frame races work grants);
+/// everything within the bound is replayed when the job is admitted,
+/// anything beyond is dropped — the protocol's loss tolerance covers it.
+pub const JOB_STASH_CAP: usize = 256;
+
+/// Which Figure-3 category handling a received message belongs to:
+/// reports and table gossips feed contraction; requests, grants, and
+/// denials are the load-balancing protocol; membership traffic is
+/// membership upkeep.
+pub(crate) fn msg_category(kind: MsgKind) -> TimeCategory {
+    match kind {
+        MsgKind::WorkRequest | MsgKind::WorkGrant | MsgKind::WorkDeny => TimeCategory::LoadBalance,
+        MsgKind::WorkReport | MsgKind::TableGossip => TimeCategory::Contract,
+        MsgKind::Membership => TimeCategory::Membership,
+    }
+}
+
+/// Which Figure-3 category a timer firing belongs to. The recovery fuse
+/// is charged to contraction: its expiry is what triggers complement
+/// recovery (§5.3.2).
+pub(crate) fn timer_category(timer: PTimer) -> TimeCategory {
+    match timer {
+        PTimer::ReportFlush | PTimer::TableGossip => TimeCategory::Communicate,
+        PTimer::LbTimeout(_) => TimeCategory::LoadBalance,
+        PTimer::RecoveryFuse(_) => TimeCategory::Contract,
+        PTimer::MembershipTick => TimeCategory::Membership,
+    }
+}
+
+/// Charge the wall time since `*mark` to `cat` and advance the mark.
+pub(crate) fn charge(phase: &mut PhaseTimes, mark: &mut Instant, cat: TimeCategory) {
+    let now = Instant::now();
+    phase.add(cat, now.duration_since(*mark).as_secs_f64());
+    *mark = now;
+}
+
+/// A pending timer in a job's heap: ordered by `(at, priority, seq)` —
+/// and *equal* by that key too, so `Ord`, `PartialOrd`, `PartialEq`, and
+/// `Eq` agree. The deadline comes first; equal deadlines fire in
+/// [`PTimer::priority`] order (the single tie-break table core defines,
+/// so the runtime cannot drift from the simulator's ordering); `seq` is
+/// unique per entry, which keeps the order total — FIFO within one
+/// priority class — without consulting the rest of the payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimerEntry {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) timer: PTimer,
+}
+
+impl TimerEntry {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.at, self.timer.priority(), self.seq)
+    }
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// What one job reports when it completes (or when the service exits
+/// with the job still unfinished — `terminated: false`).
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Reporting node id.
+    pub id: u32,
+    /// Incarnation of the reporting service engine.
+    pub incarnation: u32,
+    /// Did the protocol detect termination for this job?
+    pub terminated: bool,
+    /// The job's final incumbent on this node.
+    pub incumbent: f64,
+    /// The job's protocol counters on this node.
+    pub metrics: ProcMetrics,
+}
+
+/// What a service engine reports when its pump exits.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// Node id.
+    pub id: u32,
+    /// Which life of the node produced this outcome.
+    pub incarnation: u32,
+    /// Per-job outcomes, in admission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Figure-3 wall-time breakdown of this life (service-wide: the pump
+    /// is shared, so the phase clock is too).
+    pub phase: PhaseTimes,
+    /// Wall-clock lifetime.
+    pub lifetime: Duration,
+}
+
+/// Hook fired when a job completes (see [`ServiceHooks::on_complete`]).
+pub type CompleteHook = Box<dyn FnMut(&JobOutcome) + Send>;
+
+/// Callbacks a deployment installs on a [`ServiceEngine`]. All optional;
+/// they fire on the pump thread, so keep them cheap (hand results to a
+/// channel or a socket writer, don't compute).
+#[derive(Default)]
+pub struct ServiceHooks {
+    /// A job was admitted and started.
+    pub on_admitted: Option<Box<dyn FnMut(JobId) + Send>>,
+    /// A job's incumbent improved (streamed to submitters).
+    pub on_incumbent: Option<Box<dyn FnMut(JobId, f64) + Send>>,
+    /// A job completed (termination detected), or the service exited
+    /// with the job unfinished (`terminated: false`).
+    pub on_complete: Option<CompleteHook>,
+}
+
+/// The thin per-job engine: one protocol process, one expander, one
+/// timer wheel, one action queue. Lifecycle: admitted (constructed or
+/// restored) → started by the service pump → solving → halted.
+pub struct JobEngine<E: Expander> {
+    job: JobId,
+    pub(crate) core: BnbProcess,
+    expander: E,
+    /// The materialized workload, embedded in emitted checkpoints so a
+    /// restore needs no problem spec and no announce frame.
+    problem: Option<Arc<AnyInstance>>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    pending: VecDeque<Action>,
+    halted: bool,
+    /// Job-stamped telemetry clone, installed at admission.
+    telemetry: Telemetry,
+    /// Outcome already delivered through the hooks.
+    reported: bool,
+    last_recoveries: u64,
+    last_incumbent: f64,
+    metrics_seq: u64,
+}
+
+impl JobEngine<AnyExpander> {
+    /// Restore a job engine from a job-scoped checkpoint carrying a
+    /// problem binding. The job id comes from the checkpoint; the
+    /// incarnation is the *service's* (per node life, not per job).
+    pub fn restore(
+        chk: &Checkpoint,
+        cfg: ProtocolConfig,
+        rng_seed: u64,
+    ) -> Result<JobEngine<AnyExpander>, String> {
+        let problem = chk
+            .problem
+            .clone()
+            .ok_or("checkpoint carries no problem binding; cannot rebuild the expander")?;
+        let core = BnbProcess::restore(chk, cfg, rng_seed);
+        // One deep copy per restore (the expander owns its instance);
+        // the binding itself stays shared for the engine's lifetime.
+        let mut engine = JobEngine::new(chk.job, core, AnyExpander::new((*problem).clone()));
+        engine.problem = Some(problem);
+        Ok(engine)
+    }
+}
+
+impl<E: Expander> JobEngine<E> {
+    /// A fresh job engine around an unstarted (or restored) process.
+    pub fn new(job: JobId, core: BnbProcess, expander: E) -> JobEngine<E> {
+        JobEngine {
+            job,
+            core,
+            expander,
+            problem: None,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            pending: VecDeque::new(),
+            halted: false,
+            telemetry: Telemetry::disabled(),
+            reported: false,
+            last_recoveries: 0,
+            last_incumbent: f64::INFINITY,
+            metrics_seq: 0,
+        }
+    }
+
+    /// Attach the materialized workload, so emitted checkpoints are
+    /// self-sufficient (restorable without a problem spec).
+    pub fn bind_problem(&mut self, problem: impl Into<Arc<AnyInstance>>) {
+        self.problem = Some(problem.into());
+    }
+
+    /// This engine's job.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// Has the job halted (terminated, with its final actions flushed)?
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Did the protocol detect termination for this job?
+    pub fn terminated(&self) -> bool {
+        self.core.is_terminated()
+    }
+
+    /// The job's current incumbent on this node.
+    pub fn incumbent(&self) -> f64 {
+        self.core.incumbent()
+    }
+
+    /// Snapshot the job's durable state, scoped to its job id and tagged
+    /// with the service's incarnation and the problem binding.
+    pub fn checkpoint(&self, incarnation: u32) -> Checkpoint {
+        self.core
+            .checkpoint()
+            .bind(incarnation, self.problem.clone())
+            .with_job(self.job)
+    }
+
+    /// Handle the protocol `Start` event (the admitted → solving
+    /// transition). A process restored from a post-termination
+    /// checkpoint is done already; it emitted its Halt in a previous
+    /// life and will not emit another.
+    fn start(&mut self, t: SimTime) {
+        self.pending.extend(self.core.handle(PEvent::Start, t));
+        self.halted |= self.core.is_terminated();
+        self.last_incumbent = self.core.incumbent();
+        self.last_recoveries = self.core.metrics().recoveries;
+    }
+
+    fn deliver(&mut self, from: u32, msg: ftbb_core::Msg, t: SimTime) {
+        self.pending
+            .extend(self.core.handle(PEvent::Recv { from, msg }, t));
+    }
+
+    fn outcome(&self, id: u32, incarnation: u32) -> JobOutcome {
+        JobOutcome {
+            job: self.job,
+            id,
+            incarnation,
+            terminated: self.core.is_terminated(),
+            incumbent: self.core.incumbent(),
+            metrics: self.core.metrics().clone(),
+        }
+    }
+}
+
+/// The multi-job pump: owns the inbox, the phase clock, and a set of
+/// [`JobEngine`]s it schedules round-robin — one pending action per loop
+/// iteration, so jobs interleave with each other exactly as computation
+/// interleaves with communication inside one job.
+pub struct ServiceEngine<E: Expander> {
+    id: u32,
+    incarnation: u32,
+    jobs: Vec<JobEngine<E>>,
+    cursor: usize,
+    telemetry: Telemetry,
+    metrics_every: Option<Duration>,
+    metrics_out: Option<MetricsReporter>,
+    hooks: ServiceHooks,
+    admissions: Option<Receiver<JobEngine<E>>>,
+    daemon: bool,
+    stash: HashMap<JobId, VecDeque<Envelope>>,
+}
+
+impl<E: Expander> ServiceEngine<E> {
+    /// A service engine for node `id`, life `incarnation`, with no jobs
+    /// admitted yet.
+    pub fn new(id: u32, incarnation: u32) -> ServiceEngine<E> {
+        ServiceEngine {
+            id,
+            incarnation,
+            jobs: Vec::new(),
+            cursor: 0,
+            telemetry: Telemetry::disabled(),
+            metrics_every: None,
+            metrics_out: None,
+            hooks: ServiceHooks::default(),
+            admissions: None,
+            daemon: false,
+            stash: HashMap::new(),
+        }
+    }
+
+    /// Install a structured trace sink; per-job events are emitted
+    /// through job-stamped clones ([`Telemetry::for_job`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Install a periodic metrics reporter: every `every` of wall time
+    /// (and once at exit), `out` receives one job-scoped
+    /// [`MetricsSnapshot`] per admitted job.
+    pub fn set_metrics_reporter(&mut self, every: Duration, out: MetricsReporter) {
+        self.metrics_every = Some(every);
+        self.metrics_out = Some(out);
+    }
+
+    /// Install lifecycle callbacks.
+    pub fn set_hooks(&mut self, hooks: ServiceHooks) {
+        self.hooks = hooks;
+    }
+
+    /// Install the live admission channel: [`JobEngine`]s received on it
+    /// while the pump runs are admitted and started mid-flight.
+    pub fn set_admissions(&mut self, rx: Receiver<JobEngine<E>>) {
+        self.admissions = Some(rx);
+    }
+
+    /// Daemon mode: run to the deadline even when every admitted job has
+    /// completed (the pool is long-lived; jobs stream in). Off by
+    /// default — the single-run path exits when its job halts.
+    pub fn daemon(&mut self, on: bool) {
+        self.daemon = on;
+    }
+
+    /// Admit a job before the pump starts. (Mid-flight admission goes
+    /// through [`ServiceEngine::set_admissions`].)
+    pub fn admit(&mut self, engine: JobEngine<E>) {
+        debug_assert_eq!(engine.core.id(), self.id, "job engine belongs to this node");
+        self.jobs.push(engine);
+    }
+
+    /// Number of admitted jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Drive the pump with no persistence.
+    pub fn run(
+        self,
+        transport: &dyn Transport,
+        inbox: Receiver<Envelope>,
+        crash: CrashSwitch,
+        hard_deadline: Duration,
+    ) -> Option<ServiceOutcome> {
+        self.run_with_sink(transport, inbox, crash, hard_deadline, &mut NullSink, None)
+    }
+
+    /// Drive the pump until every job halts (or, in daemon mode, until
+    /// the deadline), emitting per-job snapshots through `sink` at each
+    /// job's admission, every `checkpoint_every`, and at each job's
+    /// completion. Returns `None` if the node was crashed — crashed
+    /// nodes report nothing.
+    pub fn run_with_sink(
+        mut self,
+        transport: &dyn Transport,
+        inbox: Receiver<Envelope>,
+        crash: CrashSwitch,
+        hard_deadline: Duration,
+        sink: &mut dyn CheckpointSink,
+        checkpoint_every: Option<Duration>,
+    ) -> Option<ServiceOutcome> {
+        let id = self.id;
+        let epoch = Instant::now();
+        let now = |epoch: Instant| SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
+
+        // The Figure-3 phase clock: every slice of wall time between two
+        // marks is charged to exactly one category, so the per-category
+        // sums reconcile with elapsed wall time. One clock for the whole
+        // service — the pump is shared, so its time is.
+        let mut phase = PhaseTimes::default();
+        let mut mark = epoch;
+
+        let finished_already =
+            !self.jobs.is_empty() && self.jobs.iter().all(|j| j.core.is_terminated());
+        self.telemetry.emit(
+            "engine_start",
+            &[
+                ("finished_already", finished_already.to_string()),
+                ("jobs", self.jobs.len().to_string()),
+            ],
+        );
+        let t0 = now(epoch);
+        for idx in 0..self.jobs.len() {
+            self.start_job(idx, t0);
+        }
+        charge(&mut phase, &mut mark, TimeCategory::Expand);
+        // An immediate snapshot bounds the restart hole: even a node
+        // killed moments after (re)starting leaves restorable files.
+        let mut last_checkpoint = Instant::now();
+        if checkpoint_every.is_some() {
+            for idx in 0..self.jobs.len() {
+                self.store_snapshot(idx, sink);
+            }
+            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+        }
+        let mut last_metrics = Instant::now();
+
+        loop {
+            if crash.is_crashed() {
+                return None;
+            }
+            if epoch.elapsed() > hard_deadline {
+                // Deadline: the service's clean shutdown (daemon mode) or
+                // the tests' safety valve; unfinished jobs report
+                // `terminated: false`.
+                break;
+            }
+
+            // Mid-flight admissions: jobs streaming in while the pump
+            // runs. Each is started, snapshotted, and handed its stashed
+            // backlog.
+            if let Some(rx) = &self.admissions {
+                let mut newly: Vec<JobEngine<E>> = Vec::new();
+                while let Ok(engine) = rx.try_recv() {
+                    newly.push(engine);
+                }
+                for engine in newly {
+                    self.admit(engine);
+                    let idx = self.jobs.len() - 1;
+                    self.start_job(idx, now(epoch));
+                    charge(&mut phase, &mut mark, TimeCategory::Expand);
+                    if checkpoint_every.is_some() {
+                        self.store_snapshot(idx, sink);
+                        charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+                    }
+                }
+            }
+
+            if let Some(idx) = self.next_actionable() {
+                let action = self.jobs[idx].pending.pop_front().expect("peeked");
+                let job = self.jobs[idx].job;
+                match action {
+                    Action::Send { to, msg } => {
+                        transport.send(job, id, to, msg);
+                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
+                    }
+                    Action::StartWork { code, seq } => {
+                        // Real computation happens here, inline — one
+                        // expansion per pump iteration, so the inbox, the
+                        // timer wheels, and the *other jobs* all
+                        // interleave with this job's tree walk.
+                        let engine = &mut self.jobs[idx];
+                        let expansion = engine.expander.expand(&code);
+                        let t = now(epoch);
+                        let actions = engine.core.handle(PEvent::WorkDone { seq, expansion }, t);
+                        engine.pending.extend(actions);
+                        charge(&mut phase, &mut mark, TimeCategory::Expand);
+                    }
+                    Action::SetTimer { delay_s, timer } => {
+                        let at = now(epoch) + SimTime::from_secs_f64(delay_s);
+                        let engine = &mut self.jobs[idx];
+                        engine.timers.push(Reverse(TimerEntry {
+                            at,
+                            seq: engine.timer_seq,
+                            timer,
+                        }));
+                        engine.timer_seq += 1;
+                        charge(&mut phase, &mut mark, timer_category(timer));
+                    }
+                    Action::Halt => {
+                        let engine = &mut self.jobs[idx];
+                        engine.halted = true;
+                        engine.telemetry.emit(
+                            "halt",
+                            &[("incumbent", format!("{:?}", engine.core.incumbent()))],
+                        );
+                        charge(&mut phase, &mut mark, TimeCategory::Communicate);
+                    }
+                }
+                if self.jobs.iter().any(|j| !j.halted) {
+                    // Between actions, fold in whatever has arrived —
+                    // without blocking; local work keeps priority over
+                    // idling.
+                    while let Ok(env) = inbox.try_recv() {
+                        self.route(env, now(epoch), &mut phase, &mut mark);
+                    }
+                }
+            } else if self.all_jobs_done() && !self.daemon {
+                break;
+            } else {
+                // Idle: block on the inbox until the next timer deadline
+                // across all live jobs.
+                let wait = self.next_timer_wait(now(epoch));
+                match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
+                    Ok(env) => {
+                        // Split the blocking receive: the wait itself was
+                        // idle time; handling the message is charged to
+                        // the message's category.
+                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                        self.route(env, now(epoch), &mut phase, &mut mark);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+
+            // Fire due timers across every live job. After a job's halt
+            // only its remaining actions are flushed (final sends); no
+            // new events are admitted for it.
+            for idx in 0..self.jobs.len() {
+                if self.jobs[idx].halted {
+                    continue;
+                }
+                loop {
+                    let t = now(epoch);
+                    let due = matches!(
+                        self.jobs[idx].timers.peek(),
+                        Some(Reverse(entry)) if entry.at <= t
+                    );
+                    if !due {
+                        break;
+                    }
+                    let Reverse(entry) = self.jobs[idx].timers.pop().expect("peeked");
+                    let actions = self.jobs[idx].core.handle(PEvent::Timer(entry.timer), t);
+                    self.jobs[idx].pending.extend(actions);
+                    charge(&mut phase, &mut mark, timer_category(entry.timer));
+                }
+            }
+
+            // Surface membership transitions and recoveries as typed,
+            // job-stamped trace events.
+            for engine in &mut self.jobs {
+                for event in engine.core.take_membership_events() {
+                    match event {
+                        MembershipEvent::Suspected(peer) => engine
+                            .telemetry
+                            .emit("suspect", &[("peer", peer.to_string())]),
+                        MembershipEvent::Forgotten(peer) => engine
+                            .telemetry
+                            .emit("forget", &[("peer", peer.to_string())]),
+                    }
+                }
+                let recoveries = engine.core.metrics().recoveries;
+                if recoveries > engine.last_recoveries {
+                    engine
+                        .telemetry
+                        .emit("recovery", &[("total", recoveries.to_string())]);
+                    engine.last_recoveries = recoveries;
+                }
+            }
+            charge(&mut phase, &mut mark, TimeCategory::Membership);
+
+            // Stream incumbent improvements and report completions.
+            for idx in 0..self.jobs.len() {
+                let incumbent = self.jobs[idx].core.incumbent();
+                if incumbent.is_finite() && incumbent < self.jobs[idx].last_incumbent {
+                    self.jobs[idx].last_incumbent = incumbent;
+                    let job = self.jobs[idx].job;
+                    if let Some(f) = self.hooks.on_incumbent.as_mut() {
+                        f(job, incumbent);
+                    }
+                }
+            }
+            for idx in 0..self.jobs.len() {
+                let done = self.jobs[idx].halted
+                    && self.jobs[idx].pending.is_empty()
+                    && !self.jobs[idx].reported;
+                if done {
+                    // The job's *final* snapshot precedes its result: a
+                    // submitter that saw the result can rely on every
+                    // pool node's disk agreeing the job is finished.
+                    if checkpoint_every.is_some() {
+                        self.store_snapshot(idx, sink);
+                        charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+                    }
+                    self.report_job_done(idx);
+                }
+            }
+
+            if let Some(every) = checkpoint_every {
+                if last_checkpoint.elapsed() >= every {
+                    for idx in 0..self.jobs.len() {
+                        if !self.jobs[idx].reported {
+                            self.store_snapshot(idx, sink);
+                        }
+                    }
+                    last_checkpoint = Instant::now();
+                    charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+                }
+            }
+
+            if let Some(every) = self.metrics_every {
+                if last_metrics.elapsed() >= every {
+                    self.report_metrics(transport, epoch, &phase);
+                    last_metrics = Instant::now();
+                    charge(&mut phase, &mut mark, TimeCategory::Communicate);
+                }
+            }
+        }
+
+        // Final snapshots for jobs that never completed (deadline exit),
+        // so their files record the furthest state; completed jobs wrote
+        // their final snapshot at completion.
+        if checkpoint_every.is_some() {
+            for idx in 0..self.jobs.len() {
+                if !self.jobs[idx].reported {
+                    self.store_snapshot(idx, sink);
+                }
+            }
+            charge(&mut phase, &mut mark, TimeCategory::Checkpoint);
+        }
+        // And a final metrics snapshot, so even a short-lived node leaves
+        // at least one interval line per job.
+        if self.metrics_every.is_some() {
+            self.report_metrics(transport, epoch, &phase);
+        }
+        for idx in 0..self.jobs.len() {
+            if !self.jobs[idx].reported {
+                self.report_job_done(idx);
+            }
+        }
+        let expanded: u64 = self.jobs.iter().map(|j| j.core.metrics().expanded).sum();
+        let all_terminated = self.jobs.iter().all(|j| j.core.is_terminated());
+        self.telemetry.emit(
+            "engine_exit",
+            &[
+                ("terminated", all_terminated.to_string()),
+                ("expanded", expanded.to_string()),
+            ],
+        );
+
+        let incarnation = self.incarnation;
+        Some(ServiceOutcome {
+            id,
+            incarnation,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| j.outcome(id, incarnation))
+                .collect(),
+            phase,
+            lifetime: epoch.elapsed(),
+        })
+    }
+
+    /// The next job (round-robin from the cursor) with a pending action.
+    fn next_actionable(&mut self) -> Option<usize> {
+        let n = self.jobs.len();
+        for k in 0..n {
+            let idx = (self.cursor + k) % n;
+            if !self.jobs[idx].pending.is_empty() {
+                self.cursor = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn all_jobs_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.halted && j.pending.is_empty())
+    }
+
+    /// Idle wait until the earliest timer deadline across live jobs.
+    fn next_timer_wait(&self, t: SimTime) -> Duration {
+        let mut earliest: Option<SimTime> = None;
+        for engine in &self.jobs {
+            if engine.halted {
+                continue;
+            }
+            if let Some(Reverse(entry)) = engine.timers.peek() {
+                earliest = Some(earliest.map_or(entry.at, |e| e.min(entry.at)));
+            }
+        }
+        match earliest {
+            Some(at) if at <= t => Duration::ZERO,
+            Some(at) => Duration::from_secs_f64((at - t).as_secs_f64()),
+            None => Duration::from_millis(5),
+        }
+    }
+
+    /// Route one inbound envelope to the engine its job stamp names;
+    /// stash (bounded) for jobs not admitted yet; drop for halted jobs
+    /// (late traffic after termination).
+    fn route(&mut self, env: Envelope, t: SimTime, phase: &mut PhaseTimes, mark: &mut Instant) {
+        let cat = msg_category(env.msg.kind());
+        match self.jobs.iter_mut().find(|j| j.job == env.job) {
+            Some(engine) if !engine.halted => {
+                engine.deliver(env.from, env.msg, t);
+            }
+            Some(_) => {} // halted job: late traffic, dropped
+            None => {
+                let backlog = self.stash.entry(env.job).or_default();
+                if backlog.len() < JOB_STASH_CAP {
+                    backlog.push_back(env);
+                }
+            }
+        }
+        charge(phase, mark, cat);
+    }
+
+    /// Start an admitted job: stamp its telemetry, fire the protocol
+    /// `Start`, replay any stashed traffic, and announce the admission.
+    fn start_job(&mut self, idx: usize, t: SimTime) {
+        let job = self.jobs[idx].job;
+        self.jobs[idx].telemetry = self.telemetry.for_job(job.raw());
+        self.jobs[idx].telemetry.emit(
+            "job_admitted",
+            &[("jobs_running", self.jobs.len().to_string())],
+        );
+        self.jobs[idx].start(t);
+        if let Some(backlog) = self.stash.remove(&job) {
+            for env in backlog {
+                self.jobs[idx].deliver(env.from, env.msg, t);
+            }
+        }
+        if let Some(f) = self.hooks.on_admitted.as_mut() {
+            f(job);
+        }
+    }
+
+    /// Deliver a job's outcome exactly once: trace event + hook.
+    fn report_job_done(&mut self, idx: usize) {
+        self.jobs[idx].reported = true;
+        let outcome = self.jobs[idx].outcome(self.id, self.incarnation);
+        self.jobs[idx].telemetry.emit(
+            "job_done",
+            &[
+                ("terminated", outcome.terminated.to_string()),
+                ("incumbent", format!("{:?}", outcome.incumbent)),
+                ("expanded", outcome.metrics.expanded.to_string()),
+            ],
+        );
+        if let Some(f) = self.hooks.on_complete.as_mut() {
+            f(&outcome);
+        }
+    }
+
+    /// Build one job-scoped [`MetricsSnapshot`] per job and hand each to
+    /// the installed reporter.
+    fn report_metrics(&mut self, transport: &dyn Transport, epoch: Instant, phase: &PhaseTimes) {
+        let Some(out) = self.metrics_out.as_mut() else {
+            return;
+        };
+        for engine in &mut self.jobs {
+            let snap = MetricsSnapshot {
+                id: self.id,
+                incarnation: self.incarnation,
+                job: engine.job.raw(),
+                seq: engine.metrics_seq,
+                elapsed_s: epoch.elapsed().as_secs_f64(),
+                phase: *phase,
+                metrics: engine.core.metrics().clone(),
+                transport: transport.stats(),
+                trace_events_dropped: self.telemetry.events_dropped(),
+            };
+            engine.metrics_seq += 1;
+            out(&snap);
+        }
+    }
+
+    fn store_snapshot(&mut self, idx: usize, sink: &mut dyn CheckpointSink) {
+        let engine = &self.jobs[idx];
+        if let Err(e) = sink.store(&engine.checkpoint(self.incarnation)) {
+            engine
+                .telemetry
+                .emit("checkpoint_error", &[("error", e.clone())]);
+            eprintln!(
+                "node {} (incarnation {}, job {}): checkpoint store failed: {e}",
+                self.id, self.incarnation, engine.job
+            );
+        } else {
+            engine.telemetry.emit("checkpoint", &[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{holds_root, node_seed, ClusterConfig};
+    use crate::transport::Mesh;
+    use ftbb_bnb::{solve, Correlation, KnapsackInstance, MaxSatInstance, SolveConfig};
+    use std::thread;
+
+    #[test]
+    fn timer_entries_compare_consistently() {
+        // Same key (deadline, priority class, sequence) — payload
+        // differences inside one class don't exist for PTimer, so equal
+        // keys mean genuinely interchangeable entries: equal AND
+        // Ordering::Equal, the consistency the old always-Equal Ord
+        // violated against a payload-derived PartialEq.
+        let a = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 1,
+            timer: PTimer::LbTimeout(3),
+        };
+        let b = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 1,
+            timer: PTimer::LbTimeout(9),
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+
+        // Distinct keys order by deadline, then the core-defined timer
+        // priority, then arming sequence — and are never equal.
+        let later = TimerEntry {
+            at: SimTime::from_millis(6),
+            seq: 0,
+            timer: PTimer::LbTimeout(3),
+        };
+        assert!(a < later);
+        assert_ne!(a, later);
+        let same_time_later_seq = TimerEntry { seq: 2, ..a };
+        assert!(a < same_time_later_seq);
+        assert_ne!(a, same_time_later_seq);
+        // A due membership tick outranks an equal-deadline report flush
+        // regardless of which was armed first (the old magic (at, seq)
+        // key let arming order decide; the rank now comes from
+        // PTimer::priority, core's single tie-break table).
+        let flush_armed_first = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 0,
+            timer: PTimer::ReportFlush,
+        };
+        let tick_armed_later = TimerEntry {
+            at: SimTime::from_millis(5),
+            seq: 7,
+            timer: PTimer::MembershipTick,
+        };
+        assert!(tick_armed_later < flush_armed_first);
+    }
+
+    #[test]
+    fn heap_pops_timers_in_deadline_then_priority_order() {
+        let mut heap: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
+        for (seq, (ms, timer)) in [
+            (9, PTimer::TableGossip),
+            (3, PTimer::ReportFlush),
+            (3, PTimer::MembershipTick),
+            (7, PTimer::LbTimeout(1)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            heap.push(Reverse(TimerEntry {
+                at: SimTime::from_millis(ms),
+                seq: seq as u64,
+                timer,
+            }));
+        }
+        let mut fired = Vec::new();
+        while let Some(Reverse(entry)) = heap.pop() {
+            fired.push((entry.at, entry.seq, entry.timer));
+        }
+        // At the 3 ms tie, the membership tick (priority 0) fires before
+        // the report flush (priority 3) even though the flush was armed
+        // first.
+        assert_eq!(
+            fired,
+            vec![
+                (SimTime::from_millis(3), 2, PTimer::MembershipTick),
+                (SimTime::from_millis(3), 1, PTimer::ReportFlush),
+                (SimTime::from_millis(7), 3, PTimer::LbTimeout(1)),
+                (SimTime::from_millis(9), 0, PTimer::TableGossip),
+            ]
+        );
+    }
+
+    /// Build one node's service engine with the given jobs admitted,
+    /// each job a `(JobId, AnyInstance)` pair; node `root_holder` holds
+    /// every job's root.
+    fn service_node(
+        id: u32,
+        members: &[u32],
+        jobs: &[(JobId, ftbb_bnb::AnyInstance)],
+        seed: u64,
+    ) -> ServiceEngine<AnyExpander> {
+        let protocol = ClusterConfig::new(members.len() as u32).protocol;
+        let mut svc = ServiceEngine::new(id, 0);
+        for (job, instance) in jobs {
+            let expander = AnyExpander::new(instance.clone());
+            let core = BnbProcess::new(
+                id,
+                members.to_vec(),
+                protocol.clone(),
+                expander.root_bound(),
+                holds_root(id, members),
+                node_seed(seed ^ job.raw(), id),
+            );
+            let mut engine = JobEngine::new(*job, core, expander);
+            engine.bind_problem(instance.clone());
+            svc.admit(engine);
+        }
+        svc
+    }
+
+    /// Run a pool of `n` service nodes over an in-process mesh, every
+    /// node admitted the same job set; returns each surviving node's
+    /// outcome (crashed nodes return `None`).
+    fn run_pool(
+        n: u32,
+        jobs: &[(JobId, ftbb_bnb::AnyInstance)],
+        crashes: &[(u32, Duration)],
+    ) -> Vec<Option<ServiceOutcome>> {
+        let members: Vec<u32> = (0..n).collect();
+        let (mesh, mut inboxes) = Mesh::new(n as usize);
+        let mesh = Arc::new(mesh);
+        let switches: Vec<CrashSwitch> = (0..n).map(|_| CrashSwitch::default()).collect();
+        let mut handles = Vec::new();
+        for id in (0..n).rev() {
+            let inbox = inboxes.pop().expect("one inbox per node");
+            let svc = service_node(id, &members, jobs, 7);
+            let mesh = Arc::clone(&mesh);
+            let switch = switches[id as usize].clone();
+            handles.push(thread::spawn(move || {
+                svc.run(&*mesh, inbox, switch, Duration::from_secs(30))
+            }));
+        }
+        handles.reverse(); // spawned in reverse id order
+        let crash_plan = crashes.to_vec();
+        let injector_switches = switches.clone();
+        let injector = thread::spawn(move || {
+            let start = Instant::now();
+            for (node, delay) in crash_plan {
+                let elapsed = start.elapsed();
+                if delay > elapsed {
+                    thread::sleep(delay - elapsed);
+                }
+                injector_switches[node as usize].crash();
+            }
+        });
+        let outcomes = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        injector.join().expect("injector panicked");
+        outcomes
+    }
+
+    fn two_jobs() -> Vec<(JobId, ftbb_bnb::AnyInstance)> {
+        vec![
+            (
+                JobId(11),
+                KnapsackInstance::generate(16, 60, Correlation::Uncorrelated, 0.5, 5).into(),
+            ),
+            (JobId(22), MaxSatInstance::generate(12, 40, 2).into()),
+        ]
+    }
+
+    #[test]
+    fn two_concurrent_jobs_reach_their_sequential_optima() {
+        let jobs = two_jobs();
+        let outcomes = run_pool(3, &jobs, &[]);
+        for (id, outcome) in outcomes.iter().enumerate() {
+            let outcome = outcome.as_ref().expect("no crashes in this run");
+            assert_eq!(outcome.id as usize, id);
+            assert_eq!(outcome.jobs.len(), 2, "both jobs report");
+            for (job, instance) in &jobs {
+                let reference = solve(instance, &SolveConfig::default());
+                let jo = outcome
+                    .jobs
+                    .iter()
+                    .find(|j| j.job == *job)
+                    .expect("outcome for every admitted job");
+                assert!(jo.terminated, "node {id} job {job} did not terminate");
+                assert_eq!(
+                    Some(jo.incumbent),
+                    reference.best,
+                    "node {id} job {job} parity"
+                );
+            }
+        }
+        // Both jobs genuinely interleaved across the pool: every node
+        // reports per-job metrics, and the cluster expanded work for
+        // both jobs.
+        for (job, _) in &jobs {
+            let expanded: u64 = outcomes
+                .iter()
+                .flatten()
+                .flat_map(|o| &o.jobs)
+                .filter(|j| j.job == *job)
+                .map(|j| j.metrics.expanded)
+                .sum();
+            assert!(expanded > 0, "job {job} expanded nothing");
+        }
+    }
+
+    #[test]
+    fn killing_a_node_mid_run_loses_neither_job() {
+        // Larger jobs than the no-crash test, so the pool is still
+        // solving when the crash lands.
+        let jobs: Vec<(JobId, ftbb_bnb::AnyInstance)> = vec![
+            (
+                JobId(11),
+                KnapsackInstance::generate(20, 80, Correlation::Strong, 0.5, 5).into(),
+            ),
+            (JobId(22), MaxSatInstance::generate(16, 60, 2).into()),
+        ];
+        let outcomes = run_pool(3, &jobs, &[(1, Duration::from_millis(3))]);
+        assert!(outcomes[1].is_none(), "crashed nodes report nothing");
+        for id in [0usize, 2] {
+            let outcome = outcomes[id].as_ref().expect("survivor reports");
+            for (job, instance) in &jobs {
+                let reference = solve(instance, &SolveConfig::default());
+                let jo = outcome.jobs.iter().find(|j| j.job == *job).unwrap();
+                assert!(jo.terminated, "node {id} job {job} did not terminate");
+                assert_eq!(
+                    Some(jo.incumbent),
+                    reference.best,
+                    "node {id} job {job} parity after crash"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_pump_admits_jobs_mid_flight() {
+        // One-node daemon: no jobs at start; two jobs stream in over the
+        // admission channel at different times; hooks observe admission
+        // and completion; the daemon exits at its deadline.
+        let instance_a: ftbb_bnb::AnyInstance =
+            KnapsackInstance::generate(12, 40, Correlation::Uncorrelated, 0.5, 9).into();
+        let instance_b: ftbb_bnb::AnyInstance = MaxSatInstance::generate(10, 30, 4).into();
+        let ref_a = solve(&instance_a, &SolveConfig::default());
+        let ref_b = solve(&instance_b, &SolveConfig::default());
+
+        let (mesh, mut inboxes) = Mesh::new(1);
+        let (admit_tx, admit_rx) = crossbeam::channel::unbounded();
+        let mut svc: ServiceEngine<AnyExpander> = ServiceEngine::new(0, 0);
+        svc.set_admissions(admit_rx);
+        svc.daemon(true);
+        let completions: Arc<std::sync::Mutex<Vec<JobOutcome>>> = Arc::default();
+        let sink = Arc::clone(&completions);
+        svc.set_hooks(ServiceHooks {
+            on_complete: Some(Box::new(move |o: &JobOutcome| {
+                sink.lock().unwrap().push(o.clone());
+            })),
+            ..Default::default()
+        });
+
+        let inbox = inboxes.pop().unwrap();
+        let handle = thread::spawn(move || {
+            svc.run(&mesh, inbox, CrashSwitch::default(), Duration::from_secs(3))
+        });
+
+        let admit = |job: JobId, instance: &ftbb_bnb::AnyInstance| {
+            let expander = AnyExpander::new(instance.clone());
+            let core = BnbProcess::new(
+                0,
+                vec![0],
+                ClusterConfig::new(1).protocol,
+                expander.root_bound(),
+                true,
+                node_seed(3 ^ job.raw(), 0),
+            );
+            JobEngine::new(job, core, expander)
+        };
+        assert!(admit_tx.send(admit(JobId(1), &instance_a)).is_ok());
+        thread::sleep(Duration::from_millis(50));
+        assert!(admit_tx.send(admit(JobId(2), &instance_b)).is_ok());
+
+        let outcome = handle
+            .join()
+            .expect("daemon thread")
+            .expect("daemon not crashed");
+        assert_eq!(outcome.jobs.len(), 2);
+        assert!(
+            outcome.lifetime >= Duration::from_secs(3),
+            "daemon runs to its deadline even after all jobs complete"
+        );
+        let done = completions.lock().unwrap();
+        assert_eq!(done.len(), 2, "both completions delivered via hooks");
+        let by_job = |job: JobId| done.iter().find(|o| o.job == job).unwrap();
+        assert!(by_job(JobId(1)).terminated);
+        assert_eq!(Some(by_job(JobId(1)).incumbent), ref_a.best);
+        assert!(by_job(JobId(2)).terminated);
+        assert_eq!(Some(by_job(JobId(2)).incumbent), ref_b.best);
+    }
+
+    #[test]
+    fn job_scoped_snapshots_restore_per_job() {
+        // A service with two jobs crashes; both per-job snapshots
+        // restore into job engines that finish their searches.
+        let jobs = two_jobs();
+        let mut svc = service_node(0, &[0], &jobs, 5);
+        svc.set_telemetry(Telemetry::disabled());
+        let (mesh, mut inboxes) = Mesh::new(1);
+
+        #[derive(Default)]
+        struct VecSink(Vec<Checkpoint>);
+        impl CheckpointSink for VecSink {
+            fn store(&mut self, chk: &Checkpoint) -> Result<(), String> {
+                self.0.push(chk.clone());
+                Ok(())
+            }
+        }
+        let mut sink = VecSink::default();
+        let crash = CrashSwitch::default();
+        crash.crash();
+        let outcome = svc.run_with_sink(
+            &mesh,
+            inboxes.pop().unwrap(),
+            crash,
+            Duration::from_secs(30),
+            &mut sink,
+            Some(Duration::from_millis(1)),
+        );
+        assert!(outcome.is_none(), "crashed engines report nothing");
+
+        // Startup snapshots exist for both jobs, each scoped to its id.
+        for (job, instance) in &jobs {
+            let chk = sink
+                .0
+                .iter()
+                .find(|c| c.job == *job)
+                .expect("startup snapshot per job")
+                .clone();
+            let restored =
+                JobEngine::restore(&chk, ClusterConfig::new(1).protocol, 11).expect("bound");
+            assert_eq!(restored.job(), *job);
+
+            let mut svc: ServiceEngine<AnyExpander> = ServiceEngine::new(0, chk.incarnation + 1);
+            svc.admit(restored);
+            let (mesh, mut inboxes) = Mesh::new(1);
+            let outcome = svc
+                .run(
+                    &mesh,
+                    inboxes.pop().unwrap(),
+                    CrashSwitch::default(),
+                    Duration::from_secs(30),
+                )
+                .expect("not crashed");
+            let reference = solve(instance, &SolveConfig::default());
+            assert_eq!(outcome.jobs.len(), 1);
+            assert!(outcome.jobs[0].terminated);
+            assert_eq!(Some(outcome.jobs[0].incumbent), reference.best);
+        }
+    }
+}

@@ -10,12 +10,16 @@
 //! `ftbb-wire`'s TCP mesh across real OS processes.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
-use ftbb_core::{Msg, TransportCounters, TransportStats};
+use ftbb_core::{JobId, Msg, TransportCounters, TransportStats};
 use std::time::Duration;
 
 /// A routed protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
+    /// Which job the message belongs to ([`JobId::DEFAULT`] on the
+    /// legacy single-run path). Service engines route inbound traffic to
+    /// the matching per-job engine by this stamp.
+    pub job: JobId,
     /// Sender node id.
     pub from: u32,
     /// The message.
@@ -28,9 +32,10 @@ pub struct Envelope {
 /// and must follow Crash-model semantics: a send may vanish without an
 /// error, but must then be visible in [`Transport::counters`].
 pub trait Transport: Send + Sync {
-    /// Send `msg` from node `from` to node `to`. Never blocks on a dead
-    /// destination; undeliverable messages are dropped and counted.
-    fn send(&self, from: u32, to: u32, msg: Msg);
+    /// Send `msg` from node `from` to node `to`, scoped to `job`
+    /// ([`JobId::DEFAULT`] for single-run deployments). Never blocks on a
+    /// dead destination; undeliverable messages are dropped and counted.
+    fn send(&self, job: JobId, from: u32, to: u32, msg: Msg);
 
     /// Readiness barrier: block (up to `timeout`) until the transport can
     /// carry traffic to every endpoint, returning whether it is fully
@@ -94,13 +99,13 @@ impl Mesh {
     /// Send a message; silently drops (but counts) if the destination has
     /// shut down — crashed or terminated nodes close their inbox, exactly
     /// the lost-message behaviour the protocol tolerates.
-    pub fn send(&self, from: u32, to: u32, msg: Msg) {
+    pub fn send(&self, job: JobId, from: u32, to: u32, msg: Msg) {
         let Some(tx) = self.senders.get(to as usize) else {
             self.counters.record_dropped_no_route();
             return;
         };
         let wire = msg.wire_size();
-        match tx.try_send(Envelope { from, msg }) {
+        match tx.try_send(Envelope { job, from, msg }) {
             // No frame encoding in-process: encoded == estimated bytes.
             Ok(()) => self.counters.record_send(wire, wire),
             Err(TrySendError::Full(_)) => self.counters.record_dropped_full(),
@@ -110,8 +115,8 @@ impl Mesh {
 }
 
 impl Transport for Mesh {
-    fn send(&self, from: u32, to: u32, msg: Msg) {
-        Mesh::send(self, from, to, msg);
+    fn send(&self, job: JobId, from: u32, to: u32, msg: Msg) {
+        Mesh::send(self, job, from, to, msg);
     }
 
     fn endpoints(&self) -> usize {
@@ -131,6 +136,7 @@ mod tests {
     fn mesh_routes_messages() {
         let (mesh, rxs) = Mesh::new(2);
         mesh.send(
+            JobId(9),
             0,
             1,
             Msg::WorkDeny {
@@ -139,6 +145,7 @@ mod tests {
         );
         let env = rxs[1].try_recv().unwrap();
         assert_eq!(env.from, 0);
+        assert_eq!(env.job, JobId(9), "the job stamp rides the envelope");
         assert!(matches!(env.msg, Msg::WorkDeny { .. }));
         let stats = mesh.stats();
         assert_eq!(stats.sent, 1);
@@ -151,6 +158,7 @@ mod tests {
         let (mesh, rxs) = Mesh::new(2);
         drop(rxs); // all inboxes closed
         mesh.send(
+            JobId::DEFAULT,
             0,
             1,
             Msg::WorkDeny {
@@ -167,7 +175,7 @@ mod tests {
     #[test]
     fn send_to_unknown_endpoint_counts_no_route() {
         let (mesh, _rxs) = Mesh::new(1);
-        mesh.send(0, 7, Msg::WorkRequest { incumbent: 1.0 });
+        mesh.send(JobId::DEFAULT, 0, 7, Msg::WorkRequest { incumbent: 1.0 });
         assert_eq!(mesh.stats().dropped_no_route, 1);
     }
 
@@ -175,7 +183,7 @@ mod tests {
     fn mesh_is_a_transport_object() {
         let (mesh, rxs) = Mesh::new(2);
         let t: &dyn Transport = &mesh;
-        t.send(1, 0, Msg::WorkRequest { incumbent: 2.0 });
+        t.send(JobId::DEFAULT, 1, 0, Msg::WorkRequest { incumbent: 2.0 });
         assert_eq!(t.endpoints(), 2);
         assert!(rxs[0].try_recv().is_ok());
         assert_eq!(t.stats().sent, 1);

@@ -32,6 +32,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cfg.service {
+        match noded::run_service(&cfg) {
+            Ok(report) => {
+                // Per-job FTBB-JOB lines were already streamed as jobs
+                // completed; close with the service summary.
+                println!("{}", noded::service_line(&report));
+            }
+            Err(e) => {
+                eprintln!("ftbb-noded: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match noded::run(&cfg) {
         Ok(report) => {
             println!("{}", noded::outcome_line(&report));
@@ -86,6 +100,21 @@ TRANSPORT:
                                   (default 1)
     --retry-max-frames N          frames parked in that window
                                   (default 64)
+
+SERVICE MODE (a long-lived multi-job solve pool):
+    --service                     join a solve pool instead of running
+                                  one configured problem: jobs arrive as
+                                  ftbb-submit frames (this node becomes
+                                  the job's gateway and announces its
+                                  instance to the pool) or as peer
+                                  announces; every admitted job is
+                                  multiplexed over the one mesh until
+                                  --deadline-s. Prints one FTBB-JOB line
+                                  per completed job and a closing
+                                  FTBB-SERVICE summary. --problem* flags
+                                  are ignored; with --checkpoint-dir each
+                                  job persists to node-<id>-job-<job>.ckpt
+                                  and --resume restores ALL of them
 
 LIFECYCLE (checkpoint persistence and restart/rejoin):
     --checkpoint-dir DIR          persist snapshots to DIR/node-<id>.ckpt

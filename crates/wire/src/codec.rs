@@ -36,6 +36,21 @@
 //!   of the §5.2 join handshake; the protocol-level
 //!   `MembershipMsg::Join`/`Welcome` exchange then rides ordinary
 //!   protocol frames over the routes this one opened.
+//! * [`PAYLOAD_SUBMIT`] frames carry a [`WireFrame::SubmitJob`]: a client
+//!   (`ftbb-submit`) handing a job — a [`JobId`] plus a materialized
+//!   [`AnyInstance`] — to a service-mode pool's gateway node over the
+//!   same port the mesh uses.
+//! * [`PAYLOAD_ACCEPTED`] frames carry a [`WireFrame::JobAccepted`]: the
+//!   gateway's admission acknowledgement back to the submitter.
+//! * [`PAYLOAD_RESULT`] frames carry a [`WireFrame::JobResult`]: streamed
+//!   incumbent improvements (`finished: false`) and the final optimum
+//!   (`finished: true`) flowing back to the submitter as the pool solves.
+//!
+//! Since codec **v5** every frame kind that participates in solving is
+//! stamped with the [`JobId`] it belongs to, so one service pool can
+//! multiplex any number of concurrent jobs over one shared transport:
+//! protocol frames route to the matching per-job engine, announces are
+//! job admissions. Single-run deployments stamp [`JobId::DEFAULT`].
 //!
 //! The decoder is **fuzz-resistant**: arbitrary bytes fed to
 //! [`FrameDecoder`] produce frames or [`WireError`]s, never panics or
@@ -58,7 +73,7 @@
 //! lost *after* a `write` started are never replayed.
 
 use ftbb_bnb::AnyInstance;
-use ftbb_core::Msg;
+use ftbb_core::{JobId, Msg};
 use ftbb_runtime::Envelope;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -71,8 +86,10 @@ pub const MAGIC: u32 = 0x4654_5742;
 /// frames from other versions rather than guessing. (v2 added the
 /// payload kind byte and the problem-announce frame; v3 added the
 /// incarnation tags and the rejoin frame; v4 added the piggybacked
-/// id→addr book on protocol frames and the join frame.)
-pub const VERSION: u16 = 4;
+/// id→addr book on protocol frames and the join frame; v5 added the
+/// job-id stamp on protocol and announce frames plus the job-submission
+/// frames — service mode.)
+pub const VERSION: u16 = 5;
 
 /// Payload kind byte of a protocol envelope frame.
 pub const PAYLOAD_PROTOCOL: u8 = 0;
@@ -85,6 +102,17 @@ pub const PAYLOAD_REJOIN: u8 = 2;
 
 /// Payload kind byte of a join frame.
 pub const PAYLOAD_JOIN: u8 = 3;
+
+/// Payload kind byte of a job-submission frame (client → gateway).
+pub const PAYLOAD_SUBMIT: u8 = 4;
+
+/// Payload kind byte of a job-admission acknowledgement (gateway →
+/// client).
+pub const PAYLOAD_ACCEPTED: u8 = 5;
+
+/// Payload kind byte of a job-result frame (gateway → client): streamed
+/// incumbents and the final optimum.
+pub const PAYLOAD_RESULT: u8 = 6;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 4 + 2 + 4 + 4;
@@ -100,8 +128,11 @@ pub enum WireError {
     /// First four bytes were not [`MAGIC`]. The stream is garbage or
     /// desynchronized; the connection should be dropped.
     BadMagic(u32),
-    /// Frame from an incompatible codec version.
-    BadVersion(u16),
+    /// Frame from an incompatible codec version — typically a pre-v5
+    /// (pre-service-mode) peer. The typed error carries the version the
+    /// peer spoke so operators can see *what* to upgrade; the frame is
+    /// never misparsed as current-version traffic.
+    UnsupportedVersion(u16),
     /// Claimed payload length exceeds [`MAX_FRAME_PAYLOAD`].
     Oversize(usize),
     /// Payload bytes do not match the header checksum.
@@ -120,7 +151,7 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
-            WireError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported codec version {v}"),
             WireError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
             WireError::Checksum { expected, actual } => {
                 write!(
@@ -209,12 +240,17 @@ pub enum WireFrame {
     },
     /// A problem announce: the sender's materialized workload, shipped
     /// before `Start` so `--problem wire` peers can join a computation
-    /// whose instance they never generated.
+    /// whose instance they never generated. In service mode this *is*
+    /// job admission: the gateway announces each submitted job to its
+    /// peers, stamped with the job it opens.
     Announce {
         /// Announcing node's id.
         from: u32,
         /// Announcing node's incarnation.
         incarnation: u32,
+        /// Which job this announce opens ([`JobId::DEFAULT`] on the
+        /// single-run path).
+        job: JobId,
         /// The materialized (validated) workload.
         instance: AnyInstance,
     },
@@ -222,6 +258,34 @@ pub enum WireFrame {
     Rejoin(RejoinFrame),
     /// A brand-new node introducing itself to a gossip server.
     Join(JoinFrame),
+    /// A client submitting a job to a service-mode gateway.
+    SubmitJob {
+        /// Client-chosen job id (must be unique within the pool's
+        /// lifetime; 0 is reserved for the single-run path).
+        job: JobId,
+        /// The materialized (validated) workload to solve.
+        instance: AnyInstance,
+    },
+    /// The gateway's admission acknowledgement back to the submitter.
+    JobAccepted {
+        /// The admitted job.
+        job: JobId,
+        /// The gateway node that admitted it.
+        node: u32,
+    },
+    /// A result update for a submitted job: incumbent improvements
+    /// stream back with `finished: false`; the final optimum arrives
+    /// with `finished: true`.
+    JobResult {
+        /// The job this result belongs to.
+        job: JobId,
+        /// True exactly once, when the pool detected termination.
+        finished: bool,
+        /// Best solution value known at this point.
+        incumbent: f64,
+        /// Subproblems expanded so far on the reporting node.
+        expanded: u64,
+    },
 }
 
 impl WireFrame {
@@ -229,7 +293,12 @@ impl WireFrame {
     pub fn into_envelope(self) -> Option<Envelope> {
         match self {
             WireFrame::Protocol { env, .. } => Some(env),
-            WireFrame::Announce { .. } | WireFrame::Rejoin(_) | WireFrame::Join(_) => None,
+            WireFrame::Announce { .. }
+            | WireFrame::Rejoin(_)
+            | WireFrame::Join(_)
+            | WireFrame::SubmitJob { .. }
+            | WireFrame::JobAccepted { .. }
+            | WireFrame::JobResult { .. } => None,
         }
     }
 }
@@ -276,11 +345,12 @@ pub fn encode_frame(
     to_incarnation: u32,
     book: &[(u32, SocketAddr, u32)],
 ) -> EncodedFrame {
-    let mut payload = Vec::with_capacity(21 + env.msg.wire_size());
+    let mut payload = Vec::with_capacity(29 + env.msg.wire_size());
     payload.push(PAYLOAD_PROTOCOL);
     env.from.ser(&mut payload);
     from_incarnation.ser(&mut payload);
     to_incarnation.ser(&mut payload);
+    env.job.ser(&mut payload);
     env.msg.ser(&mut payload);
     let book: Vec<(u32, String, u32)> = book
         .iter()
@@ -290,15 +360,57 @@ pub fn encode_frame(
     frame_bytes(payload, env.msg.wire_size())
 }
 
-/// Encode a problem-announce frame. The announce is a handshake, not
-/// protocol traffic, so its `wire_size` accounting is simply the payload
-/// length (there is no protocol-level estimate to compare against).
-pub fn encode_announce(from: u32, incarnation: u32, instance: &AnyInstance) -> EncodedFrame {
+/// Encode a problem-announce frame, stamped with the job it opens
+/// ([`JobId::DEFAULT`] on the single-run path). The announce is a
+/// handshake, not protocol traffic, so its `wire_size` accounting is
+/// simply the payload length (there is no protocol-level estimate to
+/// compare against).
+pub fn encode_announce(
+    from: u32,
+    incarnation: u32,
+    job: JobId,
+    instance: &AnyInstance,
+) -> EncodedFrame {
     let mut payload = Vec::new();
     payload.push(PAYLOAD_ANNOUNCE);
     from.ser(&mut payload);
     incarnation.ser(&mut payload);
+    job.ser(&mut payload);
     instance.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Encode a job-submission frame (client → gateway). A handshake:
+/// `wire_size` is the payload length.
+pub fn encode_submit(job: JobId, instance: &AnyInstance) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_SUBMIT);
+    job.ser(&mut payload);
+    instance.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Encode a job-admission acknowledgement (gateway → client).
+pub fn encode_accepted(job: JobId, node: u32) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_ACCEPTED);
+    job.ser(&mut payload);
+    node.ser(&mut payload);
+    let wire = payload.len();
+    frame_bytes(payload, wire)
+}
+
+/// Encode a job-result frame (gateway → client): a streamed incumbent
+/// (`finished: false`) or the final optimum (`finished: true`).
+pub fn encode_result(job: JobId, finished: bool, incumbent: f64, expanded: u64) -> EncodedFrame {
+    let mut payload = Vec::new();
+    payload.push(PAYLOAD_RESULT);
+    job.ser(&mut payload);
+    (finished as u8).ser(&mut payload);
+    incumbent.ser(&mut payload);
+    expanded.ser(&mut payload);
     let wire = payload.len();
     frame_bytes(payload, wire)
 }
@@ -401,7 +513,10 @@ impl FrameDecoder {
         }
         let version = u16::from_le_bytes(avail[4..6].try_into().expect("sized"));
         if version != VERSION {
-            return Err(WireError::BadVersion(version));
+            // Pre-v5 peers (and future versions alike) surface as a typed
+            // error carrying the offending version — never a panic, never
+            // a misparse of old-layout bytes as current-version fields.
+            return Err(WireError::UnsupportedVersion(version));
         }
         let pay_len = u32::from_le_bytes(avail[6..10].try_into().expect("sized")) as usize;
         if pay_len > MAX_FRAME_PAYLOAD {
@@ -424,6 +539,7 @@ impl FrameDecoder {
                 let from = u32::de(&mut r).map_err(bad)?;
                 let from_incarnation = u32::de(&mut r).map_err(bad)?;
                 let to_incarnation = u32::de(&mut r).map_err(bad)?;
+                let job = JobId::de(&mut r).map_err(bad)?;
                 let msg = Msg::de(&mut r).map_err(bad)?;
                 let raw_book = Vec::<(u32, String, u32)>::de(&mut r).map_err(bad)?;
                 let mut book = Vec::with_capacity(raw_book.len());
@@ -434,7 +550,7 @@ impl FrameDecoder {
                     book.push((id, addr, inc));
                 }
                 WireFrame::Protocol {
-                    env: Envelope { from, msg },
+                    env: Envelope { job, from, msg },
                     from_incarnation,
                     to_incarnation,
                     book,
@@ -443,6 +559,7 @@ impl FrameDecoder {
             PAYLOAD_ANNOUNCE => {
                 let from = u32::de(&mut r).map_err(bad)?;
                 let incarnation = u32::de(&mut r).map_err(bad)?;
+                let job = JobId::de(&mut r).map_err(bad)?;
                 let instance = AnyInstance::de(&mut r).map_err(bad)?;
                 // The serde derive decodes structure, not invariants; an
                 // instance off the network must also be *valid* before
@@ -453,6 +570,7 @@ impl FrameDecoder {
                 WireFrame::Announce {
                     from,
                     incarnation,
+                    job,
                     instance,
                 }
             }
@@ -484,6 +602,39 @@ impl FrameDecoder {
                     addr,
                 })
             }
+            PAYLOAD_SUBMIT => {
+                let job = JobId::de(&mut r).map_err(bad)?;
+                let instance = AnyInstance::de(&mut r).map_err(bad)?;
+                instance
+                    .validate()
+                    .map_err(|e| WireError::Payload(format!("invalid submitted instance: {e}")))?;
+                WireFrame::SubmitJob { job, instance }
+            }
+            PAYLOAD_ACCEPTED => {
+                let job = JobId::de(&mut r).map_err(bad)?;
+                let node = u32::de(&mut r).map_err(bad)?;
+                WireFrame::JobAccepted { job, node }
+            }
+            PAYLOAD_RESULT => {
+                let job = JobId::de(&mut r).map_err(bad)?;
+                let finished = match serde::read_u8(&mut r).map_err(bad)? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Payload(format!(
+                            "bad finished flag byte {other}"
+                        )));
+                    }
+                };
+                let incumbent = f64::de(&mut r).map_err(bad)?;
+                let expanded = u64::de(&mut r).map_err(bad)?;
+                WireFrame::JobResult {
+                    job,
+                    finished,
+                    incumbent,
+                    expanded,
+                }
+            }
             other => {
                 return Err(WireError::Payload(format!(
                     "unknown payload kind byte {other}"
@@ -509,6 +660,7 @@ mod tests {
 
     fn sample() -> Envelope {
         Envelope {
+            job: JobId(77),
             from: 3,
             msg: Msg::WorkRequest { incumbent: 42.5 },
         }
@@ -527,6 +679,7 @@ mod tests {
                 book,
             } => {
                 assert_eq!(env.from, 3);
+                assert_eq!(env.job, JobId(77), "the job stamp survives the wire");
                 assert_eq!(env.msg, sample().msg);
                 assert_eq!(from_incarnation, 2);
                 assert_eq!(to_incarnation, 5);
@@ -563,6 +716,7 @@ mod tests {
         3u32.ser(&mut payload);
         0u32.ser(&mut payload);
         0u32.ser(&mut payload);
+        JobId::DEFAULT.ser(&mut payload);
         sample().msg.ser(&mut payload);
         vec![(7u32, "not-an-addr".to_string(), 0u32)].ser(&mut payload);
         let frame = frame_bytes(payload, 9);
@@ -591,19 +745,98 @@ mod tests {
     #[test]
     fn announce_frame_round_trip() {
         let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 3));
-        let frame = encode_announce(7, 4, &instance);
+        let frame = encode_announce(7, 4, JobId(13), &instance);
         assert!(!frame.exceeds_limit());
         match decode_frame(&frame.bytes).unwrap() {
             WireFrame::Announce {
                 from,
                 incarnation,
+                job,
                 instance: got,
             } => {
                 assert_eq!(from, 7);
                 assert_eq!(incarnation, 4);
+                assert_eq!(job, JobId(13), "the announce opens a specific job");
                 assert_eq!(got, instance);
             }
             other => panic!("expected announce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_frame_round_trip() {
+        let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(5, 10, 2));
+        let frame = encode_submit(JobId(42), &instance);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::SubmitJob { job, instance: got } => {
+                assert_eq!(job, JobId(42));
+                assert_eq!(got, instance);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert_eq!(decode_frame(&frame.bytes).unwrap().into_envelope(), None);
+    }
+
+    #[test]
+    fn submit_of_invalid_instance_is_rejected_on_decode() {
+        let mut m = ftbb_bnb::MaxSatInstance::generate(4, 8, 1);
+        m.clauses[0].literals.clear();
+        let frame = encode_submit(JobId(1), &ftbb_bnb::AnyInstance::MaxSat(m));
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("invalid submitted instance"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepted_frame_round_trip() {
+        let frame = encode_accepted(JobId(42), 0);
+        match decode_frame(&frame.bytes).unwrap() {
+            WireFrame::JobAccepted { job, node } => {
+                assert_eq!(job, JobId(42));
+                assert_eq!(node, 0);
+            }
+            other => panic!("expected accepted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_frame_round_trip() {
+        for (finished, incumbent, expanded) in [
+            (false, -17.25, 120u64),
+            (true, -31.0, 4096),
+            (false, f64::INFINITY, 0),
+        ] {
+            let frame = encode_result(JobId(9), finished, incumbent, expanded);
+            match decode_frame(&frame.bytes).unwrap() {
+                WireFrame::JobResult {
+                    job,
+                    finished: f,
+                    incumbent: i,
+                    expanded: e,
+                } => {
+                    assert_eq!(job, JobId(9));
+                    assert_eq!(f, finished);
+                    assert_eq!(i.to_bits(), incumbent.to_bits());
+                    assert_eq!(e, expanded);
+                }
+                other => panic!("expected result, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn result_with_bad_finished_flag_is_rejected() {
+        let mut payload = vec![PAYLOAD_RESULT];
+        JobId(1).ser(&mut payload);
+        payload.push(7); // not a bool
+        0.0f64.ser(&mut payload);
+        0u64.ser(&mut payload);
+        let wire = payload.len();
+        let frame = frame_bytes(payload, wire);
+        match decode_frame(&frame.bytes) {
+            Err(WireError::Payload(e)) => assert!(e.contains("finished flag"), "{e}"),
+            other => panic!("expected payload error, got {other:?}"),
         }
     }
 
@@ -660,7 +893,7 @@ mod tests {
         // constructor's asserts: the decoder must refuse it.
         let mut m = ftbb_bnb::MaxSatInstance::generate(4, 8, 1);
         m.clauses[0].literals.clear();
-        let frame = encode_announce(0, 0, &ftbb_bnb::AnyInstance::MaxSat(m));
+        let frame = encode_announce(0, 0, JobId::DEFAULT, &ftbb_bnb::AnyInstance::MaxSat(m));
         match decode_frame(&frame.bytes) {
             Err(WireError::Payload(e)) => assert!(e.contains("invalid announced instance"), "{e}"),
             other => panic!("expected payload error, got {other:?}"),
@@ -695,6 +928,7 @@ mod tests {
             stream.extend_from_slice(
                 &encode_frame(
                     &Envelope {
+                        job: JobId(i as u64),
                         from: i,
                         msg: Msg::WorkDeny {
                             incumbent: i as f64,
@@ -771,7 +1005,28 @@ mod tests {
         frame[5] = 0xFF;
         let mut dec = FrameDecoder::new();
         dec.push(&frame);
-        assert!(matches!(dec.try_next(), Err(WireError::BadVersion(_))));
+        assert!(matches!(
+            dec.try_next(),
+            Err(WireError::UnsupportedVersion(0xFFFE))
+        ));
+    }
+
+    #[test]
+    fn every_pre_v5_version_is_a_typed_error() {
+        // A v5 frame rebadged with each historical version number: the
+        // decoder must refuse it as UnsupportedVersion carrying that
+        // exact version — never misparse the old layout as v5 fields.
+        for v in 1u16..VERSION {
+            let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes;
+            frame[4..6].copy_from_slice(&v.to_le_bytes());
+            let mut dec = FrameDecoder::new();
+            dec.push(&frame);
+            assert_eq!(
+                dec.try_next(),
+                Err(WireError::UnsupportedVersion(v)),
+                "version {v}"
+            );
+        }
     }
 
     #[test]

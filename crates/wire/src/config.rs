@@ -478,6 +478,16 @@ pub struct NodeConfig {
     /// Frame budget of that window (see
     /// [`crate::tcp::WireConfig::retry_max_frames`]).
     pub retry_max_frames: usize,
+    /// Service mode: instead of solving one configured problem and
+    /// exiting, the daemon joins a long-lived solve pool. Jobs stream in
+    /// over the shared transport — `ftbb-submit` clients send `SubmitJob`
+    /// frames to any pool node (the receiver becomes that job's gateway,
+    /// holds its root, and announces the instance to its peers) — and the
+    /// node multiplexes every admitted job over one mesh until the
+    /// deadline. The `--problem*` flags are ignored; with
+    /// `--checkpoint-dir` each job persists to its own
+    /// `node-<id>-job-<job>.ckpt`, and `--resume` restores *all* of them.
+    pub service: bool,
     /// Structured trace file (JSONL, one event per line), opened in
     /// append mode so a restarted node's lives accumulate. `None`
     /// disables tracing.
@@ -509,6 +519,7 @@ impl Default for NodeConfig {
             forget_after_s: 3.0,
             retry_window_s: crate::tcp::RETRY_WINDOW.as_secs_f64(),
             retry_max_frames: crate::tcp::RETRY_MAX_FRAMES,
+            service: false,
             trace_file: None,
             metrics_every_s: None,
         }
@@ -630,6 +641,17 @@ impl NodeConfig {
                     "--join needs a concrete problem spec (the root's announce is sent \
                      before a joiner exists)",
                 );
+            }
+        }
+        if self.service {
+            if self.problem == ProblemSpec::Wire {
+                return err(
+                    "--service nodes receive every job's instance over the wire already; \
+                     drop `--problem wire` (the --problem* flags are ignored in service mode)",
+                );
+            }
+            if self.join {
+                return err("--join is not supported with --service; wire the pool statically");
             }
         }
         self.problem.validate()?;
@@ -840,6 +862,10 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
                 TomlValue::Bool(b) => cfg.resume = *b,
                 _ => return err("`resume` must be a boolean"),
             },
+            "service" => match value {
+                TomlValue::Bool(b) => cfg.service = *b,
+                _ => return err("`service` must be a boolean"),
+            },
             "gossip_servers" => match value {
                 TomlValue::StrArray(items) => {
                     cfg.gossip_servers = items
@@ -989,6 +1015,11 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
             }
             "--resume" => {
                 cfg.resume = true;
+                i += 1; // flag takes no value
+                continue;
+            }
+            "--service" => {
+                cfg.service = true;
                 i += 1; // flag takes no value
                 continue;
             }
@@ -1529,6 +1560,27 @@ seed = 11
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
             assert!(parse_args(&args).is_err(), "{args:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn parses_service_mode_options() {
+        let cfg = parse_config("service = true\n").unwrap();
+        assert!(cfg.service);
+
+        let args: Vec<String> = ["--service"].iter().map(|s| s.to_string()).collect();
+        let cfg = parse_args(&args).unwrap();
+        assert!(cfg.service);
+        assert!(!NodeConfig::default().service);
+
+        // Service nodes get every instance over the wire; `--problem
+        // wire` is the single-run announce handshake, not a job stream.
+        assert!(parse_config(
+            "service = true\npeers = [\"1=127.0.0.1:4501\"]\n[problem]\nkind = \"wire\"\n"
+        )
+        .is_err());
+        // Elastic join of a service pool is out of scope.
+        assert!(parse_config("service = true\njoin = true\ngossip_servers = [\"0\"]\n").is_err());
+        assert!(parse_config("service = 3\n").is_err());
     }
 
     #[test]

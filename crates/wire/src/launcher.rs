@@ -25,10 +25,12 @@
 
 use crate::config::ProblemSpec;
 use crate::noded::{
-    parse_metrics_line, parse_outcome_line, parse_ready_line, ParsedMetrics, ParsedOutcome,
+    parse_job_line, parse_metrics_line, parse_outcome_line, parse_ready_line, parse_service_line,
+    ParsedJob, ParsedMetrics, ParsedOutcome, ParsedService,
 };
+use crate::submit::{submit_job, SubmitOutcome};
 use crossbeam::channel::{unbounded, Receiver};
-use ftbb_core::TraceEvent;
+use ftbb_core::{JobId, TraceEvent};
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -119,6 +121,51 @@ impl Default for GossipTiming {
     }
 }
 
+/// One step of a service cluster's **job stream**: submit `problem` as
+/// job `job` to pool node `to` at `at` (timed from wiring completion,
+/// same clock as the lifecycle plan — so kills, restarts, and
+/// submissions interleave on one timeline). Requires
+/// [`ClusterSpec::service`].
+#[derive(Debug, Clone)]
+pub struct JobStep {
+    /// The job id (positive; 0 is reserved for single-run nodes).
+    pub job: u64,
+    /// Delay from wiring completion.
+    pub at: Duration,
+    /// The pool node to submit through (the job's gateway).
+    pub to: u32,
+    /// The problem to submit (materialized client-side and shipped as a
+    /// `SubmitJob` frame; `ProblemSpec::Wire` is meaningless here).
+    pub problem: ProblemSpec,
+    /// How long the submitting client waits for the final result.
+    pub timeout: Duration,
+}
+
+impl JobStep {
+    /// A submission step with the default 60 s client timeout.
+    pub fn submit(job: u64, at: Duration, to: u32, problem: ProblemSpec) -> JobStep {
+        JobStep {
+            job,
+            at,
+            to,
+            problem,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What one job-stream submission produced, from the client's vantage.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The job id.
+    pub job: u64,
+    /// The pool node it was submitted through.
+    pub to: u32,
+    /// The streamed outcome, or the client-side error (connection
+    /// refused, timeout, corrupt stream) as text.
+    pub result: Result<SubmitOutcome, String>,
+}
+
 /// How long a restarted node's bound-but-silent listener lingers before
 /// the launcher releases it with `start`: the settle window in which
 /// peers' traffic tagged for the previous incarnation piles into the
@@ -150,6 +197,16 @@ pub struct ClusterSpec {
     /// learns the materialized instance from node 0's announce frame —
     /// peers solve a workload they never had locally.
     pub wire_peers: bool,
+    /// Service mode: every node is started with `--service` (a long-lived
+    /// multi-job pool; `problem` is ignored) and the [`ClusterSpec::jobs`]
+    /// stream is submitted over TCP by launcher-side `ftbb-submit`
+    /// clients. Per-job results land in [`ClusterReport::jobs`], per-node
+    /// `FTBB-JOB` lines in [`ClusterReport::job_lines`], and the closing
+    /// `FTBB-SERVICE` summaries in [`ClusterReport::services`].
+    pub service: bool,
+    /// The job stream for a service cluster, each step timed from wiring
+    /// completion on the same clock as the lifecycle plan.
+    pub jobs: Vec<JobStep>,
     /// Membership mode: when set, every node runs the gossip protocol
     /// with node 0 as the gossip server (`--gossip-servers 0` plus these
     /// timing knobs), and the lifecycle plan may contain `Join` steps —
@@ -200,10 +257,22 @@ pub struct ClusterReport {
     pub metrics: Vec<Vec<ParsedMetrics>>,
     /// The cluster-wide event timeline: every node's structured trace
     /// (read from [`ClusterSpec::trace_dir`]) merged with the launcher's
-    /// own lifecycle actions (`kill`/`restart`/`join`, tagged
-    /// `source=launcher`), ordered by the shared unix-microsecond
-    /// timestamp. Empty unless `trace_dir` was set.
+    /// own lifecycle actions (`kill`/`restart`/`join`, and in service
+    /// mode `submit`, tagged `source=launcher`), ordered by the shared
+    /// unix-microsecond timestamp — so job lifecycles (`job_submitted`,
+    /// `job_announced`, `job_restored`) interleave with the membership
+    /// events around them. Empty unless `trace_dir` was set.
     pub timeline: Vec<TraceEvent>,
+    /// Per-job client-side results, in [`ClusterSpec::jobs`] order
+    /// (empty outside service mode).
+    pub jobs: Vec<JobReport>,
+    /// `FTBB-JOB` completion lines per node id, in emission order: what
+    /// each pool node locally concluded about each job it hosted (empty
+    /// outside service mode).
+    pub job_lines: Vec<Vec<ParsedJob>>,
+    /// The closing `FTBB-SERVICE` summary per node id — `None` for
+    /// killed-and-gone nodes (empty outside service mode).
+    pub services: Vec<Option<ParsedService>>,
 }
 
 impl ClusterReport {
@@ -255,6 +324,33 @@ impl ClusterReport {
         out
     }
 
+    /// One line per job-stream submission with its gateway and result —
+    /// printed by [`launch`] in service mode so per-job progress is
+    /// visible in CI logs.
+    pub fn job_summary(&self) -> String {
+        let mut out = String::new();
+        for j in &self.jobs {
+            match &j.result {
+                Ok(o) => out.push_str(&format!(
+                    "launcher: job {} via node {} accepted_by={} finished={} \
+                     incumbent={} expanded={} incumbents_streamed={}\n",
+                    j.job,
+                    j.to,
+                    o.accepted_by,
+                    o.finished,
+                    o.incumbent,
+                    o.expanded,
+                    o.incumbents.len()
+                )),
+                Err(e) => out.push_str(&format!(
+                    "launcher: job {} via node {} FAILED: {e}\n",
+                    j.job, j.to
+                )),
+            }
+        }
+        out
+    }
+
     /// The human-readable telemetry digest: the merged cluster timeline
     /// (timestamps relative to its first event) followed by the per-node
     /// Figure-3 time-accounting table taken from each node's last
@@ -274,6 +370,9 @@ impl ClusterReport {
                     "  +{dt:8.3}s node {} inc={} {}",
                     e.node, e.incarnation, e.kind
                 ));
+                if e.job != 0 {
+                    out.push_str(&format!(" job={}", e.job));
+                }
                 for (k, v) in &e.fields {
                     out.push_str(&format!(" {k}={v}"));
                 }
@@ -320,6 +419,12 @@ impl ClusterReport {
 /// unix-microsecond clock the nodes' traces use, so kills and restarts
 /// interleave correctly with the suspicions and recoveries they cause.
 fn launcher_event(kind: &str, node: u32) -> TraceEvent {
+    launcher_job_event(kind, node, 0)
+}
+
+/// A launcher action on a specific job (`submit` steps); `job == 0`
+/// means a pool-level action.
+fn launcher_job_event(kind: &str, node: u32, job: u64) -> TraceEvent {
     let t_us = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_micros() as u64)
@@ -328,6 +433,7 @@ fn launcher_event(kind: &str, node: u32) -> TraceEvent {
         t_us,
         node,
         incarnation: 0,
+        job,
         kind: kind.to_string(),
         fields: vec![("source".to_string(), "launcher".to_string())],
     }
@@ -443,7 +549,14 @@ fn spawn_node(
     if let Some(every) = spec.metrics_every_s {
         cmd.arg("--metrics-every-s").arg(every.to_string());
     }
-    if resume {
+    if spec.service {
+        // Service pools take their problems from the job stream; the
+        // shared `problem` field is irrelevant and never rendered.
+        cmd.arg("--service");
+        if resume {
+            cmd.arg("--resume").arg("--preconnect-s").arg("1.5");
+        }
+    } else if resume {
         cmd.arg("--resume").arg("--preconnect-s").arg("1.5");
     } else if spec.wire_peers && id != 0 && !joiner {
         cmd.arg("--problem").arg("wire");
@@ -563,6 +676,40 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     }
     let start = Instant::now();
 
+    // Service mode: one launcher-side submit client per job step, each
+    // sleeping until its scheduled time and then blocking on the result
+    // stream — concurrent with the lifecycle plan below, so kills and
+    // restarts land while jobs are mid-flight.
+    let job_threads: Vec<std::thread::JoinHandle<(TraceEvent, JobReport)>> = spec
+        .jobs
+        .iter()
+        .map(|step| {
+            let step = step.clone();
+            let addr = addrs[step.to as usize];
+            std::thread::spawn(move || {
+                let wait = step.at.saturating_sub(start.elapsed());
+                std::thread::sleep(wait);
+                let event = launcher_job_event("submit", step.to, step.job);
+                let result =
+                    step.problem
+                        .instance()
+                        .map_err(|e| e.to_string())
+                        .and_then(|instance| {
+                            submit_job(addr, JobId::from(step.job), &instance, step.timeout)
+                                .map_err(|e| e.to_string())
+                        });
+                (
+                    event,
+                    JobReport {
+                        job: step.job,
+                        to: step.to,
+                        result,
+                    },
+                )
+            })
+        })
+        .collect();
+
     // Execute the lifecycle plan in time order: real SIGKILL (no
     // cleanup, no flush) and checkpoint restarts.
     let mut plan = spec.lifecycle.clone();
@@ -572,6 +719,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     // `Spawned`, so the first life's snapshots are drained before the
     // swap); the launcher's own actions become timeline events.
     let mut metrics: Vec<Vec<ParsedMetrics>> = (0..n).map(|_| Vec::new()).collect();
+    let mut job_lines: Vec<Vec<ParsedJob>> = (0..n).map(|_| Vec::new()).collect();
     let mut timeline: Vec<TraceEvent> = Vec::new();
     for event in &plan {
         let elapsed = start.elapsed();
@@ -604,6 +752,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                     Ok(spawned) => {
                         nodes.push(spawned);
                         metrics.push(Vec::new());
+                        job_lines.push(Vec::new());
                         timeline.push(launcher_event("join", id));
                     }
                     Err(e) => {
@@ -625,6 +774,8 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                 for line in nodes[id as usize].lines.try_iter() {
                     if let Some(m) = parse_metrics_line(&line) {
                         metrics[id as usize].push(m);
+                    } else if let Some(j) = parse_job_line(&line) {
+                        job_lines[id as usize].push(j);
                     }
                 }
                 match restart_node(spec, id, &addrs) {
@@ -641,6 +792,25 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         }
     }
 
+    // Collect the job stream's results (each client self-limits via its
+    // step timeout, so these joins terminate). Submit timestamps merge
+    // into the timeline alongside kills and restarts.
+    let mut job_reports: Vec<JobReport> = Vec::with_capacity(job_threads.len());
+    for handle in job_threads {
+        match handle.join() {
+            Ok((event, report)) => {
+                timeline.push(event);
+                job_reports.push(report);
+            }
+            Err(_) => {
+                reap_all(&mut nodes);
+                return Err(LaunchError::Io(std::io::Error::other(
+                    "a job submit client panicked",
+                )));
+            }
+        }
+    }
+
     // Wait for everything with a global timeout well past the node
     // deadline (nodes self-limit via --deadline-s). Restarts and joins
     // reset the per-node clock, so allow one extra deadline for the
@@ -649,6 +819,7 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
     let patience = spec.deadline + last_event + Duration::from_secs(30);
     let total = nodes.len();
     let mut outcomes: Vec<Option<ParsedOutcome>> = (0..total).map(|_| None).collect();
+    let mut services: Vec<Option<ParsedService>> = (0..total).map(|_| None).collect();
     for id in 0..total {
         loop {
             match nodes[id].child.try_wait() {
@@ -673,6 +844,10 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
                 metrics[id].push(m);
             } else if let Some(o) = parse_outcome_line(&line) {
                 outcomes[id] = Some(o);
+            } else if let Some(j) = parse_job_line(&line) {
+                job_lines[id].push(j);
+            } else if let Some(s) = parse_service_line(&line) {
+                services[id] = Some(s);
             }
         }
     }
@@ -698,17 +873,27 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         .iter()
         .copied()
         .chain(spec.crash_at.iter().map(|&(id, _)| id))
-        .filter(|&id| (id as usize) < total && outcomes[id as usize].is_none())
+        .filter(|&id| {
+            (id as usize) < total
+                && outcomes[id as usize].is_none()
+                && services[id as usize].is_none()
+        })
         .collect();
     effective_killed.sort_unstable();
     effective_killed.dedup();
+    // Service nodes close with an FTBB-SERVICE summary instead of an
+    // FTBB-OUTCOME; "survived" means that summary made it out.
     let all_survivors_terminated = (0..total as u32)
         .filter(|id| !effective_killed.contains(id))
         .all(|id| {
-            outcomes[id as usize]
-                .as_ref()
-                .map(|o| o.terminated)
-                .unwrap_or(false)
+            if spec.service {
+                services[id as usize].is_some()
+            } else {
+                outcomes[id as usize]
+                    .as_ref()
+                    .map(|o| o.terminated)
+                    .unwrap_or(false)
+            }
         });
     let best = outcomes
         .iter()
@@ -724,11 +909,16 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
         all_survivors_terminated,
         metrics,
         timeline,
+        jobs: job_reports,
+        job_lines,
+        services,
     };
     // Per-node expansion counts on stderr, so work skew is visible in CI
-    // logs (the multiprocess tests run with --nocapture there) — and the
-    // telemetry digest when the cluster ran with it on.
+    // logs (the multiprocess tests run with --nocapture there) — the
+    // per-job digest in service mode — and the telemetry digest when the
+    // cluster ran with it on.
     eprint!("{}", report.skew_summary());
+    eprint!("{}", report.job_summary());
     eprint!("{}", report.cluster_report());
     Ok(report)
 }
@@ -736,6 +926,38 @@ pub fn launch(spec: &ClusterSpec) -> Result<ClusterReport, LaunchError> {
 /// Static consistency of the lifecycle plan.
 fn validate_plan(spec: &ClusterSpec) -> Result<(), LaunchError> {
     let bad = |m: String| Err(LaunchError::BadPlan(m));
+    if !spec.jobs.is_empty() && !spec.service {
+        return bad("a job stream needs ClusterSpec::service".to_string());
+    }
+    if spec.service {
+        if spec.wire_peers {
+            return bad(
+                "service pools already ship every instance over the wire; drop wire_peers"
+                    .to_string(),
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        for step in &spec.jobs {
+            if step.job == 0 {
+                return bad("job 0 is reserved for single-run nodes".to_string());
+            }
+            if !seen.insert(step.job) {
+                return bad(format!("duplicate job id {} in the job stream", step.job));
+            }
+            if step.to >= spec.nodes {
+                return bad(format!(
+                    "job {} submits to node {} but the pool has {} nodes",
+                    step.job, step.to, spec.nodes
+                ));
+            }
+            if matches!(step.problem, ProblemSpec::Wire) {
+                return bad(format!(
+                    "job {} has ProblemSpec::Wire; submissions materialize client-side",
+                    step.job
+                ));
+            }
+        }
+    }
     let mut plan = spec.lifecycle.clone();
     plan.sort_by_key(|e| e.at());
     let mut dead: Vec<u32> = Vec::new();
@@ -759,6 +981,13 @@ fn validate_plan(spec: &ClusterSpec) -> Result<(), LaunchError> {
                 }
             }
             LifecycleEvent::Join { node, .. } => {
+                if spec.service {
+                    // The daemon rejects --join with --service; keep the
+                    // plan honest instead of failing at spawn time.
+                    return bad(format!(
+                        "join of node {node}: elastic join is not supported in service mode"
+                    ));
+                }
                 if spec.gossip.is_none() {
                     return bad(format!("join of node {node} needs ClusterSpec::gossip"));
                 }
@@ -847,6 +1076,9 @@ mod tests {
             all_survivors_terminated: true,
             metrics: (0..n).map(|_| Vec::new()).collect(),
             timeline: Vec::new(),
+            jobs: Vec::new(),
+            job_lines: (0..n).map(|_| Vec::new()).collect(),
+            services: (0..n).map(|_| None).collect(),
         }
     }
 
@@ -884,6 +1116,7 @@ mod tests {
                 t_us: 1_000_000,
                 node: 1,
                 incarnation: 0,
+                job: 0,
                 kind: "kill".into(),
                 fields: vec![("source".into(), "launcher".into())],
             },
@@ -891,12 +1124,14 @@ mod tests {
                 t_us: 1_400_000,
                 node: 0,
                 incarnation: 0,
+                job: 0,
                 kind: "suspect".into(),
                 fields: vec![("peer".into(), "1".into())],
             },
         ];
         let snap = ftbb_runtime::MetricsSnapshot {
             id: 0,
+            job: 0,
             incarnation: 0,
             seq: 3,
             elapsed_s: 2.5,
@@ -942,6 +1177,8 @@ mod tests {
             crash_at: Vec::new(),
             problem: ProblemSpec::default(),
             wire_peers: false,
+            service: false,
+            jobs: Vec::new(),
             gossip: None,
             checkpoint_dir: None,
             checkpoint_every_s: 0.1,
@@ -994,6 +1231,73 @@ mod tests {
             Err(LaunchError::BadPlan(e)) => assert!(e.contains("without a preceding kill"), "{e}"),
             other => panic!("expected BadPlan, got {other:?}"),
         }
+
+        // A job stream without service mode.
+        let mut spec = base.clone();
+        spec.jobs = vec![JobStep::submit(
+            1,
+            Duration::ZERO,
+            0,
+            ProblemSpec::default(),
+        )];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("ClusterSpec::service"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+
+        // Service mode: job 0, duplicate ids, out-of-pool gateways, and
+        // elastic joins are all rejected.
+        let mut spec = base.clone();
+        spec.service = true;
+        spec.jobs = vec![JobStep::submit(
+            0,
+            Duration::ZERO,
+            0,
+            ProblemSpec::default(),
+        )];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("reserved"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+        spec.jobs = vec![
+            JobStep::submit(7, Duration::ZERO, 0, ProblemSpec::default()),
+            JobStep::submit(7, Duration::ZERO, 1, ProblemSpec::default()),
+        ];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("duplicate job id 7"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+        spec.jobs = vec![JobStep::submit(
+            7,
+            Duration::ZERO,
+            9,
+            ProblemSpec::default(),
+        )];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("but the pool has"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+        spec.jobs = Vec::new();
+        spec.gossip = Some(GossipTiming::default());
+        spec.lifecycle = vec![LifecycleEvent::join(3, Duration::from_millis(10))];
+        match validate_plan(&spec) {
+            Err(LaunchError::BadPlan(e)) => assert!(e.contains("service mode"), "{e}"),
+            other => panic!("expected BadPlan, got {other:?}"),
+        }
+
+        // A well-formed service plan: staggered jobs, a kill, a restart.
+        let mut spec = base.clone();
+        spec.service = true;
+        spec.checkpoint_dir = Some(PathBuf::from("/tmp/ckpt"));
+        spec.jobs = vec![
+            JobStep::submit(1, Duration::from_millis(0), 0, ProblemSpec::default()),
+            JobStep::submit(2, Duration::from_millis(50), 1, ProblemSpec::default()),
+        ];
+        spec.lifecycle = vec![
+            LifecycleEvent::kill(2, Duration::from_millis(100)),
+            LifecycleEvent::restart(2, Duration::from_millis(200)),
+        ];
+        assert!(validate_plan(&spec).is_ok());
 
         // Kill → restart → kill again is a consistent story.
         let mut spec = base;

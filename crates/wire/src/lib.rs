@@ -13,7 +13,8 @@
 //! | [`tcp`] | [`tcp::TcpMesh`] — the [`ftbb_runtime::Transport`] over sockets, with dynamic peer (re)registration and stale-incarnation filtering |
 //! | [`config`] | `ftbb-noded` TOML/flag configuration (incl. checkpoint/resume and telemetry) |
 //! | [`lines`] | the shared `TAG key=value …` codec behind every `FTBB-*` stdout line |
-//! | [`noded`] | the per-process node daemon body, its ready/metrics/outcome protocol, and the [`noded::DirSink`] checkpoint store |
+//! | [`noded`] | the per-process node daemon body (single-run and `--service` pool modes), its ready/metrics/outcome/job protocol, and the [`noded::DirSink`] / [`noded::ServiceDirSink`] checkpoint stores |
+//! | [`submit`] | the `ftbb-submit` client: send a job to a service pool over one TCP connection and stream its results back |
 //! | [`launcher`] | loopback cluster spawner with a lifecycle plan (SIGKILLs and checkpoint restarts) and cluster-wide telemetry aggregation |
 //!
 //! The `ftbb-noded` binary runs one node per process; the launcher spawns
@@ -40,23 +41,28 @@ pub mod config;
 pub mod launcher;
 pub mod lines;
 pub mod noded;
+pub mod submit;
 pub mod tcp;
 
 pub use codec::{
-    decode_frame, encode_announce, encode_frame, encode_join, encode_rejoin, EncodedFrame,
-    FrameDecoder, JoinFrame, RejoinFrame, RejoinSummary, WireError, WireFrame,
+    decode_frame, encode_accepted, encode_announce, encode_frame, encode_join, encode_rejoin,
+    encode_result, encode_submit, EncodedFrame, FrameDecoder, JoinFrame, RejoinFrame,
+    RejoinSummary, WireError, WireFrame,
 };
 pub use config::{
     member_ids, parse_args, parse_config, ConfigError, KnapsackSpec, MaxSatSpec, NodeConfig,
     ProblemSpec, TreeFileSpec, PROBLEM_KINDS,
 };
 pub use launcher::{
-    launch, ClusterReport, ClusterSpec, GossipTiming, LaunchError, LifecycleEvent, REJOIN_SETTLE,
+    launch, ClusterReport, ClusterSpec, GossipTiming, JobReport, JobStep, LaunchError,
+    LifecycleEvent, REJOIN_SETTLE,
 };
 pub use lines::{render_f64_bits, render_line, Fields};
 pub use noded::{
-    checkpoint_path, metrics_line, outcome_line, parse_metrics_line, parse_outcome_line,
-    parse_ready_line, read_peer_wiring, ready_line, DirSink, NodedReport, ParsedMetrics,
-    ParsedOutcome,
+    checkpoint_path, job_line, metrics_line, outcome_line, parse_job_line, parse_metrics_line,
+    parse_outcome_line, parse_ready_line, parse_service_line, read_peer_wiring, ready_line,
+    service_checkpoint_path, service_line, DirSink, NodedReport, ParsedJob, ParsedMetrics,
+    ParsedOutcome, ParsedService, ServiceDirSink, ServiceReport,
 };
+pub use submit::{submit_job, SubmitOutcome};
 pub use tcp::{TcpMesh, WireConfig};

@@ -43,22 +43,26 @@
 //! for its new life. Frames addressed to (or sent by) the previous life
 //! are counted and dropped as stale by the transport.
 
-use crate::codec::RejoinSummary;
+use crate::codec::{encode_accepted, encode_result, RejoinSummary};
 use crate::config::{NodeConfig, ProblemSpec};
 use crate::lines::{render_f64_bits, render_line, Fields};
 use crate::tcp::TcpMesh;
+use crossbeam::channel::{Receiver, Sender};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{
-    AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, PhaseTimes, Telemetry,
-    TransportStats,
+    AnyExpander, BnbProcess, Checkpoint, CheckpointSink, Expander, JobId, PhaseTimes,
+    ProtocolConfig, Telemetry, TransportStats,
 };
 use ftbb_runtime::{
-    ClusterConfig, CrashSwitch, MetricsSnapshot, NodeEngine, NodeOutcome, Transport,
+    ClusterConfig, CrashSwitch, JobEngine, JobOutcome, MetricsSnapshot, NodeEngine, NodeOutcome,
+    ServiceEngine, ServiceHooks, ServiceOutcome, Transport,
 };
+use std::collections::HashSet;
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Extra grace past the readiness budget that a `--problem wire` node
 /// waits for the root's problem announce before giving up.
@@ -108,6 +112,78 @@ impl CheckpointSink for DirSink {
         std::fs::rename(&self.tmp, &self.path)
             .map_err(|e| format!("rename into {}: {e}", self.path.display()))
     }
+}
+
+/// Checkpoint file of job `job` on node `id` under `dir` — the
+/// service-mode layout: one file per job, so a job completing (or a new
+/// one arriving) never rewrites another job's durable state.
+pub fn service_checkpoint_path(dir: &Path, id: u32, job: JobId) -> PathBuf {
+    dir.join(format!("node-{id}-job-{}.ckpt", job.raw()))
+}
+
+/// The service-mode checkpoint sink: snapshots route to
+/// [`service_checkpoint_path`]`(dir, id, chk.job)` by the job id each
+/// checkpoint carries, with the same atomic write-rename discipline as
+/// [`DirSink`].
+pub struct ServiceDirSink {
+    dir: PathBuf,
+    id: u32,
+}
+
+impl ServiceDirSink {
+    /// Create the directory (if needed) and the per-job sink for node
+    /// `id`.
+    pub fn new(dir: &Path, id: u32) -> std::io::Result<ServiceDirSink> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ServiceDirSink {
+            dir: dir.to_path_buf(),
+            id,
+        })
+    }
+}
+
+impl CheckpointSink for ServiceDirSink {
+    fn store(&mut self, chk: &Checkpoint) -> Result<(), String> {
+        let path = service_checkpoint_path(&self.dir, self.id, chk.job);
+        let tmp = self
+            .dir
+            .join(format!("node-{}-job-{}.ckpt.tmp", self.id, chk.job.raw()));
+        std::fs::write(&tmp, chk.encode()).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("rename into {}: {e}", path.display()))
+    }
+}
+
+/// Scan `dir` for node `id`'s per-job checkpoints (the
+/// [`service_checkpoint_path`] layout) and decode every one. Corrupt or
+/// foreign files are errors — a service restore must never silently
+/// drop a job.
+pub fn scan_service_checkpoints(dir: &Path, id: u32) -> std::io::Result<Vec<Checkpoint>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let prefix = format!("node-{id}-job-");
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with(&prefix) || !name.ends_with(".ckpt") {
+            continue;
+        }
+        let blob = std::fs::read(&path)?;
+        let chk = Checkpoint::decode(&blob)
+            .map_err(|e| bad(format!("corrupt checkpoint {}: {e}", path.display())))?;
+        if chk.me != id {
+            return Err(bad(format!(
+                "checkpoint {} belongs to node {}, not node {id}",
+                path.display(),
+                chk.me
+            )));
+        }
+        found.push(chk);
+    }
+    // Deterministic admission order regardless of directory iteration.
+    found.sort_by_key(|chk| chk.job);
+    Ok(found)
 }
 
 /// Run one node to completion (termination, deadline, or config-driven
@@ -324,7 +400,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                     }
                     let patience = Duration::from_secs_f64(cfg.preconnect_s) + ANNOUNCE_GRACE;
                     match mesh.recv_announce(patience) {
-                        Some((from, instance)) => {
+                        Some((from, _job, instance)) => {
                             telemetry.emit(
                                 "announce_recv",
                                 &[
@@ -351,7 +427,10 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
                 }
                 spec => {
                     let instance = spec.instance().map_err(|e| bad_input(e.to_string()))?;
-                    if holds_root && !peers.is_empty() && !mesh.announce_instance(&instance) {
+                    if holds_root
+                        && !peers.is_empty()
+                        && !mesh.announce_instance(JobId::DEFAULT, &instance)
+                    {
                         // Not fatal: peers with concrete specs never read the
                         // announce, so this cluster still runs. Only `--problem
                         // wire` peers are affected — they will time out waiting
@@ -468,6 +547,416 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         outcome,
         trace_events_dropped,
     })
+}
+
+/// What one service-mode daemon run produced.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// The pump's outcome: one [`JobOutcome`] per admitted job.
+    pub outcome: ServiceOutcome,
+    /// Transport-layer counters at exit.
+    pub transport: TransportStats,
+    /// Trace events the telemetry sink had to shed.
+    pub trace_events_dropped: u64,
+}
+
+/// A reply the pump's hooks queue for the admission thread to write back
+/// to the submitting client (hooks run on the pump thread and must not
+/// block on sockets).
+enum SubmitReply {
+    /// Stream one `JobResult` frame: an incumbent improvement
+    /// (`finished: false`) or the job's final state (`finished:
+    /// terminated`).
+    Result {
+        job: JobId,
+        finished: bool,
+        incumbent: f64,
+        expanded: u64,
+    },
+}
+
+/// Run one node as a member of a long-lived solve pool: admit jobs from
+/// `ftbb-submit` clients (becoming their gateway) and from peer
+/// announces, multiplex every live job over the one mesh, and stream
+/// results back to submitters until the deadline (or a config-driven
+/// crash).
+pub fn run_service(cfg: &NodeConfig) -> std::io::Result<ServiceReport> {
+    cfg.validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let bad_input = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+
+    // Same two-phase startup as the single-run daemon: bind + announce
+    // the resolved address, then learn the topology.
+    let listener = TcpListener::bind(cfg.listen)?;
+    let local_addr = listener.local_addr()?;
+    println!("{}", ready_line(cfg.id, local_addr));
+    std::io::stdout().flush()?;
+
+    let peers = if cfg.peers_from_stdin {
+        read_peer_wiring(std::io::stdin().lock())?
+    } else {
+        cfg.peers.clone()
+    };
+    if peers.iter().any(|&(id, _)| id == cfg.id) {
+        return Err(bad_input(format!("peer wiring contains own id {}", cfg.id)));
+    }
+    let members = crate::config::member_ids(cfg.id, &peers);
+
+    let mut mesh_peers = peers.clone();
+    for &(sid, addr) in &cfg.gossip_servers {
+        if sid == cfg.id {
+            continue;
+        }
+        match addr {
+            Some(a) => {
+                if !mesh_peers.iter().any(|&(id, _)| id == sid) {
+                    mesh_peers.push((sid, a));
+                }
+            }
+            None => {
+                if !peers.iter().any(|&(id, _)| id == sid) {
+                    return Err(bad_input(format!(
+                        "gossip server {sid} has no address and is not in the peer wiring; \
+                         give it as {sid}=HOST:PORT"
+                    )));
+                }
+            }
+        }
+    }
+
+    // Restore EVERY job checkpoint this node left behind: a restarted
+    // service member rejoins each in-flight computation, not just one.
+    let restored: Vec<Checkpoint> = if cfg.resume {
+        let dir = cfg.checkpoint_dir.as_ref().expect("validated with resume");
+        let found = scan_service_checkpoints(dir, cfg.id)?;
+        if found.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "no job checkpoints for node {} under {}",
+                    cfg.id,
+                    dir.display()
+                ),
+            ));
+        }
+        found
+    } else {
+        Vec::new()
+    };
+    // One incarnation per node life, shared by every restored job.
+    let incarnation = restored
+        .iter()
+        .map(|chk| chk.incarnation + 1)
+        .max()
+        .unwrap_or(0);
+
+    let telemetry = match &cfg.trace_file {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Telemetry::to_writer(cfg.id, incarnation, Box::new(file))
+        }
+        None => Telemetry::disabled(),
+    };
+    telemetry.emit(
+        "service_start",
+        &[
+            ("addr", local_addr.to_string()),
+            ("peers", peers.len().to_string()),
+            ("restored_jobs", restored.len().to_string()),
+        ],
+    );
+
+    let (mesh, inbox) = TcpMesh::from_listener_incarnated_with(
+        cfg.id,
+        incarnation,
+        listener,
+        &mesh_peers,
+        cfg.wire_config(),
+    )?;
+    if !mesh.ready(Duration::from_secs_f64(cfg.preconnect_s)) {
+        telemetry.emit(
+            "barrier_timeout",
+            &[("budget_s", cfg.preconnect_s.to_string())],
+        );
+        eprintln!(
+            "ftbb-noded: readiness barrier timed out after {}s; starting on a partial mesh",
+            cfg.preconnect_s
+        );
+    }
+
+    let protocol = {
+        let mut p = ClusterConfig::new(members.len() as u32).protocol;
+        p.membership = cfg.membership();
+        p
+    };
+
+    let mut engine: ServiceEngine<AnyExpander> = ServiceEngine::new(cfg.id, incarnation);
+    engine.daemon(true);
+    engine.set_telemetry(telemetry.clone());
+    if let Some(every_s) = cfg.metrics_every_s {
+        engine.set_metrics_reporter(
+            Duration::from_secs_f64(every_s),
+            Box::new(|snap: &MetricsSnapshot| {
+                println!("{}", metrics_line(snap));
+                let _ = std::io::stdout().flush();
+            }),
+        );
+    }
+
+    // The restored jobs are admitted before the pump starts; one rejoin
+    // frame (aggregated across jobs) re-registers this node's new life
+    // with every peer.
+    let mut seen_jobs: HashSet<JobId> = HashSet::new();
+    for chk in &restored {
+        seen_jobs.insert(chk.job);
+        let job_engine = JobEngine::restore(
+            chk,
+            protocol.clone(),
+            ftbb_runtime::node_seed(cfg.seed ^ chk.job.raw(), cfg.id),
+        )
+        .map_err(bad_input)?;
+        telemetry.emit(
+            "job_restored",
+            &[
+                ("job", chk.job.raw().to_string()),
+                ("table_codes", chk.table.len().to_string()),
+                ("pooled", chk.pool.len().to_string()),
+                ("incumbent", chk.incumbent.to_string()),
+            ],
+        );
+        engine.admit(job_engine);
+    }
+    if !restored.is_empty() {
+        eprintln!(
+            "ftbb-noded: node {} resuming {} job(s) as incarnation {incarnation}",
+            cfg.id,
+            restored.len()
+        );
+        mesh.send_rejoin(RejoinSummary {
+            incumbent: restored
+                .iter()
+                .map(|chk| chk.incumbent)
+                .fold(f64::INFINITY, f64::min),
+            table_codes: restored.iter().map(|chk| chk.table.len() as u32).sum(),
+            pool_len: restored.iter().map(|chk| chk.pool.len() as u32).sum(),
+        });
+    }
+
+    // Mid-flight admission: the admission thread turns submissions and
+    // peer announces into job engines; the pump drains this channel.
+    let (admit_tx, admit_rx) = crossbeam::channel::unbounded();
+    engine.set_admissions(admit_rx);
+
+    // Hooks run on the pump thread; socket writes happen on the
+    // admission thread, connected by this queue.
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<SubmitReply>();
+    let incumbent_tx = reply_tx.clone();
+    engine.set_hooks(ServiceHooks {
+        on_admitted: None,
+        on_incumbent: Some(Box::new(move |job, incumbent| {
+            let _ = incumbent_tx.send(SubmitReply::Result {
+                job,
+                finished: false,
+                incumbent,
+                expanded: 0,
+            });
+        })),
+        on_complete: Some(Box::new(move |outcome: &JobOutcome| {
+            println!("{}", job_line(outcome));
+            let _ = std::io::stdout().flush();
+            let _ = reply_tx.send(SubmitReply::Result {
+                job: outcome.job,
+                finished: outcome.terminated,
+                incumbent: outcome.incumbent,
+                expanded: outcome.metrics.expanded,
+            });
+        })),
+    });
+
+    if let Some(crash_at) = cfg.crash_at_s {
+        let delay = Duration::from_secs_f64(crash_at.max(0.0));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            std::process::abort();
+        });
+    }
+
+    // Build the sink before the scope so io errors surface cleanly.
+    let mut sink: Option<ServiceDirSink> = match &cfg.checkpoint_dir {
+        Some(dir) => Some(ServiceDirSink::new(dir, cfg.id)?),
+        None => None,
+    };
+
+    let deadline = Duration::from_secs_f64(cfg.deadline_s);
+    let epoch = Instant::now();
+    let stop = AtomicBool::new(false);
+    let outcome = std::thread::scope(|scope| {
+        let admitter = scope.spawn(|| {
+            admission_loop(
+                &mesh, cfg, &protocol, &members, epoch, seen_jobs, admit_tx, reply_rx, &stop,
+                &telemetry,
+            )
+        });
+        let outcome = match sink.as_mut() {
+            Some(sink) => engine.run_with_sink(
+                &mesh,
+                inbox,
+                CrashSwitch::default(),
+                deadline,
+                sink,
+                Some(Duration::from_secs_f64(cfg.checkpoint_every_s)),
+            ),
+            None => engine.run(&mesh, inbox, CrashSwitch::default(), deadline),
+        };
+        stop.store(true, Ordering::Release);
+        admitter.join().expect("admission thread never panics");
+        outcome
+    })
+    .expect("crash switch is never tripped in-process");
+
+    mesh.drain(Duration::from_millis(500));
+    let trace_events_dropped = telemetry.events_dropped();
+    drop(telemetry);
+
+    Ok(ServiceReport {
+        transport: mesh.stats(),
+        outcome,
+        trace_events_dropped,
+    })
+}
+
+/// The admission side of a service node: turn `SubmitJob` frames into
+/// gateway jobs (announce the instance, hold the root, accept the
+/// client), turn peer announces into follower jobs, and relay the pump's
+/// result stream back to submitters.
+#[allow(clippy::too_many_arguments)]
+fn admission_loop(
+    mesh: &TcpMesh,
+    cfg: &NodeConfig,
+    protocol: &ProtocolConfig,
+    members: &[u32],
+    epoch: Instant,
+    mut seen: HashSet<JobId>,
+    admit_tx: Sender<JobEngine<AnyExpander>>,
+    reply_rx: Receiver<SubmitReply>,
+    stop: &AtomicBool,
+    telemetry: &Telemetry,
+) {
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+
+        // Gateway path: a client submitted a job here. Announce the
+        // instance to the pool, accept the client, admit the root-holding
+        // engine. Duplicate job ids are re-accepted (the client may be
+        // retrying) but never admitted twice.
+        if let Some((job, instance)) = mesh.recv_submit(Duration::from_millis(10)) {
+            if seen.insert(job) {
+                telemetry.emit(
+                    "job_submitted",
+                    &[
+                        ("job", job.raw().to_string()),
+                        ("kind", instance.kind().to_string()),
+                    ],
+                );
+                if !mesh.announce_instance(job, &instance) {
+                    eprintln!(
+                        "ftbb-noded: job {} instance exceeds the announce frame limit; \
+                         solving on this node alone",
+                        job.raw()
+                    );
+                }
+                mesh.send_submit_reply(job, &encode_accepted(job, cfg.id));
+                let _ = admit_tx.send(build_job(
+                    cfg, protocol, members, epoch, job, instance, true,
+                ));
+            } else {
+                mesh.send_submit_reply(job, &encode_accepted(job, cfg.id));
+            }
+        }
+
+        // Follower path: a peer is some job's gateway; its announce IS
+        // the admission.
+        while let Some((from, job, instance)) = mesh.recv_announce(Duration::ZERO) {
+            if seen.insert(job) {
+                telemetry.emit(
+                    "job_announced",
+                    &[
+                        ("job", job.raw().to_string()),
+                        ("from", from.to_string()),
+                        ("kind", instance.kind().to_string()),
+                    ],
+                );
+                let _ = admit_tx.send(build_job(
+                    cfg, protocol, members, epoch, job, instance, false,
+                ));
+            }
+        }
+
+        // Result stream: incumbents and final outcomes back to whoever
+        // submitted each job here. Peers' jobs have no registered
+        // submitter; send_submit_reply is a no-op for them.
+        while let Ok(reply) = reply_rx.try_recv() {
+            let SubmitReply::Result {
+                job,
+                finished,
+                incumbent,
+                expanded,
+            } = reply;
+            mesh.send_submit_reply(job, &encode_result(job, finished, incumbent, expanded));
+        }
+
+        if stopping {
+            // One final drain already ran above; exit.
+            return;
+        }
+    }
+}
+
+/// Build the per-job engine for a newly admitted job: one protocol core
+/// over the pool's membership, seeded per `(node, job)` so concurrent
+/// jobs make independent random choices.
+fn build_job(
+    cfg: &NodeConfig,
+    protocol: &ProtocolConfig,
+    members: &[u32],
+    epoch: Instant,
+    job: JobId,
+    instance: AnyInstance,
+    holds_root: bool,
+) -> JobEngine<AnyExpander> {
+    let expander = AnyExpander::new(instance.clone());
+    let seed = ftbb_runtime::node_seed(cfg.seed ^ job.raw(), cfg.id);
+    let now = ftbb_des::SimTime::from_secs_f64(epoch.elapsed().as_secs_f64());
+    let core = if cfg.gossip_mode() {
+        let server_ids: Vec<u32> = cfg.gossip_servers.iter().map(|&(id, _)| id).collect();
+        let mut p = BnbProcess::with_membership(
+            cfg.id,
+            server_ids,
+            cfg.is_gossip_server(),
+            protocol.clone(),
+            expander.root_bound(),
+            holds_root,
+            seed,
+            now,
+        );
+        p.seed_membership_view(members, now);
+        p
+    } else {
+        BnbProcess::new(
+            cfg.id,
+            members.to_vec(),
+            protocol.clone(),
+            expander.root_bound(),
+            holds_root,
+            seed,
+        )
+    };
+    let mut engine = JobEngine::new(job, core, expander);
+    engine.bind_problem(instance);
+    engine
 }
 
 /// Render the machine-parseable readiness line a daemon prints the
@@ -617,6 +1106,116 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
     })
 }
 
+/// Render the machine-parseable per-job outcome line a service node
+/// prints when a job completes (and again at exit for jobs still
+/// unfinished, with `terminated=false`). The incumbent ships as raw f64
+/// bits so collectors compare exactly.
+pub fn job_line(outcome: &JobOutcome) -> String {
+    render_line(
+        "FTBB-JOB",
+        &[
+            ("id", outcome.id.to_string()),
+            ("job", outcome.job.raw().to_string()),
+            ("incarnation", outcome.incarnation.to_string()),
+            ("terminated", outcome.terminated.to_string()),
+            ("incumbent_bits", render_f64_bits(outcome.incumbent)),
+            ("incumbent", outcome.incumbent.to_string()),
+            ("expanded", outcome.metrics.expanded.to_string()),
+            ("recoveries", outcome.metrics.recoveries.to_string()),
+        ],
+    )
+}
+
+/// One parsed `FTBB-JOB` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedJob {
+    /// Node id.
+    pub id: u32,
+    /// The job.
+    pub job: u64,
+    /// Incarnation of the reporting service engine.
+    pub incarnation: u32,
+    /// Did the protocol detect termination for this job?
+    pub terminated: bool,
+    /// The job's final incumbent on this node (exact bits).
+    pub incumbent: f64,
+    /// Subproblems this node expanded for the job.
+    pub expanded: u64,
+    /// Complement recoveries this node performed for the job.
+    pub recoveries: u64,
+}
+
+/// Parse a line produced by [`job_line`]. Returns `None` for other
+/// lines (so callers can scan whole stdout streams).
+pub fn parse_job_line(line: &str) -> Option<ParsedJob> {
+    let f = Fields::parse("FTBB-JOB", line)?;
+    Some(ParsedJob {
+        id: f.u32("id")?,
+        job: f.u64("job")?,
+        incarnation: f.u32("incarnation")?,
+        terminated: f.bool("terminated")?,
+        incumbent: f.f64_bits("incumbent_bits")?,
+        expanded: f.u64("expanded")?,
+        recoveries: f.u64("recoveries")?,
+    })
+}
+
+/// Render the machine-parseable service exit line: how many jobs this
+/// node saw, how many finished, and the transport totals.
+pub fn service_line(report: &ServiceReport) -> String {
+    let o = &report.outcome;
+    let t = &report.transport;
+    render_line(
+        "FTBB-SERVICE",
+        &[
+            ("id", o.id.to_string()),
+            ("incarnation", o.incarnation.to_string()),
+            ("jobs", o.jobs.len().to_string()),
+            (
+                "finished",
+                o.jobs.iter().filter(|j| j.terminated).count().to_string(),
+            ),
+            ("trace_dropped", report.trace_events_dropped.to_string()),
+            ("sent", t.sent.to_string()),
+            ("dropped", t.dropped().to_string()),
+        ],
+    )
+}
+
+/// One parsed `FTBB-SERVICE` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedService {
+    /// Node id.
+    pub id: u32,
+    /// Incarnation of the reporting service engine.
+    pub incarnation: u32,
+    /// Jobs admitted over this life.
+    pub jobs: u64,
+    /// Jobs that detected termination.
+    pub finished: u64,
+    /// Trace events shed by the telemetry sink.
+    pub trace_events_dropped: u64,
+    /// Messages handed to the wire.
+    pub sent: u64,
+    /// Send-side drops (all causes).
+    pub dropped: u64,
+}
+
+/// Parse a line produced by [`service_line`]. Returns `None` for other
+/// lines.
+pub fn parse_service_line(line: &str) -> Option<ParsedService> {
+    let f = Fields::parse("FTBB-SERVICE", line)?;
+    Some(ParsedService {
+        id: f.u32("id")?,
+        incarnation: f.u32("incarnation")?,
+        jobs: f.u64("jobs")?,
+        finished: f.u64("finished")?,
+        trace_events_dropped: f.u64("trace_dropped")?,
+        sent: f.u64("sent")?,
+        dropped: f.u64("dropped")?,
+    })
+}
+
 /// Render one machine-parseable `FTBB-METRICS` interval line from a live
 /// engine snapshot: the Figure-3 time breakdown (seconds per category),
 /// the protocol counters behind it, and the transport totals. Printed on
@@ -628,6 +1227,7 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
         "FTBB-METRICS",
         &[
             ("id", snap.id.to_string()),
+            ("job", snap.job.to_string()),
             ("incarnation", snap.incarnation.to_string()),
             ("seq", snap.seq.to_string()),
             ("elapsed_s", format!("{:.6}", snap.elapsed_s)),
@@ -655,6 +1255,8 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
 pub struct ParsedMetrics {
     /// Node id.
     pub id: u32,
+    /// The job this snapshot is scoped to (0 on the single-run path).
+    pub job: u64,
     /// Incarnation of the reporting engine.
     pub incarnation: u32,
     /// Snapshot sequence number within that life.
@@ -688,6 +1290,7 @@ pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
     let f = Fields::parse("FTBB-METRICS", line)?;
     Some(ParsedMetrics {
         id: f.u32("id")?,
+        job: f.u64("job")?,
         incarnation: f.u32("incarnation")?,
         seq: f.u64("seq")?,
         elapsed_s: f.f64("elapsed_s")?,
@@ -776,6 +1379,7 @@ mod tests {
     fn metrics_line_round_trips() {
         let snap = MetricsSnapshot {
             id: 4,
+            job: 3,
             incarnation: 1,
             seq: 7,
             elapsed_s: 2.5,
@@ -807,6 +1411,7 @@ mod tests {
         let line = metrics_line(&snap);
         let parsed = parse_metrics_line(&line).expect("parses");
         assert_eq!(parsed.id, 4);
+        assert_eq!(parsed.job, 3);
         assert_eq!(parsed.incarnation, 1);
         assert_eq!(parsed.seq, 7);
         assert_eq!(parsed.elapsed_s, 2.5);
@@ -888,6 +1493,188 @@ mod tests {
         let back = Checkpoint::decode(&std::fs::read(&path).unwrap()).unwrap();
         assert_eq!(back.incarnation, 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_and_service_lines_round_trip() {
+        let outcome = JobOutcome {
+            job: JobId::from(42),
+            id: 2,
+            incarnation: 1,
+            terminated: true,
+            incumbent: -33.25,
+            metrics: ProcMetrics {
+                expanded: 17,
+                recoveries: 3,
+                ..Default::default()
+            },
+        };
+        let parsed = parse_job_line(&job_line(&outcome)).expect("parses");
+        assert_eq!(
+            parsed,
+            ParsedJob {
+                id: 2,
+                job: 42,
+                incarnation: 1,
+                terminated: true,
+                incumbent: -33.25,
+                expanded: 17,
+                recoveries: 3,
+            }
+        );
+        assert_eq!(parse_job_line("FTBB-OUTCOME id=1"), None);
+
+        let report = ServiceReport {
+            outcome: ServiceOutcome {
+                id: 2,
+                incarnation: 1,
+                jobs: vec![
+                    outcome.clone(),
+                    JobOutcome {
+                        terminated: false,
+                        ..outcome
+                    },
+                ],
+                phase: PhaseTimes::default(),
+                lifetime: Duration::from_millis(5),
+            },
+            transport: TransportStats {
+                sent: 9,
+                dropped_full: 2,
+                ..Default::default()
+            },
+            trace_events_dropped: 1,
+        };
+        let parsed = parse_service_line(&service_line(&report)).expect("parses");
+        assert_eq!(
+            parsed,
+            ParsedService {
+                id: 2,
+                incarnation: 1,
+                jobs: 2,
+                finished: 1,
+                trace_events_dropped: 1,
+                sent: 9,
+                dropped: 2,
+            }
+        );
+        assert_eq!(parse_service_line("noise"), None);
+    }
+
+    #[test]
+    fn service_sink_routes_snapshots_per_job_and_scan_restores_all() {
+        let dir = std::env::temp_dir().join("ftbb-wire-servicesink-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = ServiceDirSink::new(&dir, 7).unwrap();
+
+        let problem = std::sync::Arc::new(AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(
+            4, 8, 2,
+        )));
+        let chk = |job: u64| {
+            BnbProcess::new(
+                7,
+                vec![6, 7],
+                ftbb_core::ProtocolConfig::default(),
+                0.0,
+                true,
+                1,
+            )
+            .checkpoint()
+            .bind(0, Some(problem.clone()))
+            .with_job(JobId::from(job))
+        };
+        sink.store(&chk(11)).unwrap();
+        sink.store(&chk(22)).unwrap();
+
+        assert!(service_checkpoint_path(&dir, 7, JobId::from(11)).exists());
+        assert!(service_checkpoint_path(&dir, 7, JobId::from(22)).exists());
+        assert!(
+            !dir.join("node-7-job-11.ckpt.tmp").exists(),
+            "tmp files must be renamed away"
+        );
+
+        // The scan restores BOTH jobs (sorted), and skips other nodes'
+        // files.
+        sink.store(&chk(33)).unwrap(); // a third job
+        let mut other = ServiceDirSink::new(&dir, 8).unwrap();
+        let mut foreign = chk(99);
+        foreign.me = 8;
+        other.store(&foreign).unwrap();
+
+        let found = scan_service_checkpoints(&dir, 7).unwrap();
+        assert_eq!(
+            found.iter().map(|c| c.job.raw()).collect::<Vec<_>>(),
+            vec![11, 22, 33]
+        );
+        assert!(found.iter().all(|c| c.me == 7));
+
+        // A corrupt file is a loud error, not a silently dropped job.
+        std::fs::write(dir.join("node-7-job-44.ckpt"), b"garbage").unwrap();
+        assert!(scan_service_checkpoints(&dir, 7).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_node_service_solves_submitted_jobs() {
+        // One service node, two jobs submitted over real sockets via the
+        // submit client: both must reach their sequential optima and
+        // stream results back.
+        let cfg = NodeConfig {
+            id: 0,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            peers: Vec::new(),
+            service: true,
+            deadline_s: 3.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            // Capture the ready line's address by binding ourselves: use
+            // a pre-bound port so the submitter knows where to connect.
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            drop(listener);
+            let cfg = NodeConfig {
+                listen: addr,
+                ..cfg
+            };
+            addr_tx.send(addr).unwrap();
+            run_service(&cfg).expect("service runs")
+        });
+        let addr = addr_rx.recv().unwrap();
+
+        let knap = AnyInstance::from(ftbb_bnb::KnapsackInstance::generate(
+            14,
+            50,
+            ftbb_bnb::Correlation::Uncorrelated,
+            0.5,
+            3,
+        ));
+        let sat = AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(10, 30, 2));
+
+        let a = crate::submit::submit_job(addr, JobId::from(1), &knap, Duration::from_secs(10))
+            .expect("job 1 submits");
+        let b = crate::submit::submit_job(addr, JobId::from(2), &sat, Duration::from_secs(10))
+            .expect("job 2 submits");
+
+        let report = handle.join().expect("service thread");
+        assert_eq!(report.outcome.jobs.len(), 2);
+
+        for (job, instance, result) in [(1u64, &knap, &a), (2u64, &sat, &b)] {
+            assert_eq!(result.accepted_by, 0);
+            assert!(result.finished, "job {job} must finish");
+            let reference = ftbb_bnb::solve(instance, &ftbb_bnb::SolveConfig::default());
+            assert_eq!(Some(result.incumbent), reference.best, "job {job} parity");
+            let outcome = report
+                .outcome
+                .jobs
+                .iter()
+                .find(|o| o.job.raw() == job)
+                .expect("job outcome reported");
+            assert!(outcome.terminated);
+            assert_eq!(Some(outcome.incumbent), reference.best);
+        }
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! The `ftbb-submit` client: hand a job to a running service pool and
+//! stream its results back.
+//!
+//! A submitter is not a pool member — it speaks three frame kinds over
+//! one plain TCP connection to any service node (the *gateway* for this
+//! job): it sends one `SubmitJob` frame, then reads `JobAccepted` (which
+//! node took the job) and a stream of `JobResult` frames — incumbent
+//! improvements (`finished=false`) followed by the final optimum
+//! (`finished=true`). No mesh, no membership, no incarnation tags.
+
+use crate::codec::{encode_submit, FrameDecoder, WireFrame};
+use ftbb_bnb::AnyInstance;
+use ftbb_core::JobId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// What one submission produced, as seen from the client side.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The job that was submitted.
+    pub job: JobId,
+    /// The pool node that accepted it (the job's gateway).
+    pub accepted_by: u32,
+    /// Incumbent improvements streamed before the final result, in
+    /// arrival order.
+    pub incumbents: Vec<f64>,
+    /// Did the pool detect termination (optimality proven)?
+    pub finished: bool,
+    /// The final incumbent.
+    pub incumbent: f64,
+    /// Subproblems the gateway expanded for this job (its local count,
+    /// not the pool-wide total).
+    pub expanded: u64,
+}
+
+fn timed_out(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::TimedOut, msg)
+}
+
+/// Submit `instance` as `job` to the service node at `addr` and block
+/// until the final `JobResult` arrives (or `timeout` expires). The
+/// stream is read in short slices so a slow pool never wedges the
+/// client past its deadline.
+pub fn submit_job(
+    addr: SocketAddr,
+    job: JobId,
+    instance: &AnyInstance,
+    timeout: Duration,
+) -> std::io::Result<SubmitOutcome> {
+    let frame = encode_submit(job, instance);
+    if frame.exceeds_limit() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "instance exceeds the frame payload limit; ship it out of band (tree file)",
+        ));
+    }
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout.min(Duration::from_secs(5)))?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(&frame.bytes)?;
+
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut accepted_by: Option<u32> = None;
+    let mut incumbents = Vec::new();
+    loop {
+        if Instant::now() >= deadline {
+            return Err(timed_out(format!(
+                "no final result for job {} within {:.1}s",
+                job.raw(),
+                timeout.as_secs_f64()
+            )));
+        }
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "gateway closed the stream before job {} finished",
+                        job.raw()
+                    ),
+                ));
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        decoder.push(&buf[..n]);
+        loop {
+            match decoder.try_next() {
+                Ok(Some(WireFrame::JobAccepted { job: j, node })) if j == job => {
+                    accepted_by = Some(node);
+                }
+                Ok(Some(WireFrame::JobResult {
+                    job: j,
+                    finished,
+                    incumbent,
+                    expanded,
+                })) if j == job => {
+                    if finished {
+                        return Ok(SubmitOutcome {
+                            job,
+                            accepted_by: accepted_by.unwrap_or(u32::MAX),
+                            incumbents,
+                            finished: true,
+                            incumbent,
+                            expanded,
+                        });
+                    }
+                    incumbents.push(incumbent);
+                }
+                // Frames for other jobs (a shared client socket is not
+                // supported, but tolerated) and any other kind: skip.
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("corrupt result stream for job {}: {e}", job.raw()),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -65,18 +65,18 @@
 //! via the books, its address — epidemically.
 
 use crate::codec::{
-    encode_announce, encode_frame, encode_join, encode_rejoin, FrameDecoder, JoinFrame,
-    RejoinFrame, RejoinSummary, WireFrame,
+    encode_announce, encode_frame, encode_join, encode_rejoin, EncodedFrame, FrameDecoder,
+    JoinFrame, RejoinFrame, RejoinSummary, WireFrame,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ftbb_bnb::AnyInstance;
-use ftbb_core::{Msg, TransportCounters};
+use ftbb_core::{JobId, Msg, TransportCounters};
 use ftbb_runtime::{Envelope, Transport};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Soft bound on frames queued toward one peer; beyond it sends are
@@ -272,8 +272,16 @@ pub struct TcpMesh {
     registry: Arc<Registry>,
     inbox_tx: Sender<Envelope>,
     /// Problem-announce frames land here instead of the inbox: they are
-    /// a pre-`Start` handshake, not protocol traffic.
-    announce_rx: Receiver<(u32, AnyInstance)>,
+    /// a pre-`Start` handshake (in service mode: a job admission), not
+    /// protocol traffic.
+    announce_rx: Receiver<(u32, JobId, AnyInstance)>,
+    /// Job submissions from `ftbb-submit` clients (service mode); the
+    /// reader has already registered the submitter's stream in
+    /// `submitters` by the time a submission surfaces here.
+    submit_rx: Receiver<(JobId, AnyInstance)>,
+    /// Per-job back-channel to the submitting client, for
+    /// [`TcpMesh::send_submit_reply`].
+    submitters: Arc<Mutex<HashMap<JobId, TcpStream>>>,
     /// Rejoin frames, after the registry has acted on them — for logging
     /// and tests; draining is optional.
     rejoin_rx: Receiver<RejoinFrame>,
@@ -347,6 +355,8 @@ impl TcpMesh {
         let (announce_tx, announce_rx) = unbounded();
         let (rejoin_tx, rejoin_rx) = unbounded();
         let (join_tx, join_rx) = unbounded();
+        let (submit_tx, submit_rx) = unbounded();
+        let submitters = Arc::new(Mutex::new(HashMap::new()));
 
         let registry = Arc::new(Registry {
             me,
@@ -368,6 +378,8 @@ impl TcpMesh {
                 announce: announce_tx,
                 rejoin: rejoin_tx,
                 join: join_tx,
+                submit: submit_tx,
+                submitters: Arc::clone(&submitters),
             },
             Arc::clone(&shutdown),
         );
@@ -377,6 +389,8 @@ impl TcpMesh {
                 registry,
                 inbox_tx,
                 announce_rx,
+                submit_rx,
+                submitters,
                 rejoin_rx,
                 join_rx,
                 local_addr,
@@ -400,9 +414,9 @@ impl TcpMesh {
     /// [`crate::codec::MAX_FRAME_PAYLOAD`] — receivers would reject the
     /// frame and drop the connection, so an oversize workload must travel
     /// out of band (e.g. a shared tree file) instead.
-    pub fn announce_instance(&self, instance: &AnyInstance) -> bool {
+    pub fn announce_instance(&self, job: JobId, instance: &AnyInstance) -> bool {
         let registry = &self.registry;
-        let frame = encode_announce(registry.me, registry.my_incarnation, instance);
+        let frame = encode_announce(registry.me, registry.my_incarnation, job, instance);
         let peers = registry.peers.read().expect("peer map poisoned");
         if frame.exceeds_limit() {
             for _ in 0..peers.len() {
@@ -424,9 +438,35 @@ impl TcpMesh {
     }
 
     /// Wait (up to `timeout`) for a peer's problem announce. Returns the
-    /// announcing node's id and the decoded, already-validated instance.
-    pub fn recv_announce(&self, timeout: Duration) -> Option<(u32, AnyInstance)> {
+    /// announcing node's id, the job the instance belongs to, and the
+    /// decoded, already-validated instance.
+    pub fn recv_announce(&self, timeout: Duration) -> Option<(u32, JobId, AnyInstance)> {
         self.announce_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Wait (up to `timeout`) for a job submission from an `ftbb-submit`
+    /// client. By the time a submission surfaces here, the reader has
+    /// registered the client's stream so [`TcpMesh::send_submit_reply`]
+    /// can stream `JobAccepted` / `JobResult` frames back to it.
+    pub fn recv_submit(&self, timeout: Duration) -> Option<(JobId, AnyInstance)> {
+        self.submit_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Write an already-encoded frame back to the client that submitted
+    /// `job`. Returns `false` when no submitter is registered for the job
+    /// (it never submitted here, or an earlier write failed and evicted
+    /// it); a failed write also evicts the stream so later replies fail
+    /// fast instead of blocking on a dead socket.
+    pub fn send_submit_reply(&self, job: JobId, frame: &EncodedFrame) -> bool {
+        let mut submitters = self.submitters.lock().expect("submitter map poisoned");
+        let Some(stream) = submitters.get_mut(&job) else {
+            return false;
+        };
+        if stream.write_all(&frame.bytes).is_err() {
+            submitters.remove(&job);
+            return false;
+        }
+        true
     }
 
     /// Announce this node's rejoin to every peer: its id, its new
@@ -560,13 +600,13 @@ impl TcpMesh {
 }
 
 impl Transport for TcpMesh {
-    fn send(&self, from: u32, to: u32, msg: Msg) {
+    fn send(&self, job: JobId, from: u32, to: u32, msg: Msg) {
         let registry = &self.registry;
         if to == registry.me {
             // Self-sends short-circuit the network, like the in-process
             // mesh delivering to the sender's own inbox.
             let wire = msg.wire_size();
-            if self.inbox_tx.try_send(Envelope { from, msg }).is_ok() {
+            if self.inbox_tx.try_send(Envelope { job, from, msg }).is_ok() {
                 registry.counters.record_send(wire, wire);
             } else {
                 registry.counters.record_dropped_disconnected();
@@ -599,7 +639,7 @@ impl Transport for TcpMesh {
             Vec::new()
         };
         let frame = encode_frame(
-            &Envelope { from, msg },
+            &Envelope { job, from, msg },
             registry.my_incarnation,
             peer.incarnation.load(Ordering::Acquire),
             &book,
@@ -650,9 +690,11 @@ impl Drop for TcpMesh {
 #[derive(Clone)]
 struct ReaderSinks {
     inbox: Sender<Envelope>,
-    announce: Sender<(u32, AnyInstance)>,
+    announce: Sender<(u32, JobId, AnyInstance)>,
     rejoin: Sender<RejoinFrame>,
     join: Sender<JoinFrame>,
+    submit: Sender<(JobId, AnyInstance)>,
+    submitters: Arc<Mutex<HashMap<JobId, TcpStream>>>,
 }
 
 fn spawn_acceptor(
@@ -757,6 +799,7 @@ fn spawn_reader(
                             Ok(Some(WireFrame::Announce {
                                 from,
                                 incarnation,
+                                job,
                                 instance,
                             })) => {
                                 if !registry.admit_sender(from, incarnation) {
@@ -765,9 +808,31 @@ fn spawn_reader(
                                 }
                                 registry.note_sender_life(from, incarnation);
                                 registry.counters.record_announce_recv();
-                                if sinks.announce.try_send((from, instance)).is_err() {
+                                if sinks.announce.try_send((from, job, instance)).is_err() {
                                     return; // local node gone
                                 }
+                            }
+                            Ok(Some(WireFrame::SubmitJob { job, instance })) => {
+                                // A submit client is not a pool member: no
+                                // registry entry, no incarnation gate. Keep
+                                // its stream so accepted/result frames can
+                                // travel back on the same connection.
+                                if let Ok(back) = stream.try_clone() {
+                                    sinks
+                                        .submitters
+                                        .lock()
+                                        .expect("submitter map poisoned")
+                                        .insert(job, back);
+                                }
+                                if sinks.submit.try_send((job, instance)).is_err() {
+                                    return; // local node gone
+                                }
+                            }
+                            Ok(Some(WireFrame::JobAccepted { .. }))
+                            | Ok(Some(WireFrame::JobResult { .. })) => {
+                                // Pool nodes never expect these (they flow
+                                // gateway -> submit client); tolerate and
+                                // drop rather than severing the stream.
                             }
                             Ok(Some(WireFrame::Rejoin(frame))) => {
                                 if !registry.admit_sender(frame.from, frame.incarnation) {
@@ -1136,12 +1201,12 @@ mod tests {
         let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[(1, addr_b)]).unwrap();
         let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
 
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 7.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 7.0 });
         let env = recv_msg(&rx_b, Duration::from_secs(5)).expect("message arrives");
         assert_eq!(env.from, 0);
         assert_eq!(env.msg, Msg::WorkRequest { incumbent: 7.0 });
 
-        mesh_b.send(1, 0, Msg::WorkDeny { incumbent: 7.0 });
+        mesh_b.send(JobId::DEFAULT, 1, 0, Msg::WorkDeny { incumbent: 7.0 });
         // Flushed queues mean settled counters (the drain happy path).
         assert!(mesh_a.drain(Duration::from_secs(5)));
         assert!(mesh_b.drain(Duration::from_secs(5)));
@@ -1157,7 +1222,7 @@ mod tests {
     fn self_send_delivers_locally() {
         let addr = free_addr();
         let (mesh, rx) = TcpMesh::bind(4, addr, &[]).unwrap();
-        mesh.send(4, 4, Msg::WorkDeny { incumbent: 1.0 });
+        mesh.send(JobId::DEFAULT, 4, 4, Msg::WorkDeny { incumbent: 1.0 });
         let env = recv_msg(&rx, Duration::from_secs(1)).expect("self-send arrives");
         assert_eq!(env.from, 4);
         assert_eq!(mesh.stats().sent, 1);
@@ -1189,7 +1254,7 @@ mod tests {
 
         // Traffic after the barrier flows without a single drop.
         let (_mesh_b, rx_b) = late.join().expect("peer thread");
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 4.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 4.0 });
         assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
         assert!(mesh_a.drain(Duration::from_secs(5)));
         let stats = mesh_a.stats();
@@ -1205,7 +1270,7 @@ mod tests {
 
         // The startup-skew scenario: fire before the peer's listener is
         // up. Pre-fix this frame was silently dropped.
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 42.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 42.0 });
         std::thread::sleep(Duration::from_millis(150)); // well inside the window
 
         let (_mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
@@ -1226,7 +1291,7 @@ mod tests {
         let addr = free_addr();
         let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, dead)]).unwrap();
         for _ in 0..3 {
-            mesh.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+            mesh.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 0.0 });
         }
         // The frames are parked for retry, not dropped instantly: a
         // short drain times out with the window still holding them…
@@ -1247,7 +1312,7 @@ mod tests {
 
         // Past the budget, semantics revert to the Crash model's instant
         // counted drop, attributed to the steady-state bucket.
-        mesh.send(0, 1, Msg::WorkRequest { incumbent: 1.0 });
+        mesh.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 1.0 });
         assert!(mesh.drain(Duration::from_secs(2)));
         let stats = mesh.stats();
         assert_eq!(stats.dropped_startup, 3, "{stats:?}");
@@ -1261,7 +1326,7 @@ mod tests {
         let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, dead)]).unwrap();
         let total = RETRY_MAX_FRAMES + 10;
         for _ in 0..total {
-            mesh.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+            mesh.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 0.0 });
         }
         assert!(mesh.drain(RETRY_WINDOW + Duration::from_secs(3)));
         let stats = mesh.stats();
@@ -1313,14 +1378,15 @@ mod tests {
         assert!(mesh_a.ready(Duration::from_secs(10)));
 
         let instance = ftbb_bnb::AnyInstance::from(ftbb_bnb::MaxSatInstance::generate(6, 12, 9));
-        assert!(mesh_a.announce_instance(&instance));
+        assert!(mesh_a.announce_instance(JobId::from(9), &instance));
         assert_eq!(mesh_a.stats().announces_sent, 2);
 
         for mesh in [&mesh_b, &mesh_c] {
-            let (from, got) = mesh
+            let (from, job, got) = mesh
                 .recv_announce(Duration::from_secs(5))
                 .expect("announce arrives");
             assert_eq!(from, 0);
+            assert_eq!(job, JobId::from(9));
             assert_eq!(got, instance);
             assert_eq!(mesh.stats().announces_recv, 1);
         }
@@ -1341,11 +1407,11 @@ mod tests {
             ..Default::default()
         });
         let instance = ftbb_bnb::AnyInstance::from(tree);
-        assert!(crate::codec::encode_announce(0, 0, &instance).exceeds_limit());
+        assert!(crate::codec::encode_announce(0, 0, JobId::DEFAULT, &instance).exceeds_limit());
 
         let addr = free_addr();
         let (mesh, _rx) = TcpMesh::bind(0, addr, &[(1, free_addr()), (2, free_addr())]).unwrap();
-        assert!(!mesh.announce_instance(&instance));
+        assert!(!mesh.announce_instance(JobId::DEFAULT, &instance));
         assert_eq!(mesh.stats().dropped_full, 2);
         assert_eq!(mesh.stats().announces_sent, 0);
         assert_eq!(mesh.stats().sent, 0);
@@ -1355,7 +1421,7 @@ mod tests {
     fn unknown_destination_counts_no_route() {
         let addr = free_addr();
         let (mesh, _rx) = TcpMesh::bind(0, addr, &[]).unwrap();
-        mesh.send(0, 9, Msg::WorkRequest { incumbent: 0.0 });
+        mesh.send(JobId::DEFAULT, 0, 9, Msg::WorkRequest { incumbent: 0.0 });
         assert_eq!(mesh.stats().dropped_no_route, 1);
     }
 
@@ -1369,7 +1435,7 @@ mod tests {
         // barrier instead of send-and-hope.
         let (mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
         assert!(mesh_a.ready(Duration::from_secs(10)));
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 1.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 1.0 });
         assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
         drop(rx_b);
         drop(mesh_b);
@@ -1379,7 +1445,7 @@ mod tests {
         // keep probing under a deadline instead of sleeping blind.
         assert!(
             wait_until(Duration::from_secs(10), || {
-                mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 2.0 });
+                mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 2.0 });
                 mesh_a.drain(Duration::from_millis(50));
                 mesh_a.stats().dropped_disconnected > 0
             }),
@@ -1397,7 +1463,7 @@ mod tests {
         assert_eq!(mesh_b2.incarnation(), 1);
         assert!(
             wait_until(Duration::from_secs(10), || {
-                mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 3.0 });
+                mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkDeny { incumbent: 3.0 });
                 mesh_a.drain(Duration::from_millis(50));
                 mesh_b2.stats().dropped_stale > 0
             }),
@@ -1421,7 +1487,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while Instant::now() < deadline {
-            mesh_a.send(0, 1, Msg::WorkDeny { incumbent: 4.0 });
+            mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkDeny { incumbent: 4.0 });
             if let Some(env) = recv_msg(&rx_b2, Duration::from_millis(100)) {
                 assert!(matches!(env.msg, Msg::WorkDeny { .. }));
                 delivered = true;
@@ -1440,7 +1506,7 @@ mod tests {
         let (mesh_a1, _rx_a1) = TcpMesh::bind(7, addr_a1, &[(8, addr_b)]).unwrap();
         let (mesh_b, rx_b) = TcpMesh::bind(8, addr_b, &[(7, addr_a1)]).unwrap();
         assert!(mesh_a1.ready(Duration::from_secs(10)));
-        mesh_a1.send(7, 8, Msg::WorkRequest { incumbent: 1.0 });
+        mesh_a1.send(JobId::DEFAULT, 7, 8, Msg::WorkRequest { incumbent: 1.0 });
         assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
 
         // First life of node 7 dies; its second life binds elsewhere.
@@ -1471,7 +1537,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while Instant::now() < deadline {
-            mesh_b.send(8, 7, Msg::WorkDeny { incumbent: 2.0 });
+            mesh_b.send(JobId::DEFAULT, 8, 7, Msg::WorkDeny { incumbent: 2.0 });
             if recv_msg(&rx_a2, Duration::from_millis(100)).is_some() {
                 delivered = true;
                 break;
@@ -1513,8 +1579,8 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         let (mut a_heard, mut b_heard) = (false, false);
         while Instant::now() < deadline && !(a_heard && b_heard) {
-            mesh_a.send(11, 12, Msg::WorkRequest { incumbent: 1.0 });
-            mesh_b.send(12, 11, Msg::WorkRequest { incumbent: 2.0 });
+            mesh_a.send(JobId::DEFAULT, 11, 12, Msg::WorkRequest { incumbent: 1.0 });
+            mesh_b.send(JobId::DEFAULT, 12, 11, Msg::WorkRequest { incumbent: 2.0 });
             b_heard |= recv_msg(&rx_b, Duration::from_millis(50)).is_some();
             a_heard |= recv_msg(&rx_a, Duration::from_millis(50)).is_some();
         }
@@ -1560,7 +1626,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while Instant::now() < deadline {
-            server.send(0, 7, Msg::WorkDeny { incumbent: 1.0 });
+            server.send(JobId::DEFAULT, 0, 7, Msg::WorkDeny { incumbent: 1.0 });
             if recv_msg(&rx_joiner, Duration::from_millis(100)).is_some() {
                 delivered = true;
                 break;
@@ -1590,7 +1656,12 @@ mod tests {
             "B starts knowing only A (and itself)"
         );
 
-        mesh_a.send(0, 1, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        mesh_a.send(
+            JobId::DEFAULT,
+            0,
+            1,
+            Msg::Membership(MembershipMsg::Join { member: 0 }),
+        );
         assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
         assert_eq!(
             mesh_b.stats().peers_discovered,
@@ -1601,7 +1672,7 @@ mod tests {
         assert_eq!(mesh_b.endpoints(), 3);
 
         // …and the learned route carries traffic.
-        mesh_b.send(1, 2, Msg::WorkRequest { incumbent: 4.0 });
+        mesh_b.send(JobId::DEFAULT, 1, 2, Msg::WorkRequest { incumbent: 4.0 });
         assert!(
             recv_msg(&rx_c, Duration::from_secs(5)).is_some(),
             "B must reach C through the discovered route"
@@ -1609,7 +1680,7 @@ mod tests {
 
         // Non-membership traffic ships no book: a fresh mesh that only
         // ever saw work traffic discovers nothing.
-        mesh_a.send(0, 2, Msg::WorkRequest { incumbent: 1.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 2, Msg::WorkRequest { incumbent: 1.0 });
         assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
         assert_eq!(_mesh_c.stats().peers_discovered, 0);
     }
@@ -1629,14 +1700,19 @@ mod tests {
         mesh_c.register_peer(0, addr_a_stale, 0); // the stale route
         assert!(mesh_a.ready(Duration::from_secs(10)));
 
-        mesh_a.send(0, 2, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        mesh_a.send(
+            JobId::DEFAULT,
+            0,
+            2,
+            Msg::Membership(MembershipMsg::Join { member: 0 }),
+        );
         assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
 
         // C's writer now points at addr_a_real: traffic flows again.
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while Instant::now() < deadline {
-            mesh_c.send(2, 0, Msg::WorkDeny { incumbent: 2.0 });
+            mesh_c.send(JobId::DEFAULT, 2, 0, Msg::WorkDeny { incumbent: 2.0 });
             if recv_msg(&rx_a, Duration::from_millis(100)).is_some() {
                 delivered = true;
                 break;
@@ -1668,12 +1744,17 @@ mod tests {
         let (mesh_c, rx_c) = TcpMesh::bind(2, addr_c, &[(0, addr_a)]).unwrap();
         assert!(mesh_a.ready(Duration::from_secs(10)));
 
-        mesh_a.send(0, 2, Msg::Membership(MembershipMsg::Join { member: 0 }));
+        mesh_a.send(
+            JobId::DEFAULT,
+            0,
+            2,
+            Msg::Membership(MembershipMsg::Join { member: 0 }),
+        );
         assert!(recv_msg(&rx_c, Duration::from_secs(5)).is_some());
         assert_eq!(mesh_c.stats().peers_discovered, 1, "{:?}", mesh_c.stats());
 
         // C's very first frame to B is admitted by incarnation-2 B.
-        mesh_c.send(2, 1, Msg::WorkRequest { incumbent: 1.0 });
+        mesh_c.send(JobId::DEFAULT, 2, 1, Msg::WorkRequest { incumbent: 1.0 });
         assert!(
             recv_msg(&rx_b, Duration::from_secs(5)).is_some(),
             "frames to a discovered peer must carry its relayed incarnation: {:?}",
@@ -1697,7 +1778,7 @@ mod tests {
         let (mesh, _rx) =
             TcpMesh::from_listener_incarnated_with(0, 0, listener, &[(1, dead)], cfg).unwrap();
         for _ in 0..5 {
-            mesh.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+            mesh.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 0.0 });
         }
         assert!(
             mesh.drain(Duration::from_secs(3)),
@@ -1720,7 +1801,7 @@ mod tests {
         let (mesh_a, _rx_a) = TcpMesh::bind(0, addr_a, &[]).unwrap();
         let (_mesh_b, rx_b) = TcpMesh::bind(1, addr_b, &[(0, addr_a)]).unwrap();
 
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 0.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 0.0 });
         assert_eq!(
             mesh_a.stats().dropped_no_route,
             1,
@@ -1731,7 +1812,7 @@ mod tests {
         mesh_a.register_peer(1, addr_b, 0);
         assert_eq!(mesh_a.endpoints(), 2);
         assert!(mesh_a.ready(Duration::from_secs(10)));
-        mesh_a.send(0, 1, Msg::WorkRequest { incumbent: 1.0 });
+        mesh_a.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: 1.0 });
         assert!(recv_msg(&rx_b, Duration::from_secs(5)).is_some());
     }
 
@@ -1759,7 +1840,7 @@ mod tests {
         assert!(mesh_b.recv_rejoin(Duration::from_secs(5)).is_some());
 
         // The previous life keeps talking into its established socket.
-        mesh_a_old.send(3, 4, Msg::WorkRequest { incumbent: 9.0 });
+        mesh_a_old.send(JobId::DEFAULT, 3, 4, Msg::WorkRequest { incumbent: 9.0 });
         assert!(mesh_a_old.drain(Duration::from_secs(5)));
         assert!(
             wait_until(Duration::from_secs(5), || mesh_b.stats().dropped_stale >= 1),

@@ -3,11 +3,11 @@
 //! fail loudly (errors), never quietly (panics or wrong data).
 
 use ftbb_bnb::AnyInstance;
-use ftbb_core::{GrantItem, Msg};
+use ftbb_core::{GrantItem, JobId, Msg};
 use ftbb_gossip::{MembershipMsg, ViewDigest};
 use ftbb_runtime::Envelope;
 use ftbb_tree::Code;
-use ftbb_wire::{encode_announce, encode_frame, FrameDecoder, WireFrame};
+use ftbb_wire::{encode_announce, encode_frame, FrameDecoder, WireError, WireFrame};
 use proptest::prelude::*;
 
 /// Strategy for an arbitrary (possibly deep) tree code.
@@ -139,13 +139,14 @@ proptest! {
     #[test]
     fn every_msg_survives_framing_and_split_reads(
         msg in msg_strategy(),
+        job in any::<u64>(),
         from in any::<u32>(),
         from_incarnation in any::<u32>(),
         to_incarnation in any::<u32>(),
         book in book_strategy(),
         chunk in 1usize..64,
     ) {
-        let env = Envelope { from, msg };
+        let env = Envelope { job: JobId::from(job), from, msg };
         let frame = encode_frame(&env, from_incarnation, to_incarnation, &book);
         prop_assert!(frame.encoded_len() > frame.wire_size,
             "frame header must add bytes");
@@ -172,7 +173,7 @@ proptest! {
         let mut stream = Vec::new();
         for msg in &msgs {
             stream.extend_from_slice(
-                &encode_frame(&Envelope { from, msg: msg.clone() }, 0, 0, &[]).bytes,
+                &encode_frame(&Envelope { job: JobId::DEFAULT, from, msg: msg.clone() }, 0, 0, &[]).bytes,
             );
         }
         let mut dec = FrameDecoder::new();
@@ -193,7 +194,7 @@ proptest! {
     /// errors, never panics, and never yields a message.
     #[test]
     fn truncated_frames_pend_not_panic(msg in msg_strategy(), cut_seed in any::<u64>()) {
-        let frame = encode_frame(&Envelope { from: 1, msg }, 0, 0, &[]).bytes;
+        let frame = encode_frame(&Envelope { job: JobId::DEFAULT, from: 1, msg }, 0, 0, &[]).bytes;
         let cut = (cut_seed as usize) % frame.len();
         let mut dec = FrameDecoder::new();
         dec.push(&frame[..cut]);
@@ -204,7 +205,7 @@ proptest! {
     /// returns an error or keeps pending; it never returns wrong data.
     #[test]
     fn corruption_never_decodes_silently(msg in msg_strategy(), pos_seed in any::<u64>(), flip in 1u8..=255) {
-        let env = Envelope { from: 9, msg };
+        let env = Envelope { job: JobId::from(7), from: 9, msg };
         let frame = encode_frame(&env, 3, 4, &[]).bytes;
         let pos = (pos_seed as usize) % frame.len();
         let mut bad = frame.clone();
@@ -258,9 +259,10 @@ proptest! {
         instance in any_instance_strategy(),
         from in any::<u32>(),
         incarnation in any::<u32>(),
+        job in any::<u64>(),
         chunk in 1usize..512,
     ) {
-        let frame = encode_announce(from, incarnation, &instance);
+        let frame = encode_announce(from, incarnation, JobId::from(job), &instance);
         prop_assert!(!frame.exceeds_limit());
         let mut dec = FrameDecoder::new();
         let mut decoded = None;
@@ -272,13 +274,55 @@ proptest! {
             }
         }
         match decoded.expect("frame fully fed") {
-            WireFrame::Announce { from: got_from, incarnation: got_inc, instance: got } => {
+            WireFrame::Announce { from: got_from, incarnation: got_inc, job: got_job, instance: got } => {
                 prop_assert_eq!(got_from, from);
                 prop_assert_eq!(got_inc, incarnation);
+                prop_assert_eq!(got_job, JobId::from(job));
                 prop_assert!(got.validate().is_ok());
                 prop_assert_eq!(got, instance);
             }
             other => prop_assert!(false, "expected announce, got {:?}", other),
+        }
+    }
+
+    /// Backward-compatibility pin for codec v5: a frame stamped with ANY
+    /// pre-v5 version (or a future one) — regardless of what its payload
+    /// holds or how the bytes arrive off the socket — decodes to the
+    /// typed [`WireError::UnsupportedVersion`] carrying that exact
+    /// version. It never panics, and it NEVER misparses the old layout
+    /// as current-version fields (no `Ok(Some(_))` is possible).
+    #[test]
+    fn pre_v5_frames_fail_typed_never_misparse(
+        msg in msg_strategy(),
+        version in any::<u16>().prop_map(|v| {
+            // Every version except the current one (remap collisions).
+            if v == ftbb_wire::codec::VERSION { v ^ 1 } else { v }
+        }),
+        chunk in 1usize..64,
+    ) {
+        // A perfectly well-formed frame… except for its version stamp.
+        // v1..v4 frames on a real socket differ in payload layout too;
+        // the version gate must reject them before any payload parsing,
+        // so the payload content is irrelevant — the strategy covers
+        // every message shape anyway.
+        let mut bytes =
+            encode_frame(&Envelope { job: JobId::DEFAULT, from: 2, msg }, 1, 1, &[]).bytes;
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        let mut outcome = None;
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            match dec.try_next() {
+                Ok(None) => {}
+                other => { outcome = Some(other); break; }
+            }
+        }
+        match outcome {
+            Some(Err(WireError::UnsupportedVersion(v))) => prop_assert_eq!(v, version),
+            other => prop_assert!(
+                false,
+                "pre-v5 frame must fail typed, got {:?}", other
+            ),
         }
     }
 

@@ -140,7 +140,7 @@ fn report_strategy() -> impl Strategy<Value = NodedReport> {
 
 fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
     (
-        any::<u32>(),
+        (any::<u32>(), any::<u64>()),
         0u32..8,
         any::<u64>(),
         micros_strategy(),
@@ -150,9 +150,10 @@ fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
         transport_strategy(),
     )
         .prop_map(
-            |(id, inc, seq, elapsed, phase, (expanded, rec, sus, forg), (mev, tev), t)| {
+            |((id, job), inc, seq, elapsed, phase, (expanded, rec, sus, forg), (mev, tev), t)| {
                 MetricsSnapshot {
                     id,
+                    job,
                     incarnation: inc,
                     seq,
                     elapsed_s: elapsed,
@@ -218,6 +219,7 @@ proptest! {
         let line = metrics_line(&snap);
         let parsed = parse_metrics_line(&line).expect("own line parses");
         prop_assert_eq!(parsed.id, snap.id);
+        prop_assert_eq!(parsed.job, snap.job);
         prop_assert_eq!(parsed.incarnation, snap.incarnation);
         prop_assert_eq!(parsed.seq, snap.seq);
         prop_assert_eq!(parsed.elapsed_s, snap.elapsed_s);
@@ -272,6 +274,7 @@ proptest! {
         t_us in any::<u64>(),
         node in any::<u32>(),
         inc in any::<u32>(),
+        job in any::<u64>(),
         kind in text_strategy(24),
         fields in collection::vec((key_strategy(), text_strategy(24)), 0..5),
         at in any::<u64>(),
@@ -281,12 +284,13 @@ proptest! {
             t_us,
             node,
             incarnation: inc,
+            job,
             kind,
             fields: fields
                 .into_iter()
                 // Reserved keys would be reabsorbed into the header on
                 // parse; real emitters never use them as field names.
-                .filter(|(k, _)| !matches!(k.as_str(), "t_us" | "node" | "inc" | "kind"))
+                .filter(|(k, _)| !matches!(k.as_str(), "t_us" | "node" | "inc" | "job" | "kind"))
                 .collect(),
         };
         let line = event.to_jsonl();

@@ -13,7 +13,7 @@
 //! counted off as stale.
 
 use ftbb_bnb::{solve, Correlation, SolveConfig};
-use ftbb_wire::launcher::{launch, ClusterSpec, GossipTiming, LifecycleEvent};
+use ftbb_wire::launcher::{launch, ClusterSpec, GossipTiming, JobStep, LifecycleEvent};
 use ftbb_wire::{KnapsackSpec, MaxSatSpec, ProblemSpec};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -32,6 +32,8 @@ fn base_spec(problem: ProblemSpec, nodes: u32, seed: u64) -> ClusterSpec {
         crash_at: Vec::new(),
         problem,
         wire_peers: false,
+        service: false,
+        jobs: Vec::new(),
         gossip: None,
         checkpoint_dir: None,
         checkpoint_every_s: 0.05,
@@ -535,6 +537,169 @@ fn telemetry_timeline_orders_kill_suspicion_recovery() {
         kill_at < recovery_at,
         "recovery follows the kill: {}",
         report.cluster_report()
+    );
+}
+
+/// The service-mode regression — the multi-job pool acceptance test.
+///
+/// A 3-node `--service` pool (per-job checkpoints, job-scoped metrics,
+/// structured tracing) receives three staggered jobs of three different
+/// problem kinds — MAX-SAT, knapsack, and a recorded tree file — through
+/// two different gateway nodes. Mid-stream, node 2 is SIGKILLed and then
+/// restarted with `--resume`, which restores *all* its per-job
+/// checkpoints and rejoins each job. All three submit clients must still
+/// stream back a finished result matching that job's sequential optimum,
+/// every pool node (including the restarted one) must close with its
+/// `FTBB-SERVICE` summary, and the interval metrics must carry the job
+/// dimension.
+#[test]
+fn service_pool_finishes_three_staggered_jobs_through_a_kill_and_restart() {
+    use ftbb_tree::generator::{random_basic_tree, TreeConfig};
+
+    let tmp = std::env::temp_dir().join("ftbb-wire-service-regression");
+    std::fs::remove_dir_all(&tmp).ok();
+    let ckpt_dir = tmp.join("ckpt");
+    let trace_dir = tmp.join("trace");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: 4001,
+        mean_cost: 0.0004,
+        seed: 23,
+        ..Default::default()
+    });
+    let tree_path = tmp.join("workload.ftbb");
+    ftbb_tree::io::write_tree_file(&tree, &tree_path).unwrap();
+
+    // Jobs 1 and 2 are heavy enough (~1 s single-node in a debug build)
+    // that the kill at 400 ms lands while they are genuinely in flight.
+    let problems = [
+        ProblemSpec::MaxSat(MaxSatSpec {
+            vars: 26,
+            clauses: 110,
+            seed: 13,
+        }),
+        ProblemSpec::Knapsack(KnapsackSpec {
+            n: 36,
+            range: 120,
+            correlation: Correlation::Strong,
+            frac: 0.5,
+            seed: 3,
+        }),
+        ProblemSpec::tree_file(&tree_path),
+    ];
+    let references: Vec<Option<f64>> = problems.iter().map(reference_best).collect();
+    for (i, r) in references.iter().enumerate() {
+        assert!(r.is_some(), "job {} must be feasible", i + 1);
+    }
+
+    // Jobs 1 and 3 enter through gateway node 0, job 2 through node 1;
+    // node 2 is never a gateway, so killing it severs no client stream.
+    let mut spec = base_spec(ProblemSpec::default(), 3, 41);
+    spec.service = true;
+    // The pool is a daemon: it runs to this deadline even after all jobs
+    // finish, so the deadline is also the test's wall-clock floor. Jobs
+    // finish around 8 s here in a debug build; leave headroom for CI.
+    spec.deadline = Duration::from_secs(15);
+    spec.checkpoint_dir = Some(ckpt_dir);
+    spec.checkpoint_every_s = 0.05;
+    spec.trace_dir = Some(trace_dir);
+    spec.metrics_every_s = Some(0.15);
+    spec.jobs = vec![
+        JobStep::submit(1, Duration::from_millis(0), 0, problems[0].clone()),
+        JobStep::submit(2, Duration::from_millis(120), 1, problems[1].clone()),
+        JobStep::submit(3, Duration::from_millis(240), 0, problems[2].clone()),
+    ];
+    spec.lifecycle = vec![
+        LifecycleEvent::kill(2, Duration::from_millis(400)),
+        LifecycleEvent::restart(2, Duration::from_millis(700)),
+    ];
+    let report = launch(&spec).expect("service cluster launches");
+    std::fs::remove_dir_all(&tmp).ok();
+
+    // Every submit client streamed back a finished result with
+    // per-job sequential parity — the kill lost none of the stream.
+    assert_eq!(report.jobs.len(), 3);
+    for (step, reference) in report.jobs.iter().zip(&references) {
+        let outcome = step
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("job {} failed: {e}", step.job));
+        assert!(outcome.finished, "job {} must finish", step.job);
+        assert_eq!(
+            Some(outcome.incumbent),
+            *reference,
+            "job {} disagrees with its sequential optimum",
+            step.job
+        );
+    }
+
+    // The killed node came back and every pool node closed with its
+    // FTBB-SERVICE summary.
+    assert_eq!(report.killed, Vec::<u32>::new(), "node 2 must come back");
+    assert!(
+        report.all_survivors_terminated,
+        "every service node must report: {:?}",
+        report.services
+    );
+    let restarted = report.services[2].as_ref().expect("node 2 reports");
+    assert!(
+        restarted.incarnation >= 1,
+        "the restarted node must report a later life: {restarted:?}"
+    );
+
+    // Each job's completion is visible on at least its gateway's stdout,
+    // with the same per-job parity.
+    for (job, reference) in (1u64..=3).zip(&references) {
+        let line = report
+            .job_lines
+            .iter()
+            .flatten()
+            .find(|j| j.job == job && j.terminated)
+            .unwrap_or_else(|| panic!("no terminated FTBB-JOB line for job {job}"));
+        assert_eq!(Some(line.incumbent), *reference, "job {job}");
+    }
+
+    // Interval metrics carry the job dimension: job-scoped snapshots
+    // parse and at least two distinct jobs show up.
+    let job_dims: std::collections::HashSet<u64> = report
+        .metrics
+        .iter()
+        .flatten()
+        .map(|m| m.job)
+        .filter(|&j| j != 0)
+        .collect();
+    assert!(
+        job_dims.len() >= 2,
+        "job-scoped FTBB-METRICS must cover several jobs, got {job_dims:?}"
+    );
+
+    // The merged timeline interleaves the job stream with the membership
+    // events: every submission is stamped with its job dimension, and
+    // the kill/restart pair brackets at least one of them.
+    let submits: Vec<usize> = (1u64..=3)
+        .map(|job| {
+            report
+                .timeline
+                .iter()
+                .position(|e| e.kind == "submit" && e.job == job)
+                .unwrap_or_else(|| panic!("no submit event for job {job} in the timeline"))
+        })
+        .collect();
+    let kill_at = report
+        .timeline
+        .iter()
+        .position(|e| e.kind == "kill" && e.node == 2)
+        .expect("kill event in timeline");
+    let restart_at = report
+        .timeline
+        .iter()
+        .position(|e| e.kind == "restart" && e.node == 2)
+        .expect("restart event in timeline");
+    assert!(kill_at < restart_at, "kill precedes restart");
+    assert!(
+        submits.iter().any(|&s| s < kill_at),
+        "at least one job was submitted before the kill"
     );
 }
 

@@ -71,6 +71,8 @@ fn main() {
         problem,
         wire_peers: true,
         gossip: None,
+        service: false,
+        jobs: Vec::new(),
         checkpoint_dir: Some(checkpoint_dir.clone()),
         checkpoint_every_s: 0.05,
         trace_dir: Some(checkpoint_dir.join("traces")),
