@@ -116,6 +116,7 @@ fn snapshot() -> MetricsSnapshot {
         metrics: Default::default(),
         transport: Default::default(),
         trace_events_dropped: 0,
+        workers: 1,
     }
 }
 

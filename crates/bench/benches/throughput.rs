@@ -1,0 +1,194 @@
+//! Saturation benchmarks — the two numbers the parallel-expansion /
+//! batched-wire work must answer for: how **expansions/sec** scales with
+//! worker threads on the [`ftbb_runtime::WorkerPool`] (1/2/4/8 workers
+//! over real knapsack codes), and what frame **batching** buys on a real
+//! loopback socket (frames/sec through a `TcpMesh` writer with
+//! coalescing on vs `batch_max_frames = 1`). The numbers are recorded in
+//! `BENCH_throughput.json`.
+//!
+//! The pool is measured raw on purpose: inside a node the protocol
+//! allows each job only one outstanding expansion, so end-to-end gains
+//! depend on how many jobs a service node multiplexes. The raw pool
+//! number is the ceiling that multiplexing can approach.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_bnb::{AnyInstance, Correlation, KnapsackInstance};
+use ftbb_core::{AnyExpander, Expander, Expansion, JobId, Msg};
+use ftbb_runtime::{Transport, WorkerPool};
+use ftbb_tree::Code;
+use ftbb_wire::{TcpMesh, WireConfig};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// A knapsack big enough that one expansion (rebuild the node from its
+/// code, bound it, decompose) is real work — the scaling measurement
+/// must not drown in pool bookkeeping.
+fn bench_instance() -> AnyInstance {
+    KnapsackInstance::generate(400, 120, Correlation::Strong, 0.5, 3).into()
+}
+
+/// Breadth-first slice of the instance's actual search tree: the codes a
+/// running cluster would hand the pool, not synthetic ones.
+fn sample_codes(count: usize) -> Vec<Code> {
+    let mut expander = AnyExpander::new(bench_instance());
+    let mut frontier = vec![Code::root()];
+    let mut codes = Vec::new();
+    while codes.len() < count {
+        let Some(code) = frontier.pop() else { break };
+        let expansion = expander.expand(&code);
+        if let Some(kids) = expansion.children {
+            frontier.push(code.child(kids.var, false));
+            frontier.push(code.child(kids.var, true));
+        }
+        codes.push(code);
+    }
+    codes
+}
+
+fn bench_expansions(c: &mut Criterion) {
+    let codes = sample_codes(512);
+    let prototype = AnyExpander::new(bench_instance());
+    let mut group = c.benchmark_group("pool_expansions");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.bench_function("inline", |b| {
+        let mut expander = prototype.clone();
+        b.iter(|| {
+            let mut harvested = 0usize;
+            for code in &codes {
+                black_box(expander.expand(code));
+                harvested += 1;
+            }
+            black_box(harvested)
+        });
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            let mut pool = WorkerPool::new(workers);
+            pool.register(1, Box::new(prototype.clone()));
+            b.iter(|| {
+                for (seq, code) in codes.iter().enumerate() {
+                    pool.submit(1, seq as u64, code.clone());
+                }
+                let mut harvested = 0usize;
+                while harvested < codes.len() {
+                    if pool.harvest_timeout(Duration::from_secs(10)).is_some() {
+                        harvested += 1;
+                    }
+                }
+                black_box(harvested)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// An expander in the paper's own cost model: every subproblem takes a
+/// fixed wall-clock granularity to expand. Timed (not compute-bound)
+/// work keeps the *concurrency* measurement meaningful even on a
+/// single-core host, where CPU-bound expansions cannot physically
+/// overlap: with g = 100 µs, N workers overlapping their waits should
+/// approach N× the single-worker rate.
+#[derive(Clone)]
+struct TimedExpander {
+    granularity: Duration,
+}
+
+impl Expander for TimedExpander {
+    fn expand(&mut self, _code: &Code) -> Expansion {
+        std::thread::sleep(self.granularity);
+        Expansion {
+            cost: self.granularity.as_secs_f64(),
+            bound: 0.0,
+            solution: Some(0.0),
+            children: None,
+        }
+    }
+
+    fn root_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    const TASKS: usize = 64;
+    let mut group = c.benchmark_group("pool_concurrency");
+    group.throughput(Throughput::Elements(TASKS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            let mut pool = WorkerPool::new(workers);
+            pool.register(
+                1,
+                Box::new(TimedExpander {
+                    granularity: Duration::from_micros(100),
+                }),
+            );
+            b.iter(|| {
+                for seq in 0..TASKS {
+                    pool.submit(1, seq as u64, Code::root());
+                }
+                let mut harvested = 0usize;
+                while harvested < TASKS {
+                    if pool.harvest_timeout(Duration::from_secs(10)).is_some() {
+                        harvested += 1;
+                    }
+                }
+                black_box(harvested)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Two live meshes over loopback; returns sender, the receiver mesh
+/// (kept alive), and the receiver's inbox.
+fn mesh_pair(
+    cfg: WireConfig,
+) -> (
+    TcpMesh,
+    TcpMesh,
+    crossbeam::channel::Receiver<ftbb_runtime::Envelope>,
+) {
+    let la = TcpListener::bind("127.0.0.1:0").unwrap();
+    let lb = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (aa, ab) = (la.local_addr().unwrap(), lb.local_addr().unwrap());
+    let (sender, _inbox_a) =
+        TcpMesh::from_listener_incarnated_with(0, 0, la, &[(1, ab)], cfg).unwrap();
+    let (receiver, inbox_b) =
+        TcpMesh::from_listener_incarnated_with(1, 0, lb, &[(0, aa)], cfg).unwrap();
+    assert!(sender.ready(Duration::from_secs(5)), "meshes connect");
+    assert!(receiver.ready(Duration::from_secs(5)), "meshes connect");
+    (sender, receiver, inbox_b)
+}
+
+fn bench_frames(c: &mut Criterion) {
+    // One iteration pushes a burst of small frames through the writer
+    // and waits for all of them to land in the remote inbox — enqueue,
+    // coalesce, write, decode, deliver. The burst stays far below the
+    // peer queue cap so backpressure never turns sends into drops.
+    const BURST: usize = 1024;
+    let mut group = c.benchmark_group("wire_frames");
+    group.throughput(Throughput::Elements(BURST as u64));
+    for (name, batch_max_frames) in [("batched_64", 64usize), ("unbatched", 1)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let cfg = WireConfig {
+                batch_max_frames,
+                ..WireConfig::default()
+            };
+            let (sender, _receiver, inbox) = mesh_pair(cfg);
+            b.iter(|| {
+                for _ in 0..BURST {
+                    sender.send(JobId::DEFAULT, 0, 1, Msg::WorkRequest { incumbent: -1.5 });
+                }
+                for _ in 0..BURST {
+                    inbox
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("burst fully delivered");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansions, bench_concurrency, bench_frames);
+criterion_main!(benches);

@@ -165,6 +165,14 @@ pub struct TransportCounters {
     /// Previously-unknown peers learned from the id→addr book piggybacked
     /// on membership frames (codec v4) and registered dynamically.
     pub peers_discovered: AtomicU64,
+    /// Socket flushes: `write` calls that put one *or more* coalesced
+    /// frames on the wire (TCP transports only). `frames_flushed /
+    /// flushes` is the batching factor — 1.0 means every frame paid its
+    /// own syscall.
+    pub flushes: AtomicU64,
+    /// Frames carried by those flushes (equals `sent` when every written
+    /// frame was also counted sent).
+    pub frames_flushed: AtomicU64,
     /// Inbound frames dropped because they belonged to a stale
     /// incarnation — addressed to this node's previous life, or sent by a
     /// peer's previous life. A *receive*-side drop, so it is excluded from
@@ -243,6 +251,12 @@ impl TransportCounters {
         self.peers_discovered.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one socket flush that carried `frames` coalesced frames.
+    pub fn record_flush(&self, frames: u64) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.frames_flushed.fetch_add(frames, Ordering::Relaxed);
+    }
+
     /// Record an inbound frame dropped as belonging to a stale incarnation.
     pub fn record_dropped_stale(&self) {
         self.dropped_stale.fetch_add(1, Ordering::Relaxed);
@@ -267,6 +281,8 @@ impl TransportCounters {
             joins: self.joins.load(Ordering::Relaxed),
             peers_discovered: self.peers_discovered.load(Ordering::Relaxed),
             dropped_stale: self.dropped_stale.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            frames_flushed: self.frames_flushed.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,6 +323,10 @@ pub struct TransportStats {
     /// Inbound frames dropped as stale-incarnation (receive-side; not
     /// part of [`TransportStats::dropped`]).
     pub dropped_stale: u64,
+    /// Socket flushes (coalesced `write` calls; TCP transports only).
+    pub flushes: u64,
+    /// Frames carried by those flushes.
+    pub frames_flushed: u64,
 }
 
 impl TransportStats {
@@ -327,6 +347,16 @@ impl TransportStats {
             0.0
         } else {
             self.sent_encoded_bytes as f64 / self.sent_wire_bytes as f64
+        }
+    }
+
+    /// Average frames per socket flush — the write-batching factor
+    /// (0 when nothing was flushed; 1.0 means one syscall per frame).
+    pub fn frames_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.frames_flushed as f64 / self.flushes as f64
         }
     }
 }
@@ -359,6 +389,8 @@ mod tests {
         c.record_dropped_stale();
         c.record_dropped_stale();
         c.record_dropped_stale();
+        c.record_flush(1);
+        c.record_flush(3);
         let s = c.snapshot();
         assert_eq!(s.sent, 2);
         assert_eq!(s.sent_wire_bytes, 20);
@@ -379,6 +411,10 @@ mod tests {
         // drop total.
         assert_eq!(s.dropped(), 5);
         assert!((s.encoding_overhead() - 2.0).abs() < 1e-12);
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.frames_flushed, 4);
+        assert!((s.frames_per_flush() - 2.0).abs() < 1e-12);
+        assert_eq!(TransportStats::default().frames_per_flush(), 0.0);
     }
 
     #[test]

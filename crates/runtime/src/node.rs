@@ -75,6 +75,9 @@ pub struct MetricsSnapshot {
     pub transport: TransportStats,
     /// Trace events shed so far by the telemetry sink's bounded queue.
     pub trace_events_dropped: u64,
+    /// Expansion worker threads driving this engine (1 = inline
+    /// expansion in the event pump, no pool).
+    pub workers: usize,
 }
 
 /// Crash switch handed to the failure injector.
@@ -111,6 +114,8 @@ pub struct NodeEngine<E: Expander> {
     telemetry: Telemetry,
     metrics_every: Option<Duration>,
     metrics_out: Option<MetricsReporter>,
+    workers: usize,
+    erase: Option<crate::service::EraseFn<E>>,
 }
 
 impl NodeEngine<AnyExpander> {
@@ -132,6 +137,8 @@ impl NodeEngine<AnyExpander> {
             telemetry: Telemetry::disabled(),
             metrics_every: None,
             metrics_out: None,
+            workers: 1,
+            erase: None,
         })
     }
 }
@@ -146,6 +153,8 @@ impl<E: Expander> NodeEngine<E> {
             telemetry: Telemetry::disabled(),
             metrics_every: None,
             metrics_out: None,
+            workers: 1,
+            erase: None,
         }
     }
 
@@ -220,6 +229,9 @@ impl<E: Expander> NodeEngine<E> {
         if let (Some(every), Some(out)) = (self.metrics_every, self.metrics_out) {
             service.set_metrics_reporter(every, out);
         }
+        if let Some(erase) = self.erase {
+            service.set_workers_with(self.workers, erase);
+        }
         service.admit(self.job);
         let outcome = service.run_with_sink(
             transport,
@@ -230,6 +242,21 @@ impl<E: Expander> NodeEngine<E> {
             checkpoint_every,
         )?;
         Some(adapt_outcome(outcome))
+    }
+}
+
+impl<E: Expander + Clone + Send + 'static> NodeEngine<E> {
+    /// Run subproblem expansion on `n` worker threads (see
+    /// [`crate::ServiceEngine::set_workers`]). `1` — the default —
+    /// keeps expansion inline in the event pump.
+    pub fn set_workers(&mut self, n: usize) {
+        assert!(n >= 1, "a node needs at least one expansion worker");
+        self.workers = n;
+        self.erase = if n > 1 {
+            Some(Box::new(|e: &E| Box::new(e.clone())))
+        } else {
+            None
+        };
     }
 }
 

@@ -29,6 +29,7 @@
 //! protocol traffic lose nothing.
 
 use crate::node::{CrashSwitch, MetricsReporter, MetricsSnapshot};
+use crate::pool::{PoolExpander, WorkerPool};
 use crate::transport::{Envelope, Transport};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftbb_bnb::AnyInstance;
@@ -156,6 +157,10 @@ pub struct ServiceOutcome {
 
 /// Hook fired when a job completes (see [`ServiceHooks::on_complete`]).
 pub type CompleteHook = Box<dyn FnMut(&JobOutcome) + Send>;
+
+/// Turns a job's typed expander into the erased prototype the worker
+/// pool registers (see [`ServiceEngine::set_workers`]).
+pub(crate) type EraseFn<E> = Box<dyn Fn(&E) -> Box<dyn PoolExpander> + Send>;
 
 /// Callbacks a deployment installs on a [`ServiceEngine`]. All optional;
 /// they fire on the pump thread, so keep them cheap (hand results to a
@@ -315,6 +320,12 @@ pub struct ServiceEngine<E: Expander> {
     admissions: Option<Receiver<JobEngine<E>>>,
     daemon: bool,
     stash: HashMap<JobId, VecDeque<Envelope>>,
+    /// Configured expansion parallelism (1 = inline, no pool).
+    workers: usize,
+    /// The expansion worker pool, present only when `workers > 1`.
+    pool: Option<WorkerPool>,
+    /// Erases a job's expander for pool registration; set with `pool`.
+    erase: Option<EraseFn<E>>,
 }
 
 impl<E: Expander> ServiceEngine<E> {
@@ -333,6 +344,25 @@ impl<E: Expander> ServiceEngine<E> {
             admissions: None,
             daemon: false,
             stash: HashMap::new(),
+            workers: 1,
+            pool: None,
+            erase: None,
+        }
+    }
+
+    /// Install (or remove) the expansion worker pool with an
+    /// already-erased prototype maker — the non-generic plumbing behind
+    /// [`ServiceEngine::set_workers`], used where the `Clone + Send`
+    /// bound is carried by the caller.
+    pub(crate) fn set_workers_with(&mut self, n: usize, erase: EraseFn<E>) {
+        assert!(n >= 1, "a node needs at least one expansion worker");
+        self.workers = n;
+        if n > 1 {
+            self.pool = Some(WorkerPool::new(n));
+            self.erase = Some(erase);
+        } else {
+            self.pool = None;
+            self.erase = None;
         }
     }
 
@@ -472,6 +502,37 @@ impl<E: Expander> ServiceEngine<E> {
                 }
             }
 
+            // Harvest completed pool expansions (non-blocking) and feed
+            // each back to its job as the `WorkDone` the inline path
+            // would have produced on the spot. Results for jobs that
+            // halted while the expansion was in flight (a redundant-work
+            // interrupt followed by termination) are dropped, like any
+            // late event for a halted job.
+            if self.pool.is_some() {
+                let mut done = Vec::new();
+                if let Some(pool) = self.pool.as_mut() {
+                    while let Some(result) = pool.try_harvest() {
+                        done.push(result);
+                    }
+                }
+                if !done.is_empty() {
+                    let t = now(epoch);
+                    for (job, seq, expansion) in done {
+                        let engine = self
+                            .jobs
+                            .iter_mut()
+                            .find(|j| j.job.raw() == job)
+                            .expect("pool results only for admitted jobs");
+                        if engine.halted {
+                            continue;
+                        }
+                        let actions = engine.core.handle(PEvent::WorkDone { seq, expansion }, t);
+                        engine.pending.extend(actions);
+                    }
+                    charge(&mut phase, &mut mark, TimeCategory::Expand);
+                }
+            }
+
             if let Some(idx) = self.next_actionable() {
                 let action = self.jobs[idx].pending.pop_front().expect("peeked");
                 let job = self.jobs[idx].job;
@@ -481,15 +542,26 @@ impl<E: Expander> ServiceEngine<E> {
                         charge(&mut phase, &mut mark, TimeCategory::Communicate);
                     }
                     Action::StartWork { code, seq } => {
-                        // Real computation happens here, inline — one
-                        // expansion per pump iteration, so the inbox, the
-                        // timer wheels, and the *other jobs* all
-                        // interleave with this job's tree walk.
-                        let engine = &mut self.jobs[idx];
-                        let expansion = engine.expander.expand(&code);
-                        let t = now(epoch);
-                        let actions = engine.core.handle(PEvent::WorkDone { seq, expansion }, t);
-                        engine.pending.extend(actions);
+                        if let Some(pool) = self.pool.as_mut() {
+                            // Pool path: hand the code to a worker thread
+                            // and keep pumping — the result comes back
+                            // through the harvest at the top of the loop,
+                            // as a `WorkDone` indistinguishable from the
+                            // inline one. The protocol's `work_seq` guard
+                            // handles results that raced an interrupt.
+                            pool.submit(job.raw(), seq, code);
+                        } else {
+                            // Real computation happens here, inline — one
+                            // expansion per pump iteration, so the inbox,
+                            // the timer wheels, and the *other jobs* all
+                            // interleave with this job's tree walk.
+                            let engine = &mut self.jobs[idx];
+                            let expansion = engine.expander.expand(&code);
+                            let t = now(epoch);
+                            let actions =
+                                engine.core.handle(PEvent::WorkDone { seq, expansion }, t);
+                            engine.pending.extend(actions);
+                        }
                         charge(&mut phase, &mut mark, TimeCategory::Expand);
                     }
                     Action::SetTimer { delay_s, timer } => {
@@ -525,18 +597,33 @@ impl<E: Expander> ServiceEngine<E> {
                 break;
             } else {
                 // Idle: block on the inbox until the next timer deadline
-                // across all live jobs.
+                // across all live jobs. With pool expansions in flight
+                // the wait is capped tight so their results are harvested
+                // promptly — and that wait *is* expansion time (the
+                // workers are computing), so it is charged to Expand,
+                // keeping the Figure-3 reconciliation honest.
+                let in_flight = self.pool.as_ref().map_or(0, WorkerPool::in_flight);
+                let cap = if in_flight > 0 {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::from_millis(20)
+                };
+                let wait_category = if in_flight > 0 {
+                    TimeCategory::Expand
+                } else {
+                    TimeCategory::Idle
+                };
                 let wait = self.next_timer_wait(now(epoch));
-                match inbox.recv_timeout(wait.min(Duration::from_millis(20))) {
+                match inbox.recv_timeout(wait.min(cap)) {
                     Ok(env) => {
                         // Split the blocking receive: the wait itself was
-                        // idle time; handling the message is charged to
-                        // the message's category.
-                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                        // idle (or pool-expansion) time; handling the
+                        // message is charged to the message's category.
+                        charge(&mut phase, &mut mark, wait_category);
                         self.route(env, now(epoch), &mut phase, &mut mark);
                     }
                     Err(RecvTimeoutError::Timeout) => {
-                        charge(&mut phase, &mut mark, TimeCategory::Idle);
+                        charge(&mut phase, &mut mark, wait_category);
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
@@ -740,6 +827,9 @@ impl<E: Expander> ServiceEngine<E> {
     /// `Start`, replay any stashed traffic, and announce the admission.
     fn start_job(&mut self, idx: usize, t: SimTime) {
         let job = self.jobs[idx].job;
+        if let (Some(pool), Some(erase)) = (self.pool.as_ref(), self.erase.as_ref()) {
+            pool.register(job.raw(), erase(&self.jobs[idx].expander));
+        }
         self.jobs[idx].telemetry = self.telemetry.for_job(job.raw());
         self.jobs[idx].telemetry.emit(
             "job_admitted",
@@ -790,6 +880,7 @@ impl<E: Expander> ServiceEngine<E> {
                 metrics: engine.core.metrics().clone(),
                 transport: transport.stats(),
                 trace_events_dropped: self.telemetry.events_dropped(),
+                workers: self.workers,
             };
             engine.metrics_seq += 1;
             out(&snap);
@@ -809,6 +900,18 @@ impl<E: Expander> ServiceEngine<E> {
         } else {
             engine.telemetry.emit("checkpoint", &[]);
         }
+    }
+}
+
+impl<E: Expander + Clone + Send + 'static> ServiceEngine<E> {
+    /// Run subproblem expansion on `n` worker threads (a
+    /// [`WorkerPool`]) instead of inline in the event pump. `1` — the
+    /// default — keeps the historical inline path. The protocol state
+    /// machine stays on the pump thread either way, and each job still
+    /// has at most one expansion outstanding, so the solved optimum is
+    /// identical at every worker count; only wall time moves.
+    pub fn set_workers(&mut self, n: usize) {
+        self.set_workers_with(n, Box::new(|e: &E| Box::new(e.clone())));
     }
 }
 
@@ -941,6 +1044,16 @@ mod tests {
         jobs: &[(JobId, ftbb_bnb::AnyInstance)],
         crashes: &[(u32, Duration)],
     ) -> Vec<Option<ServiceOutcome>> {
+        run_pool_workers(n, jobs, crashes, 1)
+    }
+
+    /// Like [`run_pool`], with `workers` expansion threads per node.
+    fn run_pool_workers(
+        n: u32,
+        jobs: &[(JobId, ftbb_bnb::AnyInstance)],
+        crashes: &[(u32, Duration)],
+        workers: usize,
+    ) -> Vec<Option<ServiceOutcome>> {
         let members: Vec<u32> = (0..n).collect();
         let (mesh, mut inboxes) = Mesh::new(n as usize);
         let mesh = Arc::new(mesh);
@@ -948,7 +1061,8 @@ mod tests {
         let mut handles = Vec::new();
         for id in (0..n).rev() {
             let inbox = inboxes.pop().expect("one inbox per node");
-            let svc = service_node(id, &members, jobs, 7);
+            let mut svc = service_node(id, &members, jobs, 7);
+            svc.set_workers(workers);
             let mesh = Arc::clone(&mesh);
             let switch = switches[id as usize].clone();
             handles.push(thread::spawn(move || {
@@ -1021,6 +1135,41 @@ mod tests {
                 .map(|j| j.metrics.expanded)
                 .sum();
             assert!(expanded > 0, "job {job} expanded nothing");
+        }
+    }
+
+    #[test]
+    fn worker_pool_reaches_the_same_optimum_as_inline() {
+        // The determinism contract of `set_workers`: the solved optimum
+        // is identical at every worker count, for every workload kind
+        // (knapsack, MAX-SAT, recorded tree) — only wall time moves.
+        let k = KnapsackInstance::generate(14, 50, Correlation::Uncorrelated, 0.5, 8);
+        let tree = ftbb_bnb::record_basic_tree(&k, ftbb_bnb::RecordLimits::default())
+            .expect("recordable instance");
+        let jobs: Vec<(JobId, ftbb_bnb::AnyInstance)> = vec![
+            (
+                JobId(1),
+                KnapsackInstance::generate(16, 60, Correlation::Uncorrelated, 0.5, 5).into(),
+            ),
+            (JobId(2), MaxSatInstance::generate(12, 40, 2).into()),
+            (JobId(3), tree.into()),
+        ];
+        let inline_run = run_pool(2, &jobs, &[]);
+        let pooled_run = run_pool_workers(2, &jobs, &[], 4);
+        for (job, instance) in &jobs {
+            let reference = solve(instance, &SolveConfig::default()).best;
+            for (label, outcomes) in [("inline", &inline_run), ("pooled", &pooled_run)] {
+                for outcome in outcomes {
+                    let outcome = outcome.as_ref().expect("no crashes in this run");
+                    let jo = outcome
+                        .jobs
+                        .iter()
+                        .find(|j| j.job == *job)
+                        .expect("outcome for every admitted job");
+                    assert!(jo.terminated, "{label} job {job} did not terminate");
+                    assert_eq!(Some(jo.incumbent), reference, "{label} job {job} parity");
+                }
+            }
         }
     }
 

@@ -1,108 +1,242 @@
 //! Minimal, API-compatible stand-in for the `bytes` crate.
 //!
-//! The workspace builds offline, so the handful of `Buf`/`BufMut` methods
-//! the codecs use are implemented here over plain `Vec<u8>`/`&[u8]`.
-//! Semantics match `bytes` 1.x for the covered subset; panics on underflow
-//! exactly like the real crate.
+//! The workspace builds offline, so the subset the codecs use is
+//! implemented here. Semantics match `bytes` 1.x for the covered surface;
+//! panics on underflow exactly like the real crate. Two deliberate
+//! simplifications:
+//!
+//! * [`Bytes`] is a refcounted view (`Arc<Vec<u8>>` + range), so `clone`
+//!   is O(1) — a frame encoded once and queued to many peers shares one
+//!   heap buffer, as with the real crate.
+//! * [`BytesMut`] is a `Vec<u8>` behind a consumed-prefix cursor:
+//!   [`BytesMut::advance`] is O(1) amortized (compaction is deferred until
+//!   the dead prefix outweighs the live bytes), [`BytesMut::split_to`]
+//!   copies (O(n) where the real crate is O(1)), and
+//!   [`BytesMut::as_vec_mut`] exposes the backing vector for serializers
+//!   that target `Vec<u8>` — a shim extension the real crate does not
+//!   need, because there `put_*` is the only write path.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-/// An immutable byte buffer (here: an owned `Vec<u8>`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Bytes(Vec<u8>);
+/// An immutable, cheaply cloneable byte buffer: a refcounted view into a
+/// shared allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes(Vec::new())
+        Bytes::default()
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Is the buffer empty?
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copy out as a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.clone()
+        self[..].to_vec()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
-/// A growable byte buffer.
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+/// Views compare by content, not by which allocation backs them.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer with a consumed-prefix cursor: append at the
+/// back, consume from the front.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct BytesMut(Vec<u8>);
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Consumed prefix of `data`; the live bytes are `data[start..]`.
+    start: usize,
+}
 
 impl BytesMut {
     /// Empty buffer.
     pub fn new() -> Self {
-        BytesMut(Vec::new())
+        BytesMut::default()
     }
 
     /// Empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut(Vec::with_capacity(cap))
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
     }
 
-    /// Length in bytes.
+    /// Length in (live) bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.data.len() - self.start
     }
 
     /// Is the buffer empty?
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
+    }
+
+    /// Writable capacity left before the next reallocation.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
+    /// Ensure room for `additional` more bytes. Reclaims the consumed
+    /// prefix first, so a drained buffer reuses its allocation instead of
+    /// growing — the property scratch-buffer encoders rely on.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.start > 0 {
+            self.compact();
+        }
+        self.data.reserve(additional);
+    }
+
+    /// Drop all live bytes (the allocation is kept).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
     }
 
     /// Append raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
-        self.0.extend_from_slice(src);
+        self.data.extend_from_slice(src);
     }
 
-    /// Freeze into an immutable buffer.
-    pub fn freeze(self) -> Bytes {
-        Bytes(self.0)
+    /// Consume `n` live bytes from the front. O(1) amortized: the dead
+    /// prefix is only compacted once it outweighs the live remainder (or
+    /// everything was consumed).
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+        if self.start >= self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 && self.start > self.len() {
+            self.compact();
+        }
+    }
+
+    /// Split off the first `n` live bytes into their own buffer,
+    /// advancing past them. (O(n) copy in this shim; O(1) in real
+    /// `bytes`.)
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to past end of buffer");
+        let head = BytesMut {
+            data: self[..n].to_vec(),
+            start: 0,
+        };
+        self.advance(n);
+        head
+    }
+
+    /// Take all live bytes, leaving `self` empty. The allocation moves
+    /// with the returned buffer when nothing was consumed (the encoder
+    /// hot path), so `split().freeze()` hands the filled buffer off
+    /// without a copy.
+    pub fn split(&mut self) -> BytesMut {
+        if self.start == 0 {
+            BytesMut {
+                data: std::mem::take(&mut self.data),
+                start: 0,
+            }
+        } else {
+            let n = self.len();
+            self.split_to(n)
+        }
+    }
+
+    /// Freeze into an immutable, cheaply cloneable buffer.
+    pub fn freeze(mut self) -> Bytes {
+        if self.start > 0 {
+            self.compact();
+        }
+        Bytes::from(self.data)
     }
 
     /// Copy out as a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.clone()
+        self[..].to_vec()
+    }
+
+    /// The backing vector, for serializers that write to `Vec<u8>` (this
+    /// workspace's serde shim). Shim extension: only callable while
+    /// nothing has been consumed, so appended bytes stay live.
+    pub fn as_vec_mut(&mut self) -> &mut Vec<u8> {
+        assert_eq!(
+            self.start, 0,
+            "as_vec_mut on a buffer with a consumed prefix"
+        );
+        &mut self.data
+    }
+
+    fn compact(&mut self) {
+        self.data.drain(..self.start);
+        self.start = 0;
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..]
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.0
+        &mut self.data[self.start..]
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v, start: 0 }
     }
 }
 
@@ -193,7 +327,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.0.extend_from_slice(src);
+        self.data.extend_from_slice(src);
     }
 }
 
@@ -229,5 +363,76 @@ mod tests {
     fn underflow_panics() {
         let mut r: &[u8] = &[1u8];
         r.get_u32_le();
+    }
+
+    #[test]
+    fn bytes_clone_shares_the_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn bytes_equality_is_by_content() {
+        assert_eq!(Bytes::from(vec![1u8, 2]), Bytes::from(vec![1u8, 2]));
+        assert_ne!(Bytes::from(vec![1u8, 2]), Bytes::from(vec![1u8, 3]));
+    }
+
+    #[test]
+    fn advance_consumes_from_the_front() {
+        let mut buf = BytesMut::from(vec![1u8, 2, 3, 4, 5]);
+        buf.advance(2);
+        assert_eq!(&buf[..], &[3, 4, 5]);
+        buf.extend_from_slice(&[6]);
+        assert_eq!(&buf[..], &[3, 4, 5, 6]);
+        buf.advance(4);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut buf = BytesMut::from(vec![1u8]);
+        buf.advance(2);
+    }
+
+    #[test]
+    fn split_to_takes_the_head() {
+        let mut buf = BytesMut::from(vec![1u8, 2, 3, 4]);
+        let head = buf.split_to(3);
+        assert_eq!(&head[..], &[1, 2, 3]);
+        assert_eq!(&buf[..], &[4]);
+    }
+
+    #[test]
+    fn split_then_freeze_moves_the_bytes_out() {
+        let mut scratch = BytesMut::with_capacity(64);
+        scratch.put_u32_le(0xfeed_f00d);
+        let frame = scratch.split().freeze();
+        assert_eq!(frame.len(), 4);
+        assert!(scratch.is_empty());
+        // The scratch is reusable for the next frame.
+        scratch.reserve(16);
+        scratch.put_u8(9);
+        assert_eq!(&scratch[..], &[9]);
+    }
+
+    #[test]
+    fn reserve_reclaims_the_consumed_prefix() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        buf.advance(4);
+        let cap = buf.data.capacity();
+        buf.reserve(4); // 2 live + 4 more fit in the original 8
+        assert_eq!(buf.data.capacity(), cap, "no growth needed");
+        assert_eq!(&buf[..], &[5, 6]);
+    }
+
+    #[test]
+    fn as_vec_mut_appends_live_bytes() {
+        let mut buf = BytesMut::new();
+        buf.as_vec_mut().extend_from_slice(&[1, 2]);
+        assert_eq!(&buf[..], &[1, 2]);
     }
 }

@@ -1,0 +1,197 @@
+//! Property tests for the work-stealing deque shim: no interleaving of
+//! owner pushes/pops, injector pushes, and steals may ever lose a task or
+//! deliver one twice. Each case replays a random operation script against
+//! the deques while tracking a multiset model of what went in and what
+//! came out; the books must balance exactly.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use proptest::prelude::*;
+
+/// One scripted operation. The value payloads are drawn unique per case so
+/// duplication is detectable (a lost task shows up as a missing value, a
+/// duplicated one as a double count).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    PushWorker,
+    PushInjector,
+    PopWorker,
+    StealFromWorker,
+    StealFromInjector,
+    BatchFromInjector,
+}
+
+fn op_from(code: u8) -> Op {
+    match code % 6 {
+        0 => Op::PushWorker,
+        1 => Op::PushInjector,
+        2 => Op::PopWorker,
+        3 => Op::StealFromWorker,
+        4 => Op::StealFromInjector,
+        _ => Op::BatchFromInjector,
+    }
+}
+
+/// Replay `script` against a fresh Worker/Stealer/Injector triple and
+/// return (pushed, taken) value lists.
+fn replay(script: &[u8], lifo: bool) -> (Vec<u64>, Vec<u64>) {
+    let worker = if lifo {
+        Worker::new_lifo()
+    } else {
+        Worker::new_fifo()
+    };
+    let stealer: Stealer<u64> = worker.stealer();
+    let injector: Injector<u64> = Injector::new();
+    // A second worker receiving injector batches, drained at the end.
+    let batch_dest = Worker::new_fifo();
+
+    let mut next = 0u64;
+    let mut pushed = Vec::new();
+    let mut taken = Vec::new();
+
+    for &code in script {
+        match op_from(code) {
+            Op::PushWorker => {
+                worker.push(next);
+                pushed.push(next);
+                next += 1;
+            }
+            Op::PushInjector => {
+                injector.push(next);
+                pushed.push(next);
+                next += 1;
+            }
+            Op::PopWorker => {
+                if let Some(v) = worker.pop() {
+                    taken.push(v);
+                }
+            }
+            Op::StealFromWorker => {
+                // Uncontended in this single-threaded replay, so Retry
+                // would be a shim bug.
+                match stealer.steal() {
+                    Steal::Success(v) => taken.push(v),
+                    Steal::Empty => {}
+                    Steal::Retry => panic!("uncontended steal reported Retry"),
+                }
+            }
+            Op::StealFromInjector => match injector.steal() {
+                Steal::Success(v) => taken.push(v),
+                Steal::Empty => {}
+                Steal::Retry => panic!("uncontended steal reported Retry"),
+            },
+            Op::BatchFromInjector => match injector.steal_batch_and_pop(&batch_dest) {
+                Steal::Success(v) => taken.push(v),
+                Steal::Empty => {}
+                Steal::Retry => panic!("uncontended batch steal reported Retry"),
+            },
+        }
+    }
+
+    // Drain every residual queue: whatever was pushed but not yet taken
+    // must still be sitting in exactly one of them.
+    while let Some(v) = worker.pop() {
+        taken.push(v);
+    }
+    while let Some(v) = batch_dest.pop() {
+        taken.push(v);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(v) => taken.push(v),
+            Steal::Empty => break,
+            Steal::Retry => panic!("uncontended steal reported Retry"),
+        }
+    }
+    (pushed, taken)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleavings_never_lose_or_duplicate(
+        script in collection::vec(any::<u8>(), 0..200),
+        lifo in any::<bool>(),
+    ) {
+        let (mut pushed, mut taken) = replay(&script, lifo);
+        pushed.sort_unstable();
+        taken.sort_unstable();
+        // Every pushed value came out exactly once: sorted equality is
+        // simultaneously the no-loss and no-duplication check.
+        prop_assert_eq!(pushed, taken);
+    }
+
+    #[test]
+    fn threaded_stealing_conserves_tasks(
+        n_tasks in 1usize..400,
+        thieves in 1usize..4,
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        let injector = Arc::new(Injector::new());
+        let owner = Worker::new_lifo();
+        let stealers: Vec<Stealer<u64>> =
+            (0..thieves).map(|_| owner.stealer()).collect();
+        let done = Arc::new(AtomicBool::new(false));
+        let stolen = Arc::new(Mutex::new(Vec::new()));
+
+        let handles: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                let injector = Arc::clone(&injector);
+                let done = Arc::clone(&done);
+                let stolen = Arc::clone(&stolen);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty | Steal::Retry => {}
+                        }
+                        match injector.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty | Steal::Retry => {}
+                        }
+                        if done.load(Ordering::Acquire)
+                            && s.is_empty()
+                            && injector.is_empty()
+                        {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    stolen.lock().unwrap().extend(got);
+                })
+            })
+            .collect();
+
+        // The owner interleaves pushes to both queues with its own pops,
+        // racing the thieves the whole way.
+        let mut kept = Vec::new();
+        for v in 0..n_tasks as u64 {
+            if v % 3 == 0 {
+                injector.push(v);
+            } else {
+                owner.push(v);
+            }
+            if v % 5 == 0 {
+                if let Some(x) = owner.pop() {
+                    kept.push(x);
+                }
+            }
+        }
+        while let Some(x) = owner.pop() {
+            kept.push(x);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut all = kept;
+        all.extend(stolen.lock().unwrap().iter().copied());
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_tasks as u64).collect::<Vec<_>>());
+    }
+}

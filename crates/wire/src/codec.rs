@@ -72,10 +72,12 @@
 //! cannot duplicate — it only narrows the silent-drop window; frames
 //! lost *after* a `write` started are never replayed.
 
+use bytes::{Bytes, BytesMut};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{JobId, Msg};
 use ftbb_runtime::Envelope;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 use std::net::SocketAddr;
 
@@ -303,11 +305,12 @@ impl WireFrame {
     }
 }
 
-/// An encoded frame plus its size accounting.
+/// An encoded frame plus its size accounting. `bytes` is refcounted, so
+/// cloning a frame for each peer of a broadcast shares one encoding.
 #[derive(Debug, Clone)]
 pub struct EncodedFrame {
     /// The full frame (header + payload), ready for the socket.
-    pub bytes: Vec<u8>,
+    pub bytes: Bytes,
     /// The message's own estimate of its protocol size
     /// ([`Msg::wire_size`]), used for paper-faithful accounting.
     pub wire_size: usize,
@@ -345,19 +348,23 @@ pub fn encode_frame(
     to_incarnation: u32,
     book: &[(u32, SocketAddr, u32)],
 ) -> EncodedFrame {
-    let mut payload = Vec::with_capacity(29 + env.msg.wire_size());
-    payload.push(PAYLOAD_PROTOCOL);
-    env.from.ser(&mut payload);
-    from_incarnation.ser(&mut payload);
-    to_incarnation.ser(&mut payload);
-    env.job.ser(&mut payload);
-    env.msg.ser(&mut payload);
-    let book: Vec<(u32, String, u32)> = book
-        .iter()
-        .map(|&(id, a, inc)| (id, a.to_string(), inc))
-        .collect();
-    book.ser(&mut payload);
-    frame_bytes(payload, env.msg.wire_size())
+    encode_with(
+        29 + env.msg.wire_size(),
+        Some(env.msg.wire_size()),
+        |payload| {
+            payload.push(PAYLOAD_PROTOCOL);
+            env.from.ser(payload);
+            from_incarnation.ser(payload);
+            to_incarnation.ser(payload);
+            env.job.ser(payload);
+            env.msg.ser(payload);
+            let book: Vec<(u32, String, u32)> = book
+                .iter()
+                .map(|&(id, a, inc)| (id, a.to_string(), inc))
+                .collect();
+            book.ser(payload);
+        },
+    )
 }
 
 /// Encode a problem-announce frame, stamped with the job it opens
@@ -371,75 +378,124 @@ pub fn encode_announce(
     job: JobId,
     instance: &AnyInstance,
 ) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_ANNOUNCE);
-    from.ser(&mut payload);
-    incarnation.ser(&mut payload);
-    job.ser(&mut payload);
-    instance.ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(64, None, |payload| {
+        payload.push(PAYLOAD_ANNOUNCE);
+        from.ser(payload);
+        incarnation.ser(payload);
+        job.ser(payload);
+        instance.ser(payload);
+    })
 }
 
 /// Encode a job-submission frame (client → gateway). A handshake:
 /// `wire_size` is the payload length.
 pub fn encode_submit(job: JobId, instance: &AnyInstance) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_SUBMIT);
-    job.ser(&mut payload);
-    instance.ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(64, None, |payload| {
+        payload.push(PAYLOAD_SUBMIT);
+        job.ser(payload);
+        instance.ser(payload);
+    })
 }
 
 /// Encode a job-admission acknowledgement (gateway → client).
 pub fn encode_accepted(job: JobId, node: u32) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_ACCEPTED);
-    job.ser(&mut payload);
-    node.ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(16, None, |payload| {
+        payload.push(PAYLOAD_ACCEPTED);
+        job.ser(payload);
+        node.ser(payload);
+    })
 }
 
 /// Encode a job-result frame (gateway → client): a streamed incumbent
 /// (`finished: false`) or the final optimum (`finished: true`).
 pub fn encode_result(job: JobId, finished: bool, incumbent: f64, expanded: u64) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_RESULT);
-    job.ser(&mut payload);
-    (finished as u8).ser(&mut payload);
-    incumbent.ser(&mut payload);
-    expanded.ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(32, None, |payload| {
+        payload.push(PAYLOAD_RESULT);
+        job.ser(payload);
+        (finished as u8).ser(payload);
+        incumbent.ser(payload);
+        expanded.ser(payload);
+    })
 }
 
 /// Encode a rejoin frame. Like the announce, it is a handshake: its
 /// `wire_size` accounting is the payload length.
 pub fn encode_rejoin(rejoin: &RejoinFrame) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_REJOIN);
-    rejoin.from.ser(&mut payload);
-    rejoin.incarnation.ser(&mut payload);
-    rejoin.addr.to_string().ser(&mut payload);
-    rejoin.summary.ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(64, None, |payload| {
+        payload.push(PAYLOAD_REJOIN);
+        rejoin.from.ser(payload);
+        rejoin.incarnation.ser(payload);
+        rejoin.addr.to_string().ser(payload);
+        rejoin.summary.ser(payload);
+    })
 }
 
 /// Encode a join frame (a handshake: `wire_size` is the payload length).
 pub fn encode_join(join: &JoinFrame) -> EncodedFrame {
-    let mut payload = Vec::new();
-    payload.push(PAYLOAD_JOIN);
-    join.from.ser(&mut payload);
-    join.incarnation.ser(&mut payload);
-    join.addr.to_string().ser(&mut payload);
-    let wire = payload.len();
-    frame_bytes(payload, wire)
+    encode_with(32, None, |payload| {
+        payload.push(PAYLOAD_JOIN);
+        join.from.ser(payload);
+        join.incarnation.ser(payload);
+        join.addr.to_string().ser(payload);
+    })
 }
 
-/// Wrap a finished payload in the frame header.
+/// The reusable scratch buffer every `encode_*` writes into: header and
+/// payload go down in **one** buffer (no separate payload vector, no
+/// header-prepend copy); the length and checksum fields are patched in
+/// place once the payload is down, and the finished frame is split off as
+/// refcounted [`Bytes`].
+struct FrameEncoder {
+    scratch: BytesMut,
+}
+
+impl FrameEncoder {
+    /// Encode one frame. `fill` writes the payload (kind byte first);
+    /// `wire_size` is the protocol-size estimate, defaulting to the
+    /// payload length (the handshake convention).
+    fn encode(
+        &mut self,
+        size_hint: usize,
+        wire_size: Option<usize>,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) -> EncodedFrame {
+        self.scratch.reserve(HEADER_LEN + size_hint);
+        let buf = self.scratch.as_vec_mut();
+        debug_assert!(buf.is_empty(), "scratch must start each frame empty");
+        MAGIC.ser(buf);
+        VERSION.ser(buf);
+        0u32.ser(buf); // pay_len, patched below
+        0u32.ser(buf); // checksum, patched below
+        fill(buf);
+        let pay_len = buf.len() - HEADER_LEN;
+        let sum = checksum(&buf[HEADER_LEN..]);
+        buf[6..10].copy_from_slice(&(pay_len as u32).to_le_bytes());
+        buf[10..14].copy_from_slice(&sum.to_le_bytes());
+        EncodedFrame {
+            bytes: self.scratch.split().freeze(),
+            wire_size: wire_size.unwrap_or(pay_len),
+        }
+    }
+}
+
+thread_local! {
+    static ENCODER: RefCell<FrameEncoder> = RefCell::new(FrameEncoder {
+        scratch: BytesMut::new(),
+    });
+}
+
+/// Encode through the thread-local scratch encoder.
+fn encode_with(
+    size_hint: usize,
+    wire_size: Option<usize>,
+    fill: impl FnOnce(&mut Vec<u8>),
+) -> EncodedFrame {
+    ENCODER.with(|e| e.borrow_mut().encode(size_hint, wire_size, fill))
+}
+
+/// Wrap a finished payload in the frame header (the two-buffer path the
+/// scratch encoder replaced — kept for tests that hand-build payloads).
+#[cfg(test)]
 fn frame_bytes(payload: Vec<u8>, wire_size: usize) -> EncodedFrame {
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
     MAGIC.ser(&mut bytes);
@@ -447,7 +503,10 @@ fn frame_bytes(payload: Vec<u8>, wire_size: usize) -> EncodedFrame {
     (payload.len() as u32).ser(&mut bytes);
     checksum(&payload).ser(&mut bytes);
     bytes.extend_from_slice(&payload);
-    EncodedFrame { bytes, wire_size }
+    EncodedFrame {
+        bytes: bytes.into(),
+        wire_size,
+    }
 }
 
 /// Decode one complete frame from `data` (exactly one frame's bytes).
@@ -464,12 +523,13 @@ pub fn decode_frame(data: &[u8]) -> Result<WireFrame, WireError> {
 
 /// Incremental frame decoder: feed arbitrary byte chunks (as delivered by
 /// the socket — frames may arrive split or coalesced), pull decoded
-/// frames.
+/// frames. Payloads are decoded by **borrowing** the buffered bytes in
+/// place; the cursor advances past each decoded frame with compaction
+/// deferred ([`BytesMut::advance`]), so steady-state decoding does no
+/// per-frame copying beyond the socket read itself.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
-    /// Consumed prefix of `buf`; compacted opportunistically.
-    pos: usize,
+    buf: BytesMut,
     /// Frames decoded so far (for accounting/tests).
     pub frames_decoded: u64,
     /// Payload + header bytes consumed by successful decodes.
@@ -484,18 +544,12 @@ impl FrameDecoder {
 
     /// Feed received bytes.
     pub fn push(&mut self, data: &[u8]) {
-        // Compact before growing: keeps the buffer bounded by one frame
-        // plus one socket read.
-        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
         self.buf.extend_from_slice(data);
     }
 
     /// Bytes buffered but not yet decoded.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len()
     }
 
     /// Try to decode the next frame. `Ok(None)` means "need more bytes".
@@ -503,7 +557,7 @@ impl FrameDecoder {
     /// drop the connection (this matches the Crash model — a corrupt peer
     /// is indistinguishable from a dead one).
     pub fn try_next(&mut self) -> Result<Option<WireFrame>, WireError> {
-        let avail = &self.buf[self.pos..];
+        let avail: &[u8] = &self.buf;
         if avail.len() < HEADER_LEN {
             return Ok(None);
         }
@@ -647,7 +701,7 @@ impl FrameDecoder {
                 r.len()
             )));
         }
-        self.pos += HEADER_LEN + pay_len;
+        self.buf.advance(HEADER_LEN + pay_len);
         self.frames_decoded += 1;
         self.bytes_decoded += (HEADER_LEN + pay_len) as u64;
         Ok(Some(frame))
@@ -954,7 +1008,7 @@ mod tests {
 
     #[test]
     fn corruption_is_an_error_not_a_panic() {
-        let frame = encode_frame(&sample(), 1, 2, &[]).bytes;
+        let frame = encode_frame(&sample(), 1, 2, &[]).bytes.to_vec();
         for i in 0..frame.len() {
             let mut bad = frame.clone();
             bad[i] ^= 0xA5;
@@ -1000,7 +1054,7 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes;
+        let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes.to_vec();
         frame[4] = 0xFE;
         frame[5] = 0xFF;
         let mut dec = FrameDecoder::new();
@@ -1017,7 +1071,7 @@ mod tests {
         // decoder must refuse it as UnsupportedVersion carrying that
         // exact version — never misparse the old layout as v5 fields.
         for v in 1u16..VERSION {
-            let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes;
+            let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes.to_vec();
             frame[4..6].copy_from_slice(&v.to_le_bytes());
             let mut dec = FrameDecoder::new();
             dec.push(&frame);

@@ -478,6 +478,16 @@ pub struct NodeConfig {
     /// Frame budget of that window (see
     /// [`crate::tcp::WireConfig::retry_max_frames`]).
     pub retry_max_frames: usize,
+    /// Expansion worker threads per node. `1` (the default) keeps
+    /// expansion inline in the event pump — the historical behaviour.
+    /// Higher values run subproblem expansion on a work-stealing pool
+    /// so multiple jobs expand in parallel; the protocol state machine
+    /// stays single-threaded either way, so the optimum is identical.
+    pub workers: usize,
+    /// Most frames one transport flush coalesces into a single write
+    /// (see [`crate::tcp::WireConfig::batch_max_frames`]); `1` disables
+    /// batching.
+    pub batch_max_frames: usize,
     /// Service mode: instead of solving one configured problem and
     /// exiting, the daemon joins a long-lived solve pool. Jobs stream in
     /// over the shared transport — `ftbb-submit` clients send `SubmitJob`
@@ -519,6 +529,8 @@ impl Default for NodeConfig {
             forget_after_s: 3.0,
             retry_window_s: crate::tcp::RETRY_WINDOW.as_secs_f64(),
             retry_max_frames: crate::tcp::RETRY_MAX_FRAMES,
+            workers: 1,
+            batch_max_frames: crate::tcp::BATCH_MAX_FRAMES,
             service: false,
             trace_file: None,
             metrics_every_s: None,
@@ -571,6 +583,7 @@ impl NodeConfig {
         WireConfig {
             retry_window: Duration::from_secs_f64(self.retry_window_s),
             retry_max_frames: self.retry_max_frames,
+            batch_max_frames: self.batch_max_frames,
         }
     }
 
@@ -595,6 +608,12 @@ impl NodeConfig {
             if !(every.is_finite() && every > 0.0) {
                 return err("metrics_every_s must be a positive number");
             }
+        }
+        if self.workers == 0 {
+            return err("workers must be at least 1");
+        }
+        if self.batch_max_frames == 0 {
+            return err("batch_max_frames must be at least 1 (1 disables batching)");
         }
         if self.gossip_mode() {
             for &v in &[
@@ -884,6 +903,8 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
             "forget_after_s" => cfg.forget_after_s = value.as_f64(key)?,
             "retry_window_s" => cfg.retry_window_s = value.as_f64(key)?,
             "retry_max_frames" => cfg.retry_max_frames = value.as_u64(key)? as usize,
+            "workers" => cfg.workers = value.as_u64(key)? as usize,
+            "batch_max_frames" => cfg.batch_max_frames = value.as_u64(key)? as usize,
             "problem.kind" => problem.kind = Some(value.as_str(key)?.to_string()),
             "problem.n" => problem.n = Some(value.as_u64(key)? as usize),
             "problem.range" => problem.range = Some(value.as_u64(key)?),
@@ -1059,6 +1080,16 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 cfg.retry_max_frames = take("--retry-max-frames")?
                     .parse()
                     .map_err(|_| ConfigError("bad --retry-max-frames".into()))?;
+            }
+            "--workers" => {
+                cfg.workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --workers".into()))?;
+            }
+            "--batch-max-frames" => {
+                cfg.batch_max_frames = take("--batch-max-frames")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --batch-max-frames".into()))?;
             }
             "--problem" => {
                 problem.kind = Some(take("--problem")?);

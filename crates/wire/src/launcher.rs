@@ -232,6 +232,10 @@ pub struct ClusterSpec {
     pub deadline: Duration,
     /// Base seed for per-node protocol randomness.
     pub seed: u64,
+    /// Expansion workers per node (`--workers`): 1 expands inline on the
+    /// protocol thread; more offload expansions to a work-stealing pool.
+    /// The optimum is identical either way.
+    pub workers: usize,
 }
 
 /// What the cluster produced.
@@ -515,6 +519,9 @@ fn spawn_node(
         .arg(format!("{}", spec.deadline.as_secs_f64()))
         .arg("--seed")
         .arg(spec.seed.to_string());
+    if spec.workers > 1 {
+        cmd.arg("--workers").arg(spec.workers.to_string());
+    }
     if !joiner {
         cmd.arg("--peers-from-stdin");
     }
@@ -1063,6 +1070,7 @@ mod tests {
             forgotten: 0,
             membership_events_dropped: 0,
             trace_events_dropped: 0,
+            workers: 1,
             transport: TransportStats::default(),
         }
     }
@@ -1142,6 +1150,7 @@ mod tests {
             metrics: Default::default(),
             transport: TransportStats::default(),
             trace_events_dropped: 0,
+            workers: 1,
         };
         let line = crate::noded::metrics_line(&snap);
         r.metrics[0] = vec![parse_metrics_line(&line).expect("own line parses")];
@@ -1186,6 +1195,7 @@ mod tests {
             metrics_every_s: None,
             deadline: Duration::from_secs(1),
             seed: 1,
+            workers: 1,
         };
 
         // Join without gossip mode.

@@ -78,6 +78,8 @@ pub struct NodedReport {
     /// Trace events the telemetry sink had to shed (0 when tracing is
     /// off or the writer kept up).
     pub trace_events_dropped: u64,
+    /// Expansion worker threads the node ran with (1 = inline).
+    pub workers: usize,
 }
 
 /// Checkpoint file of node `id` under `dir` — shared between the daemon
@@ -493,6 +495,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     // `--metrics-every-s` — reports interval `FTBB-METRICS` lines on
     // stdout, flushed per line so the launcher can tail them live.
     engine.set_telemetry(telemetry.clone());
+    engine.set_workers(cfg.workers);
     if let Some(every_s) = cfg.metrics_every_s {
         engine.set_metrics_reporter(
             Duration::from_secs_f64(every_s),
@@ -546,6 +549,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
         transport: mesh.stats(),
         outcome,
         trace_events_dropped,
+        workers: cfg.workers,
     })
 }
 
@@ -696,6 +700,7 @@ pub fn run_service(cfg: &NodeConfig) -> std::io::Result<ServiceReport> {
     let mut engine: ServiceEngine<AnyExpander> = ServiceEngine::new(cfg.id, incarnation);
     engine.daemon(true);
     engine.set_telemetry(telemetry.clone());
+    engine.set_workers(cfg.workers);
     if let Some(every_s) = cfg.metrics_every_s {
         engine.set_metrics_reporter(
             Duration::from_secs_f64(every_s),
@@ -1023,6 +1028,7 @@ pub fn outcome_line(report: &NodedReport) -> String {
                 o.metrics.membership_events_dropped.to_string(),
             ),
             ("trace_dropped", report.trace_events_dropped.to_string()),
+            ("workers", report.workers.to_string()),
             ("sent", t.sent.to_string()),
             ("wire_bytes", t.sent_wire_bytes.to_string()),
             ("encoded_bytes", t.sent_encoded_bytes.to_string()),
@@ -1039,6 +1045,8 @@ pub fn outcome_line(report: &NodedReport) -> String {
             ("rejoins", t.rejoins.to_string()),
             ("joins", t.joins.to_string()),
             ("discovered", t.peers_discovered.to_string()),
+            ("flushes", t.flushes.to_string()),
+            ("frames_flushed", t.frames_flushed.to_string()),
         ],
     )
 }
@@ -1066,6 +1074,8 @@ pub struct ParsedOutcome {
     pub membership_events_dropped: u64,
     /// Trace events the telemetry sink's bounded queue had to discard.
     pub trace_events_dropped: u64,
+    /// Expansion worker threads the node ran with (1 = inline).
+    pub workers: u64,
     /// Transport counters at exit.
     pub transport: TransportStats,
 }
@@ -1085,6 +1095,7 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
         forgotten: f.u64("forgotten")?,
         membership_events_dropped: f.u64("mev_dropped")?,
         trace_events_dropped: f.u64("trace_dropped")?,
+        workers: f.u64("workers")?,
         transport: TransportStats {
             sent: f.u64("sent")?,
             sent_wire_bytes: f.u64("wire_bytes")?,
@@ -1102,6 +1113,8 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
             rejoins: f.u64("rejoins")?,
             joins: f.u64("joins")?,
             peers_discovered: f.u64("discovered")?,
+            flushes: f.u64("flushes")?,
+            frames_flushed: f.u64("frames_flushed")?,
         },
     })
 }
@@ -1244,8 +1257,15 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
             ("forgotten", m.peers_forgotten.to_string()),
             ("mev_dropped", m.membership_events_dropped.to_string()),
             ("trace_dropped", snap.trace_events_dropped.to_string()),
+            ("workers", snap.workers.to_string()),
             ("sent", snap.transport.sent.to_string()),
             ("dropped", snap.transport.dropped().to_string()),
+            ("flushes", snap.transport.flushes.to_string()),
+            ("frames_flushed", snap.transport.frames_flushed.to_string()),
+            (
+                "frames_per_flush",
+                format!("{:.2}", snap.transport.frames_per_flush()),
+            ),
         ],
     )
 }
@@ -1278,10 +1298,18 @@ pub struct ParsedMetrics {
     pub membership_events_dropped: u64,
     /// Trace events discarded by the telemetry sink's bounded queue.
     pub trace_events_dropped: u64,
+    /// Expansion worker threads driving the reporting engine.
+    pub workers: u64,
     /// Messages handed to the wire so far.
     pub sent: u64,
     /// Send-side drops so far (all causes).
     pub dropped: u64,
+    /// Transport write flushes so far.
+    pub flushes: u64,
+    /// Frames those flushes carried (`frames_flushed / flushes` is the
+    /// achieved batching factor; the line also renders it directly as
+    /// `frames_per_flush`).
+    pub frames_flushed: u64,
 }
 
 /// Parse a line produced by [`metrics_line`]. Returns `None` for
@@ -1309,8 +1337,11 @@ pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
         forgotten: f.u64("forgotten")?,
         membership_events_dropped: f.u64("mev_dropped")?,
         trace_events_dropped: f.u64("trace_dropped")?,
+        workers: f.u64("workers")?,
         sent: f.u64("sent")?,
         dropped: f.u64("dropped")?,
+        flushes: f.u64("flushes")?,
+        frames_flushed: f.u64("frames_flushed")?,
     })
 }
 
@@ -1340,6 +1371,7 @@ mod tests {
                 lifetime: Duration::from_millis(10),
             },
             trace_events_dropped: 5,
+            workers: 4,
             transport: TransportStats {
                 sent: 9,
                 sent_wire_bytes: 81,
@@ -1357,6 +1389,8 @@ mod tests {
                 rejoins: 12,
                 joins: 13,
                 peers_discovered: 14,
+                flushes: 4,
+                frames_flushed: 9,
             },
         };
         let line = outcome_line(&report);
@@ -1371,7 +1405,9 @@ mod tests {
         assert_eq!(parsed.forgotten, 1);
         assert_eq!(parsed.membership_events_dropped, 17);
         assert_eq!(parsed.trace_events_dropped, 5);
+        assert_eq!(parsed.workers, 4);
         assert_eq!(parsed.transport, report.transport);
+        assert!((parsed.transport.frames_per_flush() - 2.25).abs() < 1e-9);
         assert_eq!(parse_outcome_line("unrelated noise"), None);
     }
 
@@ -1404,9 +1440,12 @@ mod tests {
                 sent: 11,
                 dropped_full: 1,
                 dropped_disconnected: 2,
+                flushes: 5,
+                frames_flushed: 10,
                 ..Default::default()
             },
             trace_events_dropped: 4,
+            workers: 2,
         };
         let line = metrics_line(&snap);
         let parsed = parse_metrics_line(&line).expect("parses");
@@ -1423,8 +1462,12 @@ mod tests {
         assert_eq!(parsed.forgotten, 1);
         assert_eq!(parsed.membership_events_dropped, 3);
         assert_eq!(parsed.trace_events_dropped, 4);
+        assert_eq!(parsed.workers, 2);
         assert_eq!(parsed.sent, 11);
         assert_eq!(parsed.dropped, 3);
+        assert_eq!(parsed.flushes, 5);
+        assert_eq!(parsed.frames_flushed, 10);
+        assert!(line.contains("frames_per_flush=2.00"), "line: {line}");
         assert_eq!(parse_metrics_line("FTBB-OUTCOME id=1"), None);
         assert_eq!(parse_metrics_line("noise"), None);
     }

@@ -68,7 +68,8 @@ use crate::codec::{
     encode_announce, encode_frame, encode_join, encode_rejoin, EncodedFrame, FrameDecoder,
     JoinFrame, RejoinFrame, RejoinSummary, WireFrame,
 };
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{JobId, Msg, TransportCounters};
 use ftbb_runtime::{Envelope, Transport};
@@ -101,6 +102,14 @@ pub const RETRY_WINDOW: Duration = Duration::from_secs(1);
 /// Configurable per mesh through [`WireConfig::retry_max_frames`].
 pub const RETRY_MAX_FRAMES: usize = 64;
 
+/// Default cap on frames coalesced into one socket write. Batching is
+/// purely opportunistic — a writer only coalesces frames *already queued*
+/// when it wakes, so a lone latency-sensitive frame (bound announcement,
+/// membership beat) is never parked waiting for company; the cap merely
+/// bounds the coalescing buffer. Configurable per mesh through
+/// [`WireConfig::batch_max_frames`].
+pub const BATCH_MAX_FRAMES: usize = 64;
+
 /// Transport tuning knobs, applied to every peer writer of a mesh.
 /// Defaults reproduce the historical constants exactly; deployments with
 /// slower-starting peers (large clusters, loaded CI machines) can widen
@@ -114,6 +123,10 @@ pub struct WireConfig {
     /// Per-peer frame budget of that window; overflow drops immediately
     /// (default [`RETRY_MAX_FRAMES`], 64 frames).
     pub retry_max_frames: usize,
+    /// Most frames one socket write may coalesce (default
+    /// [`BATCH_MAX_FRAMES`], 64). `1` disables batching entirely — every
+    /// frame pays its own syscall, the pre-batching behavior.
+    pub batch_max_frames: usize,
 }
 
 impl Default for WireConfig {
@@ -121,6 +134,7 @@ impl Default for WireConfig {
         WireConfig {
             retry_window: RETRY_WINDOW,
             retry_max_frames: RETRY_MAX_FRAMES,
+            batch_max_frames: BATCH_MAX_FRAMES,
         }
     }
 }
@@ -131,7 +145,8 @@ const RETRY_POLL: Duration = Duration::from_millis(10);
 
 struct QueuedFrame {
     wire_size: usize,
-    bytes: Vec<u8>,
+    /// Refcounted: broadcast paths queue clones of one encoding.
+    bytes: Bytes,
 }
 
 enum WriterCmd {
@@ -922,6 +937,9 @@ struct Writer {
     /// never connected; it closes for good on first connection or expiry.
     window_until: Option<Instant>,
     retry: VecDeque<QueuedFrame>,
+    /// Reused coalescing buffer: multi-frame batches are gathered here
+    /// and flushed with one `write_all`.
+    batch_buf: Vec<u8>,
 }
 
 impl Writer {
@@ -953,14 +971,30 @@ impl Writer {
         }
     }
 
-    /// Write one frame; records the send on success, clears the
-    /// connection on failure (the frame is lost — caller attributes it).
-    fn write_frame(&mut self, frame: &QueuedFrame) -> bool {
-        let stream = self.conn.as_mut().expect("write_frame requires a conn");
-        match stream.write_all(&frame.bytes) {
+    /// Flush a batch of frames with **one** `write_all`; records each
+    /// send plus the flush on success, clears the connection on failure
+    /// (the whole batch is lost — caller attributes it). A single-frame
+    /// batch writes straight from the frame, skipping the coalescing
+    /// copy.
+    fn write_batch(&mut self, frames: &[QueuedFrame]) -> bool {
+        debug_assert!(!frames.is_empty(), "write_batch requires frames");
+        let stream = self.conn.as_mut().expect("write_batch requires a conn");
+        let result = if frames.len() == 1 {
+            stream.write_all(&frames[0].bytes)
+        } else {
+            self.batch_buf.clear();
+            for frame in frames {
+                self.batch_buf.extend_from_slice(&frame.bytes);
+            }
+            stream.write_all(&self.batch_buf)
+        };
+        match result {
             Ok(()) => {
-                self.counters
-                    .record_send(frame.wire_size, frame.bytes.len());
+                for frame in frames {
+                    self.counters
+                        .record_send(frame.wire_size, frame.bytes.len());
+                }
+                self.counters.record_flush(frames.len() as u64);
                 true
             }
             Err(_) => {
@@ -1001,16 +1035,23 @@ impl Writer {
             }
         }
         if self.conn.is_some() {
-            while let Some(frame) = self.retry.pop_front() {
-                if self.write_frame(&frame) {
-                    self.settle();
+            // Drain in coalesced writes instead of one syscall per frame;
+            // the batch cap bounds each flush, not the drain.
+            while !self.retry.is_empty() && self.conn.is_some() {
+                let n = self.retry.len().min(self.cfg.batch_max_frames.max(1));
+                let batch: Vec<QueuedFrame> = self.retry.drain(..n).collect();
+                if self.write_batch(&batch) {
+                    for _ in 0..n {
+                        self.settle();
+                    }
                 } else {
-                    // The connection died mid-flush: this frame is lost
+                    // The connection died mid-flush: the batch is lost
                     // under steady-state semantics (the window closed the
                     // moment the dial succeeded).
-                    self.counters.record_dropped_disconnected();
-                    self.settle();
-                    break;
+                    for _ in 0..n {
+                        self.counters.record_dropped_disconnected();
+                        self.settle();
+                    }
                 }
             }
         }
@@ -1054,45 +1095,57 @@ impl Writer {
         }
     }
 
-    /// Deliver (or dispose of) one freshly dequeued frame.
-    fn on_frame(&mut self, frame: QueuedFrame) {
+    /// Deliver (or dispose of) a freshly dequeued batch of frames — one
+    /// coalesced write when connected, per-frame attribution otherwise.
+    fn on_frames(&mut self, mut frames: Vec<QueuedFrame>) {
+        debug_assert!(!frames.is_empty(), "on_frames requires frames");
         // Older parked frames go first — never reorder past the queue.
         self.pump();
         if self.conn.is_none() {
             if !self.retry.is_empty() {
                 // Still blocked behind the retry queue.
-                self.admit_or_drop(frame);
+                for frame in frames.drain(..) {
+                    self.admit_or_drop(frame);
+                }
                 return;
             }
             if self.window_open() {
-                // Startup: dial now (paced) and park the frame on failure.
+                // Startup: dial now (paced) and park the batch on failure.
                 let may_dial = self.last_attempt.is_none_or(|t| t.elapsed() >= RETRY_POLL);
                 if !(may_dial && self.dial()) {
                     if may_dial {
                         self.counters.record_connect_wait();
                     }
-                    self.admit_or_drop(frame);
+                    for frame in frames.drain(..) {
+                        self.admit_or_drop(frame);
+                    }
                     return;
                 }
             } else {
-                // Steady state: one backed-off attempt, else a counted drop.
+                // Steady state: one backed-off attempt, else counted drops.
                 let backing_off = self
                     .last_attempt
                     .is_some_and(|t| t.elapsed() < RECONNECT_BACKOFF);
                 if backing_off || !self.dial() {
-                    self.counters.record_dropped_disconnected();
-                    self.settle();
+                    for _ in frames.drain(..) {
+                        self.counters.record_dropped_disconnected();
+                        self.settle();
+                    }
                     return;
                 }
             }
         }
-        if !self.write_frame(&frame) {
-            // Connection dropped mid-run: this frame is lost (the Crash
-            // model's lost datagram); the next send retries a fresh
+        if !self.write_batch(&frames) {
+            // Connection dropped mid-run: the batch is lost (the Crash
+            // model's lost datagrams); the next send retries a fresh
             // connection.
-            self.counters.record_dropped_disconnected();
+            for _ in 0..frames.len() {
+                self.counters.record_dropped_disconnected();
+            }
         }
-        self.settle();
+        for _ in 0..frames.len() {
+            self.settle();
+        }
     }
 }
 
@@ -1116,6 +1169,7 @@ fn spawn_writer(
             last_attempt: None,
             window_until: None,
             retry: VecDeque::new(),
+            batch_buf: Vec::new(),
         };
         // Exits when the owning TcpMesh drops (queue disconnects) or the
         // peer is re-registered at a new address (its entry — and queue
@@ -1137,7 +1191,31 @@ fn spawn_writer(
                 }
             };
             match cmd {
-                Some(WriterCmd::Frame(frame)) => w.on_frame(frame),
+                Some(WriterCmd::Frame(first)) => {
+                    // Opportunistic coalescing: greedily take whatever is
+                    // *already* queued behind the first frame (up to the
+                    // batch cap) and flush it all in one write. Never
+                    // waits for more frames, so a lone frame ships
+                    // immediately — the max-delay bound is zero.
+                    let mut batch = vec![first];
+                    let mut deferred_preconnect = None;
+                    while batch.len() < w.cfg.batch_max_frames.max(1) {
+                        match queue.try_recv() {
+                            Ok(WriterCmd::Frame(frame)) => batch.push(frame),
+                            Ok(WriterCmd::Preconnect { deadline }) => {
+                                // Keep command order: flush the frames
+                                // queued before it first.
+                                deferred_preconnect = Some(deadline);
+                                break;
+                            }
+                            Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    w.on_frames(batch);
+                    if let Some(deadline) = deferred_preconnect {
+                        w.preconnect(deadline);
+                    }
+                }
                 Some(WriterCmd::Preconnect { deadline }) => w.preconnect(deadline),
                 None => w.pump(),
             }
@@ -1178,6 +1256,103 @@ mod tests {
                 Err(e) => panic!("cannot rebind {addr}: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn a_queued_batch_flushes_in_one_write() {
+        use std::io::Read;
+
+        // Drive a Writer directly (no writer thread) so the batch shape
+        // is deterministic: ten frames in one `on_frames` call must
+        // coalesce into one flush, arrive in order, and settle every
+        // depth reservation.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let depth = Arc::new(AtomicUsize::new(11));
+        let counters = Arc::new(TransportCounters::default());
+        let mut w = Writer {
+            addr: listener.local_addr().unwrap(),
+            cfg: WireConfig::default(),
+            depth: Arc::clone(&depth),
+            connected: Arc::new(AtomicBool::new(false)),
+            counters: Arc::clone(&counters),
+            conn: None,
+            had_connection: false,
+            last_attempt: None,
+            window_until: None,
+            retry: VecDeque::new(),
+            batch_buf: Vec::new(),
+        };
+        let frames: Vec<QueuedFrame> = (0..10u8)
+            .map(|i| QueuedFrame {
+                wire_size: 4,
+                bytes: vec![i; 4].into(),
+            })
+            .collect();
+        let expected: Vec<u8> = frames.iter().flat_map(|f| f.bytes.to_vec()).collect();
+        w.on_frames(frames);
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut got = vec![0u8; expected.len()];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(got, expected, "coalescing preserves frame order");
+
+        let stats = counters.snapshot();
+        assert_eq!(stats.sent, 10);
+        assert_eq!(stats.flushes, 1, "ten frames, one write: {stats:?}");
+        assert_eq!(stats.frames_flushed, 10);
+        assert!((stats.frames_per_flush() - 10.0).abs() < 1e-9);
+        assert_eq!(depth.load(Ordering::Acquire), 1, "batch fully settled");
+
+        // A lone frame ships immediately as its own flush — batching
+        // never parks a frame to wait for company.
+        w.on_frames(vec![QueuedFrame {
+            wire_size: 4,
+            bytes: vec![99; 4].into(),
+        }]);
+        let mut one = vec![0u8; 4];
+        conn.read_exact(&mut one).unwrap();
+        assert_eq!(one, vec![99; 4]);
+        let stats = counters.snapshot();
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.frames_flushed, 11);
+        assert_eq!(depth.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn batching_disabled_writes_one_frame_per_flush() {
+        // `batch_max_frames: 1` pins the historical one-write-per-frame
+        // behaviour: the retry drain must flush each parked frame alone.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let counters = Arc::new(TransportCounters::default());
+        let mut w = Writer {
+            addr: listener.local_addr().unwrap(),
+            cfg: WireConfig {
+                batch_max_frames: 1,
+                ..WireConfig::default()
+            },
+            depth: Arc::new(AtomicUsize::new(3)),
+            connected: Arc::new(AtomicBool::new(false)),
+            counters: Arc::clone(&counters),
+            conn: None,
+            had_connection: false,
+            last_attempt: None,
+            window_until: None,
+            retry: VecDeque::new(),
+            batch_buf: Vec::new(),
+        };
+        assert!(w.dial(), "listener accepts");
+        for i in 0..3u8 {
+            w.retry.push_back(QueuedFrame {
+                wire_size: 4,
+                bytes: vec![i; 4].into(),
+            });
+        }
+        w.pump();
+        let stats = counters.snapshot();
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.flushes, 3, "cap 1 means one frame per write");
+        assert_eq!(stats.frames_flushed, 3);
+        assert!((stats.frames_per_flush() - 1.0).abs() < 1e-9);
     }
 
     /// Deadline-bounded wait for a counter condition — no fixed sleeps.
@@ -1359,7 +1534,7 @@ mod tests {
         peer.enqueue(
             QueuedFrame {
                 wire_size: 3,
-                bytes: vec![1, 2, 3],
+                bytes: vec![1, 2, 3].into(),
             },
             &counters,
         );
@@ -1774,6 +1949,7 @@ mod tests {
         let cfg = WireConfig {
             retry_window: Duration::from_millis(100),
             retry_max_frames: 2,
+            ..WireConfig::default()
         };
         let (mesh, _rx) =
             TcpMesh::from_listener_incarnated_with(0, 0, listener, &[(1, dead)], cfg).unwrap();

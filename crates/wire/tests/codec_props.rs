@@ -208,7 +208,7 @@ proptest! {
         let env = Envelope { job: JobId::from(7), from: 9, msg };
         let frame = encode_frame(&env, 3, 4, &[]).bytes;
         let pos = (pos_seed as usize) % frame.len();
-        let mut bad = frame.clone();
+        let mut bad = frame.to_vec();
         bad[pos] ^= flip;
         let mut dec = FrameDecoder::new();
         dec.push(&bad);
@@ -306,7 +306,7 @@ proptest! {
         // so the payload content is irrelevant — the strategy covers
         // every message shape anyway.
         let mut bytes =
-            encode_frame(&Envelope { job: JobId::DEFAULT, from: 2, msg }, 1, 1, &[]).bytes;
+            encode_frame(&Envelope { job: JobId::DEFAULT, from: 2, msg }, 1, 1, &[]).bytes.to_vec();
         bytes[4..6].copy_from_slice(&version.to_le_bytes());
         let mut dec = FrameDecoder::new();
         let mut outcome = None;

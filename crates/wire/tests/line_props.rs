@@ -97,6 +97,8 @@ fn transport_strategy() -> impl Strategy<Value = TransportStats> {
             rejoins: (d2 % 23) as u64,
             joins: (d3 % 29) as u64,
             peers_discovered: (sent % 31) as u64,
+            flushes: (wire % 37) as u64,
+            frames_flushed: (enc % 41) as u64,
         })
 }
 
@@ -133,6 +135,7 @@ fn report_strategy() -> impl Strategy<Value = NodedReport> {
                     },
                     transport: t,
                     trace_events_dropped: tev,
+                    workers: (expanded % 9) as usize + 1,
                 }
             },
         )
@@ -168,6 +171,7 @@ fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
                     },
                     transport: t,
                     trace_events_dropped: tev,
+                    workers: (seq % 9) as usize + 1,
                 }
             },
         )

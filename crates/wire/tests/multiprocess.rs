@@ -41,6 +41,7 @@ fn base_spec(problem: ProblemSpec, nodes: u32, seed: u64) -> ClusterSpec {
         metrics_every_s: None,
         deadline: Duration::from_secs(60),
         seed,
+        workers: 1,
     }
 }
 
@@ -204,6 +205,56 @@ fn four_processes_no_failures_reach_the_optimum() {
     assert!(
         total_encoded > total_wire,
         "frame headers must show up in encoded bytes"
+    );
+}
+
+/// The saturation regression: a five-node cluster running four expansion
+/// workers per node, with a SIGKILL mid-run, still agrees with the
+/// sequential optimum — parallel expansion must not perturb the protocol
+/// state machine — and the batched writers actually coalesce: across the
+/// cluster, more frames are flushed than flushes happen (mean
+/// frames-per-flush above one).
+#[test]
+fn four_workers_per_node_survive_a_kill_and_batch_their_frames() {
+    let problem = heavy_problem();
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
+
+    let mut spec = base_spec(problem, 5, 11);
+    spec.workers = 4;
+    spec.lifecycle = vec![LifecycleEvent::kill(2, Duration::from_millis(80))];
+    let report = launch(&spec).expect("cluster launches");
+
+    assert!(
+        report.all_survivors_terminated,
+        "survivors failed to terminate: {:?}",
+        report.outcomes
+    );
+    assert_eq!(
+        report.best, reference,
+        "parallel workers disagree with the sequential optimum"
+    );
+    for outcome in report.outcomes.iter().flatten() {
+        if outcome.terminated {
+            assert_eq!(Some(outcome.incumbent), reference, "node {}", outcome.id);
+        }
+        assert_eq!(
+            outcome.workers, 4,
+            "node {} did not run the requested pool",
+            outcome.id
+        );
+    }
+    let (flushes, frames) = report
+        .outcomes
+        .iter()
+        .flatten()
+        .fold((0u64, 0u64), |(fl, fr), o| {
+            (fl + o.transport.flushes, fr + o.transport.frames_flushed)
+        });
+    assert!(flushes > 0, "the cluster exchanged no messages at all");
+    assert!(
+        frames > flushes,
+        "batching never coalesced: {frames} frames over {flushes} flushes"
     );
 }
 
