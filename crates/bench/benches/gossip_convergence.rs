@@ -3,6 +3,7 @@
 //! and fault-tolerance gossip.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbb_bench::gossip_sim::simulate_membership;
 use ftbb_gossip::{anti_entropy_rounds, simulate, Feedback, LossOfInterest, RumorConfig};
 
 fn bench_rumor_variants(c: &mut Criterion) {
@@ -59,5 +60,33 @@ fn bench_anti_entropy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rumor_variants, bench_anti_entropy);
+/// Full membership bootstrap at growing group sizes, full digests vs
+/// capped deltas: everyone joins through one server and gossips until
+/// every view holds the whole group (plus a steady-state tail). The
+/// delta mode processes strictly fewer digest entries end to end, which
+/// is what this wall-clock number shows scaling with n.
+fn bench_membership_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_convergence");
+    group.sample_size(10);
+    for &n in &[50u32, 100, 250, 500] {
+        for (mode, delta, cap) in [("full", false, 0usize), ("delta", true, 32)] {
+            let id = BenchmarkId::new(mode, n);
+            group.bench_with_input(id, &n, |b, &n| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    simulate_membership(n, delta, cap, seed)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rumor_variants,
+    bench_anti_entropy,
+    bench_membership_convergence
+);
 criterion_main!(benches);

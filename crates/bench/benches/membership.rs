@@ -20,6 +20,7 @@ fn cfg() -> MembershipConfig {
         fanout: 2,
         t_fail: SimTime::from_millis(500),
         t_cleanup: SimTime::from_secs(3),
+        ..Default::default()
     }
 }
 
@@ -73,5 +74,41 @@ fn bench_heartbeat_tick(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_view_merge, bench_heartbeat_tick);
+/// The scale knob head-to-head: one member's tick (digest construction
+/// included) at growing group sizes, full digests vs capped deltas. The
+/// full mode's per-tick cost grows O(n) with the table; the delta mode's
+/// is bounded by the per-frame cap however large the group gets.
+fn bench_tick_full_vs_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_tick_digest");
+    for &n in &[50u32, 100, 250, 500] {
+        for (mode, delta, cap) in [("full", false, 0usize), ("delta", true, 32)] {
+            let id = BenchmarkId::new(mode, n);
+            group.bench_with_input(id, &n, |b, &n| {
+                let tick_cfg = MembershipConfig {
+                    t_fail: SimTime::from_secs(1 << 20),
+                    t_cleanup: SimTime::from_secs(1 << 21),
+                    delta,
+                    digest_max_entries: cap,
+                    ..cfg()
+                };
+                let mut member = Membership::new(0, tick_cfg, SimTime::ZERO, true);
+                member.observe_members(&(1..n).collect::<Vec<_>>(), SimTime::ZERO);
+                let mut rng = SmallRng::seed_from_u64(11);
+                let mut now_ms = 0u64;
+                b.iter(|| {
+                    now_ms += 1;
+                    black_box(member.tick(SimTime::from_millis(now_ms), &mut rng))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_view_merge,
+    bench_heartbeat_tick,
+    bench_tick_full_vs_delta
+);
 criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Synchronous round simulator for the membership layer: `n` members
+//! bootstrap through one gossip server and gossip until every view holds
+//! the whole group, then keep gossiping in steady state. Used by the
+//! `scale` binary (full-vs-delta digest accounting at 100–1000 members)
+//! and the `gossip_convergence` bench.
+//!
+//! Messages are delivered instantly — the simulator measures *traffic*
+//! (frames, digest entries, wire bytes) per round, not latency. That is
+//! the axis the delta digests and per-frame caps change: a full digest
+//! ships one entry per known member on every frame forever, a delta
+//! ships only news.
+
+use ftbb_des::SimTime;
+use ftbb_gossip::{Membership, MembershipConfig, MembershipMsg};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// What one bootstrap-then-steady-state run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipRun {
+    /// Gossip rounds until every member's alive view held all `n`.
+    pub rounds_to_converge: u64,
+    /// Membership wire bytes shipped up to convergence (joins, welcomes,
+    /// and gossip digests).
+    pub bytes_to_converge: u64,
+    /// Wire bytes per round once converged (nothing new to tell).
+    pub steady_bytes_per_round: f64,
+    /// Digest entries per gossip frame once converged.
+    pub steady_entries_per_frame: f64,
+}
+
+/// Run `n` members (member 0 is the gossip server, everyone else joins
+/// through it at time zero) until convergence plus `steady_rounds` more
+/// rounds. `delta`/`cap` mirror [`MembershipConfig::delta`] and
+/// [`MembershipConfig::digest_max_entries`].
+pub fn simulate_membership(n: u32, delta: bool, cap: usize, seed: u64) -> GossipRun {
+    assert!(n >= 2, "a group of one has nothing to gossip");
+    let interval_ms = 500u64;
+    let cfg = MembershipConfig {
+        gossip_interval: SimTime::from_millis(interval_ms),
+        // The run is failure-free: keep the sweep out of the way however
+        // long convergence takes.
+        t_fail: SimTime::from_secs(1 << 20),
+        t_cleanup: SimTime::from_secs(1 << 21),
+        delta,
+        digest_max_entries: cap,
+        ..Default::default()
+    };
+    let t0 = SimTime::ZERO;
+    let mut members: Vec<Membership> = (0..n)
+        .map(|id| Membership::new(id, cfg, t0, id == 0))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut bytes = 0u64;
+    // Bootstrap: everyone joins through the server; the welcome digest
+    // each joiner gets back counts toward the convergence traffic.
+    for id in 1..n as usize {
+        let join = members[id].join_msg();
+        bytes += join.wire_size() as u64;
+        let replies = members[0].on_message(id as u32, &join, t0);
+        for (to, reply) in replies {
+            bytes += reply.wire_size() as u64;
+            deliver(&mut members, 0, to, &reply, t0);
+        }
+    }
+
+    let mut rounds = 0u64;
+    let max_rounds = 200 * n as u64;
+    while !converged(&members, now(rounds, interval_ms), n) {
+        rounds += 1;
+        assert!(
+            rounds <= max_rounds,
+            "membership failed to converge at n={n} delta={delta} cap={cap}"
+        );
+        bytes += run_round(&mut members, now(rounds, interval_ms), &mut rng).0;
+    }
+    let rounds_to_converge = rounds;
+    let bytes_to_converge = bytes;
+
+    let steady_rounds = 20u64;
+    let (mut s_bytes, mut s_frames, mut s_entries) = (0u64, 0u64, 0u64);
+    for r in 1..=steady_rounds {
+        let (b, f, e) = run_round(&mut members, now(rounds + r, interval_ms), &mut rng);
+        s_bytes += b;
+        s_frames += f;
+        s_entries += e;
+    }
+
+    GossipRun {
+        rounds_to_converge,
+        bytes_to_converge,
+        steady_bytes_per_round: s_bytes as f64 / steady_rounds as f64,
+        steady_entries_per_frame: s_entries as f64 / s_frames.max(1) as f64,
+    }
+}
+
+fn now(round: u64, interval_ms: u64) -> SimTime {
+    SimTime::from_millis(round * interval_ms)
+}
+
+fn converged(members: &[Membership], now: SimTime, n: u32) -> bool {
+    members
+        .iter()
+        .all(|m| m.alive_members(now).len() == n as usize)
+}
+
+/// One gossip round: every member ticks, every frame is delivered.
+/// Returns `(wire_bytes, gossip_frames, digest_entries)`.
+fn run_round(members: &mut [Membership], now: SimTime, rng: &mut SmallRng) -> (u64, u64, u64) {
+    let (mut bytes, mut frames, mut entries) = (0u64, 0u64, 0u64);
+    for from in 0..members.len() {
+        let outbox = members[from].tick(now, rng);
+        for (to, msg) in outbox {
+            bytes += msg.wire_size() as u64;
+            if let MembershipMsg::Gossip(d) = &msg {
+                frames += 1;
+                entries += d.entries.len() as u64;
+            }
+            deliver(members, from as u32, to, &msg, now);
+        }
+    }
+    (bytes, frames, entries)
+}
+
+fn deliver(members: &mut [Membership], from: u32, to: u32, msg: &MembershipMsg, now: SimTime) {
+    let replies = members[to as usize].on_message(from, msg, now);
+    debug_assert!(replies.is_empty(), "gossip frames have no replies");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_converge_and_delta_is_cheaper_in_steady_state() {
+        let full = simulate_membership(100, false, 0, 7);
+        let delta = simulate_membership(100, true, 32, 7);
+        // Full digests ship ~100 entries per frame forever; deltas go
+        // quiet once everyone knows everything (only the sender's own
+        // heartbeat still rides).
+        assert!(full.steady_entries_per_frame >= 99.0, "{full:?}");
+        assert!(delta.steady_entries_per_frame <= 33.0, "{delta:?}");
+        assert!(
+            delta.steady_bytes_per_round < full.steady_bytes_per_round / 2.0,
+            "delta must win in steady state: {delta:?} vs {full:?}"
+        );
+    }
+}

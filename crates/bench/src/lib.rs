@@ -93,6 +93,8 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+pub mod gossip_sim;
+
 /// Format seconds or hours compactly.
 pub fn fmt_time_s(s: f64) -> String {
     if s >= 3600.0 {

@@ -431,6 +431,7 @@ mod tests {
             fanout: 2,
             t_fail: SimTime::from_secs(2),
             t_cleanup: SimTime::from_secs(8),
+            ..Default::default()
         };
         let cfg = ProtocolConfig {
             membership: Some(mcfg),

@@ -70,6 +70,17 @@ pub struct ProtocolConfig {
     /// configuration of the paper's experiments, §6.2: "we do not include
     /// yet the membership protocol").
     pub membership: Option<MembershipConfig>,
+    /// Bound-dissemination flush window, seconds. Incumbent improvements
+    /// within one window coalesce into a single explicit
+    /// [`crate::Msg::BoundAnnounce`] broadcast to every member, and
+    /// load-balancing chatter stops re-piggybacking a bound every member
+    /// already heard announced. `<= 0` disables the mechanism entirely
+    /// (no broadcasts, every message piggybacks eagerly — the historical
+    /// behavior). Suppression is epsilon-exact: a strictly better bound
+    /// is never delayed past this window, and report/table-gossip
+    /// messages always carry the literal incumbent (that channel is what
+    /// guarantees a terminating member holds the exact optimum).
+    pub bound_flush_s: f64,
 }
 
 impl Default for ProtocolConfig {
@@ -90,6 +101,7 @@ impl Default for ProtocolConfig {
             select_rule: SelectRule::DepthFirst,
             adaptive_reports: false,
             membership: None,
+            bound_flush_s: 0.05,
         }
     }
 }

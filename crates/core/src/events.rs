@@ -25,6 +25,9 @@ pub enum PTimer {
     RecoveryFuse(u32),
     /// Membership gossip tick.
     MembershipTick,
+    /// Bound-dissemination flush: coalesced incumbent improvements are
+    /// broadcast as one explicit announce when this fires.
+    BoundFlush,
 }
 
 impl PTimer {
@@ -46,6 +49,7 @@ impl PTimer {
             PTimer::RecoveryFuse(_) => 2,
             PTimer::ReportFlush => 3,
             PTimer::TableGossip => 4,
+            PTimer::BoundFlush => 5,
         }
     }
 }
@@ -142,6 +146,7 @@ mod tests {
             PTimer::RecoveryFuse(2),
             PTimer::ReportFlush,
             PTimer::TableGossip,
+            PTimer::BoundFlush,
         ];
         for (i, t) in ranked.iter().enumerate() {
             assert_eq!(t.priority() as usize, i, "{t:?}");

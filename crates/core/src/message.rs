@@ -67,6 +67,15 @@ pub enum Msg {
     },
     /// Membership protocol traffic (heartbeat gossip, join, welcome).
     Membership(MembershipMsg),
+    /// An explicit bound broadcast: one coalesced announcement per
+    /// improvement window instead of relying on the next
+    /// happening-to-be-sent message to carry the news (the suppressed
+    /// bound-dissemination mechanism; see
+    /// [`crate::ProtocolConfig::bound_flush_s`]).
+    BoundAnnounce {
+        /// Sender's incumbent.
+        incumbent: Incumbent,
+    },
 }
 
 impl Msg {
@@ -77,7 +86,8 @@ impl Msg {
             | Msg::WorkGrant { incumbent, .. }
             | Msg::WorkDeny { incumbent }
             | Msg::WorkReport { incumbent, .. }
-            | Msg::TableGossip { incumbent, .. } => Some(*incumbent),
+            | Msg::TableGossip { incumbent, .. }
+            | Msg::BoundAnnounce { incumbent } => Some(*incumbent),
             Msg::Membership(_) => None,
         }
     }
@@ -86,7 +96,7 @@ impl Msg {
     /// payload).
     pub fn wire_size(&self) -> usize {
         match self {
-            Msg::WorkRequest { .. } | Msg::WorkDeny { .. } => 1 + 8,
+            Msg::WorkRequest { .. } | Msg::WorkDeny { .. } | Msg::BoundAnnounce { .. } => 1 + 8,
             Msg::WorkGrant { items, .. } => {
                 1 + 8 + 2 + items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
@@ -106,6 +116,7 @@ impl Msg {
             Msg::WorkReport { .. } => MsgKind::WorkReport,
             Msg::TableGossip { .. } => MsgKind::TableGossip,
             Msg::Membership(_) => MsgKind::Membership,
+            Msg::BoundAnnounce { .. } => MsgKind::BoundAnnounce,
         }
     }
 }
@@ -126,6 +137,8 @@ pub enum MsgKind {
     TableGossip,
     /// Membership traffic.
     Membership,
+    /// Explicit bound broadcast (information sharing).
+    BoundAnnounce,
 }
 
 impl MsgKind {
@@ -163,11 +176,13 @@ mod tests {
             incumbent: 1.0,
         };
         assert_eq!(grant.wire_size(), 1 + 8 + 2 + 6 + 8);
+        assert_eq!(Msg::BoundAnnounce { incumbent: 1.0 }.wire_size(), 9);
     }
 
     #[test]
     fn incumbent_piggybacked_everywhere_but_membership() {
         assert!(Msg::WorkDeny { incumbent: 3.0 }.incumbent().is_some());
+        assert_eq!(Msg::BoundAnnounce { incumbent: 2.5 }.incumbent(), Some(2.5));
         let m = Msg::Membership(ftbb_gossip::MembershipMsg::Join { member: 1 });
         assert!(m.incumbent().is_none());
     }
@@ -183,5 +198,10 @@ mod tests {
         }
         .kind()
         .is_load_balancing());
+        // Bound announces are information sharing, not load balancing:
+        // they must never count against the LB message budget.
+        assert!(!Msg::BoundAnnounce { incumbent: 0.0 }
+            .kind()
+            .is_load_balancing());
     }
 }

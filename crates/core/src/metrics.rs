@@ -65,6 +65,17 @@ pub struct ProcMetrics {
     /// full. Non-zero means the harness missed suspicion/forget
     /// transitions.
     pub membership_events_dropped: u64,
+    /// Explicit bound-announce frames this process broadcast (one per
+    /// member per flush window that carried a strictly better incumbent).
+    pub bound_broadcasts: u64,
+    /// Incumbent improvements that were *coalesced* into a flush window
+    /// already armed — they rode a pending broadcast instead of causing
+    /// one of their own (the batching win of bound suppression).
+    pub bound_coalesced: u64,
+    /// Outgoing frames whose incumbent piggyback was suppressed (stamped
+    /// with the no-news sentinel) because every member had already been
+    /// told the current bound.
+    pub bound_piggybacks_suppressed: u64,
     /// Did this process detect termination?
     pub terminated: bool,
 }
@@ -111,6 +122,9 @@ impl ProcMetrics {
         self.peers_suspected += other.peers_suspected;
         self.peers_forgotten += other.peers_forgotten;
         self.membership_events_dropped += other.membership_events_dropped;
+        self.bound_broadcasts += other.bound_broadcasts;
+        self.bound_coalesced += other.bound_coalesced;
+        self.bound_piggybacks_suppressed += other.bound_piggybacks_suppressed;
         self.terminated |= other.terminated;
     }
 }
@@ -178,6 +192,17 @@ pub struct TransportCounters {
     /// peer's previous life. A *receive*-side drop, so it is excluded from
     /// [`TransportStats::dropped`] (which sums send-side drops).
     pub dropped_stale: AtomicU64,
+    /// Membership frames handed to the wire — the denominator for the
+    /// per-frame book/digest entry ratios the scale regression asserts.
+    pub membership_frames_sent: AtomicU64,
+    /// Address-book entries piggybacked on those membership frames
+    /// (codec v4 id→addr book, after the `book_max_entries` cap).
+    pub book_entries_sent: AtomicU64,
+    /// View-digest entries carried inside those membership frames (after
+    /// delta suppression and the digest cap).
+    pub digest_entries_sent: AtomicU64,
+    /// Explicit bound-announce frames handed to the wire.
+    pub bound_broadcasts: AtomicU64,
 }
 
 impl TransportCounters {
@@ -262,6 +287,21 @@ impl TransportCounters {
         self.dropped_stale.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one membership frame carrying `book_entries` piggybacked
+    /// address-book entries and `digest_entries` view-digest entries.
+    pub fn record_membership_frame(&self, book_entries: u64, digest_entries: u64) {
+        self.membership_frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.book_entries_sent
+            .fetch_add(book_entries, Ordering::Relaxed);
+        self.digest_entries_sent
+            .fetch_add(digest_entries, Ordering::Relaxed);
+    }
+
+    /// Record one explicit bound-announce frame handed to the wire.
+    pub fn record_bound_broadcast(&self) {
+        self.bound_broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain-value snapshot for reporting/serialization.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -283,6 +323,10 @@ impl TransportCounters {
             dropped_stale: self.dropped_stale.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             frames_flushed: self.frames_flushed.load(Ordering::Relaxed),
+            membership_frames_sent: self.membership_frames_sent.load(Ordering::Relaxed),
+            book_entries_sent: self.book_entries_sent.load(Ordering::Relaxed),
+            digest_entries_sent: self.digest_entries_sent.load(Ordering::Relaxed),
+            bound_broadcasts: self.bound_broadcasts.load(Ordering::Relaxed),
         }
     }
 }
@@ -327,6 +371,14 @@ pub struct TransportStats {
     pub flushes: u64,
     /// Frames carried by those flushes.
     pub frames_flushed: u64,
+    /// Membership frames handed to the wire.
+    pub membership_frames_sent: u64,
+    /// Address-book entries piggybacked on membership frames (capped).
+    pub book_entries_sent: u64,
+    /// View-digest entries carried inside membership frames (delta).
+    pub digest_entries_sent: u64,
+    /// Explicit bound-announce frames handed to the wire.
+    pub bound_broadcasts: u64,
 }
 
 impl TransportStats {
@@ -357,6 +409,26 @@ impl TransportStats {
             0.0
         } else {
             self.frames_flushed as f64 / self.flushes as f64
+        }
+    }
+
+    /// Average piggybacked address-book entries per membership frame —
+    /// the number the book cap must hold below the roster size (0 when no
+    /// membership frames were sent).
+    pub fn book_entries_per_frame(&self) -> f64 {
+        if self.membership_frames_sent == 0 {
+            0.0
+        } else {
+            self.book_entries_sent as f64 / self.membership_frames_sent as f64
+        }
+    }
+
+    /// Average view-digest entries per membership frame (0 when none).
+    pub fn digest_entries_per_frame(&self) -> f64 {
+        if self.membership_frames_sent == 0 {
+            0.0
+        } else {
+            self.digest_entries_sent as f64 / self.membership_frames_sent as f64
         }
     }
 }
@@ -391,6 +463,9 @@ mod tests {
         c.record_dropped_stale();
         c.record_flush(1);
         c.record_flush(3);
+        c.record_membership_frame(16, 3);
+        c.record_membership_frame(16, 0);
+        c.record_bound_broadcast();
         let s = c.snapshot();
         assert_eq!(s.sent, 2);
         assert_eq!(s.sent_wire_bytes, 20);
@@ -415,6 +490,14 @@ mod tests {
         assert_eq!(s.frames_flushed, 4);
         assert!((s.frames_per_flush() - 2.0).abs() < 1e-12);
         assert_eq!(TransportStats::default().frames_per_flush(), 0.0);
+        assert_eq!(s.membership_frames_sent, 2);
+        assert_eq!(s.book_entries_sent, 32);
+        assert_eq!(s.digest_entries_sent, 3);
+        assert_eq!(s.bound_broadcasts, 1);
+        assert!((s.book_entries_per_frame() - 16.0).abs() < 1e-12);
+        assert!((s.digest_entries_per_frame() - 1.5).abs() < 1e-12);
+        assert_eq!(TransportStats::default().book_entries_per_frame(), 0.0);
+        assert_eq!(TransportStats::default().digest_entries_per_frame(), 0.0);
     }
 
     #[test]

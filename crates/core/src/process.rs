@@ -73,6 +73,12 @@ pub struct BnbProcess {
     suspected_seen: Vec<u32>,
     /// Suspicion/cleanup transitions awaiting a harness drain.
     membership_events: Vec<MembershipEvent>,
+    /// The incumbent value last broadcast as an explicit
+    /// [`Msg::BoundAnnounce`] (bit-compared; `INFINITY` = never).
+    last_announced: Incumbent,
+    /// Is a [`PTimer::BoundFlush`] currently armed? Improvements inside
+    /// the window coalesce instead of re-arming.
+    bound_flush_armed: bool,
 }
 
 impl BnbProcess {
@@ -121,6 +127,8 @@ impl BnbProcess {
             gossip_servers: Vec::new(),
             suspected_seen: Vec::new(),
             membership_events: Vec::new(),
+            last_announced: f64::INFINITY,
+            bound_flush_armed: false,
         }
     }
 
@@ -322,7 +330,7 @@ impl BnbProcess {
             0.9 * self.ewma_cost + 0.1 * expansion.cost
         };
         if let Some(v) = expansion.solution {
-            self.update_incumbent(v);
+            self.update_incumbent(v, out);
         }
         match expansion.children {
             None => {
@@ -352,7 +360,7 @@ impl BnbProcess {
 
     fn on_recv(&mut self, from: u32, msg: Msg, now: SimTime, out: &mut Vec<Action>) {
         if let Some(v) = msg.incumbent() {
-            self.update_incumbent(v);
+            self.update_incumbent(v, out);
         }
         match msg {
             Msg::WorkRequest { .. } => self.on_work_request(from, out),
@@ -377,6 +385,9 @@ impl BnbProcess {
                     }
                 }
             }
+            // The piggybacked incumbent (applied above) is the whole
+            // payload.
+            Msg::BoundAnnounce { .. } => {}
         }
     }
 
@@ -488,6 +499,23 @@ impl BnbProcess {
                     timer: PTimer::MembershipTick,
                 });
             }
+            PTimer::BoundFlush => {
+                self.bound_flush_armed = false;
+                if self.incumbent.to_bits() == self.last_announced.to_bits() {
+                    // Termination already shipped the value to everyone.
+                    return;
+                }
+                self.last_announced = self.incumbent;
+                self.metrics.bound_broadcasts += 1;
+                for to in self.members(now) {
+                    out.push(Action::Send {
+                        to,
+                        msg: Msg::BoundAnnounce {
+                            incumbent: self.incumbent,
+                        },
+                    });
+                }
+            }
         }
     }
 
@@ -512,21 +540,18 @@ impl BnbProcess {
         }
         if items.is_empty() {
             self.metrics.denies_sent += 1;
+            let incumbent = self.lb_piggyback();
             out.push(Action::Send {
                 to: from,
-                msg: Msg::WorkDeny {
-                    incumbent: self.incumbent,
-                },
+                msg: Msg::WorkDeny { incumbent },
             });
         } else {
             self.metrics.grants_sent += 1;
             self.metrics.items_granted += items.len() as u64;
+            let incumbent = self.lb_piggyback();
             out.push(Action::Send {
                 to: from,
-                msg: Msg::WorkGrant {
-                    items,
-                    incumbent: self.incumbent,
-                },
+                msg: Msg::WorkGrant { items, incumbent },
             });
         }
     }
@@ -577,11 +602,10 @@ impl BnbProcess {
                 self.lb_seq += 1;
                 self.lb_awaiting = Some((target, self.lb_seq));
                 self.metrics.work_requests_sent += 1;
+                let incumbent = self.lb_piggyback();
                 out.push(Action::Send {
                     to: target,
-                    msg: Msg::WorkRequest {
-                        incumbent: self.incumbent,
-                    },
+                    msg: Msg::WorkRequest { incumbent },
                 });
                 out.push(Action::SetTimer {
                     delay_s: self.cfg.lb_timeout_s,
@@ -762,6 +786,10 @@ impl BnbProcess {
         }
         self.terminated = true;
         self.metrics.terminated = true;
+        // The final report below carries the literal incumbent to every
+        // member, so any pending bound announce is subsumed; record the
+        // value as announced so a still-armed flush fires as a no-op.
+        self.last_announced = self.incumbent;
         // "Before termination, each member that detected the termination
         // will have to send one more work report, that is, the code of the
         // root problem, to all members from its local membership list."
@@ -799,11 +827,51 @@ impl BnbProcess {
         )
     }
 
-    fn update_incumbent(&mut self, v: Incumbent) {
+    fn update_incumbent(&mut self, v: Incumbent, out: &mut Vec<Action>) {
         if v < self.incumbent {
             self.incumbent = v;
             self.metrics.incumbent_updates += 1;
+            self.schedule_bound_flush(out);
         }
+    }
+
+    /// Arm (or coalesce into) the bound-dissemination flush window: the
+    /// improvement is broadcast as one [`Msg::BoundAnnounce`] when the
+    /// window closes, however many further improvements land inside it.
+    /// A strictly better bound is therefore never delayed past
+    /// `bound_flush_s` — the epsilon-exactness contract.
+    fn schedule_bound_flush(&mut self, out: &mut Vec<Action>) {
+        if self.cfg.bound_flush_s <= 0.0 || self.terminated {
+            return;
+        }
+        if self.bound_flush_armed {
+            self.metrics.bound_coalesced += 1;
+            return;
+        }
+        self.bound_flush_armed = true;
+        out.push(Action::SetTimer {
+            delay_s: self.cfg.bound_flush_s,
+            timer: PTimer::BoundFlush,
+        });
+    }
+
+    /// The incumbent to stamp on load-balancing chatter. While the value
+    /// is newer than the last explicit announce it rides literally; once
+    /// every member has been told (an announce broadcast it), the
+    /// "no solution" sentinel rides instead and the suppression is
+    /// counted. Report and table-gossip messages are never suppressed:
+    /// the literal incumbent on the table-flow channel is what guarantees
+    /// that a member whose table contracts to the root holds the exact
+    /// optimum (bit-identical to the sequential solver).
+    fn lb_piggyback(&mut self) -> Incumbent {
+        if self.cfg.bound_flush_s > 0.0
+            && self.incumbent.is_finite()
+            && self.incumbent.to_bits() == self.last_announced.to_bits()
+        {
+            self.metrics.bound_piggybacks_suppressed += 1;
+            return f64::INFINITY;
+        }
+        self.incumbent
     }
 
     /// Root bound this process was constructed with.
@@ -1559,6 +1627,7 @@ mod tests {
             fanout: 2,
             t_fail: SimTime::from_secs(1),
             t_cleanup: SimTime::from_secs(3),
+            ..Default::default()
         };
         let cfg = ProtocolConfig {
             membership: Some(mcfg),
@@ -1681,5 +1750,223 @@ mod tests {
         p.handle(PEvent::Timer(PTimer::ReportFlush), t0());
         assert!(p.metrics().report_codes_saved >= 1);
         assert!(p.metrics().compression_ratio() > 0.0);
+    }
+
+    /// Count the BoundFlush `SetTimer` actions in `actions`.
+    fn flush_timers(actions: &[Action]) -> usize {
+        actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::SetTimer {
+                        timer: PTimer::BoundFlush,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn bound_improvement_arms_one_flush_and_coalesces() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        // First improvement arms exactly one flush window.
+        let a1 = p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::BoundAnnounce { incumbent: 5.0 },
+            },
+            t0(),
+        );
+        assert_eq!(flush_timers(&a1), 1);
+        // A second improvement inside the window coalesces: no new timer.
+        let a2 = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::BoundAnnounce { incumbent: 4.0 },
+            },
+            t0(),
+        );
+        assert_eq!(flush_timers(&a2), 0);
+        assert_eq!(p.metrics().bound_coalesced, 1);
+        // A non-improvement (stale bound) neither arms nor coalesces.
+        p.bound_flush_armed = false;
+        let a3 = p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::BoundAnnounce { incumbent: 9.0 },
+            },
+            t0(),
+        );
+        assert_eq!(flush_timers(&a3), 0);
+        assert_eq!(p.metrics().bound_coalesced, 1);
+    }
+
+    #[test]
+    fn bound_flush_broadcasts_latest_bound_once() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::BoundAnnounce { incumbent: 5.0 },
+            },
+            t0(),
+        );
+        p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::BoundAnnounce { incumbent: 4.0 },
+            },
+            t0(),
+        );
+        // The window closes: one broadcast of the *latest* bound, to
+        // every other member.
+        let actions = p.handle(PEvent::Timer(PTimer::BoundFlush), t0());
+        let mut targets: Vec<u32> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: Msg::BoundAnnounce { incumbent },
+                } => {
+                    assert_eq!(incumbent.to_bits(), 4.0f64.to_bits());
+                    Some(*to)
+                }
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 2]);
+        assert_eq!(p.metrics().bound_broadcasts, 1);
+        // A flush with nothing new to say stays silent.
+        let again = p.handle(PEvent::Timer(PTimer::BoundFlush), t0());
+        assert!(sends(&again).is_empty());
+        assert_eq!(p.metrics().bound_broadcasts, 1);
+    }
+
+    #[test]
+    fn lb_piggyback_suppressed_only_after_announce() {
+        let mut p = mk_idle(1);
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::BoundAnnounce { incumbent: 5.0 },
+            },
+            t0(),
+        );
+        // Before the flush fires, LB chatter carries the bound literally
+        // (the improvement has not been broadcast yet).
+        let deny = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(deny.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::WorkDeny { incumbent },
+                ..
+            } if incumbent.to_bits() == 5.0f64.to_bits()
+        )));
+        assert_eq!(p.metrics().bound_piggybacks_suppressed, 0);
+        // After the announce, everyone already knows the bound: the
+        // sentinel rides instead and the suppression is counted.
+        p.handle(PEvent::Timer(PTimer::BoundFlush), t0());
+        let deny = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(deny.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::WorkDeny { incumbent },
+                ..
+            } if incumbent.is_infinite()
+        )));
+        assert_eq!(p.metrics().bound_piggybacks_suppressed, 1);
+    }
+
+    #[test]
+    fn reports_always_carry_the_literal_incumbent() {
+        // The table-flow channel is never suppressed: a root-completing
+        // report must hand the receiver the exact bound it terminates
+        // with (bit-identical optima regardless of announce delivery).
+        let mut p = mk_root_holder();
+        p.handle(PEvent::Start, t0());
+        p.handle(
+            PEvent::Recv {
+                from: 1,
+                msg: Msg::BoundAnnounce { incumbent: 0.5 },
+            },
+            t0(),
+        );
+        p.handle(PEvent::Timer(PTimer::BoundFlush), t0());
+        // Root is a leaf: completing it terminates and reports.
+        let actions = p.handle(
+            PEvent::WorkDone {
+                seq: 1,
+                expansion: leaf_expansion(1.0, None),
+            },
+            t0(),
+        );
+        let reports: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                Msg::WorkReport { incumbent, .. } => Some(*incumbent),
+                _ => None,
+            })
+            .collect();
+        assert!(!reports.is_empty());
+        for inc in reports {
+            assert_eq!(inc.to_bits(), 0.5f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_flush_window_disables_suppression() {
+        let mut c = cfg();
+        c.bound_flush_s = 0.0;
+        let mut p = BnbProcess::new(1, vec![0, 1, 2], c, 0.0, false, 1);
+        p.handle(PEvent::Start, t0());
+        let a = p.handle(
+            PEvent::Recv {
+                from: 0,
+                msg: Msg::BoundAnnounce { incumbent: 5.0 },
+            },
+            t0(),
+        );
+        assert_eq!(flush_timers(&a), 0);
+        // LB chatter always rides the literal bound — the historical
+        // eager behavior.
+        let deny = p.handle(
+            PEvent::Recv {
+                from: 2,
+                msg: Msg::WorkRequest {
+                    incumbent: f64::INFINITY,
+                },
+            },
+            t0(),
+        );
+        assert!(deny.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::WorkDeny { incumbent },
+                ..
+            } if incumbent.to_bits() == 5.0f64.to_bits()
+        )));
+        assert_eq!(p.metrics().bound_piggybacks_suppressed, 0);
     }
 }

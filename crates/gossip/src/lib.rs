@@ -23,4 +23,6 @@ pub mod view;
 
 pub use membership::{Membership, MembershipConfig, MembershipMsg};
 pub use rumor::{anti_entropy_rounds, simulate, Feedback, LossOfInterest, RumorConfig, RumorStats};
-pub use view::{MemberId, MemberRecord, MemberStatus, MembershipView, ViewDigest};
+pub use view::{
+    MemberId, MemberRecord, MemberStatus, MembershipView, ViewDigest, DELTA_FULL_REFRESH,
+};

@@ -32,6 +32,18 @@ pub struct MembershipConfig {
     pub t_fail: SimTime,
     /// Silence threshold for forgetting a member.
     pub t_cleanup: SimTime,
+    /// Ship per-peer **delta digests** instead of the full heartbeat table
+    /// on every gossip tick: entries the peer was already told are
+    /// suppressed (first contact and every
+    /// [`crate::DELTA_FULL_REFRESH`]-th digest stay full). Receivers need
+    /// no delta awareness — a delta is a subset of the full digest and
+    /// merges identically.
+    pub delta: bool,
+    /// Cap on entries per delta digest (0 = uncapped): bounds one gossip
+    /// frame's cost regardless of group size. Unshipped news stays
+    /// eligible for the next exchange; the sender's own entry always
+    /// rides along.
+    pub digest_max_entries: usize,
 }
 
 impl Default for MembershipConfig {
@@ -41,6 +53,8 @@ impl Default for MembershipConfig {
             fanout: 2,
             t_fail: SimTime::from_secs(5),
             t_cleanup: SimTime::from_secs(20),
+            delta: true,
+            digest_max_entries: 32,
         }
     }
 }
@@ -142,10 +156,25 @@ impl Membership {
             .collect();
         targets.shuffle(rng);
         targets.truncate(self.cfg.fanout);
-        let digest = self.view.digest();
+        if !self.cfg.delta {
+            let digest = self.view.digest();
+            return targets
+                .into_iter()
+                .map(|t| (t, MembershipMsg::Gossip(digest.clone())))
+                .collect();
+        }
         targets
             .into_iter()
-            .map(|t| (t, MembershipMsg::Gossip(digest.clone())))
+            .map(|t| {
+                let mut digest = self.view.digest_delta(t, self.cfg.digest_max_entries);
+                // Our own heartbeat is the one fact only we originate: it
+                // must ride every frame even when the cap's rotation would
+                // have skipped it.
+                if !digest.entries.iter().any(|&(m, _)| m == self.me) {
+                    digest.entries.push((self.me, self.heartbeat));
+                }
+                (t, MembershipMsg::Gossip(digest))
+            })
             .collect()
     }
 
@@ -244,6 +273,16 @@ mod tests {
             fanout: 2,
             t_fail: SimTime::from_secs(4),
             t_cleanup: SimTime::from_secs(12),
+            delta: true,
+            digest_max_entries: 0,
+        }
+    }
+
+    /// Legacy full-digest gossip (every frame carries the whole table).
+    fn full_cfg() -> MembershipConfig {
+        MembershipConfig {
+            delta: false,
+            ..cfg()
         }
     }
 
@@ -272,6 +311,121 @@ mod tests {
             );
             assert_eq!(m.alive_members(now).len(), 16);
         }
+    }
+
+    #[test]
+    fn full_digests_still_converge() {
+        let mut net = Net::new(16, 1, full_cfg());
+        for i in 1..16 {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        for r in 0..20 {
+            net.round(SimTime::from_millis(500 * (r + 1)), &[]);
+        }
+        for m in &net.members {
+            assert_eq!(m.view().known().len(), 16, "member {}", m.id());
+        }
+    }
+
+    #[test]
+    fn capped_deltas_converge_and_suspect() {
+        // Hard cap of 8 entries per gossip frame, 24 members: the rotation
+        // cursor plus periodic full refreshes must still spread the whole
+        // roster, and a crash must still be suspected everywhere. The cap
+        // thins per-round coverage to ~fanout·(cap+1)/n of the table, so
+        // `t_fail` is widened to 6 s (12 rounds) to keep the false-
+        // suspicion probability negligible — the trade-off the scale
+        // sweep in `ftbb-bench` quantifies.
+        let mut net = Net::new(
+            24,
+            1,
+            MembershipConfig {
+                digest_max_entries: 8,
+                t_fail: SimTime::from_secs(6),
+                t_cleanup: SimTime::from_secs(18),
+                ..cfg()
+            },
+        );
+        for i in 1..24 {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..40 {
+            now += SimTime::from_millis(500);
+            net.round(now, &[]);
+        }
+        for m in &net.members {
+            assert_eq!(m.view().known().len(), 24, "member {}", m.id());
+            assert_eq!(m.view().suspected(now).len(), 0, "member {}", m.id());
+        }
+        // Member 7 crashes; t_fail = 6 s of silence suspects it everywhere.
+        // The window leaves slack beyond t_fail: 7's final heartbeat keeps
+        // propagating (and refreshing last-heard) for a few capped rounds
+        // after the crash before every view goes silent about it.
+        let crash_at = now;
+        while now < crash_at + SimTime::from_secs(13) {
+            net.round(now, &[7]);
+            now += SimTime::from_millis(500);
+        }
+        for m in &net.members {
+            if m.id() == 7 {
+                continue;
+            }
+            assert!(
+                !m.view().alive(now).contains(&7),
+                "member {} still thinks 7 is alive",
+                m.id()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_frames_shrink_after_convergence() {
+        // Once views agree, a delta frame carries only fresh heartbeats —
+        // never the dead weight of the full table. With fanout 2 and 32
+        // members, the news a peer has not been told stays far below the
+        // table size only when suppression actually works; the full-digest
+        // baseline ships 32 entries every frame.
+        let n = 32;
+        let mut net = Net::new(n, 1, cfg());
+        for i in 1..n {
+            let join = net.members[i].join_msg();
+            let replies = net.members[0].on_message(i as MemberId, &join, SimTime::ZERO);
+            for (to, msg) in replies {
+                net.members[to as usize].on_message(0, &msg, SimTime::ZERO);
+            }
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..30 {
+            now += SimTime::from_millis(500);
+            net.round(now, &[]);
+        }
+        // Steady state: measure one round of outbound digests by hand.
+        let mut sizes = Vec::new();
+        for m in &mut net.members {
+            for (_, msg) in m.tick(now + SimTime::from_millis(500), &mut net.rng) {
+                if let MembershipMsg::Gossip(d) = msg {
+                    sizes.push(d.entries.len());
+                }
+            }
+        }
+        let max = sizes.iter().copied().max().unwrap();
+        assert!(
+            max <= n,
+            "a delta is never larger than the table ({max} > {n})"
+        );
+        assert!(
+            sizes.iter().any(|&s| s < n),
+            "suppression never shrank a single frame: {sizes:?}"
+        );
     }
 
     #[test]

@@ -46,6 +46,12 @@ impl ViewDigest {
     }
 }
 
+/// After this many consecutive delta digests to the same peer, the next
+/// digest is a full refresh: news lost with a dropped frame (or left
+/// behind by a capped delta) reaches the peer within a bounded number of
+/// exchanges regardless.
+pub const DELTA_FULL_REFRESH: u32 = 16;
+
 /// A membership view: heartbeat table plus last-heard bookkeeping.
 ///
 /// Swept (forgotten) members leave a *tombstone* recording their last
@@ -54,7 +60,12 @@ impl ViewDigest {
 /// the tombstone, or which reappears after the tombstone expires) is
 /// re-admitted as a newcomer — van Renesse et al.'s solution to the
 /// reinsertion problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Besides the table itself the view keeps *delta bookkeeping*: a monotone
+/// edit counter, the counter value at each record's latest news, and a
+/// per-peer watermark of the last counter value shipped. [`Self::digest_delta`]
+/// uses these to gossip only what a peer has not been told yet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MembershipView {
     records: BTreeMap<MemberId, MemberRecord>,
     /// `member -> (last heartbeat at sweep, sweep time)`.
@@ -65,6 +76,29 @@ pub struct MembershipView {
     /// (prevents unbounded table growth; must be ≫ `t_fail` so that
     /// re-propagated old heartbeats do not resurrect ghosts).
     pub t_cleanup: SimTime,
+    /// Monotone edit counter: bumped once per news-bearing observation.
+    version: u64,
+    /// `member -> version` at which its record last carried news.
+    record_versions: BTreeMap<MemberId, u64>,
+    /// `peer -> (version last shipped, deltas since the last full digest)`.
+    watermarks: BTreeMap<MemberId, (u64, u32)>,
+    /// Rotation cursor for capped deltas (member-id space): successive
+    /// truncated digests cover different slices of the table.
+    delta_cursor: MemberId,
+}
+
+impl PartialEq for MembershipView {
+    /// Views are compared by their observable membership state only. The
+    /// delta bookkeeping (versions, watermarks, cursor) depends on *gossip
+    /// history* — which peers were told what, in which order — not on the
+    /// heartbeat lattice value, so two views that merged the same digests
+    /// in different orders still compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.tombstones == other.tombstones
+            && self.t_fail == other.t_fail
+            && self.t_cleanup == other.t_cleanup
+    }
 }
 
 impl MembershipView {
@@ -79,6 +113,10 @@ impl MembershipView {
             tombstones: BTreeMap::new(),
             t_fail,
             t_cleanup,
+            version: 0,
+            record_versions: BTreeMap::new(),
+            watermarks: BTreeMap::new(),
+            delta_cursor: 0,
         }
     }
 
@@ -93,7 +131,7 @@ impl MembershipView {
             }
             self.tombstones.remove(&member);
         }
-        match self.records.get_mut(&member) {
+        let news = match self.records.get_mut(&member) {
             Some(rec) => {
                 if heartbeat > rec.heartbeat {
                     rec.heartbeat = heartbeat;
@@ -113,7 +151,12 @@ impl MembershipView {
                 );
                 true
             }
+        };
+        if news {
+            self.version += 1;
+            self.record_versions.insert(member, self.version);
         }
+        news
     }
 
     /// Merge a digest; returns how many entries carried news.
@@ -134,6 +177,75 @@ impl MembershipView {
                 .map(|(&m, r)| (m, r.heartbeat))
                 .collect(),
         }
+    }
+
+    /// Build the digest of news this view has **not yet shipped to `peer`**.
+    ///
+    /// First contact — and every [`DELTA_FULL_REFRESH`]-th digest to the
+    /// same peer — makes the whole table eligible again, so a peer that
+    /// missed frames (drops, restarts) is healed within a bounded number
+    /// of exchanges. Otherwise only records whose heartbeat advanced
+    /// since the peer was last told are eligible. Either way the digest
+    /// is capped at `cap` entries (0 = uncapped): one frame's cost stays
+    /// bounded no matter the group size, including refresh frames — at
+    /// scale a frame must never ship a thousand-entry table. A capped
+    /// digest starts at a rotating cursor and does **not** advance the
+    /// watermark (a capped refresh stays *due*): the unshipped news
+    /// remains eligible for the next exchange, and successive slices
+    /// cover the whole table.
+    ///
+    /// Merging stays idempotent and associative — a delta is just a subset
+    /// of the full digest — so receivers need no delta awareness at all.
+    pub fn digest_delta(&mut self, peer: MemberId, cap: usize) -> ViewDigest {
+        let fresh = match self.watermarks.get(&peer) {
+            Some(&(w, c)) if c < DELTA_FULL_REFRESH => Some((w, c)),
+            _ => None,
+        };
+        let eligible: Vec<(MemberId, u64)> = match fresh {
+            Some((since, _)) => self
+                .records
+                .iter()
+                .filter(|(m, _)| self.record_versions.get(m).copied().unwrap_or(u64::MAX) > since)
+                .map(|(&m, r)| (m, r.heartbeat))
+                .collect(),
+            // First contact or refresh due: everything is eligible.
+            None => self
+                .records
+                .iter()
+                .map(|(&m, r)| (m, r.heartbeat))
+                .collect(),
+        };
+        if cap == 0 || eligible.len() <= cap {
+            // Complete shipment: the peer is square with the table as of
+            // `version`. A completed refresh restarts the delta cycle.
+            let counter = match fresh {
+                Some((_, c)) => c + 1,
+                None => 0,
+            };
+            self.watermarks.insert(peer, (self.version, counter));
+            return ViewDigest { entries: eligible };
+        }
+        // Truncated: take `cap` entries starting at the cursor (wrapping),
+        // then park the cursor after the last one shipped. The watermark
+        // stays put so everything unshipped remains news next time; a
+        // truncated refresh leaves the refresh due, so rotation continues
+        // until the peer has been shown the whole table.
+        let start = eligible.partition_point(|&(m, _)| m < self.delta_cursor);
+        let mut entries = Vec::with_capacity(cap);
+        for i in 0..cap {
+            entries.push(eligible[(start + i) % eligible.len()]);
+        }
+        self.delta_cursor = entries.last().expect("cap > 0").0.wrapping_add(1);
+        if let Some((since, count)) = fresh {
+            self.watermarks.insert(peer, (since, count + 1));
+        }
+        ViewDigest { entries }
+    }
+
+    /// Delta bookkeeping for `peer`: `(version last shipped, deltas since
+    /// the last full digest)`. Exposed for tests and benches.
+    pub fn watermark(&self, peer: MemberId) -> Option<(u64, u32)> {
+        self.watermarks.get(&peer).copied()
     }
 
     /// Status of one member at local time `now`.
@@ -178,6 +290,10 @@ impl MembershipView {
             if let Some(rec) = self.records.remove(m) {
                 self.tombstones.insert(*m, (rec.heartbeat, now));
             }
+            self.record_versions.remove(m);
+            // Forgotten peers lose their watermark too: if the member ever
+            // rejoins it is first contact again and gets a full digest.
+            self.watermarks.remove(m);
         }
         dead
     }
@@ -307,5 +423,132 @@ mod tests {
     #[should_panic(expected = "cleanup must not precede")]
     fn bad_timeouts_rejected() {
         MembershipView::new(t(10), t(5));
+    }
+
+    #[test]
+    fn first_delta_is_full_then_only_news() {
+        let mut v = view();
+        v.observe(1, 4, t(0));
+        v.observe(2, 7, t(0));
+        // First contact: full digest, watermark planted.
+        let d = v.digest_delta(9, 0);
+        assert_eq!(d, v.digest());
+        assert_eq!(v.watermark(9), Some((2, 0)));
+        // Nothing happened since: empty delta.
+        assert!(v.digest_delta(9, 0).entries.is_empty());
+        // Member 1 advances; only it is news.
+        v.observe(1, 5, t(1));
+        assert_eq!(v.digest_delta(9, 0).entries, vec![(1, 5)]);
+        // Told once, told twice brings nothing new.
+        assert!(v.digest_delta(9, 0).entries.is_empty());
+    }
+
+    #[test]
+    fn deltas_are_per_peer() {
+        let mut v = view();
+        v.observe(1, 4, t(0));
+        v.digest_delta(8, 0); // peer 8 is up to date
+        v.observe(2, 9, t(1));
+        // Peer 8 only needs the new member; peer 9 needs everything.
+        assert_eq!(v.digest_delta(8, 0).entries, vec![(2, 9)]);
+        assert_eq!(v.digest_delta(9, 0).entries, vec![(1, 4), (2, 9)]);
+    }
+
+    #[test]
+    fn watermark_expiry_forces_full_refresh() {
+        let mut v = view();
+        v.observe(1, 1, t(0));
+        v.observe(7, 1, t(0));
+        v.digest_delta(9, 0);
+        for i in 0..=DELTA_FULL_REFRESH {
+            v.observe(1, 2 + u64::from(i), t(1));
+            let d = v.digest_delta(9, 0);
+            if i == DELTA_FULL_REFRESH {
+                // The refresh slot: full digest (member 7 reappears even
+                // though only member 1 carried news) and counter reset.
+                assert_eq!(d, v.digest());
+                assert_eq!(d.entries.len(), 2);
+                assert_eq!(v.watermark(9).unwrap().1, 0);
+            } else {
+                assert_eq!(d.entries.len(), 1, "delta {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_delta_rotates_without_advancing_watermark() {
+        let mut v = view();
+        v.digest_delta(9, 0); // plant the watermark (empty view)
+        for m in 0..6 {
+            v.observe(m, 10, t(1));
+        }
+        // Cap 2: three truncated digests cover all six members.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            let d = v.digest_delta(9, 2);
+            assert_eq!(d.entries.len(), 2);
+            seen.extend(d.entries.iter().map(|&(m, _)| m));
+        }
+        assert_eq!(seen.len(), 6, "rotation must cover the whole table");
+        // Once told (via an uncapped delta), nothing remains.
+        let rest = v.digest_delta(9, 0);
+        assert_eq!(
+            rest.entries.len(),
+            6,
+            "watermark must not advance while capped"
+        );
+        assert!(v.digest_delta(9, 0).entries.is_empty());
+    }
+
+    #[test]
+    fn refresh_frames_are_capped_too() {
+        let mut v = view();
+        for m in 0..6 {
+            v.observe(m, 10, t(0));
+        }
+        // First contact with a cap: even the "full" bootstrap digest is
+        // truncated — no frame ever exceeds the cap, whatever the table
+        // size — and the refresh stays due (no watermark planted), so
+        // successive slices rotate over the whole table.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            let d = v.digest_delta(9, 2);
+            assert_eq!(d.entries.len(), 2);
+            seen.extend(d.entries.iter().map(|&(m, _)| m));
+            assert!(v.watermark(9).is_none(), "capped refresh stays due");
+        }
+        assert_eq!(seen.len(), 6, "rotation must cover the whole table");
+        // A cap wide enough for the table completes the refresh: the
+        // watermark is planted and the delta cycle restarts.
+        let d = v.digest_delta(9, 6);
+        assert_eq!(d.entries.len(), 6);
+        assert_eq!(v.watermark(9).unwrap().1, 0);
+        assert!(v.digest_delta(9, 6).entries.is_empty());
+    }
+
+    #[test]
+    fn sweep_drops_delta_bookkeeping() {
+        let mut v = view();
+        v.observe(3, 1, t(0));
+        v.digest_delta(3, 0);
+        assert!(v.watermark(3).is_some());
+        v.sweep(t(30));
+        // The forgotten peer's watermark is gone: a rejoin gets a full digest.
+        assert!(v.watermark(3).is_none());
+        v.observe(5, 2, t(31));
+        assert_eq!(v.digest_delta(3, 0), v.digest());
+    }
+
+    #[test]
+    fn view_equality_ignores_gossip_history() {
+        let mut a = view();
+        let mut b = view();
+        // Same observations, merged in different orders and with different
+        // peers told: the lattice value is equal, the bookkeeping is not.
+        a.observe(1, 3, t(0));
+        a.observe(1, 7, t(1));
+        b.observe(1, 7, t(1));
+        a.digest_delta(9, 0);
+        assert_eq!(a, b);
     }
 }

@@ -145,6 +145,74 @@ proptest! {
         }
     }
 
+    /// Delta-then-merge equals full-merge: a receiver that sees only the
+    /// per-peer deltas (shipped after each batch of news) ends with
+    /// exactly the view it would have had from full digests. This is the
+    /// contract that lets the runtime flip to delta gossip without any
+    /// receiver-side changes.
+    #[test]
+    fn delta_stream_reconstructs_the_full_view(
+        batches in proptest::collection::vec(digest_strategy(), 1..8),
+    ) {
+        let mut sender = view();
+        let mut receiver = view();
+        for (i, batch) in batches.iter().enumerate() {
+            sender.merge_digest(batch, t(i as u64 + 1));
+            let delta = sender.digest_delta(99, 0);
+            receiver.merge_digest(&delta, t(i as u64 + 1));
+        }
+        prop_assert_eq!(receiver.digest(), sender.digest());
+    }
+
+    /// Replaying a delta (a duplicated or re-ordered frame) is a no-op,
+    /// and a second delta with no interleaving news is empty.
+    #[test]
+    fn delta_replay_is_idempotent(
+        d1 in digest_strategy(),
+        d2 in digest_strategy(),
+    ) {
+        let mut sender = view();
+        sender.merge_digest(&d1, t(1));
+        let first = sender.digest_delta(99, 0);
+        sender.merge_digest(&d2, t(2));
+        let second = sender.digest_delta(99, 0);
+
+        let mut receiver = view();
+        receiver.merge_digest(&first, t(1));
+        receiver.merge_digest(&second, t(2));
+        let snapshot = receiver.digest();
+        // Replay both deltas, out of order: nothing changes.
+        prop_assert_eq!(receiver.merge_digest(&second, t(3)), 0);
+        prop_assert_eq!(receiver.merge_digest(&first, t(3)), 0);
+        prop_assert_eq!(receiver.digest(), snapshot);
+
+        // And with no interleaving news the next delta carries nothing.
+        prop_assert!(sender.digest_delta(99, 0).entries.is_empty());
+    }
+
+    /// Capped deltas still converge: even when every digest is truncated
+    /// to `cap` entries, the rotation cursor plus the periodic full
+    /// refresh deliver the whole table within a bounded number of
+    /// exchanges.
+    #[test]
+    fn capped_deltas_eventually_deliver_everything(
+        d in digest_strategy(),
+        cap in 1usize..4,
+    ) {
+        let mut sender = view();
+        // First contact happens while the sender's table is still empty:
+        // the planting "full" digest carries nothing, so everything the
+        // receiver ever learns must arrive through capped deltas.
+        sender.digest_delta(99, cap);
+        sender.merge_digest(&d, t(1));
+        let mut receiver = view();
+        for round in 0..=(ftbb_gossip::DELTA_FULL_REFRESH as usize + d.entries.len() / cap + 1) {
+            let delta = sender.digest_delta(99, cap);
+            receiver.merge_digest(&delta, t(round as u64 + 2));
+        }
+        prop_assert_eq!(receiver.digest(), sender.digest());
+    }
+
     /// Sweeping and re-learning: after a sweep, stale heartbeats cannot
     /// resurrect the member, but strictly newer ones can.
     #[test]

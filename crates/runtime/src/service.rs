@@ -59,6 +59,7 @@ pub(crate) fn msg_category(kind: MsgKind) -> TimeCategory {
         MsgKind::WorkRequest | MsgKind::WorkGrant | MsgKind::WorkDeny => TimeCategory::LoadBalance,
         MsgKind::WorkReport | MsgKind::TableGossip => TimeCategory::Contract,
         MsgKind::Membership => TimeCategory::Membership,
+        MsgKind::BoundAnnounce => TimeCategory::Communicate,
     }
 }
 
@@ -67,7 +68,7 @@ pub(crate) fn msg_category(kind: MsgKind) -> TimeCategory {
 /// recovery (§5.3.2).
 pub(crate) fn timer_category(timer: PTimer) -> TimeCategory {
     match timer {
-        PTimer::ReportFlush | PTimer::TableGossip => TimeCategory::Communicate,
+        PTimer::ReportFlush | PTimer::TableGossip | PTimer::BoundFlush => TimeCategory::Communicate,
         PTimer::LbTimeout(_) => TimeCategory::LoadBalance,
         PTimer::RecoveryFuse(_) => TimeCategory::Contract,
         PTimer::MembershipTick => TimeCategory::Membership,

@@ -100,6 +100,22 @@ TRANSPORT:
                                   (default 1)
     --retry-max-frames N          frames parked in that window
                                   (default 64)
+    --batch-max-frames N          writer coalescing: frames merged into
+                                  one write (default 64, 1 disables)
+    --book-max-entries N          piggyback address-book cap per
+                                  membership frame, round-robin over the
+                                  roster (default 16, 0 ships the full
+                                  roster every frame)
+
+PERFORMANCE:
+    --workers N                   expansion worker threads per node
+                                  (default 1 = inline on the pump)
+    --bound-flush-s SECS          coalesce incumbent improvements into
+                                  one BoundAnnounce broadcast per window
+                                  and omit unchanged bounds from
+                                  load-balancing chatter (default 0.05;
+                                  <= 0 disables suppression: every
+                                  message piggybacks the bound eagerly)
 
 SERVICE MODE (a long-lived multi-job solve pool):
     --service                     join a solve pool instead of running

@@ -90,8 +90,9 @@ pub const MAGIC: u32 = 0x4654_5742;
 /// incarnation tags and the rejoin frame; v4 added the piggybacked
 /// id→addr book on protocol frames and the join frame; v5 added the
 /// job-id stamp on protocol and announce frames plus the job-submission
-/// frames — service mode.)
-pub const VERSION: u16 = 5;
+/// frames — service mode; v6 added the explicit bound-announce message
+/// tag — suppressed bound dissemination.)
+pub const VERSION: u16 = 6;
 
 /// Payload kind byte of a protocol envelope frame.
 pub const PAYLOAD_PROTOCOL: u8 = 0;
@@ -1066,10 +1067,10 @@ mod tests {
     }
 
     #[test]
-    fn every_pre_v5_version_is_a_typed_error() {
-        // A v5 frame rebadged with each historical version number: the
-        // decoder must refuse it as UnsupportedVersion carrying that
-        // exact version — never misparse the old layout as v5 fields.
+    fn every_prior_version_is_a_typed_error() {
+        // A current frame rebadged with each historical version number:
+        // the decoder must refuse it as UnsupportedVersion carrying that
+        // exact version — never misparse an old layout as current fields.
         for v in 1u16..VERSION {
             let mut frame = encode_frame(&sample(), 0, 0, &[]).bytes.to_vec();
             frame[4..6].copy_from_slice(&v.to_le_bytes());

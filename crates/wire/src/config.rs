@@ -488,6 +488,15 @@ pub struct NodeConfig {
     /// (see [`crate::tcp::WireConfig::batch_max_frames`]); `1` disables
     /// batching.
     pub batch_max_frames: usize,
+    /// Most address-book entries piggybacked per membership frame (see
+    /// [`crate::tcp::WireConfig::book_max_entries`]); `0` ships the full
+    /// roster on every frame, the pre-scale behavior.
+    pub book_max_entries: usize,
+    /// Bound-dissemination flush window in seconds (see
+    /// [`ftbb_core::ProtocolConfig::bound_flush_s`]); `<= 0` disables
+    /// suppression and explicit bound broadcasts — every message
+    /// piggybacks the incumbent eagerly, the pre-scale behavior.
+    pub bound_flush_s: f64,
     /// Service mode: instead of solving one configured problem and
     /// exiting, the daemon joins a long-lived solve pool. Jobs stream in
     /// over the shared transport — `ftbb-submit` clients send `SubmitJob`
@@ -531,6 +540,8 @@ impl Default for NodeConfig {
             retry_max_frames: crate::tcp::RETRY_MAX_FRAMES,
             workers: 1,
             batch_max_frames: crate::tcp::BATCH_MAX_FRAMES,
+            book_max_entries: crate::tcp::BOOK_MAX_ENTRIES,
+            bound_flush_s: ftbb_core::ProtocolConfig::default().bound_flush_s,
             service: false,
             trace_file: None,
             metrics_every_s: None,
@@ -575,6 +586,9 @@ impl NodeConfig {
             fanout: 2,
             t_fail: SimTime::from_secs_f64(self.suspect_after_s),
             t_cleanup: SimTime::from_secs_f64(self.forget_after_s),
+            // Delta digests with the default per-frame cap: the scalable
+            // mode (see the README's "Scaling" section).
+            ..MembershipConfig::default()
         })
     }
 
@@ -584,6 +598,7 @@ impl NodeConfig {
             retry_window: Duration::from_secs_f64(self.retry_window_s),
             retry_max_frames: self.retry_max_frames,
             batch_max_frames: self.batch_max_frames,
+            book_max_entries: self.book_max_entries,
         }
     }
 
@@ -634,6 +649,11 @@ impl NodeConfig {
         // hour is a configuration mistake anyway.
         if !(self.retry_window_s.is_finite() && (0.0..=3600.0).contains(&self.retry_window_s)) {
             return err("retry_window_s must be between 0 and 3600 seconds");
+        }
+        // Non-positive values are a deliberate off switch, so only rule
+        // out NaN/infinity, which would arm a timer that never fires.
+        if !self.bound_flush_s.is_finite() {
+            return err("bound_flush_s must be a finite number (<= 0 disables suppression)");
         }
         if self.join {
             if !self.gossip_mode() {
@@ -905,6 +925,8 @@ fn parse_config_parts(text: &str) -> Result<(NodeConfig, ProblemScratch), Config
             "retry_max_frames" => cfg.retry_max_frames = value.as_u64(key)? as usize,
             "workers" => cfg.workers = value.as_u64(key)? as usize,
             "batch_max_frames" => cfg.batch_max_frames = value.as_u64(key)? as usize,
+            "book_max_entries" => cfg.book_max_entries = value.as_u64(key)? as usize,
+            "bound_flush_s" => cfg.bound_flush_s = value.as_f64(key)?,
             "problem.kind" => problem.kind = Some(value.as_str(key)?.to_string()),
             "problem.n" => problem.n = Some(value.as_u64(key)? as usize),
             "problem.range" => problem.range = Some(value.as_u64(key)?),
@@ -1090,6 +1112,16 @@ pub fn parse_args(args: &[String]) -> Result<NodeConfig, ConfigError> {
                 cfg.batch_max_frames = take("--batch-max-frames")?
                     .parse()
                     .map_err(|_| ConfigError("bad --batch-max-frames".into()))?;
+            }
+            "--book-max-entries" => {
+                cfg.book_max_entries = take("--book-max-entries")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --book-max-entries".into()))?;
+            }
+            "--bound-flush-s" => {
+                cfg.bound_flush_s = take("--bound-flush-s")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad --bound-flush-s".into()))?;
             }
             "--problem" => {
                 problem.kind = Some(take("--problem")?);

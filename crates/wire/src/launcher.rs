@@ -1068,6 +1068,9 @@ mod tests {
             recoveries: 0,
             suspected: 0,
             forgotten: 0,
+            bound_broadcasts: 0,
+            bound_coalesced: 0,
+            bound_suppressed: 0,
             membership_events_dropped: 0,
             trace_events_dropped: 0,
             workers: 1,

@@ -356,6 +356,7 @@ pub fn run(cfg: &NodeConfig) -> std::io::Result<NodedReport> {
     let protocol = {
         let mut p = ClusterConfig::new(members.len() as u32).protocol;
         p.membership = cfg.membership();
+        p.bound_flush_s = cfg.bound_flush_s;
         p
     };
     let mut engine: NodeEngine<AnyExpander> = match &restored {
@@ -694,6 +695,7 @@ pub fn run_service(cfg: &NodeConfig) -> std::io::Result<ServiceReport> {
     let protocol = {
         let mut p = ClusterConfig::new(members.len() as u32).protocol;
         p.membership = cfg.membership();
+        p.bound_flush_s = cfg.bound_flush_s;
         p
     };
 
@@ -1023,6 +1025,12 @@ pub fn outcome_line(report: &NodedReport) -> String {
             ("recoveries", o.metrics.recoveries.to_string()),
             ("suspected", o.metrics.peers_suspected.to_string()),
             ("forgotten", o.metrics.peers_forgotten.to_string()),
+            ("bound_bcast", o.metrics.bound_broadcasts.to_string()),
+            ("bound_coalesced", o.metrics.bound_coalesced.to_string()),
+            (
+                "bound_suppressed",
+                o.metrics.bound_piggybacks_suppressed.to_string(),
+            ),
             (
                 "mev_dropped",
                 o.metrics.membership_events_dropped.to_string(),
@@ -1047,6 +1055,10 @@ pub fn outcome_line(report: &NodedReport) -> String {
             ("discovered", t.peers_discovered.to_string()),
             ("flushes", t.flushes.to_string()),
             ("frames_flushed", t.frames_flushed.to_string()),
+            ("membership_frames", t.membership_frames_sent.to_string()),
+            ("book_entries", t.book_entries_sent.to_string()),
+            ("digest_entries", t.digest_entries_sent.to_string()),
+            ("bound_frames", t.bound_broadcasts.to_string()),
         ],
     )
 }
@@ -1070,6 +1082,12 @@ pub struct ParsedOutcome {
     pub suspected: u64,
     /// Members forgotten after the cleanup timeout (membership mode).
     pub forgotten: u64,
+    /// Explicit bound-announce broadcasts the core flushed.
+    pub bound_broadcasts: u64,
+    /// Bound improvements coalesced into an already-pending flush.
+    pub bound_coalesced: u64,
+    /// Piggybacked incumbents suppressed as already-announced.
+    pub bound_suppressed: u64,
     /// Membership events the core's bounded buffer had to discard.
     pub membership_events_dropped: u64,
     /// Trace events the telemetry sink's bounded queue had to discard.
@@ -1093,6 +1111,9 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
         recoveries: f.u64("recoveries")?,
         suspected: f.u64("suspected")?,
         forgotten: f.u64("forgotten")?,
+        bound_broadcasts: f.u64("bound_bcast")?,
+        bound_coalesced: f.u64("bound_coalesced")?,
+        bound_suppressed: f.u64("bound_suppressed")?,
         membership_events_dropped: f.u64("mev_dropped")?,
         trace_events_dropped: f.u64("trace_dropped")?,
         workers: f.u64("workers")?,
@@ -1115,6 +1136,10 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
             peers_discovered: f.u64("discovered")?,
             flushes: f.u64("flushes")?,
             frames_flushed: f.u64("frames_flushed")?,
+            membership_frames_sent: f.u64("membership_frames")?,
+            book_entries_sent: f.u64("book_entries")?,
+            digest_entries_sent: f.u64("digest_entries")?,
+            bound_broadcasts: f.u64("bound_frames")?,
         },
     })
 }
@@ -1255,6 +1280,12 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
             ("recoveries", m.recoveries.to_string()),
             ("suspected", m.peers_suspected.to_string()),
             ("forgotten", m.peers_forgotten.to_string()),
+            ("bound_bcast", m.bound_broadcasts.to_string()),
+            ("bound_coalesced", m.bound_coalesced.to_string()),
+            (
+                "bound_suppressed",
+                m.bound_piggybacks_suppressed.to_string(),
+            ),
             ("mev_dropped", m.membership_events_dropped.to_string()),
             ("trace_dropped", snap.trace_events_dropped.to_string()),
             ("workers", snap.workers.to_string()),
@@ -1266,6 +1297,20 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
                 "frames_per_flush",
                 format!("{:.2}", snap.transport.frames_per_flush()),
             ),
+            (
+                "membership_frames",
+                snap.transport.membership_frames_sent.to_string(),
+            ),
+            ("book_entries", snap.transport.book_entries_sent.to_string()),
+            (
+                "digest_entries",
+                snap.transport.digest_entries_sent.to_string(),
+            ),
+            (
+                "book_per_frame",
+                format!("{:.2}", snap.transport.book_entries_per_frame()),
+            ),
+            ("bound_frames", snap.transport.bound_broadcasts.to_string()),
         ],
     )
 }
@@ -1294,6 +1339,12 @@ pub struct ParsedMetrics {
     pub suspected: u64,
     /// Members forgotten so far.
     pub forgotten: u64,
+    /// Explicit bound-announce broadcasts flushed so far.
+    pub bound_broadcasts: u64,
+    /// Bound improvements coalesced into a pending flush so far.
+    pub bound_coalesced: u64,
+    /// Piggybacked incumbents suppressed as already-announced so far.
+    pub bound_suppressed: u64,
     /// Membership events discarded by the core's bounded buffer.
     pub membership_events_dropped: u64,
     /// Trace events discarded by the telemetry sink's bounded queue.
@@ -1310,6 +1361,14 @@ pub struct ParsedMetrics {
     /// achieved batching factor; the line also renders it directly as
     /// `frames_per_flush`).
     pub frames_flushed: u64,
+    /// Membership frames handed to the wire so far.
+    pub membership_frames: u64,
+    /// Piggybacked address-book entries those frames carried.
+    pub book_entries: u64,
+    /// Digest entries those frames carried.
+    pub digest_entries: u64,
+    /// Explicit bound-announce frames handed to the wire so far.
+    pub bound_frames: u64,
 }
 
 /// Parse a line produced by [`metrics_line`]. Returns `None` for
@@ -1335,6 +1394,9 @@ pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
         recoveries: f.u64("recoveries")?,
         suspected: f.u64("suspected")?,
         forgotten: f.u64("forgotten")?,
+        bound_broadcasts: f.u64("bound_bcast")?,
+        bound_coalesced: f.u64("bound_coalesced")?,
+        bound_suppressed: f.u64("bound_suppressed")?,
         membership_events_dropped: f.u64("mev_dropped")?,
         trace_events_dropped: f.u64("trace_dropped")?,
         workers: f.u64("workers")?,
@@ -1342,6 +1404,10 @@ pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
         dropped: f.u64("dropped")?,
         flushes: f.u64("flushes")?,
         frames_flushed: f.u64("frames_flushed")?,
+        membership_frames: f.u64("membership_frames")?,
+        book_entries: f.u64("book_entries")?,
+        digest_entries: f.u64("digest_entries")?,
+        bound_frames: f.u64("bound_frames")?,
     })
 }
 
@@ -1364,6 +1430,9 @@ mod tests {
                     recoveries: 2,
                     peers_suspected: 3,
                     peers_forgotten: 1,
+                    bound_broadcasts: 4,
+                    bound_coalesced: 6,
+                    bound_piggybacks_suppressed: 8,
                     membership_events_dropped: 17,
                     ..Default::default()
                 },
@@ -1391,6 +1460,10 @@ mod tests {
                 peers_discovered: 14,
                 flushes: 4,
                 frames_flushed: 9,
+                membership_frames_sent: 6,
+                book_entries_sent: 96,
+                digest_entries_sent: 18,
+                bound_broadcasts: 2,
             },
         };
         let line = outcome_line(&report);
@@ -1403,6 +1476,9 @@ mod tests {
         assert_eq!(parsed.recoveries, 2);
         assert_eq!(parsed.suspected, 3);
         assert_eq!(parsed.forgotten, 1);
+        assert_eq!(parsed.bound_broadcasts, 4);
+        assert_eq!(parsed.bound_coalesced, 6);
+        assert_eq!(parsed.bound_suppressed, 8);
         assert_eq!(parsed.membership_events_dropped, 17);
         assert_eq!(parsed.trace_events_dropped, 5);
         assert_eq!(parsed.workers, 4);
@@ -1433,6 +1509,9 @@ mod tests {
                 recoveries: 1,
                 peers_suspected: 2,
                 peers_forgotten: 1,
+                bound_broadcasts: 5,
+                bound_coalesced: 7,
+                bound_piggybacks_suppressed: 9,
                 membership_events_dropped: 3,
                 ..Default::default()
             },
@@ -1442,6 +1521,10 @@ mod tests {
                 dropped_disconnected: 2,
                 flushes: 5,
                 frames_flushed: 10,
+                membership_frames_sent: 4,
+                book_entries_sent: 64,
+                digest_entries_sent: 12,
+                bound_broadcasts: 3,
                 ..Default::default()
             },
             trace_events_dropped: 4,
@@ -1460,6 +1543,9 @@ mod tests {
         assert_eq!(parsed.recoveries, 1);
         assert_eq!(parsed.suspected, 2);
         assert_eq!(parsed.forgotten, 1);
+        assert_eq!(parsed.bound_broadcasts, 5);
+        assert_eq!(parsed.bound_coalesced, 7);
+        assert_eq!(parsed.bound_suppressed, 9);
         assert_eq!(parsed.membership_events_dropped, 3);
         assert_eq!(parsed.trace_events_dropped, 4);
         assert_eq!(parsed.workers, 2);
@@ -1467,7 +1553,12 @@ mod tests {
         assert_eq!(parsed.dropped, 3);
         assert_eq!(parsed.flushes, 5);
         assert_eq!(parsed.frames_flushed, 10);
+        assert_eq!(parsed.membership_frames, 4);
+        assert_eq!(parsed.book_entries, 64);
+        assert_eq!(parsed.digest_entries, 12);
+        assert_eq!(parsed.bound_frames, 3);
         assert!(line.contains("frames_per_flush=2.00"), "line: {line}");
+        assert!(line.contains("book_per_frame=16.00"), "line: {line}");
         assert_eq!(parse_metrics_line("FTBB-OUTCOME id=1"), None);
         assert_eq!(parse_metrics_line("noise"), None);
     }

@@ -72,6 +72,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ftbb_bnb::AnyInstance;
 use ftbb_core::{JobId, Msg, TransportCounters};
+use ftbb_gossip::MembershipMsg;
 use ftbb_runtime::{Envelope, Transport};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -110,6 +111,13 @@ pub const RETRY_MAX_FRAMES: usize = 64;
 /// [`WireConfig::batch_max_frames`].
 pub const BATCH_MAX_FRAMES: usize = 64;
 
+/// Default cap on piggybacked address-book entries per membership frame
+/// (`0` = uncapped full roster, the pre-scale behavior). The sender's own
+/// entry always rides; the rest rotate through a round-robin cursor so
+/// every entry still circulates epidemically. Configurable per mesh
+/// through [`WireConfig::book_max_entries`].
+pub const BOOK_MAX_ENTRIES: usize = 16;
+
 /// Transport tuning knobs, applied to every peer writer of a mesh.
 /// Defaults reproduce the historical constants exactly; deployments with
 /// slower-starting peers (large clusters, loaded CI machines) can widen
@@ -127,6 +135,10 @@ pub struct WireConfig {
     /// [`BATCH_MAX_FRAMES`], 64). `1` disables batching entirely — every
     /// frame pays its own syscall, the pre-batching behavior.
     pub batch_max_frames: usize,
+    /// Most address-book entries piggybacked on one membership frame
+    /// (default [`BOOK_MAX_ENTRIES`], 16; `0` = the full roster). Keeps
+    /// per-frame book bytes O(1) instead of O(roster).
+    pub book_max_entries: usize,
 }
 
 impl Default for WireConfig {
@@ -135,6 +147,7 @@ impl Default for WireConfig {
             retry_window: RETRY_WINDOW,
             retry_max_frames: RETRY_MAX_FRAMES,
             batch_max_frames: BATCH_MAX_FRAMES,
+            book_max_entries: BOOK_MAX_ENTRIES,
         }
     }
 }
@@ -181,16 +194,34 @@ impl Peer {
     }
 }
 
+/// The roster cache behind [`Registry::membership_book`]: the sorted
+/// `(id, addr, incarnation)` book, rebuilt only when the peer *roster*
+/// changes. Incarnations are shared atomics loaded at selection time, so
+/// `fetch_max` bumps (rejoins, life proofs) never invalidate the cache.
+struct BookCache {
+    /// Sorted by id; includes this node's own entry.
+    entries: Vec<(u32, SocketAddr, Arc<AtomicU32>)>,
+    /// Roster changed since the last rebuild.
+    dirty: bool,
+    /// Round-robin start for capped selections, an index into `entries`.
+    cursor: usize,
+}
+
 /// The routing state readers and the mesh share: the dynamic peer map,
 /// the inbound incarnation filter, and the counters.
 struct Registry {
     me: u32,
     my_incarnation: u32,
+    local_addr: SocketAddr,
     cfg: WireConfig,
     peers: RwLock<HashMap<u32, Peer>>,
     /// Highest incarnation seen per sender; frames from lower ones are a
     /// previous life's stragglers and are dropped as stale.
     seen: RwLock<HashMap<u32, u32>>,
+    /// Lazily rebuilt piggyback book. Lock order: `book` before `peers`
+    /// (the rebuild reads the peer map); invalidators must not hold
+    /// `peers` when they take `book`.
+    book: Mutex<BookCache>,
     counters: Arc<TransportCounters>,
 }
 
@@ -217,6 +248,7 @@ impl Registry {
             .write()
             .expect("peer map poisoned")
             .insert(id, peer);
+        self.mark_book_dirty();
     }
 
     /// Learn a peer from a *relayed* (third-party) address-book entry:
@@ -237,15 +269,76 @@ impl Registry {
                 return;
             }
         }
-        let mut peers = self.peers.write().expect("peer map poisoned");
-        if peers.contains_key(&id) {
-            return; // raced another reader; first learner wins
+        {
+            let mut peers = self.peers.write().expect("peer map poisoned");
+            if peers.contains_key(&id) {
+                return; // raced another reader; first learner wins
+            }
+            peers.insert(
+                id,
+                spawn_peer(addr, incarnation, Arc::clone(&self.counters), self.cfg),
+            );
         }
-        peers.insert(
-            id,
-            spawn_peer(addr, incarnation, Arc::clone(&self.counters), self.cfg),
-        );
+        self.mark_book_dirty();
         self.counters.record_peer_discovered();
+    }
+
+    /// Invalidate the piggyback-book cache after a roster change. Callers
+    /// must have released the `peers` lock (see the lock-order note on
+    /// [`Registry::book`]).
+    fn mark_book_dirty(&self) {
+        self.book.lock().expect("book cache poisoned").dirty = true;
+    }
+
+    /// The address book to piggyback on one membership frame: the full
+    /// sorted roster when it fits `book_max_entries` (or the cap is 0),
+    /// otherwise this node's own entry (always — it is the authoritative
+    /// route back to the sender) plus a rotating window of the rest, so
+    /// every entry still circulates within `⌈roster/cap⌉` frames. The
+    /// roster is cached and rebuilt only when the peer map changes;
+    /// incarnations are loaded from the shared atomics at selection time.
+    fn membership_book(&self) -> Vec<(u32, SocketAddr, u32)> {
+        let mut cache = self.book.lock().expect("book cache poisoned");
+        if cache.dirty {
+            let peers = self.peers.read().expect("peer map poisoned");
+            cache.entries = peers
+                .iter()
+                .map(|(&id, p)| (id, p.addr, Arc::clone(&p.incarnation)))
+                .collect();
+            drop(peers);
+            cache.entries.push((
+                self.me,
+                self.local_addr,
+                Arc::new(AtomicU32::new(self.my_incarnation)),
+            ));
+            cache.entries.sort_unstable_by_key(|&(id, _, _)| id);
+            cache.dirty = false;
+        }
+        let load = |&(id, addr, ref inc): &(u32, SocketAddr, Arc<AtomicU32>)| {
+            (id, addr, inc.load(Ordering::Acquire))
+        };
+        let cap = self.cfg.book_max_entries;
+        let n = cache.entries.len();
+        if cap == 0 || n <= cap {
+            return cache.entries.iter().map(load).collect();
+        }
+        let self_idx = cache
+            .entries
+            .binary_search_by_key(&self.me, |&(id, _, _)| id)
+            .expect("own entry is always in the book");
+        let mut out = Vec::with_capacity(cap);
+        out.push(load(&cache.entries[self_idx]));
+        let mut idx = cache.cursor % n;
+        while out.len() < cap {
+            if idx != self_idx {
+                out.push(load(&cache.entries[idx]));
+            }
+            idx = (idx + 1) % n;
+        }
+        cache.cursor = idx;
+        drop(cache);
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
     }
 
     /// An admitted frame from `from` at `incarnation` is proof of that
@@ -376,9 +469,15 @@ impl TcpMesh {
         let registry = Arc::new(Registry {
             me,
             my_incarnation: incarnation,
+            local_addr,
             cfg,
             peers: RwLock::new(HashMap::new()),
             seen: RwLock::new(HashMap::new()),
+            book: Mutex::new(BookCache {
+                entries: Vec::new(),
+                dirty: true,
+                cursor: 0,
+            }),
             counters,
         });
         for &(id, addr) in peers {
@@ -628,6 +727,25 @@ impl Transport for TcpMesh {
             }
             return;
         }
+        // Membership traffic piggybacks this node's address book (codec
+        // v4) — `(id, addr, incarnation)` entries — so the receiver opens
+        // routes to members it only knows from gossip, tagged for the
+        // right life. The book comes from the roster cache, capped to
+        // `book_max_entries` with a rotating window (built before taking
+        // the peer read lock: `book` orders before `peers`). Work/report
+        // traffic ships an empty book: discovery belongs to the
+        // membership plane.
+        let is_bound_announce = matches!(msg, Msg::BoundAnnounce { .. });
+        let (book, digest_entries) = match &msg {
+            Msg::Membership(m) => {
+                let digest_entries = match m {
+                    MembershipMsg::Gossip(d) | MembershipMsg::Welcome(d) => d.entries.len() as u64,
+                    MembershipMsg::Join { .. } => 0,
+                };
+                (registry.membership_book(), Some(digest_entries))
+            }
+            _ => (Vec::new(), None),
+        };
         let peers = registry.peers.read().expect("peer map poisoned");
         let Some(peer) = peers.get(&to) else {
             registry.counters.record_dropped_no_route();
@@ -637,22 +755,6 @@ impl Transport for TcpMesh {
             registry.counters.record_dropped_full();
             return;
         }
-        // Membership traffic piggybacks this node's address book (codec
-        // v4) — `(id, addr, incarnation)` per known peer plus itself —
-        // so the receiver opens routes to members it only knows from
-        // gossip, tagged for the right life. Work/report traffic ships
-        // an empty book: discovery belongs to the membership plane.
-        let book: Vec<(u32, SocketAddr, u32)> = if matches!(msg, Msg::Membership(_)) {
-            let mut book: Vec<(u32, SocketAddr, u32)> = peers
-                .iter()
-                .map(|(&id, p)| (id, p.addr, p.incarnation.load(Ordering::Acquire)))
-                .collect();
-            book.push((registry.me, self.local_addr, registry.my_incarnation));
-            book.sort_unstable_by_key(|&(id, _, _)| id);
-            book
-        } else {
-            Vec::new()
-        };
         let frame = encode_frame(
             &Envelope { job, from, msg },
             registry.my_incarnation,
@@ -665,6 +767,14 @@ impl Transport for TcpMesh {
             // the Crash-model contract (a lost message, counted).
             registry.counters.record_dropped_full();
             return;
+        }
+        if let Some(digest_entries) = digest_entries {
+            registry
+                .counters
+                .record_membership_frame(book.len() as u64, digest_entries);
+        }
+        if is_bound_announce {
+            registry.counters.record_bound_broadcast();
         }
         // Success/drop is recorded by the writer thread once the frame
         // actually reaches (or fails to reach) the socket.
@@ -1936,6 +2046,60 @@ mod tests {
             mesh_b.stats()
         );
         assert_eq!(mesh_b.stats().dropped_stale, 0, "{:?}", mesh_b.stats());
+    }
+
+    #[test]
+    fn membership_book_is_capped_cached_and_rotates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers: Vec<(u32, SocketAddr)> = (1..=9).map(|id| (id, free_addr())).collect();
+        let cfg = WireConfig {
+            book_max_entries: 4,
+            ..WireConfig::default()
+        };
+        let (mesh, _rx) =
+            TcpMesh::from_listener_incarnated_with(0, 7, listener, &peers, cfg).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let book = mesh.registry.membership_book();
+            assert_eq!(book.len(), 4, "every frame carries exactly the cap");
+            let me = book.iter().find(|&&(id, _, _)| id == 0);
+            assert_eq!(
+                me,
+                Some(&(0, mesh.local_addr(), 7)),
+                "own entry always rides, at this life's incarnation"
+            );
+            assert!(book.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+            seen.extend(book.iter().map(|&(id, _, _)| id));
+        }
+        // Five frames of 1 self + 3 rotated entries cover the whole
+        // ten-member roster.
+        assert_eq!(seen.len(), 10, "rotation covers the roster: {seen:?}");
+
+        // A roster change invalidates the cache: the new peer enters the
+        // rotation within one full revolution.
+        mesh.register_peer(10, free_addr(), 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            seen.extend(mesh.registry.membership_book().iter().map(|&(id, _, _)| id));
+        }
+        assert!(seen.contains(&10), "new peer enters the book: {seen:?}");
+    }
+
+    #[test]
+    fn uncapped_book_ships_the_full_roster() {
+        // `book_max_entries: 0` pins the pre-scale behaviour: every
+        // membership frame carries every known peer plus self.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers: Vec<(u32, SocketAddr)> = (1..=9).map(|id| (id, free_addr())).collect();
+        let cfg = WireConfig {
+            book_max_entries: 0,
+            ..WireConfig::default()
+        };
+        let (mesh, _rx) =
+            TcpMesh::from_listener_incarnated_with(0, 0, listener, &peers, cfg).unwrap();
+        let book = mesh.registry.membership_book();
+        assert_eq!(book.len(), 10);
+        assert!(book.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
     }
 
     #[test]

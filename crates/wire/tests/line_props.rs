@@ -99,6 +99,10 @@ fn transport_strategy() -> impl Strategy<Value = TransportStats> {
             peers_discovered: (sent % 31) as u64,
             flushes: (wire % 37) as u64,
             frames_flushed: (enc % 41) as u64,
+            membership_frames_sent: (d1 % 43) as u64,
+            book_entries_sent: (d2 % 47) as u64,
+            digest_entries_sent: (d3 % 53) as u64,
+            bound_broadcasts: (sent % 59) as u64,
         })
 }
 
@@ -121,6 +125,9 @@ fn report_strategy() -> impl Strategy<Value = NodedReport> {
                     peers_suspected: sus,
                     peers_forgotten: forg,
                     membership_events_dropped: mev,
+                    bound_broadcasts: forg % 61,
+                    bound_coalesced: mev % 67,
+                    bound_piggybacks_suppressed: rec % 71,
                     ..Default::default()
                 };
                 NodedReport {
@@ -167,6 +174,9 @@ fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
                         peers_suspected: sus,
                         peers_forgotten: forg,
                         membership_events_dropped: mev,
+                        bound_broadcasts: forg % 61,
+                        bound_coalesced: mev % 67,
+                        bound_piggybacks_suppressed: rec % 71,
                         ..Default::default()
                     },
                     transport: t,
@@ -212,6 +222,9 @@ proptest! {
         prop_assert_eq!(parsed.forgotten, o.metrics.peers_forgotten);
         prop_assert_eq!(parsed.membership_events_dropped,
             o.metrics.membership_events_dropped);
+        prop_assert_eq!(parsed.bound_broadcasts, o.metrics.bound_broadcasts);
+        prop_assert_eq!(parsed.bound_coalesced, o.metrics.bound_coalesced);
+        prop_assert_eq!(parsed.bound_suppressed, o.metrics.bound_piggybacks_suppressed);
         prop_assert_eq!(parsed.trace_events_dropped, report.trace_events_dropped);
         prop_assert_eq!(parsed.transport, report.transport);
     }
@@ -235,8 +248,15 @@ proptest! {
         prop_assert_eq!(parsed.membership_events_dropped,
             snap.metrics.membership_events_dropped);
         prop_assert_eq!(parsed.trace_events_dropped, snap.trace_events_dropped);
+        prop_assert_eq!(parsed.bound_broadcasts, snap.metrics.bound_broadcasts);
+        prop_assert_eq!(parsed.bound_coalesced, snap.metrics.bound_coalesced);
+        prop_assert_eq!(parsed.bound_suppressed, snap.metrics.bound_piggybacks_suppressed);
         prop_assert_eq!(parsed.sent, snap.transport.sent);
         prop_assert_eq!(parsed.dropped, snap.transport.dropped());
+        prop_assert_eq!(parsed.membership_frames, snap.transport.membership_frames_sent);
+        prop_assert_eq!(parsed.book_entries, snap.transport.book_entries_sent);
+        prop_assert_eq!(parsed.digest_entries, snap.transport.digest_entries_sent);
+        prop_assert_eq!(parsed.bound_frames, snap.transport.bound_broadcasts);
     }
 
     /// A valid line mangled anywhere — truncated mid-token, spliced with

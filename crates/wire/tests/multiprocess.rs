@@ -754,6 +754,137 @@ fn service_pool_finishes_three_staggered_jobs_through_a_kill_and_restart() {
     );
 }
 
+/// The scale regression — a hundred real processes on one loopback host.
+///
+/// 97 wired nodes start in gossip mode with node 0 as the server; three
+/// more join mid-run knowing only node 0's address; two wired nodes are
+/// SIGKILLed. The survivors must still agree with the sequential
+/// optimum — and the scale machinery must be visibly at work: every
+/// node's piggybacked address books average at most the per-frame cap
+/// (`book_max_entries`, 16), strictly below the uncapped baseline of
+/// roughly one entry per roster member (~100 here), so membership frame
+/// cost stays O(cap) instead of O(n) as the cluster grows.
+///
+/// Ignored by default: it spawns ~100 OS processes and takes minutes on
+/// one core. CI runs it explicitly (`--ignored`), as can you:
+/// `cargo test -p ftbb-wire --test multiprocess hundred -- --ignored`.
+#[test]
+#[ignore = "spawns ~100 processes; run explicitly via the CI scale step"]
+fn hundred_process_gossip_cluster_caps_books_and_reaches_the_optimum() {
+    const WIRED: u32 = 97;
+    const TOTAL: u32 = 100; // 97 wired + 3 joiners
+    const BOOK_CAP: f64 = 16.0; // WireConfig::default().book_max_entries
+
+    // A mid-weight instance (~27k sequential expansions): big enough
+    // that both SIGKILLs land mid-run even with a 100-process startup
+    // ramp, small enough that one core pushes 100 debug processes
+    // through it well inside the deadline (`heavy_problem` is ~3.4x
+    // larger and ran past 240 s at this scale).
+    let problem = ProblemSpec::Knapsack(KnapsackSpec {
+        n: 34,
+        range: 120,
+        correlation: Correlation::Strong,
+        frac: 0.5,
+        seed: 7,
+    });
+    let reference = reference_best(&problem);
+    assert!(reference.is_some(), "instance must be feasible");
+
+    let mut spec = base_spec(problem, WIRED, 43);
+    // One core runs all hundred processes: stretch the failure-detector
+    // clock so scheduling hiccups are not read as death, and give the
+    // run a generous deadline.
+    spec.deadline = Duration::from_secs(240);
+    spec.gossip = Some(GossipTiming {
+        interval_s: 0.25,
+        suspect_s: 5.0,
+        forget_s: 60.0,
+    });
+    spec.lifecycle = vec![
+        LifecycleEvent::join(97, Duration::from_millis(400)),
+        LifecycleEvent::join(98, Duration::from_millis(700)),
+        LifecycleEvent::join(99, Duration::from_millis(1000)),
+        LifecycleEvent::kill(5, Duration::from_millis(1500)),
+        LifecycleEvent::kill(23, Duration::from_millis(2000)),
+    ];
+    let report = launch(&spec).expect("cluster launches");
+
+    let mut killed = report.killed.clone();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![5, 23], "both SIGKILLs must land mid-run");
+    assert!(
+        report.all_survivors_terminated,
+        "survivors failed to terminate:\n{}",
+        report.skew_summary()
+    );
+    assert_eq!(
+        report.best, reference,
+        "cluster disagrees with the sequential optimum"
+    );
+    assert_eq!(report.outcomes.len(), TOTAL as usize);
+    for o in report.outcomes.iter().flatten() {
+        if o.terminated {
+            assert_eq!(Some(o.incumbent), reference, "node {}", o.id);
+        }
+    }
+
+    // The joiners entered through the server and finished with the
+    // cluster.
+    for &id in &[97usize, 98, 99] {
+        let o = report.outcomes[id].as_ref().expect("joiner reports");
+        assert!(o.terminated, "joiner {id} detects termination");
+    }
+
+    // Capped piggyback books: each node averaged at most the 16-entry
+    // cap per membership frame — the uncapped baseline ships the full
+    // roster, one entry per member it knows (~100 at this size), every
+    // frame. The strict `< TOTAL/2` bound is what fails if the cap ever
+    // regresses to full-roster shipping.
+    let mut sampled = 0u32;
+    for o in report.outcomes.iter().flatten() {
+        let frames = o.transport.membership_frames_sent;
+        if frames == 0 {
+            continue;
+        }
+        sampled += 1;
+        let per_frame = o.transport.book_entries_sent as f64 / frames as f64;
+        assert!(
+            per_frame <= BOOK_CAP + 1e-9,
+            "node {}: {per_frame:.1} book entries/frame exceeds the {BOOK_CAP} cap",
+            o.id
+        );
+        assert!(
+            per_frame < TOTAL as f64 / 2.0,
+            "node {}: {per_frame:.1} book entries/frame is not sublinear in the roster",
+            o.id
+        );
+    }
+    assert!(
+        sampled >= (TOTAL / 2),
+        "most nodes must have sent membership frames, got {sampled}"
+    );
+
+    // Delta digests: gossip frames carry record deltas, not the full
+    // 100-record table — the same sublinearity on the digest axis.
+    let (digest_entries, digest_frames) =
+        report
+            .outcomes
+            .iter()
+            .flatten()
+            .fold((0u64, 0u64), |(e, f), o| {
+                (
+                    e + o.transport.digest_entries_sent,
+                    f + o.transport.membership_frames_sent,
+                )
+            });
+    assert!(digest_frames > 0);
+    let digest_per_frame = digest_entries as f64 / digest_frames as f64;
+    assert!(
+        digest_per_frame < TOTAL as f64 / 2.0,
+        "digests average {digest_per_frame:.1} entries/frame — not sublinear"
+    );
+}
+
 /// The restart/rejoin regression — the node-lifecycle acceptance test.
 ///
 /// Five nodes with periodic checkpoints; nodes 1 and 3 are SIGKILLed

@@ -19,6 +19,7 @@ fn main() {
         fanout: 2,
         t_fail: SimTime::from_secs(4),
         t_cleanup: SimTime::from_secs(12),
+        ..Default::default()
     };
     let n = 24;
     let mut members: Vec<Membership> = (0..n)

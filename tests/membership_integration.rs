@@ -29,6 +29,7 @@ fn membership_cfg(n: u32, seed: u64) -> SimConfig {
         fanout: 2,
         t_fail: SimTime::from_millis(800),
         t_cleanup: SimTime::from_secs(4),
+        ..Default::default()
     });
     // Members discover each other through gossip server 0, so give them a
     // moment of stagger.
