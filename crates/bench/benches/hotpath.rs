@@ -1,0 +1,186 @@
+//! Memory-layout hot-path benchmarks: the per-operation costs that the
+//! inline-`Code` / arena-`CodeSet` work must answer for. Every expansion
+//! touches a code clone (pool push, grant item, report, gossip) and a
+//! table walk (`contains` on the grant path, `insert`/`merge` on the
+//! report/gossip path), so these are measured raw, plus an end-to-end
+//! sequential solve as the integrated number. Before/after numbers are
+//! recorded in `BENCH_hotpath.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbb_bnb::BasicTreeProblem;
+use ftbb_bnb::{solve, Pool, PoolEntry, SelectRule, SolveConfig};
+use ftbb_tree::{compress, random_basic_tree, Code, CodeSet, NodeId, TreeConfig};
+
+fn leaf_codes(nodes: usize, seed: u64) -> Vec<Code> {
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: nodes,
+        seed,
+        ..Default::default()
+    });
+    (0..tree.len() as NodeId)
+        .filter(|&i| tree.node(i).is_leaf())
+        .map(|i| tree.code_of(i))
+        .collect()
+}
+
+/// A code of exactly `depth` decisions (vars 1..=depth, alternating bits).
+fn code_of_depth(depth: u16) -> Code {
+    let mut c = Code::root();
+    for var in 1..=depth {
+        c = c.child(var, var % 2 == 0);
+    }
+    c
+}
+
+fn bench_code_clone(c: &mut Criterion) {
+    // Clone cost at depths straddling the inline cap: 8 and 12 fit
+    // inline after the layout change, 20 spills to the heap.
+    const BATCH: usize = 1024;
+    let mut group = c.benchmark_group("code_clone");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for depth in [8u16, 12, 20] {
+        let codes: Vec<Code> = (0..BATCH).map(|_| code_of_depth(depth)).collect();
+        group.bench_with_input(BenchmarkId::new("depth", depth), &codes, |b, codes| {
+            b.iter(|| {
+                let mut keep = 0usize;
+                for code in codes {
+                    let clone = black_box(code.clone());
+                    keep += clone.depth() as usize;
+                }
+                keep
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_insert_contains(c: &mut Criterion) {
+    // The grant path (`contains` per grant item) and the report path
+    // (`insert` per completed code) combined: build the table from every
+    // leaf, then re-check every leaf against the contracted table.
+    let mut group = c.benchmark_group("table_insert_contains");
+    for &n in &[4_001usize, 20_001] {
+        let codes = leaf_codes(n, 7);
+        group.throughput(Throughput::Elements(2 * codes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &codes, |b, codes| {
+            b.iter(|| {
+                let mut set = CodeSet::new();
+                for code in codes {
+                    set.insert(code);
+                }
+                let mut hits = 0usize;
+                for code in codes {
+                    if set.contains(code) {
+                        hits += 1;
+                    }
+                }
+                assert_eq!(hits, codes.len());
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_merge(c: &mut Criterion) {
+    // The table-gossip receive path: merge a peer's minimal codes.
+    let codes = leaf_codes(20_001, 17);
+    let mut a = CodeSet::new();
+    let mut b = CodeSet::new();
+    for (i, code) in codes.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(code);
+        } else {
+            b.insert(code);
+        }
+    }
+    let b_codes = b.minimal_codes();
+    c.bench_function("table_merge_half_20k", |bench| {
+        bench.iter(|| {
+            let mut t = a.clone();
+            t.merge(b_codes.iter());
+            assert!(t.is_root_done());
+            t.node_count()
+        });
+    });
+}
+
+fn bench_report_flush(c: &mut Criterion) {
+    // The report producer: compress a fresh batch into minimal codes —
+    // what `flush_reports` does at every report boundary.
+    const BATCH: usize = 64;
+    let codes: Vec<Code> = leaf_codes(4_001, 11).into_iter().take(BATCH).collect();
+    let mut group = c.benchmark_group("report_flush");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("compress_64", |b| {
+        b.iter(|| compress(&codes).len());
+    });
+    group.finish();
+}
+
+fn bench_pool_split_off(c: &mut Criterion) {
+    // One WorkRequest against a loaded best-first pool: donate the
+    // worst k, then give them back so every iteration sees the same
+    // pool. The donation must not be O(n log n) in the pool size.
+    const N: usize = 10_000;
+    const K: usize = 16;
+    let mut group = c.benchmark_group("pool_split_off");
+    group.throughput(Throughput::Elements(K as u64));
+    group.bench_function(BenchmarkId::new("n10000_k", K), |b| {
+        let mut pool: Pool<u64> = Pool::new(SelectRule::BestFirst);
+        for i in 0..N {
+            pool.push(PoolEntry {
+                bound: (i as f64 * 7919.0) % 1000.0,
+                depth: 0,
+                node: i as u64,
+            });
+        }
+        b.iter(|| {
+            let donated = pool.split_off(K);
+            let got = donated.len();
+            for e in donated {
+                pool.push(e);
+            }
+            got
+        });
+    });
+    group.finish();
+}
+
+fn bench_e2e_expansions(c: &mut Criterion) {
+    // Integrated number: a full sequential best-first solve over a
+    // recorded tree (the paper's basic-tree model) — every expansion
+    // pays a pool push/pop and a code clone.
+    let tree = random_basic_tree(&TreeConfig {
+        target_nodes: 8_001,
+        seed: 23,
+        ..Default::default()
+    });
+    let problem = BasicTreeProblem::new(tree);
+    let cfg = SolveConfig {
+        rule: SelectRule::BestFirst,
+        ..Default::default()
+    };
+    let expanded = solve(&problem, &cfg).stats.expanded;
+    let mut group = c.benchmark_group("e2e_solve");
+    group.throughput(Throughput::Elements(expanded));
+    group.bench_function("best_first_8k", |b| {
+        b.iter(|| {
+            let r = solve(&problem, &cfg);
+            assert_eq!(r.best, problem.tree().optimal());
+            r.stats.expanded
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_code_clone,
+    bench_table_insert_contains,
+    bench_table_merge,
+    bench_report_flush,
+    bench_pool_split_off,
+    bench_e2e_expansions
+);
+criterion_main!(benches);

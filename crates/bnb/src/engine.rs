@@ -86,13 +86,15 @@ where
         node: (root, Code::root()),
     });
 
-    while let Some(entry) = pool.pop() {
-        // Eliminate (at selection): the incumbent may have improved since
-        // this entry was inserted.
-        if entry.bound >= incumbent {
-            stats.eliminated_at_pop += 1;
-            continue;
-        }
+    // Eliminate (at selection), lazily inside the pool: the incumbent may
+    // have improved since entries were inserted; `pop_improving` discards
+    // the provably non-improving ones without expanding them.
+    let mut pruned = Vec::new();
+    loop {
+        let next = pool.pop_improving(incumbent, &mut pruned);
+        stats.eliminated_at_pop += pruned.len() as u64;
+        pruned.clear();
+        let Some(entry) = next else { break };
         if let Some(limit) = config.max_expanded {
             if stats.expanded >= limit {
                 break;

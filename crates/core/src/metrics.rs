@@ -17,6 +17,10 @@ pub struct ProcMetrics {
     pub eliminated_at_insert: u64,
     /// Pool entries eliminated at selection.
     pub eliminated_at_pop: u64,
+    /// Pool entries lazily pruned at `Pool::pop` because their bound could
+    /// no longer improve the incumbent — discarded without expansion (the
+    /// subtrees still complete into the table for termination detection).
+    pub pruned_at_pop: u64,
     /// Pool entries skipped because the table already covered them.
     pub skipped_covered: u64,
     /// Leaves fathomed (solved or infeasible).
@@ -83,7 +87,7 @@ pub struct ProcMetrics {
 impl ProcMetrics {
     /// Total eliminations.
     pub fn eliminated(&self) -> u64 {
-        self.eliminated_at_insert + self.eliminated_at_pop
+        self.eliminated_at_insert + self.eliminated_at_pop + self.pruned_at_pop
     }
 
     /// Compression ratio of sent reports (saved / (saved + sent)); 0 when
@@ -102,6 +106,7 @@ impl ProcMetrics {
         self.expanded += other.expanded;
         self.eliminated_at_insert += other.eliminated_at_insert;
         self.eliminated_at_pop += other.eliminated_at_pop;
+        self.pruned_at_pop += other.pruned_at_pop;
         self.skipped_covered += other.skipped_covered;
         self.fathomed += other.fathomed;
         self.incumbent_updates += other.incumbent_updates;

@@ -68,11 +68,7 @@ pub fn pick_recovery(
 
 /// Length of the longest common prefix of two codes, in pairs.
 pub fn common_prefix_len(a: &Code, b: &Code) -> usize {
-    a.pairs()
-        .iter()
-        .zip(b.pairs())
-        .take_while(|(x, y)| x == y)
-        .count()
+    a.pairs().zip(b.pairs()).take_while(|(x, y)| x == y).count()
 }
 
 #[cfg(test)]

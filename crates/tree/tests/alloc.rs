@@ -1,0 +1,81 @@
+//! Proof that the hot path is allocation-free: cloning a code at or
+//! below the inline cap and probing the table never touch the heap.
+//!
+//! This is its own integration-test binary so the counting allocator
+//! observes only this test's allocations (integration tests otherwise
+//! share a process and run concurrently).
+
+use ftbb_tree::{Code, CodeSet};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn clone_and_table_contains_do_not_allocate() {
+    // Set up outside the measured window: a code exactly at the inline
+    // cap (the worst in-cap case) and a table covering part of its
+    // lineage.
+    let decisions: Vec<(ftbb_tree::Var, bool)> = (0..Code::INLINE_CAP)
+        .map(|i| (i as u16 + 1, i % 2 == 0))
+        .collect();
+    let code = Code::from_decisions(&decisions);
+    let shallow = Code::from_decisions(&decisions[..4]);
+
+    let mut table = CodeSet::new();
+    table.insert(&shallow.sibling().unwrap());
+    table.insert(&Code::from_decisions(&decisions[..7]));
+
+    let before = allocations();
+    let mut hits = 0u32;
+    for _ in 0..1000 {
+        let copy = code.clone();
+        let again = copy.clone();
+        if table.contains(&again) {
+            hits += 1;
+        }
+        if table.contains(&shallow) {
+            hits += 1;
+        }
+        std::hint::black_box(&again);
+    }
+    let after = allocations();
+
+    assert_eq!(hits, 1000, "the depth-7 ancestor covers the deep code");
+    assert_eq!(
+        after - before,
+        0,
+        "clone + contains at depth <= INLINE_CAP must not allocate"
+    );
+}

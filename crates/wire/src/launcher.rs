@@ -1065,6 +1065,7 @@ mod tests {
             terminated: true,
             incumbent: -1.0,
             expanded,
+            pruned_at_pop: 0,
             recoveries: 0,
             suspected: 0,
             forgotten: 0,

@@ -1022,6 +1022,7 @@ pub fn outcome_line(report: &NodedReport) -> String {
             ("incumbent_bits", render_f64_bits(o.incumbent)),
             ("incumbent", o.incumbent.to_string()),
             ("expanded", o.metrics.expanded.to_string()),
+            ("pruned_at_pop", o.metrics.pruned_at_pop.to_string()),
             ("recoveries", o.metrics.recoveries.to_string()),
             ("suspected", o.metrics.peers_suspected.to_string()),
             ("forgotten", o.metrics.peers_forgotten.to_string()),
@@ -1076,6 +1077,9 @@ pub struct ParsedOutcome {
     pub incumbent: f64,
     /// Subproblems expanded.
     pub expanded: u64,
+    /// Pool entries pruned unexpanded at selection (incumbent improved
+    /// after insertion; completed for termination, never expanded).
+    pub pruned_at_pop: u64,
     /// Complement recoveries performed.
     pub recoveries: u64,
     /// Members suspected via heartbeat timeout (membership mode).
@@ -1108,6 +1112,7 @@ pub fn parse_outcome_line(line: &str) -> Option<ParsedOutcome> {
         terminated: f.bool("terminated")?,
         incumbent: f.f64_bits("incumbent_bits")?,
         expanded: f.u64("expanded")?,
+        pruned_at_pop: f.u64("pruned_at_pop")?,
         recoveries: f.u64("recoveries")?,
         suspected: f.u64("suspected")?,
         forgotten: f.u64("forgotten")?,
@@ -1277,6 +1282,7 @@ pub fn metrics_line(snap: &MetricsSnapshot) -> String {
             ("idle_s", format!("{:.6}", p.idle_s)),
             ("checkpoint_s", format!("{:.6}", p.checkpoint_s)),
             ("expanded", m.expanded.to_string()),
+            ("pruned_at_pop", m.pruned_at_pop.to_string()),
             ("recoveries", m.recoveries.to_string()),
             ("suspected", m.peers_suspected.to_string()),
             ("forgotten", m.peers_forgotten.to_string()),
@@ -1333,6 +1339,8 @@ pub struct ParsedMetrics {
     pub phase: PhaseTimes,
     /// Subproblems expanded so far.
     pub expanded: u64,
+    /// Pool entries pruned unexpanded at selection so far.
+    pub pruned_at_pop: u64,
     /// Complement recoveries so far.
     pub recoveries: u64,
     /// Members suspected so far.
@@ -1391,6 +1399,7 @@ pub fn parse_metrics_line(line: &str) -> Option<ParsedMetrics> {
             checkpoint_s: f.f64("checkpoint_s")?,
         },
         expanded: f.u64("expanded")?,
+        pruned_at_pop: f.u64("pruned_at_pop")?,
         recoveries: f.u64("recoveries")?,
         suspected: f.u64("suspected")?,
         forgotten: f.u64("forgotten")?,

@@ -121,6 +121,7 @@ fn report_strategy() -> impl Strategy<Value = NodedReport> {
             |(id, inc, terminated, bits, (expanded, rec, sus, forg), (mev, tev), phase, t)| {
                 let metrics = ProcMetrics {
                     expanded,
+                    pruned_at_pop: sus % 73,
                     recoveries: rec,
                     peers_suspected: sus,
                     peers_forgotten: forg,
@@ -170,6 +171,7 @@ fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
                     phase,
                     metrics: ProcMetrics {
                         expanded,
+                        pruned_at_pop: sus % 73,
                         recoveries: rec,
                         peers_suspected: sus,
                         peers_forgotten: forg,
@@ -217,6 +219,7 @@ proptest! {
         prop_assert_eq!(parsed.incumbent.to_bits(), o.incumbent.to_bits(),
             "incumbent must round-trip bit-for-bit");
         prop_assert_eq!(parsed.expanded, o.metrics.expanded);
+        prop_assert_eq!(parsed.pruned_at_pop, o.metrics.pruned_at_pop);
         prop_assert_eq!(parsed.recoveries, o.metrics.recoveries);
         prop_assert_eq!(parsed.suspected, o.metrics.peers_suspected);
         prop_assert_eq!(parsed.forgotten, o.metrics.peers_forgotten);
@@ -242,6 +245,7 @@ proptest! {
         prop_assert_eq!(parsed.elapsed_s, snap.elapsed_s);
         prop_assert_eq!(parsed.phase, snap.phase);
         prop_assert_eq!(parsed.expanded, snap.metrics.expanded);
+        prop_assert_eq!(parsed.pruned_at_pop, snap.metrics.pruned_at_pop);
         prop_assert_eq!(parsed.recoveries, snap.metrics.recoveries);
         prop_assert_eq!(parsed.suspected, snap.metrics.peers_suspected);
         prop_assert_eq!(parsed.forgotten, snap.metrics.peers_forgotten);
